@@ -1,0 +1,112 @@
+//! Ablations of the modeling decisions this reproduction documents in
+//! DESIGN.md §9 — each row shows what breaks when one of them is
+//! reverted:
+//!
+//! 1. majority-vote initialization of the accuracy weights
+//!    (vs the flat prior init);
+//! 2. coverage-matched initialization of the propensity weights
+//!    (vs zero init);
+//! 3. vote-agreement correlation factors + redundancy-discounted
+//!    correlated training (vs the independent model) on an
+//!    Example 3.1-style suite.
+//!
+//! Run: `cargo run -p snorkel-bench --release --bin ablation`
+
+use snorkel_bench::experiments::Scale;
+use snorkel_bench::markdown_table;
+use snorkel_core::model::{ClassBalance, GenerativeModel, LabelScheme, TrainConfig};
+use snorkel_core::vote::{modeling_advantage, vote_accuracy};
+use snorkel_datasets::synthetic::{correlated_matrix, Cluster};
+use snorkel_datasets::{cdr, TaskConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# Ablations of the label-model training decisions\n");
+
+    // ------------------------------------------------------------------
+    // 1 & 2: initialization ablations on CDR.
+    // ------------------------------------------------------------------
+    let task = cdr::build(TaskConfig {
+        num_candidates: scale.candidates,
+        seed: scale.seed,
+    });
+    let lambda = task.train_matrix();
+    let lambda_test = task.label_matrix(&task.test);
+    let gold_test = task.gold_of(&task.test);
+
+    let mut rows = Vec::new();
+    for (name, mv_init) in [("full (MV init)", true), ("flat prior init", false)] {
+        let cfg = TrainConfig {
+            class_balance: ClassBalance::Uniform,
+            init_from_majority_vote: mv_init,
+            ..TrainConfig::default()
+        };
+        let mut gm = GenerativeModel::new(lambda.num_lfs(), LabelScheme::Binary);
+        gm.fit(&lambda, &cfg);
+        let aw = modeling_advantage(&lambda_test, gm.accuracy_weights(), &gold_test);
+        let acc = vote_accuracy(&gm.predicted_labels(&lambda_test), &gold_test);
+        rows.push(vec![
+            name.to_string(),
+            format!("{aw:+.3}"),
+            format!("{acc:.3}"),
+        ]);
+    }
+    println!("## CDR: accuracy-weight initialization\n");
+    println!(
+        "{}",
+        markdown_table(&["Initialization", "Advantage Aw", "GM label accuracy"], &rows)
+    );
+
+    // ------------------------------------------------------------------
+    // 3: correlated block (Example 3.1 regime).
+    // ------------------------------------------------------------------
+    let clusters = [Cluster {
+        size: 5,
+        accuracy: 0.5,
+        deviation: 0.0,
+    }];
+    let (lambda, gold, pairs) =
+        correlated_matrix(3000, 3, 0.92, &clusters, 0.9, scale.seed.wrapping_add(9));
+
+    let cfg = TrainConfig {
+        class_balance: ClassBalance::Uniform,
+        ..TrainConfig::default()
+    };
+    let mut indep = GenerativeModel::new(lambda.num_lfs(), LabelScheme::Binary);
+    indep.fit(&lambda, &cfg);
+    let mut corr = GenerativeModel::new(lambda.num_lfs(), LabelScheme::Binary)
+        .with_correlations(&pairs);
+    corr.fit(&lambda, &cfg);
+
+    let rows = vec![
+        vec![
+            "independent model".to_string(),
+            format!("{:.3}", vote_accuracy(&indep.predicted_labels(&lambda), &gold)),
+            format!(
+                "{:.2}",
+                indep.implied_accuracies()[3..].iter().sum::<f64>() / 5.0
+            ),
+        ],
+        vec![
+            "correlations modeled".to_string(),
+            format!("{:.3}", vote_accuracy(&corr.predicted_labels(&lambda), &gold)),
+            format!(
+                "{:.2}",
+                corr.implied_accuracies()[3..].iter().sum::<f64>() / 5.0
+            ),
+        ],
+    ];
+    println!("## Example 3.1 block (5 copies @ 50% acc vs 3 LFs @ 92%)\n");
+    println!(
+        "{}",
+        markdown_table(
+            &["Model", "Label accuracy", "Mean implied accuracy of the block"],
+            &rows,
+        )
+    );
+    println!(
+        "The paper's point: the independent MLE credits the coherent block \
+         (implied accuracy ≫ its true 50%) and mislabels the data; modeling \
+         the correlations restores both."
+    );
+}

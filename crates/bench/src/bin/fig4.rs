@@ -1,0 +1,5 @@
+//! Regenerates Figure 4 (modeling advantage vs label density).
+fn main() {
+    let scale = snorkel_bench::experiments::Scale::from_env();
+    println!("{}", snorkel_bench::experiments::figures::fig4(scale));
+}

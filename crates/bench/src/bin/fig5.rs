@@ -1,0 +1,5 @@
+//! Regenerates Figure 5 (structure-learning threshold sweep).
+fn main() {
+    let scale = snorkel_bench::experiments::Scale::from_env();
+    println!("{}", snorkel_bench::experiments::figures::fig5(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 6 (advantage vs #LFs on CDR subsets).
+fn main() {
+    let scale = snorkel_bench::experiments::Scale::from_env();
+    println!("{}", snorkel_bench::experiments::figures::fig6(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the §3 timing claims (optimizer speedup, elbow savings).
+fn main() {
+    let scale = snorkel_bench::experiments::Scale::from_env();
+    println!("{}", snorkel_bench::experiments::timing::speedup(scale));
+}

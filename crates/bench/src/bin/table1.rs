@@ -1,0 +1,5 @@
+//! Regenerates Table 1 (modeling advantage & strategy selection).
+fn main() {
+    let scale = snorkel_bench::experiments::Scale::from_env();
+    println!("{}", snorkel_bench::experiments::tables::table1(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 3 (relation-extraction evaluation).
+fn main() {
+    let scale = snorkel_bench::experiments::Scale::from_env();
+    println!("{}", snorkel_bench::experiments::tables::table3(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 5 (generative labels vs unweighted LF average).
+fn main() {
+    let scale = snorkel_bench::experiments::Scale::from_env();
+    println!("{}", snorkel_bench::experiments::tables::table5(scale));
+}

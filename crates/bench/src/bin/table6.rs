@@ -1,0 +1,5 @@
+//! Regenerates Table 6 (LF type ablation on CDR).
+fn main() {
+    let scale = snorkel_bench::experiments::Scale::from_env();
+    println!("{}", snorkel_bench::experiments::tables::table6(scale));
+}

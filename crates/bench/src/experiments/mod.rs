@@ -1,0 +1,42 @@
+//! One function per paper table/figure; each returns the rendered
+//! report so the thin binaries (and `run_all`) can print or save it.
+
+pub mod figures;
+pub mod study;
+pub mod tables;
+pub mod timing;
+
+/// Experiment scale, read from `SNORKEL_SCALE` (candidates per relation
+/// task) and `SNORKEL_SEED`. Defaults keep every binary laptop-fast; the
+/// paper's own candidate counts (Table 2) are 4–100× larger and can be
+/// requested via the environment.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Candidates per relation-extraction task.
+    pub candidates: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Read from the environment (`SNORKEL_SCALE`, `SNORKEL_SEED`).
+    pub fn from_env() -> Self {
+        let candidates = std::env::var("SNORKEL_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(2500);
+        let seed = std::env::var("SNORKEL_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        Scale { candidates, seed }
+    }
+
+    /// Task config at this scale.
+    pub fn task(&self) -> snorkel_datasets::TaskConfig {
+        snorkel_datasets::TaskConfig {
+            num_candidates: self.candidates,
+            seed: self.seed,
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! The raw context-hierarchy records stored by [`crate::Corpus`].
+//!
+//! These are plain data; navigation (span text, words between spans,
+//! parent documents) lives on the view types in [`crate::corpus`], which
+//! carry a corpus reference.
+
+use std::collections::BTreeMap;
+
+use crate::ids::{CandidateId, DocId, SentenceId, SpanId};
+use crate::token::Token;
+
+/// A document: the root context type.
+#[derive(Clone, Debug)]
+pub struct Document {
+    /// This document's id.
+    pub id: DocId,
+    /// A stable external name (file name, PubMed id, …).
+    pub name: String,
+    /// Child sentences in reading order.
+    pub sentences: Vec<SentenceId>,
+    /// Free-form metadata (e.g. MeSH codes for radiology reports, source
+    /// feed for news). Sorted map so iteration order is deterministic.
+    pub meta: BTreeMap<String, String>,
+}
+
+/// A sentence: a tokenized unit of text within a document.
+#[derive(Clone, Debug)]
+pub struct Sentence {
+    /// This sentence's id.
+    pub id: SentenceId,
+    /// Parent document.
+    pub doc: DocId,
+    /// Position of this sentence within its document (0-based).
+    pub position: usize,
+    /// Raw sentence text.
+    pub text: String,
+    /// Tokens with byte offsets into `text`.
+    pub tokens: Vec<Token>,
+    /// Child spans (tagged mentions) in creation order.
+    pub spans: Vec<SpanId>,
+}
+
+/// A span: a contiguous token range within a sentence, optionally tagged
+/// with an entity type ("Chemical", "Disease", "Person", …).
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// This span's id.
+    pub id: SpanId,
+    /// Parent sentence.
+    pub sentence: SentenceId,
+    /// First token index (inclusive).
+    pub token_start: usize,
+    /// One past the last token index (exclusive).
+    pub token_end: usize,
+    /// Entity tag, if any.
+    pub entity_type: Option<String>,
+}
+
+impl Span {
+    /// Number of tokens covered.
+    pub fn num_tokens(&self) -> usize {
+        self.token_end - self.token_start
+    }
+}
+
+/// A candidate: a tuple of spans forming one data point `x`.
+///
+/// Relation-extraction candidates hold two spans; unary classification
+/// candidates hold one. All spans of a candidate must share a sentence
+/// (enforced by [`crate::Corpus::add_candidate`]), mirroring the paper's
+/// co-occurrence candidate extraction.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// This candidate's id; doubles as its row in the label matrix.
+    pub id: CandidateId,
+    /// The member spans, in argument order.
+    pub spans: Vec<SpanId>,
+}
+
+impl Candidate {
+    /// Number of argument spans (the candidate's arity).
+    pub fn arity(&self) -> usize {
+        self.spans.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_token_count() {
+        let s = Span {
+            id: SpanId::from_index(0),
+            sentence: SentenceId::from_index(0),
+            token_start: 2,
+            token_end: 5,
+            entity_type: Some("Chemical".into()),
+        };
+        assert_eq!(s.num_tokens(), 3);
+    }
+
+    #[test]
+    fn candidate_arity() {
+        let c = Candidate {
+            id: CandidateId::from_index(0),
+            spans: vec![SpanId::from_index(0), SpanId::from_index(1)],
+        };
+        assert_eq!(c.arity(), 2);
+    }
+}

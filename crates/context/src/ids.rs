@@ -1,0 +1,79 @@
+//! Typed arena ids.
+//!
+//! Every context type gets its own `u32`-backed id so that ids from
+//! different arenas cannot be confused at compile time. Ids are dense
+//! (assigned sequentially by [`crate::Corpus`]) and therefore double as
+//! row indices — the label matrix indexes candidates by
+//! `CandidateId::index()`.
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug, Hash, PartialEq, Eq, PartialOrd, Ord)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Construct from a dense index (use only with indices handed
+            /// out by the owning [`crate::Corpus`]).
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                $name(u32::try_from(index).expect("arena index exceeds u32"))
+            }
+
+            /// The dense index backing this id.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}({})", stringify!($name), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a [`crate::Document`].
+    DocId
+);
+define_id!(
+    /// Identifier of a [`crate::Sentence`].
+    SentenceId
+);
+define_id!(
+    /// Identifier of a [`crate::Span`].
+    SpanId
+);
+define_id!(
+    /// Identifier of a [`crate::Candidate`] (a data point `x`).
+    CandidateId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_index() {
+        let id = CandidateId::from_index(41);
+        assert_eq!(id.index(), 41);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let a = DocId::from_index(1);
+        let b = DocId::from_index(2);
+        assert!(a < b);
+        let set: HashSet<DocId> = [a, b, a].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SpanId::from_index(7).to_string(), "SpanId(7)");
+    }
+}

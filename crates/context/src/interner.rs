@@ -1,0 +1,129 @@
+//! A concurrent string interner.
+//!
+//! Entity types, vocabulary items, and metadata keys repeat massively
+//! across a corpus; interning them keeps the arenas compact and makes
+//! equality checks integer comparisons. Reads take a shared lock; the
+//! write path (first sighting of a string) takes the exclusive lock.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// An interned string handle.
+#[derive(Clone, Copy, Debug, Hash, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The dense index backing this symbol.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Thread-safe string interner.
+#[derive(Debug, Default)]
+pub struct Interner {
+    inner: RwLock<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<String, Symbol>,
+    strings: Vec<String>,
+}
+
+impl Interner {
+    /// Empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Intern a string, returning its stable symbol.
+    pub fn intern(&self, s: &str) -> Symbol {
+        if let Some(&sym) = self.inner.read().map.get(s) {
+            return sym;
+        }
+        let mut inner = self.inner.write();
+        // Double-check: another writer may have interned between locks.
+        if let Some(&sym) = inner.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(inner.strings.len()).expect("interner overflow"));
+        inner.strings.push(s.to_string());
+        inner.map.insert(s.to_string(), sym);
+        sym
+    }
+
+    /// Look up a string without interning it.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.inner.read().map.get(s).copied()
+    }
+
+    /// Resolve a symbol back to its string (owned, because the interner
+    /// is behind a lock).
+    pub fn resolve(&self, sym: Symbol) -> String {
+        self.inner.read().strings[sym.index()].clone()
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.inner.read().strings.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let i = Interner::new();
+        let a = i.intern("Chemical");
+        let b = i.intern("Disease");
+        let a2 = i.intern("Chemical");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(a), "Chemical");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let i = Interner::new();
+        assert!(i.get("missing").is_none());
+        assert!(i.is_empty());
+        i.intern("present");
+        assert!(i.get("present").is_some());
+    }
+
+    #[test]
+    fn concurrent_interning_yields_consistent_symbols() {
+        use std::sync::Arc;
+        let i = Arc::new(Interner::new());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let i = Arc::clone(&i);
+            handles.push(std::thread::spawn(move || {
+                let mut syms = Vec::new();
+                for k in 0..50 {
+                    // All threads intern the same 10 strings.
+                    syms.push((k % 10, i.intern(&format!("s{}", k % 10))));
+                }
+                let _ = t;
+                syms
+            }));
+        }
+        let mut canonical: HashMap<usize, Symbol> = HashMap::new();
+        for h in handles {
+            for (k, sym) in h.join().expect("thread ok") {
+                let entry = canonical.entry(k).or_insert(sym);
+                assert_eq!(*entry, sym, "same string must intern to same symbol");
+            }
+        }
+        assert_eq!(i.len(), 10);
+    }
+}

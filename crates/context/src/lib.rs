@@ -1,0 +1,51 @@
+//! # snorkel-context
+//!
+//! The context-hierarchy data model (paper §2, Figure 3).
+//!
+//! Snorkel stores input data in a *context hierarchy*: `Document →
+//! Sentence → Span`, with spans optionally tagged as entity mentions.
+//! *Candidates* — the data points `x` to classify — are tuples of spans
+//! (binary relation mentions are span pairs; unary classification tasks
+//! use a single span). The original system kept this hierarchy in
+//! PostgreSQL behind a SQLAlchemy ORM; here it is an arena-allocated
+//! in-memory store ([`Corpus`]) with typed ids and cheap navigation views,
+//! which preserves exactly what labeling functions need: traversing from a
+//! candidate to its spans, sentence, words, and document metadata.
+//!
+//! ```
+//! use snorkel_context::{Corpus, Token};
+//!
+//! let mut corpus = Corpus::new();
+//! let doc = corpus.add_document("doc-1");
+//! let sent = corpus.add_sentence(
+//!     doc,
+//!     "magnesium causes weakness",
+//!     vec![
+//!         Token::with_lemma("magnesium", 0, 9, "magnesium"),
+//!         Token::with_lemma("causes", 10, 16, "cause"),
+//!         Token::with_lemma("weakness", 17, 25, "weakness"),
+//!     ],
+//! );
+//! let chem = corpus.add_span(sent, 0, 1, Some("Chemical"));
+//! let dis = corpus.add_span(sent, 2, 3, Some("Disease"));
+//! let cand = corpus.add_candidate(vec![chem, dis]);
+//!
+//! let view = corpus.candidate(cand);
+//! assert_eq!(view.span(0).text(), "magnesium");
+//! assert_eq!(view.words_between(0, 1), &["causes"]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod corpus;
+mod hierarchy;
+mod ids;
+mod interner;
+mod token;
+
+pub use corpus::{CandidateView, Corpus, DocumentView, SentenceView, SpanView};
+pub use hierarchy::{Candidate, Document, Sentence, Span};
+pub use ids::{CandidateId, DocId, SentenceId, SpanId};
+pub use interner::{Interner, Symbol};
+pub use token::Token;

@@ -1,0 +1,74 @@
+//! Tokens: the word-level unit of the context hierarchy.
+
+/// One token of a sentence, with byte offsets into the sentence text and
+/// an optional lemma (set by the NLP preprocessing substrate).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Surface text of the token.
+    pub text: String,
+    /// Byte offset of the token start within its sentence.
+    pub start: usize,
+    /// Byte offset one past the token end within its sentence.
+    pub end: usize,
+    /// Lemmatized form; equal to lowercased `text` when no lemmatizer ran.
+    pub lemma: String,
+}
+
+impl Token {
+    /// A token whose lemma defaults to the lowercased surface form.
+    pub fn new(text: impl Into<String>, start: usize, end: usize) -> Self {
+        let text = text.into();
+        let lemma = text.to_lowercase();
+        Token {
+            text,
+            start,
+            end,
+            lemma,
+        }
+    }
+
+    /// A token with an explicit lemma.
+    pub fn with_lemma(
+        text: impl Into<String>,
+        start: usize,
+        end: usize,
+        lemma: impl Into<String>,
+    ) -> Self {
+        Token {
+            text: text.into(),
+            start,
+            end,
+            lemma: lemma.into(),
+        }
+    }
+
+    /// Length of the token in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True if the token covers no bytes (never produced by the
+    /// tokenizer; present for completeness of the API).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_lemma_is_lowercase() {
+        let t = Token::new("Causes", 0, 6);
+        assert_eq!(t.lemma, "causes");
+        assert_eq!(t.len(), 6);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn explicit_lemma() {
+        let t = Token::with_lemma("causes", 0, 6, "cause");
+        assert_eq!(t.lemma, "cause");
+    }
+}

@@ -1,0 +1,104 @@
+//! Closed-form advantage bounds (paper §3.1.1).
+//!
+//! Both bounds live on the synthetic-setting assumptions: every LF votes
+//! with probability `p_l` and the mean LF accuracy is `ᾱ`. The label
+//! density is then `d̄ = n · p_l`.
+//!
+//! * **Low-density** (Proposition 1): `E[A*] ≤ d̄² ᾱ(1−ᾱ)` — with few
+//!   votes per point, even optimal weighting rarely gets a chance to
+//!   disagree with majority vote, and the opportunity decays
+//!   quadratically with density.
+//! * **High-density** (Theorem 1, via the symmetric Dawid-Skene result
+//!   of Li, Yu & Zhou): `E[A*] ≤ exp(−2 p_l (ᾱ−½)² d̄)` — with many
+//!   votes, majority vote converges exponentially to optimal.
+//!
+//! The mid-density regime between the two curves is where the generative
+//! model pays off; Figure 4 plots exactly these functions against the
+//! empirical advantage.
+
+/// Proposition 1: low-density upper bound `d̄² ᾱ(1−ᾱ)`.
+///
+/// `n` labeling functions, propensity `p_l = P(Λ_ij ≠ 0)`, mean accuracy
+/// `mean_acc = ᾱ` (must be in `[0, 1]`).
+pub fn low_density_bound(n: usize, p_l: f64, mean_acc: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p_l), "p_l must be a probability");
+    assert!(
+        (0.0..=1.0).contains(&mean_acc),
+        "mean_acc must be a probability"
+    );
+    let d = n as f64 * p_l;
+    d * d * mean_acc * (1.0 - mean_acc)
+}
+
+/// Theorem 1: high-density upper bound `exp(−2 p_l (ᾱ−½)² d̄)`.
+///
+/// Valid for `ᾱ > ½` (non-adversarial-on-average LFs); panics otherwise
+/// since the bound is meaningless there.
+pub fn high_density_bound(n: usize, p_l: f64, mean_acc: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p_l), "p_l must be a probability");
+    assert!(
+        mean_acc > 0.5,
+        "high-density bound requires mean accuracy > 1/2"
+    );
+    let d = n as f64 * p_l;
+    (-2.0 * p_l * (mean_acc - 0.5).powi(2) * d).exp()
+}
+
+/// The tighter of the two bounds at a given density — the envelope
+/// plotted in Figure 4.
+pub fn advantage_envelope(n: usize, p_l: f64, mean_acc: f64) -> f64 {
+    low_density_bound(n, p_l, mean_acc).min(high_density_bound(n, p_l, mean_acc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_density_is_quadratic_in_density() {
+        let a1 = low_density_bound(10, 0.1, 0.75);
+        let a2 = low_density_bound(20, 0.1, 0.75);
+        assert!((a2 / a1 - 4.0).abs() < 1e-9, "doubling n quadruples the bound");
+    }
+
+    #[test]
+    fn high_density_decays_with_n() {
+        let b_small = high_density_bound(10, 0.1, 0.75);
+        let b_large = high_density_bound(5000, 0.1, 0.75);
+        assert!(b_large < b_small);
+        // exp(−2 · 0.1 · 0.25² · 500) ≈ 1.9e−3
+        assert!(b_large < 1e-2);
+    }
+
+    #[test]
+    fn envelope_crosses_over() {
+        // At tiny n the low-density bound is smaller; at huge n the
+        // high-density bound is smaller.
+        let (p, a) = (0.1, 0.75);
+        assert!(low_density_bound(2, p, a) < high_density_bound(2, p, a));
+        assert!(high_density_bound(2000, p, a) < low_density_bound(2000, p, a));
+        // Envelope is always the min.
+        for &n in &[1usize, 5, 50, 500, 5000] {
+            let e = advantage_envelope(n, p, a);
+            assert!(e <= low_density_bound(n, p, a) + 1e-15);
+            assert!(e <= high_density_bound(n, p, a) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn perfect_lfs_have_zero_low_density_bound() {
+        assert_eq!(low_density_bound(100, 0.1, 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean accuracy")]
+    fn high_density_rejects_adversarial_mean() {
+        let _ = high_density_bound(10, 0.1, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn propensity_validated() {
+        let _ = low_density_bound(10, 1.5, 0.7);
+    }
+}

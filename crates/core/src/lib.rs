@@ -1,0 +1,43 @@
+//! # snorkel-core
+//!
+//! The data-programming core of `snorkel-rs`: everything between the
+//! label matrix `Λ` and the probabilistic training labels `Ỹ`.
+//!
+//! * [`vote`] — unweighted / weighted majority vote, and the **modeling
+//!   advantage** `A_w` of Definition 1 (how much a weighted combination
+//!   improves on majority vote).
+//! * [`model`] — the **generative label model** `p_w(Λ, Y)` of §2.2:
+//!   labeling-propensity, accuracy, and pairwise-correlation factors,
+//!   trained without ground truth by SGD on the negative log marginal
+//!   likelihood (exact expectations for the independent model;
+//!   Gibbs-sampled contrastive divergence when correlations are
+//!   modeled).
+//! * [`structure`] — **dependency-structure learning** (§3.2): an
+//!   ℓ1-regularized pseudolikelihood estimator selecting which LF pairs
+//!   to model as correlated, with exact gradients and no sampling.
+//! * [`optimizer`] — the two-stage **modeling-strategy optimizer**
+//!   (Algorithm 1): the `A~*` advantage bound of Proposition 2 decides
+//!   MV vs GM; an ε-sweep with elbow-point selection picks the
+//!   correlation structure.
+//! * [`bounds`] — the closed-form low-density (Proposition 1) and
+//!   high-density (Theorem 1) advantage bounds, used by the Figure 4
+//!   reproduction.
+//! * [`pipeline`] — the end-to-end orchestration with wall-clock
+//!   instrumentation (LF application → Λ → strategy choice → training →
+//!   `Ỹ`), which the §3 speedup experiments time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod model;
+pub mod optimizer;
+pub mod pipeline;
+pub mod structure;
+pub mod vote;
+
+pub use model::{ClassBalance, FitReport, GenerativeModel, LabelScheme, TrainConfig};
+pub use optimizer::{choose_strategy, ModelingStrategy, OptimizerConfig, StrategyDecision};
+pub use pipeline::{run_pipeline, Pipeline, PipelineConfig, PipelineReport};
+pub use structure::{learn_structure, StructureConfig, StructureReport};
+pub use vote::{majority_vote, modeling_advantage, weighted_vote};

@@ -1,0 +1,1067 @@
+//! The generative label model `p_w(Λ, Y)` (paper §2.2).
+//!
+//! The true class label of each data point is a latent variable; each
+//! labeling function is a noisy voter. The model couples them through
+//! three factor types with weights `w ∈ R^{2n + |C|}`:
+//!
+//! ```text
+//! φ_Lab(Λ, y)  = 1{Λ_ij ≠ ∅}              (labeling propensity)
+//! φ_Acc(Λ, y)  = 1{Λ_ij = y_i}            (accuracy)
+//! φ_Corr(Λ, y) = 1{Λ_ij = Λ_ik ≠ ∅}       ((j,k) ∈ C, pairwise correlation)
+//! ```
+//!
+//! One deliberate deviation from the paper's notation: the correlation
+//! factor fires only on agreeing *votes*, not on joint abstention. With
+//! sparse suites (coverage of a few percent) both-abstain agreement is
+//! ~90% of rows and swamps the actual vote correlation, making every LF
+//! pair look dependent and the redundancy discount destructive.
+//!
+//! Training minimizes the negative log *marginal* likelihood of the
+//! observed matrix, `−log Σ_Y p_w(Λ, Y)` — no ground truth enters. The
+//! gradient is the difference of two expectations: the posterior phase
+//! `E_{Y|Λ}[φ]` (always exact here: only `y` is latent per point) and
+//! the model phase `E_{(Λ',Y')∼p_w}[φ]`:
+//!
+//! * **Independent model** (`C = ∅`): the model phase factorizes per LF
+//!   and is computed in closed form — full-batch, deterministic,
+//!   sampling-free SGD.
+//! * **Correlated model** (`C ≠ ∅`): the model phase is estimated by
+//!   Gibbs chains seeded at observed rows — the contrastive-divergence
+//!   style training the paper describes ("interleaving stochastic
+//!   gradient descent steps with Gibbs sampling ones").
+//!
+//! After fitting, the per-LF accuracy weight recovers the LF's accuracy
+//! via `α_j = e^{w_j} / (e^{w_j} + K − 1)` (appendix A.1 in the binary
+//! case), and posteriors `p(y | Λ_i)` become the probabilistic training
+//! labels `Ỹ`.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use snorkel_linalg::math::{logsumexp, softmax_in_place};
+use snorkel_matrix::{LabelMatrix, Vote};
+
+/// Vote-scheme abstraction shared by the binary (`{−1,+1}`) and
+/// multi-class (`{1..=k}`) settings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LabelScheme {
+    /// Votes in `{−1, +1}`; class 0 is `+1`, class 1 is `−1`.
+    Binary,
+    /// Votes in `{1..=k}`; class `c` is vote `c + 1`.
+    MultiClass(u8),
+}
+
+impl LabelScheme {
+    /// Scheme matching a matrix's cardinality.
+    pub fn from_cardinality(k: u8) -> Self {
+        if k == 2 {
+            LabelScheme::Binary
+        } else {
+            LabelScheme::MultiClass(k)
+        }
+    }
+
+    /// Number of classes `K`.
+    pub fn num_classes(&self) -> usize {
+        match self {
+            LabelScheme::Binary => 2,
+            LabelScheme::MultiClass(k) => *k as usize,
+        }
+    }
+
+    /// Dense class index of a non-abstain vote.
+    pub fn class_of_vote(&self, v: Vote) -> Option<usize> {
+        if v == 0 {
+            return None;
+        }
+        Some(match self {
+            LabelScheme::Binary => {
+                if v == 1 {
+                    0
+                } else {
+                    1
+                }
+            }
+            LabelScheme::MultiClass(_) => (v as usize) - 1,
+        })
+    }
+
+    /// Vote value of a dense class index.
+    pub fn vote_of_class(&self, c: usize) -> Vote {
+        match self {
+            LabelScheme::Binary => {
+                if c == 0 {
+                    1
+                } else {
+                    -1
+                }
+            }
+            LabelScheme::MultiClass(_) => (c + 1) as Vote,
+        }
+    }
+}
+
+/// Training hyperparameters.
+///
+/// The exact (independent-model) path and the Gibbs/contrastive-
+/// divergence (correlated-model) path have separate epoch counts and
+/// step sizes: exact full-batch gradients tolerate long aggressive
+/// schedules, while CD gradients are noisy and per-epoch cost is much
+/// higher.
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// Passes over the data for the exact independent-model path.
+    pub epochs: usize,
+    /// Initial step size for the exact path.
+    pub learning_rate: f64,
+    /// Per-epoch multiplicative step decay (exact path).
+    pub lr_decay: f64,
+    /// Passes over the data for the correlated (CD) path.
+    pub cd_epochs: usize,
+    /// Step size for the correlated path.
+    pub cd_learning_rate: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+    /// RNG seed (minibatch order, Gibbs chains).
+    pub seed: u64,
+    /// Gibbs sweeps per contrastive-divergence step (correlated model).
+    pub gibbs_steps: usize,
+    /// Minibatch size (correlated model; the independent model is
+    /// full-batch).
+    pub batch_size: usize,
+    /// Initial accuracy weight (log-odds prior; 1.0 ≈ 73% accuracy,
+    /// matching the paper's default mean prior w̄ = 1.0).
+    pub init_acc_weight: f64,
+    /// Initialize accuracy weights from each LF's agreement rate with
+    /// the unweighted majority vote. This anchors optimization in the
+    /// correct basin: the marginal likelihood has an exact label-flip
+    /// symmetry (`w → −w` with classes relabeled), and on imbalanced
+    /// matrices a neutral init can fall into the flipped optimum.
+    pub init_from_majority_vote: bool,
+    /// How to set the fixed class-balance weights `b_c`. The balance is
+    /// *not* learned: jointly optimizing a free class prior with the
+    /// accuracy weights admits a degenerate optimum where the latent
+    /// class collapses to a constant and every vote is explained by
+    /// per-LF marginals alone.
+    pub class_balance: ClassBalance,
+    /// Clamp accuracy weights at ≥ 0 (assume non-adversarial LFs).
+    pub clamp_nonadversarial: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 1000,
+            learning_rate: 0.5,
+            lr_decay: 0.998,
+            cd_epochs: 60,
+            cd_learning_rate: 0.05,
+            l2: 1e-4,
+            seed: 0,
+            gibbs_steps: 2,
+            batch_size: 64,
+            init_acc_weight: 1.0,
+            init_from_majority_vote: true,
+            class_balance: ClassBalance::FromMajorityVote,
+            clamp_nonadversarial: false,
+        }
+    }
+}
+
+/// Policy for the fixed class-balance weights.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClassBalance {
+    /// Uniform prior (`b = 0`), matching the paper's factor set exactly.
+    Uniform,
+    /// Estimate the balance from the unweighted majority vote's class
+    /// distribution (smoothed); the practical default for the imbalanced
+    /// relation-extraction tasks.
+    FromMajorityVote,
+    /// User-specified class probabilities (must sum to ~1).
+    Fixed(Vec<f64>),
+}
+
+/// Outcome of a fit.
+#[derive(Clone, Debug)]
+pub struct FitReport {
+    /// Epochs actually run.
+    pub epochs: usize,
+    /// Final mean negative log marginal likelihood (exact for the
+    /// independent model; `NaN` for correlated models, whose partition
+    /// function we never compute).
+    pub final_nll: f64,
+    /// Whether Gibbs-based contrastive divergence was used.
+    pub used_gibbs: bool,
+}
+
+/// The generative label model.
+#[derive(Clone, Debug)]
+pub struct GenerativeModel {
+    scheme: LabelScheme,
+    n: usize,
+    w_lab: Vec<f64>,
+    w_acc: Vec<f64>,
+    corr_pairs: Vec<(usize, usize)>,
+    w_corr: Vec<f64>,
+    /// Prior correlation strengths from structure learning (used to
+    /// seed `w_corr` and to discount redundant LFs' initial accuracy
+    /// weights); 1.0 when unknown.
+    corr_strength: Vec<f64>,
+    /// Adjacency: for each LF, `(pair_index, other_lf)` of its
+    /// correlation factors.
+    corr_adj: Vec<Vec<(usize, usize)>>,
+    /// Class-balance weights `b_c` (log-prior per class). The paper's
+    /// factor set omits a class prior; on the imbalanced relation tasks
+    /// that omission miscalibrates posteriors badly, so we add the one
+    /// factor `φ_Bal(y) = 1{y = c}` and learn its weights jointly.
+    b_class: Vec<f64>,
+}
+
+/// Weight clamp keeping `exp` comfortably finite.
+const W_CLAMP: f64 = 10.0;
+
+impl GenerativeModel {
+    /// Independent model over `n` labeling functions.
+    pub fn new(n: usize, scheme: LabelScheme) -> Self {
+        GenerativeModel {
+            scheme,
+            n,
+            w_lab: vec![0.0; n],
+            w_acc: vec![1.0; n],
+            corr_pairs: Vec::new(),
+            w_corr: Vec::new(),
+            corr_strength: Vec::new(),
+            corr_adj: vec![Vec::new(); n],
+            b_class: vec![0.0; scheme.num_classes()],
+        }
+    }
+
+    /// Add pairwise-correlation factors for the given LF pairs
+    /// (deduplicated, self-pairs rejected) with unit prior strength.
+    pub fn with_correlations(self, pairs: &[(usize, usize)]) -> Self {
+        let strengths = vec![1.0; pairs.len()];
+        self.with_weighted_correlations(pairs, &strengths)
+    }
+
+    /// Add pairwise-correlation factors with prior strengths (typically
+    /// the fitted weights from
+    /// [`crate::structure::learn_structure`]). Strengths seed the
+    /// correlation weights and drive the redundancy discount of the
+    /// correlated-training initialization.
+    pub fn with_weighted_correlations(
+        mut self,
+        pairs: &[(usize, usize)],
+        strengths: &[f64],
+    ) -> Self {
+        assert_eq!(pairs.len(), strengths.len(), "one strength per pair");
+        let mut seen = std::collections::BTreeSet::new();
+        for (&(a, b), &s) in pairs.iter().zip(strengths) {
+            assert!(a < self.n && b < self.n, "correlation pair out of range");
+            assert_ne!(a, b, "self-correlation is meaningless");
+            let key = (a.min(b), a.max(b));
+            if seen.insert(key) {
+                let idx = self.corr_pairs.len();
+                self.corr_pairs.push(key);
+                self.w_corr.push(0.0);
+                self.corr_strength.push(s.abs());
+                self.corr_adj[key.0].push((idx, key.1));
+                self.corr_adj[key.1].push((idx, key.0));
+            }
+        }
+        self
+    }
+
+    /// Number of labeling functions.
+    pub fn num_lfs(&self) -> usize {
+        self.n
+    }
+
+    /// The label scheme.
+    pub fn scheme(&self) -> LabelScheme {
+        self.scheme
+    }
+
+    /// The modeled correlation pairs.
+    pub fn correlations(&self) -> &[(usize, usize)] {
+        &self.corr_pairs
+    }
+
+    /// Learned correlation weights (parallel to
+    /// [`Self::correlations`]).
+    pub fn correlation_weights(&self) -> &[f64] {
+        &self.w_corr
+    }
+
+    /// Learned accuracy weights (log-odds scale).
+    pub fn accuracy_weights(&self) -> &[f64] {
+        &self.w_acc
+    }
+
+    /// Learned propensity weights.
+    pub fn propensity_weights(&self) -> &[f64] {
+        &self.w_lab
+    }
+
+    /// Learned class-balance weights (log-prior scale); softmax of these
+    /// is the model's implied class distribution.
+    pub fn class_balance_weights(&self) -> &[f64] {
+        &self.b_class
+    }
+
+    /// The model's implied class prior `softmax(b)`.
+    pub fn implied_class_prior(&self) -> Vec<f64> {
+        let mut p = self.b_class.clone();
+        softmax_in_place(&mut p);
+        p
+    }
+
+    /// Implied LF accuracies `α_j = e^{w_j} / (e^{w_j} + K − 1)`
+    /// (appendix A.1 generalized to K classes).
+    pub fn implied_accuracies(&self) -> Vec<f64> {
+        let k1 = (self.scheme.num_classes() - 1) as f64;
+        self.w_acc
+            .iter()
+            .map(|&w| {
+                let e = w.exp();
+                e / (e + k1)
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Inference
+    // ------------------------------------------------------------------
+
+    /// Posterior `p(y = class | Λ_i)` for one row of votes.
+    ///
+    /// Correlation and propensity factors cancel (they do not involve
+    /// `y`), so the posterior depends only on the accuracy weights and
+    /// the class-balance weights — but those weights are *fit*
+    /// differently when correlations are modeled, which is where the
+    /// correction of Example 3.1 comes from.
+    pub fn posterior(&self, cols: &[u32], votes: &[Vote]) -> Vec<f64> {
+        let k = self.scheme.num_classes();
+        let mut scores = self.b_class.clone();
+        debug_assert_eq!(scores.len(), k);
+        for (&c, &v) in cols.iter().zip(votes) {
+            if let Some(class) = self.scheme.class_of_vote(v) {
+                scores[class] += self.w_acc[c as usize];
+            }
+        }
+        softmax_in_place(&mut scores);
+        scores
+    }
+
+    /// Posterior class distributions for every row.
+    pub fn marginals(&self, lambda: &LabelMatrix) -> Vec<Vec<f64>> {
+        (0..lambda.num_points())
+            .map(|i| {
+                let (cols, votes) = lambda.row(i);
+                self.posterior(cols, votes)
+            })
+            .collect()
+    }
+
+    /// Binary convenience: `p(y = +1 | Λ_i)` per row.
+    pub fn prob_positive(&self, lambda: &LabelMatrix) -> Vec<f64> {
+        assert_eq!(self.scheme, LabelScheme::Binary, "binary scheme only");
+        (0..lambda.num_points())
+            .map(|i| {
+                let (cols, votes) = lambda.row(i);
+                self.posterior(cols, votes)[0]
+            })
+            .collect()
+    }
+
+    /// Hard predictions: the MAP class as a vote value; 0 when the
+    /// posterior is exactly uniform over its top classes (no evidence).
+    pub fn predicted_labels(&self, lambda: &LabelMatrix) -> Vec<Vote> {
+        self.marginals(lambda)
+            .into_iter()
+            .map(|post| {
+                let best = post.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let winners: Vec<usize> = (0..post.len())
+                    .filter(|&c| (post[c] - best).abs() < 1e-12)
+                    .collect();
+                if winners.len() == 1 {
+                    self.scheme.vote_of_class(winners[0])
+                } else {
+                    0
+                }
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Training
+    // ------------------------------------------------------------------
+
+    /// Fit to a label matrix by SGD on the negative log marginal
+    /// likelihood.
+    pub fn fit(&mut self, lambda: &LabelMatrix, cfg: &TrainConfig) -> FitReport {
+        assert_eq!(
+            lambda.num_lfs(),
+            self.n,
+            "matrix has {} LFs but model has {}",
+            lambda.num_lfs(),
+            self.n
+        );
+        for w in self.w_acc.iter_mut() {
+            *w = cfg.init_acc_weight;
+        }
+        self.set_class_balance(lambda, cfg);
+        if cfg.init_from_majority_vote && lambda.num_points() > 0 {
+            self.init_acc_from_majority_vote(lambda, cfg);
+        }
+        self.init_lab_from_coverage(lambda);
+        if lambda.num_points() == 0 {
+            return FitReport {
+                epochs: 0,
+                final_nll: 0.0,
+                used_gibbs: false,
+            };
+        }
+        if self.corr_pairs.is_empty() {
+            self.fit_independent_exact(lambda, cfg)
+        } else {
+            self.fit_correlated_cd(lambda, cfg)
+        }
+    }
+
+    /// Fix the class-balance weights per the configured policy.
+    fn set_class_balance(&mut self, lambda: &LabelMatrix, cfg: &TrainConfig) {
+        let k = self.scheme.num_classes();
+        match &cfg.class_balance {
+            ClassBalance::Uniform => self.b_class.iter_mut().for_each(|b| *b = 0.0),
+            ClassBalance::Fixed(p) => {
+                assert_eq!(p.len(), k, "class balance needs one entry per class");
+                for (b, &pc) in self.b_class.iter_mut().zip(p) {
+                    *b = pc.max(1e-3).ln();
+                }
+            }
+            ClassBalance::FromMajorityVote => {
+                let mv = self.majority_classes(lambda);
+                let mut counts = vec![1.0f64; k]; // add-one smoothing
+                for c in mv.into_iter().flatten() {
+                    counts[c] += 1.0;
+                }
+                let total: f64 = counts.iter().sum();
+                for (b, c) in self.b_class.iter_mut().zip(counts) {
+                    *b = (c / total).ln();
+                }
+            }
+        }
+    }
+
+    /// Plurality class per row (`None` on ties and empty rows).
+    fn majority_classes(&self, lambda: &LabelMatrix) -> Vec<Option<usize>> {
+        let k = self.scheme.num_classes();
+        let mut out = Vec::with_capacity(lambda.num_points());
+        let mut tally = vec![0usize; k];
+        for i in 0..lambda.num_points() {
+            let (_, votes) = lambda.row(i);
+            tally.iter_mut().for_each(|t| *t = 0);
+            for &v in votes {
+                if let Some(c) = self.scheme.class_of_vote(v) {
+                    tally[c] += 1;
+                }
+            }
+            let best = tally.iter().copied().max().unwrap_or(0);
+            let winners: Vec<usize> = (0..k).filter(|&c| tally[c] == best && best > 0).collect();
+            out.push(if winners.len() == 1 { Some(winners[0]) } else { None });
+        }
+        out
+    }
+
+    /// Initialize the propensity weights so the model's implied coverage
+    /// matches each LF's observed coverage. Starting from `w_lab = 0`
+    /// (implied coverage ≈ 77% for binary) while real suites cover a few
+    /// percent makes the early accuracy gradients strongly negative for
+    /// *every* LF while the propensities calibrate; minority-class LFs
+    /// never recover from that transient and the fit lands in a
+    /// collapsed optimum. Solving
+    /// `coverage = e^lab (e^acc + K−1) / (1 + e^lab (e^acc + K−1))`
+    /// for `lab` removes the transient entirely.
+    fn init_lab_from_coverage(&mut self, lambda: &LabelMatrix) {
+        let m = lambda.num_points();
+        if m == 0 {
+            return;
+        }
+        let k1 = (self.scheme.num_classes() - 1) as f64;
+        let mut votes = vec![0usize; self.n];
+        for (_, j, _) in lambda.iter() {
+            votes[j] += 1;
+        }
+        for j in 0..self.n {
+            let c = ((votes[j] as f64 + 0.5) / (m as f64 + 1.0)).clamp(1e-4, 1.0 - 1e-4);
+            let s = c / (1.0 - c);
+            self.w_lab[j] = (s.ln() - (self.w_acc[j].exp() + k1).ln()).clamp(-W_CLAMP, W_CLAMP);
+        }
+    }
+
+    /// Seed accuracy weights from agreement with the unweighted majority
+    /// vote: `w_j = ½ log(a_j / (1 − a_j))` where `a_j` is LF j's
+    /// agreement rate with MV on rows where both commit, shrunk toward
+    /// the prior and clamped to a moderate band so the data still
+    /// dominates.
+    fn init_acc_from_majority_vote(&mut self, lambda: &LabelMatrix, cfg: &TrainConfig) {
+        let mv = self.majority_classes(lambda);
+        let mut agree = vec![0usize; self.n];
+        let mut total = vec![0usize; self.n];
+        for i in 0..lambda.num_points() {
+            let Some(mv_class) = mv[i] else { continue };
+            let (cols, votes) = lambda.row(i);
+            for (&c, &v) in cols.iter().zip(votes) {
+                if let Some(class) = self.scheme.class_of_vote(v) {
+                    total[c as usize] += 1;
+                    if class == mv_class {
+                        agree[c as usize] += 1;
+                    }
+                }
+            }
+        }
+        for j in 0..self.n {
+            if total[j] < 5 {
+                continue; // keep the prior for LFs with no evidence
+            }
+            // Shrink toward the prior (5 pseudo-votes at the prior's
+            // implied accuracy) so tiny-coverage LFs stay near w̄.
+            let prior_acc = {
+                let e = cfg.init_acc_weight.exp();
+                e / (e + (self.scheme.num_classes() - 1) as f64)
+            };
+            let a = (agree[j] as f64 + 5.0 * prior_acc) / (total[j] as f64 + 5.0);
+            let a = a.clamp(0.05, 0.95);
+            self.w_acc[j] = (0.5 * (a / (1.0 - a)).ln()).clamp(-2.0, 3.0);
+        }
+    }
+
+    /// Full-batch exact-gradient training for the independent model.
+    fn fit_independent_exact(&mut self, lambda: &LabelMatrix, cfg: &TrainConfig) -> FitReport {
+        let m = lambda.num_points() as f64;
+        let k = self.scheme.num_classes();
+        let k1 = (k - 1) as f64;
+        let mut lr = cfg.learning_rate;
+        let mut nll = f64::INFINITY;
+
+        for _epoch in 0..cfg.epochs {
+            // Model-phase expectations (closed form, per LF).
+            let mut neg_lab = vec![0.0; self.n];
+            let mut neg_acc = vec![0.0; self.n];
+            let mut log_z_sum = 0.0;
+            for j in 0..self.n {
+                let e_lab = self.w_lab[j].exp();
+                let e_la = (self.w_lab[j] + self.w_acc[j]).exp();
+                let z = 1.0 + e_la + k1 * e_lab;
+                neg_lab[j] = (e_la + k1 * e_lab) / z;
+                neg_acc[j] = e_la / z;
+                log_z_sum += z.ln();
+            }
+
+            // Posterior-phase expectations (exact, per row).
+            let mut pos_lab = vec![0.0; self.n];
+            let mut pos_acc = vec![0.0; self.n];
+            let mut loglik = 0.0;
+            let mut scores = vec![0.0f64; k];
+            for i in 0..lambda.num_points() {
+                let (cols, votes) = lambda.row(i);
+                scores.copy_from_slice(&self.b_class);
+                let mut lab_term = 0.0;
+                for (&c, &v) in cols.iter().zip(votes) {
+                    let j = c as usize;
+                    lab_term += self.w_lab[j];
+                    if let Some(class) = self.scheme.class_of_vote(v) {
+                        scores[class] += self.w_acc[j];
+                    }
+                }
+                let lse = logsumexp(&scores);
+                loglik += lab_term + lse;
+                for (&c, &v) in cols.iter().zip(votes) {
+                    let j = c as usize;
+                    pos_lab[j] += 1.0;
+                    if let Some(class) = self.scheme.class_of_vote(v) {
+                        pos_acc[j] += (scores[class] - lse).exp();
+                    }
+                }
+            }
+            // log Z = logsumexp(b) + Σ_j ln z_j (the per-LF terms
+            // factorize and are identical for every class).
+            nll = -(loglik / m) + log_z_sum + logsumexp(&self.b_class);
+
+            // Ascent on log-likelihood.
+            for j in 0..self.n {
+                let g_lab = pos_lab[j] / m - neg_lab[j];
+                let g_acc = pos_acc[j] / m - neg_acc[j];
+                self.w_lab[j] =
+                    (self.w_lab[j] + lr * (g_lab - cfg.l2 * self.w_lab[j])).clamp(-W_CLAMP, W_CLAMP);
+                self.w_acc[j] =
+                    (self.w_acc[j] + lr * (g_acc - cfg.l2 * self.w_acc[j])).clamp(-W_CLAMP, W_CLAMP);
+                if cfg.clamp_nonadversarial && self.w_acc[j] < 0.0 {
+                    self.w_acc[j] = 0.0;
+                }
+            }
+            lr *= cfg.lr_decay;
+        }
+
+        FitReport {
+            epochs: cfg.epochs,
+            final_nll: nll,
+            used_gibbs: false,
+        }
+    }
+
+    /// Minibatch contrastive-divergence training for correlated models.
+    ///
+    /// Initialization discounts each LF's prior accuracy weight by its
+    /// strength-weighted redundancy `1 + Σ_k ρ_jk` over its correlated
+    /// partners: a cluster of near-copies carries roughly one voter's
+    /// worth of evidence, so the discount keeps it from dominating the
+    /// latent posterior before the correlation weights can explain its
+    /// coherence. Without this, Example 3.1's pathology (a large
+    /// low-accuracy correlated block out-voting a few accurate LFs) is a
+    /// local optimum the SGD cannot leave, because the block pins the
+    /// label posterior from the first epoch. Correlation weights start
+    /// at their structure-learning strengths rather than zero so the
+    /// model phase accounts for the redundancy from the first step.
+    fn fit_correlated_cd(&mut self, lambda: &LabelMatrix, cfg: &TrainConfig) -> FitReport {
+        let mut redundancy = vec![0.0f64; self.n];
+        for (p, &(a, b)) in self.corr_pairs.iter().enumerate() {
+            let s = self.corr_strength[p].min(1.5);
+            redundancy[a] += s;
+            redundancy[b] += s;
+        }
+        for j in 0..self.n {
+            self.w_acc[j] = cfg.init_acc_weight / (1.0 + redundancy[j]);
+        }
+        for p in 0..self.corr_pairs.len() {
+            self.w_corr[p] = self.corr_strength[p].min(2.0);
+        }
+
+        let m = lambda.num_points();
+        let k = self.scheme.num_classes();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut order: Vec<usize> = (0..m).collect();
+        let mut lr = cfg.cd_learning_rate;
+
+        // Dense vote buffer reused by the Gibbs chain.
+        let mut chain = vec![0 as Vote; self.n];
+        let mut scores = vec![0.0f64; k];
+
+        for _epoch in 0..cfg.cd_epochs {
+            order.shuffle(&mut rng);
+            for batch in order.chunks(cfg.batch_size) {
+                let bs = batch.len() as f64;
+                let mut g_lab = vec![0.0; self.n];
+                let mut g_acc = vec![0.0; self.n];
+                let mut g_corr = vec![0.0; self.corr_pairs.len()];
+
+                for &i in batch {
+                    let (cols, votes) = lambda.row(i);
+
+                    // Posterior phase (exact).
+                    let post = self.posterior(cols, votes);
+                    for (&c, &v) in cols.iter().zip(votes) {
+                        let j = c as usize;
+                        g_lab[j] += 1.0;
+                        if let Some(class) = self.scheme.class_of_vote(v) {
+                            g_acc[j] += post[class];
+                        }
+                    }
+
+                    // Observed correlation agreements (vote agreement
+                    // only — see the module docs on the factor).
+                    chain.iter_mut().for_each(|v| *v = 0);
+                    for (&c, &v) in cols.iter().zip(votes) {
+                        chain[c as usize] = v;
+                    }
+                    for (p, &(a, b)) in self.corr_pairs.iter().enumerate() {
+                        if chain[a] == chain[b] && chain[a] != 0 {
+                            g_corr[p] += 1.0;
+                        }
+                    }
+
+                    // Model phase: CD-k Gibbs chain from the observed row.
+                    for _sweep in 0..cfg.gibbs_steps {
+                        // Sample y' | Λ'.
+                        scores.copy_from_slice(&self.b_class);
+                        for (j, &v) in chain.iter().enumerate() {
+                            if let Some(class) = self.scheme.class_of_vote(v) {
+                                scores[class] += self.w_acc[j];
+                            }
+                        }
+                        softmax_in_place(&mut scores);
+                        let y_class = sample_categorical(&mut rng, &scores);
+                        // Sample each Λ'_j | y', Λ'_{-j}.
+                        for j in 0..self.n {
+                            chain[j] = self.sample_vote(&mut rng, j, y_class, &chain);
+                        }
+                    }
+
+                    // Subtract model-phase statistics.
+                    for (j, &v) in chain.iter().enumerate() {
+                        if v != 0 {
+                            g_lab[j] -= 1.0;
+                        }
+                        // Accuracy factor: need y'; resample once more for
+                        // an unbiased-ish pairing of (Λ', y').
+                    }
+                    scores.copy_from_slice(&self.b_class);
+                    for (j, &v) in chain.iter().enumerate() {
+                        if let Some(class) = self.scheme.class_of_vote(v) {
+                            scores[class] += self.w_acc[j];
+                        }
+                    }
+                    softmax_in_place(&mut scores);
+                    let y_final = sample_categorical(&mut rng, &scores);
+                    for (j, &v) in chain.iter().enumerate() {
+                        if let Some(class) = self.scheme.class_of_vote(v) {
+                            if class == y_final {
+                                g_acc[j] -= 1.0;
+                            }
+                        }
+                    }
+                    for (p, &(a, b)) in self.corr_pairs.iter().enumerate() {
+                        if chain[a] == chain[b] && chain[a] != 0 {
+                            g_corr[p] -= 1.0;
+                        }
+                    }
+                }
+
+                // Apply the averaged ascent step.
+                for j in 0..self.n {
+                    self.w_lab[j] = (self.w_lab[j]
+                        + lr * (g_lab[j] / bs - cfg.l2 * self.w_lab[j]))
+                        .clamp(-W_CLAMP, W_CLAMP);
+                    self.w_acc[j] = (self.w_acc[j]
+                        + lr * (g_acc[j] / bs - cfg.l2 * self.w_acc[j]))
+                        .clamp(-W_CLAMP, W_CLAMP);
+                    if cfg.clamp_nonadversarial && self.w_acc[j] < 0.0 {
+                        self.w_acc[j] = 0.0;
+                    }
+                }
+                for p in 0..self.corr_pairs.len() {
+                    self.w_corr[p] = (self.w_corr[p]
+                        + lr * (g_corr[p] / bs - cfg.l2 * self.w_corr[p]))
+                        .clamp(-W_CLAMP, W_CLAMP);
+                }
+            }
+            lr *= cfg.lr_decay;
+        }
+
+        FitReport {
+            epochs: cfg.cd_epochs,
+            final_nll: f64::NAN,
+            used_gibbs: true,
+        }
+    }
+
+    /// Sample `Λ'_j` from its conditional given the class and the other
+    /// chain entries.
+    fn sample_vote(&self, rng: &mut StdRng, j: usize, y_class: usize, chain: &[Vote]) -> Vote {
+        let k = self.scheme.num_classes();
+        // Candidate values: abstain + each class vote.
+        let mut weights = Vec::with_capacity(k + 1);
+        let mut values = Vec::with_capacity(k + 1);
+        for cand_class in std::iter::once(None).chain((0..k).map(Some)) {
+            let v = cand_class.map_or(0, |c| self.scheme.vote_of_class(c));
+            let mut s = 0.0;
+            if v != 0 {
+                s += self.w_lab[j];
+                if cand_class == Some(y_class) {
+                    s += self.w_acc[j];
+                }
+            }
+            for &(pair_idx, other) in &self.corr_adj[j] {
+                if v != 0 && v == chain[other] {
+                    s += self.w_corr[pair_idx];
+                }
+            }
+            values.push(v);
+            weights.push(s);
+        }
+        softmax_in_place(&mut weights);
+        values[sample_categorical(rng, &weights)]
+    }
+}
+
+/// Draw an index from a normalized categorical distribution.
+fn sample_categorical(rng: &mut StdRng, probs: &[f64]) -> usize {
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        acc += p;
+        if u < acc {
+            return i;
+        }
+    }
+    probs.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snorkel_matrix::LabelMatrixBuilder;
+
+    /// Plant a binary dataset: LF `j` votes with propensity `pl` and
+    /// accuracy `accs[j]`.
+    fn planted(m: usize, accs: &[f64], pl: f64, seed: u64) -> (LabelMatrix, Vec<Vote>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = LabelMatrixBuilder::new(m, accs.len());
+        let mut gold = Vec::with_capacity(m);
+        for i in 0..m {
+            let y: Vote = if rng.gen::<bool>() { 1 } else { -1 };
+            gold.push(y);
+            for (j, &acc) in accs.iter().enumerate() {
+                if rng.gen::<f64>() < pl {
+                    let v = if rng.gen::<f64>() < acc { y } else { -y };
+                    b.set(i, j, v);
+                }
+            }
+        }
+        (b.build(), gold)
+    }
+
+    #[test]
+    fn scheme_round_trips() {
+        let b = LabelScheme::Binary;
+        assert_eq!(b.class_of_vote(1), Some(0));
+        assert_eq!(b.class_of_vote(-1), Some(1));
+        assert_eq!(b.class_of_vote(0), None);
+        assert_eq!(b.vote_of_class(0), 1);
+        assert_eq!(b.vote_of_class(1), -1);
+        let m = LabelScheme::MultiClass(5);
+        for c in 0..5 {
+            assert_eq!(m.class_of_vote(m.vote_of_class(c)), Some(c));
+        }
+    }
+
+    #[test]
+    fn recovers_planted_accuracies() {
+        let accs = [0.9, 0.8, 0.7, 0.6, 0.55];
+        let (lambda, _) = planted(4000, &accs, 0.6, 7);
+        let mut gm = GenerativeModel::new(5, LabelScheme::Binary);
+        gm.fit(&lambda, &TrainConfig::default());
+        let implied = gm.implied_accuracies();
+        for (j, &a) in accs.iter().enumerate() {
+            assert!(
+                (implied[j] - a).abs() < 0.08,
+                "LF{j}: implied {:.3} vs true {a}",
+                implied[j]
+            );
+        }
+        // Ordering must be recovered exactly.
+        for j in 1..accs.len() {
+            assert!(
+                implied[j - 1] > implied[j],
+                "accuracy order violated at {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_propensity() {
+        let (lambda, _) = planted(4000, &[0.8, 0.8], 0.3, 3);
+        let mut gm = GenerativeModel::new(2, LabelScheme::Binary);
+        gm.fit(&lambda, &TrainConfig::default());
+        // P(vote) under the model = (e^{lab+acc} + e^{lab}) / z.
+        for j in 0..2 {
+            let e_lab = gm.propensity_weights()[j].exp();
+            let e_la = (gm.propensity_weights()[j] + gm.accuracy_weights()[j]).exp();
+            let z = 1.0 + e_la + e_lab;
+            let p_vote = (e_la + e_lab) / z;
+            assert!((p_vote - 0.3).abs() < 0.05, "propensity {p_vote:.3}");
+        }
+    }
+
+    #[test]
+    fn example_1_1_conflict_resolution() {
+        // High-accuracy source vs low-accuracy source (paper Example
+        // 1.1): after fitting, a conflict resolves toward the stronger
+        // source. A third source is needed for identifiability — with
+        // only two conditionally independent voters, the marginal
+        // likelihood depends only on their agreement rate (the classical
+        // Dawid-Skene two-view ambiguity), so individual accuracies
+        // cannot be recovered.
+        let (lambda, _) = planted(3000, &[0.9, 0.6, 0.75], 0.8, 11);
+        let mut gm = GenerativeModel::new(3, LabelScheme::Binary);
+        gm.fit(&lambda, &TrainConfig::default());
+        let post = gm.posterior(&[0, 1], &[1, -1]); // sources 0 and 1 disagree
+        assert!(
+            post[0] > 0.6,
+            "posterior must side with the accurate source, got {:.3}",
+            post[0]
+        );
+    }
+
+    #[test]
+    fn posterior_uniform_without_votes() {
+        let gm = GenerativeModel::new(3, LabelScheme::Binary);
+        let post = gm.posterior(&[], &[]);
+        assert!((post[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginals_and_hard_labels() {
+        let (lambda, gold) = planted(1500, &[0.85, 0.85, 0.85], 0.9, 5);
+        let mut gm = GenerativeModel::new(3, LabelScheme::Binary);
+        gm.fit(&lambda, &TrainConfig::default());
+        let probs = gm.prob_positive(&lambda);
+        assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        let preds = gm.predicted_labels(&lambda);
+        let acc = crate::vote::vote_accuracy(&preds, &gold);
+        assert!(acc > 0.9, "posterior MAP accuracy {acc:.3}");
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let (lambda, _) = planted(500, &[0.8, 0.7], 0.5, 2);
+        let mut a = GenerativeModel::new(2, LabelScheme::Binary);
+        let mut b = GenerativeModel::new(2, LabelScheme::Binary);
+        a.fit(&lambda, &TrainConfig::default());
+        b.fit(&lambda, &TrainConfig::default());
+        assert_eq!(a.accuracy_weights(), b.accuracy_weights());
+    }
+
+    #[test]
+    fn example_3_1_correlation_correction() {
+        // 5 perfectly correlated LFs at 50% accuracy + 2 independent LFs
+        // at 95%: the independent model over-trusts the correlated block;
+        // modeling the correlations restores the good LFs' dominance.
+        let m = 2000;
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 7;
+        let mut b = LabelMatrixBuilder::new(m, n);
+        let mut gold = Vec::new();
+        for i in 0..m {
+            let y: Vote = if rng.gen::<bool>() { 1 } else { -1 };
+            gold.push(y);
+            // Correlated block: one coin flip copied to LFs 0..5.
+            let block_vote: Vote = if rng.gen::<f64>() < 0.5 { y } else { -y };
+            for j in 0..5 {
+                b.set(i, j, block_vote);
+            }
+            for j in 5..7 {
+                if rng.gen::<f64>() < 0.95 {
+                    b.set(i, j, y);
+                } else {
+                    b.set(i, j, -y);
+                }
+            }
+        }
+        let lambda = b.build();
+
+        let mut indep = GenerativeModel::new(n, LabelScheme::Binary);
+        indep.fit(&lambda, &TrainConfig::default());
+
+        let pairs: Vec<(usize, usize)> = (0..5)
+            .flat_map(|a| ((a + 1)..5).map(move |b| (a, b)))
+            .collect();
+        let mut corr = GenerativeModel::new(n, LabelScheme::Binary).with_correlations(&pairs);
+        corr.fit(&lambda, &TrainConfig::default());
+
+        // Under the correlated model, a conflict of (block says +1,
+        // good LFs say −1) must resolve toward the good LFs.
+        let cols: Vec<u32> = (0..7).collect();
+        let votes: Vec<Vote> = vec![1, 1, 1, 1, 1, -1, -1];
+        let post_corr = corr.posterior(&cols, &votes);
+        assert!(
+            post_corr[1] > 0.5,
+            "correlated model must trust the independent accurate LFs, p(-1) = {:.3}",
+            post_corr[1]
+        );
+        // And it must do better than the independent model does.
+        let post_indep = indep.posterior(&cols, &votes);
+        assert!(
+            post_corr[1] > post_indep[1] - 0.05,
+            "corr {:.3} vs indep {:.3}",
+            post_corr[1],
+            post_indep[1]
+        );
+        // Learned correlation weights on the block must be positive.
+        let mean_corr: f64 =
+            corr.correlation_weights().iter().sum::<f64>() / corr.correlation_weights().len() as f64;
+        assert!(mean_corr > 0.1, "mean correlation weight {mean_corr:.3}");
+    }
+
+    #[test]
+    fn multiclass_posterior_and_recovery() {
+        let k = 3u8;
+        let scheme = LabelScheme::MultiClass(k);
+        let mut rng = StdRng::seed_from_u64(21);
+        let m = 3000;
+        let accs = [0.85, 0.7, 0.55];
+        let mut b = LabelMatrixBuilder::with_cardinality(m, 3, k);
+        for i in 0..m {
+            let y = rng.gen_range(0..k as usize);
+            for (j, &acc) in accs.iter().enumerate() {
+                if rng.gen::<f64>() < 0.7 {
+                    let class = if rng.gen::<f64>() < acc {
+                        y
+                    } else {
+                        // Uniform error over the other classes.
+                        let mut c = rng.gen_range(0..(k as usize - 1));
+                        if c >= y {
+                            c += 1;
+                        }
+                        c
+                    };
+                    b.set(i, j, scheme.vote_of_class(class));
+                }
+            }
+        }
+        let lambda = b.build();
+        let mut gm = GenerativeModel::new(3, scheme);
+        gm.fit(&lambda, &TrainConfig::default());
+        let implied = gm.implied_accuracies();
+        assert!(implied[0] > implied[1] && implied[1] > implied[2]);
+        assert!((implied[0] - 0.85).abs() < 0.1, "implied {:.3}", implied[0]);
+        let post = gm.posterior(&[0], &[scheme.vote_of_class(2)]);
+        assert!((post.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(post[2] > post[0]);
+    }
+
+    #[test]
+    fn clamp_nonadversarial_floors_weights() {
+        // An adversarial LF (accuracy 20%) gets a negative weight when
+        // two accurate LFs pin down the labels; the clamp keeps it at
+        // zero instead.
+        let (lambda, _) = planted(2000, &[0.9, 0.85, 0.2], 0.8, 17);
+        let mut gm = GenerativeModel::new(3, LabelScheme::Binary);
+        let cfg = TrainConfig {
+            clamp_nonadversarial: true,
+            ..TrainConfig::default()
+        };
+        gm.fit(&lambda, &cfg);
+        assert!(gm.accuracy_weights()[2] >= 0.0);
+
+        let mut free = GenerativeModel::new(3, LabelScheme::Binary);
+        free.fit(&lambda, &TrainConfig::default());
+        assert!(
+            free.accuracy_weights()[2] < 0.0,
+            "unclamped fit must detect the adversarial LF, got {:?}",
+            free.accuracy_weights()
+        );
+    }
+
+    #[test]
+    fn empty_matrix_fit_is_noop() {
+        let lambda = LabelMatrixBuilder::new(0, 2).build();
+        let mut gm = GenerativeModel::new(2, LabelScheme::Binary);
+        let report = gm.fit(&lambda, &TrainConfig::default());
+        assert_eq!(report.epochs, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_correlation_pair_panics() {
+        let _ = GenerativeModel::new(2, LabelScheme::Binary).with_correlations(&[(0, 5)]);
+    }
+
+    #[test]
+    fn duplicate_pairs_deduplicated() {
+        let gm = GenerativeModel::new(3, LabelScheme::Binary)
+            .with_correlations(&[(0, 1), (1, 0), (0, 1), (1, 2)]);
+        assert_eq!(gm.correlations(), &[(0, 1), (1, 2)]);
+    }
+}

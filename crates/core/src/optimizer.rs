@@ -1,0 +1,324 @@
+//! The modeling-strategy optimizer (paper §3.1.2–§3.2.2, Algorithm 1).
+//!
+//! Two decisions are automated, both from the label matrix alone:
+//!
+//! 1. **Model accuracies at all, or just take the majority vote?** The
+//!    advantage upper bound `A~*(Λ)` (Proposition 2) estimates the most
+//!    the generative model could gain over MV; below the user's
+//!    advantage tolerance γ, training is skipped entirely — the paper
+//!    measures a 1.8× pipeline speedup on Chem from this branch.
+//! 2. **Which correlations to model?** Structure learning is swept over
+//!    a grid of thresholds ε; the *elbow point* of the `|C(ε)|` curve —
+//!    the last ε before the selection count explodes — balances
+//!    predictive gains against the (linear in `|C|`) Gibbs cost.
+
+use snorkel_linalg::math::sigmoid;
+use snorkel_matrix::LabelMatrix;
+
+use crate::structure::{structure_sweep, StructureConfig};
+use crate::vote::weighted_scores;
+
+/// The optimizer's output: how to model this label matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ModelingStrategy {
+    /// Skip generative training; use the unweighted majority vote.
+    MajorityVote,
+    /// Train a generative model with the given correlation structure.
+    GenerativeModel {
+        /// Selected structure threshold ε (0 when no sweep ran).
+        epsilon: f64,
+        /// LF pairs to model as correlated.
+        correlations: Vec<(usize, usize)>,
+        /// Fitted correlation strengths (parallel to `correlations`).
+        strengths: Vec<f64>,
+    },
+}
+
+/// Optimizer hyperparameters; defaults follow the paper (footnote 8:
+/// `(w_min, w̄, w_max) = (0.5, 1.0, 1.5)`, i.e. LF accuracies assumed in
+/// 62%–82% with mean 73%).
+#[derive(Clone, Debug)]
+pub struct OptimizerConfig {
+    /// Advantage tolerance γ: predicted advantages below this select MV.
+    pub gamma: f64,
+    /// Structure-search resolution η: ε grid spacing.
+    pub eta: f64,
+    /// Assumed minimum LF accuracy weight.
+    pub w_min: f64,
+    /// Assumed mean LF accuracy weight.
+    pub w_mean: f64,
+    /// Assumed maximum LF accuracy weight.
+    pub w_max: f64,
+    /// Skip the ε sweep entirely (independent model) — used when the
+    /// caller knows the suite is uncorrelated or wants the fast path.
+    pub skip_structure_search: bool,
+    /// Structure-learning settings for the sweep.
+    pub structure: StructureConfig,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            gamma: 0.01,
+            eta: 0.02,
+            w_min: 0.5,
+            w_mean: 1.0,
+            w_max: 1.5,
+            skip_structure_search: false,
+            structure: StructureConfig::default(),
+        }
+    }
+}
+
+/// The optimizer's decision plus its evidence.
+#[derive(Clone, Debug)]
+pub struct StrategyDecision {
+    /// The chosen strategy.
+    pub strategy: ModelingStrategy,
+    /// The predicted advantage upper bound `A~*(Λ)`.
+    pub predicted_advantage: f64,
+    /// The swept `(ε, |C(ε)|)` curve (empty when the sweep was skipped).
+    pub sweep: Vec<(f64, usize)>,
+}
+
+/// Proposition 2's upper bound `A~*(Λ)` on the conditional modeling
+/// advantage:
+///
+/// ```text
+/// A~*(Λ) = (1/m) Σ_i Σ_{y∈±1} 1{y·f_1(Λ_i) ≤ 0} · Φ(Λ_i, y) · σ(2 f_w̄(Λ_i) y)
+/// Φ(Λ_i, y) = 1{c_y(Λ_i) w_max > c_{−y}(Λ_i) w_min}
+/// ```
+///
+/// `c_y` counts votes for label `y`; `f_w̄` is the majority vote with all
+/// weights at the prior mean. Binary scheme only (the optimizer's
+/// tradeoff analysis is stated for binary tasks).
+pub fn advantage_upper_bound(lambda: &LabelMatrix, cfg: &OptimizerConfig) -> f64 {
+    assert!(lambda.is_binary(), "advantage bound: binary scheme only");
+    let m = lambda.num_points();
+    if m == 0 {
+        return 0.0;
+    }
+    let f1 = weighted_scores(lambda, &vec![1.0; lambda.num_lfs()]);
+    let mut total = 0.0;
+    for i in 0..m {
+        let (_, votes) = lambda.row(i);
+        let c_pos = votes.iter().filter(|&&v| v == 1).count() as f64;
+        let c_neg = votes.iter().filter(|&&v| v == -1).count() as f64;
+        let f_mean = cfg.w_mean * (c_pos - c_neg);
+        for y in [-1.0f64, 1.0] {
+            if y * f1[i] > 0.0 {
+                continue; // MV already right for this hypothesis
+            }
+            let (c_y, c_other) = if y > 0.0 { (c_pos, c_neg) } else { (c_neg, c_pos) };
+            let phi = c_y * cfg.w_max > c_other * cfg.w_min;
+            if !phi {
+                continue;
+            }
+            total += sigmoid(2.0 * f_mean * y);
+        }
+    }
+    total / m as f64
+}
+
+/// Find the elbow of the `(ε, |C|)` curve — per the paper, "the point
+/// with greatest absolute difference from its neighbors": the interior
+/// index maximizing `|c_i − c_{i−1}| + |c_i − c_{i+1}|`. Input must be
+/// sorted by descending ε; returns an index into `sweep`.
+pub fn elbow_point(sweep: &[(f64, usize)]) -> usize {
+    if sweep.len() <= 2 {
+        return 0;
+    }
+    let mut best_idx = 1usize;
+    let mut best_diff = -1i64;
+    for i in 1..sweep.len() - 1 {
+        let c_prev = sweep[i - 1].1 as i64;
+        let c_here = sweep[i].1 as i64;
+        let c_next = sweep[i + 1].1 as i64;
+        let diff = (c_here - c_prev).abs() + (c_here - c_next).abs();
+        if diff > best_diff {
+            best_diff = diff;
+            best_idx = i;
+        }
+    }
+    best_idx
+}
+
+/// Algorithm 1: choose a modeling strategy for a label matrix.
+pub fn choose_strategy(lambda: &LabelMatrix, cfg: &OptimizerConfig) -> StrategyDecision {
+    let predicted = advantage_upper_bound(lambda, cfg);
+    if predicted < cfg.gamma {
+        return StrategyDecision {
+            strategy: ModelingStrategy::MajorityVote,
+            predicted_advantage: predicted,
+            sweep: Vec::new(),
+        };
+    }
+    if cfg.skip_structure_search {
+        return StrategyDecision {
+            strategy: ModelingStrategy::GenerativeModel {
+                epsilon: 0.0,
+                correlations: Vec::new(),
+                strengths: Vec::new(),
+            },
+            predicted_advantage: predicted,
+            sweep: Vec::new(),
+        };
+    }
+
+    // ε grid: i·η for i = 1 .. 1/(2η), descending so the elbow scan sees
+    // the count explode left to right.
+    let steps = ((1.0 / (2.0 * cfg.eta)).floor() as usize).max(1);
+    let mut epsilons: Vec<f64> = (1..=steps).map(|i| i as f64 * cfg.eta).collect();
+    epsilons.reverse();
+
+    let sweep_full = structure_sweep(lambda, &epsilons, &cfg.structure);
+    let sweep: Vec<(f64, usize)> = sweep_full.iter().map(|(e, c, _)| (*e, *c)).collect();
+    let elbow = elbow_point(&sweep);
+    let (eps, _, report) = &sweep_full[elbow];
+
+    StrategyDecision {
+        strategy: ModelingStrategy::GenerativeModel {
+            epsilon: *eps,
+            correlations: report.pairs.clone(),
+            strengths: report.weights.clone(),
+        },
+        predicted_advantage: predicted,
+        sweep,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use snorkel_matrix::{LabelMatrixBuilder, Vote};
+
+    fn planted(m: usize, accs: &[f64], pl: f64, seed: u64) -> (LabelMatrix, Vec<Vote>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = LabelMatrixBuilder::new(m, accs.len());
+        let mut gold = Vec::with_capacity(m);
+        for i in 0..m {
+            let y: Vote = if rng.gen::<bool>() { 1 } else { -1 };
+            gold.push(y);
+            for (j, &acc) in accs.iter().enumerate() {
+                if rng.gen::<f64>() < pl {
+                    b.set(i, j, if rng.gen::<f64>() < acc { y } else { -y });
+                }
+            }
+        }
+        (b.build(), gold)
+    }
+
+    #[test]
+    fn bound_dominates_true_advantage() {
+        // Proposition 2: A~* must upper-bound the realized advantage of
+        // the optimally-weighted vote (weights from true accuracies).
+        for seed in 0..5 {
+            let accs = [0.9, 0.8, 0.65, 0.6, 0.55];
+            let (lambda, gold) = planted(2000, &accs, 0.4, seed);
+            let w_star: Vec<f64> = accs
+                .iter()
+                .map(|&a| 0.5 * (a / (1.0 - a)).ln())
+                .collect();
+            let adv = crate::vote::modeling_advantage(&lambda, &w_star, &gold);
+            let bound = advantage_upper_bound(&lambda, &OptimizerConfig::default());
+            assert!(
+                bound + 1e-9 >= adv,
+                "seed {seed}: bound {bound:.4} < advantage {adv:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn low_density_chooses_mv() {
+        // One vote per point on average, no conflicts to exploit.
+        let (lambda, _) = planted(2000, &[0.75, 0.75, 0.75], 0.05, 1);
+        let d = choose_strategy(&lambda, &OptimizerConfig::default());
+        assert_eq!(d.strategy, ModelingStrategy::MajorityVote);
+        assert!(d.predicted_advantage < 0.01);
+    }
+
+    #[test]
+    fn mid_density_chooses_gm() {
+        let accs = [0.9, 0.85, 0.7, 0.6, 0.55, 0.55];
+        let (lambda, _) = planted(2000, &accs, 0.4, 2);
+        let cfg = OptimizerConfig {
+            skip_structure_search: true,
+            ..OptimizerConfig::default()
+        };
+        let d = choose_strategy(&lambda, &cfg);
+        assert!(matches!(d.strategy, ModelingStrategy::GenerativeModel { .. }));
+        assert!(d.predicted_advantage >= 0.01);
+    }
+
+    #[test]
+    fn unanimous_high_density_bounds_small() {
+        // 20 identical-accuracy high-density LFs: MV is near optimal, and
+        // the bound should reflect a modest possible advantage.
+        let accs = vec![0.8; 20];
+        let (lambda, _) = planted(1000, &accs, 0.9, 3);
+        let bound = advantage_upper_bound(&lambda, &OptimizerConfig::default());
+        let sparse = planted(1000, &vec![0.8; 5], 0.4, 3).0;
+        let sparse_bound = advantage_upper_bound(&sparse, &OptimizerConfig::default());
+        assert!(
+            bound < sparse_bound,
+            "high density bound {bound:.4} should be below mid-density {sparse_bound:.4}"
+        );
+    }
+
+    #[test]
+    fn elbow_detects_explosion() {
+        // Descending ε, counts exploding at the tail: the point whose
+        // neighbor differences are largest is index 3 (|40−2| + |40−300|).
+        let sweep = vec![(0.5, 0), (0.4, 1), (0.3, 2), (0.2, 40), (0.1, 300)];
+        assert_eq!(elbow_point(&sweep), 3);
+        // Degenerate cases.
+        assert_eq!(elbow_point(&[(0.5, 0)]), 0);
+        assert_eq!(elbow_point(&[]), 0);
+    }
+
+    #[test]
+    fn full_algorithm_with_correlated_suite() {
+        // Duplicated LFs at mid density: expect GM with the duplicate
+        // pair selected at the chosen ε.
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut b = LabelMatrixBuilder::new(1500, 5);
+        for i in 0..1500 {
+            let y: Vote = if rng.gen::<bool>() { 1 } else { -1 };
+            let mut v0 = 0;
+            for j in 0..4 {
+                if rng.gen::<f64>() < 0.5 {
+                    let v = if rng.gen::<f64>() < 0.75 { y } else { -y };
+                    b.set(i, j, v);
+                    if j == 0 {
+                        v0 = v;
+                    }
+                }
+            }
+            if v0 != 0 {
+                b.set(i, 4, v0); // duplicate of LF 0
+            }
+        }
+        let lambda = b.build();
+        let d = choose_strategy(&lambda, &OptimizerConfig::default());
+        match &d.strategy {
+            ModelingStrategy::GenerativeModel { correlations, .. } => {
+                assert!(
+                    correlations.contains(&(0, 4)),
+                    "duplicate pair not selected: {correlations:?}"
+                );
+            }
+            other => panic!("expected GM, got {other:?}"),
+        }
+        assert!(!d.sweep.is_empty());
+    }
+
+    #[test]
+    fn empty_matrix_is_mv() {
+        let lambda = LabelMatrixBuilder::new(0, 3).build();
+        let d = choose_strategy(&lambda, &OptimizerConfig::default());
+        assert_eq!(d.strategy, ModelingStrategy::MajorityVote);
+        assert_eq!(d.predicted_advantage, 0.0);
+    }
+}

@@ -1,0 +1,293 @@
+//! End-to-end label-generation pipeline with wall-clock instrumentation.
+//!
+//! `labeling functions → Λ → strategy choice → (structure, generative
+//! model | majority vote) → probabilistic labels Ỹ`.
+//!
+//! This is the loop the paper's users run on every LF edit, and the unit
+//! the §3 timing claims are about: skipping generative training when the
+//! optimizer picks MV sped pipelines up 1.8×, and stopping the ε sweep
+//! at the elbow saved up to 61% of training time. The [`PipelineReport`]
+//! exposes per-stage timings so the bench harness can regenerate those
+//! numbers.
+
+use std::time::{Duration, Instant};
+
+use snorkel_context::{CandidateId, Corpus};
+use snorkel_lf::{BoxedLf, LfExecutor};
+use snorkel_matrix::LabelMatrix;
+
+use crate::model::{GenerativeModel, LabelScheme, TrainConfig};
+use crate::optimizer::{choose_strategy, ModelingStrategy, OptimizerConfig};
+use crate::vote::majority_vote;
+
+/// Pipeline configuration.
+#[derive(Clone, Debug, Default)]
+pub struct PipelineConfig {
+    /// Optimizer settings (Algorithm 1).
+    pub optimizer: OptimizerConfig,
+    /// Generative-model training settings.
+    pub train: TrainConfig,
+    /// LF executor (parallelism, cardinality).
+    pub executor: LfExecutor,
+    /// Force a strategy instead of running the optimizer (ablations).
+    pub force_strategy: Option<ModelingStrategy>,
+}
+
+/// Per-stage wall-clock timings.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PipelineTimings {
+    /// Applying the LF suite.
+    pub lf_application: Duration,
+    /// Optimizer: advantage bound + structure sweep.
+    pub strategy_selection: Duration,
+    /// Generative-model training (zero when MV was chosen).
+    pub training: Duration,
+    /// Whole pipeline.
+    pub total: Duration,
+}
+
+/// Everything the pipeline produced besides the labels themselves.
+#[derive(Clone, Debug)]
+pub struct PipelineReport {
+    /// The strategy that produced the labels.
+    pub strategy: ModelingStrategy,
+    /// Predicted advantage bound A~* (0 when forced).
+    pub predicted_advantage: f64,
+    /// Label density of Λ.
+    pub label_density: f64,
+    /// Stage timings.
+    pub timings: PipelineTimings,
+    /// The fitted model (None when MV was chosen).
+    pub model: Option<GenerativeModel>,
+}
+
+/// The staged pipeline: build once, then run against label matrices as
+/// LFs evolve.
+#[derive(Clone, Debug, Default)]
+pub struct Pipeline {
+    /// Configuration used for every run.
+    pub config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// A pipeline with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        Pipeline { config }
+    }
+
+    /// Run from raw candidates: apply LFs, then model. Returns per-class
+    /// probabilistic labels (`labels[i][class]`) and the report.
+    pub fn run(
+        &self,
+        lfs: &[BoxedLf],
+        corpus: &Corpus,
+        candidates: &[CandidateId],
+    ) -> (Vec<Vec<f64>>, PipelineReport) {
+        let t0 = Instant::now();
+        let lambda = self.config.executor.apply(lfs, corpus, candidates);
+        let lf_time = t0.elapsed();
+        let (labels, mut report) = self.run_from_matrix(&lambda);
+        report.timings.lf_application = lf_time;
+        report.timings.total += lf_time;
+        (labels, report)
+    }
+
+    /// Run from an existing label matrix (LF outputs are cached across
+    /// development iterations in practice).
+    pub fn run_from_matrix(&self, lambda: &LabelMatrix) -> (Vec<Vec<f64>>, PipelineReport) {
+        let scheme = LabelScheme::from_cardinality(lambda.cardinality());
+        let k = scheme.num_classes();
+        let t0 = Instant::now();
+
+        let (strategy, predicted) = match &self.config.force_strategy {
+            Some(s) => (s.clone(), 0.0),
+            None => {
+                if lambda.is_binary() {
+                    let d = choose_strategy(lambda, &self.config.optimizer);
+                    (d.strategy, d.predicted_advantage)
+                } else {
+                    // The advantage analysis is binary; multi-class tasks
+                    // (e.g. Crowd) always train the generative model.
+                    (
+                        ModelingStrategy::GenerativeModel {
+                            epsilon: 0.0,
+                            correlations: Vec::new(),
+                            strengths: Vec::new(),
+                        },
+                        f64::NAN,
+                    )
+                }
+            }
+        };
+        let strategy_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let (labels, model) = match &strategy {
+            ModelingStrategy::MajorityVote => {
+                let mv = majority_vote(lambda);
+                let labels = mv
+                    .into_iter()
+                    .map(|v| match scheme.class_of_vote(v) {
+                        Some(class) => {
+                            let mut row = vec![0.0; k];
+                            row[class] = 1.0;
+                            row
+                        }
+                        None => vec![1.0 / k as f64; k], // tie/empty → uniform
+                    })
+                    .collect();
+                (labels, None)
+            }
+            ModelingStrategy::GenerativeModel {
+                correlations,
+                strengths,
+                ..
+            } => {
+                let mut gm = GenerativeModel::new(lambda.num_lfs(), scheme)
+                    .with_weighted_correlations(correlations, strengths);
+                gm.fit(lambda, &self.config.train);
+                (gm.marginals(lambda), Some(gm))
+            }
+        };
+        let training_time = t1.elapsed();
+
+        let report = PipelineReport {
+            strategy,
+            predicted_advantage: predicted,
+            label_density: lambda.label_density(),
+            timings: PipelineTimings {
+                lf_application: Duration::ZERO,
+                strategy_selection: strategy_time,
+                training: training_time,
+                total: strategy_time + training_time,
+            },
+            model,
+        };
+        (labels, report)
+    }
+}
+
+/// One-call convenience: run the default pipeline over a matrix.
+pub fn run_pipeline(lambda: &LabelMatrix) -> (Vec<Vec<f64>>, PipelineReport) {
+    Pipeline::default().run_from_matrix(lambda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use snorkel_matrix::{LabelMatrixBuilder, Vote};
+
+    fn planted(m: usize, accs: &[f64], pl: f64, seed: u64) -> (LabelMatrix, Vec<Vote>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = LabelMatrixBuilder::new(m, accs.len());
+        let mut gold = Vec::with_capacity(m);
+        for i in 0..m {
+            let y: Vote = if rng.gen::<bool>() { 1 } else { -1 };
+            gold.push(y);
+            for (j, &acc) in accs.iter().enumerate() {
+                if rng.gen::<f64>() < pl {
+                    b.set(i, j, if rng.gen::<f64>() < acc { y } else { -y });
+                }
+            }
+        }
+        (b.build(), gold)
+    }
+
+    #[test]
+    fn gm_path_produces_calibratedish_labels() {
+        let (lambda, gold) = planted(2000, &[0.9, 0.8, 0.7, 0.6], 0.5, 1);
+        let cfg = PipelineConfig {
+            optimizer: OptimizerConfig {
+                skip_structure_search: true,
+                ..OptimizerConfig::default()
+            },
+            ..PipelineConfig::default()
+        };
+        let (labels, report) = Pipeline::new(cfg).run_from_matrix(&lambda);
+        assert!(matches!(
+            report.strategy,
+            ModelingStrategy::GenerativeModel { .. }
+        ));
+        assert!(report.model.is_some());
+        assert_eq!(labels.len(), 2000);
+        // Probabilistic labels should beat coin-flipping on gold.
+        let acc: f64 = labels
+            .iter()
+            .zip(&gold)
+            .map(|(l, &g)| {
+                let pred: Vote = if l[0] > 0.5 { 1 } else { -1 };
+                (pred == g) as u8 as f64
+            })
+            .sum::<f64>()
+            / 2000.0;
+        assert!(acc > 0.8, "pipeline label accuracy {acc:.3}");
+    }
+
+    #[test]
+    fn mv_path_skips_training() {
+        let (lambda, _) = planted(1000, &[0.75, 0.75], 0.05, 2);
+        let (labels, report) = run_pipeline(&lambda);
+        assert_eq!(report.strategy, ModelingStrategy::MajorityVote);
+        assert!(report.model.is_none());
+        assert!(report.timings.training < report.timings.total);
+        // Uniform rows where nothing voted.
+        assert!(labels.iter().any(|l| (l[0] - 0.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn forced_strategy_bypasses_optimizer() {
+        let (lambda, _) = planted(500, &[0.8, 0.8, 0.8], 0.5, 3);
+        let cfg = PipelineConfig {
+            force_strategy: Some(ModelingStrategy::MajorityVote),
+            ..PipelineConfig::default()
+        };
+        let (_, report) = Pipeline::new(cfg).run_from_matrix(&lambda);
+        assert_eq!(report.strategy, ModelingStrategy::MajorityVote);
+    }
+
+    #[test]
+    fn mv_is_faster_than_gm_on_same_matrix() {
+        // The §3.1.2 speedup claim in miniature: forcing MV must beat
+        // forcing GM on wall clock.
+        let (lambda, _) = planted(3000, &[0.8; 10], 0.3, 4);
+        let mv_cfg = PipelineConfig {
+            force_strategy: Some(ModelingStrategy::MajorityVote),
+            ..PipelineConfig::default()
+        };
+        let gm_cfg = PipelineConfig {
+            force_strategy: Some(ModelingStrategy::GenerativeModel {
+                epsilon: 0.0,
+                correlations: Vec::new(),
+                strengths: Vec::new(),
+            }),
+            ..PipelineConfig::default()
+        };
+        let (_, mv_report) = Pipeline::new(mv_cfg).run_from_matrix(&lambda);
+        let (_, gm_report) = Pipeline::new(gm_cfg).run_from_matrix(&lambda);
+        assert!(mv_report.timings.total < gm_report.timings.total);
+    }
+
+    #[test]
+    fn multiclass_always_trains_gm() {
+        let mut b = LabelMatrixBuilder::with_cardinality(50, 3, 5);
+        let mut rng = StdRng::seed_from_u64(5);
+        for i in 0..50 {
+            for j in 0..3 {
+                if rng.gen::<f64>() < 0.8 {
+                    b.set(i, j, rng.gen_range(1..=5));
+                }
+            }
+        }
+        let (labels, report) = run_pipeline(&b.build());
+        assert!(matches!(
+            report.strategy,
+            ModelingStrategy::GenerativeModel { .. }
+        ));
+        assert_eq!(labels[0].len(), 5);
+        for row in &labels {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! The Chemical-Disease Relation task (paper §4.1.1, BioCreative V CDR).
+//!
+//! Candidates are co-occurring (chemical, disease) mention pairs; the
+//! positive class is a causal link. The synthetic corpus mirrors the
+//! real task's shape: 33 labeling functions — text patterns, distant
+//! supervision from a CTD-like knowledge base whose subsets ("Causes",
+//! "Treats", …) have different accuracy/coverage (Example 2.4), context-
+//! hierarchy heuristics, and thresholded weak classifiers — with ~24.6%
+//! positives and label density around 1.8 (Tables 1–2).
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use snorkel_lf::{
+    lf, ontology_lfs, BoxedLf, KeywordBetweenLf, KnowledgeBase, PatternLf, ThresholdLf,
+};
+
+use crate::names::NamePool;
+use crate::task::{
+    build_relation_corpus, noisy_kb_subset, split_rows, LfType, RelationCorpusSpec, RelationTask,
+    TaskConfig,
+};
+
+const POS_TEMPLATES: &[&str] = &[
+    "{A} causes {B} in a subset of patients.",
+    "Administration of {A} induced severe {B}.",
+    "High doses of {A} caused transient {B}.",
+    "{A} treatment resulted in {B} within weeks.",
+    "{B} developed after {A} exposure.",
+    "Cases of {B} following {A} therapy were documented.",
+    "Exposure to {A} was linked to {B} in the trial.",
+    "{B} was attributed to {A} toxicity.",
+    "{B} was caused by prolonged {A} infusion.",
+    "Chronic {A} use may aggravate {B}.",
+    "{A} was administered daily and the patient subsequently developed {B}.",
+];
+
+const NEG_TEMPLATES: &[&str] = &[
+    "{A} is used to treat {B} effectively.",
+    "{A} therapy improved {B} symptoms markedly.",
+    "Patients with {B} received {A} during admission.",
+    "{A} had no effect on {B} severity.",
+    "{A} and {B} were discussed in the review.",
+    "{B} was managed before {A} administration began.",
+    "{A} prevented recurrence of {B} in most cases.",
+    "Screening for {B} preceded {A} dosing.",
+    "{A} was evaluated in the management plan for chronic refractory {B}.",
+];
+
+const FILLER: &[&str] = &[
+    "The cohort was followed for two years.",
+    "Laboratory values remained within normal limits.",
+    "Informed consent was obtained from all participants.",
+    "The study was approved by the review board.",
+    "Baseline characteristics were balanced across arms.",
+];
+
+/// Build the CDR task.
+pub fn build(cfg: TaskConfig) -> RelationTask {
+    let mut pool = NamePool::new(cfg.seed.wrapping_add(0xCD2));
+    let spec = RelationCorpusSpec {
+        type_a: "Chemical",
+        type_b: "Disease",
+        entities_a: pool.chemicals(60),
+        entities_b: pool.diseases(60),
+        // Base rate below Table 2's 24.6% because positive-pair repeats
+        // (repeat_pair_rate) add extra positive candidates.
+        pos_rate: 0.185,
+        pos_templates: POS_TEMPLATES.to_vec(),
+        neg_templates: NEG_TEMPLATES.to_vec(),
+        filler: FILLER.to_vec(),
+        template_flip: 0.12,
+        sentences_per_doc: (4, 10),
+        filler_rate: 0.25,
+        relation_density: 0.06,
+        symmetric: false,
+        ambig_templates: vec![],
+        ambig_rate: 0.0,
+        style_cue: None,
+        repeat_pair_rate: 0.18,
+    };
+    let gen = build_relation_corpus(&spec, cfg.num_candidates, cfg.seed.wrapping_add(1));
+
+    // CTD-like KB. Per the paper's protocol, the usable KB reflects only
+    // about half of the true relations (they removed half of CTD and
+    // evaluated on held-out candidates), so subset recalls are ≤ 0.5.
+    let mut kb_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(2));
+    let mut kb = KnowledgeBase::new("ctd");
+    let (ea, eb) = (&spec.entities_a, &spec.entities_b);
+    noisy_kb_subset(&mut kb, "Causes_curated", &gen.relations, ea, eb, 0.35, 6, &mut kb_rng);
+    noisy_kb_subset(&mut kb, "Causes_inferred", &gen.relations, ea, eb, 0.5, 60, &mut kb_rng);
+    noisy_kb_subset(&mut kb, "Marker", &gen.relations, ea, eb, 0.25, 40, &mut kb_rng);
+    // Treats/Therapy/Unrelated: mostly non-causal pairs (negative signal).
+    noisy_kb_subset(&mut kb, "Treats_curated", &gen.relations, ea, eb, 0.02, 60, &mut kb_rng);
+    noisy_kb_subset(&mut kb, "Treats_inferred", &gen.relations, ea, eb, 0.05, 150, &mut kb_rng);
+    noisy_kb_subset(&mut kb, "Therapy", &gen.relations, ea, eb, 0.02, 80, &mut kb_rng);
+    noisy_kb_subset(&mut kb, "Prevents", &gen.relations, ea, eb, 0.03, 50, &mut kb_rng);
+    noisy_kb_subset(&mut kb, "Unrelated", &gen.relations, ea, eb, 0.08, 120, &mut kb_rng);
+    let kb = Arc::new(kb);
+
+    let (lfs, lf_types) = build_lfs(&kb);
+    let (train, dev, test) = split_rows(
+        gen.candidates.len(),
+        0.065, // Table 7 proportions: 888 / 13780
+        0.335, // 4620 / 13780
+        cfg.seed.wrapping_add(3),
+    );
+
+    RelationTask {
+        name: "CDR".to_string(),
+        corpus: gen.corpus,
+        candidates: gen.candidates,
+        gold: gen.gold,
+        train,
+        dev,
+        test,
+        lfs,
+        lf_types,
+        kb: Some(kb),
+        relations: gen.relations,
+    }
+}
+
+/// The 33-LF suite (15 pattern, 8 distant supervision, 6 structure,
+/// 4 weak classifiers).
+fn build_lfs(kb: &Arc<KnowledgeBase>) -> (Vec<BoxedLf>, Vec<LfType>) {
+    let mut lfs: Vec<BoxedLf> = Vec::with_capacity(33);
+    let mut types = Vec::with_capacity(33);
+    let push = |lf: BoxedLf, t: LfType, lfs: &mut Vec<BoxedLf>, types: &mut Vec<LfType>| {
+        lfs.push(lf);
+        types.push(t);
+    };
+
+    // ---- Text patterns (15) -----------------------------------------
+    let patterns: Vec<BoxedLf> = vec![
+        Box::new(KeywordBetweenLf::new("lf_causes", &["causes", "caused", "causing"], 1, 0)),
+        Box::new(KeywordBetweenLf::new("lf_induced", &["induced", "induces"], 1, 0)),
+        Box::new(KeywordBetweenLf::new("lf_resulted", &["resulted"], 1, 0)),
+        Box::new(KeywordBetweenLf::new("lf_aggravate", &["aggravate", "aggravates"], 1, 0)),
+        Box::new(PatternLf::new("lf_toxicity", r"{{0}} toxicity", 1).expect("pattern")),
+        Box::new(PatternLf::new("lf_linked_to", r"{{0}} was linked to {{1}}", 1).expect("pattern")),
+        Box::new(PatternLf::new("lf_developed_after", r"{{1}} developed after {{0}}", 1).expect("pattern")),
+        Box::new(PatternLf::new("lf_following", r"{{1}} following {{0}}", 1).expect("pattern")),
+        Box::new(PatternLf::new("lf_caused_by", r"{{1}} was caused by .*{{0}}", 1).expect("pattern")),
+        Box::new(PatternLf::new("lf_attributed", r"{{1}} was attributed to {{0}}", 1).expect("pattern")),
+        Box::new(KeywordBetweenLf::new("lf_treat", &["treat", "treats", "treating"], -1, -1)),
+        Box::new(KeywordBetweenLf::new("lf_improved", &["improved", "improves"], -1, -1)),
+        Box::new(KeywordBetweenLf::new("lf_received", &["received"], -1, -1)),
+        Box::new(PatternLf::new("lf_no_effect", r"{{0}} had no effect on {{1}}", -1).expect("pattern")),
+        Box::new(KeywordBetweenLf::new("lf_prevented", &["prevented", "prevents"], -1, -1)),
+    ];
+    for p in patterns {
+        push(p, LfType::Pattern, &mut lfs, &mut types);
+    }
+
+    // ---- Distant supervision (8) — one LF per KB subset (Ex. 2.4) ----
+    let ds = ontology_lfs(
+        Arc::clone(kb),
+        &[
+            ("Causes_curated", 1),
+            ("Causes_inferred", 1),
+            ("Marker", 1),
+            ("Treats_curated", -1),
+            ("Treats_inferred", -1),
+            ("Therapy", -1),
+            ("Prevents", -1),
+            ("Unrelated", -1),
+        ],
+    );
+    for d in ds {
+        push(d, LfType::DistantSupervision, &mut lfs, &mut types);
+    }
+
+    // ---- Structure-based (6): context-hierarchy heuristics -----------
+    let causal_words = ["causes", "caused", "causing", "induced", "induces", "resulted"];
+    let neutral_words = ["treat", "treats", "improved", "received", "prevented", "managed"];
+
+    push(
+        lf("lf_multiple_mentions", move |x| {
+            // The same pair mentioned in 2+ sentences of one document
+            // suggests a real relation.
+            let a = x.span(0).text().to_lowercase();
+            let b = x.span(1).text().to_lowercase();
+            let mut hits = 0;
+            for sent in x.doc().sentences() {
+                let text = sent.text().to_lowercase();
+                if text.contains(&a) && text.contains(&b) {
+                    hits += 1;
+                }
+            }
+            if hits >= 2 {
+                1
+            } else {
+                0
+            }
+        }),
+        LfType::StructureBased,
+        &mut lfs,
+        &mut types,
+    );
+    push(
+        lf("lf_close_causal", move |x| {
+            let close = x.token_distance(0, 1) <= 2;
+            let causal = x
+                .sentence()
+                .tokens()
+                .iter()
+                .any(|t| causal_words.contains(&t.text.to_lowercase().as_str()));
+            if close && causal {
+                1
+            } else {
+                0
+            }
+        }),
+        LfType::StructureBased,
+        &mut lfs,
+        &mut types,
+    );
+    push(
+        lf("lf_far_apart", |x| {
+            if x.token_distance(0, 1) >= 7 {
+                -1
+            } else {
+                0
+            }
+        }),
+        LfType::StructureBased,
+        &mut lfs,
+        &mut types,
+    );
+    push(
+        lf("lf_disease_first_neutral", move |x| {
+            // Disease before chemical with a neutral verb in between:
+            // usually a treatment context.
+            if !x.span_precedes(0, 1)
+                && x.words_between(0, 1)
+                    .iter()
+                    .any(|w| neutral_words.contains(&w.to_lowercase().as_str()))
+            {
+                -1
+            } else {
+                0
+            }
+        }),
+        LfType::StructureBased,
+        &mut lfs,
+        &mut types,
+    );
+    push(
+        lf("lf_first_sentence", move |x| {
+            // Abstract-style leading sentences state causal findings.
+            let causal = x
+                .sentence()
+                .tokens()
+                .iter()
+                .any(|t| causal_words.contains(&t.text.to_lowercase().as_str()));
+            if x.sentence().position() == 0 && causal {
+                1
+            } else {
+                0
+            }
+        }),
+        LfType::StructureBased,
+        &mut lfs,
+        &mut types,
+    );
+    push(
+        lf("lf_and_conjunction", |x| {
+            // "A and B were discussed": pure co-mention, not causal.
+            let between = x.words_between(0, 1);
+            if between.len() == 1 && between[0].eq_ignore_ascii_case("and") {
+                -1
+            } else {
+                0
+            }
+        }),
+        LfType::StructureBased,
+        &mut lfs,
+        &mut types,
+    );
+
+    // ---- Weak classifiers (4) -----------------------------------------
+    push(
+        Box::new(
+            ThresholdLf::new(
+                "lf_causal_score",
+                move |x| {
+                    // Score only the region between the argument spans —
+                    // keyword counts elsewhere in the sentence are too
+                    // weakly tied to this candidate. The classifier is
+                    // "trained on another domain": it only scores
+                    // candidates whose disease suffix it has seen.
+                    let dis = x.span(1).text().to_lowercase();
+                    if !(dis.ends_with("osis") || dis.ends_with("itis") || dis.ends_with("emia"))
+                    {
+                        return 0.0;
+                    }
+                    let mut score = 0.0;
+                    for t in x.tokens_between(0, 1) {
+                        let w = t.text.to_lowercase();
+                        if causal_words.contains(&w.as_str()) {
+                            score += 1.0;
+                        }
+                        if neutral_words.contains(&w.as_str()) {
+                            score -= 1.0;
+                        }
+                    }
+                    score
+                },
+                -0.5,
+                0.5,
+            )
+            .with_labels(-1, 1),
+        ),
+        LfType::WeakClassifier,
+        &mut lfs,
+        &mut types,
+    );
+    push(
+        lf("lf_negation", |x| {
+            let negated = x
+                .sentence()
+                .tokens()
+                .iter()
+                .any(|t| matches!(t.text.to_lowercase().as_str(), "no" | "not" | "without"));
+            if negated {
+                -1
+            } else {
+                0
+            }
+        }),
+        LfType::WeakClassifier,
+        &mut lfs,
+        &mut types,
+    );
+    push(
+        lf("lf_dose_context", |x| {
+            // Dose/infusion vocabulary marks adverse-event reporting.
+            let dosed = x
+                .sentence()
+                .tokens()
+                .iter()
+                .any(|t| matches!(t.text.to_lowercase().as_str(), "doses" | "infusion"));
+            if dosed {
+                1
+            } else {
+                0
+            }
+        }),
+        LfType::WeakClassifier,
+        &mut lfs,
+        &mut types,
+    );
+    push(
+        lf("lf_legacy_model", |x| {
+            // A deliberately weak "classifier trained on another
+            // dataset": votes on a pseudo-random slice of candidates
+            // with barely-better-than-chance correlation to the truth
+            // (it keys on surface suffixes of the argument names).
+            let chem = x.span(0).text().to_lowercase();
+            let dis = x.span(1).text().to_lowercase();
+            if (chem.ends_with("ol") || chem.ends_with("ine")) && dis.ends_with("osis") {
+                if x.token_distance(0, 1) <= 4 {
+                    1
+                } else {
+                    -1
+                }
+            } else {
+                0
+            }
+        }),
+        LfType::WeakClassifier,
+        &mut lfs,
+        &mut types,
+    );
+
+    assert_eq!(lfs.len(), 33, "CDR suite must have 33 LFs (Table 2)");
+    (lfs, types)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snorkel_matrix::stats::matrix_stats;
+
+    fn small_task() -> RelationTask {
+        build(TaskConfig {
+            num_candidates: 600,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn suite_shape_matches_table2() {
+        let t = small_task();
+        assert_eq!(t.lfs.len(), 33);
+        assert_eq!(t.lf_types.len(), 33);
+        assert_eq!(t.lf_indices_of(&[LfType::Pattern]).len(), 15);
+        assert_eq!(t.lf_indices_of(&[LfType::DistantSupervision]).len(), 8);
+        assert_eq!(t.lf_indices_of(&[LfType::StructureBased]).len(), 6);
+        assert_eq!(t.lf_indices_of(&[LfType::WeakClassifier]).len(), 4);
+    }
+
+    #[test]
+    fn pos_rate_near_paper() {
+        let t = small_task();
+        let pos = t.pct_positive();
+        assert!((pos - 0.246).abs() < 0.08, "%pos = {pos:.3}");
+    }
+
+    #[test]
+    fn label_density_in_paper_ballpark() {
+        let t = small_task();
+        let lambda = t.train_matrix();
+        let d = lambda.label_density();
+        // Paper reports d_Λ = 1.8 for CDR; allow a generous band.
+        assert!((1.0..3.2).contains(&d), "label density {d:.2}");
+    }
+
+    #[test]
+    fn lfs_beat_chance_on_average() {
+        let t = small_task();
+        let lambda = t.label_matrix(&t.test);
+        let gold = t.gold_of(&t.test);
+        let accs = snorkel_matrix::stats::empirical_accuracies(&lambda, &gold);
+        let measured: Vec<f64> = accs.into_iter().flatten().collect();
+        assert!(!measured.is_empty());
+        let mean = measured.iter().sum::<f64>() / measured.len() as f64;
+        assert!(mean > 0.6, "mean LF accuracy {mean:.3}");
+    }
+
+    #[test]
+    fn coverage_is_partial() {
+        let t = small_task();
+        let lambda = t.train_matrix();
+        let stats = matrix_stats(&lambda);
+        assert!(stats.coverage > 0.4 && stats.coverage < 1.0, "coverage {}", stats.coverage);
+        // Some conflicts must exist for the generative model to resolve.
+        assert!(stats.conflict_rate > 0.02, "conflict {}", stats.conflict_rate);
+    }
+
+    #[test]
+    fn splits_partition_candidates() {
+        let t = small_task();
+        assert_eq!(
+            t.train.len() + t.dev.len() + t.test.len(),
+            t.candidates.len()
+        );
+        assert!(t.dev.len() < t.test.len());
+        assert!(t.test.len() < t.train.len());
+    }
+}

@@ -1,0 +1,221 @@
+//! The Chem task (paper §4.1.1: chemical reagent → reaction product
+//! relations from scientific articles, the FDA collaboration).
+//!
+//! The distinguishing shape (Tables 1–2): very low positive rate
+//! (≈4.1%), low label density (≈1.2), and — critically — an LF suite of
+//! *high-precision, rarely-overlapping* patterns, which is why the
+//! modeling optimizer correctly selects **majority vote** for Chem: with
+//! almost no conflicting labels there is nothing for the generative
+//! model to re-weight (`A~*` below γ, §3.1.2).
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use snorkel_lf::{lf, ontology_lfs, BoxedLf, KeywordBetweenLf, KnowledgeBase, PatternLf};
+
+use crate::names::NamePool;
+use crate::task::{
+    build_relation_corpus, noisy_kb_subset, split_rows, LfType, RelationCorpusSpec, RelationTask,
+    TaskConfig,
+};
+
+const POS_TEMPLATES: &[&str] = &[
+    "Reaction of {A} yielded {B} under reflux.",
+    "{A} was converted to {B} by catalytic oxidation.",
+    "Treatment of {A} afforded {B} in high yield.",
+    "{A} reacts to form {B} at elevated temperature.",
+    "Synthesis of {B} from {A} proceeded smoothly.",
+    "Hydrolysis of {A} gave {B} quantitatively.",
+];
+
+const NEG_TEMPLATES: &[&str] = &[
+    "{A} was dissolved in ethanol with {B} as the internal standard.",
+    "Both {A} and {B} were purchased from the supplier.",
+    "{A} was analyzed alongside {B} by chromatography.",
+    "The mixture contained {A} while {B} served as solvent.",
+    "Spectra of {A} and {B} were recorded separately.",
+    "{A} was stored apart from {B} at low temperature.",
+    "Purity of {A} was verified before adding {B}.",
+    "Concentrations of {A} and {B} were held constant.",
+];
+
+const FILLER: &[&str] = &[
+    "All reactions were run under nitrogen.",
+    "Yields refer to isolated products.",
+    "Melting points are uncorrected.",
+    "Solvents were distilled prior to use.",
+];
+
+/// Build the Chem task.
+pub fn build(cfg: TaskConfig) -> RelationTask {
+    let mut pool = NamePool::new(cfg.seed.wrapping_add(0xC4E));
+    let spec = RelationCorpusSpec {
+        type_a: "Reagent",
+        type_b: "Product",
+        entities_a: pool.chemicals(70),
+        entities_b: pool.chemicals(70),
+        pos_rate: 0.036, // lands near Table 2's 4.1% after repeats
+        pos_templates: POS_TEMPLATES.to_vec(),
+        neg_templates: NEG_TEMPLATES.to_vec(),
+        filler: FILLER.to_vec(),
+        // Very low flip: reaction reports rarely misstate the reaction —
+        // this is what keeps the LFs precise and conflict-free.
+        template_flip: 0.02,
+        sentences_per_doc: (6, 14),
+        filler_rate: 0.3,
+        relation_density: 0.015,
+        symmetric: false,
+        ambig_templates: vec![],
+        ambig_rate: 0.0,
+        style_cue: None,
+        repeat_pair_rate: 0.1,
+    };
+    let gen = build_relation_corpus(&spec, cfg.num_candidates, cfg.seed.wrapping_add(1));
+
+    // MetaCyc-like KB of known reactions.
+    let mut kb_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(2));
+    let mut kb = KnowledgeBase::new("metacyc");
+    let (ea, eb) = (&spec.entities_a, &spec.entities_b);
+    noisy_kb_subset(&mut kb, "Reactions", &gen.relations, ea, eb, 0.4, 5, &mut kb_rng);
+    noisy_kb_subset(&mut kb, "Pathways", &gen.relations, ea, eb, 0.2, 8, &mut kb_rng);
+    let kb = Arc::new(kb);
+
+    let (lfs, lf_types) = build_lfs(&kb);
+    let (train, dev, test) = split_rows(
+        gen.candidates.len(),
+        0.019, // Table 7: 1292 / 67922
+        0.018, // 1232 / 67922
+        cfg.seed.wrapping_add(3),
+    );
+
+    RelationTask {
+        name: "Chem".to_string(),
+        corpus: gen.corpus,
+        candidates: gen.candidates,
+        gold: gen.gold,
+        train,
+        dev,
+        test,
+        lfs,
+        lf_types,
+        kb: Some(kb),
+        relations: gen.relations,
+    }
+}
+
+/// The 16-LF suite (11 pattern, 2 distant supervision, 2 structure,
+/// 1 weak classifier) — precise, sparse, barely overlapping.
+fn build_lfs(kb: &Arc<KnowledgeBase>) -> (Vec<BoxedLf>, Vec<LfType>) {
+    let mut lfs: Vec<BoxedLf> = Vec::new();
+    let mut types: Vec<LfType> = Vec::new();
+
+    let patterns: Vec<BoxedLf> = vec![
+        Box::new(KeywordBetweenLf::new("lf_yielded", &["yielded"], 1, 0)),
+        Box::new(KeywordBetweenLf::new("lf_converted", &["converted"], 1, 0)),
+        Box::new(KeywordBetweenLf::new("lf_afforded", &["afforded"], 1, 0)),
+        Box::new(PatternLf::new("lf_reacts_to_form", r"{{0}} reacts to form {{1}}", 1).expect("pattern")),
+        Box::new(PatternLf::new("lf_synthesis_from", r"synthesis of {{1}} from {{0}}", 1).expect("pattern")),
+        Box::new(PatternLf::new("lf_hydrolysis_gave", r"hydrolysis of {{0}} gave {{1}}", 1).expect("pattern")),
+        Box::new(KeywordBetweenLf::new("lf_standard", &["standard"], -1, -1)),
+        Box::new(KeywordBetweenLf::new("lf_purchased", &["purchased"], -1, -1)),
+        Box::new(KeywordBetweenLf::new("lf_solvent", &["solvent"], -1, -1)),
+        Box::new(KeywordBetweenLf::new("lf_separately", &["separately", "apart"], -1, -1)),
+        Box::new(PatternLf::new("lf_alongside", r"{{0}} was analyzed alongside {{1}}", -1).expect("pattern")),
+    ];
+    for p in patterns {
+        lfs.push(p);
+        types.push(LfType::Pattern);
+    }
+
+    for d in ontology_lfs(Arc::clone(kb), &[("Reactions", 1), ("Pathways", 1)]) {
+        lfs.push(d);
+        types.push(LfType::DistantSupervision);
+    }
+
+    lfs.push(lf("lf_repeated_reaction", |x| {
+        let a = x.span(0).text().to_lowercase();
+        let b = x.span(1).text().to_lowercase();
+        let mut hits = 0;
+        for sent in x.doc().sentences() {
+            let t = sent.text().to_lowercase();
+            if t.contains(&a) && t.contains(&b) {
+                hits += 1;
+            }
+        }
+        if hits >= 2 {
+            1
+        } else {
+            0
+        }
+    }));
+    types.push(LfType::StructureBased);
+    lfs.push(lf("lf_held_constant", |x| {
+        // Method-section phrasing: co-mention without a reaction.
+        let text = x.sentence().text().to_lowercase();
+        if text.contains("held constant") || text.contains("were recorded") {
+            -1
+        } else {
+            0
+        }
+    }));
+    types.push(LfType::StructureBased);
+
+    lfs.push(lf("lf_reaction_verb_classifier", |x| {
+        // Weak classifier: any reaction verb anywhere in the sentence,
+        // but only when the spans are close.
+        let verbs = ["yielded", "converted", "afforded", "form", "gave"];
+        let has = x
+            .sentence()
+            .tokens()
+            .iter()
+            .any(|t| verbs.contains(&t.text.to_lowercase().as_str()));
+        if has && x.token_distance(0, 1) <= 5 {
+            1
+        } else {
+            0
+        }
+    }));
+    types.push(LfType::WeakClassifier);
+
+    assert_eq!(lfs.len(), 16, "Chem suite must have 16 LFs (Table 2)");
+    (lfs, types)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> RelationTask {
+        build(TaskConfig {
+            num_candidates: 1500,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn shape_matches_table2() {
+        let t = small();
+        assert_eq!(t.lfs.len(), 16);
+        let pos = t.pct_positive();
+        assert!((0.01..0.09).contains(&pos), "%pos = {pos:.3}");
+    }
+
+    #[test]
+    fn low_density_low_conflict() {
+        let t = small();
+        let lambda = t.train_matrix();
+        let stats = snorkel_matrix::stats::matrix_stats(&lambda);
+        assert!(lambda.label_density() < 2.0, "density {}", lambda.label_density());
+        assert!(stats.conflict_rate < 0.12, "conflicts {}", stats.conflict_rate);
+    }
+
+    #[test]
+    fn entity_pools_are_disjoint_types() {
+        let t = small();
+        let v = t.corpus.candidate(t.candidates[0]);
+        assert_eq!(v.span(0).entity_type(), Some("Reagent"));
+        assert_eq!(v.span(1).entity_type(), Some("Product"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # snorkel-datasets
+//!
+//! Synthetic analogues of the paper's six evaluation applications, plus
+//! the purely synthetic matrices behind Figures 4 and 5 and the §4.2
+//! user-study simulation.
+//!
+//! The paper evaluates on corpora we cannot ship (PubMed abstracts, VA
+//! clinical notes, news wire, chest X-rays, CrowdFlower tables). Each
+//! generator here produces a *controlled* corpus with the same shape:
+//! documents → sentences with tagged entity mentions → candidates with
+//! known ground truth; signal phrases are emitted with tuned conditional
+//! probabilities given the true label, so the accompanying LF suite has
+//! realistic accuracy/coverage/overlap, the knowledge bases have noisy
+//! subsets of differing quality, and discriminative features correlate
+//! with — but go beyond — the LF signal (so the end model can
+//! generalize past the LFs, Example 2.5).
+//!
+//! | Task | Type | Classes | LFs | Module |
+//! |------|------|---------|-----|--------|
+//! | Chem | relation extraction | 2 | 16 | [`chem`] |
+//! | EHR | relation extraction | 2 | 24 | [`ehr`] |
+//! | CDR | relation extraction | 2 | 33 | [`cdr`] |
+//! | Spouses | relation extraction | 2 | 11 | [`spouses`] |
+//! | Radiology | cross-modal image | 2 | 18 | [`radiology`] |
+//! | Crowd | crowdsourced sentiment | 5 | 102 | [`crowd`] |
+//!
+//! Candidate counts default to laptop scale; [`task::TaskConfig`] scales
+//! them up toward the paper's sizes (Table 2 / Table 7).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdr;
+pub mod chem;
+pub mod crowd;
+pub mod ehr;
+pub mod names;
+pub mod radiology;
+pub mod spouses;
+pub mod synthetic;
+pub mod task;
+pub mod user_study;
+
+pub use task::{LfType, RelationTask, TaskConfig};

@@ -1,0 +1,219 @@
+//! The Spouses task (paper §4.1.1: spouse relationships in news
+//! articles, Signal Media) — also the user-study task (§4.2).
+//!
+//! Candidates are co-occurring person-mention pairs; the relation is
+//! symmetric. Shape targets (Tables 1–2): 11 LFs, ≈8.3% positive, label
+//! density ≈1.4. Distant supervision comes from a DBpedia-like KB of
+//! known couples plus a celebrity co-appearance subset that is *negative*
+//! evidence (famous pairs who co-occur for other reasons).
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use snorkel_lf::{lf, ontology_lfs, BoxedLf, KeywordBetweenLf, KnowledgeBase, PatternLf};
+
+use crate::names::NamePool;
+use crate::task::{
+    build_relation_corpus, noisy_kb_subset, split_rows, LfType, RelationCorpusSpec, RelationTask,
+    TaskConfig,
+};
+
+const POS_TEMPLATES: &[&str] = &[
+    "{A} married {B} in a private ceremony.",
+    "{A} and spouse {B} attended the gala.",
+    "{A} filed for divorce from {B} last month.",
+    "{A} celebrated an anniversary with {B} on Sunday.",
+    "{A} met {B} long before they wed.",
+    "{A} thanked husband {B} during the speech.",
+    "{A} thanked wife {B} during the speech.",
+];
+
+const NEG_TEMPLATES: &[&str] = &[
+    "{A} debated {B} on live television.",
+    "{A} succeeded {B} as committee chair.",
+    "{A} interviewed {B} about the merger.",
+    "{A} and {B} starred in the new film.",
+    "{A} criticized {B} over the policy.",
+    "{A} traded {B} to the rival team.",
+    "{A} cited {B} in the report.",
+    "{A} defeated {B} in the final round.",
+];
+
+const FILLER: &[&str] = &[
+    "The event drew a large crowd downtown.",
+    "Markets closed higher on the news.",
+    "Officials declined to comment further.",
+    "The report was released on Friday.",
+];
+
+/// Build the Spouses task.
+pub fn build(cfg: TaskConfig) -> RelationTask {
+    let mut pool = NamePool::new(cfg.seed.wrapping_add(0x59A));
+    let persons = pool.persons(80);
+    let spec = RelationCorpusSpec {
+        type_a: "Person",
+        type_b: "Person",
+        entities_a: persons.clone(),
+        entities_b: persons,
+        pos_rate: 0.07, // lands near Table 2's 8.3% after repeats
+        pos_templates: POS_TEMPLATES.to_vec(),
+        neg_templates: NEG_TEMPLATES.to_vec(),
+        filler: FILLER.to_vec(),
+        template_flip: 0.09,
+        sentences_per_doc: (3, 9),
+        filler_rate: 0.3,
+        relation_density: 0.008,
+        symmetric: true,
+        ambig_templates: vec![],
+        ambig_rate: 0.0,
+        style_cue: None,
+        repeat_pair_rate: 0.1,
+    };
+    let gen = build_relation_corpus(&spec, cfg.num_candidates, cfg.seed.wrapping_add(1));
+
+    // DBpedia-like KB.
+    let mut kb_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(2));
+    let mut kb = KnowledgeBase::new("dbpedia");
+    // Real DBpedia covers only a sliver of the couples mentioned in news
+    // text (the paper's Spouses DS baseline scores 15.4 F1) — keep the
+    // KB precise but shallow.
+    noisy_kb_subset(
+        &mut kb,
+        "spouse",
+        &gen.relations,
+        &spec.entities_a,
+        &spec.entities_b,
+        0.12,
+        25,
+        &mut kb_rng,
+    );
+    // Celebrity co-appearances: non-spousal famous pairs.
+    noisy_kb_subset(
+        &mut kb,
+        "coappearance",
+        &gen.relations,
+        &spec.entities_a,
+        &spec.entities_b,
+        0.04,
+        120,
+        &mut kb_rng,
+    );
+    let kb = Arc::new(kb);
+
+    let (lfs, lf_types) = build_lfs(&kb);
+    let (train, dev, test) = split_rows(
+        gen.candidates.len(),
+        0.101, // Table 7: 2796 / 27688
+        0.097, // 2697 / 27688
+        cfg.seed.wrapping_add(3),
+    );
+
+    RelationTask {
+        name: "Spouses".to_string(),
+        corpus: gen.corpus,
+        candidates: gen.candidates,
+        gold: gen.gold,
+        train,
+        dev,
+        test,
+        lfs,
+        lf_types,
+        kb: Some(kb),
+        relations: gen.relations,
+    }
+}
+
+/// The 11-LF suite (7 pattern, 2 distant supervision, 2 structure).
+fn build_lfs(kb: &Arc<KnowledgeBase>) -> (Vec<BoxedLf>, Vec<LfType>) {
+    let mut lfs: Vec<BoxedLf> = Vec::new();
+    let mut types: Vec<LfType> = Vec::new();
+
+    let patterns: Vec<BoxedLf> = vec![
+        Box::new(KeywordBetweenLf::new("lf_married", &["married", "wed"], 1, 1)),
+        Box::new(KeywordBetweenLf::new(
+            "lf_spouse_words",
+            &["spouse", "husband", "wife"],
+            1,
+            1,
+        )),
+        Box::new(KeywordBetweenLf::new("lf_divorce", &["divorce"], 1, 1)),
+        Box::new(KeywordBetweenLf::new("lf_anniversary", &["anniversary"], 1, 1)),
+        Box::new(PatternLf::new("lf_filed_divorce", r"{{0}} filed for divorce from {{1}}", 1).expect("pattern")),
+        Box::new(KeywordBetweenLf::new(
+            "lf_professional",
+            &["debated", "succeeded", "interviewed", "cited", "defeated", "traded"],
+            -1,
+            -1,
+        )),
+        Box::new(KeywordBetweenLf::new("lf_costar", &["starred", "criticized"], -1, -1)),
+    ];
+    for p in patterns {
+        lfs.push(p);
+        types.push(LfType::Pattern);
+    }
+
+    for d in ontology_lfs(Arc::clone(kb), &[("spouse", 1), ("coappearance", -1)]) {
+        lfs.push(d);
+        types.push(LfType::DistantSupervision);
+    }
+
+    lfs.push(lf("lf_same_last_name", |x| {
+        // Shared surname is weak positive evidence for marriage.
+        let last = |s: &str| s.split_whitespace().last().map(str::to_lowercase);
+        match (last(x.span(0).text()), last(x.span(1).text())) {
+            (Some(a), Some(b)) if a == b => 1,
+            _ => 0,
+        }
+    }));
+    types.push(LfType::StructureBased);
+    lfs.push(lf("lf_far_apart", |x| {
+        if x.token_distance(0, 1) >= 7 {
+            -1
+        } else {
+            0
+        }
+    }));
+    types.push(LfType::StructureBased);
+
+    assert_eq!(lfs.len(), 11, "Spouses suite must have 11 LFs (Table 2)");
+    (lfs, types)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> RelationTask {
+        build(TaskConfig {
+            num_candidates: 1500,
+            seed: 11,
+        })
+    }
+
+    #[test]
+    fn shape_matches_table2() {
+        let t = small();
+        assert_eq!(t.lfs.len(), 11);
+        let pos = t.pct_positive();
+        assert!((0.03..0.16).contains(&pos), "%pos = {pos:.3}");
+    }
+
+    #[test]
+    fn symmetric_gold() {
+        // Every planted relation is stored in both directions.
+        let t = small();
+        for (a, b) in t.relations.iter().take(20) {
+            assert!(t.relations.contains(&(b.clone(), a.clone())));
+        }
+    }
+
+    #[test]
+    fn person_pairs_only() {
+        let t = small();
+        let v = t.corpus.candidate(t.candidates[0]);
+        assert_eq!(v.span(0).entity_type(), Some("Person"));
+        assert_eq!(v.span(1).entity_type(), Some("Person"));
+    }
+}

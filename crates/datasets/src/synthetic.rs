@@ -1,0 +1,209 @@
+//! Purely synthetic label matrices for the §3 tradeoff experiments.
+//!
+//! * [`independent_matrix`] — the Figure 4 setup: a class-balanced
+//!   dataset of `m` points and `n` conditionally independent LFs with a
+//!   common accuracy and voting propensity (the paper uses m = 1000,
+//!   accuracy 75%, propensity 10%).
+//! * [`correlated_matrix`] — the Figure 5 (left) setup: a suite where
+//!   more than half the LFs are near-copies arranged in clusters, which
+//!   the structure-learning sweep must discover.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use snorkel_matrix::{LabelMatrix, LabelMatrixBuilder, Vote};
+
+/// Generate `n` independent binary LFs of equal accuracy/propensity over
+/// `m` class-balanced points. Returns `(Λ, gold)`.
+pub fn independent_matrix(
+    m: usize,
+    n: usize,
+    accuracy: f64,
+    propensity: f64,
+    seed: u64,
+) -> (LabelMatrix, Vec<Vote>) {
+    assert!((0.0..=1.0).contains(&accuracy) && (0.0..=1.0).contains(&propensity));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = LabelMatrixBuilder::new(m, n);
+    let mut gold = Vec::with_capacity(m);
+    for i in 0..m {
+        let y: Vote = if rng.gen::<bool>() { 1 } else { -1 };
+        gold.push(y);
+        for j in 0..n {
+            if rng.gen::<f64>() < propensity {
+                b.set(i, j, if rng.gen::<f64>() < accuracy { y } else { -y });
+            }
+        }
+    }
+    (b.build(), gold)
+}
+
+/// Generate independent LFs with *heterogeneous* accuracies (one per
+/// entry of `accuracies`), shared propensity. Returns `(Λ, gold)`.
+pub fn heterogeneous_matrix(
+    m: usize,
+    accuracies: &[f64],
+    propensity: f64,
+    seed: u64,
+) -> (LabelMatrix, Vec<Vote>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = LabelMatrixBuilder::new(m, accuracies.len());
+    let mut gold = Vec::with_capacity(m);
+    for i in 0..m {
+        let y: Vote = if rng.gen::<bool>() { 1 } else { -1 };
+        gold.push(y);
+        for (j, &acc) in accuracies.iter().enumerate() {
+            if rng.gen::<f64>() < propensity {
+                b.set(i, j, if rng.gen::<f64>() < acc { y } else { -y });
+            }
+        }
+    }
+    (b.build(), gold)
+}
+
+/// Specification of one correlated LF cluster.
+#[derive(Clone, Copy, Debug)]
+pub struct Cluster {
+    /// Number of LF copies in the cluster.
+    pub size: usize,
+    /// Accuracy of the cluster's shared base draw.
+    pub accuracy: f64,
+    /// Probability each copy *deviates* from the base draw (0 = perfect
+    /// copies).
+    pub deviation: f64,
+}
+
+/// Generate a suite of `independent` standalone LFs followed by the
+/// given clusters of near-duplicate LFs (Figure 5 left: "more than half
+/// the labeling functions are correlated"). All LFs share `propensity`
+/// — cluster members vote whenever their base draw voted. Returns
+/// `(Λ, gold, true_pairs)` where `true_pairs` lists the planted
+/// correlated pairs (within-cluster, `j < k`).
+pub fn correlated_matrix(
+    m: usize,
+    independent: usize,
+    indep_accuracy: f64,
+    clusters: &[Cluster],
+    propensity: f64,
+    seed: u64,
+) -> (LabelMatrix, Vec<Vote>, Vec<(usize, usize)>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n: usize = independent + clusters.iter().map(|c| c.size).sum::<usize>();
+    let mut b = LabelMatrixBuilder::new(m, n);
+    let mut gold = Vec::with_capacity(m);
+
+    for i in 0..m {
+        let y: Vote = if rng.gen::<bool>() { 1 } else { -1 };
+        gold.push(y);
+        for j in 0..independent {
+            if rng.gen::<f64>() < propensity {
+                b.set(i, j, if rng.gen::<f64>() < indep_accuracy { y } else { -y });
+            }
+        }
+        let mut col = independent;
+        for c in clusters {
+            if rng.gen::<f64>() < propensity {
+                let base: Vote = if rng.gen::<f64>() < c.accuracy { y } else { -y };
+                for k in 0..c.size {
+                    let vote = if rng.gen::<f64>() < c.deviation { -base } else { base };
+                    b.set(i, col + k, vote);
+                }
+            }
+            col += c.size;
+        }
+    }
+
+    let mut true_pairs = Vec::new();
+    let mut col = independent;
+    for c in clusters {
+        for a in 0..c.size {
+            for b2 in (a + 1)..c.size {
+                true_pairs.push((col + a, col + b2));
+            }
+        }
+        col += c.size;
+    }
+    (b.build(), gold, true_pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_matrix_statistics() {
+        let (lambda, gold) = independent_matrix(2000, 10, 0.75, 0.1, 1);
+        assert_eq!(lambda.num_points(), 2000);
+        assert_eq!(lambda.num_lfs(), 10);
+        // Density ≈ n · p_l = 1.0.
+        assert!((lambda.label_density() - 1.0).abs() < 0.15);
+        // Empirical accuracy ≈ 0.75.
+        let accs = snorkel_matrix::stats::empirical_accuracies(&lambda, &gold);
+        let mean: f64 =
+            accs.iter().flatten().sum::<f64>() / accs.iter().flatten().count() as f64;
+        assert!((mean - 0.75).abs() < 0.05, "mean acc {mean:.3}");
+        // Class balance.
+        let pos = gold.iter().filter(|&&g| g == 1).count() as f64 / 2000.0;
+        assert!((pos - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn heterogeneous_respects_per_lf_accuracy() {
+        let (lambda, gold) = heterogeneous_matrix(3000, &[0.9, 0.6], 0.5, 2);
+        let accs = snorkel_matrix::stats::empirical_accuracies(&lambda, &gold);
+        assert!((accs[0].unwrap() - 0.9).abs() < 0.05);
+        assert!((accs[1].unwrap() - 0.6).abs() < 0.05);
+    }
+
+    #[test]
+    fn correlated_clusters_agree_internally() {
+        let clusters = [Cluster {
+            size: 4,
+            accuracy: 0.7,
+            deviation: 0.0,
+        }];
+        let (lambda, _, pairs) = correlated_matrix(1000, 3, 0.8, &clusters, 0.6, 3);
+        assert_eq!(lambda.num_lfs(), 7);
+        assert_eq!(pairs.len(), 6); // C(4,2)
+        // Perfect copies: whenever both vote, they agree.
+        for i in 0..lambda.num_points() {
+            let (cols, votes) = lambda.row(i);
+            let cluster_votes: Vec<Vote> = cols
+                .iter()
+                .zip(votes)
+                .filter(|(&c, _)| c >= 3)
+                .map(|(_, &v)| v)
+                .collect();
+            assert!(
+                cluster_votes.windows(2).all(|w| w[0] == w[1]),
+                "row {i}: cluster disagreement"
+            );
+        }
+    }
+
+    #[test]
+    fn deviation_breaks_perfect_copies() {
+        let clusters = [Cluster {
+            size: 3,
+            accuracy: 0.7,
+            deviation: 0.3,
+        }];
+        let (lambda, _, _) = correlated_matrix(1000, 0, 0.8, &clusters, 1.0, 4);
+        let mut disagreements = 0;
+        for i in 0..lambda.num_points() {
+            let (_, votes) = lambda.row(i);
+            if votes.windows(2).any(|w| w[0] != w[1]) {
+                disagreements += 1;
+            }
+        }
+        assert!(disagreements > 100, "deviation must create disagreements");
+    }
+
+    #[test]
+    fn determinism() {
+        let a = independent_matrix(500, 5, 0.75, 0.1, 42);
+        let b = independent_matrix(500, 5, 0.75, 0.1, 42);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Adam optimizer state (Kingma & Ba, 2014 — the optimizer the paper's
+//! discriminative models were trained with).
+
+/// Adam state over a flat parameter vector.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Fresh state for `dim` parameters with the given learning rate and
+    /// the standard `(β1, β2, ε) = (0.9, 0.999, 1e-8)`.
+    pub fn new(dim: usize, lr: f64) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; dim],
+            v: vec![0.0; dim],
+            t: 0,
+        }
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    /// Scale the learning rate (step decay).
+    pub fn decay_lr(&mut self, factor: f64) {
+        self.lr *= factor;
+    }
+
+    /// Apply one update: `params ← params − lr · m̂ / (√v̂ + ε)` with
+    /// bias-corrected moments. `grad` is the gradient of the *loss*
+    /// (descent direction).
+    pub fn step(&mut self, params: &mut [f64], grad: &[f64]) {
+        assert_eq!(params.len(), self.m.len(), "Adam: dim mismatch");
+        assert_eq!(grad.len(), self.m.len(), "Adam: grad dim mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grad[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    /// Sparse update for the indices in `idx` with matching `grad`
+    /// entries (used by the hashed-feature linear models, whose
+    /// per-example gradients touch only active buckets). Moment decay is
+    /// applied lazily only to touched coordinates — a standard sparse-
+    /// Adam approximation.
+    pub fn step_sparse(&mut self, params: &mut [f64], idx: &[u32], grad: &[f64]) {
+        assert_eq!(idx.len(), grad.len(), "Adam: sparse dim mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for (&i, &g) in idx.iter().zip(grad) {
+            let i = i as usize;
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        // f(x) = (x − 3)², gradient 2(x − 3).
+        let mut x = vec![0.0];
+        let mut adam = Adam::new(1, 0.1);
+        for _ in 0..500 {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            adam.step(&mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-3, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn sparse_step_touches_only_active() {
+        let mut params = vec![1.0, 1.0, 1.0];
+        let mut adam = Adam::new(3, 0.1);
+        adam.step_sparse(&mut params, &[1], &[1.0]);
+        assert_eq!(params[0], 1.0);
+        assert_eq!(params[2], 1.0);
+        assert!(params[1] < 1.0);
+    }
+
+    #[test]
+    fn lr_decay() {
+        let mut adam = Adam::new(1, 0.1);
+        adam.decay_lr(0.5);
+        assert!((adam.learning_rate() - 0.05).abs() < 1e-12);
+    }
+}

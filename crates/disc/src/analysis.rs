@@ -1,0 +1,141 @@
+//! Error analysis: the TP/FP/TN/FN buckets of the paper's appendix C.
+//!
+//! Snorkel's development loop is iterative: after evaluating on the dev
+//! split, the candidates are separated into true-positive,
+//! false-positive, true-negative, and false-negative buckets so users
+//! can "identify common patterns that are either not covered or
+//! misclassified by their current labeling functions". This module is
+//! that viewer's data layer.
+
+use snorkel_matrix::Vote;
+
+/// Which bucket a prediction/gold pair falls into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Bucket {
+    /// Predicted positive, gold positive.
+    TruePositive,
+    /// Predicted positive, gold negative.
+    FalsePositive,
+    /// Predicted negative, gold negative.
+    TrueNegative,
+    /// Predicted negative, gold positive.
+    FalseNegative,
+}
+
+/// Dev-set error buckets with the row indices of each.
+#[derive(Clone, Debug, Default)]
+pub struct ErrorBuckets {
+    /// Rows predicted positive with positive gold.
+    pub true_positives: Vec<usize>,
+    /// Rows predicted positive with negative gold.
+    pub false_positives: Vec<usize>,
+    /// Rows predicted negative with negative gold.
+    pub true_negatives: Vec<usize>,
+    /// Rows predicted negative with positive gold.
+    pub false_negatives: Vec<usize>,
+}
+
+impl ErrorBuckets {
+    /// Split rows into buckets. Predicted `0` counts as negative (the
+    /// appendix A.5 convention); gold `0` rows (unlabeled) are skipped.
+    pub fn from_predictions(pred: &[Vote], gold: &[Vote]) -> Self {
+        assert_eq!(pred.len(), gold.len(), "one prediction per gold label");
+        let mut out = ErrorBuckets::default();
+        for (i, (&p, &g)) in pred.iter().zip(gold).enumerate() {
+            if g == 0 {
+                continue;
+            }
+            match (p == 1, g == 1) {
+                (true, true) => out.true_positives.push(i),
+                (true, false) => out.false_positives.push(i),
+                (false, false) => out.true_negatives.push(i),
+                (false, true) => out.false_negatives.push(i),
+            }
+        }
+        out
+    }
+
+    /// Bucket of a single row (by linear scan; buckets are small).
+    pub fn bucket_of(&self, row: usize) -> Option<Bucket> {
+        if self.true_positives.contains(&row) {
+            Some(Bucket::TruePositive)
+        } else if self.false_positives.contains(&row) {
+            Some(Bucket::FalsePositive)
+        } else if self.true_negatives.contains(&row) {
+            Some(Bucket::TrueNegative)
+        } else if self.false_negatives.contains(&row) {
+            Some(Bucket::FalseNegative)
+        } else {
+            None
+        }
+    }
+
+    /// Counts as `(tp, fp, tn, fn)`.
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        (
+            self.true_positives.len(),
+            self.false_positives.len(),
+            self.true_negatives.len(),
+            self.false_negatives.len(),
+        )
+    }
+
+    /// A one-line summary of the shape of the errors — what a user reads
+    /// to decide whether to write precision-oriented or recall-oriented
+    /// LFs next.
+    pub fn advice(&self) -> &'static str {
+        let (tp, fp, _, fn_) = self.counts();
+        if tp + fp + fn_ == 0 {
+            "no labeled rows to analyze"
+        } else if fp > 2 * fn_ {
+            "errors are precision-dominated: add negative-evidence LFs or tighten patterns"
+        } else if fn_ > 2 * fp {
+            "errors are recall-dominated: broaden patterns or add new weak-supervision sources"
+        } else {
+            "errors are balanced: inspect both buckets for systematic misses"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_labeled_rows() {
+        let pred = vec![1, 1, -1, -1, 0, 1];
+        let gold = vec![1, -1, -1, 1, 1, 0];
+        let b = ErrorBuckets::from_predictions(&pred, &gold);
+        assert_eq!(b.true_positives, vec![0]);
+        assert_eq!(b.false_positives, vec![1]);
+        assert_eq!(b.true_negatives, vec![2]);
+        // Row 4: predicted 0 → negative, gold positive → FN.
+        assert_eq!(b.false_negatives, vec![3, 4]);
+        assert_eq!(b.counts(), (1, 1, 1, 2));
+        // Row 5 unlabeled → in no bucket.
+        assert_eq!(b.bucket_of(5), None);
+        assert_eq!(b.bucket_of(0), Some(Bucket::TruePositive));
+    }
+
+    #[test]
+    fn advice_tracks_error_shape() {
+        let precision_bad = ErrorBuckets::from_predictions(
+            &[1, 1, 1, 1, 1],
+            &[1, -1, -1, -1, -1],
+        );
+        assert!(precision_bad.advice().contains("precision"));
+        let recall_bad = ErrorBuckets::from_predictions(
+            &[-1, -1, -1, -1, 1],
+            &[1, 1, 1, -1, 1],
+        );
+        assert!(recall_bad.advice().contains("recall"));
+        let empty = ErrorBuckets::from_predictions(&[], &[]);
+        assert!(empty.advice().contains("no labeled rows"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one prediction per gold")]
+    fn length_mismatch_panics() {
+        let _ = ErrorBuckets::from_predictions(&[1], &[1, -1]);
+    }
+}

@@ -1,0 +1,50 @@
+//! # snorkel-disc
+//!
+//! Noise-aware discriminative models and evaluation metrics (paper
+//! §2.3).
+//!
+//! Snorkel's end goal is a classifier that *generalizes beyond* the
+//! labeling functions: it trains any model with a standard loss on the
+//! probabilistic labels `Ỹ` by minimizing the noise-aware empirical risk
+//!
+//! ```text
+//! θ̂ = argmin_θ Σ_i E_{y∼Ỹ_i} [ ℓ(h_θ(x_i), y) ]
+//! ```
+//!
+//! which for log-loss is exactly cross-entropy against the soft label.
+//! The paper used a biLSTM (text) and a pre-trained ResNet-50 (images);
+//! those stacks are substituted here by models that preserve every
+//! comparison the evaluation makes, since all arms share the end model:
+//!
+//! * [`LogisticRegression`] — sparse linear model over hashed text
+//!   features ([`TextFeaturizer`]), for the relation-extraction tasks;
+//! * [`SoftmaxRegression`] — its multi-class counterpart (Crowd task);
+//! * [`Mlp`] — a dense ReLU network for dense feature vectors (the
+//!   Radiology task's stand-in for ResNet embeddings).
+//!
+//! All three train with Adam, support soft (probabilistic) *and* hard
+//! labels — the hand-supervision baselines are literally the same model
+//! fit on hard labels — and are deterministic under a fixed seed.
+//!
+//! [`metrics`] implements precision/recall/F1 (with the appendix A.5
+//! convention that an abstaining/zero prediction counts as a negative),
+//! accuracy, and rank-based ROC-AUC.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adam;
+pub mod analysis;
+mod features;
+mod logreg;
+pub mod metrics;
+mod mlp;
+mod softmax;
+
+pub use adam::Adam;
+pub use analysis::{Bucket, ErrorBuckets};
+pub use features::{hash_feature, TextFeaturizer};
+pub use logreg::{LogisticRegression, LogRegConfig};
+pub use metrics::{accuracy, f1_score, precision_recall_f1, roc_auc, Prf};
+pub use mlp::{Mlp, MlpConfig};
+pub use softmax::{SoftmaxConfig, SoftmaxRegression};

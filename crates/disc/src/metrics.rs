@@ -1,0 +1,231 @@
+//! Evaluation metrics.
+//!
+//! Conventions follow the paper's appendix A.5: for binary tasks a
+//! prediction of `0` (abstain / no label) is scored as a *negative*
+//! prediction, "giving the generative model the benefit of the doubt
+//! given the known class imbalance" of the relation-extraction tasks.
+
+use snorkel_matrix::Vote;
+
+/// Precision / recall / F1 triple.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Prf {
+    /// Precision `tp / (tp + fp)`; 0 when no positive predictions.
+    pub precision: f64,
+    /// Recall `tp / (tp + fn)`; 0 when no positive golds.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    pub f1: f64,
+    /// Raw counts `(tp, fp, fn, tn)`.
+    pub counts: (usize, usize, usize, usize),
+}
+
+/// Compute precision/recall/F1 for binary predictions against gold
+/// labels. Predicted `0` counts as negative; gold `0` rows (unlabeled)
+/// are skipped.
+pub fn precision_recall_f1(pred: &[Vote], gold: &[Vote]) -> Prf {
+    assert_eq!(pred.len(), gold.len(), "metrics: length mismatch");
+    let (mut tp, mut fp, mut fn_, mut tn) = (0usize, 0usize, 0usize, 0usize);
+    for (&p, &g) in pred.iter().zip(gold) {
+        if g == 0 {
+            continue;
+        }
+        let predicted_pos = p == 1; // 0 and −1 both count as negative
+        match (predicted_pos, g == 1) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fn_ += 1,
+            (false, false) => tn += 1,
+        }
+    }
+    let precision = if tp + fp == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fn_ == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    Prf {
+        precision,
+        recall,
+        f1,
+        counts: (tp, fp, fn_, tn),
+    }
+}
+
+/// F1 only (convenience).
+pub fn f1_score(pred: &[Vote], gold: &[Vote]) -> f64 {
+    precision_recall_f1(pred, gold).f1
+}
+
+/// Multi-class accuracy; gold `0` rows skipped, predicted `0` always
+/// wrong.
+pub fn accuracy(pred: &[Vote], gold: &[Vote]) -> f64 {
+    assert_eq!(pred.len(), gold.len(), "metrics: length mismatch");
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for (&p, &g) in pred.iter().zip(gold) {
+        if g == 0 {
+            continue;
+        }
+        total += 1;
+        if p == g {
+            hits += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// Rank-based ROC-AUC (the Mann-Whitney U statistic) of scores against
+/// binary gold labels, with tied scores receiving average ranks. Gold
+/// `0` rows are skipped. Returns 0.5 when either class is absent (the
+/// undefined case).
+pub fn roc_auc(scores: &[f64], gold: &[Vote]) -> f64 {
+    assert_eq!(scores.len(), gold.len(), "metrics: length mismatch");
+    let mut pairs: Vec<(f64, bool)> = scores
+        .iter()
+        .zip(gold)
+        .filter(|&(_, &g)| g != 0)
+        .map(|(&s, &g)| (s, g == 1))
+        .collect();
+    let n_pos = pairs.iter().filter(|&&(_, p)| p).count();
+    let n_neg = pairs.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN scores"));
+    // Average ranks over tie groups.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0usize;
+    while i < pairs.len() {
+        let mut j = i;
+        while j < pairs.len() && pairs[j].0 == pairs[i].0 {
+            j += 1;
+        }
+        // Ranks are 1-based; ties share the average rank of the group.
+        let avg_rank = (i + 1 + j) as f64 / 2.0;
+        for p in &pairs[i..j] {
+            if p.1 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j;
+    }
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Log loss (cross-entropy) of probability-of-positive scores against
+/// binary gold; clamps probabilities away from {0, 1}.
+pub fn log_loss(probs: &[f64], gold: &[Vote]) -> f64 {
+    assert_eq!(probs.len(), gold.len(), "metrics: length mismatch");
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (&p, &g) in probs.iter().zip(gold) {
+        if g == 0 {
+            continue;
+        }
+        let p = p.clamp(1e-12, 1.0 - 1e-12);
+        total -= if g == 1 { p.ln() } else { (1.0 - p).ln() };
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prf_basic() {
+        let pred = vec![1, 1, -1, -1, 1, 0];
+        let gold = vec![1, -1, 1, -1, 1, 1];
+        // tp=2 (idx 0,4), fp=1 (idx 1), fn=2 (idx 2, 5 — the 0 pred), tn=1.
+        let m = precision_recall_f1(&pred, &gold);
+        assert_eq!(m.counts, (2, 1, 2, 1));
+        assert!((m.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall - 0.5).abs() < 1e-12);
+        let f1 = 2.0 * (2.0 / 3.0) * 0.5 / (2.0 / 3.0 + 0.5);
+        assert!((m.f1 - f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prf_degenerate() {
+        // No positive predictions.
+        let m = precision_recall_f1(&[-1, -1], &[1, -1]);
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.f1, 0.0);
+        // Perfect.
+        let m = precision_recall_f1(&[1, -1], &[1, -1]);
+        assert_eq!(m.f1, 1.0);
+        // Unlabeled gold skipped entirely.
+        let m = precision_recall_f1(&[1, 1], &[0, 0]);
+        assert_eq!(m.counts, (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn accuracy_multiclass() {
+        let pred = vec![1, 2, 3, 0];
+        let gold = vec![1, 2, 4, 4];
+        assert!((accuracy(&pred, &gold) - 0.5).abs() < 1e-12);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let gold = vec![-1, -1, 1, 1];
+        assert!((roc_auc(&[0.1, 0.2, 0.8, 0.9], &gold) - 1.0).abs() < 1e-12);
+        assert!((roc_auc(&[0.9, 0.8, 0.2, 0.1], &gold) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_ties_average() {
+        // All scores equal → AUC 0.5 by average ranks.
+        let gold = vec![1, -1, 1, -1];
+        assert!((roc_auc(&[0.5; 4], &gold) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_single_class_is_half() {
+        assert_eq!(roc_auc(&[0.3, 0.7], &[1, 1]), 0.5);
+        assert_eq!(roc_auc(&[0.3, 0.7], &[0, 0]), 0.5);
+    }
+
+    #[test]
+    fn auc_known_value() {
+        // scores: pos {0.8, 0.4}, neg {0.6, 0.2}.
+        // Pairs correctly ordered: (0.8>0.6), (0.8>0.2), (0.4>0.2) = 3/4.
+        let auc = roc_auc(&[0.8, 0.4, 0.6, 0.2], &[1, 1, -1, -1]);
+        assert!((auc - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_loss_behaviour() {
+        let gold = vec![1, -1];
+        assert!(log_loss(&[0.99, 0.01], &gold) < 0.05);
+        assert!(log_loss(&[0.01, 0.99], &gold) > 3.0);
+        assert_eq!(log_loss(&[0.5], &[0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let _ = accuracy(&[1], &[1, 1]);
+    }
+}

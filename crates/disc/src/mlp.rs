@@ -1,0 +1,287 @@
+//! A small dense multi-layer perceptron with noise-aware training.
+//!
+//! The stand-in for the paper's ResNet-50: the Radiology cross-modal
+//! task trains an image classifier on dense feature vectors (synthetic
+//! "embeddings") with probabilistic labels from text-side labeling
+//! functions. One ReLU hidden layer is ample for those features and
+//! keeps the from-scratch backprop auditable.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use snorkel_linalg::math::sigmoid;
+use snorkel_linalg::Mat;
+use snorkel_matrix::Vote;
+
+use crate::adam::Adam;
+
+/// Training configuration.
+#[derive(Clone, Debug)]
+pub struct MlpConfig {
+    /// Input dimensionality.
+    pub input_dim: usize,
+    /// Hidden layer width.
+    pub hidden_dim: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Init / shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig {
+            input_dim: 32,
+            hidden_dim: 32,
+            epochs: 50,
+            learning_rate: 0.005,
+            l2: 1e-5,
+            batch_size: 32,
+            seed: 0,
+        }
+    }
+}
+
+/// Binary MLP: `input → ReLU(hidden) → scalar logit`.
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    w1: Mat, // hidden × input
+    b1: Vec<f64>,
+    w2: Vec<f64>, // hidden
+    b2: f64,
+}
+
+impl Mlp {
+    /// Glorot-ish random initialization.
+    pub fn new(cfg: &MlpConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let scale1 = (2.0 / (cfg.input_dim + cfg.hidden_dim) as f64).sqrt();
+        let w1 = Mat::from_fn(cfg.hidden_dim, cfg.input_dim, |_, _| {
+            (rng.gen::<f64>() * 2.0 - 1.0) * scale1
+        });
+        let scale2 = (2.0 / (cfg.hidden_dim + 1) as f64).sqrt();
+        let w2 = (0..cfg.hidden_dim)
+            .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale2)
+            .collect();
+        Mlp {
+            w1,
+            b1: vec![0.0; cfg.hidden_dim],
+            w2,
+            b2: 0.0,
+        }
+    }
+
+    fn forward(&self, x: &[f64], hidden: &mut Vec<f64>) -> f64 {
+        hidden.resize(self.b1.len(), 0.0);
+        self.w1.matvec(x, hidden);
+        for (h, b) in hidden.iter_mut().zip(&self.b1) {
+            *h = (*h + b).max(0.0); // ReLU
+        }
+        snorkel_linalg::math::dot(hidden, &self.w2) + self.b2
+    }
+
+    /// `P(y = +1 | x)`.
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        let mut hidden = Vec::new();
+        sigmoid(self.forward(x, &mut hidden))
+    }
+
+    /// Probabilities for a batch.
+    pub fn predict_proba_all(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict_proba(x)).collect()
+    }
+
+    /// Hard ±1 predictions at 0.5.
+    pub fn predict_all(&self, xs: &[Vec<f64>]) -> Vec<Vote> {
+        xs.iter()
+            .map(|x| if self.predict_proba(x) > 0.5 { 1 } else { -1 })
+            .collect()
+    }
+
+    /// Train with the noise-aware binary log-loss on soft targets
+    /// `P(y=+1)`. Returns final-epoch mean loss.
+    pub fn fit(&mut self, xs: &[Vec<f64>], soft: &[f64], cfg: &MlpConfig) -> f64 {
+        assert_eq!(xs.len(), soft.len(), "fit: one target per example");
+        let h = cfg.hidden_dim;
+        let d = cfg.input_dim;
+        let n_params = h * d + h + h + 1;
+        let mut adam = Adam::new(n_params, cfg.learning_rate);
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(1));
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        let mut grad = vec![0.0; n_params];
+        let mut hidden = Vec::with_capacity(h);
+        let mut last_loss = 0.0;
+
+        for _epoch in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            for batch in order.chunks(cfg.batch_size) {
+                grad.iter_mut().for_each(|g| *g = 0.0);
+                for &i in batch {
+                    let x = &xs[i];
+                    assert_eq!(x.len(), d, "input dim mismatch at row {i}");
+                    let s = self.forward(x, &mut hidden);
+                    let p = sigmoid(s);
+                    let t = soft[i];
+                    epoch_loss -=
+                        t * p.max(1e-12).ln() + (1.0 - t) * (1.0 - p).max(1e-12).ln();
+                    let delta = p - t; // dL/ds
+                    // Backprop: w2 & b2.
+                    let (gw1, rest) = grad.split_at_mut(h * d);
+                    let (gb1, rest) = rest.split_at_mut(h);
+                    let (gw2, gb2) = rest.split_at_mut(h);
+                    for j in 0..h {
+                        gw2[j] += delta * hidden[j];
+                    }
+                    gb2[0] += delta;
+                    // Hidden layer.
+                    for j in 0..h {
+                        if hidden[j] <= 0.0 {
+                            continue; // ReLU gate
+                        }
+                        let dj = delta * self.w2[j];
+                        gb1[j] += dj;
+                        let row = &mut gw1[j * d..(j + 1) * d];
+                        for (g, &xv) in row.iter_mut().zip(x) {
+                            *g += dj * xv;
+                        }
+                    }
+                }
+                // Average + L2, then one Adam step over the flat params.
+                let bf = batch.len() as f64;
+                let mut params = self.flatten();
+                for (g, p) in grad.iter_mut().zip(&params) {
+                    *g = *g / bf + cfg.l2 * p;
+                }
+                adam.step(&mut params, &grad);
+                self.unflatten(&params, h, d);
+            }
+            last_loss = epoch_loss / xs.len() as f64;
+        }
+        last_loss
+    }
+
+    /// Train on hard ±1 labels (gold 0 rows get weight-less 0.5 targets
+    /// and are effectively ignored by the symmetric loss).
+    pub fn fit_hard(&mut self, xs: &[Vec<f64>], gold: &[Vote], cfg: &MlpConfig) -> f64 {
+        let pairs: Vec<(Vec<f64>, f64)> = xs
+            .iter()
+            .zip(gold)
+            .filter(|&(_, &g)| g != 0)
+            .map(|(x, &g)| (x.clone(), if g == 1 { 1.0 } else { 0.0 }))
+            .collect();
+        let (xs2, soft): (Vec<Vec<f64>>, Vec<f64>) = pairs.into_iter().unzip();
+        self.fit(&xs2, &soft, cfg)
+    }
+
+    fn flatten(&self) -> Vec<f64> {
+        let mut p = Vec::with_capacity(
+            self.w1.rows() * self.w1.cols() + self.b1.len() + self.w2.len() + 1,
+        );
+        p.extend_from_slice(self.w1.as_slice());
+        p.extend_from_slice(&self.b1);
+        p.extend_from_slice(&self.w2);
+        p.push(self.b2);
+        p
+    }
+
+    fn unflatten(&mut self, params: &[f64], h: usize, d: usize) {
+        self.w1 = Mat::from_vec(h, d, params[..h * d].to_vec());
+        self.b1.copy_from_slice(&params[h * d..h * d + h]);
+        self.w2.copy_from_slice(&params[h * d + h..h * d + 2 * h]);
+        self.b2 = params[h * d + 2 * h];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(input_dim: usize) -> MlpConfig {
+        MlpConfig {
+            input_dim,
+            hidden_dim: 16,
+            epochs: 200,
+            learning_rate: 0.01,
+            ..MlpConfig::default()
+        }
+    }
+
+    #[test]
+    fn learns_xor() {
+        // The canonical not-linearly-separable problem.
+        let xs = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let ys: Vec<Vote> = vec![-1, 1, 1, -1];
+        let c = cfg(2);
+        let mut mlp = Mlp::new(&c);
+        mlp.fit_hard(&xs, &ys, &c);
+        assert_eq!(mlp.predict_all(&xs), ys, "XOR not learned");
+    }
+
+    #[test]
+    fn learns_linear_separation_with_noise_aware_targets() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut xs = Vec::new();
+        let mut gold = Vec::new();
+        for _ in 0..400 {
+            let y: Vote = if rng.gen::<bool>() { 1 } else { -1 };
+            let base = y as f64;
+            xs.push(vec![
+                base + rng.gen::<f64>() * 0.6,
+                -base + rng.gen::<f64>() * 0.6,
+            ]);
+            gold.push(y);
+        }
+        let soft: Vec<f64> = gold.iter().map(|&y| if y == 1 { 0.85 } else { 0.15 }).collect();
+        let c = MlpConfig {
+            input_dim: 2,
+            hidden_dim: 8,
+            epochs: 60,
+            ..MlpConfig::default()
+        };
+        let mut mlp = Mlp::new(&c);
+        mlp.fit(&xs, &soft, &c);
+        let acc = crate::metrics::accuracy(&mlp.predict_all(&xs), &gold);
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let xs = vec![vec![0.2, 0.8], vec![0.9, 0.1]];
+        let soft = vec![1.0, 0.0];
+        let c = cfg(2);
+        let mut a = Mlp::new(&c);
+        let mut b = Mlp::new(&c);
+        a.fit(&xs, &soft, &c);
+        b.fit(&xs, &soft, &c);
+        assert_eq!(a.predict_proba(&xs[0]), b.predict_proba(&xs[0]));
+    }
+
+    #[test]
+    fn probabilities_in_range() {
+        let c = cfg(3);
+        let mlp = Mlp::new(&c);
+        let p = mlp.predict_proba(&[1000.0, -1000.0, 0.0]);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    #[should_panic(expected = "input dim mismatch")]
+    fn dim_mismatch_panics() {
+        let c = cfg(2);
+        let mut mlp = Mlp::new(&c);
+        let _ = mlp.fit(&[vec![1.0]], &[1.0], &c);
+    }
+}

@@ -1,0 +1,117 @@
+//! Crowdsourcing as labeling functions (paper §4.1.2, Crowd task).
+//!
+//! Snorkel subsumes crowd-label modeling by representing *each
+//! crowdworker as a labeling function*: the worker's recorded answers
+//! become the LF's votes, and the generative model's accuracy weights
+//! recover per-worker reliability — the Dawid-Skene setting (§3.1).
+
+use std::collections::HashMap;
+
+use snorkel_context::{CandidateId, CandidateView};
+use snorkel_matrix::{Vote, ABSTAIN};
+
+use crate::traits::{BoxedLf, LabelingFunction};
+
+/// One crowdworker's answer table as a labeling function.
+pub struct CrowdWorkerLf {
+    name: String,
+    answers: HashMap<CandidateId, Vote>,
+}
+
+impl CrowdWorkerLf {
+    /// Build from a worker id and their `(candidate, vote)` answers.
+    pub fn new(worker_id: &str, answers: HashMap<CandidateId, Vote>) -> Self {
+        CrowdWorkerLf {
+            name: format!("lf_worker_{worker_id}"),
+            answers,
+        }
+    }
+
+    /// Number of items this worker answered.
+    pub fn num_answers(&self) -> usize {
+        self.answers.len()
+    }
+}
+
+impl LabelingFunction for CrowdWorkerLf {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn label(&self, x: &CandidateView<'_>) -> Vote {
+        self.answers.get(&x.id()).copied().unwrap_or(ABSTAIN)
+    }
+}
+
+/// Labeling-function generator for a crowdsourcing table: rows of
+/// `(worker_id, candidate, vote)` expand into one [`CrowdWorkerLf`] per
+/// distinct worker. Worker order is sorted by id for determinism.
+pub fn crowd_lfs(table: &[(String, CandidateId, Vote)]) -> Vec<BoxedLf> {
+    let mut per_worker: std::collections::BTreeMap<String, HashMap<CandidateId, Vote>> =
+        std::collections::BTreeMap::new();
+    for (worker, cand, vote) in table {
+        per_worker
+            .entry(worker.clone())
+            .or_default()
+            .insert(*cand, *vote);
+    }
+    per_worker
+        .into_iter()
+        .map(|(worker, answers)| Box::new(CrowdWorkerLf::new(&worker, answers)) as BoxedLf)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snorkel_context::{Corpus, Token};
+
+    fn corpus_with(n: usize) -> (Corpus, Vec<CandidateId>) {
+        let mut c = Corpus::new();
+        let d = c.add_document("tweets");
+        let mut ids = Vec::new();
+        for i in 0..n {
+            let text = format!("tweet {i}");
+            let len = text.len();
+            let s = c.add_sentence(d, text, vec![Token::new("tweet", 0, 5)]);
+            let _ = len;
+            let sp = c.add_span(s, 0, 1, Some("Tweet"));
+            ids.push(c.add_candidate(vec![sp]));
+        }
+        (c, ids)
+    }
+
+    #[test]
+    fn worker_lf_replays_answers() {
+        let (corpus, ids) = corpus_with(3);
+        let mut answers = HashMap::new();
+        answers.insert(ids[0], 2 as Vote);
+        answers.insert(ids[2], 5 as Vote);
+        let w = CrowdWorkerLf::new("42", answers);
+        assert_eq!(w.name(), "lf_worker_42");
+        assert_eq!(w.num_answers(), 2);
+        assert_eq!(w.label(&corpus.candidate(ids[0])), 2);
+        assert_eq!(w.label(&corpus.candidate(ids[1])), ABSTAIN);
+        assert_eq!(w.label(&corpus.candidate(ids[2])), 5);
+    }
+
+    #[test]
+    fn generator_groups_by_worker() {
+        let (_, ids) = corpus_with(2);
+        let table = vec![
+            ("w2".to_string(), ids[0], 1 as Vote),
+            ("w1".to_string(), ids[0], 2 as Vote),
+            ("w1".to_string(), ids[1], 3 as Vote),
+        ];
+        let lfs = crowd_lfs(&table);
+        assert_eq!(lfs.len(), 2);
+        // Deterministic sorted-by-id order.
+        assert_eq!(lfs[0].name(), "lf_worker_w1");
+        assert_eq!(lfs[1].name(), "lf_worker_w2");
+    }
+
+    #[test]
+    fn empty_table_yields_no_lfs() {
+        assert!(crowd_lfs(&[]).is_empty());
+    }
+}

@@ -1,0 +1,209 @@
+//! Applying a labeling-function suite over a corpus.
+//!
+//! LF execution is embarrassingly parallel (paper appendix C): each
+//! candidate is labeled independently, so the executor splits the
+//! candidate list into contiguous chunks, labels them on scoped worker
+//! threads, and merges the per-chunk triplets into one [`LabelMatrix`].
+//! The output is bit-for-bit identical regardless of thread count.
+
+use snorkel_context::{CandidateId, Corpus};
+use snorkel_matrix::{LabelMatrix, LabelMatrixBuilder, Vote};
+
+use crate::traits::BoxedLf;
+
+/// Applies LF suites, optionally across threads.
+#[derive(Clone, Copy, Debug)]
+pub struct LfExecutor {
+    /// Number of worker threads (1 = serial).
+    pub parallelism: usize,
+    /// Vote scheme cardinality for the produced matrix (2 = binary).
+    pub cardinality: u8,
+}
+
+impl Default for LfExecutor {
+    fn default() -> Self {
+        LfExecutor {
+            parallelism: 1,
+            cardinality: 2,
+        }
+    }
+}
+
+impl LfExecutor {
+    /// A serial executor for binary tasks.
+    pub fn new() -> Self {
+        LfExecutor::default()
+    }
+
+    /// Use up to `threads` workers.
+    pub fn with_parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = threads.max(1);
+        self
+    }
+
+    /// Set the vote-scheme cardinality of the produced matrix.
+    pub fn with_cardinality(mut self, k: u8) -> Self {
+        self.cardinality = k;
+        self
+    }
+
+    /// Apply `lfs` over `candidates` (rows follow `candidates` order).
+    pub fn apply(
+        &self,
+        lfs: &[BoxedLf],
+        corpus: &Corpus,
+        candidates: &[CandidateId],
+    ) -> LabelMatrix {
+        let m = candidates.len();
+        let n = lfs.len();
+        let mut builder = LabelMatrixBuilder::with_cardinality(m, n, self.cardinality);
+
+        if self.parallelism <= 1 || m < 2 {
+            for (row, &cid) in candidates.iter().enumerate() {
+                let view = corpus.candidate(cid);
+                for (col, lf) in lfs.iter().enumerate() {
+                    builder.set(row, col, lf.label(&view));
+                }
+            }
+            return builder.build();
+        }
+
+        let threads = self.parallelism.min(m);
+        let chunk = m.div_ceil(threads);
+        let mut chunk_outputs: Vec<Vec<(usize, usize, Vote)>> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (t, cand_chunk) in candidates.chunks(chunk).enumerate() {
+                let base = t * chunk;
+                handles.push(scope.spawn(move |_| {
+                    let mut triplets = Vec::new();
+                    for (off, &cid) in cand_chunk.iter().enumerate() {
+                        let view = corpus.candidate(cid);
+                        for (col, lf) in lfs.iter().enumerate() {
+                            let v = lf.label(&view);
+                            if v != 0 {
+                                triplets.push((base + off, col, v));
+                            }
+                        }
+                    }
+                    triplets
+                }));
+            }
+            for h in handles {
+                chunk_outputs.push(h.join().expect("labeling worker panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+
+        for triplets in chunk_outputs {
+            for (i, j, v) in triplets {
+                builder.set(i, j, v);
+            }
+        }
+        builder.build()
+    }
+
+    /// Apply over *all* candidates of the corpus, in id order.
+    pub fn apply_all(&self, lfs: &[BoxedLf], corpus: &Corpus) -> LabelMatrix {
+        let candidates: Vec<CandidateId> = corpus.candidate_ids().collect();
+        self.apply(lfs, corpus, &candidates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::lf;
+    use snorkel_context::Corpus;
+    use snorkel_nlp::tokenize;
+
+    fn corpus(n: usize) -> (Corpus, Vec<CandidateId>) {
+        let mut c = Corpus::new();
+        let d = c.add_document("d");
+        let mut ids = Vec::new();
+        for i in 0..n {
+            let text = if i % 3 == 0 {
+                "alpha causes beta".to_string()
+            } else {
+                "alpha treats beta".to_string()
+            };
+            let s = c.add_sentence(d, &text, tokenize(&text));
+            let a = c.add_span(s, 0, 1, Some("A"));
+            let b = c.add_span(s, 2, 3, Some("B"));
+            ids.push(c.add_candidate(vec![a, b]));
+        }
+        (c, ids)
+    }
+
+    fn suite() -> Vec<BoxedLf> {
+        vec![
+            lf("lf_causes", |x| {
+                if x.words_between(0, 1).iter().any(|w| *w == "causes") {
+                    1
+                } else {
+                    0
+                }
+            }),
+            lf("lf_treats", |x| {
+                if x.words_between(0, 1).iter().any(|w| *w == "treats") {
+                    -1
+                } else {
+                    0
+                }
+            }),
+            lf("lf_abstainer", |_| 0),
+        ]
+    }
+
+    #[test]
+    fn serial_application() {
+        let (c, ids) = corpus(9);
+        let lambda = LfExecutor::new().apply(&suite(), &c, &ids);
+        assert_eq!(lambda.num_points(), 9);
+        assert_eq!(lambda.num_lfs(), 3);
+        assert_eq!(lambda.get(0, 0), 1);
+        assert_eq!(lambda.get(1, 1), -1);
+        assert_eq!(lambda.get(0, 2), 0);
+        // Exactly one vote per row (LFs are mutually exclusive here).
+        assert_eq!(lambda.nnz(), 9);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (c, ids) = corpus(101);
+        let serial = LfExecutor::new().apply(&suite(), &c, &ids);
+        for threads in [2, 3, 8] {
+            let par = LfExecutor::new()
+                .with_parallelism(threads)
+                .apply(&suite(), &c, &ids);
+            assert_eq!(par, serial, "parallelism={threads} must be deterministic");
+        }
+    }
+
+    #[test]
+    fn apply_all_uses_id_order() {
+        let (c, ids) = corpus(5);
+        let a = LfExecutor::new().apply_all(&suite(), &c);
+        let b = LfExecutor::new().apply(&suite(), &c, &ids);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn row_subset_and_order_respected() {
+        let (c, ids) = corpus(6);
+        let reversed: Vec<CandidateId> = ids.iter().rev().copied().collect();
+        let lambda = LfExecutor::new().apply(&suite(), &c, &reversed);
+        // Row 5 is candidate 0, which says "causes".
+        assert_eq!(lambda.get(5, 0), 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (c, _) = corpus(3);
+        let lambda = LfExecutor::new().apply(&suite(), &c, &[]);
+        assert_eq!(lambda.num_points(), 0);
+        let no_lfs = LfExecutor::new().apply(&[], &c, &c.candidate_ids().collect::<Vec<_>>());
+        assert_eq!(no_lfs.num_lfs(), 0);
+        assert_eq!(no_lfs.nnz(), 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! The core labeling-function abstraction.
+
+use snorkel_context::CandidateView;
+use snorkel_matrix::Vote;
+
+/// A labeling function `λ : X → Y ∪ {∅}`.
+///
+/// Implementations must be `Send + Sync`: LF application is parallelized
+/// across candidates, with the LF suite shared read-only between threads.
+/// Returning [`snorkel_matrix::ABSTAIN`] (0) abstains.
+pub trait LabelingFunction: Send + Sync {
+    /// Stable human-readable name, surfaced in diagnostics.
+    fn name(&self) -> &str;
+
+    /// Vote on one candidate (0 = abstain).
+    fn label(&self, x: &CandidateView<'_>) -> Vote;
+}
+
+/// Owned, type-erased labeling function.
+pub type BoxedLf = Box<dyn LabelingFunction>;
+
+/// A labeling function defined by an arbitrary closure — the Rust
+/// equivalent of the paper's hand-written Python LFs (Example 2.3).
+pub struct FnLf<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> FnLf<F>
+where
+    F: Fn(&CandidateView<'_>) -> Vote + Send + Sync,
+{
+    /// Wrap a closure as a named LF.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        FnLf {
+            name: name.into(),
+            f,
+        }
+    }
+}
+
+impl<F> LabelingFunction for FnLf<F>
+where
+    F: Fn(&CandidateView<'_>) -> Vote + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn label(&self, x: &CandidateView<'_>) -> Vote {
+        (self.f)(x)
+    }
+}
+
+/// Convenience constructor boxing a closure LF.
+///
+/// ```
+/// use snorkel_lf::{lf, LabelingFunction};
+/// let my_lf = lf("lf_short_distance", |x| {
+///     if x.arity() == 2 && x.token_distance(0, 1) <= 2 { 1 } else { 0 }
+/// });
+/// assert_eq!(my_lf.name(), "lf_short_distance");
+/// ```
+pub fn lf<F>(name: impl Into<String>, f: F) -> BoxedLf
+where
+    F: Fn(&CandidateView<'_>) -> Vote + Send + Sync + 'static,
+{
+    Box::new(FnLf::new(name, f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snorkel_context::{Corpus, Token};
+
+    fn tiny_corpus() -> (Corpus, snorkel_context::CandidateId) {
+        let mut c = Corpus::new();
+        let d = c.add_document("d");
+        let s = c.add_sentence(
+            d,
+            "a causes b",
+            vec![
+                Token::new("a", 0, 1),
+                Token::new("causes", 2, 8),
+                Token::new("b", 9, 10),
+            ],
+        );
+        let s1 = c.add_span(s, 0, 1, Some("X"));
+        let s2 = c.add_span(s, 2, 3, Some("Y"));
+        let cand = c.add_candidate(vec![s1, s2]);
+        (c, cand)
+    }
+
+    #[test]
+    fn closure_lf_votes() {
+        let (corpus, cand) = tiny_corpus();
+        let my = lf("causes_between", |x| {
+            if x.words_between(0, 1).contains(&"causes") {
+                1
+            } else {
+                0
+            }
+        });
+        assert_eq!(my.label(&corpus.candidate(cand)), 1);
+    }
+
+    #[test]
+    fn lfs_are_shareable_across_threads() {
+        let my = lf("const", |_| 1);
+        let (corpus, cand) = tiny_corpus();
+        std::thread::scope(|scope| {
+            let h = scope.spawn(|| my.label(&corpus.candidate(cand)));
+            assert_eq!(h.join().expect("thread ok"), 1);
+        });
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the LF executor: output equals the brute-force
+//! per-candidate application, regardless of thread count, row subset, or
+//! suite composition.
+
+use proptest::prelude::*;
+use snorkel_lf::{lf, BoxedLf, LfExecutor};
+use snorkel_matrix::LabelMatrixBuilder;
+use snorkel_nlp::tokenize;
+
+/// Deterministic corpus of `n` two-span candidates with varied text.
+fn build_corpus(n: usize) -> (snorkel_context::Corpus, Vec<snorkel_context::CandidateId>) {
+    let mut corpus = snorkel_context::Corpus::new();
+    let doc = corpus.add_document("d");
+    let verbs = ["causes", "treats", "meets", "likes", "blocks"];
+    let mut ids = Vec::new();
+    for i in 0..n {
+        let text = format!("alpha{} {} beta{}", i % 7, verbs[i % verbs.len()], i % 5);
+        let sent = corpus.add_sentence(doc, &text, tokenize(&text));
+        let a = corpus.add_span(sent, 0, 1, Some("A"));
+        let b = corpus.add_span(sent, 2, 3, Some("B"));
+        ids.push(corpus.add_candidate(vec![a, b]));
+    }
+    (corpus, ids)
+}
+
+/// A parameterized deterministic LF: votes by hashing the sentence text
+/// with a salt, abstaining on a fraction of candidates.
+fn salted_lf(salt: u64, abstain_mod: u64) -> BoxedLf {
+    lf(format!("lf_salt_{salt}"), move |x| {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        (salt, x.sentence().text()).hash(&mut h);
+        let v = h.finish();
+        if v % abstain_mod == 0 {
+            0
+        } else if v % 2 == 0 {
+            1
+        } else {
+            -1
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Parallel execution is bit-for-bit identical to serial, for any
+    /// suite size, corpus size, and thread count.
+    #[test]
+    fn parallel_equals_serial(
+        n_cands in 1usize..60,
+        salts in prop::collection::vec(0u64..1000, 1..6),
+        threads in 2usize..8,
+    ) {
+        let (corpus, ids) = build_corpus(n_cands);
+        let suite: Vec<BoxedLf> = salts.iter().map(|&s| salted_lf(s, 3)).collect();
+        let serial = LfExecutor::new().apply(&suite, &corpus, &ids);
+        let parallel = LfExecutor::new()
+            .with_parallelism(threads)
+            .apply(&suite, &corpus, &ids);
+        prop_assert_eq!(serial, parallel);
+    }
+
+    /// The executor's matrix equals brute-force labeling.
+    #[test]
+    fn executor_matches_bruteforce(
+        n_cands in 1usize..40,
+        salts in prop::collection::vec(0u64..1000, 1..5),
+    ) {
+        let (corpus, ids) = build_corpus(n_cands);
+        let suite: Vec<BoxedLf> = salts.iter().map(|&s| salted_lf(s, 4)).collect();
+        let lambda = LfExecutor::new().apply(&suite, &corpus, &ids);
+
+        let mut b = LabelMatrixBuilder::new(ids.len(), suite.len());
+        for (row, &cid) in ids.iter().enumerate() {
+            let view = corpus.candidate(cid);
+            for (col, f) in suite.iter().enumerate() {
+                b.set(row, col, f.label(&view));
+            }
+        }
+        prop_assert_eq!(lambda, b.build());
+    }
+
+    /// Row-subset application equals selecting rows from the full run.
+    #[test]
+    fn subset_rows_consistent(
+        n_cands in 4usize..40,
+        salts in prop::collection::vec(0u64..1000, 1..4),
+        stride in 1usize..4,
+    ) {
+        let (corpus, ids) = build_corpus(n_cands);
+        let suite: Vec<BoxedLf> = salts.iter().map(|&s| salted_lf(s, 5)).collect();
+        let full = LfExecutor::new().apply(&suite, &corpus, &ids);
+        let picked_rows: Vec<usize> = (0..n_cands).step_by(stride).collect();
+        let picked_ids: Vec<_> = picked_rows.iter().map(|&r| ids[r]).collect();
+        let direct = LfExecutor::new().apply(&suite, &corpus, &picked_ids);
+        prop_assert_eq!(direct, full.select_rows(&picked_rows));
+    }
+}
+
+/// `LabelingFunction` objects must be usable through the trait object
+/// regardless of construction path (regression guard for the Send+Sync
+/// bounds).
+#[test]
+fn boxed_lfs_cross_thread() {
+    use snorkel_lf::LabelingFunction;
+    let (corpus, ids) = build_corpus(5);
+    let suite: Vec<BoxedLf> = vec![salted_lf(1, 3), salted_lf(2, 3)];
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| {
+            suite
+                .iter()
+                .map(|f| f.label(&corpus.candidate(ids[0])))
+                .collect::<Vec<_>>()
+        });
+        let votes = handle.join().expect("worker ok");
+        assert_eq!(votes.len(), 2);
+    });
+}

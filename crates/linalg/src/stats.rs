@@ -1,0 +1,249 @@
+//! Streaming and batch summary statistics.
+//!
+//! Used throughout the bench harness (reporting measured vs paper numbers)
+//! and by the user-study simulation (score distributions). [`OnlineStats`]
+//! is Welford's numerically stable single-pass mean/variance; [`Summary`]
+//! is the batch convenience wrapper adding order statistics.
+
+/// Welford's online mean/variance accumulator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineStats {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        OnlineStats::default()
+    }
+
+    /// Fold one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance (n−1 denominator); 0 when fewer than 2 points.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+    }
+}
+
+/// Batch summary: mean, std, min, max, median, arbitrary quantiles.
+#[derive(Clone, Debug)]
+pub struct Summary {
+    sorted: Vec<f64>,
+    online: OnlineStats,
+}
+
+impl Summary {
+    /// Summarize a slice (NaNs are rejected with a panic — upstream code
+    /// must never produce NaN scores).
+    pub fn of(values: &[f64]) -> Self {
+        assert!(
+            values.iter().all(|v| !v.is_nan()),
+            "Summary::of: NaN in input"
+        );
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        let mut online = OnlineStats::new();
+        for &v in values {
+            online.push(v);
+        }
+        Summary { sorted, online }
+    }
+
+    /// Number of values.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Mean.
+    pub fn mean(&self) -> f64 {
+        self.online.mean()
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.online.std_dev()
+    }
+
+    /// Minimum (0 for empty).
+    pub fn min(&self) -> f64 {
+        self.sorted.first().copied().unwrap_or(0.0)
+    }
+
+    /// Maximum (0 for empty).
+    pub fn max(&self) -> f64 {
+        self.sorted.last().copied().unwrap_or(0.0)
+    }
+
+    /// Linear-interpolation quantile, `q ∈ [0, 1]`; 0 for empty input.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (self.sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+
+    /// Median.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+}
+
+/// Pearson correlation coefficient of two equal-length slices.
+///
+/// Returns 0 when either series has zero variance (the undefined case),
+/// which is the conservative choice for "no linear relationship".
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson: length mismatch");
+    let n = a.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n as f64;
+    let mb = b.iter().sum::<f64>() / n as f64;
+    let (mut cov, mut va, mut vb) = (0.0, 0.0, 0.0);
+    for (&x, &y) in a.iter().zip(b) {
+        let dx = x - ma;
+        let dy = y - mb;
+        cov += dx * dy;
+        va += dx * dx;
+        vb += dy * dy;
+    }
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // two-pass sample variance
+        let var = xs.iter().map(|x| (x - 5.0) * (x - 5.0)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((s.variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = OnlineStats::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &xs[..37] {
+            left.push(x);
+        }
+        for &x in &xs[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert!((left.mean() - all.mean()).abs() < 1e-10);
+        assert!((left.variance() - all.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = (a.count(), a.mean(), a.variance());
+        a.merge(&OnlineStats::new());
+        assert_eq!(before, (a.count(), a.mean(), a.variance()));
+    }
+
+    #[test]
+    fn summary_order_statistics() {
+        let s = Summary::of(&[3.0, 1.0, 2.0, 5.0, 4.0]);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 5.0);
+        assert_eq!(s.median(), 3.0);
+        assert!((s.quantile(0.25) - 2.0).abs() < 1e-12);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_is_safe() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.median(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn summary_rejects_nan() {
+        let _ = Summary::of(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn pearson_perfect_and_degenerate() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [-1.0, -2.0, -3.0, -4.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+        let flat = [5.0; 4];
+        assert_eq!(pearson(&a, &flat), 0.0);
+    }
+}

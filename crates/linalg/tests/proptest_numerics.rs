@@ -1,0 +1,108 @@
+//! Property tests for the numerics substrate.
+
+use proptest::prelude::*;
+use snorkel_linalg::math::{self, log1pexp, logsumexp, sigmoid, softmax_in_place};
+use snorkel_linalg::{Mat, OnlineStats, SparseVec, Summary};
+
+proptest! {
+    #[test]
+    fn sigmoid_is_monotone_and_bounded(a in -700f64..700.0, b in -700f64..700.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(sigmoid(lo) <= sigmoid(hi));
+        prop_assert!((0.0..=1.0).contains(&sigmoid(a)));
+        prop_assert!((sigmoid(a) + sigmoid(-a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log1pexp_matches_softplus_identity(x in -80f64..80.0) {
+        // softplus(x) − softplus(−x) == x
+        prop_assert!((log1pexp(x) - log1pexp(-x) - x).abs() < 1e-8);
+    }
+
+    #[test]
+    fn logsumexp_shift_invariance(
+        xs in prop::collection::vec(-50f64..50.0, 1..10),
+        c in -100f64..100.0,
+    ) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + c).collect();
+        prop_assert!((logsumexp(&shifted) - logsumexp(&xs) - c).abs() < 1e-8);
+        // And it upper-bounds the max.
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(logsumexp(&xs) >= max - 1e-12);
+        prop_assert!(logsumexp(&xs) <= max + (xs.len() as f64).ln() + 1e-12);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_distribution(
+        xs in prop::collection::vec(-60f64..60.0, 1..8),
+        c in -50f64..50.0,
+    ) {
+        let mut a = xs.clone();
+        softmax_in_place(&mut a);
+        let mut b: Vec<f64> = xs.iter().map(|x| x + c).collect();
+        softmax_in_place(&mut b);
+        prop_assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn sparse_dot_is_commutative_and_cauchy_schwarz(
+        pa in prop::collection::vec((0u32..64, -5f64..5.0), 0..16),
+        pb in prop::collection::vec((0u32..64, -5f64..5.0), 0..16),
+    ) {
+        let a = SparseVec::from_pairs(pa);
+        let b = SparseVec::from_pairs(pb);
+        prop_assert!((a.dot_sparse(&b) - b.dot_sparse(&a)).abs() < 1e-9);
+        let cs = a.norm2_sq().sqrt() * b.norm2_sq().sqrt();
+        prop_assert!(a.dot_sparse(&b).abs() <= cs + 1e-9);
+    }
+
+    #[test]
+    fn sparse_dense_dot_agrees_with_dense_dense(
+        pairs in prop::collection::vec((0u32..32, -5f64..5.0), 0..12),
+        dense in prop::collection::vec(-5f64..5.0, 32),
+    ) {
+        let v = SparseVec::from_pairs(pairs);
+        let mut as_dense = vec![0.0; 32];
+        for (i, x) in v.iter() {
+            as_dense[i as usize] = x;
+        }
+        let expected = math::dot(&as_dense, &dense);
+        prop_assert!((v.dot_dense(&dense) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matvec_linearity(
+        data in prop::collection::vec(-3f64..3.0, 6),
+        x in prop::collection::vec(-3f64..3.0, 3),
+        y in prop::collection::vec(-3f64..3.0, 3),
+        alpha in -2f64..2.0,
+    ) {
+        // A(αx + y) == αAx + Ay
+        let m = Mat::from_vec(2, 3, data);
+        let combo: Vec<f64> = x.iter().zip(&y).map(|(a, b)| alpha * a + b).collect();
+        let mut lhs = vec![0.0; 2];
+        m.matvec(&combo, &mut lhs);
+        let mut ax = vec![0.0; 2];
+        let mut ay = vec![0.0; 2];
+        m.matvec(&x, &mut ax);
+        m.matvec(&y, &mut ay);
+        for i in 0..2 {
+            prop_assert!((lhs[i] - (alpha * ax[i] + ay[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn online_stats_match_summary(values in prop::collection::vec(-100f64..100.0, 1..40)) {
+        let mut online = OnlineStats::new();
+        for &v in &values {
+            online.push(v);
+        }
+        let summary = Summary::of(&values);
+        prop_assert!((online.mean() - summary.mean()).abs() < 1e-9);
+        prop_assert!((online.std_dev() - summary.std_dev()).abs() < 1e-9);
+        prop_assert!(summary.min() <= summary.median() && summary.median() <= summary.max());
+    }
+}

@@ -1,0 +1,37 @@
+//! # snorkel-matrix
+//!
+//! The label matrix `Λ ∈ (Y ∪ {∅})^{m×n}` (paper §2) and its diagnostics.
+//!
+//! Applying `n` labeling functions to `m` unlabeled data points yields a
+//! sparse matrix of votes: most LFs abstain on most points. This crate
+//! stores Λ in compressed-sparse-row form ([`LabelMatrix`]), supports both
+//! the binary scheme (votes in `{−1, +1}`, abstain = 0) and the
+//! multi-class scheme (votes in `{1..=k}`, abstain = 0), and computes the
+//! diagnostics Snorkel surfaces to LF developers and to the modeling
+//! optimizer:
+//!
+//! * per-LF **coverage / overlap / conflict** ([`stats::LfSummary`])
+//! * the **label density** `d_Λ` driving the MV-vs-GM tradeoff (§3.1)
+//! * **empirical accuracy** against a labeled development set
+//! * class balance and polarity checks
+//!
+//! ```
+//! use snorkel_matrix::LabelMatrixBuilder;
+//!
+//! let mut b = LabelMatrixBuilder::new(3, 2);
+//! b.set(0, 0, 1);
+//! b.set(0, 1, -1);
+//! b.set(2, 1, 1);
+//! let lambda = b.build();
+//! assert_eq!(lambda.nnz(), 3);
+//! assert!((lambda.label_density() - 1.0).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod csr;
+pub mod stats;
+
+pub use csr::{LabelMatrix, LabelMatrixBuilder, Vote, ABSTAIN};
+pub use stats::{LfSummary, MatrixStats};

@@ -1,0 +1,250 @@
+//! Labeling diagnostics: the numbers Snorkel shows LF developers.
+//!
+//! These statistics drive the iterative development loop the paper
+//! describes (§2.1, appendix C): after each LF edit, users inspect
+//! coverage / overlap / conflict per LF and empirical accuracy on the
+//! small labeled development set, then refine. The optimizer (§3.1.2)
+//! additionally consumes the matrix-level label density.
+
+use crate::csr::{LabelMatrix, Vote, ABSTAIN};
+
+/// Per-labeling-function summary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LfSummary {
+    /// Column index of the LF.
+    pub index: usize,
+    /// Fraction of data points this LF voted on.
+    pub coverage: f64,
+    /// Fraction of points where this LF voted *and* ≥1 other LF voted.
+    pub overlap: f64,
+    /// Fraction of points where this LF voted and ≥1 other LF voted a
+    /// *different* (non-abstain) label.
+    pub conflict: f64,
+    /// Distinct labels this LF ever emitted (its polarity).
+    pub polarity: Vec<Vote>,
+    /// Raw vote count.
+    pub num_votes: usize,
+}
+
+/// Matrix-level summary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MatrixStats {
+    /// One summary per LF column.
+    pub lfs: Vec<LfSummary>,
+    /// Label density `d_Λ` (mean non-abstain votes per point).
+    pub label_density: f64,
+    /// Fraction of points with at least one vote.
+    pub coverage: f64,
+    /// Fraction of points with at least two differing votes.
+    pub conflict_rate: f64,
+}
+
+/// Compute the full diagnostic summary of a label matrix.
+pub fn matrix_stats(lambda: &LabelMatrix) -> MatrixStats {
+    let m = lambda.num_points();
+    let n = lambda.num_lfs();
+    let mut votes_per_lf = vec![0usize; n];
+    let mut overlap_per_lf = vec![0usize; n];
+    let mut conflict_per_lf = vec![0usize; n];
+    let mut polarity: Vec<std::collections::BTreeSet<Vote>> =
+        vec![std::collections::BTreeSet::new(); n];
+    let mut covered = 0usize;
+    let mut conflicted = 0usize;
+
+    for i in 0..m {
+        let (cols, votes) = lambda.row(i);
+        if !cols.is_empty() {
+            covered += 1;
+        }
+        let distinct: std::collections::BTreeSet<Vote> = votes.iter().copied().collect();
+        let row_conflicts = distinct.len() > 1;
+        if row_conflicts {
+            conflicted += 1;
+        }
+        for (&c, &v) in cols.iter().zip(votes) {
+            let j = c as usize;
+            votes_per_lf[j] += 1;
+            polarity[j].insert(v);
+            if cols.len() > 1 {
+                overlap_per_lf[j] += 1;
+                // Conflict for LF j: someone else voted differently.
+                if votes.iter().any(|&other| other != v) {
+                    conflict_per_lf[j] += 1;
+                }
+            }
+        }
+    }
+
+    let denom = if m == 0 { 1.0 } else { m as f64 };
+    let lfs = (0..n)
+        .map(|j| LfSummary {
+            index: j,
+            coverage: votes_per_lf[j] as f64 / denom,
+            overlap: overlap_per_lf[j] as f64 / denom,
+            conflict: conflict_per_lf[j] as f64 / denom,
+            polarity: polarity[j].iter().copied().collect(),
+            num_votes: votes_per_lf[j],
+        })
+        .collect();
+
+    MatrixStats {
+        lfs,
+        label_density: lambda.label_density(),
+        coverage: covered as f64 / denom,
+        conflict_rate: conflicted as f64 / denom,
+    }
+}
+
+/// Empirical accuracy of each LF against gold labels (dev-set
+/// evaluation): `P(Λ_ij = y_i | Λ_ij ≠ ∅)`. Returns `None` for LFs that
+/// never voted on the labeled rows. `gold` must have one entry per matrix
+/// row (use [`LabelMatrix::select_rows`] to restrict to the dev split
+/// first).
+pub fn empirical_accuracies(lambda: &LabelMatrix, gold: &[Vote]) -> Vec<Option<f64>> {
+    assert_eq!(
+        gold.len(),
+        lambda.num_points(),
+        "empirical_accuracies: gold length must match rows"
+    );
+    let n = lambda.num_lfs();
+    let mut hits = vec![0usize; n];
+    let mut total = vec![0usize; n];
+    for (i, j, v) in lambda.iter() {
+        if gold[i] == ABSTAIN {
+            continue; // unlabeled row
+        }
+        total[j] += 1;
+        if v == gold[i] {
+            hits[j] += 1;
+        }
+    }
+    (0..n)
+        .map(|j| {
+            if total[j] == 0 {
+                None
+            } else {
+                Some(hits[j] as f64 / total[j] as f64)
+            }
+        })
+        .collect()
+}
+
+/// Fraction of rows whose (unweighted) plurality vote equals each class;
+/// a quick class-balance diagnostic. Ties and empty rows are skipped.
+pub fn class_balance(lambda: &LabelMatrix) -> std::collections::BTreeMap<Vote, f64> {
+    let mut counts: std::collections::BTreeMap<Vote, usize> = std::collections::BTreeMap::new();
+    let mut decided = 0usize;
+    for i in 0..lambda.num_points() {
+        let (_, votes) = lambda.row(i);
+        if votes.is_empty() {
+            continue;
+        }
+        let mut tally: std::collections::BTreeMap<Vote, usize> = std::collections::BTreeMap::new();
+        for &v in votes {
+            *tally.entry(v).or_insert(0) += 1;
+        }
+        let best = tally.iter().map(|(_, &c)| c).max().expect("non-empty");
+        let winners: Vec<Vote> = tally
+            .iter()
+            .filter(|&(_, &c)| c == best)
+            .map(|(&v, _)| v)
+            .collect();
+        if winners.len() == 1 {
+            *counts.entry(winners[0]).or_insert(0) += 1;
+            decided += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .map(|(v, c)| (v, c as f64 / decided.max(1) as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::LabelMatrixBuilder;
+
+    fn sample() -> LabelMatrix {
+        // 4 points × 3 LFs:
+        // row 0: LF0=+1, LF2=−1     (conflict)
+        // row 1: LF1=+1             (lonely vote)
+        // row 2: (empty)
+        // row 3: LF0=+1, LF1=+1     (agreement)
+        let mut b = LabelMatrixBuilder::new(4, 3);
+        b.set(0, 0, 1);
+        b.set(0, 2, -1);
+        b.set(1, 1, 1);
+        b.set(3, 0, 1);
+        b.set(3, 1, 1);
+        b.build()
+    }
+
+    #[test]
+    fn coverage_overlap_conflict() {
+        let s = matrix_stats(&sample());
+        assert!((s.coverage - 0.75).abs() < 1e-12);
+        assert!((s.conflict_rate - 0.25).abs() < 1e-12);
+        assert!((s.label_density - 1.25).abs() < 1e-12);
+
+        let lf0 = &s.lfs[0];
+        assert!((lf0.coverage - 0.5).abs() < 1e-12);
+        assert!((lf0.overlap - 0.5).abs() < 1e-12); // voted with others on rows 0 and 3
+        assert!((lf0.conflict - 0.25).abs() < 1e-12); // conflicted only on row 0
+        assert_eq!(lf0.polarity, vec![1]);
+
+        let lf1 = &s.lfs[1];
+        assert!((lf1.coverage - 0.5).abs() < 1e-12);
+        assert!((lf1.overlap - 0.25).abs() < 1e-12);
+        assert!((lf1.conflict - 0.0).abs() < 1e-12);
+
+        let lf2 = &s.lfs[2];
+        assert_eq!(lf2.polarity, vec![-1]);
+        assert_eq!(lf2.num_votes, 1);
+    }
+
+    #[test]
+    fn accuracies_against_gold() {
+        let m = sample();
+        let gold = vec![1, -1, 1, 1];
+        let acc = empirical_accuracies(&m, &gold);
+        assert_eq!(acc[0], Some(1.0)); // LF0 voted +1 on rows 0,3; both gold +1
+        assert_eq!(acc[1], Some(0.5)); // LF1: wrong on row 1, right on row 3
+        assert_eq!(acc[2], Some(0.0)); // LF2: −1 on row 0, gold +1
+    }
+
+    #[test]
+    fn accuracies_skip_unlabeled_rows() {
+        let m = sample();
+        let gold = vec![1, 0, 0, 0]; // only row 0 labeled
+        let acc = empirical_accuracies(&m, &gold);
+        assert_eq!(acc[0], Some(1.0));
+        assert_eq!(acc[1], None); // LF1 only voted on unlabeled rows
+        assert_eq!(acc[2], Some(0.0));
+    }
+
+    #[test]
+    fn class_balance_skips_ties() {
+        let m = sample();
+        let b = class_balance(&m);
+        // Row 0 ties (+1 vs −1) → skipped; rows 1 and 3 decide +1.
+        assert_eq!(b.get(&1).copied(), Some(1.0));
+        assert_eq!(b.get(&-1), None);
+    }
+
+    #[test]
+    fn empty_matrix_stats_are_zero() {
+        let m = LabelMatrixBuilder::new(0, 2).build();
+        let s = matrix_stats(&m);
+        assert_eq!(s.coverage, 0.0);
+        assert_eq!(s.label_density, 0.0);
+        assert_eq!(s.lfs.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "gold length")]
+    fn gold_length_mismatch_panics() {
+        let m = sample();
+        let _ = empirical_accuracies(&m, &[1, 1]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for the label matrix: CSR round-trips, selection
+//! invariants, and diagnostic bounds.
+
+use proptest::prelude::*;
+use snorkel_matrix::stats::{class_balance, empirical_accuracies, matrix_stats};
+use snorkel_matrix::{LabelMatrix, LabelMatrixBuilder, Vote};
+
+/// Generate a random binary label matrix as a dense grid, then build.
+fn matrix_strategy() -> impl Strategy<Value = (LabelMatrix, Vec<Vec<Vote>>)> {
+    (1usize..24, 1usize..10).prop_flat_map(|(m, n)| {
+        prop::collection::vec(prop::collection::vec(-1i8..=1, n), m).prop_map(move |grid| {
+            let mut b = LabelMatrixBuilder::new(m, n);
+            for (i, row) in grid.iter().enumerate() {
+                for (j, &v) in row.iter().enumerate() {
+                    b.set(i, j, v);
+                }
+            }
+            (b.build(), grid)
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn dense_round_trip((lambda, grid) in matrix_strategy()) {
+        prop_assert_eq!(lambda.to_dense(), grid);
+    }
+
+    #[test]
+    fn nnz_matches_non_zero_count((lambda, grid) in matrix_strategy()) {
+        let expected: usize = grid.iter().flatten().filter(|&&v| v != 0).count();
+        prop_assert_eq!(lambda.nnz(), expected);
+        let density = lambda.label_density();
+        prop_assert!((density - expected as f64 / grid.len() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_are_sorted_and_deduplicated((lambda, _) in matrix_strategy()) {
+        for i in 0..lambda.num_points() {
+            let (cols, votes) = lambda.row(i);
+            prop_assert_eq!(cols.len(), votes.len());
+            prop_assert!(cols.windows(2).all(|w| w[0] < w[1]), "row {} unsorted", i);
+            prop_assert!(votes.iter().all(|&v| v != 0));
+        }
+    }
+
+    #[test]
+    fn select_rows_preserves_content((lambda, grid) in matrix_strategy()) {
+        let rows: Vec<usize> = (0..lambda.num_points()).step_by(2).collect();
+        let sub = lambda.select_rows(&rows);
+        prop_assert_eq!(sub.num_points(), rows.len());
+        for (new_i, &old_i) in rows.iter().enumerate() {
+            for j in 0..lambda.num_lfs() {
+                prop_assert_eq!(sub.get(new_i, j), grid[old_i][j]);
+            }
+        }
+    }
+
+    #[test]
+    fn select_columns_then_rows_commute((lambda, _) in matrix_strategy()) {
+        let rows: Vec<usize> = (0..lambda.num_points()).filter(|i| i % 3 != 0).collect();
+        let cols: Vec<usize> = (0..lambda.num_lfs()).rev().collect();
+        let a = lambda.select_rows(&rows).select_columns(&cols);
+        let b = lambda.select_columns(&cols).select_rows(&rows);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn columns_view_is_transpose((lambda, _) in matrix_strategy()) {
+        let cols = lambda.to_columns();
+        let mut total = 0usize;
+        for (j, col) in cols.iter().enumerate() {
+            for &(i, v) in col {
+                prop_assert_eq!(lambda.get(i as usize, j), v);
+                total += 1;
+            }
+        }
+        prop_assert_eq!(total, lambda.nnz());
+    }
+
+    #[test]
+    fn stats_are_bounded((lambda, _) in matrix_strategy()) {
+        let stats = matrix_stats(&lambda);
+        prop_assert!((0.0..=1.0).contains(&stats.coverage));
+        prop_assert!((0.0..=1.0).contains(&stats.conflict_rate));
+        prop_assert!(stats.conflict_rate <= stats.coverage + 1e-12);
+        for lf in &stats.lfs {
+            prop_assert!((0.0..=1.0).contains(&lf.coverage));
+            prop_assert!(lf.conflict <= lf.overlap + 1e-12);
+            prop_assert!(lf.overlap <= lf.coverage + 1e-12);
+        }
+    }
+
+    #[test]
+    fn accuracies_in_unit_interval((lambda, _) in matrix_strategy(), seed in 0u64..100) {
+        // Random gold labels.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let gold: Vec<Vote> = (0..lambda.num_points())
+            .map(|_| if rng.gen::<bool>() { 1 } else { -1 })
+            .collect();
+        for acc in empirical_accuracies(&lambda, &gold).into_iter().flatten() {
+            prop_assert!((0.0..=1.0).contains(&acc));
+        }
+    }
+
+    #[test]
+    fn class_balance_sums_to_one_when_nonempty((lambda, _) in matrix_strategy()) {
+        let balance = class_balance(&lambda);
+        if !balance.is_empty() {
+            let total: f64 = balance.values().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+}

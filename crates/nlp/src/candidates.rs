@@ -1,0 +1,192 @@
+//! Candidate extraction from tagged corpora.
+//!
+//! Mirrors the paper's candidate definitions: binary relation candidates
+//! are *all pairs of spans with the right entity types co-occurring in a
+//! sentence* (optionally distance-bounded); unary candidates wrap a
+//! single tagged span (used for document-level classification tasks such
+//! as Radiology, where one span covers the report head).
+
+use snorkel_context::{CandidateId, Corpus};
+
+/// Extracts binary (two-span) candidates.
+#[derive(Clone, Debug)]
+pub struct CandidateExtractor {
+    /// Entity type of the first argument.
+    pub type_a: String,
+    /// Entity type of the second argument.
+    pub type_b: String,
+    /// Skip pairs farther apart than this many tokens (None = unbounded).
+    pub max_token_distance: Option<usize>,
+    /// Emit both (a,b) and (b,a) orderings when the types are equal
+    /// (needed for symmetric relations like Spouses where argument order
+    /// is not meaningful but candidates must be deduplicated).
+    pub symmetric_dedup: bool,
+}
+
+impl CandidateExtractor {
+    /// Extractor for `(type_a, type_b)` pairs with default settings:
+    /// unbounded distance, symmetric dedup on.
+    pub fn new(type_a: &str, type_b: &str) -> Self {
+        CandidateExtractor {
+            type_a: type_a.to_string(),
+            type_b: type_b.to_string(),
+            max_token_distance: None,
+            symmetric_dedup: true,
+        }
+    }
+
+    /// Bound the token distance between the two argument spans.
+    pub fn with_max_distance(mut self, d: usize) -> Self {
+        self.max_token_distance = Some(d);
+        self
+    }
+
+    /// Walk every sentence and create candidates; returns the new ids in
+    /// creation order. Arguments are ordered `(type_a span, type_b span)`;
+    /// when `type_a == type_b`, each unordered pair yields exactly one
+    /// candidate (textual order) if `symmetric_dedup` is set.
+    pub fn extract(&self, corpus: &mut Corpus) -> Vec<CandidateId> {
+        // Collect the span pairs read-only first, then mutate.
+        let mut pairs: Vec<(snorkel_context::SpanId, snorkel_context::SpanId)> = Vec::new();
+        for si in 0..corpus.num_sentences() {
+            let sent = corpus.sentence(snorkel_context::SentenceId::from_index(si));
+            let spans: Vec<_> = sent.spans().collect();
+            for (i, a) in spans.iter().enumerate() {
+                if a.entity_type() != Some(self.type_a.as_str()) {
+                    continue;
+                }
+                for (j, b) in spans.iter().enumerate() {
+                    if i == j || b.entity_type() != Some(self.type_b.as_str()) {
+                        continue;
+                    }
+                    if self.type_a == self.type_b && self.symmetric_dedup && i > j {
+                        continue; // count each unordered pair once
+                    }
+                    if let Some(maxd) = self.max_token_distance {
+                        let (_, ea) = a.word_range();
+                        let (sb, _) = b.word_range();
+                        let (_, eb) = b.word_range();
+                        let (sa, _) = a.word_range();
+                        let dist = if ea <= sb {
+                            sb - ea
+                        } else { sa.saturating_sub(eb) };
+                        if dist > maxd {
+                            continue;
+                        }
+                    }
+                    pairs.push((a.id(), b.id()));
+                }
+            }
+        }
+        pairs
+            .into_iter()
+            .map(|(a, b)| corpus.add_candidate(vec![a, b]))
+            .collect()
+    }
+}
+
+/// Extracts unary (single-span) candidates for a given entity type.
+#[derive(Clone, Debug)]
+pub struct UnaryCandidateExtractor {
+    /// Entity type to wrap.
+    pub entity_type: String,
+}
+
+impl UnaryCandidateExtractor {
+    /// Extractor for spans of `entity_type`.
+    pub fn new(entity_type: &str) -> Self {
+        UnaryCandidateExtractor {
+            entity_type: entity_type.to_string(),
+        }
+    }
+
+    /// Create one candidate per matching span.
+    pub fn extract(&self, corpus: &mut Corpus) -> Vec<CandidateId> {
+        let mut span_ids = Vec::new();
+        for si in 0..corpus.num_sentences() {
+            let sent = corpus.sentence(snorkel_context::SentenceId::from_index(si));
+            for sp in sent.spans() {
+                if sp.entity_type() == Some(self.entity_type.as_str()) {
+                    span_ids.push(sp.id());
+                }
+            }
+        }
+        span_ids
+            .into_iter()
+            .map(|s| corpus.add_candidate(vec![s]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DictionaryTagger, DocumentIngester};
+
+    fn tagged_corpus() -> Corpus {
+        let mut tagger = DictionaryTagger::new();
+        tagger.add_phrases(["magnesium", "aspirin"], "Chemical");
+        tagger.add_phrases(["headache", "preeclampsia"], "Disease");
+        let ing = DocumentIngester::with_tagger(tagger);
+        let mut corpus = Corpus::new();
+        ing.ingest(
+            &mut corpus,
+            "d1",
+            "Magnesium was given for preeclampsia. Aspirin helps headache but aspirin is risky.",
+        );
+        corpus
+    }
+
+    #[test]
+    fn pair_extraction_counts() {
+        let mut corpus = tagged_corpus();
+        let ids = CandidateExtractor::new("Chemical", "Disease").extract(&mut corpus);
+        // Sentence 1: (magnesium, preeclampsia). Sentence 2: two aspirin
+        // mentions x one headache = 2 candidates.
+        assert_eq!(ids.len(), 3);
+        let v = corpus.candidate(ids[0]);
+        assert_eq!(v.span(0).entity_type(), Some("Chemical"));
+        assert_eq!(v.span(1).entity_type(), Some("Disease"));
+    }
+
+    #[test]
+    fn distance_bound_prunes() {
+        let mut corpus = tagged_corpus();
+        let ids = CandidateExtractor::new("Chemical", "Disease")
+            .with_max_distance(2)
+            .extract(&mut corpus);
+        // "Aspirin helps headache": distance 1 → kept.
+        // "headache but aspirin": distance 1 → kept.
+        // "Magnesium was given for preeclampsia": distance 3 → pruned.
+        assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    fn same_type_pairs_deduplicate() {
+        let mut tagger = DictionaryTagger::new();
+        tagger.add_phrases(["alice", "bob", "carol"], "Person");
+        let ing = DocumentIngester::with_tagger(tagger);
+        let mut corpus = Corpus::new();
+        ing.ingest(&mut corpus, "d", "Alice met Bob and Carol.");
+        let ids = CandidateExtractor::new("Person", "Person").extract(&mut corpus);
+        // C(3, 2) = 3 unordered pairs.
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn unary_extraction() {
+        let mut corpus = tagged_corpus();
+        let ids = UnaryCandidateExtractor::new("Chemical").extract(&mut corpus);
+        assert_eq!(ids.len(), 3); // magnesium + two aspirins
+        for id in ids {
+            assert_eq!(corpus.candidate(id).arity(), 1);
+        }
+    }
+
+    #[test]
+    fn empty_corpus_yields_no_candidates() {
+        let mut corpus = Corpus::new();
+        assert!(CandidateExtractor::new("A", "B").extract(&mut corpus).is_empty());
+        assert!(UnaryCandidateExtractor::new("A").extract(&mut corpus).is_empty());
+    }
+}

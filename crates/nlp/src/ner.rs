@@ -1,0 +1,153 @@
+//! Dictionary-based named-entity tagging.
+//!
+//! The paper's tasks arrive with entity mentions pre-tagged (chemicals
+//! and diseases by PubTator, persons by SpaCy NER). Our substitute is a
+//! greedy longest-match dictionary tagger over token sequences: phrases
+//! are registered with an entity type; tagging scans each sentence left
+//! to right, preferring the longest phrase starting at each position, and
+//! never produces overlapping spans.
+
+use std::collections::HashMap;
+
+use snorkel_context::Token;
+
+/// A longest-match phrase tagger.
+#[derive(Clone, Debug, Default)]
+pub struct DictionaryTagger {
+    /// Lowercased token-sequence → entity type.
+    phrases: HashMap<Vec<String>, String>,
+    /// Longest registered phrase, in tokens.
+    max_len: usize,
+}
+
+impl DictionaryTagger {
+    /// Empty tagger.
+    pub fn new() -> Self {
+        DictionaryTagger::default()
+    }
+
+    /// Register a phrase (whitespace-tokenized, case-insensitive) under
+    /// an entity type. Later registrations of the same phrase overwrite
+    /// earlier ones.
+    pub fn add_phrase(&mut self, phrase: &str, entity_type: &str) {
+        let toks: Vec<String> = phrase
+            .split_whitespace()
+            .map(str::to_lowercase)
+            .collect();
+        if toks.is_empty() {
+            return;
+        }
+        self.max_len = self.max_len.max(toks.len());
+        self.phrases.insert(toks, entity_type.to_string());
+    }
+
+    /// Register many phrases under one type.
+    pub fn add_phrases<'a>(&mut self, phrases: impl IntoIterator<Item = &'a str>, entity_type: &str) {
+        for p in phrases {
+            self.add_phrase(p, entity_type);
+        }
+    }
+
+    /// Number of registered phrases.
+    pub fn len(&self) -> usize {
+        self.phrases.len()
+    }
+
+    /// True when no phrases are registered.
+    pub fn is_empty(&self) -> bool {
+        self.phrases.is_empty()
+    }
+
+    /// Tag a token sequence. Returns `(token_start, token_end, type)`
+    /// triples, non-overlapping, in left-to-right order.
+    pub fn tag(&self, tokens: &[Token]) -> Vec<(usize, usize, &str)> {
+        let lowered: Vec<String> = tokens.iter().map(|t| t.text.to_lowercase()).collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < lowered.len() {
+            let mut matched = None;
+            let longest = self.max_len.min(lowered.len() - i);
+            for len in (1..=longest).rev() {
+                if let Some(ty) = self.phrases.get(&lowered[i..i + len]) {
+                    matched = Some((len, ty.as_str()));
+                    break;
+                }
+            }
+            match matched {
+                Some((len, ty)) => {
+                    out.push((i, i + len, ty));
+                    i += len;
+                }
+                None => i += 1,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize;
+
+    fn tagger() -> DictionaryTagger {
+        let mut t = DictionaryTagger::new();
+        t.add_phrases(["magnesium", "aspirin"], "Chemical");
+        t.add_phrases(["quadriplegic state", "preeclampsia", "myasthenia gravis"], "Disease");
+        t
+    }
+
+    #[test]
+    fn single_and_multi_token_matches() {
+        let toks = tokenize("magnesium causes quadriplegic state");
+        let t = tagger();
+        let tags = t.tag(&toks);
+        assert_eq!(tags, vec![(0, 1, "Chemical"), (2, 4, "Disease")]);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let toks = tokenize("MAGNESIUM and Preeclampsia");
+        let t = tagger();
+        let tags = t.tag(&toks);
+        assert_eq!(tags.len(), 2);
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let mut t = DictionaryTagger::new();
+        t.add_phrase("state", "Short");
+        t.add_phrase("quadriplegic state", "Long");
+        let toks = tokenize("a quadriplegic state here");
+        assert_eq!(t.tag(&toks), vec![(1, 3, "Long")]);
+    }
+
+    #[test]
+    fn no_overlaps() {
+        let mut t = DictionaryTagger::new();
+        t.add_phrase("a b", "X");
+        t.add_phrase("b c", "Y");
+        let toks = tokenize("a b c");
+        // Greedy left-to-right: "a b" consumed, "c" alone doesn't match.
+        assert_eq!(t.tag(&toks), vec![(0, 2, "X")]);
+    }
+
+    #[test]
+    fn overwrite_same_phrase() {
+        let mut t = DictionaryTagger::new();
+        t.add_phrase("x", "Old");
+        t.add_phrase("x", "New");
+        assert_eq!(t.len(), 1);
+        let toks = tokenize("x");
+        assert_eq!(t.tag(&toks), vec![(0, 1, "New")]);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let t = DictionaryTagger::new();
+        assert!(t.is_empty());
+        assert!(t.tag(&tokenize("anything at all")).is_empty());
+        let tagged = tagger();
+        assert!(tagged.tag(&[]).is_empty());
+    }
+}

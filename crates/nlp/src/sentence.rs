@@ -1,0 +1,169 @@
+//! Abbreviation-aware sentence splitting.
+//!
+//! Boundaries are `.`, `!`, `?` followed by whitespace and an uppercase
+//! letter / digit / end of text, unless the period terminates a known
+//! abbreviation ("Dr.", "e.g.", "Fig.") or an initial ("J. Smith").
+
+/// Common abbreviations whose trailing period is not a boundary.
+const ABBREVIATIONS: &[&str] = &[
+    "dr", "mr", "mrs", "ms", "prof", "st", "jr", "sr", "vs", "etc", "e.g", "i.e", "fig", "al",
+    "approx", "dept", "est", "inc", "ltd", "no", "vol", "pp", "cf",
+];
+
+/// Split text into sentence byte ranges `(start, end)`.
+///
+/// Ranges cover the trimmed sentence (no leading/trailing whitespace) and
+/// include the terminating punctuation.
+///
+/// ```
+/// use snorkel_nlp::split_sentences;
+/// let text = "Dr. Smith saw the patient. The patient improved!";
+/// let sents: Vec<&str> = split_sentences(text)
+///     .into_iter()
+///     .map(|(s, e)| &text[s..e])
+///     .collect();
+/// assert_eq!(sents, vec!["Dr. Smith saw the patient.", "The patient improved!"]);
+/// ```
+pub fn split_sentences(text: &str) -> Vec<(usize, usize)> {
+    let chars: Vec<(usize, char)> = text.char_indices().collect();
+    let mut boundaries: Vec<usize> = Vec::new(); // byte offsets AFTER the boundary char
+
+    for (ci, &(bi, c)) in chars.iter().enumerate() {
+        if !matches!(c, '.' | '!' | '?') {
+            continue;
+        }
+        // Must be followed by whitespace (or end of text).
+        let next = chars.get(ci + 1);
+        match next {
+            None => {
+                boundaries.push(bi + c.len_utf8());
+                continue;
+            }
+            Some(&(_, nc)) if !nc.is_whitespace() => continue,
+            _ => {}
+        }
+        if c == '.' {
+            // Reject abbreviation periods and single-letter initials.
+            let word_start = chars[..ci]
+                .iter()
+                .rposition(|&(_, pc)| pc.is_whitespace())
+                .map(|p| p + 1)
+                .unwrap_or(0);
+            let prev_word: String = chars[word_start..ci]
+                .iter()
+                .map(|&(_, pc)| pc)
+                .collect::<String>()
+                .to_lowercase();
+            let prev_word = prev_word.trim_matches(|c: char| !c.is_alphanumeric() && c != '.');
+            if ABBREVIATIONS.contains(&prev_word) {
+                continue;
+            }
+            if prev_word.len() == 1 && prev_word.chars().all(|c| c.is_alphabetic()) {
+                continue; // initial like "J."
+            }
+            // Next non-space char should start a new sentence-ish unit.
+            let upcoming = chars[ci + 1..]
+                .iter()
+                .map(|&(_, nc)| nc)
+                .find(|nc| !nc.is_whitespace());
+            if let Some(u) = upcoming {
+                if !(u.is_uppercase() || u.is_numeric() || u == '"' || u == '(') {
+                    continue;
+                }
+            }
+        }
+        boundaries.push(bi + c.len_utf8());
+    }
+
+    // Convert boundaries into trimmed ranges.
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    for &b in &boundaries {
+        push_trimmed(text, start, b, &mut out);
+        start = b;
+    }
+    push_trimmed(text, start, text.len(), &mut out);
+    out
+}
+
+fn push_trimmed(text: &str, start: usize, end: usize, out: &mut Vec<(usize, usize)>) {
+    let slice = &text[start..end];
+    let trimmed_start = slice.len() - slice.trim_start().len();
+    let trimmed_end = slice.trim_end().len();
+    if trimmed_end > trimmed_start {
+        out.push((start + trimmed_start, start + trimmed_end));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sentences(text: &str) -> Vec<&str> {
+        split_sentences(text)
+            .into_iter()
+            .map(|(s, e)| &text[s..e])
+            .collect()
+    }
+
+    #[test]
+    fn splits_on_terminators() {
+        assert_eq!(
+            sentences("One here. Two here! Three here? Four."),
+            vec!["One here.", "Two here!", "Three here?", "Four."]
+        );
+    }
+
+    #[test]
+    fn respects_abbreviations() {
+        assert_eq!(
+            sentences("Dr. Smith treated Mrs. Jones. She improved."),
+            vec!["Dr. Smith treated Mrs. Jones.", "She improved."]
+        );
+    }
+
+    #[test]
+    fn respects_initials() {
+        assert_eq!(
+            sentences("J. K. Rowling wrote it. It sold."),
+            vec!["J. K. Rowling wrote it.", "It sold."]
+        );
+    }
+
+    #[test]
+    fn decimal_numbers_do_not_split() {
+        assert_eq!(
+            sentences("The dose was 3.5 mg. It worked."),
+            vec!["The dose was 3.5 mg.", "It worked."]
+        );
+    }
+
+    #[test]
+    fn lowercase_continuation_is_not_a_boundary() {
+        assert_eq!(
+            sentences("approved by the F.D.A. for use in adults. Next sentence."),
+            vec!["approved by the F.D.A. for use in adults.", "Next sentence."]
+        );
+    }
+
+    #[test]
+    fn unterminated_tail_is_kept() {
+        assert_eq!(sentences("First. and then no end"), vec!["First. and then no end"]);
+        assert_eq!(sentences("Only one sentence"), vec!["Only one sentence"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace() {
+        assert!(sentences("").is_empty());
+        assert!(sentences("  \n ").is_empty());
+    }
+
+    #[test]
+    fn ranges_are_valid_slices() {
+        let text = "A b. C d! E f?";
+        for (s, e) in split_sentences(text) {
+            assert!(s < e && e <= text.len());
+            assert!(text.is_char_boundary(s) && text.is_char_boundary(e));
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Offset-preserving tokenizer.
+//!
+//! Splits on whitespace, then peels leading/trailing punctuation into
+//! separate tokens (so "weakness." yields `weakness` + `.`), while
+//! keeping token-internal punctuation intact (hyphens in
+//! "chemical-disease", apostrophes in "don't", decimal points in "3.5").
+//! Every token records its byte offsets into the input, which the span
+//! machinery relies on.
+
+use snorkel_context::Token;
+
+use crate::lemma::lemmatize;
+
+/// Characters peeled off token edges as standalone punctuation tokens.
+fn is_edge_punct(c: char) -> bool {
+    matches!(
+        c,
+        '.' | ',' | ';' | ':' | '!' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '"' | '\''
+            | '`' | '<' | '>' | '/' | '\\' | '|' | '~' | '@' | '#' | '$' | '%' | '^' | '&'
+            | '*' | '=' | '+'
+    )
+}
+
+/// Tokenize `text` into offset-bearing tokens with lemmas.
+///
+/// ```
+/// use snorkel_nlp::tokenize;
+/// let toks = tokenize("Magnesium causes weakness.");
+/// let words: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+/// assert_eq!(words, vec!["Magnesium", "causes", "weakness", "."]);
+/// assert_eq!(toks[1].lemma, "cause");
+/// assert_eq!(&"Magnesium causes weakness."[toks[2].start..toks[2].end], "weakness");
+/// ```
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    let bytes_len = text.len();
+    let mut chunk_start = None::<usize>;
+
+    let flush = |start: usize, end: usize, out: &mut Vec<Token>, text: &str| {
+        if start >= end {
+            return;
+        }
+        let chunk = &text[start..end];
+        // Peel leading punctuation.
+        let mut lo = start;
+        for c in chunk.chars() {
+            if is_edge_punct(c) {
+                out.push(make_token(text, lo, lo + c.len_utf8()));
+                lo += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        // Peel trailing punctuation (collect first, emit after the core).
+        let mut hi = end;
+        let mut trailing: Vec<(usize, usize)> = Vec::new();
+        while hi > lo {
+            let c = text[lo..hi].chars().next_back().expect("non-empty");
+            // Keep a token-internal period that's part of a number
+            // ("3.5"): only peel if what remains is non-numeric-ish or
+            // the punct is at the very edge anyway — a final '.' after a
+            // digit is still sentence punctuation, so peel it.
+            if is_edge_punct(c) {
+                hi -= c.len_utf8();
+                trailing.push((hi, hi + c.len_utf8()));
+            } else {
+                break;
+            }
+        }
+        if lo < hi {
+            // Restore interior decimal points that were wrongly peeled:
+            // if the core ends with a digit and the first trailing char
+            // is '.' followed by digits that were also peeled, we would
+            // have peeled them one by one — but digits are not edge
+            // punctuation, so "3.5" never splits. Nothing to do.
+            out.push(make_token(text, lo, hi));
+        }
+        for (s, e) in trailing.into_iter().rev() {
+            out.push(make_token(text, s, e));
+        }
+    };
+
+    for (i, c) in text.char_indices() {
+        if c.is_whitespace() {
+            if let Some(s) = chunk_start.take() {
+                flush(s, i, &mut out, text);
+            }
+        } else if chunk_start.is_none() {
+            chunk_start = Some(i);
+        }
+    }
+    if let Some(s) = chunk_start {
+        flush(s, bytes_len, &mut out, text);
+    }
+    out
+}
+
+fn make_token(text: &str, start: usize, end: usize) -> Token {
+    let surface = &text[start..end];
+    Token::with_lemma(surface, start, end, lemmatize(surface))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(text: &str) -> Vec<String> {
+        tokenize(text).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn basic_split() {
+        assert_eq!(words("a b  c"), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn punctuation_peeling() {
+        assert_eq!(
+            words("Hello, world! (really)"),
+            vec!["Hello", ",", "world", "!", "(", "really", ")"]
+        );
+    }
+
+    #[test]
+    fn interior_punctuation_kept() {
+        assert_eq!(words("chemical-disease don't"), vec!["chemical-disease", "don't"]);
+        // Leading apostrophe is peeled, interior kept.
+        assert_eq!(words("'tis don't"), vec!["'", "tis", "don't"]);
+    }
+
+    #[test]
+    fn decimals_stay_whole() {
+        assert_eq!(words("dose of 3.5 mg."), vec!["dose", "of", "3.5", "mg", "."]);
+    }
+
+    #[test]
+    fn offsets_slice_back_to_surface() {
+        let text = "  Magnesium, causes  weakness.  ";
+        for t in tokenize(text) {
+            assert_eq!(&text[t.start..t.end], t.text);
+        }
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n ").is_empty());
+    }
+
+    #[test]
+    fn all_punctuation_chunk() {
+        assert_eq!(words("..."), vec![".", ".", "."]);
+    }
+
+    #[test]
+    fn unicode_safe() {
+        let text = "naïve café-owner résumé.";
+        let toks = tokenize(text);
+        for t in &toks {
+            assert_eq!(&text[t.start..t.end], t.text);
+        }
+        assert_eq!(toks.last().unwrap().text, ".");
+    }
+
+    #[test]
+    fn lemmas_attached() {
+        let toks = tokenize("causes induced running");
+        let lemmas: Vec<&str> = toks.iter().map(|t| t.lemma.as_str()).collect();
+        assert_eq!(lemmas, vec!["cause", "induce", "run"]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the NLP substrate: tokenizer offsets, sentence
+//! ranges, tagger consistency.
+
+use proptest::prelude::*;
+use snorkel_nlp::{split_sentences, tokenize, DictionaryTagger};
+
+proptest! {
+    /// Token offsets always slice back to the token's surface text, are
+    /// ordered, non-overlapping, and char-aligned.
+    #[test]
+    fn tokens_slice_back_exactly(text in "\\PC{0,120}") {
+        let tokens = tokenize(&text);
+        let mut prev_end = 0usize;
+        for t in &tokens {
+            prop_assert!(t.start >= prev_end);
+            prop_assert!(t.end > t.start);
+            prop_assert!(text.is_char_boundary(t.start) && text.is_char_boundary(t.end));
+            prop_assert_eq!(&text[t.start..t.end], t.text.as_str());
+            prop_assert!(!t.text.chars().any(char::is_whitespace));
+            prev_end = t.end;
+        }
+    }
+
+    /// Every non-whitespace char of the input is covered by some token.
+    #[test]
+    fn tokens_cover_all_non_whitespace(text in "[a-zA-Z0-9 .,;!?-]{0,80}") {
+        let tokens = tokenize(&text);
+        let covered: usize = tokens.iter().map(|t| t.end - t.start).sum();
+        let non_ws = text.chars().filter(|c| !c.is_whitespace()).count();
+        // ASCII input: byte length == char count.
+        prop_assert_eq!(covered, non_ws);
+    }
+
+    /// Sentence ranges are ordered, disjoint, char-aligned, and trimmed.
+    #[test]
+    fn sentence_ranges_are_well_formed(text in "\\PC{0,160}") {
+        let ranges = split_sentences(&text);
+        let mut prev_end = 0usize;
+        for &(s, e) in &ranges {
+            prop_assert!(s >= prev_end);
+            prop_assert!(e > s && e <= text.len());
+            prop_assert!(text.is_char_boundary(s) && text.is_char_boundary(e));
+            let slice = &text[s..e];
+            prop_assert_eq!(slice.trim(), slice, "sentences are trimmed");
+            prev_end = e;
+        }
+    }
+
+    /// Splitting then tokenizing never panics and preserves word content
+    /// for simple prose.
+    #[test]
+    fn split_then_tokenize_is_total(text in "([A-Z][a-z]{1,8}( [a-z]{1,8}){0,6}[.!?] ?){0,5}") {
+        let mut sentence_words = 0usize;
+        for (s, e) in split_sentences(&text) {
+            sentence_words += tokenize(&text[s..e])
+                .iter()
+                .filter(|t| t.text.chars().any(char::is_alphanumeric))
+                .count();
+        }
+        let direct_words = tokenize(&text)
+            .iter()
+            .filter(|t| t.text.chars().any(char::is_alphanumeric))
+            .count();
+        prop_assert_eq!(sentence_words, direct_words);
+    }
+
+    /// Tagged spans are in-range, non-overlapping, and ordered.
+    #[test]
+    fn tagger_spans_are_disjoint(
+        words in prop::collection::vec("[a-z]{2,8}", 1..20),
+        dict_picks in prop::collection::vec(any::<prop::sample::Index>(), 1..5),
+    ) {
+        let text = words.join(" ");
+        let tokens = tokenize(&text);
+        let mut tagger = DictionaryTagger::new();
+        for pick in &dict_picks {
+            tagger.add_phrase(&words[pick.index(words.len())], "X");
+        }
+        let tags = tagger.tag(&tokens);
+        let mut prev_end = 0usize;
+        for &(s, e, ty) in &tags {
+            prop_assert!(s >= prev_end);
+            prop_assert!(e > s && e <= tokens.len());
+            prop_assert_eq!(ty, "X");
+            prev_end = e;
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Thompson-NFA compilation of the pattern AST.
+//!
+//! Each AST node compiles to a fragment of instructions with a single
+//! entry point; fragments are stitched together with `Split`/`Jmp`.
+//! Counted repeats are unrolled (bounded by `MAX_REPEAT`), which keeps
+//! the VM trivial at the cost of program size — fine for LF patterns.
+
+use crate::parser::{Ast, CharClass};
+
+/// One NFA instruction.
+#[derive(Clone, Debug)]
+pub(crate) enum Inst {
+    /// Consume a specific char.
+    Char(char),
+    /// Consume any char except `\n`.
+    AnyChar,
+    /// Consume a char matching the class.
+    Class(CharClass),
+    /// Try `a` first, then `b` (order irrelevant for is_match/longest).
+    Split(usize, usize),
+    /// Unconditional jump.
+    Jmp(usize),
+    /// Zero-width: start of input.
+    AssertStart,
+    /// Zero-width: end of input.
+    AssertEnd,
+    /// Zero-width: word boundary.
+    AssertWordBoundary,
+    /// Zero-width: not a word boundary.
+    AssertNotWordBoundary,
+    /// Accept.
+    Match,
+}
+
+/// A compiled program plus flags.
+#[derive(Clone, Debug)]
+pub(crate) struct Program {
+    pub insts: Vec<Inst>,
+    pub case_insensitive: bool,
+}
+
+pub(crate) fn compile(ast: &Ast, case_insensitive: bool) -> Program {
+    let mut c = Compiler {
+        insts: Vec::new(),
+        ci: case_insensitive,
+    };
+    c.emit_node(ast);
+    c.insts.push(Inst::Match);
+    Program {
+        insts: c.insts,
+        case_insensitive,
+    }
+}
+
+struct Compiler {
+    insts: Vec<Inst>,
+    ci: bool,
+}
+
+impl Compiler {
+    fn emit_node(&mut self, ast: &Ast) {
+        match ast {
+            Ast::Empty => {}
+            Ast::Literal(c) => {
+                let c = if self.ci { c.to_ascii_lowercase() } else { *c };
+                self.insts.push(Inst::Char(c));
+            }
+            Ast::AnyChar => self.insts.push(Inst::AnyChar),
+            Ast::Class(cls) => {
+                let mut cls = cls.clone();
+                if self.ci {
+                    cls.case_fold();
+                }
+                self.insts.push(Inst::Class(cls));
+            }
+            Ast::Concat(parts) => {
+                for p in parts {
+                    self.emit_node(p);
+                }
+            }
+            Ast::Alternate(branches) => self.emit_alternate(branches),
+            Ast::Repeat { node, min, max } => self.emit_repeat(node, *min, *max),
+            Ast::AnchorStart => self.insts.push(Inst::AssertStart),
+            Ast::AnchorEnd => self.insts.push(Inst::AssertEnd),
+            Ast::WordBoundary => self.insts.push(Inst::AssertWordBoundary),
+            Ast::NotWordBoundary => self.insts.push(Inst::AssertNotWordBoundary),
+        }
+    }
+
+    fn emit_alternate(&mut self, branches: &[Ast]) {
+        // For branches [b0, b1, ..., bk]:
+        //   split L0, Lnext ; b0 ; jmp END ; split L1, ... ; bk ; END
+        let mut jmp_ends = Vec::new();
+        for (i, b) in branches.iter().enumerate() {
+            if i + 1 < branches.len() {
+                let split_at = self.insts.len();
+                self.insts.push(Inst::Split(0, 0)); // patched below
+                let branch_start = self.insts.len();
+                self.emit_node(b);
+                jmp_ends.push(self.insts.len());
+                self.insts.push(Inst::Jmp(0)); // patched below
+                let next = self.insts.len();
+                self.insts[split_at] = Inst::Split(branch_start, next);
+            } else {
+                self.emit_node(b);
+            }
+        }
+        let end = self.insts.len();
+        for j in jmp_ends {
+            self.insts[j] = Inst::Jmp(end);
+        }
+    }
+
+    fn emit_repeat(&mut self, node: &Ast, min: u32, max: Option<u32>) {
+        // Required copies.
+        for _ in 0..min {
+            self.emit_node(node);
+        }
+        match max {
+            None => {
+                // Star over one more copy: L: split(body, end); body; jmp L
+                let l = self.insts.len();
+                self.insts.push(Inst::Split(0, 0));
+                let body = self.insts.len();
+                self.emit_node(node);
+                self.insts.push(Inst::Jmp(l));
+                let end = self.insts.len();
+                self.insts[l] = Inst::Split(body, end);
+            }
+            Some(mx) => {
+                // (mx - min) optional copies, each its own split to END.
+                let mut splits = Vec::new();
+                for _ in min..mx {
+                    let s = self.insts.len();
+                    self.insts.push(Inst::Split(0, 0));
+                    let body = self.insts.len();
+                    self.emit_node(node);
+                    splits.push((s, body));
+                }
+                let end = self.insts.len();
+                for (s, body) in splits {
+                    self.insts[s] = Inst::Split(body, end);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn prog(p: &str) -> Program {
+        compile(&parse(p).unwrap(), false)
+    }
+
+    #[test]
+    fn literal_program_shape() {
+        let p = prog("ab");
+        assert_eq!(p.insts.len(), 3); // a, b, Match
+        assert!(matches!(p.insts[2], Inst::Match));
+    }
+
+    #[test]
+    fn star_loops_back() {
+        let p = prog("a*");
+        // split, char a, jmp, match
+        assert_eq!(p.insts.len(), 4);
+        match (&p.insts[0], &p.insts[2]) {
+            (Inst::Split(body, end), Inst::Jmp(back)) => {
+                assert_eq!(*body, 1);
+                assert_eq!(*end, 3);
+                assert_eq!(*back, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn counted_repeat_unrolls() {
+        let p = prog("a{2,4}");
+        // 2 required chars + 2 optional (split+char each) + match = 2+4+1
+        assert_eq!(p.insts.len(), 7);
+    }
+
+    #[test]
+    fn case_insensitive_folds_literals() {
+        let p = compile(&parse("AbC").unwrap(), true);
+        let chars: Vec<char> = p
+            .insts
+            .iter()
+            .filter_map(|i| match i {
+                Inst::Char(c) => Some(*c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(chars, vec!['a', 'b', 'c']);
+    }
+}

@@ -1,0 +1,80 @@
+//! # snorkel-pattern
+//!
+//! A small, self-contained pattern/regex engine for labeling functions.
+//!
+//! The original Snorkel expresses declarative pattern-based labeling
+//! functions with Python regular expressions, e.g. the paper's
+//! `lf_search("{{1}}.*\Wcauses\W.*{{2}}")`. This crate is the Rust
+//! substitute: a from-scratch regex engine covering the constructs weak
+//! supervision patterns actually use, plus the `{{k}}` slot-template layer
+//! ([`SlotTemplate`]) that splices candidate span text into a pattern.
+//!
+//! ## Supported syntax
+//!
+//! * literals, `.` (any char except `\n`)
+//! * classes `[abc]`, ranges `[a-z]`, negation `[^…]`
+//! * escapes `\d \D \w \W \s \S` (usable inside classes too), `\b \B`
+//!   word boundaries, `\t \n \r`, and escaped metacharacters
+//! * quantifiers `*` `+` `?` `{m}` `{m,}` `{m,n}` (NFA-based, so
+//!   greediness cannot cause exponential blowup)
+//! * alternation `|`, grouping `( … )` (non-capturing)
+//! * anchors `^` `$`
+//! * case-insensitive compilation via [`Regex::new_case_insensitive`]
+//!
+//! The engine is a Thompson-NFA construction executed by a Pike-style
+//! virtual machine: worst-case `O(len · states)` per search, no
+//! catastrophic backtracking, no `unsafe`.
+//!
+//! ```
+//! use snorkel_pattern::Regex;
+//! let re = Regex::new(r"\bcauses?\b").unwrap();
+//! assert!(re.is_match("magnesium causes weakness"));
+//! assert!(!re.is_match("the causal story"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compile;
+mod parser;
+mod template;
+mod vm;
+
+pub use parser::PatternError;
+pub use template::SlotTemplate;
+pub use vm::{Match, Regex};
+
+/// Escape a literal string so it matches itself when embedded in a
+/// pattern (used by [`SlotTemplate`] to splice span text).
+///
+/// ```
+/// use snorkel_pattern::{escape, Regex};
+/// let re = Regex::new(&escape("a+b (x)")).unwrap();
+/// assert!(re.is_match("say a+b (x) now"));
+/// ```
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 8);
+    for c in text.chars() {
+        if matches!(
+            c,
+            '\\' | '.' | '*' | '+' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '^' | '$'
+        ) {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_round_trips_metacharacters() {
+        let nasty = r"a.b*c+d?e(f)g[h]i{j}k|l^m$n\o";
+        let re = Regex::new(&escape(nasty)).unwrap();
+        assert!(re.is_match(&format!("xx{nasty}yy")));
+        assert!(!re.is_match("axbxc"));
+    }
+}

@@ -1,0 +1,538 @@
+//! Recursive-descent parser producing the pattern AST.
+//!
+//! Grammar (standard precedence, loosest to tightest):
+//!
+//! ```text
+//! alternation := concat ('|' concat)*
+//! concat      := repeat*
+//! repeat      := atom ('*' | '+' | '?' | '{m}' | '{m,}' | '{m,n}')?
+//! atom        := literal | '.' | class | group | anchor | escape
+//! ```
+
+use std::fmt;
+
+/// Error produced when a pattern fails to parse or compile.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PatternError {
+    /// Char offset into the pattern where the problem was detected.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pattern error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+/// Maximum total quantifier expansion (`{m,n}` is unrolled at compile
+/// time); guards against pathological patterns exploding the NFA.
+pub(crate) const MAX_REPEAT: u32 = 256;
+
+/// A set of character ranges, possibly negated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct CharClass {
+    pub negated: bool,
+    /// Inclusive ranges, not necessarily sorted or disjoint.
+    pub ranges: Vec<(char, char)>,
+}
+
+impl CharClass {
+    pub(crate) fn matches(&self, c: char) -> bool {
+        let inside = self.ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi);
+        inside != self.negated
+    }
+
+    fn digit() -> Self {
+        CharClass {
+            negated: false,
+            ranges: vec![('0', '9')],
+        }
+    }
+
+    fn word() -> Self {
+        CharClass {
+            negated: false,
+            ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+        }
+    }
+
+    fn space() -> Self {
+        CharClass {
+            negated: false,
+            ranges: vec![
+                (' ', ' '),
+                ('\t', '\t'),
+                ('\n', '\n'),
+                ('\r', '\r'),
+                ('\x0b', '\x0c'),
+            ],
+        }
+    }
+
+    fn negate(mut self) -> Self {
+        self.negated = !self.negated;
+        self
+    }
+
+    /// Fold every range to include both cases (ASCII letters only, which
+    /// covers the corpora this workspace generates).
+    pub(crate) fn case_fold(&mut self) {
+        let mut extra = Vec::new();
+        for &(lo, hi) in &self.ranges {
+            if lo.is_ascii_uppercase() || hi.is_ascii_uppercase() {
+                extra.push((
+                    lo.to_ascii_lowercase().max('a'),
+                    hi.to_ascii_lowercase().min('z'),
+                ));
+            }
+            if lo.is_ascii_lowercase() || hi.is_ascii_lowercase() {
+                extra.push((
+                    lo.to_ascii_uppercase().max('A'),
+                    hi.to_ascii_uppercase().min('Z'),
+                ));
+            }
+        }
+        self.ranges.extend(extra);
+    }
+}
+
+/// Is `c` a "word" character for `\b` purposes?
+#[inline]
+pub(crate) fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Pattern abstract syntax tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// A single literal character.
+    Literal(char),
+    /// `.` — any char except `\n`.
+    AnyChar,
+    /// A character class.
+    Class(CharClass),
+    /// A sequence.
+    Concat(Vec<Ast>),
+    /// `a|b|c`.
+    Alternate(Vec<Ast>),
+    /// `node{min,max}`; `max == None` means unbounded.
+    Repeat {
+        node: Box<Ast>,
+        min: u32,
+        max: Option<u32>,
+    },
+    /// `^`.
+    AnchorStart,
+    /// `$`.
+    AnchorEnd,
+    /// `\b`.
+    WordBoundary,
+    /// `\B`.
+    NotWordBoundary,
+}
+
+pub(crate) fn parse(pattern: &str) -> Result<Ast, PatternError> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut p = Parser {
+        chars: &chars,
+        pos: 0,
+    };
+    let ast = p.alternation()?;
+    if p.pos != p.chars.len() {
+        return Err(p.err("unexpected ')'"));
+    }
+    Ok(ast)
+}
+
+struct Parser<'a> {
+    chars: &'a [char],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> PatternError {
+        PatternError {
+            position: self.pos,
+            message: msg.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn alternation(&mut self) -> Result<Ast, PatternError> {
+        let mut branches = vec![self.concat()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            branches.push(self.concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Ast::Alternate(branches)
+        })
+    }
+
+    fn concat(&mut self) -> Result<Ast, PatternError> {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            parts.push(self.repeat()?);
+        }
+        Ok(match parts.len() {
+            0 => Ast::Empty,
+            1 => parts.pop().expect("one part"),
+            _ => Ast::Concat(parts),
+        })
+    }
+
+    fn repeat(&mut self) -> Result<Ast, PatternError> {
+        let atom = self.atom()?;
+        let (min, max) = match self.peek() {
+            Some('*') => {
+                self.bump();
+                (0, None)
+            }
+            Some('+') => {
+                self.bump();
+                (1, None)
+            }
+            Some('?') => {
+                self.bump();
+                (0, Some(1))
+            }
+            Some('{') => {
+                // Only treat as a quantifier if it parses as {m}, {m,},
+                // or {m,n}; otherwise '{' is a literal (Python behaviour).
+                if let Some((min, max, consumed)) = self.try_parse_counted() {
+                    self.pos += consumed;
+                    (min, max)
+                } else {
+                    return Ok(atom);
+                }
+            }
+            _ => return Ok(atom),
+        };
+        if matches!(
+            atom,
+            Ast::AnchorStart | Ast::AnchorEnd | Ast::WordBoundary | Ast::NotWordBoundary
+        ) {
+            return Err(self.err("quantifier after anchor/assertion"));
+        }
+        if let Some(mx) = max {
+            if mx < min {
+                return Err(self.err("bad repeat range: max < min"));
+            }
+            if mx > MAX_REPEAT {
+                return Err(self.err("repeat bound too large"));
+            }
+        } else if min > MAX_REPEAT {
+            return Err(self.err("repeat bound too large"));
+        }
+        Ok(Ast::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+        })
+    }
+
+    /// Attempt to read `{m}`, `{m,}`, or `{m,n}` starting at the current
+    /// `{`; returns `(min, max, chars_consumed)` without consuming on
+    /// failure.
+    fn try_parse_counted(&self) -> Option<(u32, Option<u32>, usize)> {
+        let rest = &self.chars[self.pos..];
+        debug_assert_eq!(rest.first(), Some(&'{'));
+        let mut i = 1;
+        let mut min_digits = String::new();
+        while i < rest.len() && rest[i].is_ascii_digit() {
+            min_digits.push(rest[i]);
+            i += 1;
+        }
+        if min_digits.is_empty() {
+            return None;
+        }
+        let min: u32 = min_digits.parse().ok()?;
+        match rest.get(i) {
+            Some('}') => Some((min, Some(min), i + 1)),
+            Some(',') => {
+                i += 1;
+                let mut max_digits = String::new();
+                while i < rest.len() && rest[i].is_ascii_digit() {
+                    max_digits.push(rest[i]);
+                    i += 1;
+                }
+                if rest.get(i) != Some(&'}') {
+                    return None;
+                }
+                let max = if max_digits.is_empty() {
+                    None
+                } else {
+                    Some(max_digits.parse().ok()?)
+                };
+                Some((min, max, i + 1))
+            }
+            _ => None,
+        }
+    }
+
+    fn atom(&mut self) -> Result<Ast, PatternError> {
+        match self.bump() {
+            Some('(') => {
+                // Support (?:...) as an explicit non-capturing group; all
+                // groups are non-capturing in this engine.
+                if self.peek() == Some('?') {
+                    let save = self.pos;
+                    self.bump();
+                    if self.peek() == Some(':') {
+                        self.bump();
+                    } else {
+                        self.pos = save;
+                        return Err(self.err("unsupported group flag (only (?:...) allowed)"));
+                    }
+                }
+                let inner = self.alternation()?;
+                if self.bump() != Some(')') {
+                    return Err(self.err("unclosed group"));
+                }
+                Ok(inner)
+            }
+            Some('[') => self.class(),
+            Some('.') => Ok(Ast::AnyChar),
+            Some('^') => Ok(Ast::AnchorStart),
+            Some('$') => Ok(Ast::AnchorEnd),
+            Some('\\') => self.escape(false),
+            Some(c @ ('*' | '+' | '?')) => Err(PatternError {
+                position: self.pos - 1,
+                message: format!("dangling quantifier '{c}'"),
+            }),
+            Some(c) => Ok(Ast::Literal(c)),
+            None => Err(self.err("unexpected end of pattern")),
+        }
+    }
+
+    /// Parse one escape sequence; `in_class` restricts which escapes are
+    /// legal (no `\b` inside classes).
+    fn escape(&mut self, in_class: bool) -> Result<Ast, PatternError> {
+        let c = self
+            .bump()
+            .ok_or_else(|| self.err("dangling backslash"))?;
+        let ast = match c {
+            'd' => Ast::Class(CharClass::digit()),
+            'D' => Ast::Class(CharClass::digit().negate()),
+            'w' => Ast::Class(CharClass::word()),
+            'W' => Ast::Class(CharClass::word().negate()),
+            's' => Ast::Class(CharClass::space()),
+            'S' => Ast::Class(CharClass::space().negate()),
+            'b' if !in_class => Ast::WordBoundary,
+            'B' if !in_class => Ast::NotWordBoundary,
+            't' => Ast::Literal('\t'),
+            'n' => Ast::Literal('\n'),
+            'r' => Ast::Literal('\r'),
+            '\\' | '.' | '*' | '+' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '^' | '$'
+            | '-' | '/' | '\'' | '"' | ' ' => Ast::Literal(c),
+            other => {
+                return Err(PatternError {
+                    position: self.pos - 1,
+                    message: format!("unknown escape '\\{other}'"),
+                })
+            }
+        };
+        Ok(ast)
+    }
+
+    fn class(&mut self) -> Result<Ast, PatternError> {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        let mut first = true;
+        loop {
+            let c = self
+                .bump()
+                .ok_or_else(|| self.err("unclosed character class"))?;
+            match c {
+                ']' if !first => break,
+                '\\' => match self.escape(true)? {
+                    Ast::Literal(l) => ranges.push((l, l)),
+                    Ast::Class(inner) => {
+                        if inner.negated {
+                            return Err(self.err("negated escape inside class unsupported"));
+                        }
+                        ranges.extend(inner.ranges);
+                    }
+                    _ => return Err(self.err("bad escape inside class")),
+                },
+                lo => {
+                    // A range `lo-hi` if followed by '-' and a non-']' char.
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).is_some_and(|&h| h != ']')
+                    {
+                        self.bump(); // '-'
+                        let hi = match self.bump().expect("checked above") {
+                            '\\' => match self.escape(true)? {
+                                Ast::Literal(l) => l,
+                                _ => return Err(self.err("class escape cannot end a range")),
+                            },
+                            h => h,
+                        };
+                        if hi < lo {
+                            return Err(self.err("inverted class range"));
+                        }
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+            }
+            first = false;
+        }
+        if ranges.is_empty() {
+            return Err(self.err("empty character class"));
+        }
+        Ok(Ast::Class(CharClass { negated, ranges }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_literals_and_concat() {
+        assert_eq!(
+            parse("ab").unwrap(),
+            Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('b')])
+        );
+    }
+
+    #[test]
+    fn parses_alternation_precedence() {
+        // a|bc == Alternate(a, Concat(b, c))
+        let ast = parse("a|bc").unwrap();
+        match ast {
+            Ast::Alternate(branches) => {
+                assert_eq!(branches[0], Ast::Literal('a'));
+                assert!(matches!(branches[1], Ast::Concat(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_counted_repeats() {
+        let ast = parse("a{2,5}").unwrap();
+        assert_eq!(
+            ast,
+            Ast::Repeat {
+                node: Box::new(Ast::Literal('a')),
+                min: 2,
+                max: Some(5)
+            }
+        );
+        let ast = parse("a{3,}").unwrap();
+        assert!(matches!(ast, Ast::Repeat { min: 3, max: None, .. }));
+    }
+
+    #[test]
+    fn brace_without_digits_is_literal() {
+        // Python semantics: "a{x}" has literal braces.
+        let ast = parse("a{x}").unwrap();
+        assert_eq!(
+            ast,
+            Ast::Concat(vec![
+                Ast::Literal('a'),
+                Ast::Literal('{'),
+                Ast::Literal('x'),
+                Ast::Literal('}'),
+            ])
+        );
+    }
+
+    #[test]
+    fn class_ranges_and_negation() {
+        let ast = parse("[a-c^]").unwrap();
+        match ast {
+            Ast::Class(c) => {
+                assert!(!c.negated);
+                assert!(c.matches('b'));
+                assert!(c.matches('^'));
+                assert!(!c.matches('d'));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let ast = parse("[^0-9]").unwrap();
+        match ast {
+            Ast::Class(c) => {
+                assert!(c.negated);
+                assert!(c.matches('x'));
+                assert!(!c.matches('5'));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn leading_close_bracket_is_literal_in_class() {
+        let ast = parse("[]a]").unwrap();
+        match ast {
+            Ast::Class(c) => {
+                assert!(c.matches(']'));
+                assert!(c.matches('a'));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_positions() {
+        assert!(parse("a(b").is_err());
+        assert!(parse("[a").is_err());
+        assert!(parse("*a").is_err());
+        assert!(parse(r"\q").is_err());
+        assert!(parse("a{5,2}").is_err());
+        assert!(parse("a)b").is_err());
+    }
+
+    #[test]
+    fn escapes_in_and_out_of_class() {
+        assert!(parse(r"\d\w\s\b\B").is_ok());
+        assert!(parse(r"[\d\w]").is_ok());
+        // \b inside a class is rejected (we don't support backspace).
+        assert!(parse(r"[\b]").is_err());
+    }
+
+    #[test]
+    fn repeat_bound_guard() {
+        assert!(parse("a{1,300}").is_err());
+        assert!(parse(&format!("a{{1,{MAX_REPEAT}}}")).is_ok());
+    }
+
+    #[test]
+    fn word_class_membership() {
+        assert!(is_word_char('a'));
+        assert!(is_word_char('_'));
+        assert!(is_word_char('7'));
+        assert!(!is_word_char(' '));
+        assert!(!is_word_char('-'));
+    }
+}

@@ -1,0 +1,211 @@
+//! Slot templates: the paper's `lf_search("{{1}}.*\Wcauses\W.*{{2}}")`.
+//!
+//! A [`SlotTemplate`] is a pattern containing `{{k}}` placeholders. At
+//! labeling time the candidate's span texts are spliced in (escaped so
+//! they match literally) and the filled pattern is compiled and matched
+//! against the candidate's sentence. Compiled fills are memoized per
+//! template instance, because LF suites apply the same template to many
+//! candidates whose span texts repeat heavily.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::parser::PatternError;
+use crate::vm::Regex;
+
+/// A pattern with `{{0}}`, `{{1}}`, … placeholders for candidate spans.
+#[derive(Debug)]
+pub struct SlotTemplate {
+    /// Literal pattern pieces between placeholders; `pieces.len() ==
+    /// slots.len() + 1`.
+    pieces: Vec<String>,
+    /// Slot index for each gap between pieces.
+    slots: Vec<usize>,
+    case_insensitive: bool,
+    source: String,
+    /// Memoized compiled regexes keyed by the joined slot values.
+    cache: Mutex<HashMap<Vec<String>, Regex>>,
+}
+
+impl SlotTemplate {
+    /// Parse a template. Placeholders are `{{k}}` with `k` a decimal slot
+    /// index. Returns an error if a placeholder is malformed or the
+    /// pattern body (with slots replaced by `x`) fails to compile.
+    pub fn new(template: &str, case_insensitive: bool) -> Result<Self, PatternError> {
+        let mut pieces = Vec::new();
+        let mut slots = Vec::new();
+        let mut current = String::new();
+        let chars: Vec<char> = template.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            if chars[i] == '{' && chars.get(i + 1) == Some(&'{') {
+                let close = find_close(&chars, i + 2).ok_or_else(|| PatternError {
+                    position: i,
+                    message: "unterminated {{slot}}".to_string(),
+                })?;
+                let digits: String = chars[i + 2..close].iter().collect();
+                let k: usize = digits.parse().map_err(|_| PatternError {
+                    position: i + 2,
+                    message: format!("bad slot index '{digits}'"),
+                })?;
+                pieces.push(std::mem::take(&mut current));
+                slots.push(k);
+                i = close + 2; // past "}}"
+            } else {
+                current.push(chars[i]);
+                i += 1;
+            }
+        }
+        pieces.push(current);
+
+        // Validate the body compiles with dummy fills.
+        let max_slot = slots.iter().copied().max().map_or(0, |m| m + 1);
+        let dummy: Vec<&str> = vec!["x"; max_slot];
+        let filled = fill_pieces(&pieces, &slots, &dummy).map_err(|e| PatternError {
+            position: 0,
+            message: format!("template requires slot {e} but validation fill had too few"),
+        })?;
+        let _probe = if case_insensitive {
+            Regex::new_case_insensitive(&filled)?
+        } else {
+            Regex::new(&filled)?
+        };
+
+        Ok(SlotTemplate {
+            pieces,
+            slots,
+            case_insensitive,
+            source: template.to_string(),
+            cache: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The template source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Number of distinct slot indices referenced (max index + 1).
+    pub fn arity(&self) -> usize {
+        self.slots.iter().copied().max().map_or(0, |m| m + 1)
+    }
+
+    /// Fill the slots with literal span texts and test the result against
+    /// `text`. Span texts are regex-escaped. Panics if too few `values`
+    /// are supplied for the template's arity (a programmer error in LF
+    /// construction, caught by [`SlotTemplate::arity`]).
+    pub fn is_match(&self, values: &[&str], text: &str) -> bool {
+        let key: Vec<String> = values.iter().map(|s| s.to_string()).collect();
+        let mut cache = self.cache.lock().expect("template cache poisoned");
+        if let Some(re) = cache.get(&key) {
+            return re.is_match(text);
+        }
+        let filled = fill_pieces(&self.pieces, &self.slots, values)
+            .unwrap_or_else(|k| panic!("template slot {{{{{k}}}}} missing a value"));
+        let re = if self.case_insensitive {
+            Regex::new_case_insensitive(&filled)
+        } else {
+            Regex::new(&filled)
+        }
+        .expect("validated at construction; escaped fills cannot break compilation");
+        let hit = re.is_match(text);
+        cache.insert(key, re);
+        hit
+    }
+}
+
+fn find_close(chars: &[char], from: usize) -> Option<usize> {
+    let mut i = from;
+    while i + 1 < chars.len() {
+        if chars[i] == '}' && chars[i + 1] == '}' {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Join pieces and escaped slot values; `Err(k)` if slot `k` has no value.
+fn fill_pieces(pieces: &[String], slots: &[usize], values: &[&str]) -> Result<String, usize> {
+    let mut out = String::new();
+    for (i, piece) in pieces.iter().enumerate() {
+        out.push_str(piece);
+        if i < slots.len() {
+            let k = slots[i];
+            let v = values.get(k).ok_or(k)?;
+            out.push_str(&crate::escape(v));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_lf_search_template() {
+        let t = SlotTemplate::new(r"{{0}}.*\Wcauses\W.*{{1}}", false).unwrap();
+        assert_eq!(t.arity(), 2);
+        assert!(t.is_match(
+            &["magnesium", "quadriplegic"],
+            "parenteral magnesium administration causes a quadriplegic state",
+        ));
+        assert!(!t.is_match(
+            &["magnesium", "quadriplegic"],
+            "quadriplegic after parenteral magnesium",
+        ));
+    }
+
+    #[test]
+    fn slot_values_are_escaped() {
+        let t = SlotTemplate::new("{{0}} end", false).unwrap();
+        // A span containing metacharacters must match literally.
+        assert!(t.is_match(&["a+b"], "xx a+b end"));
+        assert!(!t.is_match(&["a+b"], "xx aab end"));
+    }
+
+    #[test]
+    fn repeated_slot() {
+        let t = SlotTemplate::new("{{0}} and {{0}}", false).unwrap();
+        assert_eq!(t.arity(), 1);
+        assert!(t.is_match(&["x"], "x and x"));
+        assert!(!t.is_match(&["x"], "x and y"));
+    }
+
+    #[test]
+    fn case_insensitive_template() {
+        let t = SlotTemplate::new("{{0}} causes", true).unwrap();
+        assert!(t.is_match(&["Aspirin"], "ASPIRIN CAUSES pain"));
+    }
+
+    #[test]
+    fn template_errors() {
+        assert!(SlotTemplate::new("{{", false).is_err());
+        assert!(SlotTemplate::new("{{x}}", false).is_err());
+        assert!(SlotTemplate::new("{{0}}(", false).is_err());
+    }
+
+    #[test]
+    fn zero_slot_template_is_plain_pattern() {
+        let t = SlotTemplate::new("plain", false).unwrap();
+        assert_eq!(t.arity(), 0);
+        assert!(t.is_match(&[], "a plain sentence"));
+    }
+
+    #[test]
+    #[should_panic(expected = "missing a value")]
+    fn too_few_values_panics() {
+        let t = SlotTemplate::new("{{1}}", false).unwrap();
+        let _ = t.is_match(&["only-zero"], "text");
+    }
+
+    #[test]
+    fn cache_returns_consistent_answers() {
+        let t = SlotTemplate::new("{{0}} causes {{1}}", false).unwrap();
+        for _ in 0..3 {
+            assert!(t.is_match(&["a", "b"], "a causes b"));
+            assert!(!t.is_match(&["a", "c"], "a causes b"));
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Property tests: the Pike-VM engine must agree with a naive
+//! backtracking reference matcher on a restricted pattern grammar, for
+//! arbitrary haystacks.
+
+use proptest::prelude::*;
+use snorkel_pattern::Regex;
+
+/// A deliberately simple AST mirroring the subset of syntax we generate;
+/// matched by brute-force backtracking below.
+#[derive(Clone, Debug)]
+enum Node {
+    Lit(char),
+    Any,
+    Star(Box<Node>),
+    Plus(Box<Node>),
+    Opt(Box<Node>),
+    Concat(Vec<Node>),
+    Alt(Box<Node>, Box<Node>),
+}
+
+impl Node {
+    fn to_pattern(&self) -> String {
+        match self {
+            Node::Lit(c) => c.to_string(),
+            Node::Any => ".".to_string(),
+            Node::Star(n) => format!("(?:{})*", n.to_pattern()),
+            Node::Plus(n) => format!("(?:{})+", n.to_pattern()),
+            Node::Opt(n) => format!("(?:{})?", n.to_pattern()),
+            Node::Concat(ns) => ns.iter().map(Node::to_pattern).collect(),
+            Node::Alt(a, b) => format!("(?:{}|{})", a.to_pattern(), b.to_pattern()),
+        }
+    }
+
+    /// All positions reachable by matching this node starting at `pos`.
+    fn match_ends(&self, hay: &[char], pos: usize, depth: usize) -> Vec<usize> {
+        if depth > 24 {
+            return Vec::new(); // guard pathological recursion
+        }
+        match self {
+            Node::Lit(c) => {
+                if hay.get(pos) == Some(c) {
+                    vec![pos + 1]
+                } else {
+                    Vec::new()
+                }
+            }
+            Node::Any => {
+                if pos < hay.len() && hay[pos] != '\n' {
+                    vec![pos + 1]
+                } else {
+                    Vec::new()
+                }
+            }
+            Node::Star(n) => {
+                let mut ends = vec![pos];
+                let mut frontier = vec![pos];
+                while let Some(p) = frontier.pop() {
+                    for e in n.match_ends(hay, p, depth + 1) {
+                        if e > p && !ends.contains(&e) {
+                            ends.push(e);
+                            frontier.push(e);
+                        }
+                    }
+                }
+                ends
+            }
+            Node::Plus(n) => {
+                let star = Node::Star(n.clone());
+                let mut out = Vec::new();
+                for first in n.match_ends(hay, pos, depth + 1) {
+                    for e in star.match_ends(hay, first, depth + 1) {
+                        if !out.contains(&e) {
+                            out.push(e);
+                        }
+                    }
+                }
+                out
+            }
+            Node::Opt(n) => {
+                let mut out = vec![pos];
+                for e in n.match_ends(hay, pos, depth + 1) {
+                    if !out.contains(&e) {
+                        out.push(e);
+                    }
+                }
+                out
+            }
+            Node::Concat(ns) => {
+                let mut positions = vec![pos];
+                for n in ns {
+                    let mut next = Vec::new();
+                    for &p in &positions {
+                        for e in n.match_ends(hay, p, depth + 1) {
+                            if !next.contains(&e) {
+                                next.push(e);
+                            }
+                        }
+                    }
+                    positions = next;
+                    if positions.is_empty() {
+                        break;
+                    }
+                }
+                positions
+            }
+            Node::Alt(a, b) => {
+                let mut out = a.match_ends(hay, pos, depth + 1);
+                for e in b.match_ends(hay, pos, depth + 1) {
+                    if !out.contains(&e) {
+                        out.push(e);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Unanchored containment by brute force.
+    fn is_match(&self, hay: &str) -> bool {
+        let chars: Vec<char> = hay.chars().collect();
+        (0..=chars.len()).any(|s| !self.match_ends(&chars, s, 0).is_empty())
+    }
+}
+
+fn node_strategy() -> impl Strategy<Value = Node> {
+    let leaf = prop_oneof![
+        prop::char::range('a', 'd').prop_map(Node::Lit),
+        Just(Node::Any),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|n| Node::Star(Box::new(n))),
+            inner.clone().prop_map(|n| Node::Plus(Box::new(n))),
+            inner.clone().prop_map(|n| Node::Opt(Box::new(n))),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Node::Concat),
+            (inner.clone(), inner).prop_map(|(a, b)| Node::Alt(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn engine_agrees_with_backtracking_reference(
+        node in node_strategy(),
+        hay in "[a-e]{0,12}",
+    ) {
+        let pattern = node.to_pattern();
+        let re = Regex::new(&pattern).expect("generated pattern must compile");
+        prop_assert_eq!(
+            re.is_match(&hay),
+            node.is_match(&hay),
+            "pattern {} on {:?}", pattern, hay
+        );
+    }
+
+    #[test]
+    fn escape_always_round_trips(text in "\\PC{0,24}") {
+        let re = Regex::new(&snorkel_pattern::escape(&text)).expect("escaped text compiles");
+        prop_assert!(re.is_match(&text));
+    }
+
+    #[test]
+    fn find_returns_valid_char_aligned_spans(
+        node in node_strategy(),
+        hay in "[a-e \\n]{0,16}",
+    ) {
+        let re = Regex::new(&node.to_pattern()).expect("compiles");
+        if let Some(m) = re.find(&hay) {
+            prop_assert!(m.start <= m.end && m.end <= hay.len());
+            prop_assert!(hay.is_char_boundary(m.start) && hay.is_char_boundary(m.end));
+            // The matched slice itself must be a match.
+            prop_assert!(re.is_match(m.as_str(&hay)) || m.is_empty());
+        }
+    }
+
+    #[test]
+    fn is_match_consistent_with_find(
+        node in node_strategy(),
+        hay in "[a-e]{0,12}",
+    ) {
+        let re = Regex::new(&node.to_pattern()).expect("compiles");
+        prop_assert_eq!(re.is_match(&hay), re.find(&hay).is_some());
+    }
+}

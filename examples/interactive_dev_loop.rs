@@ -1,0 +1,63 @@
+//! The iterative LF-development loop (paper §2.1, appendix C): after
+//! each labeling-function edit, inspect coverage / overlap / conflict,
+//! check empirical accuracy on the small labeled dev split, and let the
+//! optimizer tell you whether generative training is worth it yet —
+//! "supervision as interactive programming".
+//!
+//! Run with: `cargo run --release --example interactive_dev_loop`
+
+use snorkel::core::optimizer::{choose_strategy, ModelingStrategy, OptimizerConfig};
+use snorkel::datasets::{cdr, TaskConfig};
+use snorkel::lf::LfExecutor;
+use snorkel::matrix::stats::{empirical_accuracies, matrix_stats};
+
+fn main() {
+    let task = cdr::build(TaskConfig {
+        num_candidates: 1200,
+        seed: 1,
+    });
+    let train_ids: Vec<_> = task.train.iter().map(|&r| task.candidates[r]).collect();
+    let dev_ids: Vec<_> = task.dev.iter().map(|&r| task.candidates[r]).collect();
+    let dev_gold = task.gold_of(&task.dev);
+
+    // Simulate development: start with 3 LFs, grow the suite in stages.
+    let cfg = OptimizerConfig {
+        skip_structure_search: true,
+        ..OptimizerConfig::default()
+    };
+    for stage in [3usize, 8, 15, 23, 33] {
+        let suite = &task.lfs[..stage];
+        let lambda = LfExecutor::new().apply(suite, &task.corpus, &train_ids);
+        let stats = matrix_stats(&lambda);
+        let decision = choose_strategy(&lambda, &cfg);
+        println!(
+            "-- {stage:2} LFs: coverage {:.0}%, conflicts {:.0}%, density {:.2}, A~* {:.3} → {}",
+            100.0 * stats.coverage,
+            100.0 * stats.conflict_rate,
+            stats.label_density,
+            decision.predicted_advantage,
+            match decision.strategy {
+                ModelingStrategy::MajorityVote => "majority vote is enough",
+                ModelingStrategy::GenerativeModel { .. } => "train the generative model",
+            }
+        );
+    }
+
+    // Per-LF diagnostics on the dev set — what a user reads before
+    // deciding which LF to refine next.
+    println!("\nper-LF dev diagnostics (first 12 LFs):");
+    let lambda_dev = LfExecutor::new().apply(&task.lfs, &task.corpus, &dev_ids);
+    let stats = matrix_stats(&lambda_dev);
+    let accs = empirical_accuracies(&lambda_dev, &dev_gold);
+    println!("{:26} {:>6} {:>8} {:>8} {:>8}", "LF", "votes", "coverage", "conflict", "dev acc");
+    for (j, lf) in task.lfs.iter().enumerate().take(12) {
+        println!(
+            "{:26} {:>6} {:>7.1}% {:>7.1}% {:>8}",
+            lf.name(),
+            stats.lfs[j].num_votes,
+            100.0 * stats.lfs[j].coverage,
+            100.0 * stats.lfs[j].conflict,
+            accs[j].map_or("-".to_string(), |a| format!("{:.0}%", 100.0 * a)),
+        );
+    }
+}

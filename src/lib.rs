@@ -1,0 +1,43 @@
+//! # snorkel
+//!
+//! Façade crate for `snorkel-rs`, a from-scratch Rust reproduction of
+//! *Snorkel: Rapid Training Data Creation with Weak Supervision*
+//! (Ratner et al., VLDB 2017).
+//!
+//! This crate re-exports the workspace's public API so applications (and
+//! the repository's `examples/` and `tests/`) can depend on a single
+//! crate:
+//!
+//! * [`context`] — the context-hierarchy data model (documents, sentences,
+//!   spans, entities, candidates).
+//! * [`nlp`] — the lightweight NLP substrate (tokenizer, sentence
+//!   splitter, dictionary NER, candidate extraction).
+//! * [`pattern`] — the pattern/regex engine used by declarative labeling
+//!   functions.
+//! * [`lf`] — the labeling-function interface: the [`lf::LabelingFunction`]
+//!   trait, declarative operators, generators, and the parallel executor.
+//! * [`matrix`] — the sparse label matrix `Λ` and labeling diagnostics.
+//! * [`core`] — the data-programming core: the generative label model,
+//!   dependency-structure learning, the modeling-strategy optimizer
+//!   (Algorithm 1), and the end-to-end [`core::pipeline`].
+//! * [`disc`] — noise-aware discriminative models and evaluation metrics.
+//! * [`datasets`] — synthetic analogues of the paper's six applications.
+//! * [`linalg`] — dense/sparse numerics shared by the model crates.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for the canonical three-stage flow:
+//! write labeling functions → fit the generative model → train a
+//! discriminative model on the probabilistic labels.
+
+#![forbid(unsafe_code)]
+
+pub use snorkel_context as context;
+pub use snorkel_core as core;
+pub use snorkel_datasets as datasets;
+pub use snorkel_disc as disc;
+pub use snorkel_lf as lf;
+pub use snorkel_linalg as linalg;
+pub use snorkel_matrix as matrix;
+pub use snorkel_nlp as nlp;
+pub use snorkel_pattern as pattern;
