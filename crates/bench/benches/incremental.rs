@@ -1,0 +1,112 @@
+//! Cold vs. incremental refresh latency — the `snorkel-incr` acceptance
+//! numbers, measured at full scale: a 25-LF suite over the synthetic
+//! 10k-candidate CDR corpus.
+//!
+//! * `cold_pipeline/run_25lfs_10k` — a batch `Pipeline::run` (LF
+//!   application + strategy + training from scratch), re-run per sample.
+//! * `incremental/refresh_after_1lf_edit_25lfs_10k` — one LF edited in a
+//!   primed `IncrementalSession`, then `refresh()` (1 column
+//!   re-executed, Λ patched in place, training warm-started).
+//! * `incremental/refresh_noop` — a refresh with nothing changed (the
+//!   floor: cache bookkeeping + advantage bound + warm fit).
+//!
+//! The acceptance target (≥5× on the 1-LF edit) is asserted in
+//! `crates/incr/tests/session_test.rs`; this bench measures the actual
+//! ratio in release mode. Run with `cargo bench --bench incremental`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use snorkel_core::optimizer::OptimizerConfig;
+use snorkel_core::pipeline::{Pipeline, PipelineConfig};
+use snorkel_datasets::{cdr, TaskConfig};
+use snorkel_incr::{IncrementalSession, SessionConfig};
+use snorkel_lf::{lf, BoxedLf};
+
+const CANDIDATES: usize = 10_000;
+const N_LFS: usize = 25;
+
+fn optimizer() -> OptimizerConfig {
+    OptimizerConfig {
+        skip_structure_search: true,
+        ..OptimizerConfig::default()
+    }
+}
+
+/// CDR LFs are deterministic per spec (seed only shapes the corpus), so
+/// a tiny spare build hands out behaviorally identical LF copies.
+fn lf_number_10() -> BoxedLf {
+    let spare = cdr::build(TaskConfig {
+        num_candidates: 10,
+        seed: 3,
+    });
+    spare.lfs.into_iter().nth(10).expect("LF 10")
+}
+
+/// A dev-loop refinement of an existing LF: same heuristic, now
+/// abstaining on a hash-derived tenth of candidates. `salt` varies the
+/// edit so each bench iteration is a genuinely new LF version.
+fn refine(inner: BoxedLf, salt: u64) -> BoxedLf {
+    lf(inner.name().to_string(), move |x| {
+        // Cheap deterministic ~10% abstain mask, varied by the salt.
+        if x.sentence().text().len() as u64 % 10 == salt % 10 {
+            0
+        } else {
+            inner.label(x)
+        }
+    })
+}
+
+fn bench_cold_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cold_pipeline");
+    group.sample_size(10);
+    let task = cdr::build(TaskConfig {
+        num_candidates: CANDIDATES,
+        seed: 3,
+    });
+    let suite: Vec<BoxedLf> = task.lfs.into_iter().take(N_LFS).collect();
+    let pipeline = Pipeline::new(PipelineConfig {
+        optimizer: optimizer(),
+        ..PipelineConfig::default()
+    });
+    group.bench_function("run_25lfs_10k", |b| {
+        b.iter(|| pipeline.run(&suite, &task.corpus, &task.candidates))
+    });
+    group.finish();
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental");
+    group.sample_size(10);
+    let task = cdr::build(TaskConfig {
+        num_candidates: CANDIDATES,
+        seed: 3,
+    });
+
+    let mut session = IncrementalSession::new(
+        task.corpus,
+        SessionConfig {
+            optimizer: optimizer(),
+            ..SessionConfig::default()
+        },
+    );
+    session.ingest_candidates(&task.candidates);
+    for (j, f) in task.lfs.into_iter().take(N_LFS).enumerate() {
+        session.add_lf_tagged(f, j as u64);
+    }
+    session.refresh(); // prime cache + model
+
+    let mut salt = 0u64;
+    group.bench_function("refresh_after_1lf_edit_25lfs_10k", |b| {
+        b.iter(|| {
+            salt += 1;
+            session.edit_lf(refine(lf_number_10(), salt));
+            session.refresh()
+        })
+    });
+
+    group.bench_function("refresh_noop", |b| b.iter(|| session.refresh()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_cold_pipeline, bench_incremental);
+criterion_main!(benches);

@@ -51,8 +51,8 @@ fn bench_generative_training(c: &mut Criterion) {
     };
     group.bench_function("gibbs_cd_fit_10_epochs_2000x12", |b| {
         b.iter(|| {
-            let mut gm =
-                GenerativeModel::new(lambda.num_lfs(), LabelScheme::Binary).with_correlations(&pairs);
+            let mut gm = GenerativeModel::new(lambda.num_lfs(), LabelScheme::Binary)
+                .with_correlations(&pairs);
             gm.fit(&lambda, &cfg)
         })
     });
@@ -63,8 +63,16 @@ fn bench_structure_learning(c: &mut Criterion) {
     let mut group = c.benchmark_group("structure_learning");
     group.sample_size(10);
     let clusters = [
-        Cluster { size: 4, accuracy: 0.6, deviation: 0.05 },
-        Cluster { size: 4, accuracy: 0.65, deviation: 0.05 },
+        Cluster {
+            size: 4,
+            accuracy: 0.6,
+            deviation: 0.05,
+        },
+        Cluster {
+            size: 4,
+            accuracy: 0.65,
+            deviation: 0.05,
+        },
     ];
     for &(m, indep) in &[(1000usize, 8usize), (2000, 16)] {
         let (lambda, _, _) = correlated_matrix(m, indep, 0.75, &clusters, 0.4, 3);
@@ -110,7 +118,9 @@ fn bench_matrix_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("label_matrix");
     let (lambda, _) = independent_matrix(20000, 50, 0.75, 0.2, 4);
     group.bench_function("stats_20000x50", |b| b.iter(|| matrix_stats(&lambda)));
-    group.bench_function("majority_vote_20000x50", |b| b.iter(|| majority_vote(&lambda)));
+    group.bench_function("majority_vote_20000x50", |b| {
+        b.iter(|| majority_vote(&lambda))
+    });
     group.finish();
 }
 
@@ -135,7 +145,11 @@ fn bench_discriminative(c: &mut Criterion) {
     });
     let featurizer = TextFeaturizer::with_buckets(1 << 16);
     let xs = featurizer.featurize_all(&task.corpus, &task.candidates);
-    let soft: Vec<f64> = task.gold.iter().map(|&g| if g == 1 { 0.9 } else { 0.1 }).collect();
+    let soft: Vec<f64> = task
+        .gold
+        .iter()
+        .map(|&g| if g == 1 { 0.9 } else { 0.1 })
+        .collect();
     let cfg = LogRegConfig {
         dim: 1 << 16,
         epochs: 1,

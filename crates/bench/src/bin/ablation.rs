@@ -54,7 +54,10 @@ fn main() {
     println!("## CDR: accuracy-weight initialization\n");
     println!(
         "{}",
-        markdown_table(&["Initialization", "Advantage Aw", "GM label accuracy"], &rows)
+        markdown_table(
+            &["Initialization", "Advantage Aw", "GM label accuracy"],
+            &rows
+        )
     );
 
     // ------------------------------------------------------------------
@@ -74,14 +77,17 @@ fn main() {
     };
     let mut indep = GenerativeModel::new(lambda.num_lfs(), LabelScheme::Binary);
     indep.fit(&lambda, &cfg);
-    let mut corr = GenerativeModel::new(lambda.num_lfs(), LabelScheme::Binary)
-        .with_correlations(&pairs);
+    let mut corr =
+        GenerativeModel::new(lambda.num_lfs(), LabelScheme::Binary).with_correlations(&pairs);
     corr.fit(&lambda, &cfg);
 
     let rows = vec![
         vec![
             "independent model".to_string(),
-            format!("{:.3}", vote_accuracy(&indep.predicted_labels(&lambda), &gold)),
+            format!(
+                "{:.3}",
+                vote_accuracy(&indep.predicted_labels(&lambda), &gold)
+            ),
             format!(
                 "{:.2}",
                 indep.implied_accuracies()[3..].iter().sum::<f64>() / 5.0
@@ -89,7 +95,10 @@ fn main() {
         ],
         vec![
             "correlations modeled".to_string(),
-            format!("{:.3}", vote_accuracy(&corr.predicted_labels(&lambda), &gold)),
+            format!(
+                "{:.3}",
+                vote_accuracy(&corr.predicted_labels(&lambda), &gold)
+            ),
             format!(
                 "{:.2}",
                 corr.implied_accuracies()[3..].iter().sum::<f64>() / 5.0
@@ -100,7 +109,11 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["Model", "Label accuracy", "Mean implied accuracy of the block"],
+            &[
+                "Model",
+                "Label accuracy",
+                "Mean implied accuracy of the block"
+            ],
             &rows,
         )
     );

@@ -1,5 +1,8 @@
 //! Regenerates Table 2 (task statistics) and Table 7 (split sizes).
 fn main() {
     let scale = snorkel_bench::experiments::Scale::from_env();
-    println!("{}", snorkel_bench::experiments::tables::table2_and_7(scale));
+    println!(
+        "{}",
+        snorkel_bench::experiments::tables::table2_and_7(scale)
+    );
 }

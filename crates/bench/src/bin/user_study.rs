@@ -1,5 +1,8 @@
 //! Regenerates the §4.2 user study (Figures 7–8, Table 8).
 fn main() {
     let scale = snorkel_bench::experiments::Scale::from_env();
-    println!("{}", snorkel_bench::experiments::study::user_study_report(scale));
+    println!(
+        "{}",
+        snorkel_bench::experiments::study::user_study_report(scale)
+    );
 }

@@ -27,7 +27,9 @@ use crate::markdown_table;
 pub fn fig4(scale: Scale) -> String {
     let m = 1000;
     let propensity = 0.1;
-    let ns = [1usize, 2, 3, 5, 8, 12, 18, 27, 40, 60, 90, 135, 200, 300, 450];
+    let ns = [
+        1usize, 2, 3, 5, 8, 12, 18, 27, 40, 60, 90, 135, 200, 300, 450,
+    ];
     let mut rows = Vec::new();
     let mut rng = StdRng::seed_from_u64(scale.seed.wrapping_add(44));
 
@@ -70,7 +72,15 @@ pub fn fig4(scale: Scale) -> String {
          A~* upper-bounds A*, and the low-density bound caps the left flank.\n\n",
     );
     out.push_str(&markdown_table(
-        &["n", "d_Λ", "Aw (GM)", "A* (optimal)", "A~* (optimizer)", "low-density bound", "high-density bound"],
+        &[
+            "n",
+            "d_Λ",
+            "Aw (GM)",
+            "A* (optimal)",
+            "A~* (optimizer)",
+            "low-density bound",
+            "high-density bound",
+        ],
         &rows,
     ));
     out
@@ -113,7 +123,11 @@ fn fig5_panel(
             format!("{eps:.2}"),
             count.to_string(),
             format!("{:.1}", 100.0 * f1),
-            if i == elbow { "← elbow".into() } else { String::new() },
+            if i == elbow {
+                "← elbow".into()
+            } else {
+                String::new()
+            },
         ]);
     }
 
@@ -136,9 +150,21 @@ pub fn fig5(scale: Scale) -> String {
     // Example 3.1's regime: half the suite is three blocks of noisy
     // near-copies; the independent model badly over-counts them.
     let clusters = [
-        Cluster { size: 4, accuracy: 0.5, deviation: 0.02 },
-        Cluster { size: 4, accuracy: 0.5, deviation: 0.02 },
-        Cluster { size: 4, accuracy: 0.55, deviation: 0.05 },
+        Cluster {
+            size: 4,
+            accuracy: 0.5,
+            deviation: 0.02,
+        },
+        Cluster {
+            size: 4,
+            accuracy: 0.5,
+            deviation: 0.02,
+        },
+        Cluster {
+            size: 4,
+            accuracy: 0.55,
+            deviation: 0.05,
+        },
     ];
     let (lambda, gold, _) =
         correlated_matrix(1000, 8, 0.8, &clusters, 0.5, scale.seed.wrapping_add(55));

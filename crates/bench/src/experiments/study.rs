@@ -12,7 +12,7 @@ use snorkel_lf::{LfExecutor, Vote};
 use snorkel_linalg::Summary;
 
 use crate::experiments::Scale;
-use crate::{best_f1_threshold, logreg_config, predict_at, markdown_table, TEXT_BUCKETS};
+use crate::{best_f1_threshold, logreg_config, markdown_table, predict_at, TEXT_BUCKETS};
 
 /// Outcome for one simulated participant.
 #[derive(Clone, Debug)]
@@ -185,14 +185,29 @@ pub fn user_study_report(scale: Scale) -> String {
                 o.num_lfs.to_string(),
                 format!("{:.1}", 100.0 * o.f1),
                 format!("{:.1}", 100.0 * h),
-                if o.f1 >= h { "✓".into() } else { String::new() },
+                if o.f1 >= h {
+                    "✓".into()
+                } else {
+                    String::new()
+                },
             ]
         })
         .collect();
-    rows.sort_by(|a, b| b[3].parse::<f64>().unwrap().total_cmp(&a[3].parse::<f64>().unwrap()));
+    rows.sort_by(|a, b| {
+        b[3].parse::<f64>()
+            .unwrap()
+            .total_cmp(&a[3].parse::<f64>().unwrap())
+    });
     out.push_str("### Figure 7 — participant scores vs hand-label baselines\n\n");
     out.push_str(&markdown_table(
-        &["Participant", "Skill", "# LFs", "Snorkel F1", "Hand F1", "≥ baseline"],
+        &[
+            "Participant",
+            "Skill",
+            "# LFs",
+            "Snorkel F1",
+            "Hand F1",
+            "≥ baseline",
+        ],
         &rows,
     ));
 
@@ -228,14 +243,21 @@ pub fn user_study_report(scale: Scale) -> String {
             })
             .collect();
         out.push_str(&format!("**{factor}**\n\n"));
-        out.push_str(&markdown_table(&["Level", "n", "Mean F1", "Median F1"], &rows));
+        out.push_str(&markdown_table(
+            &["Level", "n", "Mean F1", "Median F1"],
+            &rows,
+        ));
         out.push('\n');
     }
 
     // Table 8: profile marginals.
     out.push_str("### Table 8 — self-reported skill levels\n\n");
     let mut rows8 = Vec::new();
-    for (name, extract) in [("Python", 1usize), ("Machine Learning", 2), ("Text Mining", 3)] {
+    for (name, extract) in [
+        ("Python", 1usize),
+        ("Machine Learning", 2),
+        ("Text Mining", 3),
+    ] {
         let count = |lvl: SkillLevel| {
             outcomes
                 .iter()

@@ -160,7 +160,10 @@ pub fn table2_and_7(scale: Scale) -> String {
         "Paper: Chem 65398/1292/1232; EHR 225607/913/604; CDR 8272/888/4620; \
          Spouses 22195/2796/2697; Radiology 3851/385/385; Crowd 505/63/64.\n\n",
     );
-    out.push_str(&markdown_table(&["Task", "# Train.", "# Dev.", "# Test"], &rows7));
+    out.push_str(&markdown_table(
+        &["Task", "# Train.", "# Dev.", "# Test"],
+        &rows7,
+    ));
     out
 }
 
@@ -251,8 +254,16 @@ pub fn table4(scale: Scale) -> String {
     gm.fit(&lambda, &crowd_cfg);
     let targets = gm.marginals(&lambda);
     let featurizer = TextFeaturizer::with_buckets(TEXT_BUCKETS);
-    let train_ids: Vec<_> = crowd_task.train.iter().map(|&r| crowd_task.candidates[r]).collect();
-    let test_ids: Vec<_> = crowd_task.test.iter().map(|&r| crowd_task.candidates[r]).collect();
+    let train_ids: Vec<_> = crowd_task
+        .train
+        .iter()
+        .map(|&r| crowd_task.candidates[r])
+        .collect();
+    let test_ids: Vec<_> = crowd_task
+        .test
+        .iter()
+        .map(|&r| crowd_task.candidates[r])
+        .collect();
     let x_train = featurizer.featurize_all(&crowd_task.corpus, &train_ids);
     let x_test = featurizer.featurize_all(&crowd_task.corpus, &test_ids);
     let gold_test = crowd_task.gold_of(&crowd_task.test);
@@ -271,9 +282,7 @@ pub fn table4(scale: Scale) -> String {
     rows.push(vec!["Crowd (Acc)".into(), pct(snorkel_acc), pct(hand_acc)]);
 
     let mut out = String::from("## Table 4 — cross-modal tasks\n\n");
-    out.push_str(
-        "Paper: Radiology AUC 72.0 (Snorkel) vs 76.2 (hand); Crowd Acc 65.6 vs 68.8.\n\n",
-    );
+    out.push_str("Paper: Radiology AUC 72.0 (Snorkel) vs 76.2 (hand); Crowd Acc 65.6 vs 68.8.\n\n");
     out.push_str(&markdown_table(
         &["Task", "Snorkel (Disc.)", "Hand Supervision"],
         &rows,
@@ -291,7 +300,10 @@ pub fn table5(scale: Scale) -> String {
             e.name.clone(),
             pct(e.unweighted_disc.f1),
             pct(e.discriminative.f1),
-            format!("{:+.1}", 100.0 * (e.discriminative.f1 - e.unweighted_disc.f1)),
+            format!(
+                "{:+.1}",
+                100.0 * (e.discriminative.f1 - e.unweighted_disc.f1)
+            ),
         ]);
     }
 
@@ -355,8 +367,16 @@ pub fn table5(scale: Scale) -> String {
         targets_unw.push(t);
     }
     let featurizer = TextFeaturizer::with_buckets(TEXT_BUCKETS);
-    let train_ids: Vec<_> = crowd_task.train.iter().map(|&r| crowd_task.candidates[r]).collect();
-    let test_ids: Vec<_> = crowd_task.test.iter().map(|&r| crowd_task.candidates[r]).collect();
+    let train_ids: Vec<_> = crowd_task
+        .train
+        .iter()
+        .map(|&r| crowd_task.candidates[r])
+        .collect();
+    let test_ids: Vec<_> = crowd_task
+        .test
+        .iter()
+        .map(|&r| crowd_task.candidates[r])
+        .collect();
     let x_train = featurizer.featurize_all(&crowd_task.corpus, &train_ids);
     let x_test = featurizer.featurize_all(&crowd_task.corpus, &test_ids);
     let gold_test = crowd_task.gold_of(&crowd_task.test);

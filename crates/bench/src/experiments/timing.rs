@@ -81,8 +81,8 @@ pub fn speedup(scale: Scale) -> String {
 
     let time_fit = |pairs: &[(usize, usize)]| {
         let t = Instant::now();
-        let mut gm = GenerativeModel::new(lambda.num_lfs(), LabelScheme::Binary)
-            .with_correlations(pairs);
+        let mut gm =
+            GenerativeModel::new(lambda.num_lfs(), LabelScheme::Binary).with_correlations(pairs);
         gm.fit(&lambda, &TrainConfig::default());
         t.elapsed()
     };
@@ -97,9 +97,16 @@ pub fn speedup(scale: Scale) -> String {
     out.push_str(&markdown_table(
         &["Quantity", "Value"],
         &[
-            vec!["ε sweep (25 values)".into(), format!("{:.1} ms", 1e3 * sweep_time.as_secs_f64())],
             vec![
-                format!("GM fit at elbow ε={:.2} ({} correlations)", sweep[elbow].0, elbow_pairs.len()),
+                "ε sweep (25 values)".into(),
+                format!("{:.1} ms", 1e3 * sweep_time.as_secs_f64()),
+            ],
+            vec![
+                format!(
+                    "GM fit at elbow ε={:.2} ({} correlations)",
+                    sweep[elbow].0,
+                    elbow_pairs.len()
+                ),
                 format!("{:.1} ms", 1e3 * elbow_time.as_secs_f64()),
             ],
             vec![
@@ -110,7 +117,10 @@ pub fn speedup(scale: Scale) -> String {
                 ),
                 format!("{:.1} ms", 1e3 * full_time.as_secs_f64()),
             ],
-            vec!["Training-time saving at elbow".into(), format!("{saving:.0}%")],
+            vec![
+                "Training-time saving at elbow".into(),
+                format!("{saving:.0}%"),
+            ],
         ],
     ));
     out

@@ -240,7 +240,10 @@ impl<'a> DocumentView<'a> {
     /// Iterate sentence views in reading order.
     pub fn sentences(&self) -> impl Iterator<Item = SentenceView<'a>> + '_ {
         let corpus = self.corpus;
-        self.doc.sentences.iter().map(move |id| corpus.sentence(*id))
+        self.doc
+            .sentences
+            .iter()
+            .map(move |id| corpus.sentence(*id))
     }
 }
 

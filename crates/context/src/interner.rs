@@ -5,8 +5,8 @@
 //! equality checks integer comparisons. Reads take a shared lock; the
 //! write path (first sighting of a string) takes the exclusive lock.
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// An interned string handle.
 #[derive(Clone, Copy, Debug, Hash, PartialEq, Eq, PartialOrd, Ord)]
@@ -37,12 +37,23 @@ impl Interner {
         Interner::default()
     }
 
+    /// Shared lock. Writers only ever extend the arenas, so a poisoned
+    /// lock (a panicking writer) leaves the map in a consistent state;
+    /// recover rather than propagate.
+    fn read(&self) -> RwLockReadGuard<'_, Inner> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, Inner> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Intern a string, returning its stable symbol.
     pub fn intern(&self, s: &str) -> Symbol {
-        if let Some(&sym) = self.inner.read().map.get(s) {
+        if let Some(&sym) = self.read().map.get(s) {
             return sym;
         }
-        let mut inner = self.inner.write();
+        let mut inner = self.write();
         // Double-check: another writer may have interned between locks.
         if let Some(&sym) = inner.map.get(s) {
             return sym;
@@ -55,18 +66,18 @@ impl Interner {
 
     /// Look up a string without interning it.
     pub fn get(&self, s: &str) -> Option<Symbol> {
-        self.inner.read().map.get(s).copied()
+        self.read().map.get(s).copied()
     }
 
     /// Resolve a symbol back to its string (owned, because the interner
     /// is behind a lock).
     pub fn resolve(&self, sym: Symbol) -> String {
-        self.inner.read().strings[sym.index()].clone()
+        self.read().strings[sym.index()].clone()
     }
 
     /// Number of interned strings.
     pub fn len(&self) -> usize {
-        self.inner.read().strings.len()
+        self.read().strings.len()
     }
 
     /// True when nothing has been interned.

@@ -58,7 +58,10 @@ mod tests {
     fn low_density_is_quadratic_in_density() {
         let a1 = low_density_bound(10, 0.1, 0.75);
         let a2 = low_density_bound(20, 0.1, 0.75);
-        assert!((a2 / a1 - 4.0).abs() < 1e-9, "doubling n quadruples the bound");
+        assert!(
+            (a2 / a1 - 4.0).abs() < 1e-9,
+            "doubling n quadruples the bound"
+        );
     }
 
     #[test]

@@ -28,6 +28,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Index loops over parallel arrays are the house style in the numeric
+// kernels; iterator rewrites obscure the paired-index math.
+#![allow(clippy::needless_range_loop)]
 
 pub mod bounds;
 pub mod model;

@@ -109,7 +109,11 @@ pub fn advantage_upper_bound(lambda: &LabelMatrix, cfg: &OptimizerConfig) -> f64
             if y * f1[i] > 0.0 {
                 continue; // MV already right for this hypothesis
             }
-            let (c_y, c_other) = if y > 0.0 { (c_pos, c_neg) } else { (c_neg, c_pos) };
+            let (c_y, c_other) = if y > 0.0 {
+                (c_pos, c_neg)
+            } else {
+                (c_neg, c_pos)
+            };
             let phi = c_y * cfg.w_max > c_other * cfg.w_min;
             if !phi {
                 continue;
@@ -217,10 +221,7 @@ mod tests {
         for seed in 0..5 {
             let accs = [0.9, 0.8, 0.65, 0.6, 0.55];
             let (lambda, gold) = planted(2000, &accs, 0.4, seed);
-            let w_star: Vec<f64> = accs
-                .iter()
-                .map(|&a| 0.5 * (a / (1.0 - a)).ln())
-                .collect();
+            let w_star: Vec<f64> = accs.iter().map(|&a| 0.5 * (a / (1.0 - a)).ln()).collect();
             let adv = crate::vote::modeling_advantage(&lambda, &w_star, &gold);
             let bound = advantage_upper_bound(&lambda, &OptimizerConfig::default());
             assert!(
@@ -248,7 +249,10 @@ mod tests {
             ..OptimizerConfig::default()
         };
         let d = choose_strategy(&lambda, &cfg);
-        assert!(matches!(d.strategy, ModelingStrategy::GenerativeModel { .. }));
+        assert!(matches!(
+            d.strategy,
+            ModelingStrategy::GenerativeModel { .. }
+        ));
         assert!(d.predicted_advantage >= 0.01);
     }
 
@@ -259,7 +263,7 @@ mod tests {
         let accs = vec![0.8; 20];
         let (lambda, _) = planted(1000, &accs, 0.9, 3);
         let bound = advantage_upper_bound(&lambda, &OptimizerConfig::default());
-        let sparse = planted(1000, &vec![0.8; 5], 0.4, 3).0;
+        let sparse = planted(1000, &[0.8; 5], 0.4, 3).0;
         let sparse_bound = advantage_upper_bound(&sparse, &OptimizerConfig::default());
         assert!(
             bound < sparse_bound,

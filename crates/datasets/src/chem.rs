@@ -78,8 +78,26 @@ pub fn build(cfg: TaskConfig) -> RelationTask {
     let mut kb_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(2));
     let mut kb = KnowledgeBase::new("metacyc");
     let (ea, eb) = (&spec.entities_a, &spec.entities_b);
-    noisy_kb_subset(&mut kb, "Reactions", &gen.relations, ea, eb, 0.4, 5, &mut kb_rng);
-    noisy_kb_subset(&mut kb, "Pathways", &gen.relations, ea, eb, 0.2, 8, &mut kb_rng);
+    noisy_kb_subset(
+        &mut kb,
+        "Reactions",
+        &gen.relations,
+        ea,
+        eb,
+        0.4,
+        5,
+        &mut kb_rng,
+    );
+    noisy_kb_subset(
+        &mut kb,
+        "Pathways",
+        &gen.relations,
+        ea,
+        eb,
+        0.2,
+        8,
+        &mut kb_rng,
+    );
     let kb = Arc::new(kb);
 
     let (lfs, lf_types) = build_lfs(&kb);
@@ -115,14 +133,35 @@ fn build_lfs(kb: &Arc<KnowledgeBase>) -> (Vec<BoxedLf>, Vec<LfType>) {
         Box::new(KeywordBetweenLf::new("lf_yielded", &["yielded"], 1, 0)),
         Box::new(KeywordBetweenLf::new("lf_converted", &["converted"], 1, 0)),
         Box::new(KeywordBetweenLf::new("lf_afforded", &["afforded"], 1, 0)),
-        Box::new(PatternLf::new("lf_reacts_to_form", r"{{0}} reacts to form {{1}}", 1).expect("pattern")),
-        Box::new(PatternLf::new("lf_synthesis_from", r"synthesis of {{1}} from {{0}}", 1).expect("pattern")),
-        Box::new(PatternLf::new("lf_hydrolysis_gave", r"hydrolysis of {{0}} gave {{1}}", 1).expect("pattern")),
+        Box::new(
+            PatternLf::new("lf_reacts_to_form", r"{{0}} reacts to form {{1}}", 1).expect("pattern"),
+        ),
+        Box::new(
+            PatternLf::new("lf_synthesis_from", r"synthesis of {{1}} from {{0}}", 1)
+                .expect("pattern"),
+        ),
+        Box::new(
+            PatternLf::new("lf_hydrolysis_gave", r"hydrolysis of {{0}} gave {{1}}", 1)
+                .expect("pattern"),
+        ),
         Box::new(KeywordBetweenLf::new("lf_standard", &["standard"], -1, -1)),
-        Box::new(KeywordBetweenLf::new("lf_purchased", &["purchased"], -1, -1)),
+        Box::new(KeywordBetweenLf::new(
+            "lf_purchased",
+            &["purchased"],
+            -1,
+            -1,
+        )),
         Box::new(KeywordBetweenLf::new("lf_solvent", &["solvent"], -1, -1)),
-        Box::new(KeywordBetweenLf::new("lf_separately", &["separately", "apart"], -1, -1)),
-        Box::new(PatternLf::new("lf_alongside", r"{{0}} was analyzed alongside {{1}}", -1).expect("pattern")),
+        Box::new(KeywordBetweenLf::new(
+            "lf_separately",
+            &["separately", "apart"],
+            -1,
+            -1,
+        )),
+        Box::new(
+            PatternLf::new("lf_alongside", r"{{0}} was analyzed alongside {{1}}", -1)
+                .expect("pattern"),
+        ),
     ];
     for p in patterns {
         lfs.push(p);
@@ -207,8 +246,16 @@ mod tests {
         let t = small();
         let lambda = t.train_matrix();
         let stats = snorkel_matrix::stats::matrix_stats(&lambda);
-        assert!(lambda.label_density() < 2.0, "density {}", lambda.label_density());
-        assert!(stats.conflict_rate < 0.12, "conflicts {}", stats.conflict_rate);
+        assert!(
+            lambda.label_density() < 2.0,
+            "density {}",
+            lambda.label_density()
+        );
+        assert!(
+            stats.conflict_rate < 0.12,
+            "conflicts {}",
+            stats.conflict_rate
+        );
     }
 
     #[test]

@@ -171,7 +171,11 @@ pub fn build(cfg: TaskConfig) -> CrowdTask {
     }
 
     let lfs = crowd_lfs(&table);
-    assert_eq!(lfs.len(), num_workers, "every worker must have graded something");
+    assert_eq!(
+        lfs.len(),
+        num_workers,
+        "every worker must have graded something"
+    );
 
     CrowdTask {
         corpus,

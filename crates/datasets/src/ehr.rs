@@ -27,8 +27,17 @@ const BODY_PARTS: &[&str] = &[
 ];
 
 const PAIN_TERMS: &[&str] = &[
-    "sharp pain", "dull ache", "burning pain", "throbbing pain", "chronic pain", "acute pain",
-    "stabbing pain", "radiating pain", "intermittent pain", "severe tenderness", "mild soreness",
+    "sharp pain",
+    "dull ache",
+    "burning pain",
+    "throbbing pain",
+    "chronic pain",
+    "acute pain",
+    "stabbing pain",
+    "radiating pain",
+    "intermittent pain",
+    "severe tenderness",
+    "mild soreness",
     "shooting pain",
 ];
 
@@ -85,7 +94,11 @@ pub fn build(cfg: TaskConfig) -> RelationTask {
         symmetric: false,
         ambig_templates: AMBIG_TEMPLATES.to_vec(),
         ambig_rate: 0.35,
-        style_cue: Some(("confirmed at bedside today", "carried forward unchanged", 0.4)),
+        style_cue: Some((
+            "confirmed at bedside today",
+            "carried forward unchanged",
+            0.4,
+        )),
         repeat_pair_rate: 0.12,
     };
     let gen = build_relation_corpus(&spec, cfg.num_candidates, cfg.seed.wrapping_add(1));
@@ -127,15 +140,49 @@ fn build_lfs() -> (Vec<BoxedLf>, Vec<LfType>) {
         Box::new(KeywordBetweenLf::new("lf_localized", &["localized"], 1, 1)),
         Box::new(KeywordBetweenLf::new("lf_noted_over", &["over"], 1, 1)),
         Box::new(KeywordBetweenLf::new("lf_in_the", &["in"], 1, 0)),
-        Box::new(KeywordBetweenLf::new("lf_radiating_from", &["radiating"], 1, 1)),
+        Box::new(KeywordBetweenLf::new(
+            "lf_radiating_from",
+            &["radiating"],
+            1,
+            1,
+        )),
         Box::new(KeywordBetweenLf::new("lf_at_the", &["at"], 1, 0)),
-        Box::new(PatternLf::new("lf_palpation", r"palpation of the {{1}} reproduced the {{0}}", 1).expect("pattern")),
+        Box::new(
+            PatternLf::new(
+                "lf_palpation",
+                r"palpation of the {{1}} reproduced the {{0}}",
+                1,
+            )
+            .expect("pattern"),
+        ),
         Box::new(PatternLf::new("lf_rated", r"{{0}} at the {{1}} rated", 1).expect("pattern")),
-        Box::new(PatternLf::new("lf_since_surgery", r"{{0}} in the {{1}} since", 1).expect("pattern")),
-        Box::new(KeywordBetweenLf::new("lf_resolved_between", &["resolved"], -1, -1)),
-        Box::new(KeywordBetweenLf::new("lf_discussed_between", &["discussed"], -1, -1)),
-        Box::new(KeywordBetweenLf::new("lf_controlled_between", &["controlled"], -1, -1)),
-        Box::new(KeywordBetweenLf::new("lf_conjunction_break", &["but", "while"], -1, -1)),
+        Box::new(
+            PatternLf::new("lf_since_surgery", r"{{0}} in the {{1}} since", 1).expect("pattern"),
+        ),
+        Box::new(KeywordBetweenLf::new(
+            "lf_resolved_between",
+            &["resolved"],
+            -1,
+            -1,
+        )),
+        Box::new(KeywordBetweenLf::new(
+            "lf_discussed_between",
+            &["discussed"],
+            -1,
+            -1,
+        )),
+        Box::new(KeywordBetweenLf::new(
+            "lf_controlled_between",
+            &["controlled"],
+            -1,
+            -1,
+        )),
+        Box::new(KeywordBetweenLf::new(
+            "lf_conjunction_break",
+            &["but", "while"],
+            -1,
+            -1,
+        )),
     ];
     for p in patterns {
         lfs.push(p);
@@ -321,12 +368,24 @@ mod tests {
         let t = small();
         let lambda = t.train_matrix();
         let stats = snorkel_matrix::stats::matrix_stats(&lambda);
-        let legacy_idx = t.lfs.iter().position(|l| l.name() == "lf_legacy_regex").unwrap();
-        assert!(stats.lfs[legacy_idx].coverage > 0.8, "coverage {}", stats.lfs[legacy_idx].coverage);
+        let legacy_idx = t
+            .lfs
+            .iter()
+            .position(|l| l.name() == "lf_legacy_regex")
+            .unwrap();
+        assert!(
+            stats.lfs[legacy_idx].coverage > 0.8,
+            "coverage {}",
+            stats.lfs[legacy_idx].coverage
+        );
         let gold = t.gold_of(&t.train);
         let acc = snorkel_matrix::stats::empirical_accuracies(&lambda, &gold)[legacy_idx].unwrap();
         assert!((0.2..0.65).contains(&acc), "legacy accuracy {acc:.2}");
         // And the suite must conflict often enough for GM to matter.
-        assert!(stats.conflict_rate > 0.2, "conflicts {}", stats.conflict_rate);
+        assert!(
+            stats.conflict_rate > 0.2,
+            "conflicts {}",
+            stats.conflict_rate
+        );
     }
 }

@@ -9,21 +9,21 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const ONSETS: &[&str] = &[
-    "b", "br", "c", "cl", "d", "dr", "f", "fl", "g", "gr", "k", "l", "m", "n", "p", "pr", "r",
-    "s", "st", "t", "tr", "v", "z",
+    "b", "br", "c", "cl", "d", "dr", "f", "fl", "g", "gr", "k", "l", "m", "n", "p", "pr", "r", "s",
+    "st", "t", "tr", "v", "z",
 ];
 const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ia", "io"];
 const CHEM_SUFFIXES: &[&str] = &["ol", "ine", "ate", "ium", "ide", "one", "il", "an"];
 const DISEASE_SUFFIXES: &[&str] = &["itis", "osis", "emia", "pathy", "algia", "oma", "plegia"];
 const FIRST_NAMES: &[&str] = &[
     "Alice", "Bruno", "Carmen", "Diego", "Elena", "Felix", "Greta", "Hugo", "Irene", "Jonas",
-    "Karla", "Liam", "Mona", "Nadia", "Oscar", "Petra", "Quinn", "Rosa", "Stefan", "Tara",
-    "Ulric", "Vera", "Wanda", "Xavier", "Yara", "Zane",
+    "Karla", "Liam", "Mona", "Nadia", "Oscar", "Petra", "Quinn", "Rosa", "Stefan", "Tara", "Ulric",
+    "Vera", "Wanda", "Xavier", "Yara", "Zane",
 ];
 const LAST_NAMES: &[&str] = &[
-    "Alvarez", "Baker", "Castillo", "Dubois", "Eriksen", "Fischer", "Garcia", "Hansen",
-    "Ibrahim", "Jensen", "Kovacs", "Larsen", "Moreau", "Novak", "Okafor", "Petrov", "Quintero",
-    "Rossi", "Schmidt", "Tanaka", "Ueda", "Vargas", "Weber", "Xu", "Yamada", "Zhang",
+    "Alvarez", "Baker", "Castillo", "Dubois", "Eriksen", "Fischer", "Garcia", "Hansen", "Ibrahim",
+    "Jensen", "Kovacs", "Larsen", "Moreau", "Novak", "Okafor", "Petrov", "Quintero", "Rossi",
+    "Schmidt", "Tanaka", "Ueda", "Vargas", "Weber", "Xu", "Yamada", "Zhang",
 ];
 
 /// Seeded generator of unique domain names.

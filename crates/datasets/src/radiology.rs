@@ -26,12 +26,22 @@ use snorkel_nlp::tokenize;
 use crate::task::{split_rows, LfType, TaskConfig};
 
 const FINDINGS: &[&str] = &[
-    "opacity", "consolidation", "effusion", "nodule", "infiltrate", "cardiomegaly",
-    "atelectasis", "pneumothorax",
+    "opacity",
+    "consolidation",
+    "effusion",
+    "nodule",
+    "infiltrate",
+    "cardiomegaly",
+    "atelectasis",
+    "pneumothorax",
 ];
 
 const LOCATIONS: &[&str] = &[
-    "right lower lobe", "left lower lobe", "right upper lobe", "left upper lobe", "lingula",
+    "right lower lobe",
+    "left lower lobe",
+    "right upper lobe",
+    "left upper lobe",
+    "lingula",
     "costophrenic angle",
 ];
 
@@ -99,7 +109,9 @@ impl RadiologyTask {
     /// Image features of a row subset (cloned, models consume owned
     /// batches).
     pub fn images_of(&self, rows: &[usize]) -> Vec<Vec<f64>> {
-        rows.iter().map(|&r| self.image_features[r].clone()).collect()
+        rows.iter()
+            .map(|&r| self.image_features[r].clone())
+            .collect()
     }
 }
 
@@ -231,8 +243,9 @@ fn build_lfs() -> (Vec<BoxedLf>, Vec<LfType>) {
             for sent in x.doc().sentences() {
                 let text = sent.text().to_lowercase();
                 if text.contains(&word) {
-                    let negated =
-                        text.contains("no ") || text.contains("without") || text.contains("unremarkable");
+                    let negated = text.contains("no ")
+                        || text.contains("without")
+                        || text.contains("unremarkable");
                     return if negated { -1 } else { 1 };
                 }
             }

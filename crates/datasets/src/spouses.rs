@@ -131,7 +131,12 @@ fn build_lfs(kb: &Arc<KnowledgeBase>) -> (Vec<BoxedLf>, Vec<LfType>) {
     let mut types: Vec<LfType> = Vec::new();
 
     let patterns: Vec<BoxedLf> = vec![
-        Box::new(KeywordBetweenLf::new("lf_married", &["married", "wed"], 1, 1)),
+        Box::new(KeywordBetweenLf::new(
+            "lf_married",
+            &["married", "wed"],
+            1,
+            1,
+        )),
         Box::new(KeywordBetweenLf::new(
             "lf_spouse_words",
             &["spouse", "husband", "wife"],
@@ -139,15 +144,35 @@ fn build_lfs(kb: &Arc<KnowledgeBase>) -> (Vec<BoxedLf>, Vec<LfType>) {
             1,
         )),
         Box::new(KeywordBetweenLf::new("lf_divorce", &["divorce"], 1, 1)),
-        Box::new(KeywordBetweenLf::new("lf_anniversary", &["anniversary"], 1, 1)),
-        Box::new(PatternLf::new("lf_filed_divorce", r"{{0}} filed for divorce from {{1}}", 1).expect("pattern")),
+        Box::new(KeywordBetweenLf::new(
+            "lf_anniversary",
+            &["anniversary"],
+            1,
+            1,
+        )),
+        Box::new(
+            PatternLf::new("lf_filed_divorce", r"{{0}} filed for divorce from {{1}}", 1)
+                .expect("pattern"),
+        ),
         Box::new(KeywordBetweenLf::new(
             "lf_professional",
-            &["debated", "succeeded", "interviewed", "cited", "defeated", "traded"],
+            &[
+                "debated",
+                "succeeded",
+                "interviewed",
+                "cited",
+                "defeated",
+                "traded",
+            ],
             -1,
             -1,
         )),
-        Box::new(KeywordBetweenLf::new("lf_costar", &["starred", "criticized"], -1, -1)),
+        Box::new(KeywordBetweenLf::new(
+            "lf_costar",
+            &["starred", "criticized"],
+            -1,
+            -1,
+        )),
     ];
     for p in patterns {
         lfs.push(p);

@@ -97,7 +97,15 @@ pub fn correlated_matrix(
         gold.push(y);
         for j in 0..independent {
             if rng.gen::<f64>() < propensity {
-                b.set(i, j, if rng.gen::<f64>() < indep_accuracy { y } else { -y });
+                b.set(
+                    i,
+                    j,
+                    if rng.gen::<f64>() < indep_accuracy {
+                        y
+                    } else {
+                        -y
+                    },
+                );
             }
         }
         let mut col = independent;
@@ -105,7 +113,11 @@ pub fn correlated_matrix(
             if rng.gen::<f64>() < propensity {
                 let base: Vote = if rng.gen::<f64>() < c.accuracy { y } else { -y };
                 for k in 0..c.size {
-                    let vote = if rng.gen::<f64>() < c.deviation { -base } else { base };
+                    let vote = if rng.gen::<f64>() < c.deviation {
+                        -base
+                    } else {
+                        base
+                    };
                     b.set(i, col + k, vote);
                 }
             }
@@ -139,8 +151,7 @@ mod tests {
         assert!((lambda.label_density() - 1.0).abs() < 0.15);
         // Empirical accuracy ≈ 0.75.
         let accs = snorkel_matrix::stats::empirical_accuracies(&lambda, &gold);
-        let mean: f64 =
-            accs.iter().flatten().sum::<f64>() / accs.iter().flatten().count() as f64;
+        let mean: f64 = accs.iter().flatten().sum::<f64>() / accs.iter().flatten().count() as f64;
         assert!((mean - 0.75).abs() < 0.05, "mean acc {mean:.3}");
         // Class balance.
         let pos = gold.iter().filter(|&&g| g == 1).count() as f64 / 2000.0;
@@ -165,7 +176,7 @@ mod tests {
         let (lambda, _, pairs) = correlated_matrix(1000, 3, 0.8, &clusters, 0.6, 3);
         assert_eq!(lambda.num_lfs(), 7);
         assert_eq!(pairs.len(), 6); // C(4,2)
-        // Perfect copies: whenever both vote, they agree.
+                                    // Perfect copies: whenever both vote, they agree.
         for i in 0..lambda.num_points() {
             let (cols, votes) = lambda.row(i);
             let cluster_votes: Vec<Vote> = cols

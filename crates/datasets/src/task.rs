@@ -274,7 +274,11 @@ pub(crate) fn build_relation_corpus(
                 }
             };
             let is_pos = relations.contains(&(a.to_lowercase(), b.to_lowercase()));
-            last_pair = if is_pos { Some((a.clone(), b.clone())) } else { None };
+            last_pair = if is_pos {
+                Some((a.clone(), b.clone()))
+            } else {
+                None
+            };
             // Template class, with flip noise.
             let use_pos_template = if rng.gen::<f64>() < spec.template_flip {
                 !is_pos

@@ -117,10 +117,9 @@ pub fn sample_participants(seed: u64) -> Vec<Participant> {
                 Education::Masters => 0.8,
                 Education::Phd => 0.8,
             };
-            let skill = (0.45 * python.score()
-                + 0.35 * machine_learning.score()
-                + 0.20 * edu_score)
-                .clamp(0.0, 1.0);
+            let skill =
+                (0.45 * python.score() + 0.35 * machine_learning.score() + 0.20 * edu_score)
+                    .clamp(0.0, 1.0);
             Participant {
                 id: i + 1,
                 education,
@@ -236,7 +235,10 @@ mod tests {
     fn participant_profile_marginals() {
         let ps = sample_participants(1);
         assert_eq!(ps.len(), 14);
-        let advanced_python = ps.iter().filter(|p| p.python == SkillLevel::Advanced).count();
+        let advanced_python = ps
+            .iter()
+            .filter(|p| p.python == SkillLevel::Advanced)
+            .count();
         assert!(advanced_python >= 3, "Table 8 marginals roughly preserved");
         assert!(ps.iter().all(|p| (0.0..=1.0).contains(&p.skill)));
         // Skill must vary across participants.

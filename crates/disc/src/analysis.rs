@@ -119,15 +119,9 @@ mod tests {
 
     #[test]
     fn advice_tracks_error_shape() {
-        let precision_bad = ErrorBuckets::from_predictions(
-            &[1, 1, 1, 1, 1],
-            &[1, -1, -1, -1, -1],
-        );
+        let precision_bad = ErrorBuckets::from_predictions(&[1, 1, 1, 1, 1], &[1, -1, -1, -1, -1]);
         assert!(precision_bad.advice().contains("precision"));
-        let recall_bad = ErrorBuckets::from_predictions(
-            &[-1, -1, -1, -1, 1],
-            &[1, 1, 1, -1, 1],
-        );
+        let recall_bad = ErrorBuckets::from_predictions(&[-1, -1, -1, -1, 1], &[1, 1, 1, -1, 1]);
         assert!(recall_bad.advice().contains("recall"));
         let empty = ErrorBuckets::from_predictions(&[], &[]);
         assert!(empty.advice().contains("no labeled rows"));

@@ -166,7 +166,11 @@ mod tests {
     use snorkel_context::Corpus;
     use snorkel_nlp::tokenize;
 
-    fn corpus() -> (Corpus, snorkel_context::CandidateId, snorkel_context::CandidateId) {
+    fn corpus() -> (
+        Corpus,
+        snorkel_context::CandidateId,
+        snorkel_context::CandidateId,
+    ) {
         let mut c = Corpus::new();
         let d = c.add_document("d");
         let t1 = "magnesium causes severe weakness";

@@ -44,7 +44,7 @@ mod softmax;
 pub use adam::Adam;
 pub use analysis::{Bucket, ErrorBuckets};
 pub use features::{hash_feature, TextFeaturizer};
-pub use logreg::{LogisticRegression, LogRegConfig};
+pub use logreg::{LogRegConfig, LogisticRegression};
 pub use metrics::{accuracy, f1_score, precision_recall_f1, roc_auc, Prf};
 pub use mlp::{Mlp, MlpConfig};
 pub use softmax::{SoftmaxConfig, SoftmaxRegression};

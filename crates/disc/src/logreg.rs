@@ -263,7 +263,10 @@ mod tests {
             .iter()
             .map(|&y| if rng.gen::<f64>() < 0.3 { -y } else { y })
             .collect();
-        let soft: Vec<f64> = noisy.iter().map(|&y| if y == 1 { 0.7 } else { 0.3 }).collect();
+        let soft: Vec<f64> = noisy
+            .iter()
+            .map(|&y| if y == 1 { 0.7 } else { 0.3 })
+            .collect();
 
         let mut hard_model = LogisticRegression::new(64);
         hard_model.fit_hard(&xs, &noisy, &cfg());

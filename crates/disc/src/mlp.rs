@@ -130,10 +130,9 @@ impl Mlp {
                     let s = self.forward(x, &mut hidden);
                     let p = sigmoid(s);
                     let t = soft[i];
-                    epoch_loss -=
-                        t * p.max(1e-12).ln() + (1.0 - t) * (1.0 - p).max(1e-12).ln();
+                    epoch_loss -= t * p.max(1e-12).ln() + (1.0 - t) * (1.0 - p).max(1e-12).ln();
                     let delta = p - t; // dL/ds
-                    // Backprop: w2 & b2.
+                                       // Backprop: w2 & b2.
                     let (gw1, rest) = grad.split_at_mut(h * d);
                     let (gb1, rest) = rest.split_at_mut(h);
                     let (gw2, gb2) = rest.split_at_mut(h);
@@ -182,9 +181,8 @@ impl Mlp {
     }
 
     fn flatten(&self) -> Vec<f64> {
-        let mut p = Vec::with_capacity(
-            self.w1.rows() * self.w1.cols() + self.b1.len() + self.w2.len() + 1,
-        );
+        let mut p =
+            Vec::with_capacity(self.w1.rows() * self.w1.cols() + self.b1.len() + self.w2.len() + 1);
         p.extend_from_slice(self.w1.as_slice());
         p.extend_from_slice(&self.b1);
         p.extend_from_slice(&self.w2);
@@ -224,7 +222,12 @@ mod tests {
             vec![1.0, 1.0],
         ];
         let ys: Vec<Vote> = vec![-1, 1, 1, -1];
-        let c = cfg(2);
+        // Four points cost nothing per epoch; the long schedule rides out
+        // slow-converging init draws (seed 0 needs ~700 epochs).
+        let c = MlpConfig {
+            epochs: 1500,
+            ..cfg(2)
+        };
         let mut mlp = Mlp::new(&c);
         mlp.fit_hard(&xs, &ys, &c);
         assert_eq!(mlp.predict_all(&xs), ys, "XOR not learned");
@@ -244,7 +247,10 @@ mod tests {
             ]);
             gold.push(y);
         }
-        let soft: Vec<f64> = gold.iter().map(|&y| if y == 1 { 0.85 } else { 0.15 }).collect();
+        let soft: Vec<f64> = gold
+            .iter()
+            .map(|&y| if y == 1 { 0.85 } else { 0.15 })
+            .collect();
         let c = MlpConfig {
             input_dim: 2,
             hidden_dim: 8,

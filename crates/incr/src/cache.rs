@@ -1,0 +1,225 @@
+//! The content-addressed LF-result cache.
+//!
+//! Conceptually a map `(lf_fingerprint, candidate) → vote`; physically
+//! one sparse *column* per fingerprint, aligned to the session's
+//! candidate ordering, because votes are always produced and consumed a
+//! column at a time. Each column records how many candidate rows it
+//! covers, so ingesting a new batch extends columns in place instead of
+//! recomputing them.
+//!
+//! ## Invalidation rules
+//!
+//! * **LF edited** → its fingerprint changes → the old column is simply
+//!   never asked for again (and ages out by LRU); the new fingerprint
+//!   misses and is recomputed. Columns of *other* LFs are untouched —
+//!   this is what makes a one-LF edit an `O(m)` refresh instead of
+//!   `O(n·m)`.
+//! * **Candidates ingested** → every column's `rows` falls behind the
+//!   session's candidate count → each column is *extended* by executing
+//!   only the new rows.
+//! * **Candidate content mutated in place** (outside the append-only
+//!   contract) → nothing in the key changes, so the cache would serve
+//!   stale votes: callers must invalidate explicitly
+//!   ([`LfResultCache::clear`]). The `IncrementalSession` documents this
+//!   as the append-only corpus contract.
+//!
+//! Superseded columns (old LF versions) are kept until LRU capacity
+//! pressure evicts them, so *reverting* an edit whose fingerprint is
+//! content-derived is a full cache hit.
+
+use std::collections::HashMap;
+
+use snorkel_matrix::Vote;
+
+use crate::fingerprint::Fingerprint;
+
+/// One cached sparse column: non-abstain `(row, vote)` entries sorted by
+/// row, covering candidate rows `0..rows`.
+#[derive(Clone, Debug)]
+struct CachedColumn {
+    rows: usize,
+    entries: Vec<(u32, Vote)>,
+    last_used: u64,
+}
+
+/// Cumulative cache statistics (monotone across the session).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Column lookups that were fully served from cache.
+    pub hits: u64,
+    /// Column lookups that required computing the column from scratch.
+    pub misses: u64,
+    /// Column lookups served by extending a cached prefix to new rows.
+    pub extensions: u64,
+    /// Columns evicted by capacity pressure.
+    pub evictions: u64,
+}
+
+/// The LF-result cache. See the module docs for the key scheme and the
+/// invalidation rules.
+#[derive(Clone, Debug)]
+pub struct LfResultCache {
+    columns: HashMap<Fingerprint, CachedColumn>,
+    capacity: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl LfResultCache {
+    /// An empty cache holding at most `capacity` columns (old LF
+    /// versions beyond the live suite age out LRU-first).
+    pub fn new(capacity: usize) -> Self {
+        LfResultCache {
+            columns: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of cached columns (live + superseded).
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Rows covered by the column cached under `fp` (0 when absent).
+    pub fn rows(&self, fp: Fingerprint) -> usize {
+        self.columns.get(&fp).map_or(0, |c| c.rows)
+    }
+
+    /// The cached entries for `fp`, bumping its recency. `None` when the
+    /// fingerprint is absent.
+    pub fn entries(&mut self, fp: Fingerprint) -> Option<&[(u32, Vote)]> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.columns.get_mut(&fp) {
+            Some(col) => {
+                col.last_used = tick;
+                Some(&col.entries)
+            }
+            None => None,
+        }
+    }
+
+    /// Record a cache-hit lookup (the caller found `rows()` sufficient).
+    pub fn note_hit(&mut self) {
+        self.stats.hits += 1;
+    }
+
+    /// Install a freshly computed full column covering `rows` rows.
+    pub fn insert(&mut self, fp: Fingerprint, rows: usize, entries: Vec<(u32, Vote)>) {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        debug_assert!(entries.last().is_none_or(|e| (e.0 as usize) < rows));
+        self.stats.misses += 1;
+        self.tick += 1;
+        self.columns.insert(
+            fp,
+            CachedColumn {
+                rows,
+                entries,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Extend `fp`'s column to cover `rows` rows with `extra` entries
+    /// (row indices already absolute, all ≥ the column's current
+    /// coverage).
+    pub fn extend(&mut self, fp: Fingerprint, rows: usize, extra: Vec<(u32, Vote)>) {
+        self.stats.extensions += 1;
+        self.tick += 1;
+        let tick = self.tick;
+        let col = self
+            .columns
+            .get_mut(&fp)
+            .expect("extend requires a cached column");
+        debug_assert!(extra.first().is_none_or(|e| (e.0 as usize) >= col.rows));
+        debug_assert!(rows >= col.rows);
+        col.entries.extend(extra);
+        col.rows = rows;
+        col.last_used = tick;
+    }
+
+    /// Evict least-recently-used columns down to capacity, never evicting
+    /// a pinned (live-suite) fingerprint.
+    pub fn evict_to_capacity(&mut self, pinned: &[Fingerprint]) {
+        while self.columns.len() > self.capacity {
+            let victim = self
+                .columns
+                .iter()
+                .filter(|(fp, _)| !pinned.contains(fp))
+                .min_by_key(|(_, col)| col.last_used)
+                .map(|(fp, _)| *fp);
+            match victim {
+                Some(fp) => {
+                    self.columns.remove(&fp);
+                    self.stats.evictions += 1;
+                }
+                None => break, // everything live is pinned
+            }
+        }
+    }
+
+    /// Drop every cached column (the escape hatch when corpus content was
+    /// mutated in place, breaking the append-only contract).
+    pub fn clear(&mut self) {
+        self.columns.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(n: u64) -> Fingerprint {
+        Fingerprint::of("lf", n)
+    }
+
+    #[test]
+    fn insert_lookup_extend() {
+        let mut cache = LfResultCache::new(8);
+        assert_eq!(cache.rows(fp(1)), 0);
+        cache.insert(fp(1), 10, vec![(0, 1), (7, -1)]);
+        assert_eq!(cache.rows(fp(1)), 10);
+        assert_eq!(cache.entries(fp(1)).unwrap(), &[(0, 1), (7, -1)]);
+        cache.extend(fp(1), 15, vec![(12, 1)]);
+        assert_eq!(cache.rows(fp(1)), 15);
+        assert_eq!(cache.entries(fp(1)).unwrap(), &[(0, 1), (7, -1), (12, 1)]);
+        let s = cache.stats();
+        assert_eq!((s.misses, s.extensions), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_respects_pins() {
+        let mut cache = LfResultCache::new(2);
+        cache.insert(fp(1), 5, vec![]);
+        cache.insert(fp(2), 5, vec![]);
+        cache.insert(fp(3), 5, vec![]);
+        // fp(1) is oldest but pinned; fp(2) goes.
+        cache.evict_to_capacity(&[fp(1)]);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.rows(fp(2)), 0, "LRU unpinned column evicted");
+        assert_eq!(cache.rows(fp(1)), 5);
+        assert_eq!(cache.rows(fp(3)), 5);
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn fully_pinned_cache_never_evicts() {
+        let mut cache = LfResultCache::new(1);
+        cache.insert(fp(1), 5, vec![]);
+        cache.insert(fp(2), 5, vec![]);
+        cache.evict_to_capacity(&[fp(1), fp(2)]);
+        assert_eq!(cache.len(), 2, "pinned columns survive over-capacity");
+    }
+}

@@ -1,0 +1,608 @@
+//! The interactive dev-loop session: add/edit/remove labeling functions,
+//! ingest candidate batches, and [`IncrementalSession::refresh`] — which
+//! recomputes *only* what the edits touched.
+
+use std::time::{Duration, Instant};
+
+use snorkel_context::{CandidateId, Corpus};
+use snorkel_core::model::{GenerativeModel, LabelScheme, TrainConfig};
+use snorkel_core::optimizer::{
+    advantage_upper_bound, choose_strategy, ModelingStrategy, OptimizerConfig,
+};
+use snorkel_core::vote::majority_vote;
+use snorkel_lf::{BoxedLf, LfExecutor};
+use snorkel_matrix::{LabelMatrix, MatrixDelta, Vote};
+
+use crate::cache::{CacheStats, LfResultCache};
+use crate::fingerprint::Fingerprint;
+
+/// Session configuration. The defaults mirror
+/// [`snorkel_core::pipeline::PipelineConfig`], plus the incremental
+/// knobs.
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// LF executor (parallelism, vote-scheme cardinality).
+    pub executor: LfExecutor,
+    /// Generative-model training settings. Keep
+    /// [`TrainConfig::tol`] non-zero: the warm-start equivalence
+    /// guarantee is "both runs converged", and the tolerance is what
+    /// "converged" means.
+    pub train: TrainConfig,
+    /// Optimizer settings (Algorithm 1).
+    pub optimizer: OptimizerConfig,
+    /// Force a strategy instead of running the optimizer.
+    pub force_strategy: Option<ModelingStrategy>,
+    /// Reuse the previous refresh's structure-sweep outcome when at most
+    /// one column changed and no rows were ingested (the Algorithm-1
+    /// sweep is by far the most expensive part of strategy selection,
+    /// and a one-column edit rarely changes which LF pairs correlate).
+    /// Structural suite changes always re-run the sweep.
+    pub reuse_structure_on_column_edit: bool,
+    /// Warm-start generative training from the previous refresh's model.
+    pub warm_start: bool,
+    /// Maximum cached columns (live suite columns are never evicted).
+    pub cache_capacity: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            executor: LfExecutor::default(),
+            train: TrainConfig::default(),
+            optimizer: OptimizerConfig::default(),
+            force_strategy: None,
+            reuse_structure_on_column_edit: true,
+            warm_start: true,
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// Wall-clock breakdown of one refresh.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RefreshTimings {
+    /// Executing LF columns that missed the cache (or row extensions).
+    pub lf_application: Duration,
+    /// Patching / assembling Λ.
+    pub matrix_assembly: Duration,
+    /// Strategy selection (bound check, or the full sweep).
+    pub strategy_selection: Duration,
+    /// Generative training (zero when MV was chosen).
+    pub training: Duration,
+    /// Whole refresh.
+    pub total: Duration,
+}
+
+/// How Λ was brought up to date.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LambdaUpdate {
+    /// First refresh, or a structural suite change: assembled from cached
+    /// columns in one pass.
+    Assembled,
+    /// Patched in place with column/row deltas.
+    Patched {
+        /// Columns spliced by [`MatrixDelta::ReplaceColumn`].
+        columns_replaced: usize,
+        /// Rows appended by [`MatrixDelta::AppendRows`].
+        rows_appended: usize,
+    },
+    /// Nothing changed; the previous Λ was reused untouched.
+    Unchanged,
+}
+
+/// Everything one [`IncrementalSession::refresh`] did and produced,
+/// besides the labels themselves.
+#[derive(Clone, Debug)]
+pub struct RefreshReport {
+    /// The strategy that produced the labels.
+    pub strategy: ModelingStrategy,
+    /// Predicted advantage bound A~* (`NaN` when forced or multi-class).
+    pub predicted_advantage: f64,
+    /// Label density of Λ.
+    pub label_density: f64,
+    /// How Λ was updated.
+    pub lambda_update: LambdaUpdate,
+    /// Columns served straight from cache.
+    pub columns_reused: usize,
+    /// Columns executed from scratch this refresh.
+    pub columns_recomputed: usize,
+    /// Columns extended onto newly ingested rows.
+    pub columns_extended: usize,
+    /// Individual LF invocations this refresh (`columns × rows`
+    /// actually executed — *the* number the cache exists to minimize).
+    pub lf_invocations: usize,
+    /// Whether the structure sweep was skipped in favor of the previous
+    /// refresh's correlation structure.
+    pub structure_reused: bool,
+    /// Whether generative training warm-started from the previous model.
+    pub warm_started: bool,
+    /// Generative-training iterations run (0 when MV was chosen).
+    pub fit_epochs: usize,
+    /// Cumulative cache statistics.
+    pub cache: CacheStats,
+    /// Stage timings.
+    pub timings: RefreshTimings,
+}
+
+struct SessionLf {
+    lf: BoxedLf,
+    fingerprint: Fingerprint,
+}
+
+/// The incremental labeling engine's façade: an interactive-session
+/// counterpart to the batch [`snorkel_core::pipeline::Pipeline`].
+///
+/// ## Contract
+///
+/// * **Append-only corpus.** Candidates registered with the session are
+///   assumed immutable: the cache key is `(lf_fingerprint, candidate)`,
+///   so in-place edits to already-registered candidates would serve
+///   stale votes. Grow the corpus through [`Self::corpus_mut`] +
+///   [`Self::ingest_candidates`]; call [`Self::invalidate_cache`] if you
+///   must mutate in place.
+/// * **Names identify LFs.** [`Self::edit_lf`] / [`Self::remove_lf`]
+///   address the suite by `LabelingFunction::name()`; names must be
+///   unique within the session.
+/// * **Equivalence.** After any edit sequence, [`Self::refresh`]
+///   produces a Λ bit-identical to applying the current suite from
+///   scratch, and (on the exact training path, with a convergence
+///   tolerance set) marginals within 1e-9 of a cold
+///   [`snorkel_core::pipeline::Pipeline::run`] — asserted by this
+///   crate's property tests.
+pub struct IncrementalSession {
+    corpus: Corpus,
+    config: SessionConfig,
+    candidates: Vec<CandidateId>,
+    lfs: Vec<SessionLf>,
+    versions: std::collections::HashMap<String, u64>,
+    cache: LfResultCache,
+    lambda: Option<LabelMatrix>,
+    model: Option<GenerativeModel>,
+    /// Fingerprint layout at the last refresh (column-aligned).
+    last_fingerprints: Vec<Fingerprint>,
+    /// Row count at the last refresh.
+    last_rows: usize,
+    /// Last GM strategy (correlation structure) the optimizer produced,
+    /// together with the LF-name layout it was derived from — pair
+    /// indices are only meaningful against that exact layout.
+    last_gm_strategy: Option<(ModelingStrategy, Vec<String>)>,
+}
+
+impl IncrementalSession {
+    /// A session over `corpus` with no candidates or LFs registered yet.
+    pub fn new(corpus: Corpus, config: SessionConfig) -> Self {
+        let cache = LfResultCache::new(config.cache_capacity);
+        IncrementalSession {
+            corpus,
+            config,
+            candidates: Vec::new(),
+            lfs: Vec::new(),
+            versions: std::collections::HashMap::new(),
+            cache,
+            lambda: None,
+            model: None,
+            last_fingerprints: Vec::new(),
+            last_rows: 0,
+            last_gm_strategy: None,
+        }
+    }
+
+    /// Convenience: a session pre-registered with every candidate of the
+    /// corpus, in id order (matching
+    /// [`snorkel_lf::LfExecutor::apply_all`]).
+    pub fn over_all_candidates(corpus: Corpus, config: SessionConfig) -> Self {
+        let ids: Vec<CandidateId> = corpus.candidate_ids().collect();
+        let mut s = IncrementalSession::new(corpus, config);
+        s.ingest_candidates(&ids);
+        s
+    }
+
+    /// Read access to the corpus.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// Mutable access to the corpus — for *growing* it (new documents,
+    /// sentences, spans, candidates). Mutating content of candidates
+    /// already registered breaks the cache contract; see the type docs.
+    pub fn corpus_mut(&mut self) -> &mut Corpus {
+        &mut self.corpus
+    }
+
+    /// The registered candidates, in row order.
+    pub fn candidates(&self) -> &[CandidateId] {
+        &self.candidates
+    }
+
+    /// Number of registered candidate rows.
+    pub fn num_candidates(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Number of LFs in the live suite.
+    pub fn num_lfs(&self) -> usize {
+        self.lfs.len()
+    }
+
+    /// Names of the live suite, in column order.
+    pub fn lf_names(&self) -> Vec<&str> {
+        self.lfs.iter().map(|s| s.lf.name()).collect()
+    }
+
+    /// The current label matrix (after the first refresh).
+    pub fn label_matrix(&self) -> Option<&LabelMatrix> {
+        self.lambda.as_ref()
+    }
+
+    /// The current generative model (when the last refresh trained one).
+    pub fn model(&self) -> Option<&GenerativeModel> {
+        self.model.as_ref()
+    }
+
+    /// Cumulative cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drop all cached LF results (required after mutating registered
+    /// candidates in place — see the type-level contract).
+    pub fn invalidate_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Register new candidate rows (appended after the existing ones).
+    /// Panics on candidates already registered — rows are append-only.
+    pub fn ingest_candidates(&mut self, ids: &[CandidateId]) {
+        let mut seen: std::collections::HashSet<CandidateId> =
+            self.candidates.iter().copied().collect();
+        for id in ids {
+            assert!(
+                seen.insert(*id),
+                "candidate {id} is already registered (rows are append-only and unique)"
+            );
+        }
+        self.candidates.extend_from_slice(ids);
+    }
+
+    fn column_of(&self, name: &str) -> Option<usize> {
+        self.lfs.iter().position(|s| s.lf.name() == name)
+    }
+
+    fn next_version(&mut self, name: &str) -> u64 {
+        let v = self.versions.entry(name.to_string()).or_insert(0);
+        let out = *v;
+        *v += 1;
+        out
+    }
+
+    /// Add an LF (auto-versioned fingerprint). Returns its column index.
+    pub fn add_lf(&mut self, lf: BoxedLf) -> usize {
+        let version = self.next_version(lf.name());
+        let fingerprint = Fingerprint::of_auto(lf.name(), version);
+        self.add_lf_with_fingerprint(lf, fingerprint)
+    }
+
+    /// Add an LF with a caller-supplied content tag (see
+    /// [`Fingerprint`]): same `(name, tag)` ⇒ same fingerprint ⇒ cache
+    /// hits across re-adds and reverts. Returns its column index.
+    pub fn add_lf_tagged(&mut self, lf: BoxedLf, content_tag: u64) -> usize {
+        let fingerprint = Fingerprint::of(lf.name(), content_tag);
+        self.add_lf_with_fingerprint(lf, fingerprint)
+    }
+
+    fn add_lf_with_fingerprint(&mut self, lf: BoxedLf, fingerprint: Fingerprint) -> usize {
+        assert!(
+            self.column_of(lf.name()).is_none(),
+            "LF {:?} is already in the suite (names are unique; use edit_lf)",
+            lf.name()
+        );
+        self.lfs.push(SessionLf { lf, fingerprint });
+        self.lfs.len() - 1
+    }
+
+    /// Replace the same-named LF with a new version (auto-versioned
+    /// fingerprint). Returns its column index.
+    pub fn edit_lf(&mut self, lf: BoxedLf) -> usize {
+        let version = self.next_version(lf.name());
+        let fingerprint = Fingerprint::of_auto(lf.name(), version);
+        self.edit_lf_with_fingerprint(lf, fingerprint)
+    }
+
+    /// Replace the same-named LF, identifying the new version by a
+    /// caller-supplied content tag: editing back to a previously seen tag
+    /// reuses that version's cached column. Returns its column index.
+    pub fn edit_lf_tagged(&mut self, lf: BoxedLf, content_tag: u64) -> usize {
+        let fingerprint = Fingerprint::of(lf.name(), content_tag);
+        self.edit_lf_with_fingerprint(lf, fingerprint)
+    }
+
+    fn edit_lf_with_fingerprint(&mut self, lf: BoxedLf, fingerprint: Fingerprint) -> usize {
+        let col = self
+            .column_of(lf.name())
+            .unwrap_or_else(|| panic!("LF {:?} is not in the suite (use add_lf)", lf.name()));
+        self.lfs[col] = SessionLf { lf, fingerprint };
+        col
+    }
+
+    /// Remove an LF from the suite. Its cached column stays around (LRU)
+    /// so re-adding the same version is free. Returns the removed
+    /// column's index, or `None` if no such LF.
+    pub fn remove_lf(&mut self, name: &str) -> Option<usize> {
+        let col = self.column_of(name)?;
+        self.lfs.remove(col);
+        Some(col)
+    }
+
+    /// Bring labels up to date after any sequence of edits: re-execute
+    /// exactly the LF columns (and candidate rows) the cache cannot
+    /// serve, patch Λ in place, re-select the modeling strategy (reusing
+    /// the previous structure sweep on one-column edits), and train —
+    /// warm-started from the previous model when possible.
+    ///
+    /// Returns per-class probabilistic labels (`labels[row][class]`) and
+    /// the [`RefreshReport`].
+    pub fn refresh(&mut self) -> (Vec<Vec<f64>>, RefreshReport) {
+        let t_total = Instant::now();
+        let m = self.candidates.len();
+        let n = self.lfs.len();
+        let cardinality = self.config.executor.cardinality;
+
+        // ------------------------------------------------------------------
+        // 1. Bring every live column up to date in the cache, executing
+        //    only what it cannot serve.
+        // ------------------------------------------------------------------
+        let t_lf = Instant::now();
+        let mut columns_reused = 0usize;
+        let mut columns_recomputed = 0usize;
+        let mut columns_extended = 0usize;
+        let mut lf_invocations = 0usize;
+        for j in 0..n {
+            let fp = self.lfs[j].fingerprint;
+            let covered = self.cache.rows(fp);
+            if covered >= m {
+                self.cache.note_hit();
+                columns_reused += 1;
+                continue;
+            }
+            // Execute rows covered..m of this column — in parallel across
+            // candidates via the executor (a 1-LF suite).
+            let slice = &self.candidates[covered..];
+            let mini = self.config.executor.apply(
+                std::slice::from_ref(&self.lfs[j].lf),
+                &self.corpus,
+                slice,
+            );
+            let mut entries = mini.column(0);
+            for e in &mut entries {
+                e.0 += covered as u32;
+            }
+            lf_invocations += slice.len();
+            if covered == 0 {
+                columns_recomputed += 1;
+                self.cache.insert(fp, m, entries);
+            } else {
+                columns_extended += 1;
+                self.cache.extend(fp, m, entries);
+            }
+        }
+        let live: Vec<Fingerprint> = self.lfs.iter().map(|s| s.fingerprint).collect();
+        self.cache.evict_to_capacity(&live);
+        let lf_time = t_lf.elapsed();
+
+        // ------------------------------------------------------------------
+        // 2. Patch or assemble Λ.
+        // ------------------------------------------------------------------
+        let t_asm = Instant::now();
+        let structural = live.len() != self.last_fingerprints.len();
+        let changed_cols: Vec<usize> = if structural {
+            Vec::new()
+        } else {
+            (0..n)
+                .filter(|&j| live[j] != self.last_fingerprints[j])
+                .collect()
+        };
+        let new_rows = m.saturating_sub(self.last_rows);
+        // The stored correlation structure indexes columns of one exact
+        // suite layout; drop it whenever the layout's LF identities no
+        // longer match (add/remove, including length-preserving
+        // shuffles — edits keep the name, so they survive).
+        let layout: Vec<String> = self.lfs.iter().map(|s| s.lf.name().to_string()).collect();
+        if self
+            .last_gm_strategy
+            .as_ref()
+            .is_some_and(|(_, stored)| *stored != layout)
+        {
+            self.last_gm_strategy = None;
+        }
+
+        let lambda_update;
+        if let (Some(lambda), false) = (self.lambda.as_mut(), structural) {
+            if changed_cols.is_empty() && new_rows == 0 {
+                lambda_update = LambdaUpdate::Unchanged;
+            } else {
+                // Rows first (changed columns' new-row votes are included
+                // here and then overwritten wholesale by their column
+                // splice — both sourced from the same cached column, so
+                // the result is consistent either way).
+                if new_rows > 0 {
+                    let old_m = self.last_rows;
+                    let mut rows: Vec<Vec<(u32, Vote)>> = vec![Vec::new(); new_rows];
+                    for (j, fp) in live.iter().enumerate() {
+                        let entries = self.cache.entries(*fp).expect("live column cached");
+                        let start = entries.partition_point(|e| (e.0 as usize) < old_m);
+                        for &(row, v) in &entries[start..] {
+                            rows[row as usize - old_m].push((j as u32, v));
+                        }
+                    }
+                    lambda.apply_delta(&MatrixDelta::AppendRows { rows });
+                }
+                for &j in &changed_cols {
+                    let entries = self
+                        .cache
+                        .entries(live[j])
+                        .expect("live column cached")
+                        .to_vec();
+                    lambda.apply_delta(&MatrixDelta::ReplaceColumn { col: j, entries });
+                }
+                lambda_update = LambdaUpdate::Patched {
+                    columns_replaced: changed_cols.len(),
+                    rows_appended: new_rows,
+                };
+            }
+        } else {
+            let cols: Vec<Vec<(u32, Vote)>> = live
+                .iter()
+                .map(|fp| {
+                    self.cache
+                        .entries(*fp)
+                        .expect("live column cached")
+                        .to_vec()
+                })
+                .collect();
+            self.lambda = Some(LabelMatrix::from_columns(m, cardinality, &cols));
+            lambda_update = LambdaUpdate::Assembled;
+        }
+        let lambda = self.lambda.as_ref().expect("Λ assembled above");
+        let assembly_time = t_asm.elapsed();
+
+        // ------------------------------------------------------------------
+        // 3. Strategy selection (Algorithm 1, with sweep reuse).
+        // ------------------------------------------------------------------
+        let t_strat = Instant::now();
+        let mut structure_reused = false;
+        let (strategy, predicted) = if let Some(s) = &self.config.force_strategy {
+            (s.clone(), f64::NAN)
+        } else if !lambda.is_binary() {
+            // Mirrors the batch pipeline: the advantage analysis is
+            // binary-only, so multi-class tasks always train the GM.
+            (
+                ModelingStrategy::GenerativeModel {
+                    epsilon: 0.0,
+                    correlations: Vec::new(),
+                    strengths: Vec::new(),
+                },
+                f64::NAN,
+            )
+        } else {
+            let reuse_ok = self.config.reuse_structure_on_column_edit
+                && !structural
+                && new_rows == 0
+                && changed_cols.len() <= 1
+                && self.last_gm_strategy.is_some();
+            if reuse_ok {
+                // The bound is O(nnz) — always recompute it; only the
+                // expensive sweep is reused.
+                let predicted = advantage_upper_bound(lambda, &self.config.optimizer);
+                if predicted < self.config.optimizer.gamma {
+                    (ModelingStrategy::MajorityVote, predicted)
+                } else {
+                    structure_reused = true;
+                    (
+                        self.last_gm_strategy.clone().expect("reuse_ok checked").0,
+                        predicted,
+                    )
+                }
+            } else {
+                let d = choose_strategy(lambda, &self.config.optimizer);
+                (d.strategy, d.predicted_advantage)
+            }
+        };
+        if matches!(strategy, ModelingStrategy::GenerativeModel { .. })
+            && self.config.force_strategy.is_none()
+            && lambda.is_binary()
+        {
+            self.last_gm_strategy = Some((strategy.clone(), layout));
+        }
+        let strategy_time = t_strat.elapsed();
+
+        // ------------------------------------------------------------------
+        // 4. Labels: majority vote, or (warm-started) generative training.
+        // ------------------------------------------------------------------
+        let t_train = Instant::now();
+        let scheme = LabelScheme::from_cardinality(lambda.cardinality());
+        let k = scheme.num_classes();
+        let mut warm_started = false;
+        let mut fit_epochs = 0usize;
+        let labels = match &strategy {
+            ModelingStrategy::MajorityVote => {
+                self.model = None;
+                majority_vote(lambda)
+                    .into_iter()
+                    .map(|v| match scheme.class_of_vote(v) {
+                        Some(class) => {
+                            let mut row = vec![0.0; k];
+                            row[class] = 1.0;
+                            row
+                        }
+                        None => vec![1.0 / k as f64; k],
+                    })
+                    .collect()
+            }
+            ModelingStrategy::GenerativeModel {
+                correlations,
+                strengths,
+                ..
+            } => {
+                let mut gm = GenerativeModel::new(n, scheme)
+                    .with_weighted_correlations(correlations, strengths);
+                let prev_compatible = self
+                    .model
+                    .as_ref()
+                    .is_some_and(|prev| prev.scheme() == scheme);
+                let report = if self.config.warm_start && prev_compatible {
+                    let prev = self.model.take().expect("prev_compatible checked");
+                    if structural || prev.num_lfs() != n {
+                        // Map surviving columns to their previous weights
+                        // by fingerprint; new/edited columns start fresh.
+                        let col_map: Vec<Option<usize>> = live
+                            .iter()
+                            .map(|fp| self.last_fingerprints.iter().position(|p| p == fp))
+                            .collect();
+                        let fresh: Vec<usize> = (0..n).filter(|&j| col_map[j].is_none()).collect();
+                        let remapped = GenerativeModel::remapped_from(&prev, &col_map);
+                        warm_started = true;
+                        gm.fit_warm(lambda, &self.config.train, &remapped, &fresh)
+                    } else {
+                        warm_started = true;
+                        gm.fit_warm(lambda, &self.config.train, &prev, &changed_cols)
+                    }
+                } else {
+                    gm.fit(lambda, &self.config.train)
+                };
+                fit_epochs = report.epochs;
+                let labels = gm.marginals(lambda);
+                self.model = Some(gm);
+                labels
+            }
+        };
+        let training_time = t_train.elapsed();
+
+        // ------------------------------------------------------------------
+        // 5. Commit refresh bookkeeping and report.
+        // ------------------------------------------------------------------
+        self.last_fingerprints = live;
+        self.last_rows = m;
+        let report = RefreshReport {
+            strategy,
+            predicted_advantage: predicted,
+            label_density: lambda.label_density(),
+            lambda_update,
+            columns_reused,
+            columns_recomputed,
+            columns_extended,
+            lf_invocations,
+            structure_reused,
+            warm_started,
+            fit_epochs,
+            cache: self.cache.stats(),
+            timings: RefreshTimings {
+                lf_application: lf_time,
+                matrix_assembly: assembly_time,
+                strategy_selection: strategy_time,
+                training: training_time,
+                total: t_total.elapsed(),
+            },
+        };
+        (labels, report)
+    }
+}

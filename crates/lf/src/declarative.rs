@@ -268,8 +268,8 @@ mod tests {
         assert_eq!(t.label(&c.candidate(fwd)), 0);
         let t2 = ThresholdLf::new("wk2", |x| x.token_distance(0, 1) as f64, 0.5, 1.5);
         assert_eq!(t2.label(&c.candidate(fwd)), 1);
-        let t3 = ThresholdLf::new("wk3", |x| x.token_distance(0, 1) as f64, 2.5, 5.0)
-            .with_labels(-1, 1);
+        let t3 =
+            ThresholdLf::new("wk3", |x| x.token_distance(0, 1) as f64, 2.5, 5.0).with_labels(-1, 1);
         assert_eq!(t3.label(&c.candidate(fwd)), -1);
     }
 

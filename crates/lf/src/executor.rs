@@ -14,7 +14,7 @@ use crate::traits::BoxedLf;
 /// Applies LF suites, optionally across threads.
 #[derive(Clone, Copy, Debug)]
 pub struct LfExecutor {
-    /// Number of worker threads (1 = serial).
+    /// Number of worker threads: 1 = serial, 0 = use all available cores.
     pub parallelism: usize,
     /// Vote scheme cardinality for the produced matrix (2 = binary).
     pub cardinality: u8,
@@ -35,16 +35,33 @@ impl LfExecutor {
         LfExecutor::default()
     }
 
-    /// Use up to `threads` workers.
+    /// Use up to `threads` workers; `0` means "use all available cores".
     pub fn with_parallelism(mut self, threads: usize) -> Self {
-        self.parallelism = threads.max(1);
+        self.parallelism = threads;
         self
     }
 
-    /// Set the vote-scheme cardinality of the produced matrix.
+    /// Set the vote-scheme cardinality of the produced matrix. Panics on
+    /// `k < 2`: a labeling task needs at least two classes, and silently
+    /// accepting 0/1 produced matrices every downstream consumer rejects.
     pub fn with_cardinality(mut self, k: u8) -> Self {
+        assert!(
+            k >= 2,
+            "LfExecutor cardinality must be at least 2 (got {k}); \
+             binary tasks use 2, multi-class tasks use the class count"
+        );
         self.cardinality = k;
         self
+    }
+
+    /// The worker count [`Self::apply`] will actually use: `parallelism`,
+    /// with `0` resolved to the number of available cores.
+    pub fn effective_parallelism(&self) -> usize {
+        if self.parallelism == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.parallelism
+        }
     }
 
     /// Apply `lfs` over `candidates` (rows follow `candidates` order).
@@ -58,7 +75,8 @@ impl LfExecutor {
         let n = lfs.len();
         let mut builder = LabelMatrixBuilder::with_cardinality(m, n, self.cardinality);
 
-        if self.parallelism <= 1 || m < 2 {
+        let parallelism = self.effective_parallelism();
+        if parallelism <= 1 || m < 2 {
             for (row, &cid) in candidates.iter().enumerate() {
                 let view = corpus.candidate(cid);
                 for (col, lf) in lfs.iter().enumerate() {
@@ -68,14 +86,14 @@ impl LfExecutor {
             return builder.build();
         }
 
-        let threads = self.parallelism.min(m);
+        let threads = parallelism.min(m);
         let chunk = m.div_ceil(threads);
         let mut chunk_outputs: Vec<Vec<(usize, usize, Vote)>> = Vec::new();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (t, cand_chunk) in candidates.chunks(chunk).enumerate() {
                 let base = t * chunk;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut triplets = Vec::new();
                     for (off, &cid) in cand_chunk.iter().enumerate() {
                         let view = corpus.candidate(cid);
@@ -92,8 +110,7 @@ impl LfExecutor {
             for h in handles {
                 chunk_outputs.push(h.join().expect("labeling worker panicked"));
             }
-        })
-        .expect("crossbeam scope");
+        });
 
         for triplets in chunk_outputs {
             for (i, j, v) in triplets {
@@ -138,14 +155,14 @@ mod tests {
     fn suite() -> Vec<BoxedLf> {
         vec![
             lf("lf_causes", |x| {
-                if x.words_between(0, 1).iter().any(|w| *w == "causes") {
+                if x.words_between(0, 1).contains(&"causes") {
                     1
                 } else {
                     0
                 }
             }),
             lf("lf_treats", |x| {
-                if x.words_between(0, 1).iter().any(|w| *w == "treats") {
+                if x.words_between(0, 1).contains(&"treats") {
                     -1
                 } else {
                     0
@@ -195,6 +212,30 @@ mod tests {
         let lambda = LfExecutor::new().apply(&suite(), &c, &reversed);
         // Row 5 is candidate 0, which says "causes".
         assert_eq!(lambda.get(5, 0), 1);
+    }
+
+    #[test]
+    fn parallelism_zero_means_all_cores() {
+        let exec = LfExecutor::new().with_parallelism(0);
+        assert_eq!(exec.parallelism, 0);
+        assert!(exec.effective_parallelism() >= 1);
+        // And the result is still bit-identical to serial.
+        let (c, ids) = corpus(50);
+        let serial = LfExecutor::new().apply(&suite(), &c, &ids);
+        let auto = exec.apply(&suite(), &c, &ids);
+        assert_eq!(auto, serial);
+    }
+
+    #[test]
+    #[should_panic(expected = "cardinality must be at least 2")]
+    fn cardinality_zero_rejected() {
+        let _ = LfExecutor::new().with_cardinality(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cardinality must be at least 2")]
+    fn cardinality_one_rejected() {
+        let _ = LfExecutor::new().with_cardinality(1);
     }
 
     #[test]

@@ -32,9 +32,9 @@ fn salted_lf(salt: u64, abstain_mod: u64) -> BoxedLf {
         let mut h = DefaultHasher::new();
         (salt, x.sentence().text()).hash(&mut h);
         let v = h.finish();
-        if v % abstain_mod == 0 {
+        if v.is_multiple_of(abstain_mod) {
             0
-        } else if v % 2 == 0 {
+        } else if v.is_multiple_of(2) {
             1
         } else {
             -1
@@ -104,7 +104,6 @@ proptest! {
 /// bounds).
 #[test]
 fn boxed_lfs_cross_thread() {
-    use snorkel_lf::LabelingFunction;
     let (corpus, ids) = build_corpus(5);
     let suite: Vec<BoxedLf> = vec![salted_lf(1, 3), salted_lf(2, 3)];
     std::thread::scope(|scope| {

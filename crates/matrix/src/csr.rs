@@ -14,12 +14,12 @@ pub const ABSTAIN: Vote = 0;
 /// `(row, col)` pairs — both enforced at build time.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LabelMatrix {
-    m: usize,
-    n: usize,
-    cardinality: u8,
-    row_ptr: Vec<usize>,
-    col_idx: Vec<u32>,
-    votes: Vec<Vote>,
+    pub(crate) m: usize,
+    pub(crate) n: usize,
+    pub(crate) cardinality: u8,
+    pub(crate) row_ptr: Vec<usize>,
+    pub(crate) col_idx: Vec<u32>,
+    pub(crate) votes: Vec<Vote>,
 }
 
 impl LabelMatrix {
@@ -127,8 +127,11 @@ impl LabelMatrix {
     /// Restrict to a subset of LF columns (ablation studies). Column
     /// order follows `cols`.
     pub fn select_columns(&self, cols: &[usize]) -> LabelMatrix {
-        let remap: std::collections::HashMap<usize, usize> =
-            cols.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+        let remap: std::collections::HashMap<usize, usize> = cols
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new))
+            .collect();
         let mut b = LabelMatrixBuilder::with_cardinality(self.m, cols.len(), self.cardinality);
         for (i, j, v) in self.iter() {
             if let Some(&nj) = remap.get(&j) {

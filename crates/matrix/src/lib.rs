@@ -15,6 +15,11 @@
 //! * **empirical accuracy** against a labeled development set
 //! * class balance and polarity checks
 //!
+//! For the interactive dev loop, Λ also supports **delta updates**
+//! ([`MatrixDelta`]): single-pass column replace/append/remove splices and
+//! row-batch appends that are bit-identical to a full rebuild — the storage
+//! substrate of the `snorkel-incr` incremental engine.
+//!
 //! ```
 //! use snorkel_matrix::LabelMatrixBuilder;
 //!
@@ -31,7 +36,9 @@
 #![warn(missing_docs)]
 
 mod csr;
+mod delta;
 pub mod stats;
 
 pub use csr::{LabelMatrix, LabelMatrixBuilder, Vote, ABSTAIN};
+pub use delta::MatrixDelta;
 pub use stats::{LfSummary, MatrixStats};

@@ -1,6 +1,8 @@
 //! Property tests for the label matrix: CSR round-trips, selection
 //! invariants, and diagnostic bounds.
 
+#![allow(clippy::needless_range_loop)]
+
 use proptest::prelude::*;
 use snorkel_matrix::stats::{class_balance, empirical_accuracies, matrix_stats};
 use snorkel_matrix::{LabelMatrix, LabelMatrixBuilder, Vote};

@@ -69,7 +69,9 @@ impl CandidateExtractor {
                         let (sa, _) = a.word_range();
                         let dist = if ea <= sb {
                             sb - ea
-                        } else { sa.saturating_sub(eb) };
+                        } else {
+                            sa.saturating_sub(eb)
+                        };
                         if dist > maxd {
                             continue;
                         }
@@ -186,7 +188,11 @@ mod tests {
     #[test]
     fn empty_corpus_yields_no_candidates() {
         let mut corpus = Corpus::new();
-        assert!(CandidateExtractor::new("A", "B").extract(&mut corpus).is_empty());
-        assert!(UnaryCandidateExtractor::new("A").extract(&mut corpus).is_empty());
+        assert!(CandidateExtractor::new("A", "B")
+            .extract(&mut corpus)
+            .is_empty());
+        assert!(UnaryCandidateExtractor::new("A")
+            .extract(&mut corpus)
+            .is_empty());
     }
 }

@@ -30,10 +30,7 @@ impl DictionaryTagger {
     /// an entity type. Later registrations of the same phrase overwrite
     /// earlier ones.
     pub fn add_phrase(&mut self, phrase: &str, entity_type: &str) {
-        let toks: Vec<String> = phrase
-            .split_whitespace()
-            .map(str::to_lowercase)
-            .collect();
+        let toks: Vec<String> = phrase.split_whitespace().map(str::to_lowercase).collect();
         if toks.is_empty() {
             return;
         }
@@ -42,7 +39,11 @@ impl DictionaryTagger {
     }
 
     /// Register many phrases under one type.
-    pub fn add_phrases<'a>(&mut self, phrases: impl IntoIterator<Item = &'a str>, entity_type: &str) {
+    pub fn add_phrases<'a>(
+        &mut self,
+        phrases: impl IntoIterator<Item = &'a str>,
+        entity_type: &str,
+    ) {
         for p in phrases {
             self.add_phrase(p, entity_type);
         }
@@ -93,7 +94,10 @@ mod tests {
     fn tagger() -> DictionaryTagger {
         let mut t = DictionaryTagger::new();
         t.add_phrases(["magnesium", "aspirin"], "Chemical");
-        t.add_phrases(["quadriplegic state", "preeclampsia", "myasthenia gravis"], "Disease");
+        t.add_phrases(
+            ["quadriplegic state", "preeclampsia", "myasthenia gravis"],
+            "Disease",
+        );
         t
     }
 

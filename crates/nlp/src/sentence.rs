@@ -142,13 +142,19 @@ mod tests {
     fn lowercase_continuation_is_not_a_boundary() {
         assert_eq!(
             sentences("approved by the F.D.A. for use in adults. Next sentence."),
-            vec!["approved by the F.D.A. for use in adults.", "Next sentence."]
+            vec![
+                "approved by the F.D.A. for use in adults.",
+                "Next sentence."
+            ]
         );
     }
 
     #[test]
     fn unterminated_tail_is_kept() {
-        assert_eq!(sentences("First. and then no end"), vec!["First. and then no end"]);
+        assert_eq!(
+            sentences("First. and then no end"),
+            vec!["First. and then no end"]
+        );
         assert_eq!(sentences("Only one sentence"), vec!["Only one sentence"]);
     }
 

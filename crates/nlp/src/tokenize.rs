@@ -15,9 +15,35 @@ use crate::lemma::lemmatize;
 fn is_edge_punct(c: char) -> bool {
     matches!(
         c,
-        '.' | ',' | ';' | ':' | '!' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '"' | '\''
-            | '`' | '<' | '>' | '/' | '\\' | '|' | '~' | '@' | '#' | '$' | '%' | '^' | '&'
-            | '*' | '=' | '+'
+        '.' | ','
+            | ';'
+            | ':'
+            | '!'
+            | '?'
+            | '('
+            | ')'
+            | '['
+            | ']'
+            | '{'
+            | '}'
+            | '"'
+            | '\''
+            | '`'
+            | '<'
+            | '>'
+            | '/'
+            | '\\'
+            | '|'
+            | '~'
+            | '@'
+            | '#'
+            | '$'
+            | '%'
+            | '^'
+            | '&'
+            | '*'
+            | '='
+            | '+'
     )
 }
 
@@ -123,14 +149,20 @@ mod tests {
 
     #[test]
     fn interior_punctuation_kept() {
-        assert_eq!(words("chemical-disease don't"), vec!["chemical-disease", "don't"]);
+        assert_eq!(
+            words("chemical-disease don't"),
+            vec!["chemical-disease", "don't"]
+        );
         // Leading apostrophe is peeled, interior kept.
         assert_eq!(words("'tis don't"), vec!["'", "tis", "don't"]);
     }
 
     #[test]
     fn decimals_stay_whole() {
-        assert_eq!(words("dose of 3.5 mg."), vec!["dose", "of", "3.5", "mg", "."]);
+        assert_eq!(
+            words("dose of 3.5 mg."),
+            vec!["dose", "of", "3.5", "mg", "."]
+        );
     }
 
     #[test]

@@ -330,9 +330,7 @@ impl<'a> Parser<'a> {
     /// Parse one escape sequence; `in_class` restricts which escapes are
     /// legal (no `\b` inside classes).
     fn escape(&mut self, in_class: bool) -> Result<Ast, PatternError> {
-        let c = self
-            .bump()
-            .ok_or_else(|| self.err("dangling backslash"))?;
+        let c = self.bump().ok_or_else(|| self.err("dangling backslash"))?;
         let ast = match c {
             'd' => Ast::Class(CharClass::digit()),
             'D' => Ast::Class(CharClass::digit().negate()),
@@ -450,7 +448,14 @@ mod tests {
             }
         );
         let ast = parse("a{3,}").unwrap();
-        assert!(matches!(ast, Ast::Repeat { min: 3, max: None, .. }));
+        assert!(matches!(
+            ast,
+            Ast::Repeat {
+                min: 3,
+                max: None,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -40,11 +40,18 @@ fn main() {
 
     let scores = image_model.predict_proba_all(&task.images_of(&task.test));
     let auc = roc_auc(&scores, &task.gold_of(&task.test));
-    println!("image-classifier test AUC from text-only supervision = {:.1}", 100.0 * auc);
+    println!(
+        "image-classifier test AUC from text-only supervision = {:.1}",
+        100.0 * auc
+    );
 
     // Compare against full hand supervision on the same architecture.
     let mut hand = Mlp::new(&cfg);
-    hand.fit_hard(&task.images_of(&task.train), &task.gold_of(&task.train), &cfg);
+    hand.fit_hard(
+        &task.images_of(&task.train),
+        &task.gold_of(&task.train),
+        &cfg,
+    );
     let hand_auc = roc_auc(
         &hand.predict_proba_all(&task.images_of(&task.test)),
         &task.gold_of(&task.test),

@@ -45,7 +45,7 @@ fn main() {
         )),
         Box::new(KeywordBetweenLf::new("lf_treats", &["treats"], -1, -1)),
         lf("lf_discussed", |x| {
-            if x.words_between(0, 1).iter().any(|w| *w == "and") {
+            if x.words_between(0, 1).contains(&"and") {
                 -1
             } else {
                 0

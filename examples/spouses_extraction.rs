@@ -40,7 +40,11 @@ fn main() {
     let (soft_rows, report) = pipeline.run_from_matrix(&lambda);
     match &report.strategy {
         ModelingStrategy::MajorityVote => println!("optimizer chose: majority vote"),
-        ModelingStrategy::GenerativeModel { epsilon, correlations, .. } => println!(
+        ModelingStrategy::GenerativeModel {
+            epsilon,
+            correlations,
+            ..
+        } => println!(
             "optimizer chose: generative model (ε = {epsilon:.2}, {} correlations)",
             correlations.len()
         ),
@@ -79,7 +83,10 @@ fn main() {
     let mut best = (0.5, -1.0);
     for i in 1..40 {
         let thr = i as f64 / 40.0;
-        let pred: Vec<Vote> = dev_scores.iter().map(|&s| if s > thr { 1 } else { -1 }).collect();
+        let pred: Vec<Vote> = dev_scores
+            .iter()
+            .map(|&s| if s > thr { 1 } else { -1 })
+            .collect();
         let f1 = f1_score(&pred, &gold_dev);
         if f1 > best.1 {
             best = (thr, f1);

@@ -20,6 +20,9 @@
 //! * [`core`] — the data-programming core: the generative label model,
 //!   dependency-structure learning, the modeling-strategy optimizer
 //!   (Algorithm 1), and the end-to-end [`core::pipeline`].
+//! * [`incr`] — the incremental labeling engine for the interactive dev
+//!   loop: content-addressed LF-result caching, delta Λ updates, and
+//!   warm-started training behind [`incr::IncrementalSession`].
 //! * [`disc`] — noise-aware discriminative models and evaluation metrics.
 //! * [`datasets`] — synthetic analogues of the paper's six applications.
 //! * [`linalg`] — dense/sparse numerics shared by the model crates.
@@ -36,6 +39,7 @@ pub use snorkel_context as context;
 pub use snorkel_core as core;
 pub use snorkel_datasets as datasets;
 pub use snorkel_disc as disc;
+pub use snorkel_incr as incr;
 pub use snorkel_lf as lf;
 pub use snorkel_linalg as linalg;
 pub use snorkel_matrix as matrix;

@@ -4,13 +4,18 @@
 use snorkel::core::model::{ClassBalance, GenerativeModel, LabelScheme, TrainConfig};
 use snorkel::core::optimizer::{choose_strategy, ModelingStrategy, OptimizerConfig};
 use snorkel::core::pipeline::{Pipeline, PipelineConfig};
-use snorkel::datasets::{cdr, chem, crowd, ehr, radiology, spouses, TaskConfig};
+use snorkel::datasets::{cdr, chem, crowd, radiology, spouses, TaskConfig};
 use snorkel::disc::metrics::{accuracy, f1_score, roc_auc};
 use snorkel::disc::{LogRegConfig, LogisticRegression, Mlp, MlpConfig, TextFeaturizer};
 
 fn uniform_cfg() -> TrainConfig {
     TrainConfig {
         class_balance: ClassBalance::Uniform,
+        // The paper's prior assumes LFs beat random guessing (footnote 8:
+        // accuracies in 62%–82%); without the clamp a handful of weak CDR
+        // LFs pick up negative weights and flip votes, dragging the GM
+        // below the unweighted majority vote on some corpus realizations.
+        clamp_nonadversarial: true,
         ..TrainConfig::default()
     }
 }
@@ -113,7 +118,10 @@ fn disc_model_extends_recall_beyond_lfs() {
         .filter(|&i| lambda_test.row(i).0.is_empty())
         .collect();
     if uncovered.len() >= 2 {
-        let scores: Vec<f64> = uncovered.iter().map(|&i| disc.predict_proba(&x_test[i])).collect();
+        let scores: Vec<f64> = uncovered
+            .iter()
+            .map(|&i| disc.predict_proba(&x_test[i]))
+            .collect();
         assert!(scores.iter().all(|s| s.is_finite()));
         let min = scores.iter().cloned().fold(1.0, f64::min);
         let max = scores.iter().cloned().fold(0.0, f64::max);
@@ -148,7 +156,10 @@ fn optimizer_strategies_match_table1_pattern() {
         chem_decision.predicted_advantage
     );
     assert!(
-        matches!(cdr_decision.strategy, ModelingStrategy::GenerativeModel { .. }),
+        matches!(
+            cdr_decision.strategy,
+            ModelingStrategy::GenerativeModel { .. }
+        ),
         "CDR must select GM (A~* = {:.4})",
         cdr_decision.predicted_advantage
     );
@@ -227,7 +238,10 @@ fn pipeline_is_deterministic_end_to_end() {
     let (a_labels, a_strategy) = run();
     let (b_labels, b_strategy) = run();
     assert_eq!(a_strategy, b_strategy);
-    assert_eq!(a_labels, b_labels, "pipeline must be bit-for-bit deterministic");
+    assert_eq!(
+        a_labels, b_labels,
+        "pipeline must be bit-for-bit deterministic"
+    );
 }
 
 #[test]

@@ -25,7 +25,10 @@ fn all_abstain_matrix_yields_uniform_labels() {
     let (labels, _) = run_pipeline(&lambda);
     assert_eq!(labels.len(), 50);
     for row in labels {
-        assert!((row[0] - 0.5).abs() < 0.35, "no-evidence rows stay near uniform");
+        assert!(
+            (row[0] - 0.5).abs() < 0.35,
+            "no-evidence rows stay near uniform"
+        );
     }
 }
 
@@ -41,7 +44,11 @@ fn adversarial_lf_is_downweighted() {
         w[3] < w[0] && w[3] < w[1] && w[3] < w[2],
         "adversarial LF must get the lowest weight: {w:?}"
     );
-    assert!(w[3] < 0.0, "adversarial LF weight should be negative: {}", w[3]);
+    assert!(
+        w[3] < 0.0,
+        "adversarial LF weight should be negative: {}",
+        w[3]
+    );
 }
 
 #[test]
@@ -82,8 +89,9 @@ fn duplicate_heavy_suite_stays_stable() {
         }
     }
     let lambda = b.build();
-    let pairs: Vec<(usize, usize)> =
-        (0..10).flat_map(|a| ((a + 1)..10).map(move |b2| (a, b2))).collect();
+    let pairs: Vec<(usize, usize)> = (0..10)
+        .flat_map(|a| ((a + 1)..10).map(move |b2| (a, b2)))
+        .collect();
     let mut gm = GenerativeModel::new(12, LabelScheme::Binary).with_correlations(&pairs);
     gm.fit(&lambda, &TrainConfig::default());
     assert!(gm.accuracy_weights().iter().all(|w| w.is_finite()));

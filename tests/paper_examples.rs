@@ -2,7 +2,7 @@
 
 use snorkel::core::model::{ClassBalance, GenerativeModel, LabelScheme, TrainConfig};
 use snorkel::datasets::synthetic::heterogeneous_matrix;
-use snorkel::lf::{lf, KeywordBetweenLf, LabelingFunction, LfExecutor};
+use snorkel::lf::{lf, KeywordBetweenLf, LfExecutor};
 use snorkel::matrix::LabelMatrixBuilder;
 use snorkel::nlp::{CandidateExtractor, DictionaryTagger, DocumentIngester};
 
@@ -107,8 +107,9 @@ fn example_3_1_catastrophic_correlations() {
     let mut indep = GenerativeModel::new(10, LabelScheme::Binary);
     indep.fit(&lambda, &cfg);
 
-    let pairs: Vec<(usize, usize)> =
-        (0..5).flat_map(|a| ((a + 1)..5).map(move |b2| (a, b2))).collect();
+    let pairs: Vec<(usize, usize)> = (0..5)
+        .flat_map(|a| ((a + 1)..5).map(move |b2| (a, b2)))
+        .collect();
     let mut corr = GenerativeModel::new(10, LabelScheme::Binary).with_correlations(&pairs);
     corr.fit(&lambda, &cfg);
 
@@ -144,11 +145,18 @@ fn heterogeneous_suite_uniformity() {
     tagger.add_phrase("headache", "Disease");
     let ingester = DocumentIngester::with_tagger(tagger);
     let mut corpus = snorkel::context::Corpus::new();
-    ingester.ingest(&mut corpus, "d", "Aspirin treats headache. Aspirin causes headache.");
+    ingester.ingest(
+        &mut corpus,
+        "d",
+        "Aspirin treats headache. Aspirin causes headache.",
+    );
     let cands = CandidateExtractor::new("Chemical", "Disease").extract(&mut corpus);
 
     let suite: Vec<snorkel::lf::BoxedLf> = vec![
-        lf("closure", |x| if x.token_distance(0, 1) <= 2 { 1 } else { 0 }),
+        lf(
+            "closure",
+            |x| if x.token_distance(0, 1) <= 2 { 1 } else { 0 },
+        ),
         Box::new(KeywordBetweenLf::new("declarative", &["treats"], -1, -1)),
     ];
     let lambda = LfExecutor::new().apply(&suite, &corpus, &cands);

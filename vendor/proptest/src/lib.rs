@@ -1,0 +1,153 @@
+//! Vendored, minimal, API-compatible stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to a crates registry, so this
+//! workspace vendors the slice of proptest it uses: the [`proptest!`] macro,
+//! `prop_assert*` macros, [`strategy::Strategy`] with `prop_map` /
+//! `prop_flat_map` / `prop_recursive`, [`prop_oneof!`], `Just`, integer and
+//! float range strategies, tuple strategies, `prop::collection::vec`,
+//! `prop::char::range`, `prop::sample::Index`, `any`, and regex-string
+//! strategies (`"[a-e]{0,12}"`-style literals).
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case panics immediately with the case seed
+//!   in the panic message; cases are deterministic per (test name, case
+//!   index), so failures reproduce exactly on re-run.
+//! * Case count defaults to 64 (set via `ProptestConfig::with_cases`).
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod string_gen;
+pub mod test_runner;
+
+/// `prop::…` namespace mirroring upstream's module layout.
+pub mod prop {
+    /// Collection strategies (`prop::collection::vec`).
+    pub mod collection {
+        pub use crate::strategy::{vec, SizeRange, VecStrategy};
+    }
+    /// Character strategies (`prop::char::range`).
+    pub mod char {
+        pub use crate::strategy::char_range as range;
+    }
+    /// Sampling helpers (`prop::sample::Index`).
+    pub mod sample {
+        pub use crate::strategy::Index;
+    }
+}
+
+/// Arbitrary-type strategies (`any::<T>()`).
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy for this type.
+        type Strategy: Strategy<Value = Self>;
+        /// Produce the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+/// One-stop import for tests, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Assert inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Uniform choice between heterogeneous strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Define property tests. Each parameter is drawn from its strategy for
+/// every case; the body runs once per case.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::test_runner::case_rng(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(
+                        let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                    )+
+                    // Name the case so a failure's panic location plus this
+                    // counter reproduce it exactly (cases are deterministic).
+                    let __guard = $crate::test_runner::CaseGuard::new(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    { $body }
+                    __guard.passed();
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,322 @@
+//! Random string generation from a regex subset — the implementation
+//! behind `"[a-e]{0,12}"`-style string-literal strategies.
+//!
+//! Supported syntax (the subset the workspace's tests use, plus the
+//! obvious neighbors): literals, `.`, escapes (`\n`, `\t`, `\\`, `\.`,
+//! `\d`, and the Unicode-property forms `\PC` / `\p{..}` approximated as
+//! "printable"), character classes `[a-z0-9 -]` with ranges, groups
+//! `( … | … )`, and quantifiers `{m}`, `{m,n}`, `?`, `*`, `+` (`*`/`+`
+//! are capped at 8 repetitions).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+#[derive(Clone, Debug)]
+enum Node {
+    /// Alternation of sequences.
+    Alt(Vec<Vec<Node>>),
+    /// One literal character.
+    Lit(char),
+    /// Inclusive character ranges (a single char is a degenerate range).
+    Class(Vec<(char, char)>),
+    /// Any printable (non-control) character, multibyte included.
+    Printable,
+    /// `.` — any printable character except newline (vacuously, Printable
+    /// already excludes control characters; kept separate for clarity).
+    Dot,
+    /// `node{lo,hi}` repetition, bounds inclusive.
+    Repeat(Box<Node>, u32, u32),
+}
+
+/// A small pool of multibyte scalars so `\PC`-style strategies exercise
+/// UTF-8 boundary handling, not just ASCII.
+const MULTIBYTE: &[char] = ['é', 'ß', 'Ω', 'λ', '中', '€', '…', '→', 'ñ', '🙂'].as_slice();
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+    let node = Parser::new(pattern).parse();
+    let mut out = String::new();
+    emit(&node, rng, &mut out);
+    out
+}
+
+fn emit(node: &Node, rng: &mut StdRng, out: &mut String) {
+    match node {
+        Node::Alt(alts) => {
+            let seq = &alts[rng.gen_range(0..alts.len())];
+            for n in seq {
+                emit(n, rng, out);
+            }
+        }
+        Node::Lit(c) => out.push(*c),
+        Node::Class(ranges) => {
+            // Weight ranges by size for near-uniform member choice.
+            let total: u64 = ranges
+                .iter()
+                .map(|&(lo, hi)| (hi as u64) - (lo as u64) + 1)
+                .sum();
+            let mut pick = rng.gen_range(0..total);
+            for &(lo, hi) in ranges {
+                let span = (hi as u64) - (lo as u64) + 1;
+                if pick < span {
+                    let c = char::from_u32(lo as u32 + pick as u32).unwrap_or(lo); // surrogate gap: fall back to range start
+                    out.push(c);
+                    return;
+                }
+                pick -= span;
+            }
+            unreachable!("pick < total");
+        }
+        Node::Printable | Node::Dot => {
+            // 85% printable ASCII, 15% multibyte.
+            if rng.gen::<f64>() < 0.85 {
+                out.push(char::from_u32(rng.gen_range(0x20u32..=0x7E)).expect("printable ascii"));
+            } else {
+                out.push(MULTIBYTE[rng.gen_range(0..MULTIBYTE.len())]);
+            }
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let n = rng.gen_range(*lo..=*hi);
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(pattern: &str) -> Self {
+        Parser {
+            chars: pattern.chars().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> char {
+        let c = self.chars[self.pos];
+        self.pos += 1;
+        c
+    }
+
+    fn parse(mut self) -> Node {
+        let node = self.parse_alt();
+        assert!(
+            self.pos == self.chars.len(),
+            "unsupported trailing syntax in pattern at {}: {:?}",
+            self.pos,
+            self.chars.iter().collect::<String>()
+        );
+        node
+    }
+
+    fn parse_alt(&mut self) -> Node {
+        let mut alts = vec![self.parse_seq()];
+        while self.peek() == Some('|') {
+            self.bump();
+            alts.push(self.parse_seq());
+        }
+        Node::Alt(alts)
+    }
+
+    fn parse_seq(&mut self) -> Vec<Node> {
+        let mut seq = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom();
+            seq.push(self.parse_quantified(atom));
+        }
+        seq
+    }
+
+    fn parse_quantified(&mut self, atom: Node) -> Node {
+        match self.peek() {
+            Some('{') => {
+                self.bump();
+                let mut lo = String::new();
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    lo.push(self.bump());
+                }
+                let lo: u32 = lo.parse().expect("repetition lower bound");
+                let hi = if self.peek() == Some(',') {
+                    self.bump();
+                    let mut hi = String::new();
+                    while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                        hi.push(self.bump());
+                    }
+                    hi.parse().expect("repetition upper bound")
+                } else {
+                    lo
+                };
+                assert_eq!(self.bump(), '}', "unterminated repetition");
+                Node::Repeat(Box::new(atom), lo, hi)
+            }
+            Some('?') => {
+                self.bump();
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            Some('*') => {
+                self.bump();
+                Node::Repeat(Box::new(atom), 0, 8)
+            }
+            Some('+') => {
+                self.bump();
+                Node::Repeat(Box::new(atom), 1, 8)
+            }
+            _ => atom,
+        }
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.bump() {
+            '(' => {
+                // Swallow the non-capturing marker; generation has no groups.
+                if self.peek() == Some('?') {
+                    self.bump();
+                    assert_eq!(self.bump(), ':', "only (?: groups are supported");
+                }
+                let node = self.parse_alt();
+                assert_eq!(self.bump(), ')', "unterminated group");
+                node
+            }
+            '[' => self.parse_class(),
+            '\\' => self.parse_escape(),
+            '.' => Node::Dot,
+            c => Node::Lit(c),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Node {
+        match self.bump() {
+            'n' => Node::Lit('\n'),
+            't' => Node::Lit('\t'),
+            'r' => Node::Lit('\r'),
+            'd' => Node::Class(vec![('0', '9')]),
+            // Unicode property classes, approximated: `\PC` (not-control)
+            // and `\p{..}` both generate printable characters.
+            'P' => {
+                self.bump(); // the single-letter property name
+                Node::Printable
+            }
+            'p' => {
+                if self.peek() == Some('{') {
+                    while self.bump() != '}' {}
+                } else {
+                    self.bump();
+                }
+                Node::Printable
+            }
+            c => Node::Lit(c),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        assert_ne!(self.peek(), Some('^'), "negated classes are unsupported");
+        let mut ranges = Vec::new();
+        loop {
+            let c = self.bump();
+            if c == ']' {
+                break;
+            }
+            let lo = if c == '\\' {
+                match self.bump() {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                }
+            } else {
+                c
+            };
+            // `-` is a range operator only between two chars; a trailing
+            // `-` (as in `[.,;!?-]`) is a literal.
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.bump();
+                let hi = self.bump();
+                assert!(lo <= hi, "inverted class range {lo}-{hi}");
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        assert!(!ranges.is_empty(), "empty character class");
+        Node::Class(ranges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn samples(pattern: &str, n: usize) -> Vec<String> {
+        let mut rng = StdRng::seed_from_u64(5);
+        (0..n).map(|_| generate(pattern, &mut rng)).collect()
+    }
+
+    #[test]
+    fn class_with_repetition() {
+        for s in samples("[a-e]{0,12}", 200) {
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| ('a'..='e').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn class_with_trailing_dash_and_punct() {
+        let all: String = samples("[a-zA-Z0-9 .,;!?-]{0,80}", 100).concat();
+        assert!(all
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || " .,;!?-".contains(c)));
+        assert!(
+            all.contains('-') || all.len() < 200,
+            "dash should appear in bulk samples"
+        );
+    }
+
+    #[test]
+    fn printable_property_is_non_control() {
+        let mut lens = std::collections::BTreeSet::new();
+        for s in samples("\\PC{0,120}", 200) {
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+            lens.insert(s.chars().count());
+        }
+        assert!(lens.len() > 10, "lengths should vary: {lens:?}");
+        assert!(lens.iter().all(|&l| l <= 120));
+    }
+
+    #[test]
+    fn groups_alternation_and_optionals() {
+        for s in samples("([A-Z][a-z]{1,8}( [a-z]{1,8}){0,6}[.!?] ?){0,5}", 100) {
+            for sentence in s.split_inclusive(['.', '!', '?']) {
+                let first = sentence.trim_start().chars().next();
+                if let Some(c) = first {
+                    assert!(c.is_ascii_uppercase() || c.is_whitespace(), "{s:?}");
+                }
+            }
+        }
+        let variants = samples("(?:ab|cd)", 50);
+        assert!(variants.iter().any(|s| s == "ab"));
+        assert!(variants.iter().any(|s| s == "cd"));
+    }
+
+    #[test]
+    fn newline_escape_in_class() {
+        let all: String = samples("[a-e \\n]{0,16}", 300).concat();
+        assert!(all.contains('\n'));
+        assert!(all
+            .chars()
+            .all(|c| ('a'..='e').contains(&c) || c == ' ' || c == '\n'));
+    }
+}

@@ -1,0 +1,72 @@
+//! Case scheduling: configuration, per-case RNG derivation, and failure
+//! reporting for the [`proptest!`](crate::proptest) macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Test-runner configuration. Only `cases` is honored by this vendored
+/// implementation.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// FNV-1a over the test's fully qualified name, mixed with the case index:
+/// deterministic, collision-irrelevant seeds, stable across runs.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64) << 1 | 1))
+}
+
+/// Prints which case was running if the body panics (this crate does not
+/// shrink; the deterministic case index is the reproduction handle).
+pub struct CaseGuard {
+    name: &'static str,
+    case: u32,
+    passed: bool,
+}
+
+impl CaseGuard {
+    /// Arm the guard for one case.
+    pub fn new(name: &'static str, case: u32) -> Self {
+        CaseGuard {
+            name,
+            case,
+            passed: false,
+        }
+    }
+
+    /// Disarm: the case finished without panicking.
+    pub fn passed(mut self) {
+        self.passed = true;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if !self.passed && std::thread::panicking() {
+            eprintln!(
+                "proptest case failed: {} case #{} (deterministic; re-run reproduces it)",
+                self.name, self.case
+            );
+        }
+    }
+}
