@@ -1,0 +1,126 @@
+//! Million-candidate scale-out benchmark: pattern-deduplicated sharded
+//! inference/training vs the row-wise baseline on a DryBell-shaped
+//! synthetic corpus (huge row count, few distinct vote signatures).
+//!
+//! Run with `cargo bench -p snorkel-bench --bench scaleout`. Sizes are
+//! env-tunable so CI can smoke-test the same binary at small scale:
+//!
+//! * `SNORKEL_SCALEOUT_ROWS`     — corpus rows (default 1_000_000)
+//! * `SNORKEL_SCALEOUT_LFS`      — LF columns (default 25)
+//! * `SNORKEL_SCALEOUT_PATTERNS` — base signatures (default 2_000)
+//! * `SNORKEL_SCALEOUT_SHARDS`   — shard count (default 0 = all cores)
+//!
+//! Custom harness (no criterion): each stage is timed over a few
+//! iterations and the median is reported, plus the row-wise / scale-out
+//! speedup for `marginals`, `fit`, and the combined workload — the
+//! acceptance target is ≥4× combined at 1M×25.
+
+use std::time::{Duration, Instant};
+
+use snorkel_core::model::{GenerativeModel, LabelScheme, Scaleout, TrainConfig};
+use snorkel_datasets::synthetic::pattern_sparse_matrix;
+use snorkel_matrix::{LabelMatrix, ShardedMatrix};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn median_time<R>(iters: usize, mut f: impl FnMut() -> R) -> Duration {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t.elapsed());
+    }
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn fmt(d: Duration) -> String {
+    if d.as_secs_f64() >= 1.0 {
+        format!("{:.2} s", d.as_secs_f64())
+    } else {
+        format!("{:.1} ms", d.as_secs_f64() * 1e3)
+    }
+}
+
+fn main() {
+    let rows = env_usize("SNORKEL_SCALEOUT_ROWS", 1_000_000);
+    let lfs = env_usize("SNORKEL_SCALEOUT_LFS", 25);
+    let patterns = env_usize("SNORKEL_SCALEOUT_PATTERNS", 2_000);
+    let shards = env_usize("SNORKEL_SCALEOUT_SHARDS", 0);
+    // Fewer fit repetitions at full scale — the row-wise baseline runs
+    // for seconds per fit there.
+    let fit_iters = if rows > 200_000 { 1 } else { 3 };
+
+    println!("building {rows}×{lfs} pattern-sparse corpus ({patterns} base signatures)…");
+    let t = Instant::now();
+    let (lambda, _) = pattern_sparse_matrix(rows, lfs, patterns, 0.12, 0.75, 0.01, 7);
+    println!(
+        "  corpus built in {} ({} non-abstain votes, density {:.2})",
+        fmt(t.elapsed()),
+        lambda.nnz(),
+        lambda.label_density()
+    );
+
+    let t = Instant::now();
+    let plan = ShardedMatrix::build(&lambda, shards);
+    println!(
+        "  sharded plan: {} shards, {} unique patterns, dedup ratio {:.1} (built in {})",
+        plan.num_shards(),
+        plan.num_patterns(),
+        plan.dedup_ratio(),
+        fmt(t.elapsed()),
+    );
+
+    let rw_cfg = TrainConfig {
+        scaleout: Scaleout::RowWise,
+        ..TrainConfig::default()
+    };
+    let sh_cfg = TrainConfig {
+        scaleout: Scaleout::Sharded { shards },
+        ..TrainConfig::default()
+    };
+
+    // ---------------- fit ----------------
+    let fit_rowwise = median_time(fit_iters, || {
+        let mut gm = GenerativeModel::new(lfs, LabelScheme::Binary);
+        gm.fit(&lambda, &rw_cfg);
+        gm
+    });
+    let fit_sharded = median_time(fit_iters, || {
+        let mut gm = GenerativeModel::new(lfs, LabelScheme::Binary);
+        gm.fit_with(&lambda, &plan, &sh_cfg);
+        gm
+    });
+    println!("fit/rowwise          {}", fmt(fit_rowwise));
+    println!("fit/dedup_sharded    {}", fmt(fit_sharded));
+
+    // ---------------- marginals ----------------
+    let mut gm = GenerativeModel::new(lfs, LabelScheme::Binary);
+    gm.fit_with(&lambda, &plan, &sh_cfg);
+    let marg_rowwise = median_time(3, || gm.marginals_rowwise(&lambda));
+    let marg_sharded = median_time(3, || gm.marginals_with(&lambda, &plan));
+    println!("marginals/rowwise    {}", fmt(marg_rowwise));
+    println!("marginals/dedup      {}", fmt(marg_sharded));
+
+    // Output equivalence (the property the speedup is allowed to rely
+    // on): inference bit-identical under fixed weights.
+    check_identical(&gm, &lambda, &plan);
+
+    let s_fit = fit_rowwise.as_secs_f64() / fit_sharded.as_secs_f64().max(1e-12);
+    let s_marg = marg_rowwise.as_secs_f64() / marg_sharded.as_secs_f64().max(1e-12);
+    let combined = (fit_rowwise + marg_rowwise).as_secs_f64()
+        / (fit_sharded + marg_sharded).as_secs_f64().max(1e-12);
+    println!("scaleout speedup: fit {s_fit:.1}×, marginals {s_marg:.1}×, combined {combined:.1}×");
+}
+
+fn check_identical(gm: &GenerativeModel, lambda: &LabelMatrix, plan: &ShardedMatrix) {
+    let a = gm.marginals_rowwise(lambda);
+    let b = gm.marginals_with(lambda, plan);
+    assert_eq!(a, b, "dedup marginals must be bit-identical to row-wise");
+    println!("  (dedup marginals verified bit-identical to row-wise)");
+}

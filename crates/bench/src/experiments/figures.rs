@@ -237,8 +237,12 @@ pub fn fig6(scale: Scale) -> String {
                 cols.swap(i, j);
             }
             let subset: Vec<usize> = cols[..k].to_vec();
-            let sub_train = lambda_full.select_columns(&subset);
-            let sub_test = lambda_test_full.select_columns(&subset);
+            let sub_train = lambda_full
+                .select_columns(&subset)
+                .expect("subset in range");
+            let sub_test = lambda_test_full
+                .select_columns(&subset)
+                .expect("subset in range");
             let mut gm = GenerativeModel::new(k, LabelScheme::Binary);
             gm.fit(&sub_train, &TrainConfig::default());
             aw_sum += modeling_advantage(&sub_test, gm.accuracy_weights(), &gold_test);

@@ -39,7 +39,9 @@ pub mod pipeline;
 pub mod structure;
 pub mod vote;
 
-pub use model::{ClassBalance, FitReport, GenerativeModel, LabelScheme, TrainConfig};
+pub use model::{
+    ClassBalance, FitReport, GenerativeModel, LabelScheme, Scaleout, TrainConfig, SCALEOUT_MIN_ROWS,
+};
 pub use optimizer::{choose_strategy, ModelingStrategy, OptimizerConfig, StrategyDecision};
 pub use pipeline::{run_pipeline, Pipeline, PipelineConfig, PipelineReport};
 pub use structure::{learn_structure, StructureConfig, StructureReport};

@@ -43,7 +43,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use snorkel_linalg::math::{logsumexp, softmax_in_place};
-use snorkel_matrix::{LabelMatrix, Vote};
+use snorkel_matrix::{LabelMatrix, ShardedMatrix, Vote};
 
 /// Vote-scheme abstraction shared by the binary (`{−1,+1}`) and
 /// multi-class (`{1..=k}`) settings.
@@ -104,6 +104,45 @@ impl LabelScheme {
         }
     }
 }
+
+/// Execution strategy for exact inference and the exact-training
+/// sufficient-statistics passes.
+///
+/// The posterior of a data point depends only on its vote signature
+/// `(cols, votes)`, so at deployment scale (millions of rows, a handful
+/// of distinct patterns — the Snorkel DryBell regime) the row-wise walk
+/// recomputes the same posterior millions of times. The sharded path
+/// groups rows by unique pattern ([`snorkel_matrix::PatternIndex`]) per
+/// row-range shard and runs every pass per-pattern, weighted by
+/// multiplicity.
+///
+/// Equivalence contract (pinned by the `proptest_scaleout` harness):
+/// marginals are **bit-identical** to the row-wise path for any shard
+/// count (a pattern's posterior is computed by literally the same
+/// float-op sequence as its rows'), and fits converge to the same
+/// optimum within the [`TrainConfig::tol`] fixed-point guarantee (the
+/// per-pattern statistics differ from the row-wise sums only in
+/// floating-point summation order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scaleout {
+    /// Always walk rows one by one — the reference path.
+    RowWise,
+    /// Deduplicate per row-range shard; `shards == 0` means one shard
+    /// per available core. Merge order is fixed by shard index, so the
+    /// result is deterministic regardless of worker-thread count.
+    Sharded {
+        /// Number of row-range shards (0 = one per core).
+        shards: usize,
+    },
+    /// Shard (one shard per core) when the matrix has at least
+    /// [`SCALEOUT_MIN_ROWS`] rows; row-wise below that, where the
+    /// index build cost is not worth amortizing.
+    Auto,
+}
+
+/// Row count at which [`Scaleout::Auto`] switches from row-wise to the
+/// pattern-deduplicated sharded path.
+pub const SCALEOUT_MIN_ROWS: usize = 8192;
 
 /// Training hyperparameters.
 ///
@@ -169,6 +208,10 @@ pub struct TrainConfig {
     pub class_balance: ClassBalance,
     /// Clamp accuracy weights at ≥ 0 (assume non-adversarial LFs).
     pub clamp_nonadversarial: bool,
+    /// Execution strategy for the exact passes (see [`Scaleout`]). The
+    /// correlated CD path ignores it: Gibbs chains are per-row samples
+    /// and do not deduplicate.
+    pub scaleout: Scaleout,
 }
 
 impl Default for TrainConfig {
@@ -188,6 +231,7 @@ impl Default for TrainConfig {
             init_from_majority_vote: true,
             class_balance: ClassBalance::FromMajorityVote,
             clamp_nonadversarial: false,
+            scaleout: Scaleout::Auto,
         }
     }
 }
@@ -380,7 +424,29 @@ impl GenerativeModel {
     }
 
     /// Posterior class distributions for every row.
+    ///
+    /// Large matrices (≥ [`SCALEOUT_MIN_ROWS`] rows) are automatically
+    /// routed through the pattern-deduplicated path — the output is
+    /// bit-identical to [`Self::marginals_rowwise`] either way, because
+    /// a pattern's posterior is computed by the exact float-op sequence
+    /// its rows' posteriors would have used. Callers that already hold a
+    /// [`ShardedMatrix`] plan should use [`Self::marginals_with`] to
+    /// skip the per-call index build; callers that want the row-wise
+    /// walk unconditionally (mostly-unique rows, where dedup loses to
+    /// its own bookkeeping) call [`Self::marginals_rowwise`] directly.
     pub fn marginals(&self, lambda: &LabelMatrix) -> Vec<Vec<f64>> {
+        if lambda.num_points() >= SCALEOUT_MIN_ROWS {
+            let plan = ShardedMatrix::build(lambda, 0);
+            self.marginals_with(lambda, &plan)
+        } else {
+            self.marginals_rowwise(lambda)
+        }
+    }
+
+    /// Posterior class distributions for every row, one posterior
+    /// computation per row — the reference path the scale-out paths are
+    /// property-tested against (and the benchmark baseline).
+    pub fn marginals_rowwise(&self, lambda: &LabelMatrix) -> Vec<Vec<f64>> {
         (0..lambda.num_points())
             .map(|i| {
                 let (cols, votes) = lambda.row(i);
@@ -389,15 +455,50 @@ impl GenerativeModel {
             .collect()
     }
 
-    /// Binary convenience: `p(y = +1 | Λ_i)` per row.
+    /// Posterior class distributions for every row, computed once per
+    /// unique vote pattern of the prebuilt plan and scattered back to
+    /// rows. Bit-identical to [`Self::marginals_rowwise`] for any shard
+    /// count.
+    pub fn marginals_with(&self, lambda: &LabelMatrix, plan: &ShardedMatrix) -> Vec<Vec<f64>> {
+        self.assert_plan_matches(lambda, plan);
+        let per_shard: Vec<Vec<Vec<f64>>> = plan.map_shards(|idx| {
+            let mut posts = vec![Vec::new(); idx.num_slots()];
+            for (p, cols, votes, _) in idx.live_patterns() {
+                posts[p] = self.posterior(cols, votes);
+            }
+            posts
+        });
+        let mut out = vec![Vec::new(); lambda.num_points()];
+        for (idx, posts) in plan.shards().iter().zip(&per_shard) {
+            for row in idx.row_range() {
+                out[row] = posts[idx.pattern_of_row(row)].clone();
+            }
+        }
+        out
+    }
+
+    /// Binary convenience: `p(y = +1 | Λ_i)` per row (auto scale-out,
+    /// like [`Self::marginals`]).
     pub fn prob_positive(&self, lambda: &LabelMatrix) -> Vec<f64> {
         assert_eq!(self.scheme, LabelScheme::Binary, "binary scheme only");
-        (0..lambda.num_points())
-            .map(|i| {
-                let (cols, votes) = lambda.row(i);
-                self.posterior(cols, votes)[0]
-            })
-            .collect()
+        self.marginals(lambda).into_iter().map(|p| p[0]).collect()
+    }
+
+    fn assert_plan_matches(&self, lambda: &LabelMatrix, plan: &ShardedMatrix) {
+        assert_eq!(
+            plan.num_rows(),
+            lambda.num_points(),
+            "sharded plan covers {} rows but Λ has {}",
+            plan.num_rows(),
+            lambda.num_points()
+        );
+        assert_eq!(
+            plan.num_lfs(),
+            lambda.num_lfs(),
+            "sharded plan built for {} LFs but Λ has {}",
+            plan.num_lfs(),
+            lambda.num_lfs()
+        );
     }
 
     /// Hard predictions: the MAP class as a vote value; 0 when the
@@ -423,9 +524,45 @@ impl GenerativeModel {
     // Training
     // ------------------------------------------------------------------
 
-    /// Fit to a label matrix by SGD on the negative log marginal
-    /// likelihood.
+    /// The sharded execution plan [`Self::fit`] would build for this
+    /// config, or `None` when the row-wise path applies. Callers that
+    /// run several passes over the same matrix (pipeline, incremental
+    /// session) build the plan once and hand it to [`Self::fit_with`] /
+    /// [`Self::marginals_with`].
+    pub fn plan_for(lambda: &LabelMatrix, cfg: &TrainConfig) -> Option<ShardedMatrix> {
+        match cfg.scaleout {
+            Scaleout::RowWise => None,
+            Scaleout::Sharded { shards } => Some(ShardedMatrix::build(lambda, shards)),
+            Scaleout::Auto => {
+                (lambda.num_points() >= SCALEOUT_MIN_ROWS).then(|| ShardedMatrix::build(lambda, 0))
+            }
+        }
+    }
+
+    /// Fit to a label matrix by maximizing the (smoothed) marginal
+    /// likelihood, resolving [`TrainConfig::scaleout`] internally.
     pub fn fit(&mut self, lambda: &LabelMatrix, cfg: &TrainConfig) -> FitReport {
+        let plan = Self::plan_for(lambda, cfg);
+        self.fit_exec(lambda, plan.as_ref(), cfg)
+    }
+
+    /// [`Self::fit`] against a prebuilt sharded plan (must cover exactly
+    /// this matrix), skipping the per-call plan build.
+    pub fn fit_with(
+        &mut self,
+        lambda: &LabelMatrix,
+        plan: &ShardedMatrix,
+        cfg: &TrainConfig,
+    ) -> FitReport {
+        self.fit_exec(lambda, Some(plan), cfg)
+    }
+
+    fn fit_exec(
+        &mut self,
+        lambda: &LabelMatrix,
+        plan: Option<&ShardedMatrix>,
+        cfg: &TrainConfig,
+    ) -> FitReport {
         assert_eq!(
             lambda.num_lfs(),
             self.n,
@@ -433,14 +570,17 @@ impl GenerativeModel {
             lambda.num_lfs(),
             self.n
         );
+        if let Some(p) = plan {
+            self.assert_plan_matches(lambda, p);
+        }
         for w in self.w_acc.iter_mut() {
             *w = cfg.init_acc_weight;
         }
-        self.set_class_balance(lambda, cfg);
+        self.set_class_balance(lambda, plan, cfg);
         if cfg.init_from_majority_vote && lambda.num_points() > 0 {
-            self.init_acc_from_majority_vote(lambda, cfg);
+            self.init_acc_from_majority_vote(lambda, plan, cfg);
         }
-        self.init_lab_from_coverage(lambda);
+        self.init_lab_from_coverage(lambda, plan);
         if lambda.num_points() == 0 {
             return FitReport {
                 epochs: 0,
@@ -450,14 +590,19 @@ impl GenerativeModel {
             };
         }
         if self.corr_pairs.is_empty() {
-            self.fit_independent_exact(lambda, cfg)
+            self.fit_independent_exact(lambda, plan, cfg)
         } else {
             self.fit_correlated_cd(lambda, cfg)
         }
     }
 
     /// Fix the class-balance weights per the configured policy.
-    fn set_class_balance(&mut self, lambda: &LabelMatrix, cfg: &TrainConfig) {
+    fn set_class_balance(
+        &mut self,
+        lambda: &LabelMatrix,
+        plan: Option<&ShardedMatrix>,
+        cfg: &TrainConfig,
+    ) {
         let k = self.scheme.num_classes();
         match &cfg.class_balance {
             ClassBalance::Uniform => self.b_class.iter_mut().for_each(|b| *b = 0.0),
@@ -468,17 +613,65 @@ impl GenerativeModel {
                 }
             }
             ClassBalance::FromMajorityVote => {
-                let mv = self.majority_classes(lambda);
-                let mut counts = vec![1.0f64; k]; // add-one smoothing
-                for c in mv.into_iter().flatten() {
-                    counts[c] += 1.0;
+                let mut counts = vec![1usize; k]; // add-one smoothing
+                match plan {
+                    // The MV class is a pure function of the vote
+                    // signature, and these are integer counts — the
+                    // per-pattern tally is *exactly* the row-wise one.
+                    Some(plan) => {
+                        let per_shard = plan.map_shards(|idx| {
+                            let mut c = vec![0usize; k];
+                            let mut tally = vec![0usize; k];
+                            for (_, _, votes, cnt) in idx.live_patterns() {
+                                if let Some(mv) = self.plurality_class(votes, &mut tally) {
+                                    c[mv] += cnt;
+                                }
+                            }
+                            c
+                        });
+                        for c in per_shard {
+                            for (tot, add) in counts.iter_mut().zip(c) {
+                                *tot += add;
+                            }
+                        }
+                    }
+                    None => {
+                        for c in self.majority_classes(lambda).into_iter().flatten() {
+                            counts[c] += 1;
+                        }
+                    }
                 }
-                let total: f64 = counts.iter().sum();
+                let total: f64 = counts.iter().map(|&c| c as f64).sum();
                 for (b, c) in self.b_class.iter_mut().zip(counts) {
-                    *b = (c / total).ln();
+                    *b = (c as f64 / total).ln();
                 }
             }
         }
+    }
+
+    /// Plurality class of one vote set (`None` on ties and no votes);
+    /// `tally` is a reusable `num_classes`-sized scratch buffer.
+    fn plurality_class(&self, votes: &[Vote], tally: &mut [usize]) -> Option<usize> {
+        tally.iter_mut().for_each(|t| *t = 0);
+        for &v in votes {
+            if let Some(c) = self.scheme.class_of_vote(v) {
+                tally[c] += 1;
+            }
+        }
+        let best = tally.iter().copied().max().unwrap_or(0);
+        if best == 0 {
+            return None;
+        }
+        let mut winner = None;
+        for (c, &t) in tally.iter().enumerate() {
+            if t == best {
+                if winner.is_some() {
+                    return None; // tie
+                }
+                winner = Some(c);
+            }
+        }
+        winner
     }
 
     /// Plurality class per row (`None` on ties and empty rows).
@@ -488,19 +681,7 @@ impl GenerativeModel {
         let mut tally = vec![0usize; k];
         for i in 0..lambda.num_points() {
             let (_, votes) = lambda.row(i);
-            tally.iter_mut().for_each(|t| *t = 0);
-            for &v in votes {
-                if let Some(c) = self.scheme.class_of_vote(v) {
-                    tally[c] += 1;
-                }
-            }
-            let best = tally.iter().copied().max().unwrap_or(0);
-            let winners: Vec<usize> = (0..k).filter(|&c| tally[c] == best && best > 0).collect();
-            out.push(if winners.len() == 1 {
-                Some(winners[0])
-            } else {
-                None
-            });
+            out.push(self.plurality_class(votes, &mut tally));
         }
         out
     }
@@ -514,15 +695,35 @@ impl GenerativeModel {
     /// collapsed optimum. Solving
     /// `coverage = e^lab (e^acc + K−1) / (1 + e^lab (e^acc + K−1))`
     /// for `lab` removes the transient entirely.
-    fn init_lab_from_coverage(&mut self, lambda: &LabelMatrix) {
+    fn init_lab_from_coverage(&mut self, lambda: &LabelMatrix, plan: Option<&ShardedMatrix>) {
         let m = lambda.num_points();
         if m == 0 {
             return;
         }
         let k1 = (self.scheme.num_classes() - 1) as f64;
         let mut votes = vec![0usize; self.n];
-        for (_, j, _) in lambda.iter() {
-            votes[j] += 1;
+        match plan {
+            Some(plan) => {
+                // Per-pattern coverage counts are integer-exact.
+                for c in plan.map_shards(|idx| {
+                    let mut c = vec![0usize; self.n];
+                    for (_, cols, _, cnt) in idx.live_patterns() {
+                        for &j in cols {
+                            c[j as usize] += cnt;
+                        }
+                    }
+                    c
+                }) {
+                    for (tot, add) in votes.iter_mut().zip(c) {
+                        *tot += add;
+                    }
+                }
+            }
+            None => {
+                for (_, j, _) in lambda.iter() {
+                    votes[j] += 1;
+                }
+            }
         }
         for j in 0..self.n {
             let c = ((votes[j] as f64 + 0.5) / (m as f64 + 1.0)).clamp(1e-4, 1.0 - 1e-4);
@@ -536,18 +737,56 @@ impl GenerativeModel {
     /// agreement rate with MV on rows where both commit, shrunk toward
     /// the prior and clamped to a moderate band so the data still
     /// dominates.
-    fn init_acc_from_majority_vote(&mut self, lambda: &LabelMatrix, cfg: &TrainConfig) {
-        let mv = self.majority_classes(lambda);
+    fn init_acc_from_majority_vote(
+        &mut self,
+        lambda: &LabelMatrix,
+        plan: Option<&ShardedMatrix>,
+        cfg: &TrainConfig,
+    ) {
         let mut agree = vec![0usize; self.n];
         let mut total = vec![0usize; self.n];
-        for i in 0..lambda.num_points() {
-            let Some(mv_class) = mv[i] else { continue };
-            let (cols, votes) = lambda.row(i);
-            for (&c, &v) in cols.iter().zip(votes) {
-                if let Some(class) = self.scheme.class_of_vote(v) {
-                    total[c as usize] += 1;
-                    if class == mv_class {
-                        agree[c as usize] += 1;
+        match plan {
+            Some(plan) => {
+                // Agreement with the row's own majority vote is a pure
+                // function of the signature; integer counts are exact.
+                let k = self.scheme.num_classes();
+                for (a, t) in plan.map_shards(|idx| {
+                    let mut a = vec![0usize; self.n];
+                    let mut t = vec![0usize; self.n];
+                    let mut tally = vec![0usize; k];
+                    for (_, cols, votes, cnt) in idx.live_patterns() {
+                        let Some(mv_class) = self.plurality_class(votes, &mut tally) else {
+                            continue;
+                        };
+                        for (&c, &v) in cols.iter().zip(votes) {
+                            if let Some(class) = self.scheme.class_of_vote(v) {
+                                t[c as usize] += cnt;
+                                if class == mv_class {
+                                    a[c as usize] += cnt;
+                                }
+                            }
+                        }
+                    }
+                    (a, t)
+                }) {
+                    for j in 0..self.n {
+                        agree[j] += a[j];
+                        total[j] += t[j];
+                    }
+                }
+            }
+            None => {
+                let mv = self.majority_classes(lambda);
+                for i in 0..lambda.num_points() {
+                    let Some(mv_class) = mv[i] else { continue };
+                    let (cols, votes) = lambda.row(i);
+                    for (&c, &v) in cols.iter().zip(votes) {
+                        if let Some(class) = self.scheme.class_of_vote(v) {
+                            total[c as usize] += 1;
+                            if class == mv_class {
+                                agree[c as usize] += 1;
+                            }
+                        }
                     }
                 }
             }
@@ -569,8 +808,13 @@ impl GenerativeModel {
     }
 
     /// Full-batch exact-gradient training for the independent model.
-    fn fit_independent_exact(&mut self, lambda: &LabelMatrix, cfg: &TrainConfig) -> FitReport {
-        let (epochs, nll) = self.run_exact_epochs(lambda, cfg);
+    fn fit_independent_exact(
+        &mut self,
+        lambda: &LabelMatrix,
+        plan: Option<&ShardedMatrix>,
+        cfg: &TrainConfig,
+    ) -> FitReport {
+        let (epochs, nll) = self.run_exact_epochs(lambda, plan, cfg);
         FitReport {
             epochs,
             final_nll: nll,
@@ -610,7 +854,12 @@ impl GenerativeModel {
     /// `cfg.epochs` cap).
     ///
     /// Returns `(iterations run, final NLL)`.
-    fn run_exact_epochs(&mut self, lambda: &LabelMatrix, cfg: &TrainConfig) -> (usize, f64) {
+    fn run_exact_epochs(
+        &mut self,
+        lambda: &LabelMatrix,
+        plan: Option<&ShardedMatrix>,
+        cfg: &TrainConfig,
+    ) -> (usize, f64) {
         const EM_WARMUP_MAX: usize = 15;
         // Warm-up only needs to reach the right basin — the damped Newton
         // phase is robust from a rough start (it falls back to EM sweeps
@@ -630,7 +879,7 @@ impl GenerativeModel {
         // ---------------- Phase 1: plain EM sweeps ----------------
         let mut stats = ExactPassStats::new(n);
         loop {
-            self.exact_pass(lambda, &mut stats, false);
+            self.exact_pass(lambda, plan, &mut stats, false);
             iters += 1;
             let mut f_inf = 0.0f64;
             for j in 0..n {
@@ -664,7 +913,7 @@ impl GenerativeModel {
         let mut grad = vec![0.0f64; dim];
         let mut hess = vec![vec![0.0f64; dim]; dim];
         while iters < cfg.epochs {
-            self.exact_pass(lambda, &mut stats, true);
+            self.exact_pass(lambda, plan, &mut stats, true);
             iters += 1;
             let obj_cur = self.penalized_objective(&stats, m, (a_agree, a_dis, a_abs));
 
@@ -768,7 +1017,7 @@ impl GenerativeModel {
                     }
                     self.w_acc[j] = acc.clamp(-W_CLAMP, W_CLAMP);
                 }
-                self.exact_pass(lambda, &mut stats, false);
+                self.exact_pass(lambda, plan, &mut stats, false);
                 iters += 1;
                 let obj_new = self.penalized_objective(&stats, m, (a_agree, a_dis, a_abs));
                 // Acceptance slack at the objective's arithmetic noise
@@ -789,7 +1038,7 @@ impl GenerativeModel {
                 // Heavily damped Newton keeps failing (numerically odd
                 // region): fall back to one plain EM sweep, which always
                 // makes progress, and reset the damping.
-                self.exact_pass(lambda, &mut stats, false);
+                self.exact_pass(lambda, plan, &mut stats, false);
                 iters += 1;
                 for j in 0..n {
                     let a_j = stats.agree[j];
@@ -809,15 +1058,37 @@ impl GenerativeModel {
         }
 
         // Final bookkeeping pass for the reported NLL.
-        self.exact_pass(lambda, &mut stats, false);
+        self.exact_pass(lambda, plan, &mut stats, false);
         let nll = stats.nll(m, &self.b_class, &self.w_lab, &self.w_acc, k1);
         (iters, nll)
     }
 
-    /// One exact E-pass over Λ: per-row posteriors accumulated into the
-    /// expected per-LF statistics (and, when `with_moments`, the
-    /// posterior second-moment matrix the Newton phase needs).
-    fn exact_pass(&self, lambda: &LabelMatrix, stats: &mut ExactPassStats, with_moments: bool) {
+    /// One exact E-pass over Λ: posteriors accumulated into the expected
+    /// per-LF statistics (and, when `with_moments`, the posterior
+    /// second-moment matrix the Newton phase needs). With a plan, the
+    /// pass runs once per unique pattern weighted by multiplicity, per
+    /// shard, and merges the per-shard partials in shard order — the
+    /// scale-out core of the whole crate.
+    fn exact_pass(
+        &self,
+        lambda: &LabelMatrix,
+        plan: Option<&ShardedMatrix>,
+        stats: &mut ExactPassStats,
+        with_moments: bool,
+    ) {
+        match plan {
+            Some(plan) => self.exact_pass_sharded(plan, stats, with_moments),
+            None => self.exact_pass_rowwise(lambda, stats, with_moments),
+        }
+    }
+
+    /// Row-wise reference implementation of the exact E-pass.
+    fn exact_pass_rowwise(
+        &self,
+        lambda: &LabelMatrix,
+        stats: &mut ExactPassStats,
+        with_moments: bool,
+    ) {
         let k = self.scheme.num_classes();
         stats.reset(with_moments);
         let mut scores = vec![0.0f64; k];
@@ -860,6 +1131,70 @@ impl GenerativeModel {
                     }
                 }
             }
+        }
+    }
+
+    /// Pattern-deduplicated, sharded exact E-pass: each shard walks its
+    /// *unique* vote patterns once, scaling every statistic by the
+    /// pattern's multiplicity, and the per-shard partials merge in shard
+    /// index order (deterministic for a fixed shard count regardless of
+    /// how many worker threads ran). On a DryBell-shaped corpus this
+    /// turns the O(m) posterior computations of one pass into
+    /// O(#patterns).
+    fn exact_pass_sharded(
+        &self,
+        plan: &ShardedMatrix,
+        stats: &mut ExactPassStats,
+        with_moments: bool,
+    ) {
+        let k = self.scheme.num_classes();
+        let n = self.n;
+        let partials = plan.map_shards(|idx| {
+            let mut s = ExactPassStats::new(n);
+            let mut scores = vec![0.0f64; k];
+            let mut row_classes: Vec<(usize, usize, f64)> = Vec::new();
+            for (_, cols, votes, cnt) in idx.live_patterns() {
+                let c = cnt as f64;
+                scores.copy_from_slice(&self.b_class);
+                let mut lab_term = 0.0;
+                for (&col, &v) in cols.iter().zip(votes) {
+                    let j = col as usize;
+                    lab_term += self.w_lab[j];
+                    if let Some(class) = self.scheme.class_of_vote(v) {
+                        scores[class] += self.w_acc[j];
+                    }
+                }
+                let lse = logsumexp(&scores);
+                s.loglik += c * (lab_term + lse);
+                row_classes.clear();
+                for (&col, &v) in cols.iter().zip(votes) {
+                    let j = col as usize;
+                    s.votes_cast[j] += c;
+                    if let Some(class) = self.scheme.class_of_vote(v) {
+                        let q = (scores[class] - lse).exp();
+                        s.agree[j] += c * q;
+                        if with_moments {
+                            row_classes.push((j, class, q));
+                        }
+                    }
+                }
+                if with_moments {
+                    for (x, &(j, cj, qj)) in row_classes.iter().enumerate() {
+                        s.acc_moment[j][j] += c * qj * (1.0 - qj);
+                        for &(l, cl, ql) in row_classes.iter().skip(x + 1) {
+                            let joint = if cj == cl { qj } else { 0.0 };
+                            let cov = c * (joint - qj * ql);
+                            s.acc_moment[j][l] += cov;
+                            s.acc_moment[l][j] += cov;
+                        }
+                    }
+                }
+            }
+            s
+        });
+        stats.reset(with_moments);
+        for partial in &partials {
+            stats.merge(partial, with_moments);
         }
     }
 
@@ -930,6 +1265,34 @@ impl GenerativeModel {
         prev: &GenerativeModel,
         changed_cols: &[usize],
     ) -> FitReport {
+        let plan = Self::plan_for(lambda, cfg);
+        self.fit_warm_exec(lambda, plan.as_ref(), cfg, prev, changed_cols)
+    }
+
+    /// [`Self::fit_warm`] against a prebuilt sharded plan (must cover
+    /// exactly this matrix) — the incremental session's training path.
+    pub fn fit_warm_with(
+        &mut self,
+        lambda: &LabelMatrix,
+        plan: &ShardedMatrix,
+        cfg: &TrainConfig,
+        prev: &GenerativeModel,
+        changed_cols: &[usize],
+    ) -> FitReport {
+        self.fit_warm_exec(lambda, Some(plan), cfg, prev, changed_cols)
+    }
+
+    fn fit_warm_exec(
+        &mut self,
+        lambda: &LabelMatrix,
+        plan: Option<&ShardedMatrix>,
+        cfg: &TrainConfig,
+        prev: &GenerativeModel,
+        changed_cols: &[usize],
+    ) -> FitReport {
+        if let Some(p) = plan {
+            self.assert_plan_matches(lambda, p);
+        }
         assert_eq!(
             lambda.num_lfs(),
             self.n,
@@ -958,7 +1321,7 @@ impl GenerativeModel {
         }
         // The class balance is a deterministic function of Λ and the
         // policy — recompute so it matches what a cold fit would use.
-        self.set_class_balance(lambda, cfg);
+        self.set_class_balance(lambda, plan, cfg);
         // Edited columns start from the cold-path initialization.
         for &j in changed_cols {
             self.reinit_column(lambda, cfg, j);
@@ -972,7 +1335,7 @@ impl GenerativeModel {
             };
         }
         if self.corr_pairs.is_empty() {
-            let (epochs, nll) = self.run_exact_epochs(lambda, cfg);
+            let (epochs, nll) = self.run_exact_epochs(lambda, plan, cfg);
             FitReport {
                 epochs,
                 final_nll: nll,
@@ -1265,6 +1628,25 @@ impl ExactPassStats {
         if with_moments {
             for row in self.acc_moment.iter_mut() {
                 row.iter_mut().for_each(|v| *v = 0.0);
+            }
+        }
+    }
+
+    /// Add another pass's accumulators (the sharded reduction; callers
+    /// merge in shard index order for determinism).
+    fn merge(&mut self, other: &ExactPassStats, with_moments: bool) {
+        for (a, b) in self.votes_cast.iter_mut().zip(&other.votes_cast) {
+            *a += b;
+        }
+        for (a, b) in self.agree.iter_mut().zip(&other.agree) {
+            *a += b;
+        }
+        self.loglik += other.loglik;
+        if with_moments {
+            for (ra, rb) in self.acc_moment.iter_mut().zip(&other.acc_moment) {
+                for (a, b) in ra.iter_mut().zip(rb) {
+                    *a += b;
+                }
             }
         }
     }

@@ -145,8 +145,20 @@ impl Pipeline {
             } => {
                 let mut gm = GenerativeModel::new(lambda.num_lfs(), scheme)
                     .with_weighted_correlations(correlations, strengths);
-                gm.fit(lambda, &self.config.train);
-                (gm.marginals(lambda), Some(gm))
+                // Resolve the scale-out plan once and reuse it for both
+                // training and the final marginals pass.
+                let plan = GenerativeModel::plan_for(lambda, &self.config.train);
+                let labels = match &plan {
+                    Some(plan) => {
+                        gm.fit_with(lambda, plan, &self.config.train);
+                        gm.marginals_with(lambda, plan)
+                    }
+                    None => {
+                        gm.fit(lambda, &self.config.train);
+                        gm.marginals_rowwise(lambda)
+                    }
+                };
+                (labels, Some(gm))
             }
         };
         let training_time = t1.elapsed();

@@ -59,7 +59,7 @@ proptest! {
 
         // Permutation invariance.
         let perm: Vec<usize> = (0..lambda.num_lfs()).rev().collect();
-        let permuted = lambda.select_columns(&perm);
+        let permuted = lambda.select_columns(&perm).unwrap();
         prop_assert_eq!(majority_vote(&permuted), mv.clone());
 
         // Label-flip equivariance: negating every vote negates the MV.

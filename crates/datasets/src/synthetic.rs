@@ -138,6 +138,76 @@ pub fn correlated_matrix(
     (b.build(), gold, true_pairs)
 }
 
+/// DryBell-shaped corpus for the scale-out experiments: a huge row
+/// count collapsing onto a small set of distinct vote signatures.
+///
+/// `base_patterns` template signatures are drawn once (each LF votes
+/// with probability `propensity`, correctly for the pattern's latent
+/// class with probability `accuracy`), rows are assigned to templates
+/// with a Zipf-skewed popularity (pattern `k` is ∝ `1/(k+1)` likely),
+/// and each row independently perturbs one LF's vote with probability
+/// `noise` — producing the realistic long tail of rare signatures.
+/// Returns `(Λ, gold)` where `gold[i]` is row `i`'s template class.
+pub fn pattern_sparse_matrix(
+    m: usize,
+    n: usize,
+    base_patterns: usize,
+    propensity: f64,
+    accuracy: f64,
+    noise: f64,
+    seed: u64,
+) -> (LabelMatrix, Vec<Vote>) {
+    assert!(base_patterns > 0 && n > 0, "need ≥1 pattern and ≥1 LF");
+    assert!((0.0..=1.0).contains(&propensity) && (0.0..=1.0).contains(&accuracy));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bases: Vec<(Vec<Vote>, Vote)> = Vec::with_capacity(base_patterns);
+    for _ in 0..base_patterns {
+        let y: Vote = if rng.gen::<bool>() { 1 } else { -1 };
+        let mut sig = vec![0 as Vote; n];
+        for s in sig.iter_mut() {
+            if rng.gen::<f64>() < propensity {
+                *s = if rng.gen::<f64>() < accuracy { y } else { -y };
+            }
+        }
+        bases.push((sig, y));
+    }
+    // Zipf-ish popularity: cumulative weights 1/(k+1).
+    let mut cum = Vec::with_capacity(base_patterns);
+    let mut total = 0.0f64;
+    for k in 0..base_patterns {
+        total += 1.0 / (k as f64 + 1.0);
+        cum.push(total);
+    }
+    let mut b = LabelMatrixBuilder::new(m, n);
+    let mut gold = Vec::with_capacity(m);
+    for i in 0..m {
+        let u = rng.gen::<f64>() * total;
+        let k = cum.partition_point(|&c| c < u).min(base_patterns - 1);
+        let (sig, y) = &bases[k];
+        gold.push(*y);
+        let perturb = if rng.gen::<f64>() < noise {
+            Some(rng.gen_range(0..n))
+        } else {
+            None
+        };
+        for (j, &v) in sig.iter().enumerate() {
+            let v = if perturb == Some(j) {
+                // Cycle abstain → +1 → −1 → abstain so the perturbed
+                // row is guaranteed to be a different signature.
+                match v {
+                    0 => 1,
+                    1 => -1,
+                    _ => 0,
+                }
+            } else {
+                v
+            };
+            b.set(i, j, v);
+        }
+    }
+    (b.build(), gold)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,5 +286,23 @@ mod tests {
         let b = independent_matrix(500, 5, 0.75, 0.1, 42);
         assert_eq!(a.0, b.0);
         assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn pattern_sparse_collapses_onto_few_signatures() {
+        let (lambda, gold) = pattern_sparse_matrix(20_000, 25, 50, 0.15, 0.75, 0.01, 7);
+        assert_eq!(lambda.num_points(), 20_000);
+        assert_eq!(gold.len(), 20_000);
+        let idx = snorkel_matrix::PatternIndex::build(&lambda);
+        assert!(
+            idx.dedup_ratio() > 20.0,
+            "dedup ratio {:.1} too low for a pattern-sparse corpus",
+            idx.dedup_ratio()
+        );
+        // Noise produces a long tail: strictly more patterns than bases.
+        assert!(idx.num_patterns() > 50);
+        // Deterministic.
+        let again = pattern_sparse_matrix(20_000, 25, 50, 0.15, 0.75, 0.01, 7);
+        assert_eq!(again.0, lambda);
     }
 }

@@ -118,6 +118,7 @@ impl RelationTask {
     pub fn label_matrix_with_lfs(&self, rows: &[usize], lf_indices: &[usize]) -> LabelMatrix {
         let full = self.label_matrix(rows);
         full.select_columns(lf_indices)
+            .expect("LF ablation indices must be in range")
     }
 
     /// Gold labels of a row subset.

@@ -5,13 +5,13 @@
 use std::time::{Duration, Instant};
 
 use snorkel_context::{CandidateId, Corpus};
-use snorkel_core::model::{GenerativeModel, LabelScheme, TrainConfig};
+use snorkel_core::model::{GenerativeModel, LabelScheme, Scaleout, TrainConfig, SCALEOUT_MIN_ROWS};
 use snorkel_core::optimizer::{
     advantage_upper_bound, choose_strategy, ModelingStrategy, OptimizerConfig,
 };
 use snorkel_core::vote::majority_vote;
 use snorkel_lf::{BoxedLf, LfExecutor};
-use snorkel_matrix::{LabelMatrix, MatrixDelta, Vote};
+use snorkel_matrix::{LabelMatrix, MatrixDelta, ShardedMatrix, Vote};
 
 use crate::cache::{CacheStats, LfResultCache};
 use crate::fingerprint::Fingerprint;
@@ -42,6 +42,13 @@ pub struct SessionConfig {
     pub warm_start: bool,
     /// Maximum cached columns (live suite columns are never evicted).
     pub cache_capacity: usize,
+    /// Scale-out execution for exact inference/training (see
+    /// [`Scaleout`]). When active, the session keeps the sharded pattern
+    /// index alive across refreshes and delta edits update only the
+    /// touched patterns — an appended candidate batch interns just the
+    /// new rows, a one-column edit re-signs just the rows that voted in
+    /// the old or new column.
+    pub scaleout: Scaleout,
 }
 
 impl Default for SessionConfig {
@@ -54,6 +61,7 @@ impl Default for SessionConfig {
             reuse_structure_on_column_edit: true,
             warm_start: true,
             cache_capacity: 256,
+            scaleout: Scaleout::Auto,
         }
     }
 }
@@ -118,6 +126,9 @@ pub struct RefreshReport {
     pub warm_started: bool,
     /// Generative-training iterations run (0 when MV was chosen).
     pub fit_epochs: usize,
+    /// Distinct vote patterns in the sharded scale-out plan (`None` when
+    /// the refresh ran row-wise).
+    pub unique_patterns: Option<usize>,
     /// Cumulative cache statistics.
     pub cache: CacheStats,
     /// Stage timings.
@@ -157,6 +168,9 @@ pub struct IncrementalSession {
     versions: std::collections::HashMap<String, u64>,
     cache: LfResultCache,
     lambda: Option<LabelMatrix>,
+    /// Sharded pattern index over `lambda`, maintained incrementally
+    /// across refreshes (None when scale-out is off or Λ is too small).
+    plan: Option<ShardedMatrix>,
     model: Option<GenerativeModel>,
     /// Fingerprint layout at the last refresh (column-aligned).
     last_fingerprints: Vec<Fingerprint>,
@@ -180,6 +194,7 @@ impl IncrementalSession {
             versions: std::collections::HashMap::new(),
             cache,
             lambda: None,
+            plan: None,
             model: None,
             last_fingerprints: Vec::new(),
             last_rows: 0,
@@ -237,6 +252,11 @@ impl IncrementalSession {
     /// The current generative model (when the last refresh trained one).
     pub fn model(&self) -> Option<&GenerativeModel> {
         self.model.as_ref()
+    }
+
+    /// The live sharded pattern plan (after a scale-out refresh).
+    pub fn pattern_plan(&self) -> Option<&ShardedMatrix> {
+        self.plan.as_ref()
     }
 
     /// Cumulative cache statistics.
@@ -462,6 +482,43 @@ impl IncrementalSession {
             self.lambda = Some(LabelMatrix::from_columns(m, cardinality, &cols));
             lambda_update = LambdaUpdate::Assembled;
         }
+        // Keep the sharded pattern plan in sync with Λ. Delta refreshes
+        // touch only the affected patterns: an appended batch interns
+        // just the new rows into the tail shard; a column splice
+        // re-signs just the rows that voted in the old or new column.
+        // Structural suite changes (and plan activation) rebuild.
+        let want_plan = match self.config.scaleout {
+            Scaleout::RowWise => false,
+            Scaleout::Sharded { .. } => true,
+            Scaleout::Auto => m >= SCALEOUT_MIN_ROWS,
+        };
+        let shard_count = match self.config.scaleout {
+            Scaleout::Sharded { shards } => shards,
+            _ => 0,
+        };
+        {
+            let lambda = self.lambda.as_ref().expect("Λ assembled above");
+            if !want_plan {
+                self.plan = None;
+            } else {
+                let rebuild = match (&mut self.plan, lambda_update) {
+                    (Some(plan), LambdaUpdate::Patched { .. }) => {
+                        if new_rows > 0 {
+                            plan.append_rows(lambda);
+                        }
+                        for &j in &changed_cols {
+                            plan.refresh_column(lambda, j);
+                        }
+                        false
+                    }
+                    (Some(_), LambdaUpdate::Unchanged) => false,
+                    _ => true,
+                };
+                if rebuild {
+                    self.plan = Some(ShardedMatrix::build(lambda, shard_count));
+                }
+            }
+        }
         let lambda = self.lambda.as_ref().expect("Λ assembled above");
         let assembly_time = t_asm.elapsed();
 
@@ -549,6 +606,19 @@ impl IncrementalSession {
                     .model
                     .as_ref()
                     .is_some_and(|prev| prev.scheme() == scheme);
+                // The session-level scale-out decision governs training:
+                // with a live plan, train and infer through it; without
+                // one, pin the model to the row-wise path so it does not
+                // rebuild a plan of its own every refresh.
+                let plan = self.plan.as_ref();
+                let train_cfg = if plan.is_some() {
+                    self.config.train.clone()
+                } else {
+                    TrainConfig {
+                        scaleout: Scaleout::RowWise,
+                        ..self.config.train.clone()
+                    }
+                };
                 let report = if self.config.warm_start && prev_compatible {
                     let prev = self.model.take().expect("prev_compatible checked");
                     if structural || prev.num_lfs() != n {
@@ -561,16 +631,30 @@ impl IncrementalSession {
                         let fresh: Vec<usize> = (0..n).filter(|&j| col_map[j].is_none()).collect();
                         let remapped = GenerativeModel::remapped_from(&prev, &col_map);
                         warm_started = true;
-                        gm.fit_warm(lambda, &self.config.train, &remapped, &fresh)
+                        match plan {
+                            Some(p) => gm.fit_warm_with(lambda, p, &train_cfg, &remapped, &fresh),
+                            None => gm.fit_warm(lambda, &train_cfg, &remapped, &fresh),
+                        }
                     } else {
                         warm_started = true;
-                        gm.fit_warm(lambda, &self.config.train, &prev, &changed_cols)
+                        match plan {
+                            Some(p) => {
+                                gm.fit_warm_with(lambda, p, &train_cfg, &prev, &changed_cols)
+                            }
+                            None => gm.fit_warm(lambda, &train_cfg, &prev, &changed_cols),
+                        }
                     }
                 } else {
-                    gm.fit(lambda, &self.config.train)
+                    match plan {
+                        Some(p) => gm.fit_with(lambda, p, &train_cfg),
+                        None => gm.fit(lambda, &train_cfg),
+                    }
                 };
                 fit_epochs = report.epochs;
-                let labels = gm.marginals(lambda);
+                let labels = match plan {
+                    Some(p) => gm.marginals_with(lambda, p),
+                    None => gm.marginals_rowwise(lambda),
+                };
                 self.model = Some(gm);
                 labels
             }
@@ -594,6 +678,7 @@ impl IncrementalSession {
             structure_reused,
             warm_started,
             fit_epochs,
+            unique_patterns: self.plan.as_ref().map(ShardedMatrix::num_patterns),
             cache: self.cache.stats(),
             timings: RefreshTimings {
                 lf_application: lf_time,

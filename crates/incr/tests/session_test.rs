@@ -349,3 +349,156 @@ fn acceptance_one_lf_edit_is_5x_faster_than_cold_pipeline() {
         "refresh speedup {speedup:.1}× (cold {cold_time:?} vs incremental {incr_time:?})"
     );
 }
+
+/// Scale-out integration: with a forced sharded plan, every refresh
+/// keeps the pattern index consistent with Λ through delta edits
+/// (column edit, candidate ingestion, LF removal), updating only the
+/// touched patterns — and labels still match a cold row-wise pipeline.
+#[test]
+fn sharded_session_keeps_pattern_plan_consistent() {
+    use snorkel_core::model::Scaleout;
+    use snorkel_matrix::PatternIndex;
+
+    let (corpus, ids) = build_corpus(400);
+    let (cold_corpus, _) = build_corpus(400);
+    let optimizer = OptimizerConfig {
+        skip_structure_search: true,
+        ..OptimizerConfig::default()
+    };
+    let mut session = IncrementalSession::new(
+        corpus,
+        SessionConfig {
+            optimizer: optimizer.clone(),
+            scaleout: Scaleout::Sharded { shards: 3 },
+            ..SessionConfig::default()
+        },
+    );
+    session.ingest_candidates(&ids);
+    let suite = |mods: &[u64]| -> Vec<BoxedLf> {
+        mods.iter()
+            .enumerate()
+            .map(|(j, &m)| {
+                lf(format!("lf_{j}"), move |x| {
+                    let len = x.sentence().text().len() as u64;
+                    if len.is_multiple_of(m) {
+                        1
+                    } else {
+                        -1
+                    }
+                })
+            })
+            .collect()
+    };
+    for f in suite(&[2, 3, 4, 5]) {
+        session.add_lf(f);
+    }
+
+    let check_plan = |session: &IncrementalSession| {
+        let lambda = session.label_matrix().expect("Λ built");
+        let plan = session.pattern_plan().expect("sharded plan forced on");
+        plan.validate(lambda).unwrap();
+        assert_eq!(plan.num_shards(), 3);
+        // Same per-shard pattern multiset as a fresh rebuild.
+        for shard in plan.shards() {
+            let fresh = PatternIndex::build_range(lambda, shard.start_row(), shard.row_range().end);
+            assert_eq!(shard.num_patterns(), fresh.num_patterns());
+        }
+    };
+
+    let (_, report) = session.refresh();
+    assert!(report.unique_patterns.is_some());
+    check_plan(&session);
+
+    // Column edit → refresh_column path.
+    session.edit_lf(lf("lf_1", |x| {
+        if x.sentence().text().len() % 7 == 0 {
+            1
+        } else {
+            0
+        }
+    }));
+    let (_, report) = session.refresh();
+    assert_eq!(
+        report.lambda_update,
+        LambdaUpdate::Patched {
+            columns_replaced: 1,
+            rows_appended: 0
+        }
+    );
+    check_plan(&session);
+
+    // Candidate ingestion → tail-shard extension path.
+    let new_ids: Vec<_> = {
+        let c = session.corpus_mut();
+        let doc = c.add_document("growth");
+        (0..60)
+            .map(|i| {
+                let text = format!("gamma{} links delta{}", i % 5, i % 3);
+                let s = c.add_sentence(doc, &text, tokenize(&text));
+                let a = c.add_span(s, 0, 1, Some("A"));
+                let b = c.add_span(s, 2, 3, Some("B"));
+                c.add_candidate(vec![a, b])
+            })
+            .collect()
+    };
+    session.ingest_candidates(&new_ids);
+    let (_, report) = session.refresh();
+    assert_eq!(
+        report.lambda_update,
+        LambdaUpdate::Patched {
+            columns_replaced: 0,
+            rows_appended: 60
+        }
+    );
+    check_plan(&session);
+
+    // Structural edit (LF removal) → plan rebuild.
+    session.remove_lf("lf_2");
+    let (labels, report) = session.refresh();
+    assert_eq!(report.lambda_update, LambdaUpdate::Assembled);
+    check_plan(&session);
+
+    // Equivalence with a cold, row-wise pipeline over the final suite.
+    let mut cold_suite = suite(&[2, 3, 4, 5]);
+    cold_suite.remove(2);
+    cold_suite[1] = lf("lf_1", |x| {
+        if x.sentence().text().len() % 7 == 0 {
+            1
+        } else {
+            0
+        }
+    });
+    let mut cold_corpus = cold_corpus;
+    let cold_ids: Vec<_> = {
+        let doc = cold_corpus.add_document("growth");
+        (0..60)
+            .map(|i| {
+                let text = format!("gamma{} links delta{}", i % 5, i % 3);
+                let s = cold_corpus.add_sentence(doc, &text, tokenize(&text));
+                let a = cold_corpus.add_span(s, 0, 1, Some("A"));
+                let b = cold_corpus.add_span(s, 2, 3, Some("B"));
+                cold_corpus.add_candidate(vec![a, b])
+            })
+            .collect()
+    };
+    let all_ids: Vec<_> = cold_corpus
+        .candidate_ids()
+        .filter(|id| session.candidates().contains(id) || cold_ids.contains(id))
+        .collect();
+    let pipeline = Pipeline::new(PipelineConfig {
+        optimizer,
+        ..PipelineConfig::default()
+    });
+    let (cold_labels, _) = pipeline.run(&cold_suite, &cold_corpus, &all_ids);
+    assert_eq!(labels.len(), cold_labels.len());
+    let mut gap = 0.0f64;
+    for (a, b) in labels.iter().zip(&cold_labels) {
+        for (pa, pb) in a.iter().zip(b) {
+            gap = gap.max((pa - pb).abs());
+        }
+    }
+    assert!(
+        gap < 1e-9,
+        "sharded session diverged from cold pipeline by {gap:e}"
+    );
+}

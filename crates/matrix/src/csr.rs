@@ -7,6 +7,41 @@ pub type Vote = i8;
 /// The abstain vote.
 pub const ABSTAIN: Vote = 0;
 
+/// Error from [`LabelMatrix::select_rows`] / [`LabelMatrix::select_columns`]
+/// when an index is out of range for the matrix's shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SelectError {
+    /// A requested row index is ≥ the number of data points.
+    RowOutOfRange {
+        /// The offending row index.
+        index: usize,
+        /// The matrix's row count.
+        num_points: usize,
+    },
+    /// A requested column index is ≥ the number of LFs.
+    ColumnOutOfRange {
+        /// The offending column index.
+        index: usize,
+        /// The matrix's column count.
+        num_lfs: usize,
+    },
+}
+
+impl std::fmt::Display for SelectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SelectError::RowOutOfRange { index, num_points } => {
+                write!(f, "row {index} out of range ({num_points} points)")
+            }
+            SelectError::ColumnOutOfRange { index, num_lfs } => {
+                write!(f, "col {index} out of range ({num_lfs} LFs)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SelectError {}
+
 /// Sparse label matrix `Λ` with `m` data-point rows and `n` LF columns.
 ///
 /// Immutable once built; construct through [`LabelMatrixBuilder`]. Row
@@ -112,8 +147,16 @@ impl LabelMatrix {
     }
 
     /// Restrict to a subset of rows (e.g. the dev split), preserving
-    /// column count and cardinality. Row order follows `rows`.
-    pub fn select_rows(&self, rows: &[usize]) -> LabelMatrix {
+    /// column count and cardinality. Row order follows `rows`. Every
+    /// index is validated up front: an out-of-range row returns
+    /// [`SelectError::RowOutOfRange`] instead of a corrupt subset.
+    pub fn select_rows(&self, rows: &[usize]) -> Result<LabelMatrix, SelectError> {
+        if let Some(&bad) = rows.iter().find(|&&i| i >= self.m) {
+            return Err(SelectError::RowOutOfRange {
+                index: bad,
+                num_points: self.m,
+            });
+        }
         let mut b = LabelMatrixBuilder::with_cardinality(rows.len(), self.n, self.cardinality);
         for (new_i, &old_i) in rows.iter().enumerate() {
             let (cols, votes) = self.row(old_i);
@@ -121,12 +164,20 @@ impl LabelMatrix {
                 b.set(new_i, c as usize, v);
             }
         }
-        b.build()
+        Ok(b.build())
     }
 
     /// Restrict to a subset of LF columns (ablation studies). Column
-    /// order follows `cols`.
-    pub fn select_columns(&self, cols: &[usize]) -> LabelMatrix {
+    /// order follows `cols`. Every index is validated up front: an
+    /// out-of-range column returns [`SelectError::ColumnOutOfRange`]
+    /// instead of silently vanishing from the subset.
+    pub fn select_columns(&self, cols: &[usize]) -> Result<LabelMatrix, SelectError> {
+        if let Some(&bad) = cols.iter().find(|&&j| j >= self.n) {
+            return Err(SelectError::ColumnOutOfRange {
+                index: bad,
+                num_lfs: self.n,
+            });
+        }
         let remap: std::collections::HashMap<usize, usize> = cols
             .iter()
             .enumerate()
@@ -138,7 +189,7 @@ impl LabelMatrix {
                 b.set(i, nj, v);
             }
         }
-        b.build()
+        Ok(b.build())
     }
 }
 
@@ -306,7 +357,7 @@ mod tests {
     #[test]
     fn select_rows_subsets() {
         let m = sample();
-        let sub = m.select_rows(&[3, 0]);
+        let sub = m.select_rows(&[3, 0]).unwrap();
         assert_eq!(sub.num_points(), 2);
         assert_eq!(sub.get(0, 1), -1); // old row 3
         assert_eq!(sub.get(1, 0), 1); // old row 0
@@ -315,10 +366,46 @@ mod tests {
     #[test]
     fn select_columns_subsets() {
         let m = sample();
-        let sub = m.select_columns(&[2, 0]);
+        let sub = m.select_columns(&[2, 0]).unwrap();
         assert_eq!(sub.num_lfs(), 2);
         assert_eq!(sub.get(0, 0), -1); // old col 2
         assert_eq!(sub.get(0, 1), 1); // old col 0
+    }
+
+    #[test]
+    fn select_rows_rejects_out_of_range() {
+        let m = sample();
+        assert_eq!(
+            m.select_rows(&[0, 4]),
+            Err(SelectError::RowOutOfRange {
+                index: 4,
+                num_points: 4
+            })
+        );
+        // Empty selections of an empty matrix still succeed.
+        let empty = LabelMatrixBuilder::new(0, 0).build();
+        assert!(empty.select_rows(&[]).is_ok());
+        assert_eq!(
+            empty.select_rows(&[0]),
+            Err(SelectError::RowOutOfRange {
+                index: 0,
+                num_points: 0
+            })
+        );
+    }
+
+    #[test]
+    fn select_columns_rejects_out_of_range() {
+        let m = sample();
+        let err = m.select_columns(&[1, 3]).unwrap_err();
+        assert_eq!(
+            err,
+            SelectError::ColumnOutOfRange {
+                index: 3,
+                num_lfs: 3
+            }
+        );
+        assert!(err.to_string().contains("col 3 out of range"));
     }
 
     #[test]

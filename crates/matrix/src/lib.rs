@@ -20,6 +20,12 @@
 //! row-batch appends that are bit-identical to a full rebuild — the storage
 //! substrate of the `snorkel-incr` incremental engine.
 //!
+//! For scale-out inference over millions of candidates, rows can be
+//! **deduplicated by vote signature** ([`PatternIndex`]) and partitioned
+//! into deterministic row-range shards ([`ShardedMatrix`]) so model
+//! passes run once per unique pattern, weighted by multiplicity, instead
+//! of once per row.
+//!
 //! ```
 //! use snorkel_matrix::LabelMatrixBuilder;
 //!
@@ -37,8 +43,12 @@
 
 mod csr;
 mod delta;
+mod pattern;
+mod shard;
 pub mod stats;
 
-pub use csr::{LabelMatrix, LabelMatrixBuilder, Vote, ABSTAIN};
+pub use csr::{LabelMatrix, LabelMatrixBuilder, SelectError, Vote, ABSTAIN};
 pub use delta::MatrixDelta;
+pub use pattern::PatternIndex;
+pub use shard::ShardedMatrix;
 pub use stats::{LfSummary, MatrixStats};

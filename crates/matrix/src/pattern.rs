@@ -1,0 +1,488 @@
+//! Vote-pattern deduplication: grouping label-matrix rows by signature.
+//!
+//! At deployment scale (Snorkel DryBell: huge unlabeled corpora, a
+//! handful of LFs) the posterior of the generative model depends only on
+//! a row's vote signature `(cols, votes)` — millions of rows collapse
+//! onto a few thousand distinct patterns. A [`PatternIndex`] groups the
+//! rows of a [`LabelMatrix`] by unique signature in a single hash-consed
+//! pass, recording each pattern's **multiplicity**, so inference and the
+//! EM/Newton sufficient statistics can run once per *pattern* (weighted
+//! by multiplicity) instead of once per *row*.
+//!
+//! The index is **incrementally maintainable** alongside
+//! [`MatrixDelta`](crate::MatrixDelta) edits:
+//!
+//! * [`PatternIndex::extend_to`] interns newly appended rows only;
+//! * [`PatternIndex::refresh_column`] re-signs exactly the rows whose
+//!   signature a column splice could have changed (rows that voted in
+//!   the old column or vote in the new one);
+//! * [`PatternIndex::resign_rows`] is the generic "these rows changed"
+//!   primitive;
+//! * structural edits that shift column indices (column removal) need a
+//!   [`PatternIndex::rebuild`] — every surviving signature changes.
+//!
+//! Pattern numbering is first-occurrence order within the covered row
+//! range, so a freshly built index is deterministic; incremental
+//! maintenance may leave zero-count tombstones (compacted automatically)
+//! and number late-appearing patterns differently, but the row →
+//! signature mapping and the multiplicity of every signature always
+//! match a fresh rebuild — [`PatternIndex::validate`] checks exactly
+//! that invariant against the backing matrix.
+
+use std::collections::HashMap;
+
+use crate::csr::{LabelMatrix, Vote};
+
+/// Hash of one row signature (the hash-consing key; collisions are
+/// resolved by full slice comparison, so the hash only needs to spread
+/// well). An FxHash-style rotate-xor-multiply over the packed
+/// `(col, vote)` words: index construction is hash-bound at the
+/// million-row scale, and SipHash's per-call overhead tripled the build
+/// cost for no benefit here (no untrusted-key DoS surface — the table
+/// is process-local and rebuilt per matrix).
+fn sig_hash(cols: &[u32], votes: &[Vote]) -> u64 {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    let mut h = cols.len() as u64;
+    for (&c, &v) in cols.iter().zip(votes) {
+        let word = ((c as u64) << 8) | (v as u8 as u64);
+        h = (h.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+    h
+}
+
+/// Groups the rows of one [`LabelMatrix`] row range by unique vote
+/// signature, with multiplicity counts. See the module docs.
+#[derive(Clone, Debug)]
+pub struct PatternIndex {
+    /// First matrix row this index covers.
+    start: usize,
+    /// Signature arena: concatenated column indices of every interned
+    /// pattern.
+    sig_cols: Vec<u32>,
+    /// Signature arena: votes, parallel to `sig_cols`.
+    sig_votes: Vec<Vote>,
+    /// Per-pattern `(offset, len)` into the arenas.
+    pat_bounds: Vec<(usize, usize)>,
+    /// Rows currently carrying each pattern (0 = tombstone).
+    counts: Vec<usize>,
+    /// Local row → pattern id.
+    row_pattern: Vec<u32>,
+    /// Signature hash → candidate pattern ids.
+    lookup: HashMap<u64, Vec<u32>>,
+    /// Number of patterns with a non-zero count.
+    live: usize,
+}
+
+impl PatternIndex {
+    /// Index every row of `lambda` in one pass.
+    pub fn build(lambda: &LabelMatrix) -> Self {
+        Self::build_range(lambda, 0, lambda.num_points())
+    }
+
+    /// Index rows `start..end` of `lambda` (a shard's slice).
+    pub fn build_range(lambda: &LabelMatrix, start: usize, end: usize) -> Self {
+        assert!(
+            start <= end && end <= lambda.num_points(),
+            "range {start}..{end} out of bounds ({} points)",
+            lambda.num_points()
+        );
+        let mut idx = PatternIndex {
+            start,
+            sig_cols: Vec::new(),
+            sig_votes: Vec::new(),
+            pat_bounds: Vec::new(),
+            counts: Vec::new(),
+            row_pattern: Vec::with_capacity(end - start),
+            lookup: HashMap::new(),
+            live: 0,
+        };
+        idx.extend_to(lambda, end);
+        idx
+    }
+
+    /// First matrix row this index covers.
+    pub fn start_row(&self) -> usize {
+        self.start
+    }
+
+    /// The covered row range of the backing matrix.
+    pub fn row_range(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.row_pattern.len()
+    }
+
+    /// Number of rows covered.
+    pub fn num_rows(&self) -> usize {
+        self.row_pattern.len()
+    }
+
+    /// Number of distinct signatures currently present (tombstones
+    /// excluded).
+    pub fn num_patterns(&self) -> usize {
+        self.live
+    }
+
+    /// Rows per distinct pattern — the factor row-wise work shrinks by
+    /// when run per-pattern. 1.0 when every row is unique (dedup loses
+    /// to its own bookkeeping there); `num_rows` when all rows agree.
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.live == 0 {
+            1.0
+        } else {
+            self.row_pattern.len() as f64 / self.live as f64
+        }
+    }
+
+    /// Signature of pattern `p` as `(cols, votes)` slices.
+    pub fn pattern(&self, p: usize) -> (&[u32], &[Vote]) {
+        let (off, len) = self.pat_bounds[p];
+        (
+            &self.sig_cols[off..off + len],
+            &self.sig_votes[off..off + len],
+        )
+    }
+
+    /// Multiplicity of pattern `p` (0 for tombstones).
+    pub fn count(&self, p: usize) -> usize {
+        self.counts[p]
+    }
+
+    /// Pattern id of a (global) matrix row in the covered range.
+    pub fn pattern_of_row(&self, row: usize) -> usize {
+        self.row_pattern[row - self.start] as usize
+    }
+
+    /// Total pattern slots including tombstones — the valid id range for
+    /// [`Self::pattern`] / [`Self::count`].
+    pub fn num_slots(&self) -> usize {
+        self.pat_bounds.len()
+    }
+
+    /// Iterate the live patterns in id order as
+    /// `(pattern_id, cols, votes, multiplicity)`.
+    pub fn live_patterns(&self) -> impl Iterator<Item = (usize, &[u32], &[Vote], usize)> + '_ {
+        self.pat_bounds
+            .iter()
+            .zip(&self.counts)
+            .enumerate()
+            .filter(|(_, (_, &c))| c > 0)
+            .map(move |(p, (&(off, len), &c))| {
+                (
+                    p,
+                    &self.sig_cols[off..off + len],
+                    &self.sig_votes[off..off + len],
+                    c,
+                )
+            })
+    }
+
+    /// Intern a signature, returning its pattern id (count untouched).
+    fn intern(&mut self, cols: &[u32], votes: &[Vote]) -> u32 {
+        let h = sig_hash(cols, votes);
+        if let Some(cands) = self.lookup.get(&h) {
+            for &p in cands {
+                if self.pattern(p as usize) == (cols, votes) {
+                    return p;
+                }
+            }
+        }
+        let p = self.pat_bounds.len() as u32;
+        let off = self.sig_cols.len();
+        self.sig_cols.extend_from_slice(cols);
+        self.sig_votes.extend_from_slice(votes);
+        self.pat_bounds.push((off, cols.len()));
+        self.counts.push(0);
+        self.lookup.entry(h).or_default().push(p);
+        p
+    }
+
+    fn add_to_pattern(&mut self, p: u32) {
+        self.counts[p as usize] += 1;
+        if self.counts[p as usize] == 1 {
+            self.live += 1;
+        }
+    }
+
+    /// Intern rows `covered_end..new_end` (a freshly appended row batch).
+    /// The tail shard calls this after a
+    /// [`MatrixDelta::AppendRows`](crate::MatrixDelta::AppendRows).
+    pub fn extend_to(&mut self, lambda: &LabelMatrix, new_end: usize) {
+        let covered_end = self.start + self.row_pattern.len();
+        assert!(
+            (self.start..=lambda.num_points()).contains(&new_end) && new_end >= covered_end,
+            "extend_to({new_end}) out of bounds (covered {covered_end}, {} points)",
+            lambda.num_points()
+        );
+        for r in covered_end..new_end {
+            let (cols, votes) = lambda.row(r);
+            let p = self.intern(cols, votes);
+            self.add_to_pattern(p);
+            self.row_pattern.push(p);
+        }
+    }
+
+    /// Re-sign the given (global, in-range) rows against the current
+    /// matrix contents: the generic "these rows changed" primitive.
+    pub fn resign_rows(&mut self, lambda: &LabelMatrix, rows: &[usize]) {
+        for &r in rows {
+            let local = r - self.start;
+            let old = self.row_pattern[local] as usize;
+            self.counts[old] -= 1;
+            if self.counts[old] == 0 {
+                self.live -= 1;
+            }
+            let (cols, votes) = lambda.row(r);
+            let p = self.intern(cols, votes);
+            self.add_to_pattern(p);
+            self.row_pattern[local] = p;
+        }
+        self.maybe_compact();
+    }
+
+    /// Update the index after column `col` of the backing matrix was
+    /// replaced or appended: exactly the rows that voted in the old
+    /// column (known from the stored signatures) or vote in the new one
+    /// (read from the patched matrix) are re-signed; every other row's
+    /// signature is untouched.
+    ///
+    /// Not valid after a column *removal* — deleting a column shifts
+    /// every higher column index, changing signatures the edited column
+    /// never appeared in; use [`Self::rebuild`] there.
+    pub fn refresh_column(&mut self, lambda: &LabelMatrix, col: usize) {
+        let jc = col as u32;
+        let pat_has: Vec<bool> = (0..self.pat_bounds.len())
+            .map(|p| self.pattern(p).0.binary_search(&jc).is_ok())
+            .collect();
+        let mut affected = Vec::new();
+        for (local, &p) in self.row_pattern.iter().enumerate() {
+            let r = self.start + local;
+            if pat_has[p as usize] || lambda.row(r).0.binary_search(&jc).is_ok() {
+                affected.push(r);
+            }
+        }
+        self.resign_rows(lambda, &affected);
+    }
+
+    /// Rebuild from scratch over the same row range, extended/truncated
+    /// to the matrix's current row count if this was the tail range.
+    pub fn rebuild(&mut self, lambda: &LabelMatrix, end: usize) {
+        *self = PatternIndex::build_range(lambda, self.start, end);
+    }
+
+    /// Drop tombstoned patterns once they dominate the slot table,
+    /// renumbering the survivors in id order.
+    fn maybe_compact(&mut self) {
+        if self.pat_bounds.len() <= 2 * self.live + 16 {
+            return;
+        }
+        let mut remap = vec![u32::MAX; self.pat_bounds.len()];
+        let mut sig_cols = Vec::with_capacity(self.sig_cols.len());
+        let mut sig_votes = Vec::with_capacity(self.sig_votes.len());
+        let mut pat_bounds = Vec::with_capacity(self.live);
+        let mut counts = Vec::with_capacity(self.live);
+        let mut lookup: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (p, &count) in self.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let (cols, votes) = self.pattern(p);
+            let new_id = pat_bounds.len() as u32;
+            remap[p] = new_id;
+            let off = sig_cols.len();
+            sig_cols.extend_from_slice(cols);
+            sig_votes.extend_from_slice(votes);
+            lookup
+                .entry(sig_hash(cols, votes))
+                .or_default()
+                .push(new_id);
+            pat_bounds.push((off, cols.len()));
+            counts.push(count);
+        }
+        for p in self.row_pattern.iter_mut() {
+            *p = remap[*p as usize];
+        }
+        self.sig_cols = sig_cols;
+        self.sig_votes = sig_votes;
+        self.pat_bounds = pat_bounds;
+        self.counts = counts;
+        self.lookup = lookup;
+    }
+
+    /// Check every invariant against the backing matrix: each covered
+    /// row's stored signature equals its matrix row, multiplicities
+    /// equal the actual row→pattern histogram, counts sum to the row
+    /// count, and `num_patterns` counts exactly the non-tombstones.
+    /// Returns a description of the first violation.
+    pub fn validate(&self, lambda: &LabelMatrix) -> Result<(), String> {
+        if self.start + self.row_pattern.len() > lambda.num_points() {
+            return Err(format!(
+                "index covers {}..{} but matrix has {} points",
+                self.start,
+                self.start + self.row_pattern.len(),
+                lambda.num_points()
+            ));
+        }
+        let mut hist = vec![0usize; self.pat_bounds.len()];
+        for (local, &p) in self.row_pattern.iter().enumerate() {
+            let r = self.start + local;
+            if self.pattern(p as usize) != lambda.row(r) {
+                return Err(format!("row {r}: stored signature != matrix row"));
+            }
+            hist[p as usize] += 1;
+        }
+        if hist != self.counts {
+            return Err("multiplicity counts drifted from the row histogram".into());
+        }
+        let live = self.counts.iter().filter(|&&c| c > 0).count();
+        if live != self.live {
+            return Err(format!("live count {} != actual {live}", self.live));
+        }
+        // No duplicate live signatures (hash-consing must have merged).
+        let mut seen = HashMap::new();
+        for (p, cols, votes, _) in self.live_patterns() {
+            if let Some(prev) = seen.insert((cols.to_vec(), votes.to_vec()), p) {
+                return Err(format!("patterns {prev} and {p} share a signature"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::LabelMatrixBuilder;
+    use crate::MatrixDelta;
+
+    fn sample() -> LabelMatrix {
+        // Rows: [1,-1,_], [_,_,_], [1,-1,_], [_,1,_], [1,-1,_], [_,_,_]
+        let mut b = LabelMatrixBuilder::new(6, 3);
+        for i in [0, 2, 4] {
+            b.set(i, 0, 1);
+            b.set(i, 1, -1);
+        }
+        b.set(3, 1, 1);
+        b.build()
+    }
+
+    #[test]
+    fn build_groups_identical_rows() {
+        let lambda = sample();
+        let idx = PatternIndex::build(&lambda);
+        idx.validate(&lambda).unwrap();
+        assert_eq!(idx.num_rows(), 6);
+        assert_eq!(idx.num_patterns(), 3); // {1,-1}, {}, {·,1}
+        assert_eq!(idx.count(idx.pattern_of_row(0)), 3);
+        assert_eq!(idx.count(idx.pattern_of_row(1)), 2);
+        assert_eq!(idx.count(idx.pattern_of_row(3)), 1);
+        assert!((idx.dedup_ratio() - 2.0).abs() < 1e-12);
+        // First-occurrence numbering.
+        assert_eq!(idx.pattern_of_row(0), 0);
+        assert_eq!(idx.pattern_of_row(1), 1);
+        assert_eq!(idx.pattern_of_row(3), 2);
+    }
+
+    #[test]
+    fn range_build_covers_a_shard() {
+        let lambda = sample();
+        let idx = PatternIndex::build_range(&lambda, 2, 5);
+        idx.validate(&lambda).unwrap();
+        assert_eq!(idx.row_range(), 2..5);
+        assert_eq!(idx.num_rows(), 3);
+        assert_eq!(idx.num_patterns(), 2);
+        assert_eq!(idx.pattern_of_row(2), idx.pattern_of_row(4));
+    }
+
+    #[test]
+    fn extend_after_row_append() {
+        let mut lambda = sample();
+        let mut idx = PatternIndex::build(&lambda);
+        lambda.apply_delta(&MatrixDelta::AppendRows {
+            rows: vec![vec![(0, 1), (1, -1)], vec![(2, 1)]],
+        });
+        idx.extend_to(&lambda, lambda.num_points());
+        idx.validate(&lambda).unwrap();
+        assert_eq!(idx.num_rows(), 8);
+        assert_eq!(idx.count(idx.pattern_of_row(6)), 4); // joins {1,-1}
+        assert_eq!(idx.num_patterns(), 4); // {·,·,1} is new
+    }
+
+    #[test]
+    fn refresh_column_resigns_only_touched_rows() {
+        let mut lambda = sample();
+        let mut idx = PatternIndex::build(&lambda);
+        // Replace column 1: now only row 0 votes there.
+        lambda.apply_delta(&MatrixDelta::ReplaceColumn {
+            col: 1,
+            entries: vec![(0, 1)],
+        });
+        idx.refresh_column(&lambda, 1);
+        idx.validate(&lambda).unwrap();
+        let fresh = PatternIndex::build(&lambda);
+        assert_eq!(idx.num_patterns(), fresh.num_patterns());
+        for r in 0..lambda.num_points() {
+            assert_eq!(
+                idx.pattern(idx.pattern_of_row(r)),
+                fresh.pattern(fresh.pattern_of_row(r)),
+                "row {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn refresh_column_handles_appended_column() {
+        let mut lambda = sample();
+        let mut idx = PatternIndex::build(&lambda);
+        lambda.apply_delta(&MatrixDelta::AppendColumn {
+            entries: vec![(1, 1), (4, -1)],
+        });
+        idx.refresh_column(&lambda, 3);
+        idx.validate(&lambda).unwrap();
+    }
+
+    #[test]
+    fn rebuild_after_column_removal() {
+        let mut lambda = sample();
+        let mut idx = PatternIndex::build(&lambda);
+        lambda.apply_delta(&MatrixDelta::RemoveColumn { col: 0 });
+        idx.rebuild(&lambda, lambda.num_points());
+        idx.validate(&lambda).unwrap();
+        assert_eq!(idx.num_rows(), 6);
+    }
+
+    #[test]
+    fn tombstones_compact_away() {
+        // Churn one row through many distinct signatures.
+        let mut b = LabelMatrixBuilder::new(40, 2);
+        for i in 0..40 {
+            b.set(i, 0, 1);
+        }
+        let mut lambda = b.build();
+        let mut idx = PatternIndex::build(&lambda);
+        assert_eq!(idx.num_patterns(), 1);
+        for round in 0..60u32 {
+            let v = if round % 2 == 0 { 1 } else { -1 };
+            let entries: Vec<(u32, Vote)> = (0..=(round % 37)).map(|r| (r, v)).collect();
+            lambda.replace_column(1, &entries);
+            idx.refresh_column(&lambda, 1);
+        }
+        idx.validate(&lambda).unwrap();
+        assert!(
+            idx.num_slots() <= 2 * idx.num_patterns() + 16,
+            "tombstones kept: {} slots for {} live",
+            idx.num_slots(),
+            idx.num_patterns()
+        );
+    }
+
+    #[test]
+    fn empty_matrix_and_empty_range() {
+        let lambda = LabelMatrixBuilder::new(0, 3).build();
+        let idx = PatternIndex::build(&lambda);
+        idx.validate(&lambda).unwrap();
+        assert_eq!(idx.num_patterns(), 0);
+        assert_eq!(idx.dedup_ratio(), 1.0);
+        let lambda = sample();
+        let idx = PatternIndex::build_range(&lambda, 3, 3);
+        assert_eq!(idx.num_rows(), 0);
+    }
+}

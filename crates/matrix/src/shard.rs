@@ -1,0 +1,307 @@
+//! Sharded execution over a label matrix: contiguous row-range shards,
+//! each with its own [`PatternIndex`], mapped across worker threads and
+//! merged **in shard order**.
+//!
+//! The shard partition is fixed when the plan is built (`ceil(m /
+//! shards)` rows each) and never depends on how many worker threads end
+//! up running, so any reduction that merges per-shard results in shard
+//! index order is deterministic regardless of thread count — the same
+//! contract as [`LfExecutor`](../snorkel_lf/struct.LfExecutor.html)'s
+//! chunked LF application. Appended row batches extend the *tail* shard
+//! (rebalancing the partition once the tail outgrows its fair share),
+//! and column splices re-sign only the touched patterns of each shard.
+
+use crate::csr::LabelMatrix;
+use crate::pattern::PatternIndex;
+
+/// A label matrix partitioned into row-range shards with per-shard
+/// pattern indexes. Built against one matrix and kept in sync with it by
+/// the caller (see the update methods); every consumer asserts the shape
+/// still matches.
+#[derive(Clone, Debug)]
+pub struct ShardedMatrix {
+    n: usize,
+    shards: Vec<PatternIndex>,
+    workers: usize,
+}
+
+impl ShardedMatrix {
+    /// Partition `lambda` into `num_shards` contiguous row ranges and
+    /// index each. `num_shards == 0` means one shard per available core;
+    /// the count is clamped to the row count (min 1). Shards are built
+    /// in parallel; the result is identical for any worker count.
+    pub fn build(lambda: &LabelMatrix, num_shards: usize) -> Self {
+        let m = lambda.num_points();
+        let avail = std::thread::available_parallelism().map_or(1, |c| c.get());
+        let requested = if num_shards == 0 { avail } else { num_shards };
+        let count = requested.clamp(1, m.max(1));
+        let chunk = m.div_ceil(count);
+        let ranges: Vec<(usize, usize)> = (0..count)
+            .map(|s| ((s * chunk).min(m), ((s + 1) * chunk).min(m)))
+            .collect();
+        let workers = count.min(avail);
+        let shards = if workers <= 1 {
+            ranges
+                .iter()
+                .map(|&(lo, hi)| PatternIndex::build_range(lambda, lo, hi))
+                .collect()
+        } else {
+            let per = ranges.len().div_ceil(workers);
+            let mut out: Vec<PatternIndex> = Vec::with_capacity(count);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for batch in ranges.chunks(per) {
+                    handles.push(scope.spawn(move || {
+                        batch
+                            .iter()
+                            .map(|&(lo, hi)| PatternIndex::build_range(lambda, lo, hi))
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                for h in handles {
+                    out.extend(h.join().expect("shard indexing worker panicked"));
+                }
+            });
+            out
+        };
+        ShardedMatrix {
+            n: lambda.num_lfs(),
+            shards,
+            workers,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of LF columns of the matrix this plan was built for.
+    pub fn num_lfs(&self) -> usize {
+        self.n
+    }
+
+    /// Total rows covered across shards.
+    pub fn num_rows(&self) -> usize {
+        self.shards.iter().map(PatternIndex::num_rows).sum()
+    }
+
+    /// Total distinct patterns across shards (a signature present in two
+    /// shards counts twice — shards never share pattern ids).
+    pub fn num_patterns(&self) -> usize {
+        self.shards.iter().map(PatternIndex::num_patterns).sum()
+    }
+
+    /// Rows per distinct pattern, aggregated over shards.
+    pub fn dedup_ratio(&self) -> f64 {
+        let p = self.num_patterns();
+        if p == 0 {
+            1.0
+        } else {
+            self.num_rows() as f64 / p as f64
+        }
+    }
+
+    /// The per-shard pattern indexes, in row order.
+    pub fn shards(&self) -> &[PatternIndex] {
+        &self.shards
+    }
+
+    /// Map `f` over every shard, in parallel across the plan's workers,
+    /// returning results **in shard order** — merge them left to right
+    /// for a reduction that does not depend on thread count.
+    pub fn map_shards<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&PatternIndex) -> T + Sync,
+    {
+        let workers = self.workers.min(self.shards.len());
+        if workers <= 1 {
+            return self.shards.iter().map(f).collect();
+        }
+        let per = self.shards.len().div_ceil(workers);
+        let mut out: Vec<T> = Vec::with_capacity(self.shards.len());
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for batch in self.shards.chunks(per) {
+                handles.push(scope.spawn(move || batch.iter().map(f).collect::<Vec<_>>()));
+            }
+            for h in handles {
+                out.extend(h.join().expect("shard worker panicked"));
+            }
+        });
+        out
+    }
+
+    /// Absorb rows appended to the backing matrix: the tail shard
+    /// extends to the new row count, interning only the new rows. When
+    /// repeated appends leave the tail holding more than twice its fair
+    /// share of rows — which would bottleneck every `map_shards` pass on
+    /// one worker — the plan rebalances by rebuilding its partition at
+    /// the same shard count.
+    pub fn append_rows(&mut self, lambda: &LabelMatrix) {
+        let covered = self.num_rows();
+        let m = lambda.num_points();
+        assert!(
+            m >= covered,
+            "matrix shrank below the sharded plan ({m} < {covered} rows)"
+        );
+        let tail = self.shards.last_mut().expect("plans have ≥1 shard");
+        tail.extend_to(lambda, m);
+        let count = self.shards.len();
+        if count > 1 && self.shards[count - 1].num_rows() > 2 * m.div_ceil(count) {
+            *self = Self::build(lambda, count);
+        }
+    }
+
+    /// Absorb a column replace/append: each shard re-signs only its
+    /// touched rows (see [`PatternIndex::refresh_column`]). Not valid
+    /// after a column removal — rebuild instead.
+    pub fn refresh_column(&mut self, lambda: &LabelMatrix, col: usize) {
+        self.n = lambda.num_lfs();
+        for shard in self.shards.iter_mut() {
+            shard.refresh_column(lambda, col);
+        }
+    }
+
+    /// Validate shard contiguity, coverage of the whole matrix, and
+    /// every per-shard invariant. Returns the first violation.
+    pub fn validate(&self, lambda: &LabelMatrix) -> Result<(), String> {
+        if self.n != lambda.num_lfs() {
+            return Err(format!(
+                "plan built for {} LFs but matrix has {}",
+                self.n,
+                lambda.num_lfs()
+            ));
+        }
+        let mut next = 0usize;
+        for (s, shard) in self.shards.iter().enumerate() {
+            if shard.start_row() != next {
+                return Err(format!(
+                    "shard {s} starts at {} but previous shard ended at {next}",
+                    shard.start_row()
+                ));
+            }
+            next = shard.row_range().end;
+            shard
+                .validate(lambda)
+                .map_err(|e| format!("shard {s}: {e}"))?;
+        }
+        if next != lambda.num_points() {
+            return Err(format!(
+                "shards cover {next} rows but matrix has {}",
+                lambda.num_points()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::{LabelMatrixBuilder, Vote};
+    use crate::MatrixDelta;
+
+    fn sample(m: usize) -> LabelMatrix {
+        let mut b = LabelMatrixBuilder::new(m, 4);
+        for i in 0..m {
+            match i % 3 {
+                0 => {
+                    b.set(i, 0, 1);
+                    b.set(i, 2, -1);
+                }
+                1 => b.set(i, 1, 1),
+                _ => {}
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn partition_is_contiguous_and_valid() {
+        let lambda = sample(23);
+        for shards in [1, 2, 3, 7, 23, 40] {
+            let plan = ShardedMatrix::build(&lambda, shards);
+            plan.validate(&lambda).unwrap();
+            assert_eq!(plan.num_rows(), 23);
+            assert!(plan.num_shards() <= 23);
+            if shards <= 23 {
+                assert_eq!(plan.num_shards(), shards);
+            }
+        }
+        // 0 = all cores.
+        let plan = ShardedMatrix::build(&lambda, 0);
+        plan.validate(&lambda).unwrap();
+    }
+
+    #[test]
+    fn map_shards_returns_shard_order() {
+        let lambda = sample(30);
+        let plan = ShardedMatrix::build(&lambda, 4);
+        let starts = plan.map_shards(|idx| idx.start_row());
+        let expected: Vec<usize> = plan.shards().iter().map(|s| s.start_row()).collect();
+        assert_eq!(starts, expected);
+        assert!(starts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn append_rows_extends_tail_shard() {
+        let mut lambda = sample(10);
+        let mut plan = ShardedMatrix::build(&lambda, 3);
+        lambda.apply_delta(&MatrixDelta::AppendRows {
+            rows: vec![vec![(0, 1)], vec![], vec![(3, -1)]],
+        });
+        plan.append_rows(&lambda);
+        plan.validate(&lambda).unwrap();
+        assert_eq!(plan.num_rows(), 13);
+        assert_eq!(plan.num_shards(), 3);
+    }
+
+    #[test]
+    fn repeated_appends_rebalance_the_tail() {
+        let mut lambda = sample(30);
+        let mut plan = ShardedMatrix::build(&lambda, 3);
+        // Grow 30 → 300 rows in batches; without rebalancing the tail
+        // shard would hold 280 of 300 rows.
+        for _ in 0..9 {
+            let rows: Vec<Vec<(u32, Vote)>> = (0..30).map(|r| vec![(r % 4, 1)]).collect();
+            lambda.apply_delta(&MatrixDelta::AppendRows { rows });
+            plan.append_rows(&lambda);
+            plan.validate(&lambda).unwrap();
+        }
+        assert_eq!(plan.num_rows(), 300);
+        let fair = 300usize.div_ceil(plan.num_shards());
+        for shard in plan.shards() {
+            assert!(
+                shard.num_rows() <= 2 * fair,
+                "shard {}..{} holds {} rows (fair share {fair})",
+                shard.start_row(),
+                shard.row_range().end,
+                shard.num_rows()
+            );
+        }
+    }
+
+    #[test]
+    fn refresh_column_keeps_all_shards_consistent() {
+        let mut lambda = sample(17);
+        let mut plan = ShardedMatrix::build(&lambda, 4);
+        lambda.apply_delta(&MatrixDelta::ReplaceColumn {
+            col: 2,
+            entries: vec![(1, 1), (8, 1), (16, -1)],
+        });
+        plan.refresh_column(&lambda, 2);
+        plan.validate(&lambda).unwrap();
+    }
+
+    #[test]
+    fn empty_matrix_gets_one_empty_shard() {
+        let lambda = LabelMatrixBuilder::new(0, 2).build();
+        let plan = ShardedMatrix::build(&lambda, 0);
+        plan.validate(&lambda).unwrap();
+        assert_eq!(plan.num_shards(), 1);
+        assert_eq!(plan.num_patterns(), 0);
+    }
+}

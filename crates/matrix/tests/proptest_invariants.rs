@@ -5,7 +5,9 @@
 
 use proptest::prelude::*;
 use snorkel_matrix::stats::{class_balance, empirical_accuracies, matrix_stats};
-use snorkel_matrix::{LabelMatrix, LabelMatrixBuilder, Vote};
+use snorkel_matrix::{
+    LabelMatrix, LabelMatrixBuilder, MatrixDelta, PatternIndex, ShardedMatrix, Vote,
+};
 
 /// Generate a random binary label matrix as a dense grid, then build.
 fn matrix_strategy() -> impl Strategy<Value = (LabelMatrix, Vec<Vec<Vote>>)> {
@@ -49,7 +51,7 @@ proptest! {
     #[test]
     fn select_rows_preserves_content((lambda, grid) in matrix_strategy()) {
         let rows: Vec<usize> = (0..lambda.num_points()).step_by(2).collect();
-        let sub = lambda.select_rows(&rows);
+        let sub = lambda.select_rows(&rows).unwrap();
         prop_assert_eq!(sub.num_points(), rows.len());
         for (new_i, &old_i) in rows.iter().enumerate() {
             for j in 0..lambda.num_lfs() {
@@ -62,8 +64,8 @@ proptest! {
     fn select_columns_then_rows_commute((lambda, _) in matrix_strategy()) {
         let rows: Vec<usize> = (0..lambda.num_points()).filter(|i| i % 3 != 0).collect();
         let cols: Vec<usize> = (0..lambda.num_lfs()).rev().collect();
-        let a = lambda.select_rows(&rows).select_columns(&cols);
-        let b = lambda.select_columns(&cols).select_rows(&rows);
+        let a = lambda.select_rows(&rows).unwrap().select_columns(&cols).unwrap();
+        let b = lambda.select_columns(&cols).unwrap().select_rows(&rows).unwrap();
         prop_assert_eq!(a, b);
     }
 
@@ -112,6 +114,103 @@ proptest! {
         if !balance.is_empty() {
             let total: f64 = balance.values().sum();
             prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// A fresh pattern index satisfies its invariants and partitions the
+    /// rows exactly, at any shard count.
+    #[test]
+    fn pattern_index_groups_rows_exactly(
+        (lambda, grid) in matrix_strategy(),
+        shards in 0usize..5,
+    ) {
+        let idx = PatternIndex::build(&lambda);
+        idx.validate(&lambda).unwrap();
+        let total: usize = idx
+            .live_patterns()
+            .map(|(_, _, _, cnt)| cnt)
+            .sum();
+        prop_assert_eq!(total, grid.len());
+        // Two rows share a pattern iff their dense rows are equal.
+        for a in 0..grid.len() {
+            for b in (a + 1)..grid.len() {
+                prop_assert_eq!(
+                    idx.pattern_of_row(a) == idx.pattern_of_row(b),
+                    grid[a] == grid[b],
+                    "rows {} and {}", a, b
+                );
+            }
+        }
+        ShardedMatrix::build(&lambda, shards).validate(&lambda).unwrap();
+    }
+
+    /// Incremental maintenance over an arbitrary delta sequence keeps
+    /// the index equivalent to a fresh rebuild (same row→signature map,
+    /// same multiplicities — checked by `validate` + pattern count).
+    #[test]
+    fn pattern_index_survives_arbitrary_delta_sequences(
+        (lambda, _) in matrix_strategy(),
+        ops in prop::collection::vec((0u8..3, 0usize..64, prop::collection::vec((0usize..64, -1i8..=1), 0..10)), 1..6),
+        shards in 1usize..4,
+    ) {
+        let mut lambda = lambda;
+        let mut plan = ShardedMatrix::build(&lambda, shards);
+        for (kind, pick, entries) in ops {
+            match kind {
+                // Column replace.
+                0 => {
+                    let col = pick % lambda.num_lfs();
+                    let mut es: Vec<(u32, Vote)> = entries
+                        .iter()
+                        .filter(|&&(r, v)| r < lambda.num_points() && v != 0)
+                        .map(|&(r, v)| (r as u32, v))
+                        .collect();
+                    es.sort_by_key(|e| e.0);
+                    es.dedup_by_key(|e| e.0);
+                    lambda.apply_delta(&MatrixDelta::ReplaceColumn { col, entries: es });
+                    plan.refresh_column(&lambda, col);
+                }
+                // Row-batch append.
+                1 => {
+                    let n = lambda.num_lfs();
+                    let rows: Vec<Vec<(u32, Vote)>> = (0..(pick % 4))
+                        .map(|r| {
+                            let mut row: Vec<(u32, Vote)> = entries
+                                .iter()
+                                .filter(|&&(c, v)| c < n && v != 0 && (c + r) % 2 == 0)
+                                .map(|&(c, v)| (c as u32, v))
+                                .collect();
+                            row.sort_by_key(|e| e.0);
+                            row.dedup_by_key(|e| e.0);
+                            row
+                        })
+                        .collect();
+                    lambda.apply_delta(&MatrixDelta::AppendRows { rows });
+                    plan.append_rows(&lambda);
+                }
+                // Column append (touched rows only).
+                _ => {
+                    let mut es: Vec<(u32, Vote)> = entries
+                        .iter()
+                        .filter(|&&(r, v)| r < lambda.num_points() && v != 0)
+                        .map(|&(r, v)| (r as u32, v))
+                        .collect();
+                    es.sort_by_key(|e| e.0);
+                    es.dedup_by_key(|e| e.0);
+                    let new_col = lambda.num_lfs();
+                    lambda.apply_delta(&MatrixDelta::AppendColumn { entries: es });
+                    plan.refresh_column(&lambda, new_col);
+                }
+            }
+            plan.validate(&lambda).unwrap();
+            for shard in plan.shards() {
+                let fresh = PatternIndex::build_range(
+                    &lambda,
+                    shard.start_row(),
+                    shard.row_range().end,
+                );
+                prop_assert_eq!(shard.num_patterns(), fresh.num_patterns());
+            }
         }
     }
 }

@@ -2,12 +2,12 @@
 //! and adversarial inputs — empty matrices, all-abstain suites,
 //! adversarial LFs, single-class corpora, and duplicate-heavy suites.
 
-use snorkel::core::model::{ClassBalance, GenerativeModel, LabelScheme, TrainConfig};
+use snorkel::core::model::{ClassBalance, GenerativeModel, LabelScheme, Scaleout, TrainConfig};
 use snorkel::core::pipeline::{run_pipeline, Pipeline, PipelineConfig};
 use snorkel::core::structure::{learn_structure, StructureConfig};
 use snorkel::core::vote::majority_vote;
 use snorkel::datasets::synthetic::{heterogeneous_matrix, independent_matrix};
-use snorkel::matrix::LabelMatrixBuilder;
+use snorkel::matrix::{LabelMatrix, LabelMatrixBuilder, ShardedMatrix};
 
 #[test]
 fn empty_matrix_flows_through() {
@@ -136,6 +136,127 @@ fn class_balance_variants_all_train() {
         let prior = gm.implied_class_prior();
         assert!((prior.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
+}
+
+// ---------------------------------------------------------------------
+// Adversarial pattern shapes: the sharded scale-out path must degrade
+// *identically* to the dense (row-wise) path — same marginals bit for
+// bit under fixed weights, same optimum (≤1e-9) after fitting.
+// ---------------------------------------------------------------------
+
+/// Fit the same model through the row-wise and the sharded path and
+/// assert both degrade identically: fitted marginals within `1e-9`, and
+/// the sharded *inference* of the row-wise model bit-identical.
+fn assert_sharded_degrades_identically(lambda: &LabelMatrix, shards: usize) {
+    let scheme = LabelScheme::from_cardinality(lambda.cardinality());
+    // The convergence test's gradient threshold scales with the row
+    // count; on adversarial shapes with near-zero-coverage LFs the
+    // default tol leaves those LFs' weights loosely pinned, so drive
+    // both paths to the arithmetic noise floor before comparing.
+    let rw_cfg = TrainConfig {
+        scaleout: Scaleout::RowWise,
+        tol: 1e-15,
+        ..TrainConfig::default()
+    };
+    let sh_cfg = TrainConfig {
+        scaleout: Scaleout::Sharded { shards },
+        tol: 1e-15,
+        ..TrainConfig::default()
+    };
+    let mut dense = GenerativeModel::new(lambda.num_lfs(), scheme);
+    dense.fit(lambda, &rw_cfg);
+    let mut sharded = GenerativeModel::new(lambda.num_lfs(), scheme);
+    sharded.fit(lambda, &sh_cfg);
+
+    // Inference path: bit-identical under the same weights.
+    let plan = ShardedMatrix::build(lambda, shards);
+    let reference = dense.marginals_rowwise(lambda);
+    assert_eq!(
+        dense.marginals_with(lambda, &plan),
+        reference,
+        "sharded marginals must be bit-identical to the dense path"
+    );
+
+    // Training path: same optimum, and everything stays finite.
+    let fitted = sharded.marginals_rowwise(lambda);
+    for (r, (a, b)) in reference.iter().zip(&fitted).enumerate() {
+        for (pa, pb) in a.iter().zip(b) {
+            assert!(pa.is_finite() && pb.is_finite(), "row {r} not finite");
+            assert!(
+                (pa - pb).abs() < 1e-9,
+                "row {r}: dense {pa} vs sharded {pb}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_all_abstain_corpus_matches_dense() {
+    // 10k rows, not a single vote: exactly one (empty) pattern.
+    let lambda = LabelMatrixBuilder::new(10_000, 5).build();
+    let plan = ShardedMatrix::build(&lambda, 3);
+    assert_eq!(plan.num_patterns(), 3); // the empty pattern, once per shard
+    assert!(plan.dedup_ratio() > 3000.0);
+    assert_sharded_degrades_identically(&lambda, 3);
+}
+
+#[test]
+fn sharded_dominant_pattern_matches_dense() {
+    // One signature covers 99.9% of rows; the rest is a scattered tail.
+    // (Every LF keeps full coverage — the adversarial dimension here is
+    // the extreme multiplicity skew, not weak identification, which
+    // would leave the optimum genuinely under-determined on *both*
+    // paths.)
+    let m = 10_000;
+    let mut b = LabelMatrixBuilder::new(m, 4);
+    for i in 0..m {
+        if i % 1000 == 999 {
+            // 0.1% tail: two rare fully-conflicting signatures.
+            let flip: i8 = if i % 2000 == 999 { 1 } else { -1 };
+            b.set(i, 0, -flip);
+            b.set(i, 1, -1);
+            b.set(i, 2, flip);
+            b.set(i, 3, -1);
+        } else {
+            b.set(i, 0, 1);
+            b.set(i, 1, 1);
+            b.set(i, 2, -1);
+            b.set(i, 3, 1);
+        }
+    }
+    let lambda = b.build();
+    let plan = ShardedMatrix::build(&lambda, 4);
+    assert!(
+        plan.dedup_ratio() > 500.0,
+        "dominant pattern must dedup massively, got {:.1}",
+        plan.dedup_ratio()
+    );
+    assert_sharded_degrades_identically(&lambda, 4);
+}
+
+#[test]
+fn sharded_duplicate_lf_columns_match_dense() {
+    // 6 exact copies of one column + 2 independents: the degenerate
+    // suite must not behave differently under dedup.
+    let (base, _) = independent_matrix(2000, 3, 0.8, 0.5, 11);
+    let mut b = LabelMatrixBuilder::new(2000, 8);
+    for i in 0..2000 {
+        let (cols, votes) = base.row(i);
+        for (&c, &v) in cols.iter().zip(votes) {
+            if c == 0 {
+                for copy in 0..6 {
+                    b.set(i, copy, v);
+                }
+            } else {
+                b.set(i, 5 + c as usize, v);
+            }
+        }
+    }
+    let lambda = b.build();
+    assert_sharded_degrades_identically(&lambda, 2);
+    // Shard count 1 and 0 (= all cores) degrade identically too.
+    assert_sharded_degrades_identically(&lambda, 1);
+    assert_sharded_degrades_identically(&lambda, 0);
 }
 
 #[test]
