@@ -14,7 +14,7 @@
 //! `crates/incr/tests/session_test.rs`; this bench measures the actual
 //! ratio in release mode. Run with `cargo bench --bench incremental`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 
 use snorkel_core::optimizer::OptimizerConfig;
 use snorkel_core::pipeline::{Pipeline, PipelineConfig};
@@ -109,4 +109,86 @@ fn bench_incremental(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_cold_pipeline, bench_incremental);
-criterion_main!(benches);
+
+/// Explicit median timing of cold-pipeline vs one-LF-edit refresh, for
+/// the `BENCH_incremental.json` artifact and the CI regression floor
+/// (`SNORKEL_INCR_MIN_SPEEDUP`). Separate from the criterion groups so
+/// the recorded numbers come from one instrumented comparison instead of
+/// scraped output.
+fn measure_and_record() {
+    let iters = 3;
+    let task = cdr::build(TaskConfig {
+        num_candidates: CANDIDATES,
+        seed: 3,
+    });
+    let suite_source = cdr::build(TaskConfig {
+        num_candidates: CANDIDATES,
+        seed: 3,
+    });
+    let suite: Vec<BoxedLf> = suite_source.lfs.into_iter().take(N_LFS).collect();
+    let pipeline = Pipeline::new(PipelineConfig {
+        optimizer: optimizer(),
+        ..PipelineConfig::default()
+    });
+    let cold = median_secs(iters, || {
+        pipeline.run(&suite, &task.corpus, &task.candidates)
+    });
+
+    let mut session = IncrementalSession::new(
+        task.corpus.clone(),
+        SessionConfig {
+            optimizer: optimizer(),
+            ..SessionConfig::default()
+        },
+    );
+    session.ingest_candidates(&task.candidates);
+    let lf_source = cdr::build(TaskConfig {
+        num_candidates: CANDIDATES,
+        seed: 3,
+    });
+    for (j, f) in lf_source.lfs.into_iter().take(N_LFS).enumerate() {
+        session.add_lf_tagged(f, j as u64);
+    }
+    session.refresh(); // prime
+    let mut salt = 1000u64;
+    let refresh = median_secs(iters, || {
+        salt += 1;
+        session.edit_lf(refine(lf_number_10(), salt));
+        session.refresh()
+    });
+
+    let speedup = cold / refresh.max(1e-12);
+    println!(
+        "refresh-vs-cold: cold {:.1} ms, 1-LF-edit refresh {:.1} ms, speedup {speedup:.1}×",
+        cold * 1e3,
+        refresh * 1e3
+    );
+    snorkel_bench::report::emit(
+        "incremental",
+        &[
+            ("cold_pipeline_secs", cold),
+            ("refresh_secs", refresh),
+            ("refresh_vs_cold_speedup", speedup),
+            ("rows", CANDIDATES as f64),
+            ("lfs", N_LFS as f64),
+        ],
+    );
+    snorkel_bench::report::enforce_floor("SNORKEL_INCR_MIN_SPEEDUP", "refresh-vs-cold", speedup);
+}
+
+fn median_secs<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    benches();
+    measure_and_record();
+}

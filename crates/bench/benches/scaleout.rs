@@ -116,6 +116,28 @@ fn main() {
     let combined = (fit_rowwise + marg_rowwise).as_secs_f64()
         / (fit_sharded + marg_sharded).as_secs_f64().max(1e-12);
     println!("scaleout speedup: fit {s_fit:.1}×, marginals {s_marg:.1}×, combined {combined:.1}×");
+
+    snorkel_bench::report::emit(
+        "scaleout",
+        &[
+            ("rows", rows as f64),
+            ("lfs", lfs as f64),
+            ("unique_patterns", plan.num_patterns() as f64),
+            ("dedup_ratio", plan.dedup_ratio()),
+            ("fit_rowwise_secs", fit_rowwise.as_secs_f64()),
+            ("fit_sharded_secs", fit_sharded.as_secs_f64()),
+            ("marginals_rowwise_secs", marg_rowwise.as_secs_f64()),
+            ("marginals_sharded_secs", marg_sharded.as_secs_f64()),
+            ("fit_speedup", s_fit),
+            ("marginals_speedup", s_marg),
+            ("combined_speedup", combined),
+        ],
+    );
+    snorkel_bench::report::enforce_floor(
+        "SNORKEL_SCALEOUT_MIN_SPEEDUP",
+        "dedup-vs-rowwise combined",
+        combined,
+    );
 }
 
 fn check_identical(gm: &GenerativeModel, lambda: &LabelMatrix, plan: &ShardedMatrix) {

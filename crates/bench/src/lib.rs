@@ -15,6 +15,7 @@
 #![allow(clippy::too_many_arguments)]
 
 pub mod experiments;
+pub mod report;
 
 use snorkel_core::model::{ClassBalance, GenerativeModel, LabelScheme, TrainConfig};
 use snorkel_core::optimizer::OptimizerConfig;

@@ -1,0 +1,57 @@
+//! Bench-result artifacts and regression floors.
+//!
+//! CI runs the smoke benches on every push; these helpers make the
+//! numbers durable and enforceable:
+//!
+//! * [`emit`] writes `BENCH_<name>.json` into `$SNORKEL_BENCH_JSON_DIR`
+//!   (no-op when unset) — the artifact CI uploads, starting the bench
+//!   trajectory record.
+//! * [`enforce_floor`] reads a floor from an env var and exits non-zero
+//!   when a measured speedup regresses below it — the gate that keeps
+//!   "incremental beats cold" and "dedup beats row-wise" true claims.
+
+use std::io::Write;
+
+/// Write `BENCH_<name>.json` with the given numeric fields (plus a
+/// `"name"` field) into the directory named by `SNORKEL_BENCH_JSON_DIR`.
+/// Does nothing when the variable is unset; panics on I/O failure (CI
+/// must notice a missing artifact).
+pub fn emit(name: &str, fields: &[(&str, f64)]) {
+    let Ok(dir) = std::env::var("SNORKEL_BENCH_JSON_DIR") else {
+        return;
+    };
+    let dir = std::path::PathBuf::from(dir);
+    std::fs::create_dir_all(&dir).expect("create bench JSON dir");
+    let mut body = String::from("{");
+    body.push_str(&format!("\"name\":\"{name}\""));
+    for (key, value) in fields {
+        // JSON has no NaN/Inf; clamp to null for robustness.
+        if value.is_finite() {
+            body.push_str(&format!(",\"{key}\":{value}"));
+        } else {
+            body.push_str(&format!(",\"{key}\":null"));
+        }
+    }
+    body.push_str("}\n");
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let mut f = std::fs::File::create(&path).expect("create bench JSON");
+    f.write_all(body.as_bytes()).expect("write bench JSON");
+    println!("bench artifact: {}", path.display());
+}
+
+/// If `env` is set, parse it as an `f64` floor and exit(1) when
+/// `value < floor`. Prints the verdict either way so CI logs show the
+/// margin.
+pub fn enforce_floor(env: &str, what: &str, value: f64) {
+    let Ok(raw) = std::env::var(env) else {
+        return;
+    };
+    let floor: f64 = raw
+        .parse()
+        .unwrap_or_else(|_| panic!("{env}={raw:?} is not a number"));
+    if value < floor {
+        eprintln!("FAIL: {what} speedup {value:.2}× is below the {floor:.2}× floor ({env})");
+        std::process::exit(1);
+    }
+    println!("{what} speedup {value:.2}× ≥ {floor:.2}× floor ({env}) — ok");
+}

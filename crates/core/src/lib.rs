@@ -40,7 +40,8 @@ pub mod structure;
 pub mod vote;
 
 pub use model::{
-    ClassBalance, FitReport, GenerativeModel, LabelScheme, Scaleout, TrainConfig, SCALEOUT_MIN_ROWS,
+    ClassBalance, FitReport, GenerativeModel, LabelScheme, ModelParams, Scaleout, TrainConfig,
+    SCALEOUT_MIN_ROWS,
 };
 pub use optimizer::{choose_strategy, ModelingStrategy, OptimizerConfig, StrategyDecision};
 pub use pipeline::{run_pipeline, Pipeline, PipelineConfig, PipelineReport};

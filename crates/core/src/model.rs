@@ -265,6 +265,32 @@ pub struct FitReport {
     pub warm_started: bool,
 }
 
+/// Owned copy of a [`GenerativeModel`]'s learned parameters — the
+/// stable encoding surface for on-disk snapshots (`snorkel-serve`). The
+/// correlation adjacency lists are *not* part of the encoding;
+/// [`GenerativeModel::from_params`] re-derives them from the pairs, so a
+/// round trip reproduces a model whose inference is bit-identical to the
+/// original's.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelParams {
+    /// Task cardinality (2 = the binary `{−1,+1}` scheme).
+    pub cardinality: u8,
+    /// Number of labeling functions `n`.
+    pub num_lfs: usize,
+    /// Labeling-propensity weights (`n` entries).
+    pub w_lab: Vec<f64>,
+    /// Accuracy weights (`n` entries).
+    pub w_acc: Vec<f64>,
+    /// Modeled correlation pairs, each normalized `a < b`, deduplicated.
+    pub corr_pairs: Vec<(usize, usize)>,
+    /// Learned correlation weights (parallel to `corr_pairs`).
+    pub w_corr: Vec<f64>,
+    /// Prior correlation strengths (parallel to `corr_pairs`).
+    pub corr_strength: Vec<f64>,
+    /// Class-balance weights (one per class).
+    pub b_class: Vec<f64>,
+}
+
 /// The generative label model.
 #[derive(Clone, Debug)]
 pub struct GenerativeModel {
@@ -397,6 +423,98 @@ impl GenerativeModel {
                 e / (e + k1)
             })
             .collect()
+    }
+
+    /// Export the learned parameters (see [`ModelParams`]).
+    pub fn to_params(&self) -> ModelParams {
+        ModelParams {
+            cardinality: match self.scheme {
+                LabelScheme::Binary => 2,
+                LabelScheme::MultiClass(k) => k,
+            },
+            num_lfs: self.n,
+            w_lab: self.w_lab.clone(),
+            w_acc: self.w_acc.clone(),
+            corr_pairs: self.corr_pairs.clone(),
+            w_corr: self.w_corr.clone(),
+            corr_strength: self.corr_strength.clone(),
+            b_class: self.b_class.clone(),
+        }
+    }
+
+    /// Rebuild a fitted model from exported parameters (the inverse of
+    /// [`Self::to_params`]). Untrusted input (a snapshot file) comes
+    /// through here, so every structural invariant the constructors
+    /// assert is checked and violations return an error: weight-vector
+    /// lengths, pair ranges and normalization, and finite weights.
+    pub fn from_params(params: ModelParams) -> Result<GenerativeModel, String> {
+        let ModelParams {
+            cardinality,
+            num_lfs: n,
+            w_lab,
+            w_acc,
+            corr_pairs,
+            w_corr,
+            corr_strength,
+            b_class,
+        } = params;
+        if cardinality < 2 {
+            return Err(format!("cardinality {cardinality} < 2"));
+        }
+        let scheme = LabelScheme::from_cardinality(cardinality);
+        if w_lab.len() != n || w_acc.len() != n {
+            return Err(format!(
+                "weight vectors ({}, {}) must have one entry per LF ({n})",
+                w_lab.len(),
+                w_acc.len()
+            ));
+        }
+        if w_corr.len() != corr_pairs.len() || corr_strength.len() != corr_pairs.len() {
+            return Err("correlation arrays must be parallel to the pair list".into());
+        }
+        if b_class.len() != scheme.num_classes() {
+            return Err(format!(
+                "{} balance weights for {} classes",
+                b_class.len(),
+                scheme.num_classes()
+            ));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        let mut corr_adj = vec![Vec::new(); n];
+        for (idx, &(a, b)) in corr_pairs.iter().enumerate() {
+            if a >= b || b >= n {
+                return Err(format!(
+                    "correlation pair ({a}, {b}) not normalized in-range"
+                ));
+            }
+            if !seen.insert((a, b)) {
+                return Err(format!("duplicate correlation pair ({a}, {b})"));
+            }
+            corr_adj[a].push((idx, b));
+            corr_adj[b].push((idx, a));
+        }
+        for w in w_lab
+            .iter()
+            .chain(&w_acc)
+            .chain(&w_corr)
+            .chain(&corr_strength)
+            .chain(&b_class)
+        {
+            if !w.is_finite() {
+                return Err("non-finite weight".into());
+            }
+        }
+        Ok(GenerativeModel {
+            scheme,
+            n,
+            w_lab,
+            w_acc,
+            corr_pairs,
+            w_corr,
+            corr_strength,
+            corr_adj,
+            b_class,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -1813,6 +1931,51 @@ mod tests {
             "posterior must side with the accurate source, got {:.3}",
             post[0]
         );
+    }
+
+    #[test]
+    fn params_round_trip_is_bit_identical() {
+        let (lambda, _) = planted(500, &[0.9, 0.7, 0.6], 0.5, 21);
+        let mut gm = GenerativeModel::new(3, LabelScheme::Binary)
+            .with_weighted_correlations(&[(0, 2)], &[0.8]);
+        gm.fit(&lambda, &TrainConfig::default());
+        let back = GenerativeModel::from_params(gm.to_params()).unwrap();
+        assert_eq!(
+            back.marginals_rowwise(&lambda),
+            gm.marginals_rowwise(&lambda)
+        );
+        assert_eq!(back.correlations(), gm.correlations());
+        assert_eq!(back.correlation_weights(), gm.correlation_weights());
+        assert_eq!(back.to_params(), gm.to_params());
+    }
+
+    #[test]
+    fn from_params_rejects_corruption() {
+        let gm = GenerativeModel::new(3, LabelScheme::Binary);
+        // Length mismatch.
+        let mut p = gm.to_params();
+        p.w_acc.pop();
+        assert!(GenerativeModel::from_params(p).is_err());
+        // Unnormalized pair.
+        let mut p = gm.to_params();
+        p.corr_pairs = vec![(2, 1)];
+        p.w_corr = vec![0.0];
+        p.corr_strength = vec![1.0];
+        assert!(GenerativeModel::from_params(p).is_err());
+        // Out-of-range pair.
+        let mut p = gm.to_params();
+        p.corr_pairs = vec![(0, 3)];
+        p.w_corr = vec![0.0];
+        p.corr_strength = vec![1.0];
+        assert!(GenerativeModel::from_params(p).is_err());
+        // Non-finite weight.
+        let mut p = gm.to_params();
+        p.w_lab[0] = f64::NAN;
+        assert!(GenerativeModel::from_params(p).is_err());
+        // Wrong balance length.
+        let mut p = gm.to_params();
+        p.b_class.push(0.0);
+        assert!(GenerativeModel::from_params(p).is_err());
     }
 
     #[test]

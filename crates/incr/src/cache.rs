@@ -55,6 +55,32 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
+/// One exported cache column (see [`FrozenCache`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrozenColumn {
+    /// The LF version this column belongs to.
+    pub fingerprint: Fingerprint,
+    /// Candidate rows `0..rows` the column covers.
+    pub rows: usize,
+    /// Non-abstain `(row, vote)` entries, sorted by row.
+    pub entries: Vec<(u32, Vote)>,
+}
+
+/// Owned copy of an [`LfResultCache`]'s persistent state — the stable
+/// encoding surface for on-disk snapshots (`snorkel-serve`). Columns are
+/// exported in least-recently-used-first order so an import reproduces
+/// the original's eviction order; the internal recency ticks themselves
+/// are not part of the encoding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrozenCache {
+    /// Maximum cached columns.
+    pub capacity: usize,
+    /// Cumulative statistics at freeze time.
+    pub stats: CacheStats,
+    /// Cached columns, least recently used first.
+    pub columns: Vec<FrozenColumn>,
+}
+
 /// The LF-result cache. See the module docs for the key scheme and the
 /// invalidation rules.
 #[derive(Clone, Debug)]
@@ -175,6 +201,76 @@ impl LfResultCache {
     pub fn clear(&mut self) {
         self.columns.clear();
     }
+
+    /// Export the persistent state (see [`FrozenCache`]).
+    pub fn export(&self) -> FrozenCache {
+        let mut order: Vec<(&Fingerprint, &CachedColumn)> = self.columns.iter().collect();
+        order.sort_by_key(|(_, col)| col.last_used);
+        FrozenCache {
+            capacity: self.capacity,
+            stats: self.stats,
+            columns: order
+                .into_iter()
+                .map(|(fp, col)| FrozenColumn {
+                    fingerprint: *fp,
+                    rows: col.rows,
+                    entries: col.entries.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild a cache from exported state, re-deriving recency from the
+    /// export order. Untrusted input (a snapshot file) comes through
+    /// here, so the column invariants the hot paths debug-assert are
+    /// validated for real: entries sorted strictly by row, within the
+    /// covered range, votes legal for the session's `cardinality` vote
+    /// scheme, and one column per fingerprint.
+    pub fn import(frozen: FrozenCache, cardinality: u8) -> Result<LfResultCache, String> {
+        let mut cache = LfResultCache::new(frozen.capacity);
+        cache.stats = frozen.stats;
+        for col in frozen.columns {
+            if col.entries.windows(2).any(|w| w[0].0 >= w[1].0) {
+                return Err(format!(
+                    "column {}: entries not strictly sorted by row",
+                    col.fingerprint
+                ));
+            }
+            if let Some(&(row, v)) = col
+                .entries
+                .iter()
+                .find(|&&(_, v)| !snorkel_matrix::is_legal_vote(cardinality, v))
+            {
+                return Err(format!(
+                    "column {}: vote {v} at row {row} illegal for cardinality {cardinality}",
+                    col.fingerprint
+                ));
+            }
+            if col
+                .entries
+                .last()
+                .is_some_and(|e| (e.0 as usize) >= col.rows)
+            {
+                return Err(format!(
+                    "column {}: entry row beyond covered range {}",
+                    col.fingerprint, col.rows
+                ));
+            }
+            cache.tick += 1;
+            let prev = cache.columns.insert(
+                col.fingerprint,
+                CachedColumn {
+                    rows: col.rows,
+                    entries: col.entries,
+                    last_used: cache.tick,
+                },
+            );
+            if prev.is_some() {
+                return Err(format!("duplicate cached column {}", col.fingerprint));
+            }
+        }
+        Ok(cache)
+    }
 }
 
 #[cfg(test)]
@@ -212,6 +308,49 @@ mod tests {
         assert_eq!(cache.rows(fp(1)), 5);
         assert_eq!(cache.rows(fp(3)), 5);
         assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn export_import_preserves_state_and_lru_order() {
+        let mut cache = LfResultCache::new(2);
+        cache.insert(fp(1), 5, vec![(0, 1)]);
+        cache.insert(fp(2), 5, vec![(3, -1)]);
+        cache.entries(fp(1)); // bump fp(1) to most-recent
+        let frozen = cache.export();
+        assert_eq!(frozen.columns[0].fingerprint, fp(2), "LRU-first order");
+        let mut back = LfResultCache::import(frozen, 2).unwrap();
+        assert_eq!(back.rows(fp(1)), 5);
+        assert_eq!(back.stats().misses, 2);
+        // Recency carried over: under pressure, fp(2) evicts first
+        // (fp(1) was bumped before the freeze).
+        back.insert(fp(3), 5, vec![]);
+        back.evict_to_capacity(&[]);
+        assert_eq!(back.rows(fp(2)), 0, "imported LRU order drives eviction");
+        assert_eq!(back.rows(fp(1)), 5);
+        assert_eq!(back.entries(fp(1)).unwrap(), &[(0, 1)]);
+    }
+
+    #[test]
+    fn import_rejects_corruption() {
+        let mut cache = LfResultCache::new(4);
+        cache.insert(fp(1), 5, vec![(0, 1), (3, -1)]);
+        // Unsorted entries.
+        let mut frozen = cache.export();
+        frozen.columns[0].entries.reverse();
+        assert!(LfResultCache::import(frozen, 2).is_err());
+        // Entry beyond coverage.
+        let mut frozen = cache.export();
+        frozen.columns[0].rows = 2;
+        assert!(LfResultCache::import(frozen, 2).is_err());
+        // Illegal vote for the scheme.
+        let mut frozen = cache.export();
+        frozen.columns[0].entries[0].1 = 3;
+        assert!(LfResultCache::import(frozen, 2).is_err());
+        // Duplicate fingerprint.
+        let mut frozen = cache.export();
+        let dup = frozen.columns[0].clone();
+        frozen.columns.push(dup);
+        assert!(LfResultCache::import(frozen, 2).is_err());
     }
 
     #[test]

@@ -93,6 +93,9 @@ mod cache;
 mod fingerprint;
 mod session;
 
-pub use cache::{CacheStats, LfResultCache};
+pub use cache::{CacheStats, FrozenCache, FrozenColumn, LfResultCache};
 pub use fingerprint::Fingerprint;
-pub use session::{IncrementalSession, LambdaUpdate, RefreshReport, RefreshTimings, SessionConfig};
+pub use session::{
+    FrozenSession, IncrementalSession, LambdaUpdate, RefreshReport, RefreshTimings, SessionConfig,
+    ThawError,
+};

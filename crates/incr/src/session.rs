@@ -4,16 +4,18 @@
 
 use std::time::{Duration, Instant};
 
-use snorkel_context::{CandidateId, Corpus};
-use snorkel_core::model::{GenerativeModel, LabelScheme, Scaleout, TrainConfig, SCALEOUT_MIN_ROWS};
+use snorkel_context::{CandidateId, CandidateView, Corpus};
+use snorkel_core::model::{
+    GenerativeModel, LabelScheme, ModelParams, Scaleout, TrainConfig, SCALEOUT_MIN_ROWS,
+};
 use snorkel_core::optimizer::{
     advantage_upper_bound, choose_strategy, ModelingStrategy, OptimizerConfig,
 };
 use snorkel_core::vote::majority_vote;
 use snorkel_lf::{BoxedLf, LfExecutor};
-use snorkel_matrix::{LabelMatrix, MatrixDelta, ShardedMatrix, Vote};
+use snorkel_matrix::{LabelMatrix, MatrixDelta, ShardedMatrix, ShardedMatrixParts, Vote};
 
-use crate::cache::{CacheStats, LfResultCache};
+use crate::cache::{CacheStats, FrozenCache, LfResultCache};
 use crate::fingerprint::Fingerprint;
 
 /// Session configuration. The defaults mirror
@@ -140,6 +142,63 @@ struct SessionLf {
     fingerprint: Fingerprint,
 }
 
+/// Everything an [`IncrementalSession`] needs to restart warm, as plain
+/// owned data — the stable encoding surface for `snorkel-serve`
+/// snapshots. Produced by [`IncrementalSession::freeze`], consumed by
+/// [`IncrementalSession::thaw`].
+///
+/// The LF *code* is deliberately absent: Rust closures cannot be
+/// serialized, and a corpus is derived state the operator reloads from
+/// its own source of truth. Thawing therefore takes the corpus and a
+/// freshly constructed LF suite; the frozen fingerprints re-attach to
+/// the supplied LFs by name, so nothing is re-executed.
+#[derive(Clone, Debug)]
+pub struct FrozenSession {
+    /// Registered candidate rows, in row order.
+    pub candidates: Vec<CandidateId>,
+    /// Per-name auto-version counters, sorted by name.
+    pub versions: Vec<(String, u64)>,
+    /// Live suite layout at freeze time: `(name, fingerprint)` per
+    /// column.
+    pub suite: Vec<(String, Fingerprint)>,
+    /// The LF-result cache.
+    pub cache: FrozenCache,
+    /// The label matrix of the last refresh.
+    pub lambda: Option<LabelMatrix>,
+    /// The sharded pattern plan of the last refresh.
+    pub plan: Option<ShardedMatrixParts>,
+    /// The generative model of the last refresh.
+    pub model: Option<ModelParams>,
+    /// Column-aligned fingerprint layout at the last refresh.
+    pub last_fingerprints: Vec<Fingerprint>,
+    /// Row count at the last refresh.
+    pub last_rows: usize,
+    /// Last structure-sweep outcome and the LF-name layout it indexes.
+    pub last_gm_strategy: Option<(ModelingStrategy, Vec<String>)>,
+}
+
+/// Why [`IncrementalSession::thaw`] refused to restore a session.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ThawError {
+    /// The supplied LF suite does not match the frozen layout.
+    SuiteMismatch(String),
+    /// The frozen state is internally inconsistent (corrupt or
+    /// hand-edited snapshot, or a corpus that does not cover the
+    /// registered candidates).
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for ThawError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThawError::SuiteMismatch(msg) => write!(f, "LF suite mismatch: {msg}"),
+            ThawError::Inconsistent(msg) => write!(f, "inconsistent frozen state: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ThawError {}
+
 /// The incremental labeling engine's façade: an interactive-session
 /// counterpart to the batch [`snorkel_core::pipeline::Pipeline`].
 ///
@@ -217,6 +276,11 @@ impl IncrementalSession {
         &self.corpus
     }
 
+    /// Read access to the session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
     /// Mutable access to the corpus — for *growing* it (new documents,
     /// sentences, spans, candidates). Mutating content of candidates
     /// already registered breaks the cache contract; see the type docs.
@@ -242,6 +306,24 @@ impl IncrementalSession {
     /// Names of the live suite, in column order.
     pub fn lf_names(&self) -> Vec<&str> {
         self.lfs.iter().map(|s| s.lf.name()).collect()
+    }
+
+    /// Fingerprints of the live suite, in column order.
+    pub fn live_fingerprints(&self) -> Vec<Fingerprint> {
+        self.lfs.iter().map(|s| s.fingerprint).collect()
+    }
+
+    /// Whether the live suite is exactly the layout the last refresh's
+    /// Λ/model were built for (same fingerprints, same column order) —
+    /// i.e. whether [`Self::model`]'s columns can score votes indexed
+    /// by the live suite. False after any un-refreshed add/edit/remove.
+    pub fn suite_matches_last_refresh(&self) -> bool {
+        self.lfs.len() == self.last_fingerprints.len()
+            && self
+                .lfs
+                .iter()
+                .zip(&self.last_fingerprints)
+                .all(|(s, fp)| s.fingerprint == *fp)
     }
 
     /// The current label matrix (after the first refresh).
@@ -351,6 +433,242 @@ impl IncrementalSession {
         let col = self.column_of(name)?;
         self.lfs.remove(col);
         Some(col)
+    }
+
+    /// Apply the live LF suite to one candidate view, returning one vote
+    /// per column (0 = abstain). This is the serving probe: a labeling
+    /// service answers "label this new data point" by running the suite
+    /// on a transient candidate and feeding the votes to
+    /// [`Self::model`]'s posterior — no session state is touched, so it
+    /// runs under a shared read lock.
+    pub fn apply_lfs(&self, view: &CandidateView<'_>) -> Vec<Vote> {
+        self.lfs.iter().map(|s| s.lf.label(view)).collect()
+    }
+
+    /// Snapshot the session's warm state as plain data (see
+    /// [`FrozenSession`]). The session is untouched; pair with
+    /// [`Self::thaw`] to restart a process without re-executing any LF
+    /// or re-fitting from scratch.
+    pub fn freeze(&self) -> FrozenSession {
+        let mut versions: Vec<(String, u64)> = self
+            .versions
+            .iter()
+            .map(|(name, &v)| (name.clone(), v))
+            .collect();
+        versions.sort();
+        FrozenSession {
+            candidates: self.candidates.clone(),
+            versions,
+            suite: self
+                .lfs
+                .iter()
+                .map(|s| (s.lf.name().to_string(), s.fingerprint))
+                .collect(),
+            cache: self.cache.export(),
+            lambda: self.lambda.clone(),
+            plan: self.plan.as_ref().map(ShardedMatrix::to_parts),
+            model: self.model.as_ref().map(GenerativeModel::to_params),
+            last_fingerprints: self.last_fingerprints.clone(),
+            last_rows: self.last_rows,
+            last_gm_strategy: self.last_gm_strategy.clone(),
+        }
+    }
+
+    /// Restore a frozen session around a reloaded corpus and a freshly
+    /// constructed LF suite.
+    ///
+    /// `lfs` must contain exactly the frozen layout's names (any order);
+    /// each LF adopts its frozen fingerprint, i.e. it is *assumed
+    /// behaviorally identical* to the version that produced the cached
+    /// columns — the same contract as [`Self::add_lf_tagged`] with a
+    /// reused tag. A thawed session's first
+    /// [`refresh`](Self::refresh) with an unchanged suite executes zero
+    /// LF invocations and warm-starts training at the frozen optimum, so
+    /// it reproduces the frozen marginals bit-for-bit.
+    ///
+    /// Every structural invariant of the frozen state is validated
+    /// against the corpus and `config` — corrupt or mismatched state
+    /// returns a typed [`ThawError`] instead of panicking later.
+    pub fn thaw(
+        corpus: Corpus,
+        config: SessionConfig,
+        frozen: FrozenSession,
+        lfs: Vec<BoxedLf>,
+    ) -> Result<Self, ThawError> {
+        let FrozenSession {
+            candidates,
+            versions,
+            suite,
+            cache,
+            lambda,
+            plan,
+            model,
+            last_fingerprints,
+            last_rows,
+            last_gm_strategy,
+        } = frozen;
+
+        // --- Re-attach the supplied LFs to the frozen layout by name.
+        if lfs.len() != suite.len() {
+            return Err(ThawError::SuiteMismatch(format!(
+                "frozen suite has {} LFs, {} supplied",
+                suite.len(),
+                lfs.len()
+            )));
+        }
+        let mut by_name: std::collections::HashMap<String, BoxedLf> =
+            std::collections::HashMap::new();
+        for lf in lfs {
+            let name = lf.name().to_string();
+            if by_name.insert(name.clone(), lf).is_some() {
+                return Err(ThawError::SuiteMismatch(format!("duplicate LF {name:?}")));
+            }
+        }
+        let mut session_lfs = Vec::with_capacity(suite.len());
+        for (name, fingerprint) in &suite {
+            let Some(lf) = by_name.remove(name) else {
+                return Err(ThawError::SuiteMismatch(format!(
+                    "frozen suite expects LF {name:?}, not supplied"
+                )));
+            };
+            session_lfs.push(SessionLf {
+                lf,
+                fingerprint: *fingerprint,
+            });
+        }
+
+        // --- Validate the frozen state against corpus and config.
+        let cardinality = config.executor.cardinality;
+        let mut seen = std::collections::HashSet::new();
+        for id in &candidates {
+            if id.index() >= corpus.num_candidates() {
+                return Err(ThawError::Inconsistent(format!(
+                    "registered candidate {id} not present in the corpus \
+                     ({} candidates)",
+                    corpus.num_candidates()
+                )));
+            }
+            if !seen.insert(*id) {
+                return Err(ThawError::Inconsistent(format!(
+                    "candidate {id} registered twice"
+                )));
+            }
+        }
+        if last_rows > candidates.len() {
+            return Err(ThawError::Inconsistent(format!(
+                "last refresh covered {last_rows} rows but only {} candidates are registered",
+                candidates.len()
+            )));
+        }
+        // Collect into the live map up front so duplicates are caught
+        // regardless of the snapshot's ordering (a later duplicate would
+        // otherwise silently rewind the counter, letting an auto-tagged
+        // re-add reproduce an old fingerprint still in the cache).
+        let mut version_map = std::collections::HashMap::new();
+        for (name, v) in versions {
+            if version_map.insert(name.clone(), v).is_some() {
+                return Err(ThawError::Inconsistent(format!(
+                    "duplicate version counter for {name:?}"
+                )));
+            }
+        }
+        let cache = LfResultCache::import(cache, cardinality).map_err(ThawError::Inconsistent)?;
+        if let Some(lambda) = &lambda {
+            if lambda.num_points() != last_rows {
+                return Err(ThawError::Inconsistent(format!(
+                    "Λ has {} rows but the last refresh covered {last_rows}",
+                    lambda.num_points()
+                )));
+            }
+            if lambda.num_lfs() != last_fingerprints.len() {
+                return Err(ThawError::Inconsistent(format!(
+                    "Λ has {} columns but the last refresh had {}",
+                    lambda.num_lfs(),
+                    last_fingerprints.len()
+                )));
+            }
+            if lambda.cardinality() != cardinality {
+                return Err(ThawError::Inconsistent(format!(
+                    "Λ cardinality {} != executor cardinality {cardinality}",
+                    lambda.cardinality()
+                )));
+            }
+        } else if last_rows > 0 || !last_fingerprints.is_empty() {
+            return Err(ThawError::Inconsistent(
+                "a refresh happened but Λ is missing".into(),
+            ));
+        }
+        let plan = match (plan, &lambda) {
+            (None, _) => None,
+            (Some(_), None) => {
+                return Err(ThawError::Inconsistent(
+                    "a sharded plan without a matrix".into(),
+                ))
+            }
+            (Some(parts), Some(lambda)) => {
+                let plan = ShardedMatrix::from_parts(parts).map_err(ThawError::Inconsistent)?;
+                plan.validate(lambda).map_err(ThawError::Inconsistent)?;
+                Some(plan)
+            }
+        };
+        let model = match model {
+            None => None,
+            Some(params) => {
+                let model =
+                    GenerativeModel::from_params(params).map_err(ThawError::Inconsistent)?;
+                if model.num_lfs() != last_fingerprints.len() {
+                    return Err(ThawError::Inconsistent(format!(
+                        "model covers {} LFs but the last refresh had {}",
+                        model.num_lfs(),
+                        last_fingerprints.len()
+                    )));
+                }
+                if model.scheme() != LabelScheme::from_cardinality(cardinality) {
+                    return Err(ThawError::Inconsistent(
+                        "model scheme != executor cardinality".into(),
+                    ));
+                }
+                Some(model)
+            }
+        };
+        if let Some((
+            ModelingStrategy::GenerativeModel {
+                correlations,
+                strengths,
+                ..
+            },
+            layout,
+        )) = &last_gm_strategy
+        {
+            if strengths.len() != correlations.len() {
+                return Err(ThawError::Inconsistent(
+                    "correlation strengths not parallel to pairs".into(),
+                ));
+            }
+            if correlations
+                .iter()
+                .any(|&(a, b)| a >= layout.len() || b >= layout.len() || a == b)
+            {
+                return Err(ThawError::Inconsistent(
+                    "stored correlation pair indexes outside its layout".into(),
+                ));
+            }
+        }
+
+        Ok(IncrementalSession {
+            corpus,
+            config,
+            candidates,
+            lfs: session_lfs,
+            versions: version_map,
+            cache,
+            lambda,
+            plan,
+            model,
+            last_fingerprints,
+            last_rows,
+            last_gm_strategy,
+        })
     }
 
     /// Bring labels up to date after any sequence of edits: re-execute

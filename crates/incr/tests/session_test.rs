@@ -502,3 +502,116 @@ fn sharded_session_keeps_pattern_plan_consistent() {
         "sharded session diverged from cold pipeline by {gap:e}"
     );
 }
+
+#[test]
+fn freeze_thaw_round_trip_is_warm_and_bit_identical() {
+    // Force generative training so the frozen state carries a model.
+    let config = || SessionConfig {
+        force_strategy: Some(snorkel_core::optimizer::ModelingStrategy::GenerativeModel {
+            epsilon: 0.0,
+            correlations: Vec::new(),
+            strengths: Vec::new(),
+        }),
+        ..SessionConfig::default()
+    };
+    let (corpus, _) = build_corpus(120);
+    let thaw_corpus = corpus.clone();
+    let mut session = IncrementalSession::over_all_candidates(corpus, config());
+    let c0 = Arc::new(AtomicUsize::new(0));
+    for j in 0..4 {
+        session.add_lf(counting_lf(&format!("lf_{j}"), 2 + j, Arc::clone(&c0)));
+    }
+    let (_, _) = session.refresh();
+    assert!(c0.load(Ordering::Relaxed) > 0, "cold refresh executed LFs");
+    let frozen = session.freeze();
+    let frozen_model_marginals = session
+        .model()
+        .expect("model trained")
+        .marginals_rowwise(session.label_matrix().expect("Λ built"));
+    // What the original process would produce on its next (no-op)
+    // refresh — the reference for the thawed session's first refresh.
+    let (reference_labels, _) = session.refresh();
+    drop(session); // "kill" the process
+
+    // Resume: fresh corpus + freshly constructed (identical) LFs.
+    let c1 = Arc::new(AtomicUsize::new(0));
+    let lfs: Vec<BoxedLf> = (0..4)
+        .map(|j| counting_lf(&format!("lf_{j}"), 2 + j, Arc::clone(&c1)))
+        .collect();
+    let mut thawed = match IncrementalSession::thaw(thaw_corpus, config(), frozen, lfs) {
+        Ok(s) => s,
+        Err(e) => panic!("thaw failed: {e}"),
+    };
+    // The thawed model answers marginal queries before any refresh,
+    // bit-identical to the frozen process's model.
+    let model = thawed.model().expect("model restored");
+    let lambda = thawed.label_matrix().expect("Λ restored").clone();
+    assert_eq!(
+        model.marginals_rowwise(&lambda),
+        frozen_model_marginals,
+        "restored model marginals bit-identical to the frozen model's"
+    );
+    // An unchanged-suite refresh executes zero LF invocations and lands
+    // exactly where the original process's next refresh would have.
+    let (labels, report) = thawed.refresh();
+    assert_eq!(report.lf_invocations, 0, "thaw must not re-execute LFs");
+    assert_eq!(c1.load(Ordering::Relaxed), 0, "no LF code ran after thaw");
+    assert_eq!(labels, reference_labels, "thawed refresh bit-identical");
+    assert_eq!(report.columns_reused, 4);
+
+    // Editing one LF after thaw re-executes exactly that column.
+    thawed.edit_lf(counting_lf("lf_2", 11, Arc::clone(&c1)));
+    let (_, report) = thawed.refresh();
+    assert_eq!(report.columns_recomputed, 1);
+    assert_eq!(report.lf_invocations, 120);
+}
+
+#[test]
+fn thaw_rejects_mismatched_suite_and_corpus() {
+    let (corpus, _) = build_corpus(30);
+    let small_corpus = build_corpus(10).0;
+    let mut session =
+        IncrementalSession::over_all_candidates(corpus.clone(), SessionConfig::default());
+    let c = Arc::new(AtomicUsize::new(0));
+    session.add_lf(counting_lf("lf_a", 2, Arc::clone(&c)));
+    session.refresh();
+    let frozen = session.freeze();
+
+    // Wrong LF name.
+    let thawed = IncrementalSession::thaw(
+        corpus.clone(),
+        SessionConfig::default(),
+        frozen.clone(),
+        vec![counting_lf("lf_b", 2, Arc::clone(&c))],
+    );
+    assert!(matches!(
+        thawed.err(),
+        Some(snorkel_incr::ThawError::SuiteMismatch(_))
+    ));
+
+    // Corpus too small for the registered candidates.
+    let thawed = IncrementalSession::thaw(
+        small_corpus,
+        SessionConfig::default(),
+        frozen.clone(),
+        vec![counting_lf("lf_a", 2, Arc::clone(&c))],
+    );
+    assert!(matches!(
+        thawed.err(),
+        Some(snorkel_incr::ThawError::Inconsistent(_))
+    ));
+
+    // Tampered state: Λ row count out of sync.
+    let mut bad = frozen.clone();
+    bad.last_rows += 1;
+    let thawed = IncrementalSession::thaw(
+        corpus,
+        SessionConfig::default(),
+        bad,
+        vec![counting_lf("lf_a", 2, Arc::clone(&c))],
+    );
+    assert!(matches!(
+        thawed.err(),
+        Some(snorkel_incr::ThawError::Inconsistent(_))
+    ));
+}

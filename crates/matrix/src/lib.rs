@@ -47,8 +47,10 @@ mod pattern;
 mod shard;
 pub mod stats;
 
-pub use csr::{LabelMatrix, LabelMatrixBuilder, SelectError, Vote, ABSTAIN};
+pub use csr::{
+    is_legal_vote, CsrParts, LabelMatrix, LabelMatrixBuilder, SelectError, Vote, ABSTAIN,
+};
 pub use delta::MatrixDelta;
-pub use pattern::PatternIndex;
-pub use shard::ShardedMatrix;
+pub use pattern::{PatternIndex, PatternIndexParts};
+pub use shard::{ShardedMatrix, ShardedMatrixParts};
 pub use stats::{LfSummary, MatrixStats};

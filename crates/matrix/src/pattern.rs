@@ -50,6 +50,28 @@ fn sig_hash(cols: &[u32], votes: &[Vote]) -> u64 {
     h
 }
 
+/// Owned copy of a [`PatternIndex`]'s persistent state — the stable
+/// encoding surface for on-disk snapshots. The derived structures (the
+/// signature-hash lookup table and the live-pattern count) are *not*
+/// part of the encoding; [`PatternIndex::from_parts`] rebuilds them
+/// deterministically, so a round trip reproduces an index that behaves
+/// identically to the original.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PatternIndexParts {
+    /// First matrix row the index covers.
+    pub start: usize,
+    /// Concatenated column indices of every interned pattern.
+    pub sig_cols: Vec<u32>,
+    /// Votes parallel to `sig_cols`.
+    pub sig_votes: Vec<Vote>,
+    /// Per-pattern `(offset, len)` into the arenas.
+    pub pat_bounds: Vec<(usize, usize)>,
+    /// Rows currently carrying each pattern (0 = tombstone).
+    pub counts: Vec<usize>,
+    /// Local row → pattern id.
+    pub row_pattern: Vec<u32>,
+}
+
 /// Groups the rows of one [`LabelMatrix`] row range by unique vote
 /// signature, with multiplicity counts. See the module docs.
 #[derive(Clone, Debug)]
@@ -307,6 +329,87 @@ impl PatternIndex {
         self.lookup = lookup;
     }
 
+    /// Export the persistent state (see [`PatternIndexParts`]).
+    pub fn to_parts(&self) -> PatternIndexParts {
+        PatternIndexParts {
+            start: self.start,
+            sig_cols: self.sig_cols.clone(),
+            sig_votes: self.sig_votes.clone(),
+            pat_bounds: self.pat_bounds.clone(),
+            counts: self.counts.clone(),
+            row_pattern: self.row_pattern.clone(),
+        }
+    }
+
+    /// Rebuild an index from exported parts, reconstructing the lookup
+    /// table (in pattern-id order, matching a freshly built index's
+    /// bucket ordering) and the live count. Structural invariants are
+    /// validated here; consistency with a backing matrix is the caller's
+    /// check ([`Self::validate`]).
+    pub fn from_parts(parts: PatternIndexParts) -> Result<PatternIndex, String> {
+        let PatternIndexParts {
+            start,
+            sig_cols,
+            sig_votes,
+            pat_bounds,
+            counts,
+            row_pattern,
+        } = parts;
+        if sig_cols.len() != sig_votes.len() {
+            return Err(format!(
+                "signature arenas differ in length ({} cols, {} votes)",
+                sig_cols.len(),
+                sig_votes.len()
+            ));
+        }
+        if counts.len() != pat_bounds.len() {
+            return Err(format!(
+                "{} counts for {} patterns",
+                counts.len(),
+                pat_bounds.len()
+            ));
+        }
+        for (p, &(off, len)) in pat_bounds.iter().enumerate() {
+            let end = off.checked_add(len).filter(|&e| e <= sig_cols.len());
+            if end.is_none() {
+                return Err(format!("pattern {p}: bounds {off}+{len} exceed arena"));
+            }
+            if sig_cols[off..off + len].windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("pattern {p}: columns not strictly increasing"));
+            }
+        }
+        let mut hist = vec![0usize; pat_bounds.len()];
+        for (local, &p) in row_pattern.iter().enumerate() {
+            if (p as usize) >= pat_bounds.len() {
+                return Err(format!(
+                    "row {}: pattern id {p} out of range",
+                    start + local
+                ));
+            }
+            hist[p as usize] += 1;
+        }
+        if hist != counts {
+            return Err("multiplicity counts disagree with the row histogram".into());
+        }
+        let live = counts.iter().filter(|&&c| c > 0).count();
+        let mut idx = PatternIndex {
+            start,
+            sig_cols,
+            sig_votes,
+            pat_bounds,
+            counts,
+            row_pattern,
+            lookup: HashMap::new(),
+            live,
+        };
+        for p in 0..idx.pat_bounds.len() {
+            let (cols, votes) = idx.pattern(p);
+            let h = sig_hash(cols, votes);
+            idx.lookup.entry(h).or_default().push(p as u32);
+        }
+        Ok(idx)
+    }
+
     /// Check every invariant against the backing matrix: each covered
     /// row's stored signature equals its matrix row, multiplicities
     /// equal the actual row→pattern histogram, counts sum to the row
@@ -472,6 +575,65 @@ mod tests {
             idx.num_slots(),
             idx.num_patterns()
         );
+    }
+
+    #[test]
+    fn parts_round_trip_behaves_identically() {
+        let mut lambda = sample();
+        let mut idx = PatternIndex::build(&lambda);
+        // Churn a little so tombstones exist in the exported state.
+        lambda.apply_delta(&MatrixDelta::ReplaceColumn {
+            col: 1,
+            entries: vec![(0, 1), (5, -1)],
+        });
+        idx.refresh_column(&lambda, 1);
+        let back = PatternIndex::from_parts(idx.to_parts()).unwrap();
+        back.validate(&lambda).unwrap();
+        assert_eq!(back.num_patterns(), idx.num_patterns());
+        for r in 0..lambda.num_points() {
+            assert_eq!(back.pattern_of_row(r), idx.pattern_of_row(r), "row {r}");
+        }
+        // The rebuilt lookup must keep interning correctly: a further
+        // column edit lands on the same patterns as the original index.
+        let mut a = idx.clone();
+        let mut b = back;
+        lambda.apply_delta(&MatrixDelta::ReplaceColumn {
+            col: 0,
+            entries: vec![(2, -1)],
+        });
+        a.refresh_column(&lambda, 0);
+        b.refresh_column(&lambda, 0);
+        a.validate(&lambda).unwrap();
+        b.validate(&lambda).unwrap();
+        for r in 0..lambda.num_points() {
+            assert_eq!(
+                a.pattern(a.pattern_of_row(r)),
+                b.pattern(b.pattern_of_row(r)),
+                "row {r} after post-import edit"
+            );
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_corruption() {
+        let lambda = sample();
+        let idx = PatternIndex::build(&lambda);
+        // Out-of-range pattern id.
+        let mut parts = idx.to_parts();
+        parts.row_pattern[0] = 99;
+        assert!(PatternIndex::from_parts(parts).is_err());
+        // Drifted multiplicity counts.
+        let mut parts = idx.to_parts();
+        parts.counts[0] += 1;
+        assert!(PatternIndex::from_parts(parts).is_err());
+        // Bounds past the arena end.
+        let mut parts = idx.to_parts();
+        parts.pat_bounds[0] = (0, parts.sig_cols.len() + 1);
+        assert!(PatternIndex::from_parts(parts).is_err());
+        // Arena length mismatch.
+        let mut parts = idx.to_parts();
+        parts.sig_votes.pop();
+        assert!(PatternIndex::from_parts(parts).is_err());
     }
 
     #[test]

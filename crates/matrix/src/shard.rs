@@ -12,7 +12,20 @@
 //! and column splices re-sign only the touched patterns of each shard.
 
 use crate::csr::LabelMatrix;
-use crate::pattern::PatternIndex;
+use crate::pattern::{PatternIndex, PatternIndexParts};
+
+/// Owned copy of a [`ShardedMatrix`]'s persistent state — the stable
+/// encoding surface for on-disk snapshots. The worker count is *not*
+/// encoded: it is an execution detail re-derived from the restoring
+/// machine's parallelism, and results never depend on it (the merge
+/// order is fixed by shard index).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardedMatrixParts {
+    /// LF-column count of the matrix the plan was built for.
+    pub num_lfs: usize,
+    /// Per-shard pattern-index state, in row order.
+    pub shards: Vec<PatternIndexParts>,
+}
 
 /// A label matrix partitioned into row-range shards with per-shard
 /// pattern indexes. Built against one matrix and kept in sync with it by
@@ -165,6 +178,44 @@ impl ShardedMatrix {
         }
     }
 
+    /// Export the persistent state (see [`ShardedMatrixParts`]).
+    pub fn to_parts(&self) -> ShardedMatrixParts {
+        ShardedMatrixParts {
+            num_lfs: self.n,
+            shards: self.shards.iter().map(PatternIndex::to_parts).collect(),
+        }
+    }
+
+    /// Rebuild a plan from exported parts, re-deriving the worker count
+    /// from this machine's parallelism. Shards must be non-empty in
+    /// count, contiguous, and individually well-formed; consistency with
+    /// a backing matrix is the caller's check ([`Self::validate`]).
+    pub fn from_parts(parts: ShardedMatrixParts) -> Result<ShardedMatrix, String> {
+        if parts.shards.is_empty() {
+            return Err("a plan needs at least one shard".into());
+        }
+        let mut shards = Vec::with_capacity(parts.shards.len());
+        let mut next = 0usize;
+        for (s, shard_parts) in parts.shards.into_iter().enumerate() {
+            let shard =
+                PatternIndex::from_parts(shard_parts).map_err(|e| format!("shard {s}: {e}"))?;
+            if shard.start_row() != next {
+                return Err(format!(
+                    "shard {s} starts at {} but previous shard ended at {next}",
+                    shard.start_row()
+                ));
+            }
+            next = shard.row_range().end;
+            shards.push(shard);
+        }
+        let avail = std::thread::available_parallelism().map_or(1, |c| c.get());
+        Ok(ShardedMatrix {
+            n: parts.num_lfs,
+            workers: shards.len().min(avail),
+            shards,
+        })
+    }
+
     /// Validate shard contiguity, coverage of the whole matrix, and
     /// every per-shard invariant. Returns the first violation.
     pub fn validate(&self, lambda: &LabelMatrix) -> Result<(), String> {
@@ -294,6 +345,31 @@ mod tests {
         });
         plan.refresh_column(&lambda, 2);
         plan.validate(&lambda).unwrap();
+    }
+
+    #[test]
+    fn parts_round_trip() {
+        let lambda = sample(23);
+        let plan = ShardedMatrix::build(&lambda, 4);
+        let back = ShardedMatrix::from_parts(plan.to_parts()).unwrap();
+        back.validate(&lambda).unwrap();
+        assert_eq!(back.num_shards(), plan.num_shards());
+        assert_eq!(back.num_patterns(), plan.num_patterns());
+        assert_eq!(back.num_lfs(), plan.num_lfs());
+    }
+
+    #[test]
+    fn from_parts_rejects_gaps() {
+        let lambda = sample(23);
+        let plan = ShardedMatrix::build(&lambda, 4);
+        let mut parts = plan.to_parts();
+        parts.shards[1].start += 1; // breaks contiguity twice over
+        assert!(ShardedMatrix::from_parts(parts).is_err());
+        assert!(ShardedMatrix::from_parts(ShardedMatrixParts {
+            num_lfs: 4,
+            shards: vec![],
+        })
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! # snorkel-serve
+//!
+//! Durable snapshots and a concurrent labeling service — the deployment
+//! layer Snorkel DryBell (Bach et al., 2019) argues weak supervision
+//! needs at industrial scale: a long-running process with persistent
+//! state that answers labeling queries, instead of a pipeline that lives
+//! and dies inside one script run.
+//!
+//! Two layers:
+//!
+//! * [`snap`] — a hand-rolled, versioned, checksummed binary snapshot
+//!   format round-tripping the label matrix (CSR), the generative model
+//!   (weights + [`TrainConfig`](snorkel_core::TrainConfig) + learned
+//!   correlation structure), the `snorkel-incr` LF-result cache, and the
+//!   sharded [`PatternIndex`](snorkel_matrix::PatternIndex) — so a
+//!   restarted process warm-starts in milliseconds instead of re-running
+//!   every LF and re-fitting from scratch. Round trips are bit-exact;
+//!   corrupted, truncated, or wrong-version files yield a typed
+//!   [`SnapError`], never a panic.
+//! * [`server`] — a multithreaded `std::net` TCP server speaking a
+//!   line-delimited protocol (`MARGINAL`, `APPLY`, `REFRESH`,
+//!   `SNAPSHOT`, `STATS`, `SHUTDOWN`) over a shared
+//!   [`IncrementalSession`](snorkel_incr::IncrementalSession) behind an
+//!   `RwLock`: marginal queries and suite probes run concurrently under
+//!   the read lock (with a per-generation posterior memo — the serving
+//!   counterpart of pattern dedup); LF edits take the write lock, splice
+//!   Λ via `MatrixDelta`, and warm-start training. Plus graceful
+//!   shutdown and periodic auto-snapshots.
+//!
+//! ```no_run
+//! use snorkel_context::Corpus;
+//! use snorkel_incr::{IncrementalSession, SessionConfig};
+//! use snorkel_serve::{Client, LabelServer, ServeConfig};
+//!
+//! let session =
+//!     IncrementalSession::new(Corpus::new(), SessionConfig::default());
+//! let server = LabelServer::start(session, ServeConfig::default())?;
+//! let mut client = Client::connect(server.addr())?;
+//! let reply = client.request("MARGINAL 0:1,2:-1")?;
+//! assert!(reply.starts_with("OK "));
+//! client.request("SHUTDOWN")?;
+//! server.wait().unwrap();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod protocol;
+pub mod server;
+pub mod snap;
+mod wire;
+
+pub use protocol::{parse_request, LfSpec, Request, SuiteEdit};
+pub use server::{Client, LabelServer, ServeConfig};
+pub use snap::{SnapError, Snapshot, FORMAT_VERSION, MAGIC};

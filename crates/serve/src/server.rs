@@ -1,0 +1,606 @@
+//! The multithreaded TCP labeling service.
+//!
+//! One [`IncrementalSession`] sits behind an `RwLock`. Read requests
+//! (`MARGINAL`, `APPLY`, `STATS`, `SNAPSHOT`) take the shared lock and
+//! run concurrently; `REFRESH` (an LF edit plus re-label) takes the
+//! exclusive lock, splices Λ via the session's `MatrixDelta` path, and
+//! warm-starts training. A response is always computed against one
+//! consistent model: the generation counter bumps only under the write
+//! lock, so every reply is attributable to exactly the pre- or post-edit
+//! state — never a torn mix.
+//!
+//! `MARGINAL` is served through a pattern-memo on top of the model
+//! posterior: deployment traffic collapses onto few distinct vote
+//! signatures (the same observation the `PatternIndex` exploits for
+//! training), so each signature's posterior is computed once per model
+//! generation and then served from the memo.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use snorkel_context::Corpus;
+use snorkel_core::model::LabelScheme;
+use snorkel_incr::IncrementalSession;
+use snorkel_lf::Vote;
+
+use crate::protocol::{format_probs, parse_request, Request, SuiteEdit};
+use crate::snap::{SnapError, Snapshot};
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`LabelServer::addr`]).
+    pub addr: String,
+    /// Default snapshot target — `SNAPSHOT` without a path, the
+    /// periodic auto-snapshot, and the final snapshot on graceful
+    /// shutdown all write here.
+    pub snapshot_path: Option<PathBuf>,
+    /// Write a snapshot this often (requires `snapshot_path`).
+    pub auto_snapshot: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            snapshot_path: None,
+            auto_snapshot: None,
+        }
+    }
+}
+
+struct ServeState {
+    session: IncrementalSession,
+    /// Bumped under the write lock on every successful `REFRESH`.
+    generation: u64,
+}
+
+/// Memoized posteriors per vote signature, valid for one generation.
+struct PosteriorMemo {
+    generation: u64,
+    map: HashMap<(Vec<u32>, Vec<Vote>), Vec<f64>>,
+}
+
+/// Cap on memoized signatures — deployment traffic has few distinct
+/// patterns; a cap this size only matters under adversarial query
+/// diversity, where we fall back to recomputing.
+const MEMO_CAP: usize = 65_536;
+
+struct Inner {
+    state: RwLock<ServeState>,
+    memo: Mutex<PosteriorMemo>,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+    snapshot_path: Option<PathBuf>,
+    queries: AtomicU64,
+    memo_hits: AtomicU64,
+    refreshes: AtomicU64,
+    snapshots_written: AtomicU64,
+    /// Signaled on shutdown so the auto-snapshotter exits promptly.
+    tick: Mutex<()>,
+    tick_cv: Condvar,
+}
+
+/// Handle to a running labeling server. Dropping the handle does *not*
+/// stop the server; call [`Self::shutdown`] (or send `SHUTDOWN` over the
+/// wire and then [`Self::wait`]).
+pub struct LabelServer {
+    inner: Arc<Inner>,
+    accept: Option<JoinHandle<()>>,
+    snapshotter: Option<JoinHandle<()>>,
+}
+
+impl LabelServer {
+    /// Bind and start serving `session`. Returns once the listener is
+    /// accepting.
+    pub fn start(session: IncrementalSession, config: ServeConfig) -> std::io::Result<LabelServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            state: RwLock::new(ServeState {
+                session,
+                generation: 0,
+            }),
+            memo: Mutex::new(PosteriorMemo {
+                generation: 0,
+                map: HashMap::new(),
+            }),
+            shutdown: AtomicBool::new(false),
+            addr,
+            conns: Mutex::new(Vec::new()),
+            snapshot_path: config.snapshot_path.clone(),
+            queries: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
+            refreshes: AtomicU64::new(0),
+            snapshots_written: AtomicU64::new(0),
+            tick: Mutex::new(()),
+            tick_cv: Condvar::new(),
+        });
+
+        let accept_inner = Arc::clone(&inner);
+        let accept = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_inner.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let conn_inner = Arc::clone(&accept_inner);
+                let handle = std::thread::spawn(move || handle_connection(&conn_inner, stream));
+                let mut conns = lock_unpoisoned(&accept_inner.conns);
+                conns.retain(|h| !h.is_finished());
+                conns.push(handle);
+            }
+        });
+
+        let snapshotter = match (config.auto_snapshot, &inner.snapshot_path) {
+            (Some(every), Some(path)) => {
+                let snap_inner = Arc::clone(&inner);
+                let path = path.clone();
+                Some(std::thread::spawn(move || loop {
+                    let guard = lock_unpoisoned(&snap_inner.tick);
+                    let (_g, _timeout) = snap_inner
+                        .tick_cv
+                        .wait_timeout(guard, every)
+                        .unwrap_or_else(|e| e.into_inner());
+                    if snap_inner.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let _ = write_snapshot(&snap_inner, &path);
+                }))
+            }
+            _ => None,
+        };
+
+        Ok(LabelServer {
+            inner,
+            accept: Some(accept),
+            snapshotter,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Block until the server has fully stopped: the accept loop exited
+    /// (a `SHUTDOWN` request arrived, or [`Self::shutdown`] was called
+    /// from another thread) and every connection drained. Writes a final
+    /// snapshot when a snapshot path is configured.
+    pub fn wait(mut self) -> Result<(), SnapError> {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        loop {
+            let handles: Vec<JoinHandle<()>> =
+                std::mem::take(&mut *lock_unpoisoned(&self.inner.conns));
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+        if let Some(h) = self.snapshotter.take() {
+            self.inner.tick_cv.notify_all();
+            let _ = h.join();
+        }
+        if let Some(path) = self.inner.snapshot_path.clone() {
+            write_snapshot(&self.inner, &path)?;
+        }
+        Ok(())
+    }
+
+    /// Trigger a graceful stop and block until drained (see
+    /// [`Self::wait`]).
+    pub fn shutdown(self) -> Result<(), SnapError> {
+        trigger_shutdown(&self.inner);
+        self.wait()
+    }
+}
+
+/// Set the shutdown flag and unblock the accept loop by connecting to
+/// ourselves (the accept thread re-checks the flag per connection).
+fn trigger_shutdown(inner: &Inner) {
+    inner.shutdown.store(true, Ordering::SeqCst);
+    inner.tick_cv.notify_all();
+    let _ = TcpStream::connect(inner.addr);
+}
+
+/// Recover a lock even if a previous holder panicked — the server keeps
+/// serving (state mutations happen through `&mut` methods that either
+/// complete or panic before the swap, so a poisoned lock's data is the
+/// last consistent state).
+fn lock_unpoisoned<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn read_unpoisoned<'a, T>(l: &'a RwLock<T>) -> std::sync::RwLockReadGuard<'a, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_unpoisoned<'a, T>(l: &'a RwLock<T>) -> std::sync::RwLockWriteGuard<'a, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_snapshot(inner: &Inner, path: &std::path::Path) -> Result<u64, SnapError> {
+    let snapshot = {
+        let state = read_unpoisoned(&inner.state);
+        Snapshot {
+            session: state.session.freeze(),
+            train: state.session.config().train.clone(),
+        }
+    };
+    let bytes = snapshot.write_file(path)?;
+    inner.snapshots_written.fetch_add(1, Ordering::Relaxed);
+    Ok(bytes)
+}
+
+/// Per-connection loop: read request lines, write `OK`/`ERR` lines.
+/// Reads use a short timeout so idle connections notice a shutdown.
+fn handle_connection(inner: &Inner, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let mut line = Vec::new();
+    loop {
+        line.clear();
+        match read_line_retrying(&mut reader, &mut line, inner) {
+            Ok(0) | Err(_) => return, // EOF, hard error, or shutdown
+            Ok(_) => {}
+        }
+        let text = String::from_utf8_lossy(&line);
+        let response = match parse_request(&text) {
+            Err(e) => format!("ERR {e}"),
+            Ok(Request::Shutdown) => {
+                let _ = writer.write_all(b"OK bye\n");
+                let _ = writer.flush();
+                trigger_shutdown(inner);
+                return;
+            }
+            Ok(req) => handle_request(inner, req),
+        };
+        if writer
+            .write_all(format!("{response}\n").as_bytes())
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// Longest accepted request line. Far beyond any legal request, and it
+/// bounds per-connection memory against a client that streams bytes
+/// without ever sending a newline (the wire-protocol counterpart of the
+/// snapshot reader's length-vs-remaining validation).
+const MAX_LINE_BYTES: u64 = 1 << 20;
+
+/// `read_until` that keeps partial bytes across read-timeout wakeups,
+/// aborts on shutdown, and rejects lines over [`MAX_LINE_BYTES`]. Each
+/// read pass goes through a `Take` so even a client streaming flat out
+/// cannot grow the buffer past the cap before control returns here.
+fn read_line_retrying(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    inner: &Inner,
+) -> std::io::Result<usize> {
+    use std::io::Read as _;
+    loop {
+        let already = buf.len() as u64;
+        if already >= MAX_LINE_BYTES {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "request line too long",
+            ));
+        }
+        let mut limited = reader.by_ref().take(MAX_LINE_BYTES - already);
+        match limited.read_until(b'\n', buf) {
+            Ok(n) if n > 0 && !buf.ends_with(b"\n") && buf.len() as u64 >= MAX_LINE_BYTES => {
+                // Hit the cap without a newline — oversized line, not EOF.
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "request line too long",
+                ));
+            }
+            Ok(n) => return Ok(n),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionAborted,
+                        "server shutting down",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn handle_request(inner: &Inner, req: Request) -> String {
+    match req {
+        Request::Ping => "OK pong".into(),
+        Request::Marginal { cols, votes } => handle_marginal(inner, cols, votes),
+        Request::Apply { span1, span2, text } => handle_apply(inner, span1, span2, &text),
+        Request::Refresh(edit) => handle_refresh(inner, edit),
+        Request::Snapshot { path } => {
+            let target = path
+                .map(PathBuf::from)
+                .or_else(|| inner.snapshot_path.clone());
+            let Some(target) = target else {
+                return "ERR no snapshot path configured".into();
+            };
+            match write_snapshot(inner, &target) {
+                Ok(bytes) => format!("OK bytes={bytes} path={}", target.display()),
+                Err(e) => format!("ERR snapshot failed: {e}"),
+            }
+        }
+        Request::Stats => {
+            let state = read_unpoisoned(&inner.state);
+            let cache = state.session.cache_stats();
+            format!(
+                "OK gen={} rows={} lfs={} queries={} memo_hits={} refreshes={} \
+                 snapshots={} cache_hits={} cache_misses={} cache_extensions={} lf_names={}",
+                state.generation,
+                state.session.num_candidates(),
+                state.session.num_lfs(),
+                inner.queries.load(Ordering::Relaxed),
+                inner.memo_hits.load(Ordering::Relaxed),
+                inner.refreshes.load(Ordering::Relaxed),
+                inner.snapshots_written.load(Ordering::Relaxed),
+                cache.hits,
+                cache.misses,
+                cache.extensions,
+                state.session.lf_names().join(","),
+            )
+        }
+        Request::Shutdown => unreachable!("handled in the connection loop"),
+    }
+}
+
+/// Validate a vote row against the scheme and compute its posterior
+/// under the current model (majority vote when no model is trained —
+/// mirroring the session's MV labeling path).
+fn posterior_for(
+    session: &IncrementalSession,
+    cols: &[u32],
+    votes: &[Vote],
+) -> Result<Vec<f64>, String> {
+    let cardinality = session.config().executor.cardinality;
+    let scheme = LabelScheme::from_cardinality(cardinality);
+    if let Some(&v) = votes
+        .iter()
+        .find(|&&v| !snorkel_matrix::is_legal_vote(cardinality, v))
+    {
+        return Err(format!("vote {v} illegal for cardinality {cardinality}"));
+    }
+    match session.model() {
+        Some(model) => {
+            if let Some(&c) = cols.iter().find(|&&c| (c as usize) >= model.num_lfs()) {
+                return Err(format!(
+                    "column {c} out of range (model covers {} LFs)",
+                    model.num_lfs()
+                ));
+            }
+            Ok(model.posterior(cols, votes))
+        }
+        None => Ok(majority_probs(scheme, votes)),
+    }
+}
+
+/// Plurality-class probabilities for one vote row (uniform on ties and
+/// all-abstain) — the no-model fallback, mirroring the session's
+/// majority-vote labeling path.
+fn majority_probs(scheme: LabelScheme, votes: &[Vote]) -> Vec<f64> {
+    let k = scheme.num_classes();
+    let mut tally = vec![0usize; k];
+    for &v in votes {
+        if let Some(c) = scheme.class_of_vote(v) {
+            tally[c] += 1;
+        }
+    }
+    let best = tally.iter().copied().max().unwrap_or(0);
+    let winners: Vec<usize> = (0..k).filter(|&c| tally[c] == best).collect();
+    let mut p = vec![0.0; k];
+    if best == 0 || winners.len() > 1 {
+        p.iter_mut().for_each(|x| *x = 1.0 / k as f64);
+    } else {
+        p[winners[0]] = 1.0;
+    }
+    p
+}
+
+fn handle_marginal(inner: &Inner, cols: Vec<u32>, votes: Vec<Vote>) -> String {
+    inner.queries.fetch_add(1, Ordering::Relaxed);
+    let state = read_unpoisoned(&inner.state);
+    // Memo fast path: one posterior computation per distinct signature
+    // per model generation. The memo lock nests inside the state read
+    // lock; REFRESH holds the state write lock, so a generation observed
+    // here stays current until the guard drops.
+    {
+        let mut memo = lock_unpoisoned(&inner.memo);
+        if memo.generation != state.generation {
+            memo.generation = state.generation;
+            memo.map.clear();
+        } else if let Some(p) = memo.map.get(&(cols.clone(), votes.clone())) {
+            inner.memo_hits.fetch_add(1, Ordering::Relaxed);
+            return format!("OK gen={} p={}", state.generation, format_probs(p));
+        }
+    }
+    match posterior_for(&state.session, &cols, &votes) {
+        Ok(p) => {
+            let mut memo = lock_unpoisoned(&inner.memo);
+            if memo.generation == state.generation && memo.map.len() < MEMO_CAP {
+                memo.map.insert((cols, votes), p.clone());
+            }
+            format!("OK gen={} p={}", state.generation, format_probs(&p))
+        }
+        Err(e) => format!("ERR {e}"),
+    }
+}
+
+fn handle_apply(inner: &Inner, span1: (usize, usize), span2: (usize, usize), text: &str) -> String {
+    inner.queries.fetch_add(1, Ordering::Relaxed);
+    let tokens = snorkel_nlp::tokenize(text);
+    for (lo, hi) in [span1, span2] {
+        if lo >= hi || hi > tokens.len() {
+            return format!("ERR span {lo}..{hi} invalid for {} tokens", tokens.len());
+        }
+    }
+    // Transient candidate in a scratch corpus: serving a labeling query
+    // must not grow server state.
+    let mut scratch = Corpus::new();
+    let doc = scratch.add_document("apply");
+    let sent = scratch.add_sentence(doc, text, tokens);
+    let a = scratch.add_span(sent, span1.0, span1.1, None);
+    let b = scratch.add_span(sent, span2.0, span2.1, None);
+    let cand = scratch.add_candidate(vec![a, b]);
+
+    let state = read_unpoisoned(&inner.state);
+    let votes = state.session.apply_lfs(&scratch.candidate(cand));
+    let non_abstain: (Vec<u32>, Vec<Vote>) = votes
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| v != 0)
+        .map(|(j, &v)| (j as u32, v))
+        .unzip();
+    // The live suite can differ from the last-trained model's layout
+    // for any un-refreshed add/edit/remove; the model may only score
+    // votes whose column indexes refer to exactly the layout it was
+    // fitted on (an equal LF *count* is not enough — a remove+add of
+    // the same arity would silently misalign columns).
+    let model_ok = state.session.model().is_some() && state.session.suite_matches_last_refresh();
+    let p = if model_ok {
+        posterior_for(&state.session, &non_abstain.0, &non_abstain.1)
+    } else {
+        let scheme = LabelScheme::from_cardinality(state.session.config().executor.cardinality);
+        Ok(majority_probs(scheme, &non_abstain.1))
+    };
+    match p {
+        Ok(p) => {
+            let vote_strs: Vec<String> = votes.iter().map(|v| v.to_string()).collect();
+            format!(
+                "OK gen={} votes={} p={}",
+                state.generation,
+                vote_strs.join(","),
+                format_probs(&p)
+            )
+        }
+        Err(e) => format!("ERR {e}"),
+    }
+}
+
+fn handle_refresh(inner: &Inner, edit: Option<SuiteEdit>) -> String {
+    let mut state = write_unpoisoned(&inner.state);
+    let names: Vec<String> = state
+        .session
+        .lf_names()
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    match &edit {
+        Some(SuiteEdit::Add(spec)) => {
+            if names.iter().any(|n| n == spec.name()) {
+                return format!("ERR LF {:?} already exists (use EDIT)", spec.name());
+            }
+            match spec.build() {
+                Ok(lf) => {
+                    state.session.add_lf_tagged(lf, spec.content_tag());
+                }
+                Err(e) => return format!("ERR {e}"),
+            }
+        }
+        Some(SuiteEdit::Edit(spec)) => {
+            if !names.iter().any(|n| n == spec.name()) {
+                return format!("ERR LF {:?} not in the suite (use ADD)", spec.name());
+            }
+            match spec.build() {
+                Ok(lf) => {
+                    state.session.edit_lf_tagged(lf, spec.content_tag());
+                }
+                Err(e) => return format!("ERR {e}"),
+            }
+        }
+        Some(SuiteEdit::Remove(name)) => match state.session.remove_lf(name) {
+            Some(_) => {}
+            None => return format!("ERR LF {name:?} not in the suite"),
+        },
+        None => {}
+    }
+    let (_, report) = state.session.refresh();
+    state.generation += 1;
+    inner.refreshes.fetch_add(1, Ordering::Relaxed);
+    let strategy = match &report.strategy {
+        snorkel_core::optimizer::ModelingStrategy::MajorityVote => "mv",
+        snorkel_core::optimizer::ModelingStrategy::GenerativeModel { .. } => "gm",
+    };
+    format!(
+        "OK gen={} strategy={strategy} rows={} lfs={} lf_invocations={} \
+         columns_recomputed={} columns_reused={} columns_extended={} \
+         warm_started={} unique_patterns={}",
+        state.generation,
+        state.session.num_candidates(),
+        state.session.num_lfs(),
+        report.lf_invocations,
+        report.columns_recomputed,
+        report.columns_reused,
+        report.columns_extended,
+        report.warm_started,
+        report
+            .unique_patterns
+            .map_or_else(|| "-".into(), |p| p.to_string()),
+    )
+}
+
+/// Minimal blocking client for tests, examples, and the CI smoke
+/// script: one request line out, one response line back.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Send one request line, read one response line (without the
+    /// trailing newline).
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+}

@@ -1,0 +1,832 @@
+//! The versioned, checksummed snapshot file format.
+//!
+//! A snapshot captures a frozen [`IncrementalSession`] plus the
+//! [`TrainConfig`] that produced its model, so a restarted process
+//! warm-starts in milliseconds instead of re-running LFs and re-fitting
+//! from scratch. The format is hand-rolled (this workspace vendors
+//! offline — no serde) and designed so that *any* single-bit corruption
+//! or truncation is detected and reported as a typed [`SnapError`],
+//! never a panic or a silent misread.
+//!
+//! ## Layout
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  "SNKLSNAP"
+//! 8       4     format version (u32 LE, currently 1)
+//! 12      4     section count (u32 LE)
+//! 16      28×k  section table: tag (u32), offset (u64), len (u64),
+//!               FNV-1a checksum of the section bytes (u64)
+//! …       8     FNV-1a checksum of everything above (u64)
+//! …       —     section payloads, contiguous, in table order
+//! ```
+//!
+//! Sections are required to tile the rest of the file exactly (first
+//! payload starts at the header's end, each next payload at the previous
+//! one's end, the last ends at EOF), so every byte of the file is
+//! covered by exactly one checksum — the header's or a section's.
+//! Within a section, all integers are little-endian, floats are raw
+//! IEEE-754 bits (bit-exact round trips), and sequences are
+//! length-prefixed with the length validated against the bytes remaining
+//! before anything is allocated.
+//!
+//! | tag    | contents                                         | presence |
+//! |--------|--------------------------------------------------|----------|
+//! | `SESS` | candidates, version counters, suite layout, last-refresh bookkeeping, strategy | always |
+//! | `CACH` | the LF-result cache, LRU-first                   | always   |
+//! | `TCFG` | the [`TrainConfig`]                              | always   |
+//! | `LMTX` | the label matrix (raw CSR)                       | if built |
+//! | `PLAN` | the sharded pattern index                        | if built |
+//! | `MODL` | generative-model weights + correlation structure | if trained |
+//!
+//! [`IncrementalSession`]: snorkel_incr::IncrementalSession
+
+use std::io::Write as _;
+use std::path::Path;
+
+use snorkel_core::model::{ClassBalance, ModelParams, Scaleout, TrainConfig};
+use snorkel_core::optimizer::ModelingStrategy;
+use snorkel_incr::{Fingerprint, FrozenCache, FrozenColumn, FrozenSession};
+use snorkel_matrix::{LabelMatrix, PatternIndexParts, ShardedMatrixParts};
+
+use snorkel_context::CandidateId;
+
+use crate::wire::{fnv1a, Reader, Writer};
+
+/// Magic bytes opening every snapshot file.
+pub const MAGIC: [u8; 8] = *b"SNKLSNAP";
+
+/// The format version this build writes and reads.
+pub const FORMAT_VERSION: u32 = 1;
+
+const TAG_SESS: u32 = u32::from_le_bytes(*b"SESS");
+const TAG_CACH: u32 = u32::from_le_bytes(*b"CACH");
+const TAG_TCFG: u32 = u32::from_le_bytes(*b"TCFG");
+const TAG_LMTX: u32 = u32::from_le_bytes(*b"LMTX");
+const TAG_PLAN: u32 = u32::from_le_bytes(*b"PLAN");
+const TAG_MODL: u32 = u32::from_le_bytes(*b"MODL");
+
+fn tag_name(tag: u32) -> String {
+    let b = tag.to_le_bytes();
+    if b.iter().all(|c| c.is_ascii_uppercase()) {
+        String::from_utf8_lossy(&b).into_owned()
+    } else {
+        format!("{tag:#010x}")
+    }
+}
+
+/// Why a snapshot could not be written or read. Every decode failure is
+/// typed; readers never panic on hostile bytes.
+#[derive(Debug)]
+pub enum SnapError {
+    /// Filesystem error while reading or writing.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`] — not a snapshot.
+    BadMagic,
+    /// The file's format version is not one this build reads.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// The file ends before a field it promises.
+    Truncated {
+        /// The field being read when bytes ran out.
+        context: &'static str,
+    },
+    /// A checksum did not match its bytes.
+    ChecksumMismatch {
+        /// Which checksum failed (`"header"` or a section tag).
+        section: String,
+    },
+    /// Structurally invalid contents (bad lengths, out-of-range
+    /// references, non-tiling sections, …).
+    Corrupt {
+        /// What was violated.
+        context: String,
+    },
+    /// A required section is absent.
+    MissingSection {
+        /// The absent section's tag.
+        section: String,
+    },
+}
+
+impl std::fmt::Display for SnapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapError::Io(e) => write!(f, "snapshot I/O: {e}"),
+            SnapError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "snapshot format v{found} (this build reads v{supported})"
+                )
+            }
+            SnapError::Truncated { context } => write!(f, "truncated while reading {context}"),
+            SnapError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in {section}")
+            }
+            SnapError::Corrupt { context } => write!(f, "corrupt snapshot: {context}"),
+            SnapError::MissingSection { section } => {
+                write!(f, "required section {section} is missing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapError {
+    fn from(e: std::io::Error) -> Self {
+        SnapError::Io(e)
+    }
+}
+
+fn corrupt(context: impl Into<String>) -> SnapError {
+    SnapError::Corrupt {
+        context: context.into(),
+    }
+}
+
+/// A durable image of a labeling session: the frozen session state plus
+/// the training configuration its model was fitted with.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// The frozen session (see [`FrozenSession`] for what thawing needs
+    /// beyond this — the corpus and the LF code).
+    pub session: FrozenSession,
+    /// Training configuration, persisted so a restarted service refits
+    /// with identical hyperparameters.
+    pub train: TrainConfig,
+}
+
+impl Snapshot {
+    /// Serialize to the on-disk byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut sections: Vec<(u32, Vec<u8>)> = Vec::new();
+        sections.push((TAG_SESS, enc_session_meta(&self.session)));
+        sections.push((TAG_CACH, enc_cache(&self.session.cache)));
+        sections.push((TAG_TCFG, enc_train(&self.train)));
+        if let Some(lambda) = &self.session.lambda {
+            sections.push((TAG_LMTX, enc_matrix(lambda)));
+        }
+        if let Some(plan) = &self.session.plan {
+            sections.push((TAG_PLAN, enc_plan(plan)));
+        }
+        if let Some(model) = &self.session.model {
+            sections.push((TAG_MODL, enc_model(model)));
+        }
+
+        let header_end = 16 + 28 * sections.len() + 8;
+        let mut head = Writer::new();
+        for b in MAGIC {
+            head.put_u8(b);
+        }
+        head.put_u32(FORMAT_VERSION);
+        head.put_u32(sections.len() as u32);
+        let mut offset = header_end as u64;
+        for (tag, payload) in &sections {
+            head.put_u32(*tag);
+            head.put_u64(offset);
+            head.put_u64(payload.len() as u64);
+            head.put_u64(fnv1a(payload));
+            offset += payload.len() as u64;
+        }
+        let mut out = head.into_bytes();
+        let checksum = fnv1a(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        debug_assert_eq!(out.len(), header_end);
+        for (_, payload) in &sections {
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+
+    /// Deserialize from the on-disk byte format, verifying magic,
+    /// version, both checksum layers, and every structural invariant.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot, SnapError> {
+        if bytes.len() < 16 {
+            return Err(SnapError::Truncated { context: "header" });
+        }
+        if bytes[..8] != MAGIC {
+            return Err(SnapError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != FORMAT_VERSION {
+            return Err(SnapError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let count = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
+        let header_end = 16usize
+            .checked_add(
+                count
+                    .checked_mul(28)
+                    .ok_or_else(|| corrupt("section count"))?,
+            )
+            .and_then(|v| v.checked_add(8))
+            .ok_or_else(|| corrupt("section count"))?;
+        if bytes.len() < header_end {
+            return Err(SnapError::Truncated {
+                context: "section table",
+            });
+        }
+        let stored = u64::from_le_bytes(
+            bytes[header_end - 8..header_end]
+                .try_into()
+                .expect("8 bytes"),
+        );
+        if fnv1a(&bytes[..header_end - 8]) != stored {
+            return Err(SnapError::ChecksumMismatch {
+                section: "header".into(),
+            });
+        }
+
+        // Sections must tile the remainder of the file exactly.
+        let mut next_offset = header_end as u64;
+        let mut parsed: Vec<(u32, &[u8])> = Vec::with_capacity(count);
+        for s in 0..count {
+            let at = 16 + 28 * s;
+            let tag = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+            let offset = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().expect("8 bytes"));
+            let len = u64::from_le_bytes(bytes[at + 12..at + 20].try_into().expect("8 bytes"));
+            let checksum = u64::from_le_bytes(bytes[at + 20..at + 28].try_into().expect("8 bytes"));
+            if offset != next_offset {
+                return Err(corrupt(format!(
+                    "section {} does not start where the previous ended",
+                    tag_name(tag)
+                )));
+            }
+            let end = offset
+                .checked_add(len)
+                .ok_or_else(|| corrupt(format!("section {} length overflows", tag_name(tag))))?;
+            if end > bytes.len() as u64 {
+                return Err(SnapError::Truncated {
+                    context: "section payload",
+                });
+            }
+            let payload = &bytes[offset as usize..end as usize];
+            if fnv1a(payload) != checksum {
+                return Err(SnapError::ChecksumMismatch {
+                    section: tag_name(tag),
+                });
+            }
+            if parsed.iter().any(|(t, _)| *t == tag) {
+                return Err(corrupt(format!("duplicate section {}", tag_name(tag))));
+            }
+            parsed.push((tag, payload));
+            next_offset = end;
+        }
+        if next_offset != bytes.len() as u64 {
+            return Err(corrupt("trailing bytes beyond the last section"));
+        }
+
+        let find = |tag: u32| parsed.iter().find(|(t, _)| *t == tag).map(|(_, p)| *p);
+        let require = |tag: u32| {
+            find(tag).ok_or_else(|| SnapError::MissingSection {
+                section: tag_name(tag),
+            })
+        };
+        for (tag, _) in &parsed {
+            if ![TAG_SESS, TAG_CACH, TAG_TCFG, TAG_LMTX, TAG_PLAN, TAG_MODL].contains(tag) {
+                return Err(corrupt(format!("unknown section {}", tag_name(*tag))));
+            }
+        }
+
+        let mut session = dec_session_meta(&mut Reader::new(require(TAG_SESS)?))?;
+        session.cache = dec_cache(&mut Reader::new(require(TAG_CACH)?))?;
+        let train = dec_train(&mut Reader::new(require(TAG_TCFG)?))?;
+        session.lambda = match find(TAG_LMTX) {
+            Some(p) => Some(dec_matrix(&mut Reader::new(p))?),
+            None => None,
+        };
+        session.plan = match find(TAG_PLAN) {
+            Some(p) => Some(dec_plan(&mut Reader::new(p))?),
+            None => None,
+        };
+        session.model = match find(TAG_MODL) {
+            Some(p) => Some(dec_model(&mut Reader::new(p))?),
+            None => None,
+        };
+        Ok(Snapshot { session, train })
+    }
+
+    /// Write atomically to `path`: serialize, write to a sibling
+    /// temporary file, fsync, and rename into place — a crash mid-write
+    /// leaves the previous snapshot intact. The temporary name is unique
+    /// per process *and* per call, so concurrent writers (the periodic
+    /// auto-snapshotter racing a `SNAPSHOT` request) each rename a
+    /// complete file instead of interleaving writes into a shared temp.
+    /// Returns the byte count.
+    pub fn write_file(&self, path: &Path) -> Result<u64, SnapError> {
+        static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let bytes = self.to_bytes();
+        let seq = WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = path.with_extension(format!("snap-tmp-{}-{seq}", std::process::id()));
+        let write = (|| -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, path)
+        })();
+        if write.is_err() {
+            // Best-effort cleanup; the error is what matters.
+            let _ = std::fs::remove_file(&tmp);
+        }
+        write?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Read and fully validate a snapshot file.
+    pub fn read_file(path: &Path) -> Result<Snapshot, SnapError> {
+        let bytes = std::fs::read(path)?;
+        Snapshot::from_bytes(&bytes)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Section encoders/decoders
+// ----------------------------------------------------------------------
+
+fn enc_session_meta(s: &FrozenSession) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_usize(s.candidates.len());
+    for id in &s.candidates {
+        w.put_u32(id.index() as u32);
+    }
+    w.put_usize(s.versions.len());
+    for (name, v) in &s.versions {
+        w.put_str(name);
+        w.put_u64(*v);
+    }
+    w.put_usize(s.suite.len());
+    for (name, fp) in &s.suite {
+        w.put_str(name);
+        w.put_u64(fp.0);
+    }
+    w.put_usize(s.last_fingerprints.len());
+    for fp in &s.last_fingerprints {
+        w.put_u64(fp.0);
+    }
+    w.put_usize(s.last_rows);
+    match &s.last_gm_strategy {
+        None => w.put_u8(0),
+        Some((strategy, layout)) => {
+            match strategy {
+                ModelingStrategy::MajorityVote => w.put_u8(1),
+                ModelingStrategy::GenerativeModel {
+                    epsilon,
+                    correlations,
+                    strengths,
+                } => {
+                    w.put_u8(2);
+                    w.put_f64(*epsilon);
+                    w.put_usize(correlations.len());
+                    for &(a, b) in correlations {
+                        w.put_usize(a);
+                        w.put_usize(b);
+                    }
+                    w.put_usize(strengths.len());
+                    for &v in strengths {
+                        w.put_f64(v);
+                    }
+                }
+            }
+            w.put_usize(layout.len());
+            for name in layout {
+                w.put_str(name);
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+fn dec_session_meta(r: &mut Reader<'_>) -> Result<FrozenSession, SnapError> {
+    let n = r.len(4, "candidate count")?;
+    let mut candidates = Vec::with_capacity(n);
+    for _ in 0..n {
+        candidates.push(CandidateId::from_index(r.u32("candidate id")? as usize));
+    }
+    let n = r.len(9, "version count")?;
+    let mut versions = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str("version name")?;
+        versions.push((name, r.u64("version counter")?));
+    }
+    let n = r.len(9, "suite size")?;
+    let mut suite = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str("LF name")?;
+        suite.push((name, Fingerprint(r.u64("LF fingerprint")?)));
+    }
+    let n = r.len(8, "fingerprint layout")?;
+    let mut last_fingerprints = Vec::with_capacity(n);
+    for _ in 0..n {
+        last_fingerprints.push(Fingerprint(r.u64("layout fingerprint")?));
+    }
+    let last_rows = r.usize("last row count")?;
+    let last_gm_strategy = match r.u8("strategy tag")? {
+        0 => None,
+        tag @ (1 | 2) => {
+            let strategy = if tag == 1 {
+                ModelingStrategy::MajorityVote
+            } else {
+                let epsilon = r.f64("strategy epsilon")?;
+                let n = r.len(16, "correlation count")?;
+                let mut correlations = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let a = r.usize("correlation a")?;
+                    correlations.push((a, r.usize("correlation b")?));
+                }
+                let n = r.len(8, "strength count")?;
+                let mut strengths = Vec::with_capacity(n);
+                for _ in 0..n {
+                    strengths.push(r.f64("correlation strength")?);
+                }
+                ModelingStrategy::GenerativeModel {
+                    epsilon,
+                    correlations,
+                    strengths,
+                }
+            };
+            let n = r.len(8, "layout size")?;
+            let mut layout = Vec::with_capacity(n);
+            for _ in 0..n {
+                layout.push(r.str("layout name")?);
+            }
+            Some((strategy, layout))
+        }
+        tag => return Err(corrupt(format!("unknown strategy tag {tag}"))),
+    };
+    if !r.is_exhausted() {
+        return Err(corrupt("trailing bytes in SESS"));
+    }
+    Ok(FrozenSession {
+        candidates,
+        versions,
+        suite,
+        cache: FrozenCache {
+            capacity: 1,
+            stats: Default::default(),
+            columns: Vec::new(),
+        },
+        lambda: None,
+        plan: None,
+        model: None,
+        last_fingerprints,
+        last_rows,
+        last_gm_strategy,
+    })
+}
+
+fn enc_cache(c: &FrozenCache) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_usize(c.capacity);
+    w.put_u64(c.stats.hits);
+    w.put_u64(c.stats.misses);
+    w.put_u64(c.stats.extensions);
+    w.put_u64(c.stats.evictions);
+    w.put_usize(c.columns.len());
+    for col in &c.columns {
+        w.put_u64(col.fingerprint.0);
+        w.put_usize(col.rows);
+        w.put_usize(col.entries.len());
+        for &(row, vote) in &col.entries {
+            w.put_u32(row);
+            w.put_i8(vote);
+        }
+    }
+    w.into_bytes()
+}
+
+fn dec_cache(r: &mut Reader<'_>) -> Result<FrozenCache, SnapError> {
+    let capacity = r.usize("cache capacity")?;
+    let stats = snorkel_incr::CacheStats {
+        hits: r.u64("cache hits")?,
+        misses: r.u64("cache misses")?,
+        extensions: r.u64("cache extensions")?,
+        evictions: r.u64("cache evictions")?,
+    };
+    let n = r.len(24, "cache column count")?;
+    let mut columns = Vec::with_capacity(n);
+    for _ in 0..n {
+        let fingerprint = Fingerprint(r.u64("column fingerprint")?);
+        let rows = r.usize("column rows")?;
+        let k = r.len(5, "column entry count")?;
+        let mut entries = Vec::with_capacity(k);
+        for _ in 0..k {
+            let row = r.u32("entry row")?;
+            entries.push((row, r.i8("entry vote")?));
+        }
+        columns.push(FrozenColumn {
+            fingerprint,
+            rows,
+            entries,
+        });
+    }
+    if !r.is_exhausted() {
+        return Err(corrupt("trailing bytes in CACH"));
+    }
+    Ok(FrozenCache {
+        capacity,
+        stats,
+        columns,
+    })
+}
+
+fn enc_matrix(m: &LabelMatrix) -> Vec<u8> {
+    let p = m.csr_parts();
+    let mut w = Writer::new();
+    w.put_usize(p.num_points);
+    w.put_usize(p.num_lfs);
+    w.put_u8(p.cardinality);
+    w.put_usize(p.row_ptr.len());
+    for &v in p.row_ptr {
+        w.put_usize(v);
+    }
+    w.put_usize(p.col_idx.len());
+    for &c in p.col_idx {
+        w.put_u32(c);
+    }
+    w.put_usize(p.votes.len());
+    for &v in p.votes {
+        w.put_i8(v);
+    }
+    w.into_bytes()
+}
+
+fn dec_matrix(r: &mut Reader<'_>) -> Result<LabelMatrix, SnapError> {
+    let num_points = r.usize("matrix rows")?;
+    let num_lfs = r.usize("matrix cols")?;
+    let cardinality = r.u8("matrix cardinality")?;
+    let n = r.len(8, "row_ptr length")?;
+    let mut row_ptr = Vec::with_capacity(n);
+    for _ in 0..n {
+        row_ptr.push(r.usize("row_ptr entry")?);
+    }
+    let n = r.len(4, "col_idx length")?;
+    let mut col_idx = Vec::with_capacity(n);
+    for _ in 0..n {
+        col_idx.push(r.u32("col_idx entry")?);
+    }
+    let n = r.len(1, "votes length")?;
+    let mut votes = Vec::with_capacity(n);
+    for _ in 0..n {
+        votes.push(r.i8("vote entry")?);
+    }
+    if !r.is_exhausted() {
+        return Err(corrupt("trailing bytes in LMTX"));
+    }
+    LabelMatrix::from_csr_parts(num_points, num_lfs, cardinality, row_ptr, col_idx, votes)
+        .map_err(corrupt)
+}
+
+fn enc_plan(p: &ShardedMatrixParts) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_usize(p.num_lfs);
+    w.put_usize(p.shards.len());
+    for shard in &p.shards {
+        w.put_usize(shard.start);
+        w.put_usize(shard.sig_cols.len());
+        for &c in &shard.sig_cols {
+            w.put_u32(c);
+        }
+        w.put_usize(shard.sig_votes.len());
+        for &v in &shard.sig_votes {
+            w.put_i8(v);
+        }
+        w.put_usize(shard.pat_bounds.len());
+        for &(off, len) in &shard.pat_bounds {
+            w.put_usize(off);
+            w.put_usize(len);
+        }
+        w.put_usize(shard.counts.len());
+        for &c in &shard.counts {
+            w.put_usize(c);
+        }
+        w.put_usize(shard.row_pattern.len());
+        for &p in &shard.row_pattern {
+            w.put_u32(p);
+        }
+    }
+    w.into_bytes()
+}
+
+fn dec_plan(r: &mut Reader<'_>) -> Result<ShardedMatrixParts, SnapError> {
+    let num_lfs = r.usize("plan LF count")?;
+    let n = r.len(48, "shard count")?;
+    let mut shards = Vec::with_capacity(n);
+    for _ in 0..n {
+        let start = r.usize("shard start")?;
+        let k = r.len(4, "sig_cols length")?;
+        let mut sig_cols = Vec::with_capacity(k);
+        for _ in 0..k {
+            sig_cols.push(r.u32("sig col")?);
+        }
+        let k = r.len(1, "sig_votes length")?;
+        let mut sig_votes = Vec::with_capacity(k);
+        for _ in 0..k {
+            sig_votes.push(r.i8("sig vote")?);
+        }
+        let k = r.len(16, "pat_bounds length")?;
+        let mut pat_bounds = Vec::with_capacity(k);
+        for _ in 0..k {
+            let off = r.usize("pattern offset")?;
+            pat_bounds.push((off, r.usize("pattern length")?));
+        }
+        let k = r.len(8, "counts length")?;
+        let mut counts = Vec::with_capacity(k);
+        for _ in 0..k {
+            counts.push(r.usize("pattern count")?);
+        }
+        let k = r.len(4, "row_pattern length")?;
+        let mut row_pattern = Vec::with_capacity(k);
+        for _ in 0..k {
+            row_pattern.push(r.u32("row pattern")?);
+        }
+        shards.push(PatternIndexParts {
+            start,
+            sig_cols,
+            sig_votes,
+            pat_bounds,
+            counts,
+            row_pattern,
+        });
+    }
+    if !r.is_exhausted() {
+        return Err(corrupt("trailing bytes in PLAN"));
+    }
+    Ok(ShardedMatrixParts { num_lfs, shards })
+}
+
+fn enc_model(m: &ModelParams) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(m.cardinality);
+    w.put_usize(m.num_lfs);
+    let put_f64s = |w: &mut Writer, xs: &[f64]| {
+        w.put_usize(xs.len());
+        for &x in xs {
+            w.put_f64(x);
+        }
+    };
+    put_f64s(&mut w, &m.w_lab);
+    put_f64s(&mut w, &m.w_acc);
+    w.put_usize(m.corr_pairs.len());
+    for &(a, b) in &m.corr_pairs {
+        w.put_usize(a);
+        w.put_usize(b);
+    }
+    put_f64s(&mut w, &m.w_corr);
+    put_f64s(&mut w, &m.corr_strength);
+    put_f64s(&mut w, &m.b_class);
+    w.into_bytes()
+}
+
+fn dec_model(r: &mut Reader<'_>) -> Result<ModelParams, SnapError> {
+    let cardinality = r.u8("model cardinality")?;
+    let num_lfs = r.usize("model LF count")?;
+    let f64s = |r: &mut Reader<'_>, context| -> Result<Vec<f64>, SnapError> {
+        let n = r.len(8, context)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(r.f64(context)?);
+        }
+        Ok(out)
+    };
+    let w_lab = f64s(r, "w_lab")?;
+    let w_acc = f64s(r, "w_acc")?;
+    let n = r.len(16, "corr pair count")?;
+    let mut corr_pairs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let a = r.usize("corr pair a")?;
+        corr_pairs.push((a, r.usize("corr pair b")?));
+    }
+    let w_corr = f64s(r, "w_corr")?;
+    let corr_strength = f64s(r, "corr_strength")?;
+    let b_class = f64s(r, "b_class")?;
+    if !r.is_exhausted() {
+        return Err(corrupt("trailing bytes in MODL"));
+    }
+    Ok(ModelParams {
+        cardinality,
+        num_lfs,
+        w_lab,
+        w_acc,
+        corr_pairs,
+        w_corr,
+        corr_strength,
+        b_class,
+    })
+}
+
+fn enc_train(t: &TrainConfig) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_usize(t.epochs);
+    w.put_f64(t.learning_rate);
+    w.put_f64(t.lr_decay);
+    w.put_usize(t.cd_epochs);
+    w.put_f64(t.cd_learning_rate);
+    w.put_f64(t.l2);
+    w.put_u64(t.seed);
+    w.put_usize(t.gibbs_steps);
+    w.put_usize(t.batch_size);
+    w.put_f64(t.tol);
+    w.put_f64(t.init_acc_weight);
+    w.put_u8(t.init_from_majority_vote as u8);
+    match &t.class_balance {
+        ClassBalance::Uniform => w.put_u8(0),
+        ClassBalance::FromMajorityVote => w.put_u8(1),
+        ClassBalance::Fixed(p) => {
+            w.put_u8(2);
+            w.put_usize(p.len());
+            for &x in p {
+                w.put_f64(x);
+            }
+        }
+    }
+    w.put_u8(t.clamp_nonadversarial as u8);
+    match t.scaleout {
+        Scaleout::RowWise => w.put_u8(0),
+        Scaleout::Sharded { shards } => {
+            w.put_u8(1);
+            w.put_usize(shards);
+        }
+        Scaleout::Auto => w.put_u8(2),
+    }
+    w.into_bytes()
+}
+
+fn dec_train(r: &mut Reader<'_>) -> Result<TrainConfig, SnapError> {
+    let epochs = r.usize("epochs")?;
+    let learning_rate = r.f64("learning_rate")?;
+    let lr_decay = r.f64("lr_decay")?;
+    let cd_epochs = r.usize("cd_epochs")?;
+    let cd_learning_rate = r.f64("cd_learning_rate")?;
+    let l2 = r.f64("l2")?;
+    let seed = r.u64("seed")?;
+    let gibbs_steps = r.usize("gibbs_steps")?;
+    let batch_size = r.usize("batch_size")?;
+    let tol = r.f64("tol")?;
+    let init_acc_weight = r.f64("init_acc_weight")?;
+    let init_from_majority_vote = match r.u8("init_from_majority_vote")? {
+        0 => false,
+        1 => true,
+        v => return Err(corrupt(format!("bad bool {v}"))),
+    };
+    let class_balance = match r.u8("class_balance tag")? {
+        0 => ClassBalance::Uniform,
+        1 => ClassBalance::FromMajorityVote,
+        2 => {
+            let n = r.len(8, "class balance length")?;
+            let mut p = Vec::with_capacity(n);
+            for _ in 0..n {
+                p.push(r.f64("class balance entry")?);
+            }
+            ClassBalance::Fixed(p)
+        }
+        v => return Err(corrupt(format!("unknown class-balance tag {v}"))),
+    };
+    let clamp_nonadversarial = match r.u8("clamp_nonadversarial")? {
+        0 => false,
+        1 => true,
+        v => return Err(corrupt(format!("bad bool {v}"))),
+    };
+    let scaleout = match r.u8("scaleout tag")? {
+        0 => Scaleout::RowWise,
+        1 => Scaleout::Sharded {
+            shards: r.usize("shard count")?,
+        },
+        2 => Scaleout::Auto,
+        v => return Err(corrupt(format!("unknown scaleout tag {v}"))),
+    };
+    if !r.is_exhausted() {
+        return Err(corrupt("trailing bytes in TCFG"));
+    }
+    Ok(TrainConfig {
+        epochs,
+        learning_rate,
+        lr_decay,
+        cd_epochs,
+        cd_learning_rate,
+        l2,
+        seed,
+        gibbs_steps,
+        batch_size,
+        tol,
+        init_acc_weight,
+        init_from_majority_vote,
+        class_balance,
+        clamp_nonadversarial,
+        scaleout,
+    })
+}

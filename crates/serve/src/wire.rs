@@ -1,0 +1,206 @@
+//! Little-endian byte encoding primitives for the snapshot format.
+//!
+//! Everything in a snapshot funnels through [`Writer`] and [`Reader`]:
+//! fixed-width little-endian integers, floats as raw IEEE-754 bits (so
+//! round trips are bit-exact, `NaN` payloads included), and
+//! length-prefixed strings/sequences. Every read is bounds-checked and
+//! returns [`SnapError::Truncated`](crate::snap::SnapError::Truncated)
+//! instead of panicking — [`Reader`] is the first line of defense
+//! against corrupted or truncated files. Length prefixes are validated
+//! against the bytes actually remaining before any allocation, so a
+//! corrupted count cannot balloon memory.
+
+use crate::snap::SnapError;
+
+/// Append-only byte buffer with typed little-endian putters.
+#[derive(Default)]
+pub(crate) struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub(crate) fn new() -> Self {
+        Writer::default()
+    }
+
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub(crate) fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn put_i8(&mut self, v: i8) {
+        self.buf.push(v as u8);
+    }
+
+    pub(crate) fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Floats are stored as raw bits: bit-exact round trips, no textual
+    /// rounding, `NaN`s preserved.
+    pub(crate) fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    pub(crate) fn put_str(&mut self, s: &str) {
+        self.put_usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Bounds-checked cursor over a byte slice.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True once every byte has been consumed — decoders check this to
+    /// reject trailing garbage inside a section.
+    pub(crate) fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::Truncated { context });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub(crate) fn u8(&mut self, context: &'static str) -> Result<u8, SnapError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    pub(crate) fn i8(&mut self, context: &'static str) -> Result<i8, SnapError> {
+        Ok(self.take(1, context)?[0] as i8)
+    }
+
+    pub(crate) fn u32(&mut self, context: &'static str) -> Result<u32, SnapError> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    pub(crate) fn u64(&mut self, context: &'static str) -> Result<u64, SnapError> {
+        let b = self.take(8, context)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn usize(&mut self, context: &'static str) -> Result<usize, SnapError> {
+        let v = self.u64(context)?;
+        usize::try_from(v).map_err(|_| SnapError::Corrupt {
+            context: format!("{context}: value {v} exceeds this platform's usize"),
+        })
+    }
+
+    pub(crate) fn f64(&mut self, context: &'static str) -> Result<f64, SnapError> {
+        Ok(f64::from_bits(self.u64(context)?))
+    }
+
+    /// Read a sequence length and validate it against the bytes actually
+    /// left (`min_elem_bytes` per element) *before* the caller
+    /// allocates: a corrupted count field fails here instead of
+    /// triggering a huge `Vec::with_capacity`.
+    pub(crate) fn len(
+        &mut self,
+        min_elem_bytes: usize,
+        context: &'static str,
+    ) -> Result<usize, SnapError> {
+        let n = self.usize(context)?;
+        if n.checked_mul(min_elem_bytes.max(1))
+            .is_none_or(|bytes| bytes > self.remaining())
+        {
+            return Err(SnapError::Corrupt {
+                context: format!("{context}: count {n} exceeds the bytes remaining"),
+            });
+        }
+        Ok(n)
+    }
+
+    pub(crate) fn str(&mut self, context: &'static str) -> Result<String, SnapError> {
+        let n = self.len(1, context)?;
+        let bytes = self.take(n, context)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| SnapError::Corrupt {
+            context: format!("{context}: invalid UTF-8"),
+        })
+    }
+}
+
+/// FNV-1a, 64-bit — the snapshot checksum. Not cryptographic (snapshots
+/// are trusted local files); it exists to catch torn writes, truncation,
+/// and bit rot, which it does with probability `1 − 2^{-64}` per
+/// section.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_primitives() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_i8(-3);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX);
+        w.put_f64(-0.0);
+        w.put_f64(f64::from_bits(0x7FF8_0000_0000_1234)); // NaN payload
+        w.put_str("héllo");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.i8("b").unwrap(), -3);
+        assert_eq!(r.u32("c").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64("d").unwrap(), u64::MAX);
+        assert_eq!(r.f64("e").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.f64("f").unwrap().to_bits(), 0x7FF8_0000_0000_1234);
+        assert_eq!(r.str("g").unwrap(), "héllo");
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn reads_past_the_end_are_truncation_errors() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        assert!(matches!(
+            r.u32("x"),
+            Err(SnapError::Truncated { context: "x" })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut w = Writer::new();
+        w.put_usize(usize::MAX / 2);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.len(8, "seq"), Err(SnapError::Corrupt { .. })));
+    }
+}

@@ -1,0 +1,299 @@
+//! Serving-layer integration tests:
+//!
+//! * **kill/resume** — a server is stopped mid-session and restarted
+//!   from its snapshot; the resumed server answers its first `MARGINAL`
+//!   without executing a single LF (counted by instrumented LFs) and
+//!   reproduces the pre-kill posteriors bit-for-bit.
+//! * **no torn reads** — N concurrent clients hammer `MARGINAL` while
+//!   an LF edit lands mid-stream; every response must equal the pre- or
+//!   the post-edit posterior exactly, with the generation tag matching.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use snorkel_context::{CandidateId, Corpus};
+use snorkel_core::optimizer::ModelingStrategy;
+use snorkel_incr::{IncrementalSession, SessionConfig};
+use snorkel_lf::{lf, BoxedLf};
+use snorkel_nlp::tokenize;
+use snorkel_serve::{Client, LabelServer, LfSpec, ServeConfig, Snapshot};
+
+fn build_corpus(n: usize) -> Corpus {
+    let mut corpus = Corpus::new();
+    let doc = corpus.add_document("d");
+    for i in 0..n {
+        let verb = match i % 5 {
+            0 | 1 => "causes",
+            2 => "treats",
+            3 => "worsens",
+            _ => "mentions",
+        };
+        let text = format!("alpha{} {} beta{}", i % 7, verb, i % 5);
+        let s = corpus.add_sentence(doc, &text, tokenize(&text));
+        let a = corpus.add_span(s, 0, 1, Some("A"));
+        let b = corpus.add_span(s, 2, 3, Some("B"));
+        corpus.add_candidate(vec![a, b]);
+    }
+    corpus
+}
+
+fn gm_config() -> SessionConfig {
+    SessionConfig {
+        force_strategy: Some(ModelingStrategy::GenerativeModel {
+            epsilon: 0.0,
+            correlations: Vec::new(),
+            strengths: Vec::new(),
+        }),
+        ..SessionConfig::default()
+    }
+}
+
+/// An LF that counts its own invocations (the kill/resume assertion).
+fn counting_lf(name: &str, counter: Arc<AtomicUsize>) -> BoxedLf {
+    lf(name.to_string(), move |x| {
+        counter.fetch_add(1, Ordering::Relaxed);
+        if x.sentence().text().contains("worsens") {
+            1
+        } else {
+            0
+        }
+    })
+}
+
+const SPEC_CAUSES: &str = "lf_causes KEYWORD 1 -1 causes";
+const SPEC_TREATS: &str = "lf_treats KEYWORD -1 1 treats";
+
+fn wire_lf(spec: &str) -> (BoxedLf, u64) {
+    let spec = LfSpec::parse(spec).expect("valid spec");
+    (spec.build().expect("buildable"), spec.content_tag())
+}
+
+/// Session with two wire-expressible LFs plus one counting closure LF.
+fn primed_session(corpus: Corpus, counter: Arc<AtomicUsize>) -> IncrementalSession {
+    let ids: Vec<CandidateId> = corpus.candidate_ids().collect();
+    let mut session = IncrementalSession::new(corpus, gm_config());
+    session.ingest_candidates(&ids);
+    for spec in [SPEC_CAUSES, SPEC_TREATS] {
+        let (lf, tag) = wire_lf(spec);
+        session.add_lf_tagged(lf, tag);
+    }
+    session.add_lf_tagged(counting_lf("lf_count", counter), 7);
+    session.refresh();
+    session
+}
+
+fn field<'a>(response: &'a str, key: &str) -> &'a str {
+    response
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("no {key}= in {response:?}"))
+}
+
+#[test]
+fn kill_and_resume_serves_first_marginal_without_lf_execution() {
+    let dir = std::env::temp_dir().join(format!("snorkel-serve-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let snap_path = dir.join("server.snap");
+
+    // ---- First life: serve, snapshot, die. ----
+    let rows = 200;
+    let c1 = Arc::new(AtomicUsize::new(0));
+    let session = primed_session(build_corpus(rows), Arc::clone(&c1));
+    let invocations_before_serving = c1.load(Ordering::Relaxed);
+    assert!(invocations_before_serving > 0, "priming executed LFs");
+
+    let server = LabelServer::start(
+        session,
+        ServeConfig {
+            snapshot_path: Some(snap_path.clone()),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let pre = client.request("MARGINAL 0:1,1:-1").expect("marginal");
+    assert!(pre.starts_with("OK "), "{pre}");
+    let pre_p = field(&pre, "p").to_string();
+    let apply = client
+        .request("APPLY 0 1 2 3 alpha1 causes beta2")
+        .expect("apply");
+    assert!(apply.starts_with("OK "), "{apply}");
+    let snap = client.request("SNAPSHOT").expect("snapshot");
+    assert!(snap.starts_with("OK "), "{snap}");
+    assert!(client.request("SHUTDOWN").expect("shutdown") == "OK bye");
+    server.wait().expect("clean shutdown");
+    // MARGINAL and SNAPSHOT run no LF code; the one APPLY probe ran the
+    // suite once, on its single transient candidate.
+    assert_eq!(
+        c1.load(Ordering::Relaxed),
+        invocations_before_serving + 1,
+        "only APPLY may execute LFs while serving"
+    );
+
+    // ---- Second life: thaw from the snapshot, serve warm. ----
+    let snapshot = Snapshot::read_file(&snap_path).expect("snapshot loads");
+    let c2 = Arc::new(AtomicUsize::new(0));
+    let lfs: Vec<BoxedLf> = vec![
+        wire_lf(SPEC_CAUSES).0,
+        wire_lf(SPEC_TREATS).0,
+        counting_lf("lf_count", Arc::clone(&c2)),
+    ];
+    let thawed = IncrementalSession::thaw(build_corpus(rows), gm_config(), snapshot.session, lfs)
+        .unwrap_or_else(|e| panic!("thaw: {e}"));
+    let server = LabelServer::start(thawed, ServeConfig::default()).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // First MARGINAL after resume: warm, bit-identical, zero LF runs.
+    let post = client.request("MARGINAL 0:1,1:-1").expect("marginal");
+    assert_eq!(field(&post, "p"), pre_p, "resumed posterior bit-identical");
+    assert_eq!(
+        c2.load(Ordering::Relaxed),
+        0,
+        "warm-started server answered MARGINAL without executing any LF"
+    );
+
+    // A full relabel is also free: everything is cache-served.
+    let refresh = client.request("REFRESH").expect("refresh");
+    assert_eq!(field(&refresh, "lf_invocations"), "0");
+    assert_eq!(field(&refresh, "columns_reused"), "3");
+    assert_eq!(c2.load(Ordering::Relaxed), 0);
+
+    // Editing one LF over the wire re-executes exactly that column.
+    let edited = client
+        .request("REFRESH EDIT lf_causes KEYWORD 1 -1 causes,worsens")
+        .expect("edit");
+    assert_eq!(field(&edited, "columns_recomputed"), "1");
+    assert_eq!(field(&edited, "lf_invocations"), rows.to_string());
+    // Reverting the edit is a full cache hit (content-derived tags).
+    let reverted = client
+        .request(&format!("REFRESH EDIT {SPEC_CAUSES}"))
+        .expect("revert");
+    assert_eq!(field(&reverted, "lf_invocations"), "0");
+
+    client.request("SHUTDOWN").expect("shutdown");
+    server.wait().expect("clean shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn concurrent_marginals_with_midstream_edit_see_no_torn_reads() {
+    const CLIENTS: usize = 8;
+    const QUERIES_PER_CLIENT: usize = 150; // 1200 total ≥ the 1k floor
+
+    let c = Arc::new(AtomicUsize::new(0));
+    let session = primed_session(build_corpus(300), c);
+    let server = LabelServer::start(session, ServeConfig::default()).expect("bind");
+    let addr = server.addr();
+
+    let mut control = Client::connect(addr).expect("connect");
+    let sig = "MARGINAL 0:1,1:-1";
+    let pre = control.request(sig).expect("pre query");
+    let (pre_gen, pre_p) = (field(&pre, "gen").to_string(), field(&pre, "p").to_string());
+
+    // Hammer from N clients; land one LF edit mid-stream. Each client
+    // issues at least its quota *and* keeps querying until the edit has
+    // committed (`edit_done`), then one final query — so the stream is
+    // guaranteed to span the edit on both sides.
+    let edit_done = Arc::new(AtomicUsize::new(0));
+    let responses: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..CLIENTS {
+            let edit_done = Arc::clone(&edit_done);
+            handles.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut responses = Vec::with_capacity(QUERIES_PER_CLIENT + 1);
+                while responses.len() < QUERIES_PER_CLIENT || edit_done.load(Ordering::SeqCst) == 0
+                {
+                    responses.push(client.request(sig).expect("query"));
+                }
+                responses.push(client.request(sig).expect("post-edit query"));
+                responses
+            }));
+        }
+        // Let the hammer threads get going, then edit: replacing
+        // lf_causes with a much broader keyword set moves the fitted
+        // weights, so pre- and post-edit posteriors differ.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let edited = control
+            .request("REFRESH EDIT lf_causes KEYWORD 1 -1 causes,mentions,worsens")
+            .expect("edit");
+        assert!(edited.starts_with("OK "), "{edited}");
+        edit_done.store(1, Ordering::SeqCst);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    let post = control.request(sig).expect("post query");
+    let (post_gen, post_p) = (
+        field(&post, "gen").to_string(),
+        field(&post, "p").to_string(),
+    );
+    assert_ne!(pre_gen, post_gen, "the edit bumped the generation");
+    assert_ne!(
+        pre_p, post_p,
+        "the edit must change this posterior, or the test checks nothing"
+    );
+
+    let mut saw_pre = 0usize;
+    let mut saw_post = 0usize;
+    for response in responses.iter().flatten() {
+        let (gen, p) = (field(response, "gen"), field(response, "p"));
+        if gen == pre_gen {
+            assert_eq!(p, pre_p, "torn read: pre-edit gen with wrong posterior");
+            saw_pre += 1;
+        } else if gen == post_gen {
+            assert_eq!(p, post_p, "torn read: post-edit gen with wrong posterior");
+            saw_post += 1;
+        } else {
+            panic!("response from unknown generation: {response}");
+        }
+    }
+    let total = responses.iter().map(Vec::len).sum::<usize>();
+    assert_eq!(saw_pre + saw_post, total);
+    assert!(total >= CLIENTS * QUERIES_PER_CLIENT, "≥1k queries issued");
+    assert!(saw_post >= CLIENTS, "every client observed the new model");
+
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn stats_and_errors_are_well_formed() {
+    let c = Arc::new(AtomicUsize::new(0));
+    let session = primed_session(build_corpus(60), c);
+    let server = LabelServer::start(session, ServeConfig::default()).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    assert_eq!(client.request("PING").expect("ping"), "OK pong");
+    let stats = client.request("STATS").expect("stats");
+    assert_eq!(field(&stats, "rows"), "60");
+    assert_eq!(field(&stats, "lfs"), "3");
+    assert_eq!(field(&stats, "lf_names"), "lf_causes,lf_treats,lf_count");
+
+    // Errors are reported, never disconnects or panics.
+    for bad in [
+        "NOPE",
+        "MARGINAL",
+        "MARGINAL 9:1",          // column out of model range
+        "MARGINAL 0:7",          // illegal vote for binary
+        "APPLY 5 4 0 1 too few", // inverted span
+        "REFRESH REMOVE lf_nope",
+        "REFRESH EDIT lf_new KEYWORD 1 -1 x", // EDIT of absent LF
+        "REFRESH ADD lf_causes KEYWORD 1 -1 x", // ADD of existing LF
+        "SNAPSHOT",                           // no path configured
+    ] {
+        let response = client.request(bad).expect("still connected");
+        assert!(response.starts_with("ERR "), "{bad:?} -> {response}");
+    }
+    // The connection still works after all those errors.
+    assert_eq!(client.request("PING").expect("ping"), "OK pong");
+    // A marginal memo hit shows up in STATS.
+    client.request("MARGINAL 0:1").expect("q1");
+    client.request("MARGINAL 0:1").expect("q2");
+    let stats = client.request("STATS").expect("stats");
+    let hits: u64 = field(&stats, "memo_hits").parse().expect("number");
+    assert!(hits >= 1, "repeat signature served from the posterior memo");
+
+    server.shutdown().expect("clean shutdown");
+}

@@ -1,0 +1,266 @@
+//! Snapshot format property tests: bit-identical round trips over
+//! arbitrary matrices/models/cardinalities, and corruption tests —
+//! bit-flips, truncations, version bumps, and random garbage must all
+//! yield a typed `SnapError`, never a panic or a silent misread.
+
+use proptest::prelude::*;
+
+use snorkel_context::{CandidateId, Corpus};
+use snorkel_core::model::Scaleout;
+use snorkel_core::optimizer::ModelingStrategy;
+use snorkel_incr::{IncrementalSession, SessionConfig};
+use snorkel_lf::{lf, BoxedLf, LfExecutor, Vote};
+use snorkel_nlp::tokenize;
+use snorkel_serve::{SnapError, Snapshot, FORMAT_VERSION};
+
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b)
+        .wrapping_add(0x632B_E5AB);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 31)
+}
+
+fn build_corpus(n: usize) -> (Corpus, Vec<CandidateId>) {
+    let mut corpus = Corpus::new();
+    let doc = corpus.add_document("d");
+    let mut ids = Vec::new();
+    for i in 0..n {
+        let verb = if mix(i as u64, 11).is_multiple_of(2) {
+            "causes"
+        } else {
+            "treats"
+        };
+        let text = format!("alpha{} {} beta{}", i % 7, verb, i % 5);
+        let s = corpus.add_sentence(doc, &text, tokenize(&text));
+        let a = corpus.add_span(s, 0, 1, Some("A"));
+        let b = corpus.add_span(s, 2, 3, Some("B"));
+        ids.push(corpus.add_candidate(vec![a, b]));
+    }
+    (corpus, ids)
+}
+
+/// Deterministic text-hash LF emitting votes legal for `cardinality`,
+/// with behavior fully determined by `(salt, cardinality)` — two builds
+/// with the same salt are behaviorally identical, which is the thaw
+/// contract.
+fn salted_lf(name: &str, salt: u64, cardinality: u8) -> BoxedLf {
+    lf(name.to_string(), move |x| {
+        let text = x.sentence().text();
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in text.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let r = mix(h, salt) % 1000;
+        if r < 420 {
+            return 0; // abstain
+        }
+        if cardinality == 2 {
+            if r.is_multiple_of(2) {
+                1
+            } else {
+                -1
+            }
+        } else {
+            (1 + (r % cardinality as u64) as i8) as Vote
+        }
+    })
+}
+
+fn session_for(
+    rows: usize,
+    lf_salts: &[u64],
+    cardinality: u8,
+    scaleout: Scaleout,
+) -> IncrementalSession {
+    let (corpus, _) = build_corpus(rows);
+    let config = SessionConfig {
+        executor: LfExecutor {
+            cardinality,
+            ..LfExecutor::default()
+        },
+        force_strategy: Some(ModelingStrategy::GenerativeModel {
+            epsilon: 0.0,
+            correlations: Vec::new(),
+            strengths: Vec::new(),
+        }),
+        scaleout,
+        ..SessionConfig::default()
+    };
+    let mut session = IncrementalSession::over_all_candidates(corpus, config);
+    for (j, &salt) in lf_salts.iter().enumerate() {
+        session.add_lf_tagged(salted_lf(&format!("lf_{j}"), salt, cardinality), salt);
+    }
+    session.refresh();
+    session
+}
+
+fn snapshot_of(session: &IncrementalSession) -> Snapshot {
+    Snapshot {
+        session: session.freeze(),
+        train: session.config().train.clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Freeze → bytes → parse → thaw reproduces the session exactly: a
+    /// bit-identical matrix, model weights, cache, plan, and marginals.
+    #[test]
+    fn round_trip_is_bit_identical(
+        rows in 1usize..120,
+        lf_salts in prop::collection::vec(0u64..1_000_000, 1..6),
+        cardinality in 2u8..5,
+        sharded in prop_oneof![
+            Just(Scaleout::RowWise),
+            Just(Scaleout::Sharded { shards: 3 }),
+        ],
+    ) {
+        let session = session_for(rows, &lf_salts, cardinality, sharded);
+        let snapshot = snapshot_of(&session);
+        let bytes = snapshot.to_bytes();
+        let back = Snapshot::from_bytes(&bytes).expect("own bytes parse");
+
+        // Bit-exact state round trip (Debug formatting of f64 is
+        // shortest-round-trip, hence injective on finite values).
+        prop_assert_eq!(
+            format!("{:?}", back.session),
+            format!("{:?}", snapshot.session)
+        );
+        prop_assert_eq!(format!("{:?}", back.train), format!("{:?}", snapshot.train));
+
+        // Thaw and compare marginals to the last bit.
+        let (corpus, _) = build_corpus(rows);
+        let config = session.config().clone();
+        let lfs: Vec<BoxedLf> = lf_salts
+            .iter()
+            .enumerate()
+            .map(|(j, &salt)| salted_lf(&format!("lf_{j}"), salt, cardinality))
+            .collect();
+        let thawed = match IncrementalSession::thaw(corpus, config, back.session, lfs) {
+            Ok(s) => s,
+            Err(e) => panic!("thaw: {e}"),
+        };
+        let lambda = session.label_matrix().expect("Λ built");
+        prop_assert_eq!(thawed.label_matrix().expect("Λ restored"), lambda);
+        let frozen_marginals = session.model().expect("model").marginals_rowwise(lambda);
+        let thawed_marginals = thawed.model().expect("model").marginals_rowwise(lambda);
+        prop_assert_eq!(thawed_marginals, frozen_marginals);
+    }
+
+    /// Any single-bit flip anywhere in the file is detected.
+    #[test]
+    fn every_bit_flip_is_detected(case_salt in 0u64..1000) {
+        let session = session_for(17, &[case_salt, case_salt + 1], 2, Scaleout::RowWise);
+        let bytes = snapshot_of(&session).to_bytes();
+        // Sampled positions (every flip at small sizes is ~8·len decode
+        // attempts; sample densely but boundedly).
+        let stride = (bytes.len() / 97).max(1);
+        for pos in (0..bytes.len()).step_by(stride) {
+            for bit in 0..8 {
+                let mut corrupted = bytes.clone();
+                corrupted[pos] ^= 1 << bit;
+                prop_assert!(
+                    Snapshot::from_bytes(&corrupted).is_err(),
+                    "bit {bit} of byte {pos} flipped silently"
+                );
+            }
+        }
+    }
+
+    /// Every truncation is detected.
+    #[test]
+    fn every_truncation_is_detected(case_salt in 0u64..1000) {
+        let session = session_for(13, &[case_salt], 2, Scaleout::RowWise);
+        let bytes = snapshot_of(&session).to_bytes();
+        let stride = (bytes.len() / 163).max(1);
+        for len in (0..bytes.len()).step_by(stride) {
+            prop_assert!(
+                Snapshot::from_bytes(&bytes[..len]).is_err(),
+                "truncation to {len} bytes parsed"
+            );
+        }
+    }
+
+    /// Random garbage never panics — it errors.
+    #[test]
+    fn random_garbage_never_panics(
+        garbage in prop::collection::vec(0u8..=255, 0..512)
+    ) {
+        prop_assert!(Snapshot::from_bytes(&garbage).is_err());
+    }
+}
+
+#[test]
+fn version_bump_is_a_typed_error() {
+    let session = session_for(9, &[3], 2, Scaleout::RowWise);
+    let mut bytes = snapshot_of(&session).to_bytes();
+    bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    match Snapshot::from_bytes(&bytes) {
+        Err(SnapError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, FORMAT_VERSION + 1);
+            assert_eq!(supported, FORMAT_VERSION);
+        }
+        other => panic!("want UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn bad_magic_and_short_files_are_typed_errors() {
+    let session = session_for(9, &[4], 2, Scaleout::RowWise);
+    let mut bytes = snapshot_of(&session).to_bytes();
+    bytes[0] ^= 0xFF;
+    assert!(matches!(
+        Snapshot::from_bytes(&bytes),
+        Err(SnapError::BadMagic)
+    ));
+    assert!(matches!(
+        Snapshot::from_bytes(&[]),
+        Err(SnapError::Truncated { .. })
+    ));
+    assert!(matches!(
+        Snapshot::from_bytes(b"SNKLSNA"),
+        Err(SnapError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn flipped_payload_reports_checksum_mismatch() {
+    let session = session_for(20, &[5, 6], 2, Scaleout::RowWise);
+    let snapshot = snapshot_of(&session);
+    let bytes = snapshot.to_bytes();
+    // Flip a byte deep in the payload region (past the header).
+    let mut corrupted = bytes.clone();
+    let pos = bytes.len() - 9;
+    corrupted[pos] ^= 0x10;
+    assert!(matches!(
+        Snapshot::from_bytes(&corrupted),
+        Err(SnapError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn file_round_trip_is_atomic_and_loadable() {
+    let dir = std::env::temp_dir().join(format!("snorkel-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("session.snap");
+    let session = session_for(25, &[7, 8, 9], 2, Scaleout::Sharded { shards: 2 });
+    let snapshot = snapshot_of(&session);
+    let written = snapshot.write_file(&path).expect("write");
+    assert_eq!(written, std::fs::metadata(&path).expect("stat").len());
+    let back = Snapshot::read_file(&path).expect("read");
+    assert_eq!(
+        format!("{:?}", back.session),
+        format!("{:?}", snapshot.session)
+    );
+    // The temp file used for atomic replacement is gone: the snapshot
+    // is the only file left in the directory.
+    let entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("list")
+        .map(|e| e.expect("entry").file_name())
+        .collect();
+    assert_eq!(entries, vec![std::ffi::OsString::from("session.snap")]);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Serve smoke: start the labeling server on a loopback port, drive
+# MARGINAL/APPLY/REFRESH/SNAPSHOT from the script client, hammer it with
+# concurrent clients while an LF edit lands mid-stream (torn-read
+# check), assert a clean shutdown and a loadable snapshot, then restart
+# from the snapshot and assert the warm start re-executed zero LFs.
+#
+# Run from the repo root (CI runs it under a job timeout):
+#   bash scripts/serve_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${SNORKEL_SERVE_PORT:-7341}"
+SNAP_DIR=target/serve-smoke
+SNAP="$SNAP_DIR/server.snap"
+mkdir -p "$SNAP_DIR"
+rm -f "$SNAP"
+
+cargo build --release --example serving
+BIN=target/release/examples/serving
+
+SRV_PID=""
+cleanup() {
+    if [[ -n "$SRV_PID" ]] && kill -0 "$SRV_PID" 2>/dev/null; then
+        kill "$SRV_PID" 2>/dev/null || true
+    fi
+}
+trap cleanup EXIT
+
+wait_listening() {
+    for _ in $(seq 1 100); do
+        if "$BIN" client --port "$PORT" PING >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.2
+    done
+    echo "FAIL: server never started listening" >&2
+    exit 1
+}
+
+expect() { # expect <substring> <<< "$output"
+    local needle="$1" line
+    line="$(cat)"
+    echo "$line"
+    case "$line" in
+        *"$needle"*) ;;
+        *)
+            echo "FAIL: expected $needle in: $line" >&2
+            exit 1
+            ;;
+    esac
+}
+
+echo "== first life: cold start, serve, snapshot, shut down =="
+"$BIN" server --port "$PORT" --rows 3000 --snapshot "$SNAP" --auto-snapshot-ms 2000 &
+SRV_PID=$!
+wait_listening
+
+"$BIN" client --port "$PORT" "MARGINAL 0:1,1:-1" | expect "OK gen="
+"$BIN" client --port "$PORT" "APPLY 0 1 2 3 chem1 causes disease2" | expect "votes="
+# ≥1k concurrent marginal queries with one LF edit landing mid-stream;
+# the hammer exits non-zero on any torn read and reverts the edit.
+"$BIN" hammer --port "$PORT" --clients 8 --queries 150 | expect "no torn reads"
+"$BIN" client --port "$PORT" "SNAPSHOT" | expect "OK bytes="
+"$BIN" client --port "$PORT" "STATS" | expect "rows=3000"
+"$BIN" client --port "$PORT" "SHUTDOWN" | expect "OK bye"
+
+# Graceful shutdown: the server process must exit 0 on its own.
+wait "$SRV_PID"
+SRV_PID=""
+echo "server exited cleanly"
+
+echo "== snapshot must load =="
+"$BIN" verify-snap "$SNAP" | expect "snapshot OK"
+
+echo "== second life: resume warm from the snapshot =="
+"$BIN" server --port "$PORT" --rows 3000 --resume "$SNAP" &
+SRV_PID=$!
+wait_listening
+
+"$BIN" client --port "$PORT" "MARGINAL 0:1,1:-1" | expect "OK gen="
+# The resumed server relabels everything from cache: zero LF runs.
+"$BIN" client --port "$PORT" "REFRESH" | expect "lf_invocations=0"
+"$BIN" client --port "$PORT" "SHUTDOWN" | expect "OK bye"
+wait "$SRV_PID"
+SRV_PID=""
+
+echo "serve smoke OK"

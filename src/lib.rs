@@ -23,6 +23,9 @@
 //! * [`incr`] — the incremental labeling engine for the interactive dev
 //!   loop: content-addressed LF-result caching, delta Λ updates, and
 //!   warm-started training behind [`incr::IncrementalSession`].
+//! * [`serve`] — durable session snapshots (versioned, checksummed
+//!   binary format) and the concurrent TCP labeling service
+//!   ([`serve::LabelServer`]).
 //! * [`disc`] — noise-aware discriminative models and evaluation metrics.
 //! * [`datasets`] — synthetic analogues of the paper's six applications.
 //! * [`linalg`] — dense/sparse numerics shared by the model crates.
@@ -45,3 +48,4 @@ pub use snorkel_linalg as linalg;
 pub use snorkel_matrix as matrix;
 pub use snorkel_nlp as nlp;
 pub use snorkel_pattern as pattern;
+pub use snorkel_serve as serve;
