@@ -79,6 +79,7 @@ fn advantage_row(
     let decision = choose_strategy(lambda_train, &cfg);
     let strategy = match decision.strategy {
         snorkel_core::optimizer::ModelingStrategy::MajorityVote => "MV",
+        snorkel_core::optimizer::ModelingStrategy::MomentMatching => "MoM",
         snorkel_core::optimizer::ModelingStrategy::GenerativeModel { .. } => "GM",
     };
     let mut gm = GenerativeModel::new(lambda_train.num_lfs(), LabelScheme::Binary);

@@ -53,6 +53,7 @@ pub fn speedup(scale: Scale) -> String {
          (modeling stage alone: {:.1} ms vs {:.1} ms).\n\n",
         match report_opt.strategy {
             ModelingStrategy::MajorityVote => "MV",
+            ModelingStrategy::MomentMatching => "MoM",
             ModelingStrategy::GenerativeModel { .. } => "GM",
         },
         1e3 * opt_time.as_secs_f64(),

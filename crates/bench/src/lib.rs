@@ -207,17 +207,23 @@ pub fn eval_text_task(task: &RelationTask) -> TextTaskEval {
     });
     let (soft_rows, report) = pipe.run_from_matrix(&lambda_train);
     let soft: Vec<f64> = soft_rows.iter().map(|r| r[0]).collect();
-    // Generative predictions on test rows (same weights, test votes),
-    // thresholded on dev posteriors.
-    let gen_prf = match &report.model {
-        Some(gm) => {
-            let thr = best_f1_threshold(&gm.prob_positive(&lambda_dev), &gold_dev);
-            precision_recall_f1(
-                &predict_at(&gm.prob_positive(&lambda_test), thr),
-                &gold_test,
-            )
-        }
-        None => precision_recall_f1(&snorkel_core::vote::majority_vote(&lambda_test), &gold_test),
+    // Label-model predictions on test rows (same weights, test votes),
+    // thresholded on dev posteriors. Any weighted backend (generative,
+    // moment) has real posteriors to threshold; the MV backend does not
+    // — score it as the hard majority vote, like the paper.
+    let gen_prf = if report.backend == snorkel_core::label_model::BACKEND_MAJORITY_VOTE {
+        precision_recall_f1(&snorkel_core::vote::majority_vote(&lambda_test), &gold_test)
+    } else {
+        let prob_positive = |lambda: &LabelMatrix| -> Vec<f64> {
+            report
+                .model
+                .marginals(lambda, None)
+                .into_iter()
+                .map(|p| p[0])
+                .collect()
+        };
+        let thr = best_f1_threshold(&prob_positive(&lambda_dev), &gold_dev);
+        precision_recall_f1(&predict_at(&prob_positive(&lambda_test), thr), &gold_test)
     };
 
     // Arm 3: Snorkel discriminative.

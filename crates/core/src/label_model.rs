@@ -1,0 +1,1348 @@
+//! The pluggable label-model backend API.
+//!
+//! The paper's central separation is between *label sources* (the LF
+//! suite producing Λ) and the *model that denoises them* (producing the
+//! probabilistic labels Ỹ). This module makes that second half a
+//! swappable component: every backend implements [`LabelModel`] — fit,
+//! warm refit, plan-aware marginals, and a stable snapshot encoding —
+//! and the pipeline, the incremental session, and the serving layer all
+//! program against `Box<dyn LabelModel>` instead of a concrete model.
+//!
+//! Three backends ship:
+//!
+//! * [`MajorityVoteModel`] (`"majority-vote"`) — the zero-cost baseline:
+//!   `fit` is a no-op and the posterior is the (plurality) majority
+//!   vote, one-hot on a unique winner and uniform on ties/abstains.
+//!   What used to be a special case inside the pipeline is now just the
+//!   cheapest backend.
+//! * [`crate::model::GenerativeModel`] (`"generative"`) — the exact
+//!   paper model (§2.2): EM + damped-Newton training of the
+//!   accuracy/propensity factors, Gibbs contrastive divergence when
+//!   correlations are modeled. Its marginals through this trait are
+//!   bit-identical to calling the concrete type directly (the trait
+//!   impl delegates; property-tested in `tests/proptest_model.rs`).
+//! * [`MomentModel`] (`"moment"`) — a closed-form method-of-moments
+//!   accuracy estimator in the spirit of the original Data Programming
+//!   analysis: under the independent model, the *observed* pairwise
+//!   agreement rates factor through per-LF accuracies
+//!   (`E[agree_{jk}] = 1/K + (K−1)/K · u_j u_k` on balanced classes,
+//!   with `u = (K·acc − 1)/(K − 1)`), so each accuracy is recovered
+//!   from agreement-rate triplets `u_j² = e_ja e_jb / e_ab` without any
+//!   iteration. One statistics pass over Λ (or one pass over the
+//!   deduplicated [`snorkel_matrix::PatternIndex`] when a plan is
+//!   supplied) replaces the Newton loop — orders of magnitude cheaper
+//!   at million-row scale, at the price of a small statistical gap from
+//!   the exact MLE that vanishes as `m` grows.
+//!
+//! [`ModelRegistry`] maps backend names to constructors; the
+//! Algorithm-1 optimizer ([`crate::optimizer::select_model`]) picks a
+//! *backend* out of the registry rather than hard-coding the
+//! MV-vs-generative branch.
+//!
+//! # Example
+//!
+//! ```
+//! use snorkel_core::label_model::{LabelModel, ModelRegistry};
+//! use snorkel_core::model::TrainConfig;
+//! use snorkel_core::optimizer::{select_model, OptimizerConfig};
+//! use snorkel_matrix::LabelMatrixBuilder;
+//!
+//! // A tiny binary Λ: two LFs voting +1/−1 on four points.
+//! let mut b = LabelMatrixBuilder::new(4, 2);
+//! b.set(0, 0, 1);
+//! b.set(1, 0, 1);
+//! b.set(1, 1, -1);
+//! b.set(2, 1, -1);
+//! let lambda = b.build();
+//!
+//! // Let the optimizer pick a backend over the standard registry,
+//! // build it, fit it, and read probabilistic labels — the same four
+//! // calls work for every backend.
+//! let registry = ModelRegistry::standard();
+//! let decision = select_model(&lambda, &OptimizerConfig::default(), &registry);
+//! let mut model: Box<dyn LabelModel> = registry
+//!     .build(&decision.strategy, lambda.num_lfs(), lambda.cardinality())
+//!     .unwrap();
+//! model.fit(&lambda, None, &TrainConfig::default());
+//! let labels = model.marginals(&lambda, None);
+//! assert_eq!(labels.len(), 4);
+//! assert!(labels.iter().all(|p| (p.iter().sum::<f64>() - 1.0).abs() < 1e-9));
+//!
+//! // The backend round-trips through its tagged snapshot encoding.
+//! let restored = model.to_snapshot().restore().unwrap();
+//! assert_eq!(restored.backend_name(), model.backend_name());
+//! assert_eq!(restored.marginals(&lambda, None), labels);
+//! ```
+
+use std::any::Any;
+
+use snorkel_matrix::{LabelMatrix, ShardedMatrix, Vote};
+
+use crate::model::{
+    prior_pseudocounts, ClassBalance, FitReport, GenerativeModel, LabelScheme, ModelParams,
+    ParamsError, TrainConfig, W_CLAMP,
+};
+use crate::optimizer::ModelingStrategy;
+
+/// Backend name of [`MajorityVoteModel`].
+pub const BACKEND_MAJORITY_VOTE: &str = "majority-vote";
+/// Backend name of the exact [`GenerativeModel`].
+pub const BACKEND_GENERATIVE: &str = "generative";
+/// Backend name of [`MomentModel`].
+pub const BACKEND_MOMENT: &str = "moment";
+
+/// A label-model backend: anything that can turn a label matrix Λ into
+/// per-row class posteriors, be refit warm after an edit, and round-trip
+/// its fitted state through a [`ModelSnapshot`].
+///
+/// The `plan` argument of [`fit`](Self::fit) /
+/// [`fit_warm`](Self::fit_warm) / [`marginals`](Self::marginals) is the
+/// caller's resolved scale-out decision: `Some` hands the backend a
+/// prebuilt pattern-deduplicated [`ShardedMatrix`] covering exactly
+/// `lambda` (backends exploit it or ignore it); `None` means "walk rows"
+/// — backends must not build plans of their own, so the caller stays in
+/// charge of when the index is (re)built.
+///
+/// See the [module docs](self) for the shipped backends and a usage
+/// example.
+pub trait LabelModel: std::fmt::Debug + Send + Sync {
+    /// Stable backend name — the [`ModelRegistry`] key, the tag reported
+    /// by the serving layer's `STATS`, and the discriminant of the
+    /// snapshot encoding.
+    fn backend_name(&self) -> &'static str;
+
+    /// The label scheme this model scores votes under.
+    fn scheme(&self) -> LabelScheme;
+
+    /// Number of LF columns the model covers.
+    fn num_lfs(&self) -> usize;
+
+    /// Fit to a label matrix from scratch.
+    fn fit(
+        &mut self,
+        lambda: &LabelMatrix,
+        plan: Option<&ShardedMatrix>,
+        cfg: &TrainConfig,
+    ) -> FitReport;
+
+    /// Refit after an edit, warm-starting from `prev` (a model of the
+    /// same backend fitted to the pre-edit matrix) where the backend
+    /// supports it. `changed_cols` lists the columns whose LF was
+    /// edited. Backends that cannot reuse `prev` — including every
+    /// backend handed a `prev` of a *different* backend — fall back to a
+    /// cold [`fit`](Self::fit); the returned
+    /// [`FitReport::warm_started`] says which path ran.
+    fn fit_warm(
+        &mut self,
+        lambda: &LabelMatrix,
+        plan: Option<&ShardedMatrix>,
+        cfg: &TrainConfig,
+        prev: &dyn LabelModel,
+        changed_cols: &[usize],
+    ) -> FitReport;
+
+    /// Whether this backend profits from a pattern-deduplicated plan at
+    /// all. One-shot callers (the batch pipeline) skip the plan build
+    /// entirely when it returns `false` — the majority-vote backend's
+    /// whole labeling pass is one `O(nnz)` walk, so an index build would
+    /// cost more than it saves. Callers that maintain a plan anyway
+    /// (the incremental session keeps it alive across refreshes) may
+    /// still pass one; backends must accept it either way.
+    fn benefits_from_plan(&self) -> bool {
+        true
+    }
+
+    /// Posterior class distribution for one row of votes.
+    fn posterior(&self, cols: &[u32], votes: &[Vote]) -> Vec<f64>;
+
+    /// Posterior class distributions for every row of `lambda`
+    /// (`labels[row][class]`), through the plan when one is supplied.
+    fn marginals(&self, lambda: &LabelMatrix, plan: Option<&ShardedMatrix>) -> Vec<Vec<f64>>;
+
+    /// Hard predictions: the MAP class as a vote value; 0 when the
+    /// posterior is tied over its top classes (no evidence).
+    fn predicted_labels(&self, lambda: &LabelMatrix) -> Vec<Vote> {
+        let scheme = self.scheme();
+        self.marginals(lambda, None)
+            .into_iter()
+            .map(|post| map_vote(scheme, &post))
+            .collect()
+    }
+
+    /// An *unfitted* model over `col_map.len()` columns carrying over
+    /// whatever per-column state survives a structural suite edit:
+    /// `col_map[j] = Some(old_j)` maps new column `j` to the previous
+    /// model's column `old_j`. The result is the `prev` for a
+    /// [`fit_warm`](Self::fit_warm) after adding/removing LFs. Backends
+    /// with no per-column state return a fresh model.
+    fn remapped(&self, col_map: &[Option<usize>]) -> Box<dyn LabelModel>;
+
+    /// Export the fitted state as a tagged, backend-identified snapshot
+    /// (the stable encoding surface for `snorkel-serve`).
+    /// [`ModelSnapshot::restore`] is the inverse.
+    fn to_snapshot(&self) -> ModelSnapshot;
+
+    /// Clone into a box (object-safe `Clone`).
+    fn clone_box(&self) -> Box<dyn LabelModel>;
+
+    /// The concrete value, for downcasts (see `dyn LabelModel`'s
+    /// `downcast_ref`).
+    fn as_any(&self) -> &dyn Any;
+}
+
+impl Clone for Box<dyn LabelModel> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+impl dyn LabelModel {
+    /// Downcast to a concrete backend type (e.g. to read
+    /// [`GenerativeModel::implied_accuracies`] off a fitted pipeline
+    /// model).
+    pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
+        self.as_any().downcast_ref::<T>()
+    }
+}
+
+/// MAP vote of one posterior row: the unique argmax class's vote value,
+/// 0 on a tie over the top classes.
+fn map_vote(scheme: LabelScheme, post: &[f64]) -> Vote {
+    let best = post.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let winners: Vec<usize> = (0..post.len())
+        .filter(|&c| (post[c] - best).abs() < 1e-12)
+        .collect();
+    if winners.len() == 1 {
+        scheme.vote_of_class(winners[0])
+    } else {
+        0
+    }
+}
+
+/// Compute per-row posteriors, once per unique pattern when a plan is
+/// supplied (scattering each pattern's posterior back to its rows in
+/// shard order), row by row otherwise. The posterior of a row is a pure
+/// function of its vote signature for every backend, so both paths are
+/// bit-identical.
+fn marginals_via<F>(
+    lambda: &LabelMatrix,
+    plan: Option<&ShardedMatrix>,
+    posterior: F,
+) -> Vec<Vec<f64>>
+where
+    F: Fn(&[u32], &[Vote]) -> Vec<f64> + Sync,
+{
+    match plan {
+        None => (0..lambda.num_points())
+            .map(|i| {
+                let (cols, votes) = lambda.row(i);
+                posterior(cols, votes)
+            })
+            .collect(),
+        Some(plan) => {
+            let per_shard: Vec<Vec<Vec<f64>>> = plan.map_shards(|idx| {
+                let mut posts = vec![Vec::new(); idx.num_slots()];
+                for (p, cols, votes, _) in idx.live_patterns() {
+                    posts[p] = posterior(cols, votes);
+                }
+                posts
+            });
+            let mut out = vec![Vec::new(); lambda.num_points()];
+            for (idx, posts) in plan.shards().iter().zip(&per_shard) {
+                for row in idx.row_range() {
+                    out[row] = posts[idx.pattern_of_row(row)].clone();
+                }
+            }
+            out
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Majority-vote backend
+// ----------------------------------------------------------------------
+
+/// The unweighted majority vote as a first-class backend: `fit` is free,
+/// the posterior is one-hot on the plurality class and uniform on ties
+/// and all-abstain rows — exactly the labels the pipeline's old MV
+/// special case produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MajorityVoteModel {
+    scheme: LabelScheme,
+    n: usize,
+}
+
+impl MajorityVoteModel {
+    /// A majority-vote backend over `n` LFs.
+    pub fn new(n: usize, scheme: LabelScheme) -> Self {
+        MajorityVoteModel { scheme, n }
+    }
+}
+
+impl LabelModel for MajorityVoteModel {
+    fn backend_name(&self) -> &'static str {
+        BACKEND_MAJORITY_VOTE
+    }
+
+    fn benefits_from_plan(&self) -> bool {
+        // Labeling is a single O(nnz) pass; building an index to dedup
+        // it costs more than the pass itself.
+        false
+    }
+
+    fn scheme(&self) -> LabelScheme {
+        self.scheme
+    }
+
+    fn num_lfs(&self) -> usize {
+        self.n
+    }
+
+    fn fit(
+        &mut self,
+        lambda: &LabelMatrix,
+        _plan: Option<&ShardedMatrix>,
+        _cfg: &TrainConfig,
+    ) -> FitReport {
+        assert_eq!(
+            lambda.num_lfs(),
+            self.n,
+            "matrix has {} LFs but model has {}",
+            lambda.num_lfs(),
+            self.n
+        );
+        FitReport {
+            epochs: 0,
+            final_nll: f64::NAN,
+            used_gibbs: false,
+            warm_started: false,
+        }
+    }
+
+    fn fit_warm(
+        &mut self,
+        lambda: &LabelMatrix,
+        plan: Option<&ShardedMatrix>,
+        cfg: &TrainConfig,
+        _prev: &dyn LabelModel,
+        _changed_cols: &[usize],
+    ) -> FitReport {
+        // Nothing to warm-start: the fit is already free.
+        self.fit(lambda, plan, cfg)
+    }
+
+    fn posterior(&self, _cols: &[u32], votes: &[Vote]) -> Vec<f64> {
+        let k = self.scheme.num_classes();
+        let mut tally = vec![0usize; k];
+        for &v in votes {
+            if let Some(c) = self.scheme.class_of_vote(v) {
+                tally[c] += 1;
+            }
+        }
+        let best = tally.iter().copied().max().unwrap_or(0);
+        let winner_count = tally.iter().filter(|&&t| t == best).count();
+        let mut p = vec![0.0; k];
+        if best == 0 || winner_count > 1 {
+            p.iter_mut().for_each(|x| *x = 1.0 / k as f64);
+        } else {
+            let winner = tally.iter().position(|&t| t == best).expect("best exists");
+            p[winner] = 1.0;
+        }
+        p
+    }
+
+    fn marginals(&self, lambda: &LabelMatrix, plan: Option<&ShardedMatrix>) -> Vec<Vec<f64>> {
+        marginals_via(lambda, plan, |cols, votes| self.posterior(cols, votes))
+    }
+
+    fn remapped(&self, col_map: &[Option<usize>]) -> Box<dyn LabelModel> {
+        Box::new(MajorityVoteModel::new(col_map.len(), self.scheme))
+    }
+
+    fn to_snapshot(&self) -> ModelSnapshot {
+        ModelSnapshot::MajorityVote {
+            cardinality: self.scheme.cardinality(),
+            num_lfs: self.n,
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn LabelModel> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+// ----------------------------------------------------------------------
+// Generative backend (trait impl over the concrete model)
+// ----------------------------------------------------------------------
+
+impl LabelModel for GenerativeModel {
+    fn backend_name(&self) -> &'static str {
+        BACKEND_GENERATIVE
+    }
+
+    fn scheme(&self) -> LabelScheme {
+        GenerativeModel::scheme(self)
+    }
+
+    fn num_lfs(&self) -> usize {
+        GenerativeModel::num_lfs(self)
+    }
+
+    fn fit(
+        &mut self,
+        lambda: &LabelMatrix,
+        plan: Option<&ShardedMatrix>,
+        cfg: &TrainConfig,
+    ) -> FitReport {
+        match plan {
+            Some(p) => self.fit_with(lambda, p, cfg),
+            // No plan from the caller: honor cfg.scaleout as before (the
+            // concrete fit resolves it; callers that pinned RowWise get
+            // the row-wise pass).
+            None => GenerativeModel::fit(self, lambda, cfg),
+        }
+    }
+
+    fn fit_warm(
+        &mut self,
+        lambda: &LabelMatrix,
+        plan: Option<&ShardedMatrix>,
+        cfg: &TrainConfig,
+        prev: &dyn LabelModel,
+        changed_cols: &[usize],
+    ) -> FitReport {
+        match prev.as_any().downcast_ref::<GenerativeModel>() {
+            Some(p)
+                if GenerativeModel::num_lfs(p) == GenerativeModel::num_lfs(self)
+                    && GenerativeModel::scheme(p) == GenerativeModel::scheme(self) =>
+            {
+                match plan {
+                    Some(pl) => self.fit_warm_with(lambda, pl, cfg, p, changed_cols),
+                    None => GenerativeModel::fit_warm(self, lambda, cfg, p, changed_cols),
+                }
+            }
+            // Different backend or incompatible shape: cold fit.
+            _ => LabelModel::fit(self, lambda, plan, cfg),
+        }
+    }
+
+    fn posterior(&self, cols: &[u32], votes: &[Vote]) -> Vec<f64> {
+        GenerativeModel::posterior(self, cols, votes)
+    }
+
+    fn marginals(&self, lambda: &LabelMatrix, plan: Option<&ShardedMatrix>) -> Vec<Vec<f64>> {
+        match plan {
+            Some(p) => self.marginals_with(lambda, p),
+            None => self.marginals_rowwise(lambda),
+        }
+    }
+
+    fn predicted_labels(&self, lambda: &LabelMatrix) -> Vec<Vote> {
+        GenerativeModel::predicted_labels(self, lambda)
+    }
+
+    fn remapped(&self, col_map: &[Option<usize>]) -> Box<dyn LabelModel> {
+        Box::new(GenerativeModel::remapped_from(self, col_map))
+    }
+
+    fn to_snapshot(&self) -> ModelSnapshot {
+        ModelSnapshot::Generative(self.to_params())
+    }
+
+    fn clone_box(&self) -> Box<dyn LabelModel> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+// ----------------------------------------------------------------------
+// Method-of-moments backend
+// ----------------------------------------------------------------------
+
+/// Closed-form method-of-moments accuracy estimator (module docs have
+/// the identity). The fitted state is held as a [`GenerativeModel`] with
+/// moment-estimated weights and no correlation factors, so inference —
+/// posteriors, pattern-deduplicated marginals — reuses the exact
+/// backend's battle-tested paths; only *fitting* differs: one
+/// statistics pass and an `O(n³)` triplet solve replace the EM/Newton
+/// loop.
+#[derive(Clone, Debug)]
+pub struct MomentModel {
+    inner: GenerativeModel,
+}
+
+/// Minimum weighted co-vote count for a pair's agreement rate to enter
+/// the triplet solve — below this the rate is sampling noise.
+const MIN_PAIR_OBS: f64 = 8.0;
+
+/// Minimum |e_ab| for a pair to serve as a triplet denominator.
+const MIN_DENOM: f64 = 1e-4;
+
+impl MomentModel {
+    /// An unfitted moment backend over `n` LFs.
+    pub fn new(n: usize, scheme: LabelScheme) -> Self {
+        MomentModel {
+            inner: GenerativeModel::new(n, scheme),
+        }
+    }
+
+    /// Rebuild from exported parameters (the [`ModelSnapshot`] path).
+    pub fn from_params(params: ModelParams) -> Result<MomentModel, ParamsError> {
+        Ok(MomentModel {
+            inner: GenerativeModel::from_params(params)?,
+        })
+    }
+
+    /// Export the fitted parameters (correlation arrays always empty).
+    pub fn to_params(&self) -> ModelParams {
+        self.inner.to_params()
+    }
+
+    /// Implied LF accuracies (same transform as the exact backend).
+    pub fn implied_accuracies(&self) -> Vec<f64> {
+        self.inner.implied_accuracies()
+    }
+
+    /// The moment-estimated accuracy weights (log-odds scale).
+    pub fn accuracy_weights(&self) -> &[f64] {
+        self.inner.accuracy_weights()
+    }
+
+    /// One statistics pass + closed-form solve. See the module docs for
+    /// the estimator; this is the whole training loop.
+    fn fit_closed_form(
+        &mut self,
+        lambda: &LabelMatrix,
+        plan: Option<&ShardedMatrix>,
+        cfg: &TrainConfig,
+    ) {
+        let scheme = GenerativeModel::scheme(&self.inner);
+        let n = GenerativeModel::num_lfs(&self.inner);
+        let k = scheme.num_classes();
+        let kf = k as f64;
+        let k1 = kf - 1.0;
+        let m = lambda.num_points();
+
+        // ---- The single pass: per-LF and pairwise sufficient stats.
+        let stats = match plan {
+            Some(plan) => {
+                let partials = plan.map_shards(|idx| {
+                    let mut s = MomentStats::new(n, k);
+                    for (_, cols, votes, cnt) in idx.live_patterns() {
+                        s.accumulate(scheme, cols, votes, cnt as f64);
+                    }
+                    s
+                });
+                let mut total = MomentStats::new(n, k);
+                for p in &partials {
+                    total.merge(p);
+                }
+                total
+            }
+            None => {
+                let mut s = MomentStats::new(n, k);
+                for i in 0..m {
+                    let (cols, votes) = lambda.row(i);
+                    s.accumulate(scheme, cols, votes, 1.0);
+                }
+                s
+            }
+        };
+
+        // ---- Pairwise agreement signal e_jl = (K·p_jl − 1)/(K−1).
+        let e = |j: usize, l: usize| -> Option<f64> {
+            let (a, b) = (j.min(l), j.max(l));
+            let both = stats.both[a * n + b];
+            if both < MIN_PAIR_OBS {
+                return None;
+            }
+            Some((kf * (stats.agree[a * n + b] / both) - 1.0) / k1)
+        };
+
+        // ---- Per-LF accuracy from triplets (median over all valid
+        // (a, b) partners), with MV-agreement fallback and sign.
+        let (alpha_agree, alpha_dis, _) = prior_pseudocounts(cfg.init_acc_weight, k1);
+        let prior_strength = alpha_agree + alpha_dis;
+        let prior_acc = alpha_agree / prior_strength;
+        let mut w_acc = vec![0.0f64; n];
+        let mut w_lab = vec![0.0f64; n];
+        let mut estimates: Vec<f64> = Vec::new();
+        for j in 0..n {
+            estimates.clear();
+            for a in 0..n {
+                if a == j {
+                    continue;
+                }
+                let Some(e_ja) = e(j, a) else { continue };
+                for b in (a + 1)..n {
+                    if b == j {
+                        continue;
+                    }
+                    let (Some(e_jb), Some(e_ab)) = (e(j, b), e(a, b)) else {
+                        continue;
+                    };
+                    if e_ab.abs() < MIN_DENOM {
+                        continue;
+                    }
+                    estimates.push((e_ja * e_jb / e_ab).clamp(0.0, 1.0));
+                }
+            }
+            let u = if estimates.is_empty() {
+                // Too few informative partners (n < 3, sparse overlap):
+                // fall back to the agreement rate with the plurality
+                // vote, shrunk toward the prior.
+                let a_mv = (stats.agree_mv[j] + prior_strength * prior_acc)
+                    / (stats.total_mv[j] + prior_strength);
+                ((kf * a_mv - 1.0) / k1).clamp(0.0, 1.0)
+            } else {
+                estimates.sort_by(f64::total_cmp);
+                estimates[estimates.len() / 2].sqrt()
+            };
+            // Triplets only pin |u|; the sign comes from which side of
+            // chance the LF's agreement with the plurality vote falls.
+            // Applied unconditionally — with `clamp_nonadversarial` set,
+            // the `w < 0` floor below turns the negative weight into 0,
+            // matching the exact backend's clamp semantics (skipping the
+            // sign would instead *trust* the adversarial LF at +|u|).
+            let adversarial = stats.total_mv[j] >= MIN_PAIR_OBS
+                && stats.agree_mv[j] / stats.total_mv[j] < 1.0 / kf;
+            let u_signed = if adversarial { -u } else { u };
+            // Map back to an accuracy, shrink toward the prior with the
+            // same pseudocount mass the exact path uses, and convert to
+            // the log-odds weight scale.
+            let acc_raw = (1.0 + k1 * u_signed) / kf;
+            let acc = ((stats.votes[j] * acc_raw + prior_strength * prior_acc)
+                / (stats.votes[j] + prior_strength))
+                .clamp(0.02, 0.98);
+            let mut w = (acc * k1 / (1.0 - acc)).ln().clamp(-W_CLAMP, W_CLAMP);
+            if cfg.clamp_nonadversarial && w < 0.0 {
+                w = 0.0;
+            }
+            w_acc[j] = w;
+            // Propensity from observed coverage (same closed form the
+            // exact path initializes with).
+            let c = ((stats.votes[j] + 0.5) / (m as f64 + 1.0)).clamp(1e-4, 1.0 - 1e-4);
+            let s = c / (1.0 - c);
+            w_lab[j] = (s.ln() - (w_acc[j].exp() + k1).ln()).clamp(-W_CLAMP, W_CLAMP);
+        }
+
+        // ---- Class balance per the configured policy (mirrors the
+        // exact backend so posteriors are comparable).
+        let b_class = match &cfg.class_balance {
+            ClassBalance::Uniform => vec![0.0; k],
+            ClassBalance::Fixed(p) => {
+                assert_eq!(p.len(), k, "class balance needs one entry per class");
+                p.iter().map(|&pc| pc.max(1e-3).ln()).collect()
+            }
+            ClassBalance::FromMajorityVote => {
+                let counts: Vec<f64> = stats.mv_class.iter().map(|&c| c + 1.0).collect();
+                let total: f64 = counts.iter().sum();
+                counts.iter().map(|&c| (c / total).ln()).collect()
+            }
+        };
+
+        self.inner = GenerativeModel::from_params(ModelParams {
+            cardinality: scheme.cardinality(),
+            num_lfs: n,
+            w_lab,
+            w_acc,
+            corr_pairs: Vec::new(),
+            w_corr: Vec::new(),
+            corr_strength: Vec::new(),
+            b_class,
+        })
+        .expect("moment weights are clamped finite by construction");
+    }
+}
+
+/// Accumulators for the moment backend's single statistics pass.
+struct MomentStats {
+    n: usize,
+    /// Per-LF weighted vote counts.
+    votes: Vec<f64>,
+    /// Per-class plurality-vote counts (class-balance estimate).
+    mv_class: Vec<f64>,
+    /// Per-LF agreements with the row's plurality class.
+    agree_mv: Vec<f64>,
+    /// Per-LF votes on rows that have a plurality class.
+    total_mv: Vec<f64>,
+    /// Upper-triangle co-vote counts, flattened `a * n + b` with `a < b`.
+    both: Vec<f64>,
+    /// Upper-triangle same-class co-vote counts.
+    agree: Vec<f64>,
+    /// Per-row scratch (class tally), reused across `accumulate` calls —
+    /// the statistics pass runs once per row at deployment scale, so it
+    /// must not allocate per row.
+    tally: Vec<usize>,
+    /// Per-row scratch: the row's `(lf, class)` voters.
+    classes: Vec<(usize, usize)>,
+}
+
+impl MomentStats {
+    fn new(n: usize, k: usize) -> Self {
+        MomentStats {
+            n,
+            votes: vec![0.0; n],
+            mv_class: vec![0.0; k],
+            agree_mv: vec![0.0; n],
+            total_mv: vec![0.0; n],
+            both: vec![0.0; n * n],
+            agree: vec![0.0; n * n],
+            tally: vec![0; k],
+            classes: Vec::new(),
+        }
+    }
+
+    /// Fold one row (or one pattern with multiplicity `w`) in.
+    fn accumulate(&mut self, scheme: LabelScheme, cols: &[u32], votes: &[Vote], w: f64) {
+        let mut tally = std::mem::take(&mut self.tally);
+        let mut classes = std::mem::take(&mut self.classes);
+        tally.iter_mut().for_each(|t| *t = 0);
+        classes.clear();
+        for (&c, &v) in cols.iter().zip(votes) {
+            let j = c as usize;
+            self.votes[j] += w;
+            if let Some(class) = scheme.class_of_vote(v) {
+                tally[class] += 1;
+                classes.push((j, class));
+            }
+        }
+        // Plurality class of the row (None on ties / all-abstain).
+        let best = tally.iter().copied().max().unwrap_or(0);
+        let mv = if best == 0 {
+            None
+        } else {
+            let mut winner = None;
+            for (c, &t) in tally.iter().enumerate() {
+                if t == best {
+                    if winner.is_some() {
+                        winner = None;
+                        break;
+                    }
+                    winner = Some(c);
+                }
+            }
+            winner
+        };
+        if let Some(mv) = mv {
+            self.mv_class[mv] += w;
+            for &(j, class) in &classes {
+                self.total_mv[j] += w;
+                if class == mv {
+                    self.agree_mv[j] += w;
+                }
+            }
+        }
+        // Pairwise agreement among the row's voters. Row columns are
+        // sorted ascending, so `j < l` holds and the upper triangle
+        // suffices.
+        for (x, &(j, cj)) in classes.iter().enumerate() {
+            for &(l, cl) in classes.iter().skip(x + 1) {
+                self.both[j * self.n + l] += w;
+                if cj == cl {
+                    self.agree[j * self.n + l] += w;
+                }
+            }
+        }
+        self.tally = tally;
+        self.classes = classes;
+    }
+
+    /// Add another pass's accumulators (shard merge, in shard order).
+    fn merge(&mut self, other: &MomentStats) {
+        for (dst, src) in [
+            (&mut self.votes, &other.votes),
+            (&mut self.mv_class, &other.mv_class),
+            (&mut self.agree_mv, &other.agree_mv),
+            (&mut self.total_mv, &other.total_mv),
+            (&mut self.both, &other.both),
+            (&mut self.agree, &other.agree),
+        ] {
+            for (a, b) in dst.iter_mut().zip(src) {
+                *a += b;
+            }
+        }
+    }
+}
+
+impl LabelModel for MomentModel {
+    fn backend_name(&self) -> &'static str {
+        BACKEND_MOMENT
+    }
+
+    fn scheme(&self) -> LabelScheme {
+        GenerativeModel::scheme(&self.inner)
+    }
+
+    fn num_lfs(&self) -> usize {
+        GenerativeModel::num_lfs(&self.inner)
+    }
+
+    fn fit(
+        &mut self,
+        lambda: &LabelMatrix,
+        plan: Option<&ShardedMatrix>,
+        cfg: &TrainConfig,
+    ) -> FitReport {
+        assert_eq!(
+            lambda.num_lfs(),
+            LabelModel::num_lfs(self),
+            "matrix has {} LFs but model has {}",
+            lambda.num_lfs(),
+            LabelModel::num_lfs(self)
+        );
+        if lambda.num_points() == 0 {
+            return FitReport {
+                epochs: 0,
+                final_nll: 0.0,
+                used_gibbs: false,
+                warm_started: false,
+            };
+        }
+        self.fit_closed_form(lambda, plan, cfg);
+        FitReport {
+            epochs: 1,
+            final_nll: f64::NAN,
+            used_gibbs: false,
+            warm_started: false,
+        }
+    }
+
+    fn fit_warm(
+        &mut self,
+        lambda: &LabelMatrix,
+        plan: Option<&ShardedMatrix>,
+        cfg: &TrainConfig,
+        _prev: &dyn LabelModel,
+        _changed_cols: &[usize],
+    ) -> FitReport {
+        // The closed form has no iteration to warm-start; a refit is
+        // already a single pass.
+        LabelModel::fit(self, lambda, plan, cfg)
+    }
+
+    fn posterior(&self, cols: &[u32], votes: &[Vote]) -> Vec<f64> {
+        self.inner.posterior(cols, votes)
+    }
+
+    fn marginals(&self, lambda: &LabelMatrix, plan: Option<&ShardedMatrix>) -> Vec<Vec<f64>> {
+        LabelModel::marginals(&self.inner, lambda, plan)
+    }
+
+    fn remapped(&self, col_map: &[Option<usize>]) -> Box<dyn LabelModel> {
+        Box::new(MomentModel::new(
+            col_map.len(),
+            GenerativeModel::scheme(&self.inner),
+        ))
+    }
+
+    fn to_snapshot(&self) -> ModelSnapshot {
+        ModelSnapshot::MomentMatching(self.to_params())
+    }
+
+    fn clone_box(&self) -> Box<dyn LabelModel> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+// ----------------------------------------------------------------------
+// Snapshot encoding
+// ----------------------------------------------------------------------
+
+/// A backend-tagged, plain-data image of a fitted label model — what
+/// [`LabelModel::to_snapshot`] produces and `snorkel-serve` persists.
+/// The tag survives serialization, so a restored service rebuilds the
+/// *same backend* it was running, and an unknown tag is a decode error,
+/// never a misread.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ModelSnapshot {
+    /// [`MajorityVoteModel`] — no learned state beyond the shape.
+    MajorityVote {
+        /// Task cardinality.
+        cardinality: u8,
+        /// Number of LF columns.
+        num_lfs: usize,
+    },
+    /// [`GenerativeModel`] weights + correlation structure.
+    Generative(ModelParams),
+    /// [`MomentModel`] weights (correlation arrays always empty).
+    MomentMatching(ModelParams),
+}
+
+impl ModelSnapshot {
+    /// The backend this snapshot restores into.
+    pub fn backend_name(&self) -> &'static str {
+        match self {
+            ModelSnapshot::MajorityVote { .. } => BACKEND_MAJORITY_VOTE,
+            ModelSnapshot::Generative(_) => BACKEND_GENERATIVE,
+            ModelSnapshot::MomentMatching(_) => BACKEND_MOMENT,
+        }
+    }
+
+    /// Task cardinality of the encoded model.
+    pub fn cardinality(&self) -> u8 {
+        match self {
+            ModelSnapshot::MajorityVote { cardinality, .. } => *cardinality,
+            ModelSnapshot::Generative(p) | ModelSnapshot::MomentMatching(p) => p.cardinality,
+        }
+    }
+
+    /// Number of LF columns the encoded model covers.
+    pub fn num_lfs(&self) -> usize {
+        match self {
+            ModelSnapshot::MajorityVote { num_lfs, .. } => *num_lfs,
+            ModelSnapshot::Generative(p) | ModelSnapshot::MomentMatching(p) => p.num_lfs,
+        }
+    }
+
+    /// Check the encoded state's structural invariants without
+    /// restoring (what snapshot decoders run on untrusted bytes).
+    pub fn validate(&self) -> Result<(), ParamsError> {
+        match self {
+            ModelSnapshot::MajorityVote { cardinality, .. } => {
+                if *cardinality < 2 {
+                    return Err(ParamsError::BadCardinality {
+                        found: *cardinality,
+                    });
+                }
+                Ok(())
+            }
+            ModelSnapshot::Generative(p) | ModelSnapshot::MomentMatching(p) => p.validate(),
+        }
+    }
+
+    /// Rebuild the backend this snapshot encodes (the inverse of
+    /// [`LabelModel::to_snapshot`]). Corrupt parameters yield a typed
+    /// [`ParamsError`], never a panic.
+    pub fn restore(self) -> Result<Box<dyn LabelModel>, ParamsError> {
+        match self {
+            ModelSnapshot::MajorityVote {
+                cardinality,
+                num_lfs,
+            } => {
+                if cardinality < 2 {
+                    return Err(ParamsError::BadCardinality { found: cardinality });
+                }
+                Ok(Box::new(MajorityVoteModel::new(
+                    num_lfs,
+                    LabelScheme::from_cardinality(cardinality),
+                )))
+            }
+            ModelSnapshot::Generative(p) => Ok(Box::new(GenerativeModel::from_params(p)?)),
+            ModelSnapshot::MomentMatching(p) => Ok(Box::new(MomentModel::from_params(p)?)),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Registry
+// ----------------------------------------------------------------------
+
+/// Constructor signature of a registered backend: shape plus the
+/// optimizer's strategy (which carries the correlation structure for the
+/// generative backend).
+pub type BackendBuilder = fn(usize, LabelScheme, &ModelingStrategy) -> Box<dyn LabelModel>;
+
+/// The set of label-model backends a pipeline or session may build,
+/// keyed by backend name. [`crate::optimizer::select_model`] restricts
+/// the Algorithm-1 decision to registered backends; forced strategies
+/// resolve through the same table, so "force majority vote" and "force
+/// the moment backend" are the same mechanism.
+#[derive(Clone)]
+pub struct ModelRegistry {
+    entries: Vec<(&'static str, BackendBuilder)>,
+}
+
+impl std::fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelRegistry")
+            .field("backends", &self.names().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        ModelRegistry::standard()
+    }
+}
+
+/// A strategy named a backend the registry does not hold.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownBackend {
+    /// The backend name that failed to resolve.
+    pub backend: &'static str,
+}
+
+impl std::fmt::Display for UnknownBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "backend {:?} is not registered", self.backend)
+    }
+}
+
+impl std::error::Error for UnknownBackend {}
+
+impl ModelRegistry {
+    /// A registry with no backends (build one up with
+    /// [`Self::register`]).
+    pub fn empty() -> Self {
+        ModelRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The standard three backends: majority vote, the exact generative
+    /// model, and the moment estimator.
+    pub fn standard() -> Self {
+        let mut r = ModelRegistry::empty();
+        r.register(BACKEND_MAJORITY_VOTE, |n, scheme, _| {
+            Box::new(MajorityVoteModel::new(n, scheme))
+        });
+        r.register(BACKEND_GENERATIVE, |n, scheme, strategy| {
+            let gm = GenerativeModel::new(n, scheme);
+            match strategy {
+                ModelingStrategy::GenerativeModel {
+                    correlations,
+                    strengths,
+                    ..
+                } => Box::new(gm.with_weighted_correlations(correlations, strengths)),
+                _ => Box::new(gm),
+            }
+        });
+        r.register(BACKEND_MOMENT, |n, scheme, _| {
+            Box::new(MomentModel::new(n, scheme))
+        });
+        r
+    }
+
+    /// Register (or replace) a backend under `name`.
+    pub fn register(&mut self, name: &'static str, build: BackendBuilder) {
+        if let Some(slot) = self.entries.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = build;
+        } else {
+            self.entries.push((name, build));
+        }
+    }
+
+    /// Whether a backend is registered under `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|(n, _)| *n == name)
+    }
+
+    /// Registered backend names, in registration order.
+    pub fn names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.entries.iter().map(|(n, _)| *n)
+    }
+
+    /// Build the (unfitted) backend a strategy selects, over `num_lfs`
+    /// LFs at the given cardinality.
+    pub fn build(
+        &self,
+        strategy: &ModelingStrategy,
+        num_lfs: usize,
+        cardinality: u8,
+    ) -> Result<Box<dyn LabelModel>, UnknownBackend> {
+        let name = strategy.backend_name();
+        let scheme = LabelScheme::from_cardinality(cardinality);
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, build)| build(num_lfs, scheme, strategy))
+            .ok_or(UnknownBackend { backend: name })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use snorkel_matrix::LabelMatrixBuilder;
+
+    fn planted(m: usize, accs: &[f64], pl: f64, seed: u64) -> (LabelMatrix, Vec<Vote>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = LabelMatrixBuilder::new(m, accs.len());
+        let mut gold = Vec::with_capacity(m);
+        for i in 0..m {
+            let y: Vote = if rng.gen::<bool>() { 1 } else { -1 };
+            gold.push(y);
+            for (j, &acc) in accs.iter().enumerate() {
+                if rng.gen::<f64>() < pl {
+                    b.set(i, j, if rng.gen::<f64>() < acc { y } else { -y });
+                }
+            }
+        }
+        (b.build(), gold)
+    }
+
+    #[test]
+    fn majority_vote_backend_matches_vote_module() {
+        let (lambda, _) = planted(400, &[0.8, 0.7, 0.6], 0.5, 3);
+        let mut mv = MajorityVoteModel::new(3, LabelScheme::Binary);
+        mv.fit(&lambda, None, &TrainConfig::default());
+        let marg = LabelModel::marginals(&mv, &lambda, None);
+        let votes = crate::vote::majority_vote(&lambda);
+        for (p, &v) in marg.iter().zip(&votes) {
+            match v {
+                1 => assert_eq!(p, &vec![1.0, 0.0]),
+                -1 => assert_eq!(p, &vec![0.0, 1.0]),
+                _ => assert_eq!(p, &vec![0.5, 0.5]),
+            }
+        }
+        // Plan-deduplicated path is bit-identical.
+        let plan = ShardedMatrix::build(&lambda, 3);
+        assert_eq!(LabelModel::marginals(&mv, &lambda, Some(&plan)), marg);
+    }
+
+    #[test]
+    fn moment_recovers_planted_accuracies() {
+        let accs = [0.9, 0.8, 0.7, 0.6, 0.55];
+        let (lambda, _) = planted(8000, &accs, 0.6, 7);
+        let mut mm = MomentModel::new(5, LabelScheme::Binary);
+        mm.fit(&lambda, None, &TrainConfig::default());
+        let implied = mm.implied_accuracies();
+        for (j, &a) in accs.iter().enumerate() {
+            assert!(
+                (implied[j] - a).abs() < 0.08,
+                "LF{j}: implied {:.3} vs true {a}",
+                implied[j]
+            );
+        }
+        // The closed form is a consistent but noisier estimator than the
+        // MLE: demand the ordering only across well-separated LFs
+        // (≥ 0.1 true-accuracy gap).
+        assert!(implied[0] > implied[2] && implied[2] > implied[4]);
+    }
+
+    #[test]
+    fn moment_plan_pass_matches_rowwise_pass() {
+        let (lambda, _) = planted(3000, &[0.85, 0.75, 0.65, 0.6], 0.5, 11);
+        let plan = ShardedMatrix::build(&lambda, 4);
+        let cfg = TrainConfig::default();
+        let mut rowwise = MomentModel::new(4, LabelScheme::Binary);
+        rowwise.fit(&lambda, None, &cfg);
+        let mut sharded = MomentModel::new(4, LabelScheme::Binary);
+        sharded.fit(&lambda, Some(&plan), &cfg);
+        // Integer-weighted statistics merged in shard order: the counts
+        // are exactly equal, so the closed-form weights are too.
+        for (a, b) in rowwise
+            .accuracy_weights()
+            .iter()
+            .zip(sharded.accuracy_weights())
+        {
+            assert!((a - b).abs() < 1e-12, "weights diverged: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn moment_detects_adversarial_lf() {
+        let (lambda, _) = planted(6000, &[0.9, 0.85, 0.2], 0.8, 17);
+        let mut mm = MomentModel::new(3, LabelScheme::Binary);
+        mm.fit(&lambda, None, &TrainConfig::default());
+        assert!(
+            mm.accuracy_weights()[2] < 0.0,
+            "adversarial LF not detected: {:?}",
+            mm.accuracy_weights()
+        );
+        // With the non-adversarial clamp it floors at exactly zero —
+        // the same semantics as the exact backend's clamp (a positive
+        // weight here would mean the sign flip was skipped and the
+        // adversarial LF is being *trusted*).
+        let mut clamped = MomentModel::new(3, LabelScheme::Binary);
+        clamped.fit(
+            &lambda,
+            None,
+            &TrainConfig {
+                clamp_nonadversarial: true,
+                ..TrainConfig::default()
+            },
+        );
+        assert_eq!(clamped.accuracy_weights()[2], 0.0);
+        assert!(clamped.accuracy_weights()[0] > 0.0);
+    }
+
+    #[test]
+    fn moment_multiclass_recovery() {
+        let k = 3u8;
+        let scheme = LabelScheme::MultiClass(k);
+        let mut rng = StdRng::seed_from_u64(21);
+        let m = 9000;
+        let accs = [0.85, 0.7, 0.55, 0.8, 0.65];
+        let mut b = LabelMatrixBuilder::with_cardinality(m, accs.len(), k);
+        for i in 0..m {
+            let y = rng.gen_range(0..k as usize);
+            for (j, &acc) in accs.iter().enumerate() {
+                if rng.gen::<f64>() < 0.7 {
+                    let class = if rng.gen::<f64>() < acc {
+                        y
+                    } else {
+                        let mut c = rng.gen_range(0..(k as usize - 1));
+                        if c >= y {
+                            c += 1;
+                        }
+                        c
+                    };
+                    b.set(i, j, scheme.vote_of_class(class));
+                }
+            }
+        }
+        let lambda = b.build();
+        let mut mm = MomentModel::new(accs.len(), scheme);
+        mm.fit(&lambda, None, &TrainConfig::default());
+        let implied = mm.implied_accuracies();
+        for (j, &a) in accs.iter().enumerate() {
+            assert!(
+                (implied[j] - a).abs() < 0.1,
+                "LF{j}: implied {:.3} vs true {a}",
+                implied[j]
+            );
+        }
+    }
+
+    #[test]
+    fn moment_few_lfs_falls_back_gracefully() {
+        // Two LFs: no triplets exist; the MV-agreement fallback must
+        // still produce a usable (finite, ordered) model.
+        let (lambda, _) = planted(2000, &[0.9, 0.6], 0.7, 5);
+        let mut mm = MomentModel::new(2, LabelScheme::Binary);
+        mm.fit(&lambda, None, &TrainConfig::default());
+        assert!(mm.accuracy_weights().iter().all(|w| w.is_finite()));
+    }
+
+    #[test]
+    fn empty_matrix_fit_is_noop() {
+        let lambda = LabelMatrixBuilder::new(0, 3).build();
+        let mut mm = MomentModel::new(3, LabelScheme::Binary);
+        let report = mm.fit(&lambda, None, &TrainConfig::default());
+        assert_eq!(report.epochs, 0);
+        let mut mv = MajorityVoteModel::new(3, LabelScheme::Binary);
+        assert_eq!(mv.fit(&lambda, None, &TrainConfig::default()).epochs, 0);
+    }
+
+    #[test]
+    fn snapshots_round_trip_every_backend() {
+        let (lambda, _) = planted(1000, &[0.85, 0.7, 0.6], 0.5, 9);
+        let cfg = TrainConfig::default();
+        let backends: Vec<Box<dyn LabelModel>> = vec![
+            Box::new(MajorityVoteModel::new(3, LabelScheme::Binary)),
+            Box::new(GenerativeModel::new(3, LabelScheme::Binary)),
+            Box::new(MomentModel::new(3, LabelScheme::Binary)),
+        ];
+        for mut model in backends {
+            model.fit(&lambda, None, &cfg);
+            let snap = model.to_snapshot();
+            assert_eq!(snap.backend_name(), model.backend_name());
+            assert!(snap.validate().is_ok());
+            let restored = snap.restore().unwrap();
+            assert_eq!(restored.backend_name(), model.backend_name());
+            assert_eq!(
+                restored.marginals(&lambda, None),
+                model.marginals(&lambda, None),
+                "{} marginals changed across the snapshot round trip",
+                model.backend_name()
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_corruption() {
+        assert_eq!(
+            ModelSnapshot::MajorityVote {
+                cardinality: 1,
+                num_lfs: 3
+            }
+            .restore()
+            .unwrap_err(),
+            ParamsError::BadCardinality { found: 1 }
+        );
+        let mut params = GenerativeModel::new(3, LabelScheme::Binary).to_params();
+        params.w_acc.pop();
+        assert!(matches!(
+            ModelSnapshot::Generative(params.clone()).restore(),
+            Err(ParamsError::LengthMismatch { field: "w_acc", .. })
+        ));
+        assert!(ModelSnapshot::MomentMatching(params).restore().is_err());
+    }
+
+    #[test]
+    fn warm_start_across_backends_falls_back_to_cold() {
+        let (lambda, _) = planted(1500, &[0.85, 0.75, 0.65], 0.5, 13);
+        let cfg = TrainConfig::default();
+        let mut mv = MajorityVoteModel::new(3, LabelScheme::Binary);
+        mv.fit(&lambda, None, &cfg);
+
+        // Generative warm-started "from" the MV backend = cold fit.
+        let mut warm = GenerativeModel::new(3, LabelScheme::Binary);
+        let report = LabelModel::fit_warm(&mut warm, &lambda, None, &cfg, &mv, &[]);
+        assert!(!report.warm_started);
+        let mut cold = GenerativeModel::new(3, LabelScheme::Binary);
+        cold.fit(&lambda, &cfg);
+        assert_eq!(cold.accuracy_weights(), warm.accuracy_weights());
+
+        // Same backend: genuinely warm.
+        let mut warm2 = GenerativeModel::new(3, LabelScheme::Binary);
+        let report2 = LabelModel::fit_warm(&mut warm2, &lambda, None, &cfg, &cold, &[]);
+        assert!(report2.warm_started);
+    }
+
+    #[test]
+    fn registry_builds_and_reports_unknowns() {
+        let registry = ModelRegistry::standard();
+        assert_eq!(
+            registry.names().collect::<Vec<_>>(),
+            vec![BACKEND_MAJORITY_VOTE, BACKEND_GENERATIVE, BACKEND_MOMENT]
+        );
+        for strategy in [
+            ModelingStrategy::MajorityVote,
+            ModelingStrategy::MomentMatching,
+            ModelingStrategy::GenerativeModel {
+                epsilon: 0.0,
+                correlations: vec![(0, 2)],
+                strengths: vec![1.0],
+            },
+        ] {
+            let model = registry.build(&strategy, 4, 2).unwrap();
+            assert_eq!(model.backend_name(), strategy.backend_name());
+            assert_eq!(model.num_lfs(), 4);
+        }
+        // The generative build carries the strategy's correlations.
+        let gm = registry
+            .build(
+                &ModelingStrategy::GenerativeModel {
+                    epsilon: 0.0,
+                    correlations: vec![(0, 2)],
+                    strengths: vec![1.0],
+                },
+                4,
+                2,
+            )
+            .unwrap();
+        let gm = gm.downcast_ref::<GenerativeModel>().unwrap();
+        assert_eq!(gm.correlations(), &[(0, 2)]);
+
+        let mut partial = ModelRegistry::empty();
+        partial.register(BACKEND_MAJORITY_VOTE, |n, scheme, _| {
+            Box::new(MajorityVoteModel::new(n, scheme))
+        });
+        assert_eq!(
+            partial
+                .build(&ModelingStrategy::MomentMatching, 4, 2)
+                .map(|_| ())
+                .unwrap_err(),
+            UnknownBackend {
+                backend: BACKEND_MOMENT
+            }
+        );
+    }
+}

@@ -6,25 +6,32 @@
 //! * [`vote`] — unweighted / weighted majority vote, and the **modeling
 //!   advantage** `A_w` of Definition 1 (how much a weighted combination
 //!   improves on majority vote).
-//! * [`model`] — the **generative label model** `p_w(Λ, Y)` of §2.2:
-//!   labeling-propensity, accuracy, and pairwise-correlation factors,
-//!   trained without ground truth by SGD on the negative log marginal
-//!   likelihood (exact expectations for the independent model;
+//! * [`label_model`] — the **pluggable backend API**: the
+//!   [`label_model::LabelModel`] trait every label model implements
+//!   (fit / warm refit / plan-aware marginals / tagged snapshots), the
+//!   zero-cost majority-vote backend, the closed-form method-of-moments
+//!   backend, and the [`label_model::ModelRegistry`] the optimizer
+//!   selects over.
+//! * [`model`] — the exact **generative label model** `p_w(Λ, Y)` of
+//!   §2.2: labeling-propensity, accuracy, and pairwise-correlation
+//!   factors, trained without ground truth by SGD on the negative log
+//!   marginal likelihood (exact expectations for the independent model;
 //!   Gibbs-sampled contrastive divergence when correlations are
 //!   modeled).
 //! * [`structure`] — **dependency-structure learning** (§3.2): an
 //!   ℓ1-regularized pseudolikelihood estimator selecting which LF pairs
 //!   to model as correlated, with exact gradients and no sampling.
-//! * [`optimizer`] — the two-stage **modeling-strategy optimizer**
-//!   (Algorithm 1): the `A~*` advantage bound of Proposition 2 decides
-//!   MV vs GM; an ε-sweep with elbow-point selection picks the
-//!   correlation structure.
+//! * [`optimizer`] — the **model-selection optimizer** (Algorithm 1):
+//!   the `A~*` advantage bound of Proposition 2 decides whether
+//!   accuracies are worth modeling at all; an ε-sweep with elbow-point
+//!   selection picks the correlation structure; scale picks between the
+//!   exact and moment backends.
 //! * [`bounds`] — the closed-form low-density (Proposition 1) and
 //!   high-density (Theorem 1) advantage bounds, used by the Figure 4
 //!   reproduction.
 //! * [`pipeline`] — the end-to-end orchestration with wall-clock
-//!   instrumentation (LF application → Λ → strategy choice → training →
-//!   `Ỹ`), which the §3 speedup experiments time.
+//!   instrumentation (LF application → Λ → backend selection → training
+//!   → `Ỹ`), which the §3 speedup experiments time.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,17 +40,23 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod bounds;
+pub mod label_model;
 pub mod model;
 pub mod optimizer;
 pub mod pipeline;
 pub mod structure;
 pub mod vote;
 
-pub use model::{
-    ClassBalance, FitReport, GenerativeModel, LabelScheme, ModelParams, Scaleout, TrainConfig,
-    SCALEOUT_MIN_ROWS,
+pub use label_model::{
+    LabelModel, MajorityVoteModel, ModelRegistry, ModelSnapshot, MomentModel, UnknownBackend,
 };
-pub use optimizer::{choose_strategy, ModelingStrategy, OptimizerConfig, StrategyDecision};
+pub use model::{
+    ClassBalance, FitReport, GenerativeModel, LabelScheme, ModelParams, ParamsError, Scaleout,
+    TrainConfig, SCALEOUT_MIN_ROWS,
+};
+pub use optimizer::{
+    choose_strategy, select_model, ModelingStrategy, OptimizerConfig, StrategyDecision,
+};
 pub use pipeline::{run_pipeline, Pipeline, PipelineConfig, PipelineReport};
 pub use structure::{learn_structure, StructureConfig, StructureReport};
 pub use vote::{majority_vote, modeling_advantage, weighted_vote};

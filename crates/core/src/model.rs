@@ -65,6 +65,15 @@ impl LabelScheme {
         }
     }
 
+    /// The cardinality this scheme encodes (inverse of
+    /// [`Self::from_cardinality`]).
+    pub fn cardinality(&self) -> u8 {
+        match self {
+            LabelScheme::Binary => 2,
+            LabelScheme::MultiClass(k) => *k,
+        }
+    }
+
     /// Number of classes `K`.
     pub fn num_classes(&self) -> usize {
         match self {
@@ -265,6 +274,74 @@ pub struct FitReport {
     pub warm_started: bool,
 }
 
+/// Why a [`ModelParams`] value cannot be a fitted model — the typed
+/// decode-validation surface for untrusted parameter blobs (snapshot
+/// files, wire payloads). Every variant names exactly the invariant that
+/// was violated, so callers ([`crate::label_model::ModelSnapshot`],
+/// `snorkel-incr`'s thaw path, `snorkel-serve`'s snapshot reader) can
+/// propagate it without flattening to strings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParamsError {
+    /// Cardinality below 2 cannot describe a labeling task.
+    BadCardinality {
+        /// The cardinality found in the parameters.
+        found: u8,
+    },
+    /// A per-LF or per-class vector has the wrong length.
+    LengthMismatch {
+        /// Which vector was mis-sized.
+        field: &'static str,
+        /// Length found.
+        found: usize,
+        /// Length required.
+        expected: usize,
+    },
+    /// A correlation pair is not normalized `a < b` within the LF range.
+    PairOutOfRange {
+        /// First LF of the pair as stored.
+        a: usize,
+        /// Second LF of the pair as stored.
+        b: usize,
+        /// Number of LFs the model covers.
+        num_lfs: usize,
+    },
+    /// The same correlation pair appears twice.
+    DuplicatePair {
+        /// First LF of the duplicated pair.
+        a: usize,
+        /// Second LF of the duplicated pair.
+        b: usize,
+    },
+    /// A weight is NaN or infinite.
+    NonFiniteWeight {
+        /// Which weight vector holds the offending value.
+        field: &'static str,
+    },
+}
+
+impl std::fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamsError::BadCardinality { found } => write!(f, "cardinality {found} < 2"),
+            ParamsError::LengthMismatch {
+                field,
+                found,
+                expected,
+            } => write!(f, "{field} has {found} entries, expected {expected}"),
+            ParamsError::PairOutOfRange { a, b, num_lfs } => write!(
+                f,
+                "correlation pair ({a}, {b}) not normalized in-range for {num_lfs} LFs"
+            ),
+            ParamsError::DuplicatePair { a, b } => {
+                write!(f, "duplicate correlation pair ({a}, {b})")
+            }
+            ParamsError::NonFiniteWeight { field } => write!(f, "non-finite weight in {field}"),
+        }
+    }
+}
+
+impl std::error::Error for ParamsError {}
+
 /// Owned copy of a [`GenerativeModel`]'s learned parameters — the
 /// stable encoding surface for on-disk snapshots (`snorkel-serve`). The
 /// correlation adjacency lists are *not* part of the encoding;
@@ -291,6 +368,63 @@ pub struct ModelParams {
     pub b_class: Vec<f64>,
 }
 
+impl ModelParams {
+    /// Check every structural invariant a fitted model relies on:
+    /// weight-vector lengths, pair normalization/range/uniqueness, and
+    /// finite weights. [`GenerativeModel::from_params`] calls this before
+    /// rebuilding; snapshot decoders call it directly so corrupt model
+    /// sections surface as typed [`ParamsError`]s at read time.
+    pub fn validate(&self) -> Result<(), ParamsError> {
+        if self.cardinality < 2 {
+            return Err(ParamsError::BadCardinality {
+                found: self.cardinality,
+            });
+        }
+        let n = self.num_lfs;
+        let scheme = LabelScheme::from_cardinality(self.cardinality);
+        for (field, len, expected) in [
+            ("w_lab", self.w_lab.len(), n),
+            ("w_acc", self.w_acc.len(), n),
+            ("w_corr", self.w_corr.len(), self.corr_pairs.len()),
+            (
+                "corr_strength",
+                self.corr_strength.len(),
+                self.corr_pairs.len(),
+            ),
+            ("b_class", self.b_class.len(), scheme.num_classes()),
+        ] {
+            if len != expected {
+                return Err(ParamsError::LengthMismatch {
+                    field,
+                    found: len,
+                    expected,
+                });
+            }
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for &(a, b) in &self.corr_pairs {
+            if a >= b || b >= n {
+                return Err(ParamsError::PairOutOfRange { a, b, num_lfs: n });
+            }
+            if !seen.insert((a, b)) {
+                return Err(ParamsError::DuplicatePair { a, b });
+            }
+        }
+        for (field, xs) in [
+            ("w_lab", &self.w_lab),
+            ("w_acc", &self.w_acc),
+            ("w_corr", &self.w_corr),
+            ("corr_strength", &self.corr_strength),
+            ("b_class", &self.b_class),
+        ] {
+            if xs.iter().any(|w| !w.is_finite()) {
+                return Err(ParamsError::NonFiniteWeight { field });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// The generative label model.
 #[derive(Clone, Debug)]
 pub struct GenerativeModel {
@@ -314,8 +448,9 @@ pub struct GenerativeModel {
     b_class: Vec<f64>,
 }
 
-/// Weight clamp keeping `exp` comfortably finite.
-const W_CLAMP: f64 = 10.0;
+/// Weight clamp keeping `exp` comfortably finite (shared with the
+/// closed-form moment backend in [`crate::label_model`]).
+pub(crate) const W_CLAMP: f64 = 10.0;
 
 impl GenerativeModel {
     /// Independent model over `n` labeling functions.
@@ -445,9 +580,11 @@ impl GenerativeModel {
     /// Rebuild a fitted model from exported parameters (the inverse of
     /// [`Self::to_params`]). Untrusted input (a snapshot file) comes
     /// through here, so every structural invariant the constructors
-    /// assert is checked and violations return an error: weight-vector
-    /// lengths, pair ranges and normalization, and finite weights.
-    pub fn from_params(params: ModelParams) -> Result<GenerativeModel, String> {
+    /// assert is checked ([`ModelParams::validate`]) and violations
+    /// return a typed [`ParamsError`]: weight-vector lengths, pair
+    /// ranges and normalization, and finite weights.
+    pub fn from_params(params: ModelParams) -> Result<GenerativeModel, ParamsError> {
+        params.validate()?;
         let ModelParams {
             cardinality,
             num_lfs: n,
@@ -458,51 +595,11 @@ impl GenerativeModel {
             corr_strength,
             b_class,
         } = params;
-        if cardinality < 2 {
-            return Err(format!("cardinality {cardinality} < 2"));
-        }
         let scheme = LabelScheme::from_cardinality(cardinality);
-        if w_lab.len() != n || w_acc.len() != n {
-            return Err(format!(
-                "weight vectors ({}, {}) must have one entry per LF ({n})",
-                w_lab.len(),
-                w_acc.len()
-            ));
-        }
-        if w_corr.len() != corr_pairs.len() || corr_strength.len() != corr_pairs.len() {
-            return Err("correlation arrays must be parallel to the pair list".into());
-        }
-        if b_class.len() != scheme.num_classes() {
-            return Err(format!(
-                "{} balance weights for {} classes",
-                b_class.len(),
-                scheme.num_classes()
-            ));
-        }
-        let mut seen = std::collections::BTreeSet::new();
         let mut corr_adj = vec![Vec::new(); n];
         for (idx, &(a, b)) in corr_pairs.iter().enumerate() {
-            if a >= b || b >= n {
-                return Err(format!(
-                    "correlation pair ({a}, {b}) not normalized in-range"
-                ));
-            }
-            if !seen.insert((a, b)) {
-                return Err(format!("duplicate correlation pair ({a}, {b})"));
-            }
             corr_adj[a].push((idx, b));
             corr_adj[b].push((idx, a));
-        }
-        for w in w_lab
-            .iter()
-            .chain(&w_acc)
-            .chain(&w_corr)
-            .chain(&corr_strength)
-            .chain(&b_class)
-        {
-            if !w.is_finite() {
-                return Err("non-finite weight".into());
-            }
         }
         Ok(GenerativeModel {
             scheme,
@@ -1707,7 +1804,7 @@ impl GenerativeModel {
 /// weak abstain bucket. With a handful of real votes the data washes
 /// the prior out; with none (a brand-new tiny suite) the prior carries,
 /// matching the original trainer's Bayesian-init semantics.
-fn prior_pseudocounts(init_acc_weight: f64, k1: f64) -> (f64, f64, f64) {
+pub(crate) fn prior_pseudocounts(init_acc_weight: f64, k1: f64) -> (f64, f64, f64) {
     const PRIOR_STRENGTH: f64 = 4.0;
     let e = init_acc_weight.exp();
     let prior_acc = e / (e + k1);

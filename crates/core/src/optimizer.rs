@@ -1,29 +1,47 @@
-//! The modeling-strategy optimizer (paper §3.1.2–§3.2.2, Algorithm 1).
+//! The model-selection optimizer (paper §3.1.2–§3.2.2, Algorithm 1),
+//! extended to pick a *backend* out of a
+//! [`ModelRegistry`].
 //!
-//! Two decisions are automated, both from the label matrix alone:
+//! Three decisions are automated, all from the label matrix alone:
 //!
 //! 1. **Model accuracies at all, or just take the majority vote?** The
 //!    advantage upper bound `A~*(Λ)` (Proposition 2) estimates the most
-//!    the generative model could gain over MV; below the user's
-//!    advantage tolerance γ, training is skipped entirely — the paper
-//!    measures a 1.8× pipeline speedup on Chem from this branch.
+//!    a weighted model could gain over MV; below the user's advantage
+//!    tolerance γ, training is skipped entirely — the paper measures a
+//!    1.8× pipeline speedup on Chem from this branch.
 //! 2. **Which correlations to model?** Structure learning is swept over
 //!    a grid of thresholds ε; the *elbow point* of the `|C(ε)|` curve —
 //!    the last ε before the selection count explodes — balances
 //!    predictive gains against the (linear in `|C|`) Gibbs cost.
+//! 3. **Which accuracy estimator?** When accuracies are worth modeling
+//!    but no correlations were selected and Λ is deployment-scale
+//!    (≥ [`OptimizerConfig::moment_min_rows`] rows), the closed-form
+//!    moment backend replaces exact Newton training: at that scale its
+//!    statistical gap from the MLE is negligible while its fit is a
+//!    single statistics pass.
 
 use snorkel_linalg::math::sigmoid;
 use snorkel_matrix::LabelMatrix;
 
+use crate::label_model::{
+    ModelRegistry, BACKEND_GENERATIVE, BACKEND_MAJORITY_VOTE, BACKEND_MOMENT,
+};
 use crate::structure::{structure_sweep, StructureConfig};
 use crate::vote::weighted_scores;
 
-/// The optimizer's output: how to model this label matrix.
+/// The optimizer's output: which backend labels this matrix, and with
+/// what structure. Resolved to an actual model through
+/// [`ModelRegistry::build`].
 #[derive(Clone, Debug, PartialEq)]
 pub enum ModelingStrategy {
-    /// Skip generative training; use the unweighted majority vote.
+    /// The zero-cost majority-vote backend.
     MajorityVote,
-    /// Train a generative model with the given correlation structure.
+    /// The closed-form method-of-moments backend
+    /// ([`crate::label_model::MomentModel`]): accuracy weights worth
+    /// modeling, no correlation structure, fit in a single pass.
+    MomentMatching,
+    /// The exact generative backend with the given correlation
+    /// structure.
     GenerativeModel {
         /// Selected structure threshold ε (0 when no sweep ran).
         epsilon: f64,
@@ -32,6 +50,17 @@ pub enum ModelingStrategy {
         /// Fitted correlation strengths (parallel to `correlations`).
         strengths: Vec<f64>,
     },
+}
+
+impl ModelingStrategy {
+    /// The registry key of the backend this strategy selects.
+    pub fn backend_name(&self) -> &'static str {
+        match self {
+            ModelingStrategy::MajorityVote => BACKEND_MAJORITY_VOTE,
+            ModelingStrategy::MomentMatching => BACKEND_MOMENT,
+            ModelingStrategy::GenerativeModel { .. } => BACKEND_GENERATIVE,
+        }
+    }
 }
 
 /// Optimizer hyperparameters; defaults follow the paper (footnote 8:
@@ -52,9 +81,21 @@ pub struct OptimizerConfig {
     /// Skip the ε sweep entirely (independent model) — used when the
     /// caller knows the suite is uncorrelated or wants the fast path.
     pub skip_structure_search: bool,
+    /// Row count at which an uncorrelated model selection switches from
+    /// the exact generative backend to the closed-form moment backend
+    /// (`usize::MAX` disables the moment branch). Correlated structures
+    /// always train the exact backend — the moment identity assumes
+    /// conditional independence.
+    pub moment_min_rows: usize,
     /// Structure-learning settings for the sweep.
     pub structure: StructureConfig,
 }
+
+/// Default for [`OptimizerConfig::moment_min_rows`]: below this the
+/// exact fit is already interactive-fast and its MLE is strictly better
+/// statistically; above it the Newton loop dominates refresh latency
+/// while the moment estimator's gap (O(1/√m)) has shrunk past caring.
+pub const MOMENT_MIN_ROWS: usize = 200_000;
 
 impl Default for OptimizerConfig {
     fn default() -> Self {
@@ -65,6 +106,7 @@ impl Default for OptimizerConfig {
             w_mean: 1.0,
             w_max: 1.5,
             skip_structure_search: false,
+            moment_min_rows: MOMENT_MIN_ROWS,
             structure: StructureConfig::default(),
         }
     }
@@ -147,7 +189,24 @@ pub fn elbow_point(sweep: &[(f64, usize)]) -> usize {
     best_idx
 }
 
-/// Algorithm 1: choose a modeling strategy for a label matrix.
+/// When the accuracy model has no correlation structure, pick between
+/// the exact generative backend and the single-pass moment backend by
+/// scale (see [`OptimizerConfig::moment_min_rows`]).
+fn uncorrelated_backend(lambda: &LabelMatrix, cfg: &OptimizerConfig) -> ModelingStrategy {
+    if lambda.num_points() >= cfg.moment_min_rows {
+        ModelingStrategy::MomentMatching
+    } else {
+        ModelingStrategy::GenerativeModel {
+            epsilon: 0.0,
+            correlations: Vec::new(),
+            strengths: Vec::new(),
+        }
+    }
+}
+
+/// Algorithm 1: choose a modeling strategy (backend + structure) for a
+/// label matrix. Prefer [`select_model`] when a [`ModelRegistry`] is in
+/// play — it degrades the decision to a registered backend.
 pub fn choose_strategy(lambda: &LabelMatrix, cfg: &OptimizerConfig) -> StrategyDecision {
     let predicted = advantage_upper_bound(lambda, cfg);
     if predicted < cfg.gamma {
@@ -159,11 +218,7 @@ pub fn choose_strategy(lambda: &LabelMatrix, cfg: &OptimizerConfig) -> StrategyD
     }
     if cfg.skip_structure_search {
         return StrategyDecision {
-            strategy: ModelingStrategy::GenerativeModel {
-                epsilon: 0.0,
-                correlations: Vec::new(),
-                strengths: Vec::new(),
-            },
+            strategy: uncorrelated_backend(lambda, cfg),
             predicted_advantage: predicted,
             sweep: Vec::new(),
         };
@@ -180,15 +235,55 @@ pub fn choose_strategy(lambda: &LabelMatrix, cfg: &OptimizerConfig) -> StrategyD
     let elbow = elbow_point(&sweep);
     let (eps, _, report) = &sweep_full[elbow];
 
-    StrategyDecision {
-        strategy: ModelingStrategy::GenerativeModel {
+    let strategy = if report.pairs.is_empty() {
+        uncorrelated_backend(lambda, cfg)
+    } else {
+        ModelingStrategy::GenerativeModel {
             epsilon: *eps,
             correlations: report.pairs.clone(),
             strengths: report.weights.clone(),
-        },
+        }
+    };
+    StrategyDecision {
+        strategy,
         predicted_advantage: predicted,
         sweep,
     }
+}
+
+/// Algorithm 1 over a [`ModelRegistry`]: run [`choose_strategy`], then
+/// degrade the decision to a backend the registry actually holds —
+/// moment falls back to generative, generative to moment (independent
+/// model only; with its correlation structure dropped it would be a
+/// different model, so correlated selections degrade to majority vote),
+/// and anything else to majority vote. With the
+/// [`standard`](ModelRegistry::standard) registry no degradation ever
+/// happens.
+pub fn select_model(
+    lambda: &LabelMatrix,
+    cfg: &OptimizerConfig,
+    registry: &ModelRegistry,
+) -> StrategyDecision {
+    let mut decision = choose_strategy(lambda, cfg);
+    if registry.contains(decision.strategy.backend_name()) {
+        return decision;
+    }
+    decision.strategy = match decision.strategy {
+        ModelingStrategy::MomentMatching if registry.contains(BACKEND_GENERATIVE) => {
+            ModelingStrategy::GenerativeModel {
+                epsilon: 0.0,
+                correlations: Vec::new(),
+                strengths: Vec::new(),
+            }
+        }
+        ModelingStrategy::GenerativeModel { correlations, .. }
+            if correlations.is_empty() && registry.contains(BACKEND_MOMENT) =>
+        {
+            ModelingStrategy::MomentMatching
+        }
+        _ => ModelingStrategy::MajorityVote,
+    };
+    decision
 }
 
 #[cfg(test)]
@@ -324,5 +419,99 @@ mod tests {
         let d = choose_strategy(&lambda, &OptimizerConfig::default());
         assert_eq!(d.strategy, ModelingStrategy::MajorityVote);
         assert_eq!(d.predicted_advantage, 0.0);
+    }
+
+    #[test]
+    fn elbow_edge_cases() {
+        // Empty sweep and single point: index 0 by convention (callers
+        // never index an empty sweep — the ε grid has ≥ 1 step).
+        assert_eq!(elbow_point(&[]), 0);
+        assert_eq!(elbow_point(&[(0.3, 7)]), 0);
+        // Two points have no interior: still 0.
+        assert_eq!(elbow_point(&[(0.3, 1), (0.2, 100)]), 0);
+        // Strictly monotone (geometric) growth: the largest combined
+        // neighbor difference sits at the next-to-last point.
+        let monotone = vec![(0.5, 1), (0.4, 2), (0.3, 4), (0.2, 8), (0.1, 16)];
+        assert_eq!(elbow_point(&monotone), 3);
+        // Strictly monotone *linear* growth: every interior point ties;
+        // the scan keeps the first (a stable, deterministic pick).
+        let linear = vec![(0.5, 1), (0.4, 2), (0.3, 3), (0.2, 4)];
+        assert_eq!(elbow_point(&linear), 1);
+        // A flat sweep never panics and picks an interior point.
+        let flat = vec![(0.5, 3), (0.4, 3), (0.3, 3)];
+        assert_eq!(elbow_point(&flat), 1);
+    }
+
+    #[test]
+    fn all_abstain_matrix_is_mv() {
+        // Rows exist but no LF ever votes: the advantage bound is
+        // exactly 0 (no row can be corrected) and MV is chosen without
+        // running the sweep.
+        let lambda = LabelMatrixBuilder::new(500, 4).build();
+        assert_eq!(lambda.num_points(), 500);
+        let d = choose_strategy(&lambda, &OptimizerConfig::default());
+        assert_eq!(d.strategy, ModelingStrategy::MajorityVote);
+        assert_eq!(d.predicted_advantage, 0.0);
+        assert!(d.sweep.is_empty());
+    }
+
+    #[test]
+    fn big_uncorrelated_matrix_selects_moment_backend() {
+        let accs = [0.9, 0.85, 0.7, 0.6, 0.55, 0.55];
+        let (lambda, _) = planted(3000, &accs, 0.4, 2);
+        let cfg = OptimizerConfig {
+            skip_structure_search: true,
+            moment_min_rows: 1000, // scaled down for the test
+            ..OptimizerConfig::default()
+        };
+        let d = choose_strategy(&lambda, &cfg);
+        assert_eq!(d.strategy, ModelingStrategy::MomentMatching);
+        // Below the scale threshold the exact backend still wins.
+        let small = OptimizerConfig {
+            moment_min_rows: 100_000,
+            ..cfg
+        };
+        assert!(matches!(
+            choose_strategy(&lambda, &small).strategy,
+            ModelingStrategy::GenerativeModel { .. }
+        ));
+    }
+
+    #[test]
+    fn select_model_degrades_to_registered_backends() {
+        use crate::label_model::{
+            MajorityVoteModel, ModelRegistry, BACKEND_GENERATIVE, BACKEND_MAJORITY_VOTE,
+        };
+        use crate::model::GenerativeModel;
+        let accs = [0.9, 0.85, 0.7, 0.6, 0.55, 0.55];
+        let (lambda, _) = planted(3000, &accs, 0.4, 2);
+        let cfg = OptimizerConfig {
+            skip_structure_search: true,
+            moment_min_rows: 1000,
+            ..OptimizerConfig::default()
+        };
+        // Standard registry: moment goes through untouched.
+        let d = select_model(&lambda, &cfg, &ModelRegistry::standard());
+        assert_eq!(d.strategy, ModelingStrategy::MomentMatching);
+        // Registry without the moment backend: degrade to generative.
+        let mut no_moment = ModelRegistry::empty();
+        no_moment.register(BACKEND_MAJORITY_VOTE, |n, scheme, _| {
+            Box::new(MajorityVoteModel::new(n, scheme))
+        });
+        no_moment.register(BACKEND_GENERATIVE, |n, scheme, _| {
+            Box::new(GenerativeModel::new(n, scheme))
+        });
+        let d = select_model(&lambda, &cfg, &no_moment);
+        assert!(matches!(
+            d.strategy,
+            ModelingStrategy::GenerativeModel { .. }
+        ));
+        // MV-only registry: everything degrades to majority vote.
+        let mut mv_only = ModelRegistry::empty();
+        mv_only.register(BACKEND_MAJORITY_VOTE, |n, scheme, _| {
+            Box::new(MajorityVoteModel::new(n, scheme))
+        });
+        let d = select_model(&lambda, &cfg, &mv_only);
+        assert_eq!(d.strategy, ModelingStrategy::MajorityVote);
     }
 }

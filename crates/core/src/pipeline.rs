@@ -1,7 +1,7 @@
 //! End-to-end label-generation pipeline with wall-clock instrumentation.
 //!
-//! `labeling functions → Λ → strategy choice → (structure, generative
-//! model | majority vote) → probabilistic labels Ỹ`.
+//! `labeling functions → Λ → backend selection → fit → probabilistic
+//! labels Ỹ`.
 //!
 //! This is the loop the paper's users run on every LF edit, and the unit
 //! the §3 timing claims are about: skipping generative training when the
@@ -9,6 +9,12 @@
 //! at the elbow saved up to 61% of training time. The [`PipelineReport`]
 //! exposes per-stage timings so the bench harness can regenerate those
 //! numbers.
+//!
+//! Labeling itself is delegated to whichever
+//! [`LabelModel`] backend the optimizer
+//! selects out of the configured
+//! [`ModelRegistry`] — majority vote
+//! is just the cheapest backend, not a special case.
 
 use std::time::{Duration, Instant};
 
@@ -16,21 +22,24 @@ use snorkel_context::{CandidateId, Corpus};
 use snorkel_lf::{BoxedLf, LfExecutor};
 use snorkel_matrix::LabelMatrix;
 
-use crate::model::{GenerativeModel, LabelScheme, TrainConfig};
-use crate::optimizer::{choose_strategy, ModelingStrategy, OptimizerConfig};
-use crate::vote::majority_vote;
+use crate::label_model::{LabelModel, ModelRegistry};
+use crate::model::{GenerativeModel, TrainConfig};
+use crate::optimizer::{select_model, ModelingStrategy, OptimizerConfig};
 
 /// Pipeline configuration.
 #[derive(Clone, Debug, Default)]
 pub struct PipelineConfig {
     /// Optimizer settings (Algorithm 1).
     pub optimizer: OptimizerConfig,
-    /// Generative-model training settings.
+    /// Label-model training settings.
     pub train: TrainConfig,
     /// LF executor (parallelism, cardinality).
     pub executor: LfExecutor,
-    /// Force a strategy instead of running the optimizer (ablations).
+    /// Force a backend instead of running the optimizer (ablations;
+    /// resolved through the same [`Self::registry`]).
     pub force_strategy: Option<ModelingStrategy>,
+    /// The label-model backends this pipeline may build.
+    pub registry: ModelRegistry,
 }
 
 /// Per-stage wall-clock timings.
@@ -40,7 +49,8 @@ pub struct PipelineTimings {
     pub lf_application: Duration,
     /// Optimizer: advantage bound + structure sweep.
     pub strategy_selection: Duration,
-    /// Generative-model training (zero when MV was chosen).
+    /// Backend fit + marginals (near zero for the majority-vote
+    /// backend, whose fit is a no-op).
     pub training: Duration,
     /// Whole pipeline.
     pub total: Duration,
@@ -51,14 +61,18 @@ pub struct PipelineTimings {
 pub struct PipelineReport {
     /// The strategy that produced the labels.
     pub strategy: ModelingStrategy,
+    /// Name of the backend that produced the labels.
+    pub backend: &'static str,
     /// Predicted advantage bound A~* (0 when forced).
     pub predicted_advantage: f64,
     /// Label density of Λ.
     pub label_density: f64,
     /// Stage timings.
     pub timings: PipelineTimings,
-    /// The fitted model (None when MV was chosen).
-    pub model: Option<GenerativeModel>,
+    /// The fitted label model. Downcast to read backend-specific state,
+    /// e.g. `report.model.downcast_ref::<GenerativeModel>()` for the
+    /// exact backend's accuracy weights.
+    pub model: Box<dyn LabelModel>,
 }
 
 /// The staged pipeline: build once, then run against label matrices as
@@ -95,15 +109,13 @@ impl Pipeline {
     /// Run from an existing label matrix (LF outputs are cached across
     /// development iterations in practice).
     pub fn run_from_matrix(&self, lambda: &LabelMatrix) -> (Vec<Vec<f64>>, PipelineReport) {
-        let scheme = LabelScheme::from_cardinality(lambda.cardinality());
-        let k = scheme.num_classes();
         let t0 = Instant::now();
 
         let (strategy, predicted) = match &self.config.force_strategy {
             Some(s) => (s.clone(), 0.0),
             None => {
                 if lambda.is_binary() {
-                    let d = choose_strategy(lambda, &self.config.optimizer);
+                    let d = select_model(lambda, &self.config.optimizer, &self.config.registry);
                     (d.strategy, d.predicted_advantage)
                 } else {
                     // The advantage analysis is binary; multi-class tasks
@@ -122,48 +134,26 @@ impl Pipeline {
         let strategy_time = t0.elapsed();
 
         let t1 = Instant::now();
-        let (labels, model) = match &strategy {
-            ModelingStrategy::MajorityVote => {
-                let mv = majority_vote(lambda);
-                let labels = mv
-                    .into_iter()
-                    .map(|v| match scheme.class_of_vote(v) {
-                        Some(class) => {
-                            let mut row = vec![0.0; k];
-                            row[class] = 1.0;
-                            row
-                        }
-                        None => vec![1.0 / k as f64; k], // tie/empty → uniform
-                    })
-                    .collect();
-                (labels, None)
-            }
-            ModelingStrategy::GenerativeModel {
-                correlations,
-                strengths,
-                ..
-            } => {
-                let mut gm = GenerativeModel::new(lambda.num_lfs(), scheme)
-                    .with_weighted_correlations(correlations, strengths);
-                // Resolve the scale-out plan once and reuse it for both
-                // training and the final marginals pass.
-                let plan = GenerativeModel::plan_for(lambda, &self.config.train);
-                let labels = match &plan {
-                    Some(plan) => {
-                        gm.fit_with(lambda, plan, &self.config.train);
-                        gm.marginals_with(lambda, plan)
-                    }
-                    None => {
-                        gm.fit(lambda, &self.config.train);
-                        gm.marginals_rowwise(lambda)
-                    }
-                };
-                (labels, Some(gm))
-            }
+        let mut model = self
+            .config
+            .registry
+            .build(&strategy, lambda.num_lfs(), lambda.cardinality())
+            .unwrap_or_else(|e| panic!("pipeline misconfigured: {e}"));
+        // Resolve the scale-out plan once and reuse it for both training
+        // and the final marginals pass — unless the backend would not
+        // profit (majority vote: the Algorithm-1 skip-work branch must
+        // not pay an index build it cannot amortize).
+        let plan = if model.benefits_from_plan() {
+            GenerativeModel::plan_for(lambda, &self.config.train)
+        } else {
+            None
         };
+        model.fit(lambda, plan.as_ref(), &self.config.train);
+        let labels = model.marginals(lambda, plan.as_ref());
         let training_time = t1.elapsed();
 
         let report = PipelineReport {
+            backend: model.backend_name(),
             strategy,
             predicted_advantage: predicted,
             label_density: lambda.label_density(),
@@ -222,7 +212,11 @@ mod tests {
             report.strategy,
             ModelingStrategy::GenerativeModel { .. }
         ));
-        assert!(report.model.is_some());
+        assert_eq!(report.backend, "generative");
+        assert!(report
+            .model
+            .downcast_ref::<crate::model::GenerativeModel>()
+            .is_some());
         assert_eq!(labels.len(), 2000);
         // Probabilistic labels should beat coin-flipping on gold. The
         // Bayes-optimal accuracy for this suite (accs 0.9..0.6 at 50%
@@ -245,7 +239,11 @@ mod tests {
         let (lambda, _) = planted(1000, &[0.75, 0.75], 0.05, 2);
         let (labels, report) = run_pipeline(&lambda);
         assert_eq!(report.strategy, ModelingStrategy::MajorityVote);
-        assert!(report.model.is_none());
+        assert_eq!(report.backend, "majority-vote");
+        assert!(report
+            .model
+            .downcast_ref::<crate::label_model::MajorityVoteModel>()
+            .is_some());
         assert!(report.timings.training < report.timings.total);
         // Uniform rows where nothing voted.
         assert!(labels.iter().any(|l| (l[0] - 0.5).abs() < 1e-12));
@@ -282,6 +280,27 @@ mod tests {
         let (_, mv_report) = Pipeline::new(mv_cfg).run_from_matrix(&lambda);
         let (_, gm_report) = Pipeline::new(gm_cfg).run_from_matrix(&lambda);
         assert!(mv_report.timings.total < gm_report.timings.total);
+    }
+
+    #[test]
+    fn forced_moment_backend_labels_through_trait() {
+        let (lambda, gold) = planted(2000, &[0.9, 0.8, 0.7, 0.6], 0.5, 1);
+        let cfg = PipelineConfig {
+            force_strategy: Some(ModelingStrategy::MomentMatching),
+            ..PipelineConfig::default()
+        };
+        let (labels, report) = Pipeline::new(cfg).run_from_matrix(&lambda);
+        assert_eq!(report.backend, "moment");
+        let acc: f64 = labels
+            .iter()
+            .zip(&gold)
+            .map(|(l, &g)| {
+                let pred: Vote = if l[0] > 0.5 { 1 } else { -1 };
+                (pred == g) as u8 as f64
+            })
+            .sum::<f64>()
+            / 2000.0;
+        assert!(acc > 0.77, "moment-backend label accuracy {acc:.3}");
     }
 
     #[test]

@@ -3,10 +3,11 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use snorkel_core::label_model::LabelModel;
 use snorkel_core::model::{ClassBalance, GenerativeModel, LabelScheme, TrainConfig};
 use snorkel_core::optimizer::{advantage_upper_bound, OptimizerConfig};
 use snorkel_core::vote::{majority_vote, modeling_advantage, weighted_vote};
-use snorkel_matrix::{LabelMatrix, LabelMatrixBuilder, Vote};
+use snorkel_matrix::{LabelMatrix, LabelMatrixBuilder, ShardedMatrix, Vote};
 
 /// Random binary matrix with per-LF accuracies and planted gold.
 fn planted(m: usize, accs: &[f64], pl: f64, seed: u64) -> (LabelMatrix, Vec<Vote>) {
@@ -99,6 +100,44 @@ proptest! {
         let bound = advantage_upper_bound(&lambda, &OptimizerConfig::default());
         prop_assert!(bound >= 0.0);
         prop_assert!(bound <= 2.0);
+    }
+
+    /// The generative backend viewed through the `LabelModel` trait is
+    /// the same model: trait-call fit and marginals are bit-identical to
+    /// the concrete-type calls, with and without a sharded plan, and
+    /// the snapshot round trip preserves them exactly — the API
+    /// redesign's "no numeric drift" contract.
+    #[test]
+    fn generative_trait_calls_are_bit_identical(
+        accs in prop::collection::vec(0.45f64..0.95, 2..6),
+        pl in 0.2f64..0.8,
+        shards in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let (lambda, _) = planted(300, &accs, pl, seed);
+        let cfg = TrainConfig { epochs: 60, ..TrainConfig::default() };
+
+        // Concrete (pre-redesign) path.
+        let mut concrete = GenerativeModel::new(accs.len(), LabelScheme::Binary);
+        concrete.fit(&lambda, &cfg);
+        let reference = concrete.marginals_rowwise(&lambda);
+
+        // Trait path, row-wise.
+        let mut traited: Box<dyn LabelModel> =
+            Box::new(GenerativeModel::new(accs.len(), LabelScheme::Binary));
+        traited.fit(&lambda, None, &cfg);
+        prop_assert_eq!(&traited.marginals(&lambda, None), &reference);
+
+        // Trait path, through a sharded plan.
+        let plan = ShardedMatrix::build(&lambda, shards);
+        prop_assert_eq!(&traited.marginals(&lambda, Some(&plan)), &reference);
+
+        // Snapshot round trip.
+        let restored = traited.to_snapshot().restore().unwrap();
+        prop_assert_eq!(&restored.marginals(&lambda, None), &reference);
+
+        // Hard labels agree too.
+        prop_assert_eq!(traited.predicted_labels(&lambda), concrete.predicted_labels(&lambda));
     }
 
     /// Fits are deterministic and class-balance-policy changes never

@@ -1,7 +1,7 @@
 //! Shared scaffolding for the relation-extraction tasks.
 //!
 //! Each task (Chem, EHR, CDR, Spouses) instantiates a
-//! [`RelationCorpusSpec`] — entity pools, sentence templates per class,
+//! `RelationCorpusSpec` — entity pools, sentence templates per class,
 //! and noise rates — and a labeling-function suite. The generator turns
 //! the spec into a corpus whose ground truth is a planted pair-level
 //! relation set `R`: a candidate is positive iff its `(a, b)` span pair

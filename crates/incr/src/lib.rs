@@ -19,12 +19,15 @@
 //! * **Delta Λ updates** — the cache feeds
 //!   [`snorkel_matrix::MatrixDelta`] column splices and row appends, so
 //!   Λ is patched in place, bit-identical to a full rebuild.
-//! * **Warm-start training** —
-//!   [`snorkel_core::model::GenerativeModel::fit_warm`] restarts EM from
-//!   the previous refresh's parameters (edited columns re-enter at their
-//!   conditional MLE), converging to the same optimizer-independent
-//!   fixed point as a cold fit: marginals agree to ≤1e-9 on the exact
-//!   path.
+//! * **Warm-start training** — the session holds whatever
+//!   [`snorkel_core::label_model::LabelModel`] backend the optimizer
+//!   selected and refits it through the trait's `fit_warm`: the exact
+//!   generative backend restarts EM from the previous refresh's
+//!   parameters (edited columns re-enter at their conditional MLE),
+//!   converging to the same optimizer-independent fixed point as a cold
+//!   fit — marginals agree to ≤1e-9 on the exact path. Fit-free
+//!   backends (majority vote, the closed-form moment estimator) refit
+//!   from scratch because a cold fit is already the cheap path.
 //! * **Structure-sweep reuse** — on a one-column edit the Algorithm-1
 //!   ε-sweep (the expensive half of strategy selection) is skipped and
 //!   the previous correlation structure is reused; the cheap `A~*`

@@ -5,13 +5,11 @@
 use std::time::{Duration, Instant};
 
 use snorkel_context::{CandidateId, CandidateView, Corpus};
-use snorkel_core::model::{
-    GenerativeModel, LabelScheme, ModelParams, Scaleout, TrainConfig, SCALEOUT_MIN_ROWS,
-};
+use snorkel_core::label_model::{LabelModel, ModelRegistry, ModelSnapshot};
+use snorkel_core::model::{LabelScheme, ParamsError, Scaleout, TrainConfig, SCALEOUT_MIN_ROWS};
 use snorkel_core::optimizer::{
-    advantage_upper_bound, choose_strategy, ModelingStrategy, OptimizerConfig,
+    advantage_upper_bound, select_model, ModelingStrategy, OptimizerConfig,
 };
-use snorkel_core::vote::majority_vote;
 use snorkel_lf::{BoxedLf, LfExecutor};
 use snorkel_matrix::{LabelMatrix, MatrixDelta, ShardedMatrix, ShardedMatrixParts, Vote};
 
@@ -32,8 +30,11 @@ pub struct SessionConfig {
     pub train: TrainConfig,
     /// Optimizer settings (Algorithm 1).
     pub optimizer: OptimizerConfig,
-    /// Force a strategy instead of running the optimizer.
+    /// Force a backend instead of running the optimizer (resolved
+    /// through [`Self::registry`]).
     pub force_strategy: Option<ModelingStrategy>,
+    /// The label-model backends this session may build.
+    pub registry: ModelRegistry,
     /// Reuse the previous refresh's structure-sweep outcome when at most
     /// one column changed and no rows were ingested (the Algorithm-1
     /// sweep is by far the most expensive part of strategy selection,
@@ -60,6 +61,7 @@ impl Default for SessionConfig {
             train: TrainConfig::default(),
             optimizer: OptimizerConfig::default(),
             force_strategy: None,
+            registry: ModelRegistry::standard(),
             reuse_structure_on_column_edit: true,
             warm_start: true,
             cache_capacity: 256,
@@ -124,9 +126,11 @@ pub struct RefreshReport {
     /// Whether the structure sweep was skipped in favor of the previous
     /// refresh's correlation structure.
     pub structure_reused: bool,
-    /// Whether generative training warm-started from the previous model.
+    /// Name of the label-model backend that produced the labels.
+    pub backend: &'static str,
+    /// Whether training warm-started from the previous model.
     pub warm_started: bool,
-    /// Generative-training iterations run (0 when MV was chosen).
+    /// Training iterations run (0 for fit-free backends like MV).
     pub fit_epochs: usize,
     /// Distinct vote patterns in the sharded scale-out plan (`None` when
     /// the refresh ran row-wise).
@@ -167,8 +171,8 @@ pub struct FrozenSession {
     pub lambda: Option<LabelMatrix>,
     /// The sharded pattern plan of the last refresh.
     pub plan: Option<ShardedMatrixParts>,
-    /// The generative model of the last refresh.
-    pub model: Option<ModelParams>,
+    /// The label model of the last refresh, tagged with its backend.
+    pub model: Option<ModelSnapshot>,
     /// Column-aligned fingerprint layout at the last refresh.
     pub last_fingerprints: Vec<Fingerprint>,
     /// Row count at the last refresh.
@@ -186,6 +190,9 @@ pub enum ThawError {
     /// hand-edited snapshot, or a corpus that does not cover the
     /// registered candidates).
     Inconsistent(String),
+    /// The frozen label model's parameters violate a structural
+    /// invariant (see [`ParamsError`]).
+    Model(ParamsError),
 }
 
 impl std::fmt::Display for ThawError {
@@ -193,11 +200,25 @@ impl std::fmt::Display for ThawError {
         match self {
             ThawError::SuiteMismatch(msg) => write!(f, "LF suite mismatch: {msg}"),
             ThawError::Inconsistent(msg) => write!(f, "inconsistent frozen state: {msg}"),
+            ThawError::Model(e) => write!(f, "invalid frozen model: {e}"),
         }
     }
 }
 
-impl std::error::Error for ThawError {}
+impl std::error::Error for ThawError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ThawError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParamsError> for ThawError {
+    fn from(e: ParamsError) -> Self {
+        ThawError::Model(e)
+    }
+}
 
 /// The incremental labeling engine's façade: an interactive-session
 /// counterpart to the batch [`snorkel_core::pipeline::Pipeline`].
@@ -230,7 +251,9 @@ pub struct IncrementalSession {
     /// Sharded pattern index over `lambda`, maintained incrementally
     /// across refreshes (None when scale-out is off or Λ is too small).
     plan: Option<ShardedMatrix>,
-    model: Option<GenerativeModel>,
+    /// The label-model backend of the last refresh (whatever the
+    /// optimizer selected — majority vote included).
+    model: Option<Box<dyn LabelModel>>,
     /// Fingerprint layout at the last refresh (column-aligned).
     last_fingerprints: Vec<Fingerprint>,
     /// Row count at the last refresh.
@@ -331,9 +354,16 @@ impl IncrementalSession {
         self.lambda.as_ref()
     }
 
-    /// The current generative model (when the last refresh trained one).
-    pub fn model(&self) -> Option<&GenerativeModel> {
-        self.model.as_ref()
+    /// The label model of the last refresh (any backend; downcast for
+    /// backend-specific state, e.g.
+    /// `session.model()?.downcast_ref::<GenerativeModel>()`).
+    pub fn model(&self) -> Option<&dyn LabelModel> {
+        self.model.as_deref()
+    }
+
+    /// Name of the active label-model backend (after the first refresh).
+    pub fn backend_name(&self) -> Option<&'static str> {
+        self.model.as_deref().map(LabelModel::backend_name)
     }
 
     /// The live sharded pattern plan (after a scale-out refresh).
@@ -467,7 +497,7 @@ impl IncrementalSession {
             cache: self.cache.export(),
             lambda: self.lambda.clone(),
             plan: self.plan.as_ref().map(ShardedMatrix::to_parts),
-            model: self.model.as_ref().map(GenerativeModel::to_params),
+            model: self.model.as_deref().map(LabelModel::to_snapshot),
             last_fingerprints: self.last_fingerprints.clone(),
             last_rows: self.last_rows,
             last_gm_strategy: self.last_gm_strategy.clone(),
@@ -613,12 +643,12 @@ impl IncrementalSession {
         };
         let model = match model {
             None => None,
-            Some(params) => {
-                let model =
-                    GenerativeModel::from_params(params).map_err(ThawError::Inconsistent)?;
+            Some(snapshot) => {
+                let model = snapshot.restore()?;
                 if model.num_lfs() != last_fingerprints.len() {
                     return Err(ThawError::Inconsistent(format!(
-                        "model covers {} LFs but the last refresh had {}",
+                        "{} model covers {} LFs but the last refresh had {}",
+                        model.backend_name(),
                         model.num_lfs(),
                         last_fingerprints.len()
                     )));
@@ -878,7 +908,7 @@ impl IncrementalSession {
                     )
                 }
             } else {
-                let d = choose_strategy(lambda, &self.config.optimizer);
+                let d = select_model(lambda, &self.config.optimizer, &self.config.registry);
                 (d.strategy, d.predicted_advantage)
             }
         };
@@ -891,92 +921,56 @@ impl IncrementalSession {
         let strategy_time = t_strat.elapsed();
 
         // ------------------------------------------------------------------
-        // 4. Labels: majority vote, or (warm-started) generative training.
+        // 4. Labels: build the selected backend and fit it — warm-started
+        //    from the previous refresh's model when possible.
         // ------------------------------------------------------------------
         let t_train = Instant::now();
         let scheme = LabelScheme::from_cardinality(lambda.cardinality());
-        let k = scheme.num_classes();
-        let mut warm_started = false;
-        let mut fit_epochs = 0usize;
-        let labels = match &strategy {
-            ModelingStrategy::MajorityVote => {
-                self.model = None;
-                majority_vote(lambda)
-                    .into_iter()
-                    .map(|v| match scheme.class_of_vote(v) {
-                        Some(class) => {
-                            let mut row = vec![0.0; k];
-                            row[class] = 1.0;
-                            row
-                        }
-                        None => vec![1.0 / k as f64; k],
-                    })
-                    .collect()
-            }
-            ModelingStrategy::GenerativeModel {
-                correlations,
-                strengths,
-                ..
-            } => {
-                let mut gm = GenerativeModel::new(n, scheme)
-                    .with_weighted_correlations(correlations, strengths);
-                let prev_compatible = self
-                    .model
-                    .as_ref()
-                    .is_some_and(|prev| prev.scheme() == scheme);
-                // The session-level scale-out decision governs training:
-                // with a live plan, train and infer through it; without
-                // one, pin the model to the row-wise path so it does not
-                // rebuild a plan of its own every refresh.
-                let plan = self.plan.as_ref();
-                let train_cfg = if plan.is_some() {
-                    self.config.train.clone()
-                } else {
-                    TrainConfig {
-                        scaleout: Scaleout::RowWise,
-                        ..self.config.train.clone()
-                    }
-                };
-                let report = if self.config.warm_start && prev_compatible {
-                    let prev = self.model.take().expect("prev_compatible checked");
-                    if structural || prev.num_lfs() != n {
-                        // Map surviving columns to their previous weights
-                        // by fingerprint; new/edited columns start fresh.
-                        let col_map: Vec<Option<usize>> = live
-                            .iter()
-                            .map(|fp| self.last_fingerprints.iter().position(|p| p == fp))
-                            .collect();
-                        let fresh: Vec<usize> = (0..n).filter(|&j| col_map[j].is_none()).collect();
-                        let remapped = GenerativeModel::remapped_from(&prev, &col_map);
-                        warm_started = true;
-                        match plan {
-                            Some(p) => gm.fit_warm_with(lambda, p, &train_cfg, &remapped, &fresh),
-                            None => gm.fit_warm(lambda, &train_cfg, &remapped, &fresh),
-                        }
-                    } else {
-                        warm_started = true;
-                        match plan {
-                            Some(p) => {
-                                gm.fit_warm_with(lambda, p, &train_cfg, &prev, &changed_cols)
-                            }
-                            None => gm.fit_warm(lambda, &train_cfg, &prev, &changed_cols),
-                        }
-                    }
-                } else {
-                    match plan {
-                        Some(p) => gm.fit_with(lambda, p, &train_cfg),
-                        None => gm.fit(lambda, &train_cfg),
-                    }
-                };
-                fit_epochs = report.epochs;
-                let labels = match plan {
-                    Some(p) => gm.marginals_with(lambda, p),
-                    None => gm.marginals_rowwise(lambda),
-                };
-                self.model = Some(gm);
-                labels
+        let mut model = self
+            .config
+            .registry
+            .build(&strategy, n, lambda.cardinality())
+            .unwrap_or_else(|e| panic!("session misconfigured: {e}"));
+        let prev_compatible = self
+            .model
+            .as_deref()
+            .is_some_and(|prev| prev.scheme() == scheme);
+        // The session-level scale-out decision governs training: with a
+        // live plan, train and infer through it; without one, pin the
+        // model to the row-wise path so it does not rebuild a plan of
+        // its own every refresh.
+        let plan = self.plan.as_ref();
+        let train_cfg = if plan.is_some() {
+            self.config.train.clone()
+        } else {
+            TrainConfig {
+                scaleout: Scaleout::RowWise,
+                ..self.config.train.clone()
             }
         };
+        let report = if self.config.warm_start && prev_compatible {
+            let prev = self.model.take().expect("prev_compatible checked");
+            if structural || prev.num_lfs() != n {
+                // Map surviving columns to their previous per-column
+                // state by fingerprint; new/edited columns start fresh.
+                let col_map: Vec<Option<usize>> = live
+                    .iter()
+                    .map(|fp| self.last_fingerprints.iter().position(|p| p == fp))
+                    .collect();
+                let fresh: Vec<usize> = (0..n).filter(|&j| col_map[j].is_none()).collect();
+                let remapped = prev.remapped(&col_map);
+                model.fit_warm(lambda, plan, &train_cfg, remapped.as_ref(), &fresh)
+            } else {
+                model.fit_warm(lambda, plan, &train_cfg, prev.as_ref(), &changed_cols)
+            }
+        } else {
+            model.fit(lambda, plan, &train_cfg)
+        };
+        let warm_started = report.warm_started;
+        let fit_epochs = report.epochs;
+        let labels = model.marginals(lambda, plan);
+        let backend = model.backend_name();
+        self.model = Some(model);
         let training_time = t_train.elapsed();
 
         // ------------------------------------------------------------------
@@ -986,6 +980,7 @@ impl IncrementalSession {
         self.last_rows = m;
         let report = RefreshReport {
             strategy,
+            backend,
             predicted_advantage: predicted,
             label_density: lambda.label_density(),
             lambda_update,

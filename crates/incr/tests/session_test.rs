@@ -527,7 +527,7 @@ fn freeze_thaw_round_trip_is_warm_and_bit_identical() {
     let frozen_model_marginals = session
         .model()
         .expect("model trained")
-        .marginals_rowwise(session.label_matrix().expect("Λ built"));
+        .marginals(session.label_matrix().expect("Λ built"), None);
     // What the original process would produce on its next (no-op)
     // refresh — the reference for the thawed session's first refresh.
     let (reference_labels, _) = session.refresh();
@@ -547,7 +547,7 @@ fn freeze_thaw_round_trip_is_warm_and_bit_identical() {
     let model = thawed.model().expect("model restored");
     let lambda = thawed.label_matrix().expect("Λ restored").clone();
     assert_eq!(
-        model.marginals_rowwise(&lambda),
+        model.marginals(&lambda, None),
         frozen_model_marginals,
         "restored model marginals bit-identical to the frozen model's"
     );
@@ -614,4 +614,55 @@ fn thaw_rejects_mismatched_suite_and_corpus() {
         thawed.err(),
         Some(snorkel_incr::ThawError::Inconsistent(_))
     ));
+}
+
+#[test]
+fn optimizer_switches_to_moment_backend_at_scale() {
+    // With the moment threshold scaled down, the optimizer selects the
+    // closed-form moment backend for this session; the report and the
+    // live model agree on the backend, and a subsequent edit refits the
+    // same backend without touching untouched columns.
+    let (corpus, _) = build_corpus(400);
+    let config = SessionConfig {
+        optimizer: OptimizerConfig {
+            skip_structure_search: true,
+            moment_min_rows: 100,
+            // Always model accuracies so the moment-vs-generative branch
+            // (what this test is about) is reached on this tiny corpus.
+            gamma: 0.0,
+            ..OptimizerConfig::default()
+        },
+        ..SessionConfig::default()
+    };
+    let mut session = IncrementalSession::over_all_candidates(corpus, config);
+    let counters: Vec<Arc<AtomicUsize>> = (0..4).map(|_| Arc::new(AtomicUsize::new(0))).collect();
+    for (j, counter) in counters.iter().enumerate() {
+        session.add_lf(counting_lf(
+            &format!("lf_{j}"),
+            2 + j as u64,
+            Arc::clone(counter),
+        ));
+    }
+    let (labels, report) = session.refresh();
+    assert_eq!(report.backend, "moment");
+    assert_eq!(session.backend_name(), Some("moment"));
+    assert!(labels
+        .iter()
+        .all(|p| (p.iter().sum::<f64>() - 1.0).abs() < 1e-9));
+
+    // Freeze/thaw keeps the backend tag.
+    let frozen = session.freeze();
+    assert_eq!(
+        frozen.model.as_ref().map(|m| m.backend_name()),
+        Some("moment")
+    );
+
+    // One edit: only that column re-executes, and the moment backend
+    // refits (closed form — no warm start needed or claimed).
+    session.edit_lf(counting_lf("lf_2", 7, Arc::new(AtomicUsize::new(0))));
+    let (_, report) = session.refresh();
+    assert_eq!(report.backend, "moment");
+    assert_eq!(report.columns_recomputed, 1);
+    assert_eq!(report.columns_reused, 3);
+    assert!(!report.warm_started);
 }

@@ -9,14 +9,18 @@
 //! Two layers:
 //!
 //! * [`snap`] — a hand-rolled, versioned, checksummed binary snapshot
-//!   format round-tripping the label matrix (CSR), the generative model
-//!   (weights + [`TrainConfig`](snorkel_core::TrainConfig) + learned
-//!   correlation structure), the `snorkel-incr` LF-result cache, and the
-//!   sharded [`PatternIndex`](snorkel_matrix::PatternIndex) — so a
-//!   restarted process warm-starts in milliseconds instead of re-running
-//!   every LF and re-fitting from scratch. Round trips are bit-exact;
-//!   corrupted, truncated, or wrong-version files yield a typed
-//!   [`SnapError`], never a panic.
+//!   format round-tripping the label matrix (CSR), the label model
+//!   (backend-tagged
+//!   [`ModelSnapshot`](snorkel_core::label_model::ModelSnapshot) +
+//!   [`TrainConfig`](snorkel_core::TrainConfig)), the `snorkel-incr`
+//!   LF-result cache, and the sharded
+//!   [`PatternIndex`](snorkel_matrix::PatternIndex) — so a restarted
+//!   process warm-starts in milliseconds instead of re-running every LF
+//!   and re-fitting from scratch, on the *same backend* it was running.
+//!   Round trips are bit-exact; corrupted, truncated, wrong-version, or
+//!   unknown-backend files yield a typed [`SnapError`], never a panic
+//!   (v1 files, which predate backend tags, still load as the
+//!   generative backend).
 //! * [`server`] — a multithreaded `std::net` TCP server speaking a
 //!   line-delimited protocol (`MARGINAL`, `APPLY`, `REFRESH`,
 //!   `SNAPSHOT`, `STATS`, `SHUTDOWN`) over a shared

@@ -356,11 +356,12 @@ fn handle_request(inner: &Inner, req: Request) -> String {
             let state = read_unpoisoned(&inner.state);
             let cache = state.session.cache_stats();
             format!(
-                "OK gen={} rows={} lfs={} queries={} memo_hits={} refreshes={} \
+                "OK gen={} rows={} lfs={} backend={} queries={} memo_hits={} refreshes={} \
                  snapshots={} cache_hits={} cache_misses={} cache_extensions={} lf_names={}",
                 state.generation,
                 state.session.num_candidates(),
                 state.session.num_lfs(),
+                state.session.backend_name().unwrap_or("-"),
                 inner.queries.load(Ordering::Relaxed),
                 inner.memo_hits.load(Ordering::Relaxed),
                 inner.refreshes.load(Ordering::Relaxed),
@@ -549,13 +550,15 @@ fn handle_refresh(inner: &Inner, edit: Option<SuiteEdit>) -> String {
     inner.refreshes.fetch_add(1, Ordering::Relaxed);
     let strategy = match &report.strategy {
         snorkel_core::optimizer::ModelingStrategy::MajorityVote => "mv",
+        snorkel_core::optimizer::ModelingStrategy::MomentMatching => "moment",
         snorkel_core::optimizer::ModelingStrategy::GenerativeModel { .. } => "gm",
     };
     format!(
-        "OK gen={} strategy={strategy} rows={} lfs={} lf_invocations={} \
+        "OK gen={} strategy={strategy} backend={} rows={} lfs={} lf_invocations={} \
          columns_recomputed={} columns_reused={} columns_extended={} \
          warm_started={} unique_patterns={}",
         state.generation,
+        report.backend,
         state.session.num_candidates(),
         state.session.num_lfs(),
         report.lf_invocations,

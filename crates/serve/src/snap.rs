@@ -37,14 +37,32 @@
 //! | `TCFG` | the [`TrainConfig`]                              | always   |
 //! | `LMTX` | the label matrix (raw CSR)                       | if built |
 //! | `PLAN` | the sharded pattern index                        | if built |
-//! | `MODL` | generative-model weights + correlation structure | if trained |
+//! | `MODL` | the label model, backend-tagged (v2) — weights + structure for the generative/moment backends, shape only for majority vote | if trained |
+//!
+//! ## Versioning
+//!
+//! * **v1** — the pre-[`LabelModel`] format: `MODL` is an untagged
+//!   generative-model parameter block. Still read: it decodes into a
+//!   [`ModelSnapshot::Generative`], so v1 snapshots thaw into a session
+//!   running the generative backend.
+//! * **v2** (current) — `MODL` opens with a backend tag byte
+//!   (1 = generative, 2 = majority-vote, 3 = moment). Unknown tags are
+//!   a typed [`SnapError::UnknownBackend`]; structurally invalid model
+//!   parameters are a typed [`SnapError::Model`]. v2 also adds the
+//!   moment-matching strategy tag to `SESS`.
+//!
+//! [`Snapshot::to_bytes_with_version`] can still *write* v1 (for
+//! handing a snapshot to an older build) as long as the model is absent
+//! or generative.
 //!
 //! [`IncrementalSession`]: snorkel_incr::IncrementalSession
+//! [`LabelModel`]: snorkel_core::label_model::LabelModel
 
 use std::io::Write as _;
 use std::path::Path;
 
-use snorkel_core::model::{ClassBalance, ModelParams, Scaleout, TrainConfig};
+use snorkel_core::label_model::ModelSnapshot;
+use snorkel_core::model::{ClassBalance, ModelParams, ParamsError, Scaleout, TrainConfig};
 use snorkel_core::optimizer::ModelingStrategy;
 use snorkel_incr::{Fingerprint, FrozenCache, FrozenColumn, FrozenSession};
 use snorkel_matrix::{LabelMatrix, PatternIndexParts, ShardedMatrixParts};
@@ -56,8 +74,16 @@ use crate::wire::{fnv1a, Reader, Writer};
 /// Magic bytes opening every snapshot file.
 pub const MAGIC: [u8; 8] = *b"SNKLSNAP";
 
-/// The format version this build writes and reads.
-pub const FORMAT_VERSION: u32 = 1;
+/// The format version this build writes by default.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The oldest format version this build still reads.
+pub const MIN_READ_VERSION: u32 = 1;
+
+/// Backend tag bytes of the v2 `MODL` section.
+const MODEL_TAG_GENERATIVE: u8 = 1;
+const MODEL_TAG_MAJORITY_VOTE: u8 = 2;
+const MODEL_TAG_MOMENT: u8 = 3;
 
 const TAG_SESS: u32 = u32::from_le_bytes(*b"SESS");
 const TAG_CACH: u32 = u32::from_le_bytes(*b"CACH");
@@ -87,9 +113,19 @@ pub enum SnapError {
     UnsupportedVersion {
         /// Version found in the file.
         found: u32,
-        /// Version this build supports.
+        /// Newest version this build supports (it also reads every
+        /// version down to [`MIN_READ_VERSION`]).
         supported: u32,
     },
+    /// The model section names a label-model backend this build does
+    /// not know.
+    UnknownBackend {
+        /// The unrecognized backend tag byte.
+        tag: u8,
+    },
+    /// The model section decoded but its parameters violate a
+    /// structural invariant.
+    Model(ParamsError),
     /// The file ends before a field it promises.
     Truncated {
         /// The field being read when bytes ran out.
@@ -124,6 +160,10 @@ impl std::fmt::Display for SnapError {
                     "snapshot format v{found} (this build reads v{supported})"
                 )
             }
+            SnapError::UnknownBackend { tag } => {
+                write!(f, "unknown label-model backend tag {tag}")
+            }
+            SnapError::Model(e) => write!(f, "invalid model section: {e}"),
             SnapError::Truncated { context } => write!(f, "truncated while reading {context}"),
             SnapError::ChecksumMismatch { section } => {
                 write!(f, "checksum mismatch in {section}")
@@ -140,8 +180,15 @@ impl std::error::Error for SnapError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SnapError::Io(e) => Some(e),
+            SnapError::Model(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<ParamsError> for SnapError {
+    fn from(e: ParamsError) -> Self {
+        SnapError::Model(e)
     }
 }
 
@@ -170,8 +217,44 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
-    /// Serialize to the on-disk byte format.
+    /// Serialize to the on-disk byte format (current version).
     pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_bytes_with_version(FORMAT_VERSION)
+            .expect("current version encodes every model")
+    }
+
+    /// Serialize as a specific format version — for handing a snapshot
+    /// to an older build. v1 has no backend tag in its model section,
+    /// so it can only carry an absent or generative model; anything
+    /// else is a [`SnapError::Corrupt`] ("cannot encode"), not a silent
+    /// misread on the other end.
+    pub fn to_bytes_with_version(&self, version: u32) -> Result<Vec<u8>, SnapError> {
+        if !(MIN_READ_VERSION..=FORMAT_VERSION).contains(&version) {
+            return Err(SnapError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let model_section = match (&self.session.model, version) {
+            (None, _) => None,
+            (Some(model), 1) => match model {
+                ModelSnapshot::Generative(params) => Some(enc_model_v1(params)),
+                other => {
+                    return Err(corrupt(format!(
+                        "format v1 cannot encode the {} backend",
+                        other.backend_name()
+                    )))
+                }
+            },
+            (Some(model), _) => Some(enc_model(model)),
+        };
+        if version == 1 {
+            if let Some((ModelingStrategy::MomentMatching, _)) = &self.session.last_gm_strategy {
+                return Err(corrupt(
+                    "format v1 cannot encode the moment-matching strategy",
+                ));
+            }
+        }
         let mut sections: Vec<(u32, Vec<u8>)> = Vec::new();
         sections.push((TAG_SESS, enc_session_meta(&self.session)));
         sections.push((TAG_CACH, enc_cache(&self.session.cache)));
@@ -182,8 +265,8 @@ impl Snapshot {
         if let Some(plan) = &self.session.plan {
             sections.push((TAG_PLAN, enc_plan(plan)));
         }
-        if let Some(model) = &self.session.model {
-            sections.push((TAG_MODL, enc_model(model)));
+        if let Some(model) = model_section {
+            sections.push((TAG_MODL, model));
         }
 
         let header_end = 16 + 28 * sections.len() + 8;
@@ -191,7 +274,7 @@ impl Snapshot {
         for b in MAGIC {
             head.put_u8(b);
         }
-        head.put_u32(FORMAT_VERSION);
+        head.put_u32(version);
         head.put_u32(sections.len() as u32);
         let mut offset = header_end as u64;
         for (tag, payload) in &sections {
@@ -208,7 +291,7 @@ impl Snapshot {
         for (_, payload) in &sections {
             out.extend_from_slice(payload);
         }
-        out
+        Ok(out)
     }
 
     /// Deserialize from the on-disk byte format, verifying magic,
@@ -221,7 +304,7 @@ impl Snapshot {
             return Err(SnapError::BadMagic);
         }
         let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-        if version != FORMAT_VERSION {
+        if !(MIN_READ_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(SnapError::UnsupportedVersion {
                 found: version,
                 supported: FORMAT_VERSION,
@@ -315,6 +398,9 @@ impl Snapshot {
             None => None,
         };
         session.model = match find(TAG_MODL) {
+            // v1 model sections carry a bare (untagged) generative
+            // parameter block; v2 sections open with a backend tag.
+            Some(p) if version == 1 => Some(dec_model_v1(&mut Reader::new(p))?),
             Some(p) => Some(dec_model(&mut Reader::new(p))?),
             None => None,
         };
@@ -384,6 +470,7 @@ fn enc_session_meta(s: &FrozenSession) -> Vec<u8> {
         Some((strategy, layout)) => {
             match strategy {
                 ModelingStrategy::MajorityVote => w.put_u8(1),
+                ModelingStrategy::MomentMatching => w.put_u8(3),
                 ModelingStrategy::GenerativeModel {
                     epsilon,
                     correlations,
@@ -437,9 +524,11 @@ fn dec_session_meta(r: &mut Reader<'_>) -> Result<FrozenSession, SnapError> {
     let last_rows = r.usize("last row count")?;
     let last_gm_strategy = match r.u8("strategy tag")? {
         0 => None,
-        tag @ (1 | 2) => {
+        tag @ 1..=3 => {
             let strategy = if tag == 1 {
                 ModelingStrategy::MajorityVote
+            } else if tag == 3 {
+                ModelingStrategy::MomentMatching
             } else {
                 let epsilon = r.f64("strategy epsilon")?;
                 let n = r.len(16, "correlation count")?;
@@ -669,8 +758,38 @@ fn dec_plan(r: &mut Reader<'_>) -> Result<ShardedMatrixParts, SnapError> {
     Ok(ShardedMatrixParts { num_lfs, shards })
 }
 
-fn enc_model(m: &ModelParams) -> Vec<u8> {
+/// The v1 (untagged) model payload: a bare generative parameter block.
+fn enc_model_v1(m: &ModelParams) -> Vec<u8> {
     let mut w = Writer::new();
+    enc_model_params(&mut w, m);
+    w.into_bytes()
+}
+
+/// The v2 model payload: backend tag byte, then the backend's state.
+fn enc_model(m: &ModelSnapshot) -> Vec<u8> {
+    let mut w = Writer::new();
+    match m {
+        ModelSnapshot::Generative(p) => {
+            w.put_u8(MODEL_TAG_GENERATIVE);
+            enc_model_params(&mut w, p);
+        }
+        ModelSnapshot::MajorityVote {
+            cardinality,
+            num_lfs,
+        } => {
+            w.put_u8(MODEL_TAG_MAJORITY_VOTE);
+            w.put_u8(*cardinality);
+            w.put_usize(*num_lfs);
+        }
+        ModelSnapshot::MomentMatching(p) => {
+            w.put_u8(MODEL_TAG_MOMENT);
+            enc_model_params(&mut w, p);
+        }
+    }
+    w.into_bytes()
+}
+
+fn enc_model_params(w: &mut Writer, m: &ModelParams) {
     w.put_u8(m.cardinality);
     w.put_usize(m.num_lfs);
     let put_f64s = |w: &mut Writer, xs: &[f64]| {
@@ -679,20 +798,50 @@ fn enc_model(m: &ModelParams) -> Vec<u8> {
             w.put_f64(x);
         }
     };
-    put_f64s(&mut w, &m.w_lab);
-    put_f64s(&mut w, &m.w_acc);
+    put_f64s(w, &m.w_lab);
+    put_f64s(w, &m.w_acc);
     w.put_usize(m.corr_pairs.len());
     for &(a, b) in &m.corr_pairs {
         w.put_usize(a);
         w.put_usize(b);
     }
-    put_f64s(&mut w, &m.w_corr);
-    put_f64s(&mut w, &m.corr_strength);
-    put_f64s(&mut w, &m.b_class);
-    w.into_bytes()
+    put_f64s(w, &m.w_corr);
+    put_f64s(w, &m.corr_strength);
+    put_f64s(w, &m.b_class);
 }
 
-fn dec_model(r: &mut Reader<'_>) -> Result<ModelParams, SnapError> {
+/// Decode and structurally validate a v1 model section (always the
+/// generative backend — the only one that existed).
+fn dec_model_v1(r: &mut Reader<'_>) -> Result<ModelSnapshot, SnapError> {
+    let snapshot = ModelSnapshot::Generative(dec_model_params(r)?);
+    snapshot.validate()?;
+    Ok(snapshot)
+}
+
+/// Decode and structurally validate a v2 (tagged) model section.
+/// Unknown backend tags and invalid parameters are typed errors.
+fn dec_model(r: &mut Reader<'_>) -> Result<ModelSnapshot, SnapError> {
+    let snapshot = match r.u8("model backend tag")? {
+        MODEL_TAG_GENERATIVE => ModelSnapshot::Generative(dec_model_params(r)?),
+        MODEL_TAG_MAJORITY_VOTE => {
+            let cardinality = r.u8("model cardinality")?;
+            let num_lfs = r.usize("model LF count")?;
+            if !r.is_exhausted() {
+                return Err(corrupt("trailing bytes in MODL"));
+            }
+            ModelSnapshot::MajorityVote {
+                cardinality,
+                num_lfs,
+            }
+        }
+        MODEL_TAG_MOMENT => ModelSnapshot::MomentMatching(dec_model_params(r)?),
+        tag => return Err(SnapError::UnknownBackend { tag }),
+    };
+    snapshot.validate()?;
+    Ok(snapshot)
+}
+
+fn dec_model_params(r: &mut Reader<'_>) -> Result<ModelParams, SnapError> {
     let cardinality = r.u8("model cardinality")?;
     let num_lfs = r.usize("model LF count")?;
     let f64s = |r: &mut Reader<'_>, context| -> Result<Vec<f64>, SnapError> {

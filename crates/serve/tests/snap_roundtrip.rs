@@ -6,7 +6,8 @@
 use proptest::prelude::*;
 
 use snorkel_context::{CandidateId, Corpus};
-use snorkel_core::model::Scaleout;
+use snorkel_core::label_model::ModelSnapshot;
+use snorkel_core::model::{ParamsError, Scaleout};
 use snorkel_core::optimizer::ModelingStrategy;
 use snorkel_incr::{IncrementalSession, SessionConfig};
 use snorkel_lf::{lf, BoxedLf, LfExecutor, Vote};
@@ -68,11 +69,12 @@ fn salted_lf(name: &str, salt: u64, cardinality: u8) -> BoxedLf {
     })
 }
 
-fn session_for(
+fn session_with_strategy(
     rows: usize,
     lf_salts: &[u64],
     cardinality: u8,
     scaleout: Scaleout,
+    strategy: ModelingStrategy,
 ) -> IncrementalSession {
     let (corpus, _) = build_corpus(rows);
     let config = SessionConfig {
@@ -80,11 +82,7 @@ fn session_for(
             cardinality,
             ..LfExecutor::default()
         },
-        force_strategy: Some(ModelingStrategy::GenerativeModel {
-            epsilon: 0.0,
-            correlations: Vec::new(),
-            strengths: Vec::new(),
-        }),
+        force_strategy: Some(strategy),
         scaleout,
         ..SessionConfig::default()
     };
@@ -94,6 +92,25 @@ fn session_for(
     }
     session.refresh();
     session
+}
+
+fn session_for(
+    rows: usize,
+    lf_salts: &[u64],
+    cardinality: u8,
+    scaleout: Scaleout,
+) -> IncrementalSession {
+    session_with_strategy(
+        rows,
+        lf_salts,
+        cardinality,
+        scaleout,
+        ModelingStrategy::GenerativeModel {
+            epsilon: 0.0,
+            correlations: Vec::new(),
+            strengths: Vec::new(),
+        },
+    )
 }
 
 fn snapshot_of(session: &IncrementalSession) -> Snapshot {
@@ -145,8 +162,8 @@ proptest! {
         };
         let lambda = session.label_matrix().expect("Λ built");
         prop_assert_eq!(thawed.label_matrix().expect("Λ restored"), lambda);
-        let frozen_marginals = session.model().expect("model").marginals_rowwise(lambda);
-        let thawed_marginals = thawed.model().expect("model").marginals_rowwise(lambda);
+        let frozen_marginals = session.model().expect("model").marginals(lambda, None);
+        let thawed_marginals = thawed.model().expect("model").marginals(lambda, None);
         prop_assert_eq!(thawed_marginals, frozen_marginals);
     }
 
@@ -190,6 +207,151 @@ proptest! {
         garbage in prop::collection::vec(0u8..=255, 0..512)
     ) {
         prop_assert!(Snapshot::from_bytes(&garbage).is_err());
+    }
+}
+
+/// FNV-1a 64 (the snapshot checksum), reimplemented locally so tests can
+/// re-seal deliberately corrupted files.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Patch one byte inside a section's payload, then re-seal the section
+/// and header checksums so the corruption reaches the semantic decoder
+/// instead of tripping the checksum layer.
+fn patch_section(bytes: &mut [u8], tag: &[u8; 4], offset_in_section: usize, value: u8) {
+    let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    let header_end = 16 + 28 * count + 8;
+    for s in 0..count {
+        let at = 16 + 28 * s;
+        if &bytes[at..at + 4] != tag {
+            continue;
+        }
+        let off = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().unwrap()) as usize;
+        let len = u64::from_le_bytes(bytes[at + 12..at + 20].try_into().unwrap()) as usize;
+        bytes[off + offset_in_section] = value;
+        let checksum = fnv1a(&bytes[off..off + len]);
+        bytes[at + 20..at + 28].copy_from_slice(&checksum.to_le_bytes());
+        let header_checksum = fnv1a(&bytes[..header_end - 8]);
+        bytes[header_end - 8..header_end].copy_from_slice(&header_checksum.to_le_bytes());
+        return;
+    }
+    panic!("section {tag:?} not present");
+}
+
+#[test]
+fn v1_snapshot_thaws_with_generative_backend() {
+    // A pre-redesign (v1) snapshot must still load and thaw into a
+    // session running the generative backend, bit-identical marginals
+    // included.
+    let salts = [21u64, 22, 23];
+    let session = session_for(40, &salts, 2, Scaleout::RowWise);
+    let snapshot = snapshot_of(&session);
+    let v1_bytes = snapshot
+        .to_bytes_with_version(1)
+        .expect("generative models encode as v1");
+    let back = Snapshot::from_bytes(&v1_bytes).expect("v1 parses");
+    assert!(matches!(
+        back.session.model,
+        Some(ModelSnapshot::Generative(_))
+    ));
+
+    let (corpus, _) = build_corpus(40);
+    let lfs: Vec<BoxedLf> = salts
+        .iter()
+        .enumerate()
+        .map(|(j, &salt)| salted_lf(&format!("lf_{j}"), salt, 2))
+        .collect();
+    let thawed = IncrementalSession::thaw(corpus, session.config().clone(), back.session, lfs)
+        .expect("v1 snapshot thaws");
+    assert_eq!(thawed.backend_name(), Some("generative"));
+    let lambda = session.label_matrix().expect("Λ");
+    assert_eq!(
+        thawed.model().expect("model").marginals(lambda, None),
+        session.model().expect("model").marginals(lambda, None),
+    );
+}
+
+#[test]
+fn v1_cannot_encode_non_generative_backends() {
+    let session = session_with_strategy(
+        30,
+        &[31, 32],
+        2,
+        Scaleout::RowWise,
+        ModelingStrategy::MajorityVote,
+    );
+    assert_eq!(session.backend_name(), Some("majority-vote"));
+    let snapshot = snapshot_of(&session);
+    // v2 carries it fine…
+    assert!(Snapshot::from_bytes(&snapshot.to_bytes()).is_ok());
+    // …but v1 has no tag to express it: typed refusal, not a misread.
+    assert!(matches!(
+        snapshot.to_bytes_with_version(1),
+        Err(SnapError::Corrupt { .. })
+    ));
+}
+
+#[test]
+fn mv_and_moment_backends_round_trip_through_snapshots() {
+    for (strategy, backend) in [
+        (ModelingStrategy::MajorityVote, "majority-vote"),
+        (ModelingStrategy::MomentMatching, "moment"),
+    ] {
+        let salts = [41u64, 42, 43];
+        let session = session_with_strategy(35, &salts, 2, Scaleout::RowWise, strategy);
+        assert_eq!(session.backend_name(), Some(backend));
+        let bytes = snapshot_of(&session).to_bytes();
+        let back = Snapshot::from_bytes(&bytes).expect("own bytes parse");
+        let (corpus, _) = build_corpus(35);
+        let lfs: Vec<BoxedLf> = salts
+            .iter()
+            .enumerate()
+            .map(|(j, &salt)| salted_lf(&format!("lf_{j}"), salt, 2))
+            .collect();
+        let thawed = IncrementalSession::thaw(corpus, session.config().clone(), back.session, lfs)
+            .unwrap_or_else(|e| panic!("{backend} thaw: {e}"));
+        assert_eq!(thawed.backend_name(), Some(backend));
+        let lambda = session.label_matrix().expect("Λ");
+        assert_eq!(
+            thawed.model().expect("model").marginals(lambda, None),
+            session.model().expect("model").marginals(lambda, None),
+            "{backend} marginals changed across the snapshot round trip"
+        );
+    }
+}
+
+#[test]
+fn unknown_backend_tag_is_a_typed_error() {
+    let session = session_for(20, &[51, 52], 2, Scaleout::RowWise);
+    let mut bytes = snapshot_of(&session).to_bytes();
+    // The v2 MODL section opens with the backend tag byte; overwrite it
+    // with an unassigned value and re-seal the checksums.
+    patch_section(&mut bytes, b"MODL", 0, 200);
+    match Snapshot::from_bytes(&bytes) {
+        Err(SnapError::UnknownBackend { tag: 200 }) => {}
+        other => panic!("want UnknownBackend, got {other:?}"),
+    }
+}
+
+#[test]
+fn corrupt_model_params_are_typed_errors() {
+    let session = session_for(20, &[61, 62], 2, Scaleout::RowWise);
+    let mut snapshot = snapshot_of(&session);
+    // Poison a weight in the encoded model; the decoder must refuse
+    // with the typed ParamsError, not thaw a NaN model.
+    match &mut snapshot.session.model {
+        Some(ModelSnapshot::Generative(params)) => params.w_acc[0] = f64::NAN,
+        other => panic!("expected a generative model, got {other:?}"),
+    }
+    let bytes = snapshot.to_bytes();
+    match Snapshot::from_bytes(&bytes) {
+        Err(SnapError::Model(ParamsError::NonFiniteWeight { field: "w_acc" })) => {}
+        other => panic!("want Model(NonFiniteWeight), got {other:?}"),
     }
 }
 

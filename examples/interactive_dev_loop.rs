@@ -66,6 +66,7 @@ fn main() {
             report.predicted_advantage,
             match report.strategy {
                 ModelingStrategy::MajorityVote => "majority vote is enough",
+                ModelingStrategy::MomentMatching => "moment-match the accuracies",
                 ModelingStrategy::GenerativeModel { .. } => "train the generative model",
             },
             report.columns_recomputed,

@@ -40,6 +40,9 @@ fn main() {
     let (soft_rows, report) = pipeline.run_from_matrix(&lambda);
     match &report.strategy {
         ModelingStrategy::MajorityVote => println!("optimizer chose: majority vote"),
+        ModelingStrategy::MomentMatching => {
+            println!("optimizer chose: closed-form moment backend")
+        }
         ModelingStrategy::GenerativeModel {
             epsilon,
             correlations,

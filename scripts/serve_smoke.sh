@@ -58,11 +58,18 @@ wait_listening
 
 "$BIN" client --port "$PORT" "MARGINAL 0:1,1:-1" | expect "OK gen="
 "$BIN" client --port "$PORT" "APPLY 0 1 2 3 chem1 causes disease2" | expect "votes="
+# Reads do not advance the session generation.
+"$BIN" client --port "$PORT" "STATS" | expect "gen=0"
 # ≥1k concurrent marginal queries with one LF edit landing mid-stream;
 # the hammer exits non-zero on any torn read and reverts the edit.
 "$BIN" hammer --port "$PORT" --clients 8 --queries 150 | expect "no torn reads"
 "$BIN" client --port "$PORT" "SNAPSHOT" | expect "OK bytes="
 "$BIN" client --port "$PORT" "STATS" | expect "rows=3000"
+# STATS reports the active label-model backend (the example forces the
+# generative backend) and the session generation — the hammer's edit
+# and revert performed exactly two refreshes.
+"$BIN" client --port "$PORT" "STATS" | expect "backend=generative"
+"$BIN" client --port "$PORT" "STATS" | expect "gen=2"
 "$BIN" client --port "$PORT" "SHUTDOWN" | expect "OK bye"
 
 # Graceful shutdown: the server process must exit 0 on its own.
@@ -79,8 +86,13 @@ SRV_PID=$!
 wait_listening
 
 "$BIN" client --port "$PORT" "MARGINAL 0:1,1:-1" | expect "OK gen="
+# The resumed session thawed the snapshot's tagged model section: the
+# backend is live before any refresh.
+"$BIN" client --port "$PORT" "STATS" | expect "backend=generative"
 # The resumed server relabels everything from cache: zero LF runs.
 "$BIN" client --port "$PORT" "REFRESH" | expect "lf_invocations=0"
+# The refresh bumped the session generation and kept the backend.
+"$BIN" client --port "$PORT" "STATS" | expect "gen=1"
 "$BIN" client --port "$PORT" "SHUTDOWN" | expect "OK bye"
 wait "$SRV_PID"
 SRV_PID=""

@@ -17,9 +17,11 @@
 //! * [`lf`] — the labeling-function interface: the [`lf::LabelingFunction`]
 //!   trait, declarative operators, generators, and the parallel executor.
 //! * [`matrix`] — the sparse label matrix `Λ` and labeling diagnostics.
-//! * [`core`] — the data-programming core: the generative label model,
-//!   dependency-structure learning, the modeling-strategy optimizer
-//!   (Algorithm 1), and the end-to-end [`core::pipeline`].
+//! * [`core`] — the data-programming core: the pluggable
+//!   [`core::label_model::LabelModel`] backend API (majority vote,
+//!   closed-form moment estimator, exact generative model),
+//!   dependency-structure learning, the Algorithm-1 model-selection
+//!   optimizer, and the end-to-end [`core::pipeline`].
 //! * [`incr`] — the incremental labeling engine for the interactive dev
 //!   loop: content-addressed LF-result caching, delta Λ updates, and
 //!   warm-started training behind [`incr::IncrementalSession`].

@@ -230,7 +230,7 @@ impl Strategy for &'static str {
     }
 }
 
-/// Element-count specification for [`vec`].
+/// Element-count specification for [`vec()`].
 #[derive(Clone, Copy, Debug)]
 pub struct SizeRange {
     lo: usize,
@@ -266,7 +266,7 @@ impl From<core::ops::RangeInclusive<usize>> for SizeRange {
     }
 }
 
-/// `Vec<T>` strategy; see [`vec`].
+/// `Vec<T>` strategy; see [`vec()`].
 #[derive(Clone, Debug)]
 pub struct VecStrategy<S> {
     elem: S,
