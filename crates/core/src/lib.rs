@@ -31,7 +31,10 @@
 //!   reproduction.
 //! * [`pipeline`] — the end-to-end orchestration with wall-clock
 //!   instrumentation (LF application → Λ → backend selection → training
-//!   → `Ỹ`), which the §3 speedup experiments time.
+//!   → `Ỹ`), which the §3 speedup experiments time — plus the optional
+//!   [`pipeline::DiscTrainer`] distillation stage (§2.4): a noise-aware
+//!   discriminative model trained on `Ỹ` that generalizes beyond the
+//!   labeling functions' coverage.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,6 +60,8 @@ pub use model::{
 pub use optimizer::{
     choose_strategy, select_model, ModelingStrategy, OptimizerConfig, StrategyDecision,
 };
-pub use pipeline::{run_pipeline, Pipeline, PipelineConfig, PipelineReport};
+pub use pipeline::{
+    run_pipeline, DiscTrainer, DiscTrainerConfig, Pipeline, PipelineConfig, PipelineReport,
+};
 pub use structure::{learn_structure, StructureConfig, StructureReport};
 pub use vote::{majority_vote, modeling_advantage, weighted_vote};

@@ -19,12 +19,127 @@
 use std::time::{Duration, Instant};
 
 use snorkel_context::{CandidateId, Corpus};
+use snorkel_disc::{DistillConfig, DistillReport, DistilledModel, TextFeaturizer};
 use snorkel_lf::{BoxedLf, LfExecutor};
-use snorkel_matrix::LabelMatrix;
+use snorkel_linalg::SparseVec;
+use snorkel_matrix::{LabelMatrix, ShardedMatrix};
 
 use crate::label_model::{LabelModel, ModelRegistry};
-use crate::model::{GenerativeModel, TrainConfig};
+use crate::model::{GenerativeModel, LabelScheme, TrainConfig};
 use crate::optimizer::{select_model, ModelingStrategy, OptimizerConfig};
+
+/// Configuration of the optional distillation stage: how candidates are
+/// featurized and how the discriminative model trains on the label
+/// model's marginals.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DiscTrainerConfig {
+    /// Hashed-text featurizer (its bucket count must equal
+    /// [`DistillConfig::dim`]; [`DiscTrainerConfig::with_dim`] keeps
+    /// them in sync).
+    pub featurizer: TextFeaturizer,
+    /// Noise-aware training settings for the distilled model.
+    pub train: DistillConfig,
+}
+
+impl DiscTrainerConfig {
+    /// A configuration with featurizer buckets and model dimensionality
+    /// agreeing at `dim`.
+    pub fn with_dim(dim: u32) -> Self {
+        DiscTrainerConfig {
+            featurizer: TextFeaturizer::with_buckets(dim),
+            train: DistillConfig {
+                dim,
+                ..DistillConfig::default()
+            },
+        }
+    }
+}
+
+/// The distillation stage (paper §2.3/§2.4): train a discriminative
+/// model on the label model's probabilistic labels with the noise-aware
+/// expected loss, so predictions generalize **beyond the labeling
+/// functions' coverage**. Training is minibatched and data-parallel
+/// over the scale-out plan's [`ShardedMatrix`] row ranges;
+/// abstain-marginal (near-uniform) rows are down-weighted by their
+/// confidence and dropped at the floor.
+#[derive(Clone, Debug, Default)]
+pub struct DiscTrainer {
+    /// Stage configuration.
+    pub config: DiscTrainerConfig,
+}
+
+impl DiscTrainer {
+    /// A trainer with the given configuration.
+    pub fn new(config: DiscTrainerConfig) -> Self {
+        DiscTrainer { config }
+    }
+
+    /// The contiguous row ranges training parallelizes over: the plan's
+    /// shard ranges when one is live, else one range covering all
+    /// `rows`.
+    pub fn ranges_for(plan: Option<&ShardedMatrix>, rows: usize) -> Vec<(usize, usize)> {
+        match plan {
+            Some(plan) if plan.num_rows() == rows => plan
+                .shards()
+                .iter()
+                .map(|s| {
+                    let r = s.row_range();
+                    (r.start, r.end)
+                })
+                .collect(),
+            _ => vec![(0, rows)],
+        }
+    }
+
+    /// Hashed feature vectors for the given candidates.
+    pub fn featurize(&self, corpus: &Corpus, candidates: &[CandidateId]) -> Vec<SparseVec> {
+        self.config.featurizer.featurize_all(corpus, candidates)
+    }
+
+    /// Cold-train a fresh distilled model on the label model's
+    /// marginals. `num_classes` must match the marginal rows' width
+    /// (it exists so an empty training set still builds a model of the
+    /// right shape); a mismatch panics instead of silently training a
+    /// different class count.
+    pub fn train(
+        &self,
+        xs: &[SparseVec],
+        marginals: &[Vec<f64>],
+        num_classes: usize,
+        plan: Option<&ShardedMatrix>,
+    ) -> (DistilledModel, DistillReport) {
+        if let Some(row) = marginals.first() {
+            assert_eq!(
+                row.len(),
+                num_classes,
+                "train: marginals have {} classes, caller claimed {num_classes}",
+                row.len()
+            );
+        }
+        let mut model = DistilledModel::new(self.config.train.dim, num_classes);
+        let report = self.train_warm(&mut model, xs, marginals, plan);
+        (model, report)
+    }
+
+    /// Warm-retrain an existing model in place, continuing from its
+    /// current weights — the serving layer's retrain-after-edit path.
+    /// A model whose shape no longer matches the config is replaced by
+    /// a cold one first.
+    pub fn train_warm(
+        &self,
+        model: &mut DistilledModel,
+        xs: &[SparseVec],
+        marginals: &[Vec<f64>],
+        plan: Option<&ShardedMatrix>,
+    ) -> DistillReport {
+        let num_classes = marginals.first().map_or(model.num_classes(), Vec::len);
+        if model.dim() != self.config.train.dim || model.num_classes() != num_classes {
+            *model = DistilledModel::new(self.config.train.dim, num_classes);
+        }
+        let ranges = DiscTrainer::ranges_for(plan, xs.len());
+        model.fit(xs, marginals, &ranges, &self.config.train)
+    }
+}
 
 /// Pipeline configuration.
 #[derive(Clone, Debug, Default)]
@@ -40,6 +155,10 @@ pub struct PipelineConfig {
     pub force_strategy: Option<ModelingStrategy>,
     /// The label-model backends this pipeline may build.
     pub registry: ModelRegistry,
+    /// Distillation stage: when set, [`Pipeline::run`] featurizes the
+    /// candidates and trains a [`DistilledModel`] on the marginals
+    /// (matrix-only entry points cannot featurize and skip it).
+    pub distill: Option<DiscTrainerConfig>,
 }
 
 /// Per-stage wall-clock timings.
@@ -52,6 +171,9 @@ pub struct PipelineTimings {
     /// Backend fit + marginals (near zero for the majority-vote
     /// backend, whose fit is a no-op).
     pub training: Duration,
+    /// Distillation: featurizing the candidates and training the
+    /// discriminative model on the marginals (zero when disabled).
+    pub distillation: Duration,
     /// Whole pipeline.
     pub total: Duration,
 }
@@ -73,6 +195,12 @@ pub struct PipelineReport {
     /// e.g. `report.model.downcast_ref::<GenerativeModel>()` for the
     /// exact backend's accuracy weights.
     pub model: Box<dyn LabelModel>,
+    /// The distilled discriminative model, when the
+    /// [`PipelineConfig::distill`] stage ran — it answers for
+    /// candidates *outside* Λ's coverage.
+    pub disc: Option<DistilledModel>,
+    /// What the distillation stage did (rows trained / dropped, loss).
+    pub disc_report: Option<DistillReport>,
 }
 
 /// The staged pipeline: build once, then run against label matrices as
@@ -89,7 +217,10 @@ impl Pipeline {
         Pipeline { config }
     }
 
-    /// Run from raw candidates: apply LFs, then model. Returns per-class
+    /// Run from raw candidates: apply LFs, model, and — when
+    /// [`PipelineConfig::distill`] is set — featurize the candidates and
+    /// distill a discriminative model from the marginals (parallel over
+    /// the scale-out plan's shard ranges). Returns per-class
     /// probabilistic labels (`labels[i][class]`) and the report.
     pub fn run(
         &self,
@@ -100,15 +231,36 @@ impl Pipeline {
         let t0 = Instant::now();
         let lambda = self.config.executor.apply(lfs, corpus, candidates);
         let lf_time = t0.elapsed();
-        let (labels, mut report) = self.run_from_matrix(&lambda);
+        let (labels, mut report, plan) = self.run_from_matrix_inner(&lambda);
         report.timings.lf_application = lf_time;
         report.timings.total += lf_time;
+        if let Some(disc_cfg) = &self.config.distill {
+            let t1 = Instant::now();
+            let trainer = DiscTrainer::new(disc_cfg.clone());
+            let xs = trainer.featurize(corpus, candidates);
+            let num_classes = LabelScheme::from_cardinality(lambda.cardinality()).num_classes();
+            let (disc, disc_report) = trainer.train(&xs, &labels, num_classes, plan.as_ref());
+            report.disc = Some(disc);
+            report.disc_report = Some(disc_report);
+            report.timings.distillation = t1.elapsed();
+            report.timings.total += report.timings.distillation;
+        }
         (labels, report)
     }
 
     /// Run from an existing label matrix (LF outputs are cached across
-    /// development iterations in practice).
+    /// development iterations in practice). Matrix-only entry points
+    /// have no corpus to featurize, so the distillation stage is
+    /// skipped; use [`Self::run`] or drive a [`DiscTrainer`] directly.
     pub fn run_from_matrix(&self, lambda: &LabelMatrix) -> (Vec<Vec<f64>>, PipelineReport) {
+        let (labels, report, _) = self.run_from_matrix_inner(lambda);
+        (labels, report)
+    }
+
+    fn run_from_matrix_inner(
+        &self,
+        lambda: &LabelMatrix,
+    ) -> (Vec<Vec<f64>>, PipelineReport, Option<ShardedMatrix>) {
         let t0 = Instant::now();
 
         let (strategy, predicted) = match &self.config.force_strategy {
@@ -161,11 +313,14 @@ impl Pipeline {
                 lf_application: Duration::ZERO,
                 strategy_selection: strategy_time,
                 training: training_time,
+                distillation: Duration::ZERO,
                 total: strategy_time + training_time,
             },
             model,
+            disc: None,
+            disc_report: None,
         };
-        (labels, report)
+        (labels, report, plan)
     }
 }
 
@@ -301,6 +456,80 @@ mod tests {
             .sum::<f64>()
             / 2000.0;
         assert!(acc > 0.77, "moment-backend label accuracy {acc:.3}");
+    }
+
+    #[test]
+    fn distill_stage_trains_on_marginals_and_covers_unseen_candidates() {
+        use snorkel_lf::KeywordBetweenLf;
+        use snorkel_nlp::tokenize;
+
+        // Corpus where "causes"/"induces" ⇒ +1 and "treats"/"cures" ⇒ −1,
+        // but the LF suite only knows "causes"/"treats".
+        let mut corpus = Corpus::new();
+        let doc = corpus.add_document("d");
+        let mut add = |verb: &str, i: usize| {
+            let text = format!("chem{i} {verb} disease{i}");
+            let tokens = tokenize(&text);
+            let last = tokens.len();
+            let s = corpus.add_sentence(doc, &text, tokens);
+            let a = corpus.add_span(s, 0, 1, Some("Chemical"));
+            let b = corpus.add_span(s, last - 1, last, Some("Disease"));
+            corpus.add_candidate(vec![a, b])
+        };
+        let mut train_ids = Vec::new();
+        for i in 0..120 {
+            // Covered verbs co-occur with the uncovered cue words via
+            // shared sentences ("causes" rows also mention "induces").
+            let verb = if i % 2 == 0 {
+                "causes and induces"
+            } else {
+                "treats and cures"
+            };
+            train_ids.push(add(verb, i));
+        }
+        // Held-out candidates with ZERO LF coverage: only the cue words.
+        let pos_unseen = add("induces", 500);
+        let neg_unseen = add("cures", 501);
+
+        let lfs: Vec<BoxedLf> = vec![
+            Box::new(KeywordBetweenLf::new("lf_causes", &["causes"], 1, 1)),
+            Box::new(KeywordBetweenLf::new("lf_treats", &["treats"], -1, -1)),
+        ];
+        let cfg = PipelineConfig {
+            distill: Some(DiscTrainerConfig::with_dim(1 << 12)),
+            ..PipelineConfig::default()
+        };
+        let pipeline = Pipeline::new(cfg);
+        let (_, report) = pipeline.run(&lfs, &corpus, &train_ids);
+        let disc = report.disc.as_ref().expect("distill stage ran");
+        let disc_report = report.disc_report.expect("distill report present");
+        assert!(disc_report.rows_trained > 0);
+        assert!(report.timings.distillation > Duration::ZERO);
+
+        // The LFs abstain on the held-out candidates…
+        for &id in &[pos_unseen, neg_unseen] {
+            let view = corpus.candidate(id);
+            assert!(
+                lfs.iter().all(|lf| lf.label(&view) == 0),
+                "not zero-coverage"
+            );
+        }
+        // …but the distilled model classifies them from features alone.
+        let trainer = DiscTrainer::new(pipeline.config.distill.clone().unwrap());
+        let xs = trainer.featurize(&corpus, &[pos_unseen, neg_unseen]);
+        assert_eq!(disc.predict_vote(&xs[0]), 1, "unseen 'induces' row");
+        assert_eq!(disc.predict_vote(&xs[1]), -1, "unseen 'cures' row");
+    }
+
+    #[test]
+    fn matrix_only_entry_skips_distillation() {
+        let (lambda, _) = planted(500, &[0.8, 0.8], 0.5, 9);
+        let cfg = PipelineConfig {
+            distill: Some(DiscTrainerConfig::with_dim(1 << 10)),
+            ..PipelineConfig::default()
+        };
+        let (_, report) = Pipeline::new(cfg).run_from_matrix(&lambda);
+        assert!(report.disc.is_none(), "no corpus to featurize");
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub fn hash_feature(name: &str, buckets: u32) -> u32 {
 }
 
 /// Stateless hashed featurizer for candidates.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TextFeaturizer {
     /// Number of hash buckets (feature dimensionality).
     pub buckets: u32,

@@ -71,6 +71,26 @@ impl LogisticRegression {
         }
     }
 
+    /// Rebuild from a dense weight vector and bias (snapshot decode).
+    pub(crate) fn from_raw(weights: Vec<f64>, bias: f64) -> Self {
+        LogisticRegression { weights, bias }
+    }
+
+    /// Feature dimensionality (weight-vector length).
+    pub(crate) fn dim(&self) -> u32 {
+        self.weights.len() as u32
+    }
+
+    /// Borrow the raw parameters (weights, bias).
+    pub(crate) fn raw(&self) -> (&[f64], f64) {
+        (&self.weights, self.bias)
+    }
+
+    /// Mutably borrow the raw parameters (weights, bias).
+    pub(crate) fn raw_mut(&mut self) -> (&mut [f64], &mut f64) {
+        (&mut self.weights, &mut self.bias)
+    }
+
     /// The raw score `w·x + b`.
     pub fn score(&self, x: &SparseVec) -> f64 {
         x.dot_dense(&self.weights) + self.bias

@@ -228,4 +228,92 @@ mod tests {
     fn length_mismatch_panics() {
         let _ = accuracy(&[1], &[1, 1]);
     }
+
+    #[test]
+    fn empty_prediction_set_is_all_zeros() {
+        // Every metric must tolerate zero examples without dividing by
+        // zero: the well-defined degenerate value, not NaN or a panic.
+        let m = precision_recall_f1(&[], &[]);
+        assert_eq!(m.counts, (0, 0, 0, 0));
+        assert_eq!((m.precision, m.recall, m.f1), (0.0, 0.0, 0.0));
+        assert_eq!(f1_score(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(roc_auc(&[], &[]), 0.5, "undefined AUC is chance");
+        assert_eq!(log_loss(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn single_class_inputs() {
+        // All gold positive: no negatives exist, so precision is 1 when
+        // every prediction is positive, and AUC is the undefined 0.5.
+        let gold_pos = vec![1, 1, 1];
+        let m = precision_recall_f1(&[1, 1, -1], &gold_pos);
+        assert_eq!(m.counts, (2, 0, 1, 0));
+        assert_eq!(m.precision, 1.0);
+        assert!((m.recall - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(roc_auc(&[0.9, 0.8, 0.1], &gold_pos), 0.5);
+        // All gold negative: zero positive predictions and zero positive
+        // golds ⇒ precision, recall, and F1 all take their 0 convention.
+        let gold_neg = vec![-1, -1, -1];
+        let m = precision_recall_f1(&[-1, -1, -1], &gold_neg);
+        assert_eq!(m.counts, (0, 0, 0, 3));
+        assert_eq!((m.precision, m.recall, m.f1), (0.0, 0.0, 0.0));
+        assert_eq!(accuracy(&[-1, -1, -1], &gold_neg), 1.0);
+        // Single-example degenerate case.
+        assert_eq!(precision_recall_f1(&[1], &[1]).f1, 1.0);
+        assert_eq!(roc_auc(&[0.7], &[1]), 0.5);
+    }
+
+    #[test]
+    fn all_abstain_probabilistic_labels() {
+        // A label model that abstained everywhere hands the metrics a
+        // uniform 0.5 score per row: AUC is exactly chance (average
+        // ranks over one big tie group) and log loss is exactly ln 2.
+        let probs = vec![0.5; 6];
+        let gold = vec![1, -1, 1, -1, 1, -1];
+        assert!((roc_auc(&probs, &gold) - 0.5).abs() < 1e-12);
+        assert!((log_loss(&probs, &gold) - std::f64::consts::LN_2).abs() < 1e-12);
+        // Thresholding uniform scores at 0.5 predicts "not positive"
+        // everywhere (score > 0.5 is false): recall collapses to 0.
+        let preds: Vec<Vote> = probs
+            .iter()
+            .map(|&p| if p > 0.5 { 1 } else { -1 })
+            .collect();
+        let m = precision_recall_f1(&preds, &gold);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f1, 0.0);
+        // With gold also unlabeled (all 0), everything is skipped.
+        assert_eq!(log_loss(&probs, &[0; 6]), 0.0);
+        assert_eq!(roc_auc(&probs, &[0; 6]), 0.5);
+    }
+
+    #[test]
+    fn f1_and_auc_agree_with_hand_computed_values() {
+        // 8 rows, hand-counted: tp=3, fp=1, fn=2, tn=2 (one predicted-0
+        // on a positive gold counts as a false negative).
+        let pred = vec![1, 1, 1, 1, -1, -1, 0, -1];
+        let gold = vec![1, 1, 1, -1, 1, -1, 1, -1];
+        let m = precision_recall_f1(&pred, &gold);
+        assert_eq!(m.counts, (3, 1, 2, 2));
+        let precision = 3.0 / 4.0;
+        let recall = 3.0 / 5.0;
+        let f1 = 2.0 * precision * recall / (precision + recall); // = 2/3
+        assert!((m.precision - precision).abs() < 1e-12);
+        assert!((m.recall - recall).abs() < 1e-12);
+        assert!((m.f1 - f1).abs() < 1e-12);
+        assert!((f1 - 2.0 / 3.0).abs() < 1e-12, "hand arithmetic check");
+
+        // AUC by hand over the same gold with scores: positives
+        // {0.9, 0.6, 0.4, 0.8, 0.3}, negatives {0.7, 0.2, 0.5}.
+        // Correctly ordered pairs (pos > neg): 0.9 beats all 3, 0.8
+        // beats all 3, 0.6 beats {0.5, 0.2}, 0.4 beats {0.2}, 0.3
+        // beats {0.2} ⇒ 10 of 15.
+        let scores = vec![0.9, 0.6, 0.4, 0.7, 0.8, 0.2, 0.3, 0.5];
+        let auc = roc_auc(&scores, &gold);
+        assert!((auc - 10.0 / 15.0).abs() < 1e-12);
+        assert!(
+            (auc - f1).abs() < 1e-12,
+            "both hand computations land on 2/3 — cross-check"
+        );
+    }
 }

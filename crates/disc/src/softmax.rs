@@ -68,19 +68,50 @@ impl SoftmaxRegression {
         }
     }
 
+    /// Rebuild from per-class dense weights and biases (snapshot
+    /// decode). Panics unless shapes agree and `classes ≥ 2`.
+    pub(crate) fn from_raw(weights: Vec<Vec<f64>>, bias: Vec<f64>) -> Self {
+        assert!(weights.len() >= 2, "need at least two classes");
+        assert_eq!(weights.len(), bias.len(), "one bias per class");
+        assert!(
+            weights.windows(2).all(|w| w[0].len() == w[1].len()),
+            "ragged class weights"
+        );
+        SoftmaxRegression { weights, bias }
+    }
+
+    /// Feature dimensionality (per-class weight-vector length).
+    pub(crate) fn dim(&self) -> u32 {
+        self.weights[0].len() as u32
+    }
+
+    /// Borrow the raw parameters (per-class weights, biases).
+    pub(crate) fn raw(&self) -> (&[Vec<f64>], &[f64]) {
+        (&self.weights, &self.bias)
+    }
+
+    /// Mutably borrow the raw parameters (per-class weights, biases).
+    pub(crate) fn raw_mut(&mut self) -> (&mut Vec<Vec<f64>>, &mut Vec<f64>) {
+        (&mut self.weights, &mut self.bias)
+    }
+
     /// Number of classes.
     pub fn num_classes(&self) -> usize {
         self.weights.len()
     }
 
-    /// Class probability distribution for one example.
-    pub fn predict_proba(&self, x: &SparseVec) -> Vec<f64> {
-        let mut scores: Vec<f64> = self
-            .weights
+    /// Raw per-class logits `w_c·x + b_c` (before the softmax).
+    pub(crate) fn scores(&self, x: &SparseVec) -> Vec<f64> {
+        self.weights
             .iter()
             .zip(&self.bias)
             .map(|(w, b)| x.dot_dense(w) + b)
-            .collect();
+            .collect()
+    }
+
+    /// Class probability distribution for one example.
+    pub fn predict_proba(&self, x: &SparseVec) -> Vec<f64> {
+        let mut scores = self.scores(x);
         softmax_in_place(&mut scores);
         scores
     }

@@ -99,6 +99,6 @@ mod session;
 pub use cache::{CacheStats, FrozenCache, FrozenColumn, LfResultCache};
 pub use fingerprint::Fingerprint;
 pub use session::{
-    FrozenSession, IncrementalSession, LambdaUpdate, RefreshReport, RefreshTimings, SessionConfig,
-    ThawError,
+    DiscState, DiscTrainingSet, FrozenDisc, FrozenSession, IncrementalSession, LambdaUpdate,
+    RefreshReport, RefreshTimings, SessionConfig, ThawError,
 };

@@ -10,7 +10,10 @@ use snorkel_core::model::{LabelScheme, ParamsError, Scaleout, TrainConfig, SCALE
 use snorkel_core::optimizer::{
     advantage_upper_bound, select_model, ModelingStrategy, OptimizerConfig,
 };
+use snorkel_core::pipeline::{DiscTrainer, DiscTrainerConfig};
+use snorkel_disc::{DiscModelParts, DistillReport, DistilledModel, TextFeaturizer};
 use snorkel_lf::{BoxedLf, LfExecutor};
+use snorkel_linalg::SparseVec;
 use snorkel_matrix::{LabelMatrix, MatrixDelta, ShardedMatrix, ShardedMatrixParts, Vote};
 
 use crate::cache::{CacheStats, FrozenCache, LfResultCache};
@@ -52,6 +55,13 @@ pub struct SessionConfig {
     /// new rows, a one-column edit re-signs just the rows that voted in
     /// the old or new column.
     pub scaleout: Scaleout,
+    /// Distillation: when set, [`IncrementalSession::distill`] trains a
+    /// serving-side [`DistilledModel`] on the label model's marginals
+    /// (warm across refreshes). The model carries a *staleness
+    /// generation*: refreshes never block on disc retraining, they just
+    /// advance [`IncrementalSession::refresh_generation`] past the
+    /// disc model's.
+    pub distill: Option<DiscTrainerConfig>,
 }
 
 impl Default for SessionConfig {
@@ -66,6 +76,7 @@ impl Default for SessionConfig {
             warm_start: true,
             cache_capacity: 256,
             scaleout: Scaleout::Auto,
+            distill: None,
         }
     }
 }
@@ -146,6 +157,81 @@ struct SessionLf {
     fingerprint: Fingerprint,
 }
 
+/// The session's distilled serving model, stamped with the refresh
+/// generation whose marginals trained it. Self-contained: it carries
+/// its own [`DiscTrainerConfig`] so a thawed session keeps predicting
+/// (and retraining) without the operator re-supplying the
+/// configuration.
+#[derive(Clone, Debug)]
+pub struct DiscState {
+    /// Featurizer + training settings the model was distilled with.
+    pub config: DiscTrainerConfig,
+    /// The distilled model.
+    pub model: DistilledModel,
+    /// [`IncrementalSession::refresh_generation`] value whose marginals
+    /// this model was trained on. Lower than the live counter ⇒ stale
+    /// (still serving, just lagging the latest edit).
+    pub generation: u64,
+}
+
+/// Everything one distillation run needs, cloned out of the session so
+/// training can happen **without holding the session lock** — the
+/// serving layer's non-blocking retrain path. Produced by
+/// [`IncrementalSession::disc_training_set`], consumed by
+/// [`DiscTrainingSet::train`], installed with
+/// [`IncrementalSession::install_disc`].
+#[derive(Clone, Debug)]
+pub struct DiscTrainingSet {
+    /// Featurizer + training settings to distill with.
+    pub config: DiscTrainerConfig,
+    /// Hashed feature vectors, row-aligned with the marginals (the
+    /// cache may run longer when candidates were ingested since the
+    /// last refresh; training uses the first `marginals.len()` rows).
+    /// Shared with the session's cache: taking a training set is O(1)
+    /// in the feature count, not a deep copy under the caller's lock.
+    pub features: std::sync::Arc<Vec<SparseVec>>,
+    /// The label model's per-row marginals at `generation`. Shared with
+    /// the session's refresh cache — O(1) to take.
+    pub marginals: std::sync::Arc<Vec<Vec<f64>>>,
+    /// Row ranges to parallelize over (the live plan's shard ranges).
+    pub ranges: Vec<(usize, usize)>,
+    /// Classes per marginal row.
+    pub num_classes: usize,
+    /// Previous model to warm-start from, if any.
+    pub warm: Option<DistilledModel>,
+    /// The refresh generation the marginals belong to.
+    pub generation: u64,
+}
+
+impl DiscTrainingSet {
+    /// Distill (warm when [`Self::warm`] is set). Pure function of the
+    /// set — safe to run outside any session lock.
+    pub fn train(self) -> (DiscState, DistillReport) {
+        let mut model = self
+            .warm
+            .filter(|m| m.dim() == self.config.train.dim && m.num_classes() == self.num_classes)
+            .unwrap_or_else(|| DistilledModel::new(self.config.train.dim, self.num_classes));
+        // Candidates ingested after the last refresh have features but
+        // no marginal row yet; they join training after the next
+        // refresh labels them.
+        let rows = self.marginals.len();
+        let report = model.fit(
+            &self.features[..rows],
+            &self.marginals,
+            &self.ranges,
+            &self.config.train,
+        );
+        (
+            DiscState {
+                config: self.config,
+                model,
+                generation: self.generation,
+            },
+            report,
+        )
+    }
+}
+
 /// Everything an [`IncrementalSession`] needs to restart warm, as plain
 /// owned data — the stable encoding surface for `snorkel-serve`
 /// snapshots. Produced by [`IncrementalSession::freeze`], consumed by
@@ -179,6 +265,23 @@ pub struct FrozenSession {
     pub last_rows: usize,
     /// Last structure-sweep outcome and the LF-name layout it indexes.
     pub last_gm_strategy: Option<(ModelingStrategy, Vec<String>)>,
+    /// Refresh generation at freeze time (the disc staleness reference).
+    pub refresh_generation: u64,
+    /// The distilled serving model, if one was trained. The row-aligned
+    /// feature cache is deliberately absent — features are derived state,
+    /// re-extracted from the reloaded corpus on the next distill.
+    pub disc: Option<FrozenDisc>,
+}
+
+/// Plain-data image of a [`DiscState`] (see [`FrozenSession::disc`]).
+#[derive(Clone, Debug)]
+pub struct FrozenDisc {
+    /// Featurizer + training settings the model was distilled with.
+    pub config: DiscTrainerConfig,
+    /// The distilled model's stable encoding.
+    pub model: DiscModelParts,
+    /// Refresh generation whose marginals trained the model.
+    pub generation: u64,
 }
 
 /// Why [`IncrementalSession::thaw`] refused to restore a session.
@@ -262,6 +365,23 @@ pub struct IncrementalSession {
     /// together with the LF-name layout it was derived from — pair
     /// indices are only meaningful against that exact layout.
     last_gm_strategy: Option<(ModelingStrategy, Vec<String>)>,
+    /// Bumped by every [`Self::refresh`]; the reference the disc
+    /// model's staleness is measured against.
+    refresh_generation: u64,
+    /// Row-aligned hashed-feature cache for distillation (grown lazily;
+    /// cleared when the featurizer changes). Behind an `Arc` so a
+    /// [`DiscTrainingSet`] shares it instead of deep-copying under the
+    /// caller's lock.
+    features: std::sync::Arc<Vec<SparseVec>>,
+    /// The featurizer [`Self::features`] was extracted with.
+    features_featurizer: Option<TextFeaturizer>,
+    /// The last refresh's marginals, kept only while distillation is
+    /// configured so [`Self::disc_training_set`] does not recompute a
+    /// full inference pass the refresh just produced. `Arc`d so taking
+    /// a training set under the serving write lock is O(1).
+    last_marginals: Option<std::sync::Arc<Vec<Vec<f64>>>>,
+    /// The distilled serving model, if any.
+    disc: Option<DiscState>,
 }
 
 impl IncrementalSession {
@@ -281,6 +401,11 @@ impl IncrementalSession {
             last_fingerprints: Vec::new(),
             last_rows: 0,
             last_gm_strategy: None,
+            refresh_generation: 0,
+            features: std::sync::Arc::new(Vec::new()),
+            features_featurizer: None,
+            last_marginals: None,
+            disc: None,
         }
     }
 
@@ -369,6 +494,116 @@ impl IncrementalSession {
     /// The live sharded pattern plan (after a scale-out refresh).
     pub fn pattern_plan(&self) -> Option<&ShardedMatrix> {
         self.plan.as_ref()
+    }
+
+    /// How many refreshes this session has run — the reference point
+    /// for disc-model staleness.
+    pub fn refresh_generation(&self) -> u64 {
+        self.refresh_generation
+    }
+
+    /// The distilled serving model (and the generation it was trained
+    /// at), if one exists.
+    pub fn disc(&self) -> Option<&DiscState> {
+        self.disc.as_ref()
+    }
+
+    /// Whether the disc model lags the label model: `true` after a
+    /// refresh until the next [`Self::distill`] /
+    /// [`Self::install_disc`] lands. A session with no disc model is
+    /// not "stale" — there is nothing lagging.
+    pub fn disc_is_stale(&self) -> bool {
+        self.disc
+            .as_ref()
+            .is_some_and(|d| d.generation < self.refresh_generation)
+    }
+
+    /// The active distillation configuration: the session config's, or
+    /// the one the live disc model carries (a thawed session keeps
+    /// retraining with the frozen settings).
+    fn distill_config(&self) -> Option<DiscTrainerConfig> {
+        self.config
+            .distill
+            .clone()
+            .or_else(|| self.disc.as_ref().map(|d| d.config.clone()))
+    }
+
+    /// Bring the row-aligned feature cache up to date for `featurizer`.
+    /// Extends in place when the cache is uniquely owned; only when a
+    /// previous [`DiscTrainingSet`] still shares it does this pay one
+    /// copy-on-write.
+    fn ensure_features(&mut self, featurizer: &TextFeaturizer) {
+        if self.features_featurizer.as_ref() != Some(featurizer) {
+            self.features = std::sync::Arc::new(Vec::new());
+            self.features_featurizer = Some(featurizer.clone());
+        }
+        let from = self.features.len();
+        if from < self.candidates.len() {
+            let new = featurizer.featurize_all(&self.corpus, &self.candidates[from..]);
+            match std::sync::Arc::get_mut(&mut self.features) {
+                Some(cache) => cache.extend(new),
+                None => {
+                    let mut cache = self.features.to_vec();
+                    cache.extend(new);
+                    self.features = std::sync::Arc::new(cache);
+                }
+            }
+        }
+    }
+
+    /// Everything one distillation run needs, cloned out so training can
+    /// happen without borrowing the session (the serving layer trains
+    /// outside its session lock; see [`DiscTrainingSet`]). `None` until
+    /// the first refresh, or when no distillation config is available.
+    pub fn disc_training_set(&mut self) -> Option<DiscTrainingSet> {
+        let config = self.distill_config()?;
+        let lambda = self.lambda.as_ref()?;
+        let model = self.model.as_deref()?;
+        // Serve the marginals the refresh just computed; recompute only
+        // when none are cached (e.g. a freshly thawed session).
+        let marginals = match &self.last_marginals {
+            Some(m) if m.len() == lambda.num_points() => std::sync::Arc::clone(m),
+            _ => std::sync::Arc::new(model.marginals(lambda, self.plan.as_ref())),
+        };
+        let num_classes = LabelScheme::from_cardinality(lambda.cardinality()).num_classes();
+        let ranges = DiscTrainer::ranges_for(self.plan.as_ref(), marginals.len());
+        self.ensure_features(&config.featurizer);
+        Some(DiscTrainingSet {
+            features: std::sync::Arc::clone(&self.features),
+            marginals,
+            ranges,
+            num_classes,
+            warm: self.disc.as_ref().map(|d| d.model.clone()),
+            generation: self.refresh_generation,
+            config,
+        })
+    }
+
+    /// Install a freshly distilled model. Returns `true` when the model
+    /// is current (trained on this generation's marginals), `false` when
+    /// another refresh landed while it trained — it still installs if it
+    /// is newer than what it replaces, so serving improves monotonically.
+    pub fn install_disc(&mut self, state: DiscState) -> bool {
+        let current = state.generation == self.refresh_generation;
+        if self
+            .disc
+            .as_ref()
+            .is_none_or(|live| state.generation >= live.generation)
+        {
+            self.disc = Some(state);
+        }
+        current
+    }
+
+    /// Distill (or warm-retrain) the serving model from the current
+    /// marginals, in place. The inline counterpart of the
+    /// [`Self::disc_training_set`] → train → [`Self::install_disc`]
+    /// flow; returns `None` under the same conditions.
+    pub fn distill(&mut self) -> Option<DistillReport> {
+        let set = self.disc_training_set()?;
+        let (state, report) = set.train();
+        self.install_disc(state);
+        Some(report)
     }
 
     /// Cumulative cache statistics.
@@ -501,6 +736,12 @@ impl IncrementalSession {
             last_fingerprints: self.last_fingerprints.clone(),
             last_rows: self.last_rows,
             last_gm_strategy: self.last_gm_strategy.clone(),
+            refresh_generation: self.refresh_generation,
+            disc: self.disc.as_ref().map(|d| FrozenDisc {
+                config: d.config.clone(),
+                model: d.model.to_parts(),
+                generation: d.generation,
+            }),
         }
     }
 
@@ -536,6 +777,8 @@ impl IncrementalSession {
             last_fingerprints,
             last_rows,
             last_gm_strategy,
+            refresh_generation,
+            disc,
         } = frozen;
 
         // --- Re-attach the supplied LFs to the frozen layout by name.
@@ -685,6 +928,38 @@ impl IncrementalSession {
             }
         }
 
+        let disc = match disc {
+            None => None,
+            Some(frozen_disc) => {
+                if frozen_disc.generation > refresh_generation {
+                    return Err(ThawError::Inconsistent(format!(
+                        "disc model generation {} is ahead of the session's {}",
+                        frozen_disc.generation, refresh_generation
+                    )));
+                }
+                if frozen_disc.config.train.dim != frozen_disc.config.featurizer.buckets {
+                    return Err(ThawError::Inconsistent(format!(
+                        "disc model dim {} != featurizer buckets {}",
+                        frozen_disc.config.train.dim, frozen_disc.config.featurizer.buckets
+                    )));
+                }
+                let model = DistilledModel::from_parts(&frozen_disc.model)
+                    .map_err(ThawError::Inconsistent)?;
+                if model.dim() != frozen_disc.config.train.dim {
+                    return Err(ThawError::Inconsistent(format!(
+                        "disc model dim {} != its config dim {}",
+                        model.dim(),
+                        frozen_disc.config.train.dim
+                    )));
+                }
+                Some(DiscState {
+                    config: frozen_disc.config,
+                    model,
+                    generation: frozen_disc.generation,
+                })
+            }
+        };
+
         Ok(IncrementalSession {
             corpus,
             config,
@@ -698,6 +973,11 @@ impl IncrementalSession {
             last_fingerprints,
             last_rows,
             last_gm_strategy,
+            refresh_generation,
+            features: std::sync::Arc::new(Vec::new()),
+            features_featurizer: None,
+            last_marginals: None,
+            disc,
         })
     }
 
@@ -978,6 +1258,16 @@ impl IncrementalSession {
         // ------------------------------------------------------------------
         self.last_fingerprints = live;
         self.last_rows = m;
+        // The disc model (if any) now lags these marginals; readers keep
+        // serving it while a retrain runs, comparing its generation
+        // against this counter. Cache the marginals so the upcoming
+        // distillation pass does not redo this refresh's inference.
+        self.refresh_generation += 1;
+        self.last_marginals = if self.distill_config().is_some() {
+            Some(std::sync::Arc::new(labels.clone()))
+        } else {
+            None
+        };
         let report = RefreshReport {
             strategy,
             backend,

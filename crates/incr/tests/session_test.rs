@@ -666,3 +666,145 @@ fn optimizer_switches_to_moment_backend_at_scale() {
     assert_eq!(report.columns_reused, 3);
     assert!(!report.warm_started);
 }
+
+#[test]
+fn distillation_staleness_and_install_flow() {
+    use snorkel_core::pipeline::DiscTrainerConfig;
+
+    let (corpus, _) = build_corpus(200);
+    let config = SessionConfig {
+        distill: Some(DiscTrainerConfig::with_dim(1 << 12)),
+        ..SessionConfig::default()
+    };
+    let mut session = IncrementalSession::over_all_candidates(corpus, config);
+    session.add_lf(keyword_lf("lf_causes", &["causes"], 1));
+    session.add_lf(keyword_lf("lf_treats", &["treats"], -1));
+
+    // No refresh yet: nothing to distill.
+    assert_eq!(session.refresh_generation(), 0);
+    assert!(session.disc_training_set().is_none());
+    assert!(session.distill().is_none());
+    assert!(!session.disc_is_stale(), "no disc model, nothing lags");
+
+    session.refresh();
+    assert_eq!(session.refresh_generation(), 1);
+    let report = session.distill().expect("training set available");
+    assert!(report.rows_trained > 0, "covered rows carry signal");
+    let disc = session.disc().expect("disc model installed");
+    assert_eq!(disc.generation, 1);
+    assert!(!session.disc_is_stale());
+
+    // The disc model scores a candidate with zero LF coverage.
+    let dim = disc.model.dim();
+    let x = snorkel_disc::hash_features(["btw=causes"], dim);
+    assert_eq!(disc.model.predict_proba(&x).len(), 2);
+
+    // A refresh makes the disc model stale without touching it —
+    // reads never block on retraining.
+    session.edit_lf(keyword_lf("lf_treats", &["treats", "cures"], -1));
+    session.refresh();
+    assert_eq!(session.refresh_generation(), 2);
+    assert!(session.disc_is_stale());
+    assert_eq!(session.disc().expect("still serving").generation, 1);
+
+    // The non-blocking flow: clone the training set out, train, install.
+    let set = session.disc_training_set().expect("set");
+    assert_eq!(set.generation, 2);
+    assert!(set.warm.is_some(), "warm-starts from the live model");
+    let (state, _) = set.train();
+    assert!(
+        session.install_disc(state),
+        "trained on the live generation"
+    );
+    assert!(!session.disc_is_stale());
+
+    // Installing an older model than the live one is refused.
+    let stale = snorkel_incr::DiscState {
+        generation: 0,
+        ..session.disc().unwrap().clone()
+    };
+    assert!(!session.install_disc(stale));
+    assert_eq!(
+        session.disc().unwrap().generation,
+        2,
+        "kept the newer model"
+    );
+}
+
+#[test]
+fn freeze_thaw_preserves_disc_model_and_staleness() {
+    use snorkel_core::pipeline::DiscTrainerConfig;
+
+    let (corpus, _) = build_corpus(150);
+    let config = SessionConfig {
+        distill: Some(DiscTrainerConfig::with_dim(1 << 12)),
+        ..SessionConfig::default()
+    };
+    let mut session = IncrementalSession::over_all_candidates(corpus.clone(), config.clone());
+    session.add_lf(keyword_lf("lf_causes", &["causes"], 1));
+    session.refresh();
+    session.distill().expect("distilled");
+    // Make it stale before freezing: staleness must survive the trip.
+    session.edit_lf(keyword_lf("lf_causes", &["causes", "induces"], 1));
+    session.refresh();
+    assert!(session.disc_is_stale());
+    let probe = snorkel_disc::hash_features(["btw=causes", "u=alpha1"], 1 << 12);
+    let before = session.disc().unwrap().model.predict_proba(&probe);
+
+    let frozen = session.freeze();
+    let lfs = vec![keyword_lf("lf_causes", &["causes", "induces"], 1)];
+    let thawed = IncrementalSession::thaw(corpus, config, frozen, lfs).expect("thaw");
+    assert_eq!(thawed.refresh_generation(), session.refresh_generation());
+    assert!(thawed.disc_is_stale(), "staleness survives the round trip");
+    let after = thawed.disc().unwrap().model.predict_proba(&probe);
+    assert_eq!(before, after, "disc predictions are bit-identical");
+}
+
+fn keyword_lf(name: &str, kws: &[&str], label: i8) -> BoxedLf {
+    Box::new(snorkel_lf::KeywordBetweenLf::new(
+        name.to_string(),
+        kws,
+        label,
+        label,
+    ))
+}
+
+#[test]
+fn distill_after_ingest_without_refresh_trains_on_labeled_rows_only() {
+    use snorkel_core::pipeline::DiscTrainerConfig;
+
+    let (corpus, _) = build_corpus(120);
+    let config = SessionConfig {
+        distill: Some(DiscTrainerConfig::with_dim(1 << 12)),
+        ..SessionConfig::default()
+    };
+    let mut session = IncrementalSession::over_all_candidates(corpus, config);
+    session.add_lf(keyword_lf("lf_causes", &["causes"], 1));
+    session.refresh();
+    session.distill().expect("first distill");
+
+    // Grow the corpus and register the new candidates WITHOUT a
+    // refresh: they have features but no marginal row yet. Distilling
+    // must train on the labeled prefix, not panic on a length mismatch.
+    let new_ids: Vec<_> = {
+        let corpus = session.corpus_mut();
+        let doc = corpus.add_document("late");
+        (0..20)
+            .map(|i| {
+                let text = format!("gamma{i} causes delta{i}");
+                let s = corpus.add_sentence(doc, &text, tokenize(&text));
+                let a = corpus.add_span(s, 0, 1, Some("A"));
+                let b = corpus.add_span(s, 2, 3, Some("B"));
+                corpus.add_candidate(vec![a, b])
+            })
+            .collect()
+    };
+    session.ingest_candidates(&new_ids);
+    let report = session.distill().expect("distill with unlabeled tail");
+    assert_eq!(report.rows_total, 120, "only refreshed rows train");
+
+    // After the next refresh the new rows are labeled and join in.
+    session.refresh();
+    let report = session.distill().expect("post-refresh distill");
+    assert_eq!(report.rows_total, 140);
+}

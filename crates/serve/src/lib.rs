@@ -22,14 +22,18 @@
 //!   (v1 files, which predate backend tags, still load as the
 //!   generative backend).
 //! * [`server`] — a multithreaded `std::net` TCP server speaking a
-//!   line-delimited protocol (`MARGINAL`, `APPLY`, `REFRESH`,
-//!   `SNAPSHOT`, `STATS`, `SHUTDOWN`) over a shared
-//!   [`IncrementalSession`](snorkel_incr::IncrementalSession) behind an
-//!   `RwLock`: marginal queries and suite probes run concurrently under
-//!   the read lock (with a per-generation posterior memo — the serving
-//!   counterpart of pattern dedup); LF edits take the write lock, splice
-//!   Λ via `MatrixDelta`, and warm-start training. Plus graceful
-//!   shutdown and periodic auto-snapshots.
+//!   line-delimited protocol (`MARGINAL`, `APPLY`, `PREDICT`,
+//!   `PREDICT_TEXT`, `REFRESH`, `SNAPSHOT`, `STATS`, `SHUTDOWN`) over a
+//!   shared [`IncrementalSession`](snorkel_incr::IncrementalSession)
+//!   behind an `RwLock`: marginal queries and suite probes run
+//!   concurrently under the read lock (with a per-generation posterior
+//!   memo — the serving counterpart of pattern dedup); LF edits take
+//!   the write lock, splice Λ via `MatrixDelta`, and warm-start
+//!   training. `PREDICT`/`PREDICT_TEXT` answer from the **distilled
+//!   discriminative model** for candidates with zero LF coverage; the
+//!   disc retrain after an edit runs *outside* the write lock, so
+//!   reads never block on it (the reply's `disc_gen=` shows the lag).
+//!   Plus graceful shutdown and periodic auto-snapshots.
 //!
 //! ```no_run
 //! use snorkel_context::Corpus;

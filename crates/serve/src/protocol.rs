@@ -11,6 +11,10 @@
 //! MARGINAL <col>:<vote>[,<col>:<vote>…]        posterior for one vote row
 //! APPLY <s1> <e1> <s2> <e2> <text…>            run the live suite on a transient
 //!                                              candidate (token-range spans)
+//! PREDICT <feature…>                           distilled-model posterior for raw
+//!                                              feature strings (no LF coverage needed)
+//! PREDICT_TEXT <s1> <e1> <s2> <e2> <text…>     featurize a transient candidate and
+//!                                              answer from the distilled model
 //! REFRESH                                      re-label with the current suite
 //! REFRESH ADD <lf-spec>                        add an LF, then refresh
 //! REFRESH EDIT <lf-spec>                       replace the same-named LF, then refresh
@@ -19,6 +23,10 @@
 //! STATS                                        counters and suite layout
 //! SHUTDOWN                                     graceful stop
 //! ```
+//!
+//! The normative wire grammar — every verb, reply shape, and error —
+//! lives in `docs/PROTOCOL.md`; this module documents the subset it
+//! implements.
 //!
 //! LF specs (the REFRESH payload) cover the declarative operator
 //! families that are expressible as data — arbitrary closure LFs cannot
@@ -202,6 +210,22 @@ pub enum Request {
         /// Sentence text (tokenized server-side).
         text: String,
     },
+    /// Distilled-model posterior for raw feature strings (hashed
+    /// server-side) — answers for candidates with zero LF coverage.
+    Predict {
+        /// Feature names, e.g. `btw=causes` (at least one).
+        features: Vec<String>,
+    },
+    /// Featurize a transient two-span candidate and answer from the
+    /// distilled model (same span grammar as [`Request::Apply`]).
+    PredictText {
+        /// Token range `[start, end)` of span 0.
+        span1: (usize, usize),
+        /// Token range `[start, end)` of span 1.
+        span2: (usize, usize),
+        /// Sentence text (tokenized server-side).
+        text: String,
+    },
     /// Re-label, optionally after a suite edit.
     Refresh(Option<SuiteEdit>),
     /// Write a snapshot, to the given path or the server's configured
@@ -214,6 +238,30 @@ pub enum Request {
     Stats,
     /// Graceful stop.
     Shutdown,
+}
+
+/// Shared grammar of `APPLY` and `PREDICT_TEXT`: two token-range spans
+/// followed by the sentence text.
+#[allow(clippy::type_complexity)]
+fn parse_spans_and_text(
+    verb: &str,
+    rest: &str,
+) -> Result<((usize, usize), (usize, usize), String), String> {
+    let mut tokens = rest.splitn(5, char::is_whitespace);
+    let mut bound = |what: &'static str| -> Result<usize, String> {
+        tokens
+            .next()
+            .ok_or_else(|| format!("{verb} missing {what}"))?
+            .parse()
+            .map_err(|_| format!("{verb}: bad {what}"))
+    };
+    let s1 = (bound("span1 start")?, bound("span1 end")?);
+    let s2 = (bound("span2 start")?, bound("span2 end")?);
+    let text = tokens.next().unwrap_or("").trim().to_string();
+    if text.is_empty() {
+        return Err(format!("{verb} missing sentence text"));
+    }
+    Ok((s1, s2, text))
 }
 
 fn parse_vote(s: &str) -> Result<Vote, String> {
@@ -253,25 +301,19 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Marginal { cols, votes })
         }
         "APPLY" => {
-            let mut tokens = rest.splitn(5, char::is_whitespace);
-            let mut bound = |what: &'static str| -> Result<usize, String> {
-                tokens
-                    .next()
-                    .ok_or_else(|| format!("APPLY missing {what}"))?
-                    .parse()
-                    .map_err(|_| format!("APPLY: bad {what}"))
-            };
-            let s1 = (bound("span1 start")?, bound("span1 end")?);
-            let s2 = (bound("span2 start")?, bound("span2 end")?);
-            let text = tokens.next().unwrap_or("").trim().to_string();
-            if text.is_empty() {
-                return Err("APPLY missing sentence text".into());
+            let (span1, span2, text) = parse_spans_and_text("APPLY", rest)?;
+            Ok(Request::Apply { span1, span2, text })
+        }
+        "PREDICT" => {
+            let features: Vec<String> = rest.split_whitespace().map(str::to_string).collect();
+            if features.is_empty() {
+                return Err("PREDICT needs at least one feature".into());
             }
-            Ok(Request::Apply {
-                span1: s1,
-                span2: s2,
-                text,
-            })
+            Ok(Request::Predict { features })
+        }
+        "PREDICT_TEXT" => {
+            let (span1, span2, text) = parse_spans_and_text("PREDICT_TEXT", rest)?;
+            Ok(Request::PredictText { span1, span2, text })
         }
         "REFRESH" => {
             if rest.is_empty() {
@@ -342,6 +384,33 @@ mod tests {
         );
         assert!(parse_request("APPLY 0 1 2 3").is_err(), "no text");
         assert!(parse_request("APPLY 0 1 x 3 text").is_err());
+    }
+
+    #[test]
+    fn parses_predict() {
+        assert_eq!(
+            parse_request("PREDICT btw=causes u=magnesium").unwrap(),
+            Request::Predict {
+                features: vec!["btw=causes".into(), "u=magnesium".into()],
+            }
+        );
+        assert!(parse_request("PREDICT").is_err(), "no features");
+        assert!(parse_request("PREDICT   ").is_err(), "whitespace only");
+    }
+
+    #[test]
+    fn parses_predict_text() {
+        let req = parse_request("PREDICT_TEXT 0 1 2 3 magnesium causes weakness").unwrap();
+        assert_eq!(
+            req,
+            Request::PredictText {
+                span1: (0, 1),
+                span2: (2, 3),
+                text: "magnesium causes weakness".into(),
+            }
+        );
+        assert!(parse_request("PREDICT_TEXT 0 1 2 3").is_err(), "no text");
+        assert!(parse_request("PREDICT_TEXT 0 x 2 3 text").is_err());
     }
 
     #[test]

@@ -339,6 +339,10 @@ fn handle_request(inner: &Inner, req: Request) -> String {
         Request::Ping => "OK pong".into(),
         Request::Marginal { cols, votes } => handle_marginal(inner, cols, votes),
         Request::Apply { span1, span2, text } => handle_apply(inner, span1, span2, &text),
+        Request::Predict { features } => handle_predict(inner, &features),
+        Request::PredictText { span1, span2, text } => {
+            handle_predict_text(inner, span1, span2, &text)
+        }
         Request::Refresh(edit) => handle_refresh(inner, edit),
         Request::Snapshot { path } => {
             let target = path
@@ -355,9 +359,22 @@ fn handle_request(inner: &Inner, req: Request) -> String {
         Request::Stats => {
             let state = read_unpoisoned(&inner.state);
             let cache = state.session.cache_stats();
+            let disc = match state.session.disc() {
+                None => "-".to_string(),
+                Some(d) => format!(
+                    "{}{}",
+                    d.generation,
+                    if state.session.disc_is_stale() {
+                        "(stale)"
+                    } else {
+                        ""
+                    }
+                ),
+            };
             format!(
-                "OK gen={} rows={} lfs={} backend={} queries={} memo_hits={} refreshes={} \
-                 snapshots={} cache_hits={} cache_misses={} cache_extensions={} lf_names={}",
+                "OK gen={} rows={} lfs={} backend={} disc_gen={disc} queries={} memo_hits={} \
+                 refreshes={} snapshots={} cache_hits={} cache_misses={} cache_extensions={} \
+                 lf_names={}",
                 state.generation,
                 state.session.num_candidates(),
                 state.session.num_lfs(),
@@ -457,22 +474,38 @@ fn handle_marginal(inner: &Inner, cols: Vec<u32>, votes: Vec<Vote>) -> String {
     }
 }
 
-fn handle_apply(inner: &Inner, span1: (usize, usize), span2: (usize, usize), text: &str) -> String {
-    inner.queries.fetch_add(1, Ordering::Relaxed);
+/// Build a transient two-span candidate in a scratch corpus (serving a
+/// labeling query must not grow server state) — the server-side half of
+/// the `APPLY`/`PREDICT_TEXT` shared grammar.
+fn transient_candidate(
+    span1: (usize, usize),
+    span2: (usize, usize),
+    text: &str,
+) -> Result<(Corpus, snorkel_context::CandidateId), String> {
     let tokens = snorkel_nlp::tokenize(text);
     for (lo, hi) in [span1, span2] {
         if lo >= hi || hi > tokens.len() {
-            return format!("ERR span {lo}..{hi} invalid for {} tokens", tokens.len());
+            return Err(format!(
+                "span {lo}..{hi} invalid for {} tokens",
+                tokens.len()
+            ));
         }
     }
-    // Transient candidate in a scratch corpus: serving a labeling query
-    // must not grow server state.
     let mut scratch = Corpus::new();
-    let doc = scratch.add_document("apply");
+    let doc = scratch.add_document("probe");
     let sent = scratch.add_sentence(doc, text, tokens);
     let a = scratch.add_span(sent, span1.0, span1.1, None);
     let b = scratch.add_span(sent, span2.0, span2.1, None);
     let cand = scratch.add_candidate(vec![a, b]);
+    Ok((scratch, cand))
+}
+
+fn handle_apply(inner: &Inner, span1: (usize, usize), span2: (usize, usize), text: &str) -> String {
+    inner.queries.fetch_add(1, Ordering::Relaxed);
+    let (scratch, cand) = match transient_candidate(span1, span2, text) {
+        Ok(built) => built,
+        Err(e) => return format!("ERR {e}"),
+    };
 
     let state = read_unpoisoned(&inner.state);
     let votes = state.session.apply_lfs(&scratch.candidate(cand));
@@ -508,68 +541,136 @@ fn handle_apply(inner: &Inner, span1: (usize, usize), span2: (usize, usize), tex
     }
 }
 
-fn handle_refresh(inner: &Inner, edit: Option<SuiteEdit>) -> String {
-    let mut state = write_unpoisoned(&inner.state);
-    let names: Vec<String> = state
-        .session
-        .lf_names()
-        .into_iter()
-        .map(str::to_string)
-        .collect();
-    match &edit {
-        Some(SuiteEdit::Add(spec)) => {
-            if names.iter().any(|n| n == spec.name()) {
-                return format!("ERR LF {:?} already exists (use EDIT)", spec.name());
-            }
-            match spec.build() {
-                Ok(lf) => {
-                    state.session.add_lf_tagged(lf, spec.content_tag());
-                }
-                Err(e) => return format!("ERR {e}"),
-            }
-        }
-        Some(SuiteEdit::Edit(spec)) => {
-            if !names.iter().any(|n| n == spec.name()) {
-                return format!("ERR LF {:?} not in the suite (use ADD)", spec.name());
-            }
-            match spec.build() {
-                Ok(lf) => {
-                    state.session.edit_lf_tagged(lf, spec.content_tag());
-                }
-                Err(e) => return format!("ERR {e}"),
-            }
-        }
-        Some(SuiteEdit::Remove(name)) => match state.session.remove_lf(name) {
-            Some(_) => {}
-            None => return format!("ERR LF {name:?} not in the suite"),
-        },
-        None => {}
-    }
-    let (_, report) = state.session.refresh();
-    state.generation += 1;
-    inner.refreshes.fetch_add(1, Ordering::Relaxed);
-    let strategy = match &report.strategy {
-        snorkel_core::optimizer::ModelingStrategy::MajorityVote => "mv",
-        snorkel_core::optimizer::ModelingStrategy::MomentMatching => "moment",
-        snorkel_core::optimizer::ModelingStrategy::GenerativeModel { .. } => "gm",
+/// Distilled-model posterior for raw (pre-hashed-name) features —
+/// answers for candidates with zero LF coverage. Runs entirely under
+/// the read lock; the reply's `disc_gen=` says which refresh generation
+/// the serving model was trained on (it can lag `gen=` while a retrain
+/// runs — reads never wait for one).
+fn handle_predict(inner: &Inner, features: &[String]) -> String {
+    inner.queries.fetch_add(1, Ordering::Relaxed);
+    let state = read_unpoisoned(&inner.state);
+    let Some(disc) = state.session.disc() else {
+        return "ERR no distilled model (enable distillation and REFRESH)".into();
     };
+    let x = snorkel_disc::hash_features(features.iter().map(String::as_str), disc.model.dim());
     format!(
-        "OK gen={} strategy={strategy} backend={} rows={} lfs={} lf_invocations={} \
-         columns_recomputed={} columns_reused={} columns_extended={} \
-         warm_started={} unique_patterns={}",
+        "OK gen={} disc_gen={} p={}",
         state.generation,
-        report.backend,
-        state.session.num_candidates(),
-        state.session.num_lfs(),
-        report.lf_invocations,
-        report.columns_recomputed,
-        report.columns_reused,
-        report.columns_extended,
-        report.warm_started,
-        report
-            .unique_patterns
-            .map_or_else(|| "-".into(), |p| p.to_string()),
+        disc.generation,
+        format_probs(&disc.model.predict_proba(&x))
     )
+}
+
+/// Featurize a transient two-span candidate (same grammar as `APPLY`)
+/// and answer from the distilled model.
+fn handle_predict_text(
+    inner: &Inner,
+    span1: (usize, usize),
+    span2: (usize, usize),
+    text: &str,
+) -> String {
+    inner.queries.fetch_add(1, Ordering::Relaxed);
+    let (scratch, cand) = match transient_candidate(span1, span2, text) {
+        Ok(built) => built,
+        Err(e) => return format!("ERR {e}"),
+    };
+
+    let state = read_unpoisoned(&inner.state);
+    let Some(disc) = state.session.disc() else {
+        return "ERR no distilled model (enable distillation and REFRESH)".into();
+    };
+    let x = disc.config.featurizer.featurize(&scratch.candidate(cand));
+    format!(
+        "OK gen={} disc_gen={} p={}",
+        state.generation,
+        disc.generation,
+        format_probs(&disc.model.predict_proba(&x))
+    )
+}
+
+fn handle_refresh(inner: &Inner, edit: Option<SuiteEdit>) -> String {
+    // Phase 1 (write lock): suite edit + label-model refresh. The
+    // distillation training set is cloned out before the lock drops so
+    // the expensive disc retrain below runs lock-free.
+    let (response, training_set) = {
+        let mut state = write_unpoisoned(&inner.state);
+        let names: Vec<String> = state
+            .session
+            .lf_names()
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        match &edit {
+            Some(SuiteEdit::Add(spec)) => {
+                if names.iter().any(|n| n == spec.name()) {
+                    return format!("ERR LF {:?} already exists (use EDIT)", spec.name());
+                }
+                match spec.build() {
+                    Ok(lf) => {
+                        state.session.add_lf_tagged(lf, spec.content_tag());
+                    }
+                    Err(e) => return format!("ERR {e}"),
+                }
+            }
+            Some(SuiteEdit::Edit(spec)) => {
+                if !names.iter().any(|n| n == spec.name()) {
+                    return format!("ERR LF {:?} not in the suite (use ADD)", spec.name());
+                }
+                match spec.build() {
+                    Ok(lf) => {
+                        state.session.edit_lf_tagged(lf, spec.content_tag());
+                    }
+                    Err(e) => return format!("ERR {e}"),
+                }
+            }
+            Some(SuiteEdit::Remove(name)) => match state.session.remove_lf(name) {
+                Some(_) => {}
+                None => return format!("ERR LF {name:?} not in the suite"),
+            },
+            None => {}
+        }
+        let (_, report) = state.session.refresh();
+        state.generation += 1;
+        inner.refreshes.fetch_add(1, Ordering::Relaxed);
+        let training_set = state.session.disc_training_set();
+        let strategy = match &report.strategy {
+            snorkel_core::optimizer::ModelingStrategy::MajorityVote => "mv",
+            snorkel_core::optimizer::ModelingStrategy::MomentMatching => "moment",
+            snorkel_core::optimizer::ModelingStrategy::GenerativeModel { .. } => "gm",
+        };
+        let response = format!(
+            "OK gen={} strategy={strategy} backend={} rows={} lfs={} lf_invocations={} \
+             columns_recomputed={} columns_reused={} columns_extended={} \
+             warm_started={} unique_patterns={} disc={}",
+            state.generation,
+            report.backend,
+            state.session.num_candidates(),
+            state.session.num_lfs(),
+            report.lf_invocations,
+            report.columns_recomputed,
+            report.columns_reused,
+            report.columns_extended,
+            report.warm_started,
+            report
+                .unique_patterns
+                .map_or_else(|| "-".into(), |p| p.to_string()),
+            if training_set.is_some() {
+                "retraining"
+            } else {
+                "-"
+            },
+        );
+        (response, training_set)
+    };
+    // Phase 2 (no lock): distill. Concurrent MARGINAL/PREDICT reads are
+    // served meanwhile — from the previous disc model, whose `disc_gen=`
+    // makes the staleness visible. Phase 3 (short write lock): install.
+    if let Some(set) = training_set {
+        let (disc_state, _) = set.train();
+        let mut state = write_unpoisoned(&inner.state);
+        state.session.install_disc(disc_state);
+    }
+    response
 }
 
 /// Minimal blocking client for tests, examples, and the CI smoke

@@ -38,6 +38,7 @@
 //! | `LMTX` | the label matrix (raw CSR)                       | if built |
 //! | `PLAN` | the sharded pattern index                        | if built |
 //! | `MODL` | the label model, backend-tagged (v2) — weights + structure for the generative/moment backends, shape only for majority vote | if trained |
+//! | `DISC` | the distilled serving model (v3): refresh/disc generation counters, featurizer + distill config, sparse per-class weights | if distilled |
 //!
 //! ## Versioning
 //!
@@ -45,15 +46,24 @@
 //!   generative-model parameter block. Still read: it decodes into a
 //!   [`ModelSnapshot::Generative`], so v1 snapshots thaw into a session
 //!   running the generative backend.
-//! * **v2** (current) — `MODL` opens with a backend tag byte
+//! * **v2** — `MODL` opens with a backend tag byte
 //!   (1 = generative, 2 = majority-vote, 3 = moment). Unknown tags are
 //!   a typed [`SnapError::UnknownBackend`]; structurally invalid model
 //!   parameters are a typed [`SnapError::Model`]. v2 also adds the
 //!   moment-matching strategy tag to `SESS`.
+//! * **v3** (current) — adds the optional `DISC` section carrying the
+//!   distilled serving model and its staleness generation. v1/v2 files
+//!   still thaw (no disc model, generation counters at zero); a `DISC`
+//!   section in a file claiming v1/v2 is a typed corruption error.
 //!
-//! [`Snapshot::to_bytes_with_version`] can still *write* v1 (for
-//! handing a snapshot to an older build) as long as the model is absent
-//! or generative.
+//! [`Snapshot::to_bytes_with_version`] can still *write* v1 or v2 (for
+//! handing a snapshot to an older build) as long as the snapshot fits
+//! the older format: v1 needs an absent-or-generative model, and
+//! neither can carry a distilled model.
+//!
+//! The normative format specification — section payload layouts,
+//! checksum rules, and the compatibility policy — is
+//! `docs/SNAPSHOT_FORMAT.md`.
 //!
 //! [`IncrementalSession`]: snorkel_incr::IncrementalSession
 //! [`LabelModel`]: snorkel_core::label_model::LabelModel
@@ -64,7 +74,9 @@ use std::path::Path;
 use snorkel_core::label_model::ModelSnapshot;
 use snorkel_core::model::{ClassBalance, ModelParams, ParamsError, Scaleout, TrainConfig};
 use snorkel_core::optimizer::ModelingStrategy;
-use snorkel_incr::{Fingerprint, FrozenCache, FrozenColumn, FrozenSession};
+use snorkel_core::pipeline::DiscTrainerConfig;
+use snorkel_disc::{DiscModelParts, DistillConfig, TextFeaturizer};
+use snorkel_incr::{Fingerprint, FrozenCache, FrozenColumn, FrozenDisc, FrozenSession};
 use snorkel_matrix::{LabelMatrix, PatternIndexParts, ShardedMatrixParts};
 
 use snorkel_context::CandidateId;
@@ -75,7 +87,7 @@ use crate::wire::{fnv1a, Reader, Writer};
 pub const MAGIC: [u8; 8] = *b"SNKLSNAP";
 
 /// The format version this build writes by default.
-pub const FORMAT_VERSION: u32 = 2;
+pub const FORMAT_VERSION: u32 = 3;
 
 /// The oldest format version this build still reads.
 pub const MIN_READ_VERSION: u32 = 1;
@@ -91,6 +103,7 @@ const TAG_TCFG: u32 = u32::from_le_bytes(*b"TCFG");
 const TAG_LMTX: u32 = u32::from_le_bytes(*b"LMTX");
 const TAG_PLAN: u32 = u32::from_le_bytes(*b"PLAN");
 const TAG_MODL: u32 = u32::from_le_bytes(*b"MODL");
+const TAG_DISC: u32 = u32::from_le_bytes(*b"DISC");
 
 fn tag_name(tag: u32) -> String {
     let b = tag.to_le_bytes();
@@ -255,8 +268,13 @@ impl Snapshot {
                 ));
             }
         }
+        if version < 3 && self.session.disc.is_some() {
+            return Err(corrupt(format!(
+                "format v{version} cannot encode a distilled model"
+            )));
+        }
         let mut sections: Vec<(u32, Vec<u8>)> = Vec::new();
-        sections.push((TAG_SESS, enc_session_meta(&self.session)));
+        sections.push((TAG_SESS, enc_session_meta(&self.session, version)));
         sections.push((TAG_CACH, enc_cache(&self.session.cache)));
         sections.push((TAG_TCFG, enc_train(&self.train)));
         if let Some(lambda) = &self.session.lambda {
@@ -267,6 +285,9 @@ impl Snapshot {
         }
         if let Some(model) = model_section {
             sections.push((TAG_MODL, model));
+        }
+        if let Some(disc) = &self.session.disc {
+            sections.push((TAG_DISC, enc_disc(disc)));
         }
 
         let header_end = 16 + 28 * sections.len() + 8;
@@ -381,12 +402,21 @@ impl Snapshot {
             })
         };
         for (tag, _) in &parsed {
-            if ![TAG_SESS, TAG_CACH, TAG_TCFG, TAG_LMTX, TAG_PLAN, TAG_MODL].contains(tag) {
+            if ![
+                TAG_SESS, TAG_CACH, TAG_TCFG, TAG_LMTX, TAG_PLAN, TAG_MODL, TAG_DISC,
+            ]
+            .contains(tag)
+            {
                 return Err(corrupt(format!("unknown section {}", tag_name(*tag))));
+            }
+            if *tag == TAG_DISC && version < 3 {
+                return Err(corrupt(format!(
+                    "DISC section in a v{version} file (introduced in v3)"
+                )));
             }
         }
 
-        let mut session = dec_session_meta(&mut Reader::new(require(TAG_SESS)?))?;
+        let mut session = dec_session_meta(&mut Reader::new(require(TAG_SESS)?), version)?;
         session.cache = dec_cache(&mut Reader::new(require(TAG_CACH)?))?;
         let train = dec_train(&mut Reader::new(require(TAG_TCFG)?))?;
         session.lambda = match find(TAG_LMTX) {
@@ -404,6 +434,16 @@ impl Snapshot {
             Some(p) => Some(dec_model(&mut Reader::new(p))?),
             None => None,
         };
+        if let Some(p) = find(TAG_DISC) {
+            let disc = dec_disc(&mut Reader::new(p))?;
+            if disc.generation > session.refresh_generation {
+                return Err(corrupt(format!(
+                    "disc generation {} ahead of refresh generation {}",
+                    disc.generation, session.refresh_generation
+                )));
+            }
+            session.disc = Some(disc);
+        }
         Ok(Snapshot { session, train })
     }
 
@@ -444,7 +484,7 @@ impl Snapshot {
 // Section encoders/decoders
 // ----------------------------------------------------------------------
 
-fn enc_session_meta(s: &FrozenSession) -> Vec<u8> {
+fn enc_session_meta(s: &FrozenSession, version: u32) -> Vec<u8> {
     let mut w = Writer::new();
     w.put_usize(s.candidates.len());
     for id in &s.candidates {
@@ -495,10 +535,15 @@ fn enc_session_meta(s: &FrozenSession) -> Vec<u8> {
             }
         }
     }
+    // v3 appends the refresh-generation counter (disc staleness anchor);
+    // older formats cannot carry it and thaw with the counter at zero.
+    if version >= 3 {
+        w.put_u64(s.refresh_generation);
+    }
     w.into_bytes()
 }
 
-fn dec_session_meta(r: &mut Reader<'_>) -> Result<FrozenSession, SnapError> {
+fn dec_session_meta(r: &mut Reader<'_>, version: u32) -> Result<FrozenSession, SnapError> {
     let n = r.len(4, "candidate count")?;
     let mut candidates = Vec::with_capacity(n);
     for _ in 0..n {
@@ -557,6 +602,11 @@ fn dec_session_meta(r: &mut Reader<'_>) -> Result<FrozenSession, SnapError> {
         }
         tag => return Err(corrupt(format!("unknown strategy tag {tag}"))),
     };
+    let refresh_generation = if version >= 3 {
+        r.u64("refresh generation")?
+    } else {
+        0
+    };
     if !r.is_exhausted() {
         return Err(corrupt("trailing bytes in SESS"));
     }
@@ -575,6 +625,8 @@ fn dec_session_meta(r: &mut Reader<'_>) -> Result<FrozenSession, SnapError> {
         last_fingerprints,
         last_rows,
         last_gm_strategy,
+        refresh_generation,
+        disc: None,
     })
 }
 
@@ -978,4 +1030,124 @@ fn dec_train(r: &mut Reader<'_>) -> Result<TrainConfig, SnapError> {
         clamp_nonadversarial,
         scaleout,
     })
+}
+
+/// The v3 `DISC` section: the disc model's trained-at generation
+/// (staleness survives restarts — `SESS` carries the live counter), the
+/// self-contained distillation configuration, and the sparse per-class
+/// weights.
+fn enc_disc(disc: &FrozenDisc) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(disc.generation);
+    w.put_u32(disc.config.featurizer.buckets);
+    w.put_usize(disc.config.featurizer.window);
+    w.put_u8(disc.config.featurizer.bigrams as u8);
+    w.put_u32(disc.config.train.dim);
+    w.put_usize(disc.config.train.epochs);
+    w.put_f64(disc.config.train.learning_rate);
+    w.put_f64(disc.config.train.l2);
+    w.put_usize(disc.config.train.batch_size);
+    w.put_u64(disc.config.train.seed);
+    w.put_f64(disc.config.train.min_confidence);
+    w.put_u32(disc.model.dim);
+    w.put_usize(disc.model.class_weights.len());
+    for class in &disc.model.class_weights {
+        w.put_usize(class.len());
+        for &(idx, val) in class {
+            w.put_u32(idx);
+            w.put_f64(val);
+        }
+    }
+    w.put_usize(disc.model.bias.len());
+    for &b in &disc.model.bias {
+        w.put_f64(b);
+    }
+    w.into_bytes()
+}
+
+fn dec_disc(r: &mut Reader<'_>) -> Result<FrozenDisc, SnapError> {
+    let generation = r.u64("disc generation")?;
+    let buckets = r.u32("featurizer buckets")?;
+    let window = r.usize("featurizer window")?;
+    let bigrams = match r.u8("featurizer bigrams")? {
+        0 => false,
+        1 => true,
+        v => return Err(corrupt(format!("bad bool {v}"))),
+    };
+    let dim = r.u32("distill dim")?;
+    let epochs = r.usize("distill epochs")?;
+    let learning_rate = r.f64("distill learning_rate")?;
+    let l2 = r.f64("distill l2")?;
+    let batch_size = r.usize("distill batch_size")?;
+    let seed = r.u64("distill seed")?;
+    let min_confidence = r.f64("distill min_confidence")?;
+    let model_dim = r.u32("disc model dim")?;
+    let k = r.len(8, "disc class count")?;
+    let mut class_weights = Vec::with_capacity(k);
+    for _ in 0..k {
+        let n = r.len(12, "disc weight count")?;
+        let mut class = Vec::with_capacity(n);
+        for _ in 0..n {
+            let idx = r.u32("disc weight bucket")?;
+            class.push((idx, r.f64("disc weight value")?));
+        }
+        class_weights.push(class);
+    }
+    let n = r.len(8, "disc bias count")?;
+    let mut bias = Vec::with_capacity(n);
+    for _ in 0..n {
+        bias.push(r.f64("disc bias")?);
+    }
+    if !r.is_exhausted() {
+        return Err(corrupt("trailing bytes in DISC"));
+    }
+    // The hyperparameters retrain the model after thaw — a NaN learning
+    // rate or an out-of-range confidence floor would poison the first
+    // warm refit silently; refuse it here, typed, like every other
+    // structurally invalid snapshot field.
+    if buckets == 0 || dim == 0 {
+        return Err(corrupt("disc config: zero hash buckets"));
+    }
+    if !(learning_rate.is_finite() && learning_rate > 0.0) {
+        return Err(corrupt(format!(
+            "disc config: bad learning rate {learning_rate}"
+        )));
+    }
+    if !(l2.is_finite() && l2 >= 0.0) {
+        return Err(corrupt(format!("disc config: bad l2 {l2}")));
+    }
+    if !(min_confidence.is_finite() && (0.0..1.0).contains(&min_confidence)) {
+        return Err(corrupt(format!(
+            "disc config: bad confidence floor {min_confidence}"
+        )));
+    }
+    let model = DiscModelParts {
+        dim: model_dim,
+        class_weights,
+        bias,
+    };
+    model
+        .validate()
+        .map_err(|e| corrupt(format!("disc model: {e}")))?;
+    let disc = FrozenDisc {
+        config: DiscTrainerConfig {
+            featurizer: TextFeaturizer {
+                buckets,
+                window,
+                bigrams,
+            },
+            train: DistillConfig {
+                dim,
+                epochs,
+                learning_rate,
+                l2,
+                batch_size,
+                seed,
+                min_confidence,
+            },
+        },
+        model,
+        generation,
+    };
+    Ok(disc)
 }

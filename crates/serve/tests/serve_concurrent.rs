@@ -297,3 +297,149 @@ fn stats_and_errors_are_well_formed() {
 
     server.shutdown().expect("clean shutdown");
 }
+
+/// The distillation test corpus: two cue verbs per class on the same
+/// rows (agreement makes LF accuracies identifiable without ground
+/// truth). Built twice — once to serve, once to thaw — and the
+/// kill/resume assertion depends on both builds being identical.
+fn build_distill_corpus(n: usize) -> Corpus {
+    let mut corpus = Corpus::new();
+    let doc = corpus.add_document("d");
+    for i in 0..n {
+        let verb = match i % 5 {
+            0 | 1 => "causes and induces",
+            2 => "treats and cures",
+            3 => "worsens",
+            _ => "mentions",
+        };
+        let text = format!("alpha{} {verb} beta{}", i % 7, i % 5);
+        let tokens = tokenize(&text);
+        let last = tokens.len();
+        let s = corpus.add_sentence(doc, &text, tokens);
+        let a = corpus.add_span(s, 0, 1, Some("A"));
+        let b = corpus.add_span(s, last - 1, last, Some("B"));
+        corpus.add_candidate(vec![a, b]);
+    }
+    corpus
+}
+
+#[test]
+fn predict_answers_zero_coverage_candidates_and_survives_kill_resume() {
+    use snorkel_core::pipeline::DiscTrainerConfig;
+
+    let dir = std::env::temp_dir().join(format!("snorkel-predict-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let snap_path = dir.join("predict.snap");
+
+    // A session with distillation enabled (see build_distill_corpus for
+    // why two LFs per class vote on the same rows).
+    let corpus = build_distill_corpus(400);
+    let ids: Vec<CandidateId> = corpus.candidate_ids().collect();
+    let mut disc_cfg = DiscTrainerConfig::with_dim(1 << 12);
+    // Small corpus: more epochs / smaller batches than the
+    // deployment-scale defaults so the linear model converges.
+    disc_cfg.train.epochs = 40;
+    disc_cfg.train.batch_size = 32;
+    let config = SessionConfig {
+        distill: Some(disc_cfg),
+        ..gm_config()
+    };
+    let mut session = IncrementalSession::new(corpus, config.clone());
+    session.ingest_candidates(&ids);
+    const DISTILL_SPECS: [&str; 4] = [
+        "lf_causes KEYWORD 1 1 causes",
+        "lf_induces KEYWORD 1 1 induces",
+        "lf_treats KEYWORD -1 -1 treats",
+        "lf_cures KEYWORD -1 -1 cures",
+    ];
+    for spec in DISTILL_SPECS {
+        let (lf, tag) = wire_lf(spec);
+        session.add_lf_tagged(lf, tag);
+    }
+
+    let server = LabelServer::start(
+        session,
+        ServeConfig {
+            snapshot_path: Some(snap_path.clone()),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Before any refresh there is no distilled model.
+    let early = client.request("PREDICT btw=causes").expect("request");
+    assert!(early.starts_with("ERR no distilled model"), "{early}");
+
+    // REFRESH trains the label model, then distills (retrain runs after
+    // the write lock drops; the reply advertises it).
+    let refreshed = client.request("REFRESH").expect("refresh");
+    assert!(refreshed.starts_with("OK "), "{refreshed}");
+    assert_eq!(field(&refreshed, "disc"), "retraining");
+
+    // PREDICT: raw feature strings for a candidate *absent from Λ* —
+    // "alpha99" is out of corpus. Feature names follow the featurizer's
+    // conventions (lemma level: `btw=cause`, not `btw=causes`).
+    let pos = client.request("PREDICT btw=induce u=alpha99").expect("ok");
+    assert!(pos.starts_with("OK "), "{pos}");
+    assert_eq!(field(&pos, "disc_gen"), "1");
+    let p_pos: f64 = field(&pos, "p").split(',').next().unwrap().parse().unwrap();
+    assert!(p_pos > 0.5, "'induces' features must score positive: {pos}");
+
+    let neg = client.request("PREDICT btw=cure u=alpha99").expect("ok");
+    let p_neg: f64 = field(&neg, "p").split(',').next().unwrap().parse().unwrap();
+    assert!(p_neg < 0.5, "'cures' features must score negative: {neg}");
+
+    // PREDICT_TEXT featurizes a transient candidate server-side. The
+    // sentence shares no span text with the corpus: zero LF coverage,
+    // answered purely by the distilled model.
+    let text = client
+        .request("PREDICT_TEXT 0 1 2 3 gamma5 causes delta2")
+        .expect("ok");
+    assert!(text.starts_with("OK "), "{text}");
+    let p_text: f64 = field(&text, "p")
+        .split(',')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(
+        p_text > 0.5,
+        "'causes' sentence must score positive: {text}"
+    );
+
+    // STATS reports the disc generation and freshness.
+    let stats = client.request("STATS").expect("stats");
+    assert_eq!(field(&stats, "disc_gen"), "1", "{stats}");
+
+    // Kill: snapshot + shutdown.
+    let snap = client.request("SNAPSHOT").expect("snapshot");
+    assert!(snap.starts_with("OK bytes="), "{snap}");
+    client.request("SHUTDOWN").expect("bye");
+    server.wait().expect("clean shutdown");
+
+    // Resume from the snapshot: the distilled model must serve PREDICT
+    // immediately, bit-identically, with its generation intact.
+    let snapshot = Snapshot::read_file(&snap_path).expect("snapshot loads");
+    let lfs: Vec<BoxedLf> = DISTILL_SPECS.iter().map(|s| wire_lf(s).0).collect();
+    // The corpus is derived state: rebuild an identical one for thawing.
+    let resumed =
+        IncrementalSession::thaw(build_distill_corpus(400), config, snapshot.session, lfs)
+            .expect("thaw");
+    let server = LabelServer::start(resumed, ServeConfig::default()).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let pos2 = client.request("PREDICT btw=induce u=alpha99").expect("ok");
+    assert_eq!(field(&pos2, "disc_gen"), "1");
+    assert_eq!(
+        field(&pos2, "p"),
+        field(&pos, "p"),
+        "resumed disc predictions are bit-identical"
+    );
+    let text2 = client
+        .request("PREDICT_TEXT 0 1 2 3 gamma5 causes delta2")
+        .expect("ok");
+    assert_eq!(field(&text2, "p"), field(&text, "p"));
+    client.request("SHUTDOWN").expect("bye");
+    server.wait().expect("clean shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+}

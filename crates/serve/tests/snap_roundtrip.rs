@@ -426,3 +426,112 @@ fn file_round_trip_is_atomic_and_loadable() {
     assert_eq!(entries, vec![std::ffi::OsString::from("session.snap")]);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// A refreshed + distilled binary session (forced generative backend).
+fn distilled_session(rows: usize, salts: &[u64]) -> IncrementalSession {
+    use snorkel_core::pipeline::DiscTrainerConfig;
+    let (corpus, _) = build_corpus(rows);
+    let config = SessionConfig {
+        force_strategy: Some(ModelingStrategy::GenerativeModel {
+            epsilon: 0.0,
+            correlations: Vec::new(),
+            strengths: Vec::new(),
+        }),
+        distill: Some(DiscTrainerConfig::with_dim(1 << 12)),
+        ..SessionConfig::default()
+    };
+    let mut session = IncrementalSession::over_all_candidates(corpus, config);
+    for (j, &salt) in salts.iter().enumerate() {
+        session.add_lf_tagged(salted_lf(&format!("lf_{j}"), salt, 2), salt);
+    }
+    session.refresh();
+    session.distill().expect("distills");
+    session
+}
+
+#[test]
+fn disc_model_round_trips_in_v3_with_staleness() {
+    let salts = [41u64, 42, 43];
+    let mut session = distilled_session(60, &salts);
+    // Leave the disc model stale so the staleness relation is what the
+    // round trip must preserve, not just the model bytes.
+    session.edit_lf_tagged(salted_lf("lf_1", 99, 2), 99);
+    session.refresh();
+    assert!(session.disc_is_stale());
+    let probe = snorkel_disc::hash_features(["u=alpha1", "btw=causes"], 1 << 12);
+    let before = session.disc().unwrap().model.predict_proba(&probe);
+
+    let snapshot = snapshot_of(&session);
+    let bytes = snapshot.to_bytes();
+    let back = Snapshot::from_bytes(&bytes).expect("v3 parses");
+    assert_eq!(back.session.refresh_generation, 2);
+    let frozen_disc = back.session.disc.as_ref().expect("DISC section decoded");
+    assert_eq!(frozen_disc.generation, 1);
+
+    let (corpus, _) = build_corpus(60);
+    let lfs: Vec<BoxedLf> = vec![
+        salted_lf("lf_0", 41, 2),
+        salted_lf("lf_1", 99, 2),
+        salted_lf("lf_2", 43, 2),
+    ];
+    let thawed = IncrementalSession::thaw(corpus, session.config().clone(), back.session, lfs)
+        .expect("v3 snapshot thaws");
+    assert!(thawed.disc_is_stale(), "staleness survives the round trip");
+    let after = thawed.disc().unwrap().model.predict_proba(&probe);
+    assert_eq!(before, after, "disc predictions are bit-identical");
+}
+
+#[test]
+fn older_versions_cannot_encode_a_distilled_model() {
+    let session = distilled_session(40, &[51, 52]);
+    let snapshot = snapshot_of(&session);
+    for version in [1, 2] {
+        assert!(
+            matches!(
+                snapshot.to_bytes_with_version(version),
+                Err(SnapError::Corrupt { .. })
+            ),
+            "v{version} must refuse a disc model"
+        );
+    }
+    assert!(Snapshot::from_bytes(&snapshot.to_bytes()).is_ok());
+}
+
+#[test]
+fn v2_files_still_thaw_without_a_disc_model() {
+    // A session that never distilled writes a valid v2 file, and this
+    // build reads it back: no disc model, generation counter at zero.
+    let salts = [61u64, 62];
+    let session = session_for(30, &salts, 2, Scaleout::RowWise);
+    let v2_bytes = snapshot_of(&session)
+        .to_bytes_with_version(2)
+        .expect("no disc model: v2 encodes");
+    let back = Snapshot::from_bytes(&v2_bytes).expect("v2 parses");
+    assert!(back.session.disc.is_none());
+    assert_eq!(back.session.refresh_generation, 0);
+
+    let (corpus, _) = build_corpus(30);
+    let lfs: Vec<BoxedLf> = salts
+        .iter()
+        .enumerate()
+        .map(|(j, &salt)| salted_lf(&format!("lf_{j}"), salt, 2))
+        .collect();
+    let thawed = IncrementalSession::thaw(corpus, session.config().clone(), back.session, lfs)
+        .expect("v2 snapshot thaws");
+    assert!(thawed.disc().is_none());
+}
+
+#[test]
+fn corrupt_disc_section_is_a_typed_error() {
+    let session = distilled_session(40, &[71, 72]);
+    let mut bytes = snapshot_of(&session).to_bytes();
+    // Byte 8 of DISC starts the disc-generation u64 (bytes 0..8); set it
+    // beyond the refresh generation: semantic corruption, not checksum.
+    patch_section(&mut bytes, b"DISC", 0, 0xFF);
+    match Snapshot::from_bytes(&bytes) {
+        Err(SnapError::Corrupt { context }) => {
+            assert!(context.contains("disc"), "unexpected context {context:?}")
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}

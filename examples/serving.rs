@@ -39,8 +39,14 @@ const DEFAULT_SPECS: [&str; 3] = [
 
 /// Always train the generative model: a served posterior should reflect
 /// fitted LF accuracies, and the torn-read hammer needs an LF edit to
-/// move the posterior it queries.
+/// move the posterior it queries. Distillation is on, so the server
+/// also answers `PREDICT`/`PREDICT_TEXT` for zero-coverage candidates.
 fn gm_config() -> SessionConfig {
+    let mut distill = snorkel::core::pipeline::DiscTrainerConfig::with_dim(1 << 14);
+    // Demo-corpus scale: more epochs / smaller batches than the
+    // deployment defaults so the linear model converges.
+    distill.train.epochs = 15;
+    distill.train.batch_size = 64;
     SessionConfig {
         force_strategy: Some(
             snorkel::core::optimizer::ModelingStrategy::GenerativeModel {
@@ -49,6 +55,7 @@ fn gm_config() -> SessionConfig {
                 strengths: Vec::new(),
             },
         ),
+        distill: Some(distill),
         ..SessionConfig::default()
     }
 }
@@ -95,12 +102,15 @@ fn fresh_session(rows: usize, specs: &[LfSpec]) -> IncrementalSession {
         session.add_lf_tagged(lf, spec.content_tag());
     }
     let (_, report) = session.refresh();
+    let disc = session.distill();
     eprintln!(
-        "cold start: {} rows × {} LFs, {} LF invocations, strategy {:?}",
+        "cold start: {} rows × {} LFs, {} LF invocations, strategy {:?}, \
+         distilled on {} rows",
         session.num_candidates(),
         session.num_lfs(),
         report.lf_invocations,
-        report.strategy
+        report.strategy,
+        disc.map_or(0, |d| d.rows_trained),
     );
     session
 }
@@ -337,12 +347,13 @@ fn run_verify_snap(args: &Args) -> ! {
             let s = &snapshot.session;
             println!(
                 "snapshot OK: {} candidates, {} LFs, matrix={}, model={}, plan={}, \
-                 {} cached columns",
+                 disc={}, {} cached columns",
                 s.candidates.len(),
                 s.suite.len(),
                 s.lambda.is_some(),
                 s.model.is_some(),
                 s.plan.is_some(),
+                s.disc.is_some(),
                 s.cache.columns.len(),
             );
             std::process::exit(0);
@@ -376,8 +387,12 @@ fn run_demo() {
         "MARGINAL 0:1,1:-1",
         "MARGINAL 0:1,2:1",
         "APPLY 0 1 2 3 chem3 causes disease5",
+        // The distilled model answers for candidates outside Λ.
+        "PREDICT btw=cause u=chem3",
+        "PREDICT_TEXT 0 1 2 3 chemX causes diseaseY",
         "REFRESH EDIT lf_treats KEYWORD -1 1 treats,cures",
         "MARGINAL 0:1,1:-1",
+        "PREDICT btw=cause u=chem3",
         "SNAPSHOT",
         "SHUTDOWN",
     ] {
@@ -398,7 +413,13 @@ fn run_demo() {
     let session = resumed_session(&snap_path, 2000, &parse_specs(&resumed_specs));
     let server = LabelServer::start(session, ServeConfig::default()).expect("bind");
     let mut client = Client::connect(server.addr()).expect("connect");
-    for req in ["MARGINAL 0:1,1:-1", "REFRESH", "STATS", "SHUTDOWN"] {
+    for req in [
+        "MARGINAL 0:1,1:-1",
+        "PREDICT btw=cause u=chem3",
+        "REFRESH",
+        "STATS",
+        "SHUTDOWN",
+    ] {
         println!("> {req}");
         println!("< {}", client.request(req).expect("request"));
     }

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# docs-check: the serve layer's wire protocol and snapshot format have
+# normative specs (docs/PROTOCOL.md, docs/SNAPSHOT_FORMAT.md). This
+# gate fails CI when a protocol verb or snapshot section name exists in
+# `crates/serve` source but is missing from its spec — so the docs
+# cannot silently drift behind the implementation.
+#
+# Run from the repo root:
+#   bash scripts/docs_check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- Protocol verbs: every request keyword parse_request matches on.
+# Match arms look like:   "MARGINAL" => ...
+verbs="$(grep -oE '"[A-Z][A-Z_]+" =>' crates/serve/src/protocol.rs \
+    | tr -d '"' | awk '{print $1}' | sort -u)"
+if [[ -z "$verbs" ]]; then
+    echo "docs-check: BUG: found no verbs in crates/serve/src/protocol.rs" >&2
+    exit 1
+fi
+for verb in $verbs; do
+    if ! grep -qw "$verb" docs/PROTOCOL.md; then
+        echo "docs-check: verb $verb is implemented in" \
+             "crates/serve/src/protocol.rs but not documented in docs/PROTOCOL.md" >&2
+        fail=1
+    fi
+done
+
+# --- Snapshot sections: every TAG_* constant in snap.rs.
+# Constants look like:   const TAG_SESS: u32 = u32::from_le_bytes(*b"SESS");
+sections="$(grep -oE 'from_le_bytes\(\*b"[A-Z]{4}"\)' crates/serve/src/snap.rs \
+    | grep -oE '[A-Z]{4}' | sort -u)"
+if [[ -z "$sections" ]]; then
+    echo "docs-check: BUG: found no section tags in crates/serve/src/snap.rs" >&2
+    exit 1
+fi
+for section in $sections; do
+    if ! grep -qw "$section" docs/SNAPSHOT_FORMAT.md; then
+        echo "docs-check: snapshot section $section is implemented in" \
+             "crates/serve/src/snap.rs but not documented in docs/SNAPSHOT_FORMAT.md" >&2
+        fail=1
+    fi
+done
+
+if [[ "$fail" -ne 0 ]]; then
+    echo "docs-check: FAILED — update the spec(s) above" >&2
+    exit 1
+fi
+echo "docs-check OK: $(echo "$verbs" | wc -w | tr -d ' ') verbs," \
+     "$(echo "$sections" | wc -w | tr -d ' ') snapshot sections all documented"

@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
 # Serve smoke: start the labeling server on a loopback port, drive
-# MARGINAL/APPLY/REFRESH/SNAPSHOT from the script client, hammer it with
-# concurrent clients while an LF edit lands mid-stream (torn-read
-# check), assert a clean shutdown and a loadable snapshot, then restart
-# from the snapshot and assert the warm start re-executed zero LFs.
+# MARGINAL/APPLY/PREDICT/REFRESH/SNAPSHOT from the script client, hammer
+# it with concurrent clients while an LF edit lands mid-stream
+# (torn-read check), assert a clean shutdown and a loadable snapshot,
+# then restart from the snapshot and assert the warm start re-executed
+# zero LFs and still serves the distilled model.
+#
+# The wire grammar, reply shapes, and lock discipline exercised here are
+# specified normatively in docs/PROTOCOL.md; the snapshot file handed
+# between the two server lives is specified in docs/SNAPSHOT_FORMAT.md.
 #
 # Run from the repo root (CI runs it under a job timeout):
 #   bash scripts/serve_smoke.sh
@@ -58,11 +63,20 @@ wait_listening
 
 "$BIN" client --port "$PORT" "MARGINAL 0:1,1:-1" | expect "OK gen="
 "$BIN" client --port "$PORT" "APPLY 0 1 2 3 chem1 causes disease2" | expect "votes="
+# The distilled model answers for candidates absent from Λ (PREDICT
+# hashes raw feature names; PREDICT_TEXT featurizes server-side).
+"$BIN" client --port "$PORT" "PREDICT btw=cause u=chem9" | expect "disc_gen="
+"$BIN" client --port "$PORT" "PREDICT_TEXT 0 1 2 3 chemX causes diseaseY" | expect "OK gen="
 # Reads do not advance the session generation.
 "$BIN" client --port "$PORT" "STATS" | expect "gen=0"
 # ≥1k concurrent marginal queries with one LF edit landing mid-stream;
 # the hammer exits non-zero on any torn read and reverts the edit.
 "$BIN" hammer --port "$PORT" --clients 8 --queries 150 | expect "no torn reads"
+# Capture a zero-coverage posterior AFTER the hammer's edit+revert (each
+# REFRESH warm-retrains the disc model) so the kill/resume comparison
+# below sees exactly the model the snapshot will carry.
+PRED_BEFORE="$("$BIN" client --port "$PORT" "PREDICT_TEXT 0 1 2 3 chemX causes diseaseY")"
+echo "$PRED_BEFORE" | expect "disc_gen="
 "$BIN" client --port "$PORT" "SNAPSHOT" | expect "OK bytes="
 "$BIN" client --port "$PORT" "STATS" | expect "rows=3000"
 # STATS reports the active label-model backend (the example forces the
@@ -89,6 +103,17 @@ wait_listening
 # The resumed session thawed the snapshot's tagged model section: the
 # backend is live before any refresh.
 "$BIN" client --port "$PORT" "STATS" | expect "backend=generative"
+# The v3 DISC section thawed too: the distilled model answers the same
+# zero-coverage query with the identical posterior (floats round-trip
+# bit-exactly, and responses use shortest-round-trip formatting).
+PRED_AFTER="$("$BIN" client --port "$PORT" "PREDICT_TEXT 0 1 2 3 chemX causes diseaseY")"
+echo "$PRED_AFTER" | expect "disc_gen="
+if [[ "${PRED_BEFORE##*p=}" != "${PRED_AFTER##*p=}" ]]; then
+    echo "FAIL: distilled posterior changed across kill/resume" >&2
+    echo "  before: $PRED_BEFORE" >&2
+    echo "  after:  $PRED_AFTER" >&2
+    exit 1
+fi
 # The resumed server relabels everything from cache: zero LF runs.
 "$BIN" client --port "$PORT" "REFRESH" | expect "lf_invocations=0"
 # The refresh bumped the session generation and kept the backend.
