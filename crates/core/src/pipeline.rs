@@ -16,7 +16,7 @@
 //! [`ModelRegistry`] — majority vote
 //! is just the cheapest backend, not a special case.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use snorkel_context::{CandidateId, Corpus};
 use snorkel_disc::{DistillConfig, DistillReport, DistilledModel, TextFeaturizer};
@@ -27,6 +27,17 @@ use snorkel_matrix::{LabelMatrix, ShardedMatrix};
 use crate::label_model::{LabelModel, ModelRegistry};
 use crate::model::{GenerativeModel, LabelScheme, TrainConfig};
 use crate::optimizer::{select_model, ModelingStrategy, OptimizerConfig};
+
+/// Start a span for one pipeline stage. The span's
+/// [`finish`](snorkel_obs::Span::finish) both records into
+/// `snorkel_core_pipeline_stage_seconds{stage="…"}` and hands the
+/// duration back — the [`PipelineReport`] timings and the live metrics
+/// are the same measurement, not two clocks that can disagree.
+fn stage_span(stage: &'static str) -> snorkel_obs::Span {
+    let hist =
+        snorkel_obs::global().histogram("snorkel_core_pipeline_stage_seconds", &[("stage", stage)]);
+    snorkel_obs::Span::start(stage, hist, snorkel_obs::TraceLevel::Debug)
+}
 
 /// Configuration of the optional distillation stage: how candidates are
 /// featurized and how the discriminative model trains on the label
@@ -228,21 +239,21 @@ impl Pipeline {
         corpus: &Corpus,
         candidates: &[CandidateId],
     ) -> (Vec<Vec<f64>>, PipelineReport) {
-        let t0 = Instant::now();
+        let lf_span = stage_span("lf_application");
         let lambda = self.config.executor.apply(lfs, corpus, candidates);
-        let lf_time = t0.elapsed();
+        let lf_time = lf_span.finish();
         let (labels, mut report, plan) = self.run_from_matrix_inner(&lambda);
         report.timings.lf_application = lf_time;
         report.timings.total += lf_time;
         if let Some(disc_cfg) = &self.config.distill {
-            let t1 = Instant::now();
+            let disc_span = stage_span("distillation");
             let trainer = DiscTrainer::new(disc_cfg.clone());
             let xs = trainer.featurize(corpus, candidates);
             let num_classes = LabelScheme::from_cardinality(lambda.cardinality()).num_classes();
             let (disc, disc_report) = trainer.train(&xs, &labels, num_classes, plan.as_ref());
             report.disc = Some(disc);
             report.disc_report = Some(disc_report);
-            report.timings.distillation = t1.elapsed();
+            report.timings.distillation = disc_span.finish();
             report.timings.total += report.timings.distillation;
         }
         (labels, report)
@@ -261,7 +272,7 @@ impl Pipeline {
         &self,
         lambda: &LabelMatrix,
     ) -> (Vec<Vec<f64>>, PipelineReport, Option<ShardedMatrix>) {
-        let t0 = Instant::now();
+        let strategy_span = stage_span("strategy_selection");
 
         let (strategy, predicted) = match &self.config.force_strategy {
             Some(s) => (s.clone(), 0.0),
@@ -283,9 +294,9 @@ impl Pipeline {
                 }
             }
         };
-        let strategy_time = t0.elapsed();
+        let strategy_time = strategy_span.finish();
 
-        let t1 = Instant::now();
+        let training_span = stage_span("training");
         let mut model = self
             .config
             .registry
@@ -302,7 +313,7 @@ impl Pipeline {
         };
         model.fit(lambda, plan.as_ref(), &self.config.train);
         let labels = model.marginals(lambda, plan.as_ref());
-        let training_time = t1.elapsed();
+        let training_time = training_span.finish();
 
         let report = PipelineReport {
             backend: model.backend_name(),
@@ -519,6 +530,23 @@ mod tests {
         let xs = trainer.featurize(&corpus, &[pos_unseen, neg_unseen]);
         assert_eq!(disc.predict_vote(&xs[0]), 1, "unseen 'induces' row");
         assert_eq!(disc.predict_vote(&xs[1]), -1, "unseen 'cures' row");
+    }
+
+    #[test]
+    fn stage_spans_feed_live_metrics() {
+        let hist = snorkel_obs::global().histogram(
+            "snorkel_core_pipeline_stage_seconds",
+            &[("stage", "training")],
+        );
+        let before = hist.snapshot().count();
+        let (lambda, _) = planted(200, &[0.8, 0.8], 0.5, 7);
+        let (_, report) = run_pipeline(&lambda);
+        // The report timing and the histogram recording are the same
+        // measurement (monotone assertions: the registry is global).
+        assert!(report.timings.training <= report.timings.total);
+        // Other tests in this binary run pipelines concurrently, so
+        // assert growth, not an exact delta.
+        assert!(hist.snapshot().count() > before);
     }
 
     #[test]

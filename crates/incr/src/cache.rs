@@ -108,6 +108,11 @@ impl LfResultCache {
         self.columns.len()
     }
 
+    /// Maximum number of cached columns.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
         self.columns.is_empty()

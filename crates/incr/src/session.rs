@@ -2,7 +2,8 @@
 //! ingest candidate batches, and [`IncrementalSession::refresh`] — which
 //! recomputes *only* what the edits touched.
 
-use std::time::{Duration, Instant};
+use std::sync::OnceLock;
+use std::time::Duration;
 
 use snorkel_context::{CandidateId, CandidateView, Corpus};
 use snorkel_core::label_model::{LabelModel, ModelRegistry, ModelSnapshot};
@@ -18,6 +19,54 @@ use snorkel_matrix::{LabelMatrix, MatrixDelta, ShardedMatrix, ShardedMatrixParts
 
 use crate::cache::{CacheStats, FrozenCache, LfResultCache};
 use crate::fingerprint::Fingerprint;
+
+/// Pre-resolved global-registry handles for the incremental layer,
+/// resolved once per process so refresh bookkeeping is a handful of
+/// relaxed atomic stores.
+struct IncrMetrics {
+    cache_hits: std::sync::Arc<snorkel_obs::Counter>,
+    cache_misses: std::sync::Arc<snorkel_obs::Counter>,
+    cache_extensions: std::sync::Arc<snorkel_obs::Counter>,
+    cache_evictions: std::sync::Arc<snorkel_obs::Counter>,
+    refreshes: std::sync::Arc<snorkel_obs::Counter>,
+    refresh_generation: std::sync::Arc<snorkel_obs::Gauge>,
+    unique_patterns: std::sync::Arc<snorkel_obs::Gauge>,
+    cache_columns: std::sync::Arc<snorkel_obs::Gauge>,
+    cache_capacity: std::sync::Arc<snorkel_obs::Gauge>,
+    rows: std::sync::Arc<snorkel_obs::Gauge>,
+    lfs: std::sync::Arc<snorkel_obs::Gauge>,
+}
+
+fn incr_metrics() -> &'static IncrMetrics {
+    static METRICS: OnceLock<IncrMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = snorkel_obs::global();
+        IncrMetrics {
+            cache_hits: r.counter("snorkel_incr_cache_hits_total", &[]),
+            cache_misses: r.counter("snorkel_incr_cache_misses_total", &[]),
+            cache_extensions: r.counter("snorkel_incr_cache_extensions_total", &[]),
+            cache_evictions: r.counter("snorkel_incr_cache_evictions_total", &[]),
+            refreshes: r.counter("snorkel_incr_refreshes_total", &[]),
+            refresh_generation: r.gauge("snorkel_incr_refresh_generation", &[]),
+            unique_patterns: r.gauge("snorkel_incr_unique_patterns", &[]),
+            cache_columns: r.gauge("snorkel_incr_cache_columns", &[]),
+            cache_capacity: r.gauge("snorkel_incr_cache_capacity", &[]),
+            rows: r.gauge("snorkel_incr_rows", &[]),
+            lfs: r.gauge("snorkel_incr_lfs", &[]),
+        }
+    })
+}
+
+/// Start a span for one refresh stage, recording into
+/// `snorkel_incr_refresh_stage_seconds{stage="…"}`. As in the batch
+/// pipeline, [`finish`](snorkel_obs::Span::finish) hands back the
+/// duration the [`RefreshTimings`] report, so the live metric and the
+/// report are the same measurement.
+fn stage_span(stage: &'static str) -> snorkel_obs::Span {
+    let hist =
+        snorkel_obs::global().histogram("snorkel_incr_refresh_stage_seconds", &[("stage", stage)]);
+    snorkel_obs::Span::start(stage, hist, snorkel_obs::TraceLevel::Debug)
+}
 
 /// Session configuration. The defaults mirror
 /// [`snorkel_core::pipeline::PipelineConfig`], plus the incremental
@@ -215,12 +264,14 @@ impl DiscTrainingSet {
         // no marginal row yet; they join training after the next
         // refresh labels them.
         let rows = self.marginals.len();
+        let retrain_span = stage_span("disc_retrain");
         let report = model.fit(
             &self.features[..rows],
             &self.marginals,
             &self.ranges,
             &self.config.train,
         );
+        drop(retrain_span);
         (
             DiscState {
                 config: self.config,
@@ -611,6 +662,35 @@ impl IncrementalSession {
         self.cache.stats()
     }
 
+    /// Number of cached LF-result columns (live + superseded).
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Maximum cached LF-result columns.
+    pub fn cache_capacity(&self) -> usize {
+        self.cache.capacity()
+    }
+
+    /// Set the session-shape gauges of the global registry from current
+    /// state. Called after every refresh; [`Self::thaw`] calls it too,
+    /// so a restarted process reports its reconstructed generation and
+    /// cache shape before the first refresh (counters, by contrast,
+    /// reset with the process — they count what *this* process did).
+    fn publish_gauges(&self) {
+        let metrics = incr_metrics();
+        metrics
+            .refresh_generation
+            .set(self.refresh_generation.min(i64::MAX as u64) as i64);
+        metrics
+            .unique_patterns
+            .set(self.plan.as_ref().map_or(0, ShardedMatrix::num_patterns) as i64);
+        metrics.cache_columns.set(self.cache.len() as i64);
+        metrics.cache_capacity.set(self.cache.capacity() as i64);
+        metrics.rows.set(self.candidates.len() as i64);
+        metrics.lfs.set(self.lfs.len() as i64);
+    }
+
     /// Drop all cached LF results (required after mutating registered
     /// candidates in place — see the type-level contract).
     pub fn invalidate_cache(&mut self) {
@@ -960,7 +1040,7 @@ impl IncrementalSession {
             }
         };
 
-        Ok(IncrementalSession {
+        let session = IncrementalSession {
             corpus,
             config,
             candidates,
@@ -978,7 +1058,13 @@ impl IncrementalSession {
             features_featurizer: None,
             last_marginals: None,
             disc,
-        })
+        };
+        // A thawed process starts with fresh (zero) counters, but the
+        // gauges describe reconstructed state — publish them now so the
+        // first scrape after a restart already shows the generation the
+        // snapshot carried.
+        session.publish_gauges();
+        Ok(session)
     }
 
     /// Bring labels up to date after any sequence of edits: re-execute
@@ -990,7 +1076,8 @@ impl IncrementalSession {
     /// Returns per-class probabilistic labels (`labels[row][class]`) and
     /// the [`RefreshReport`].
     pub fn refresh(&mut self) -> (Vec<Vec<f64>>, RefreshReport) {
-        let t_total = Instant::now();
+        let total_span = stage_span("total");
+        let stats_before = self.cache.stats();
         let m = self.candidates.len();
         let n = self.lfs.len();
         let cardinality = self.config.executor.cardinality;
@@ -999,7 +1086,7 @@ impl IncrementalSession {
         // 1. Bring every live column up to date in the cache, executing
         //    only what it cannot serve.
         // ------------------------------------------------------------------
-        let t_lf = Instant::now();
+        let lf_span = stage_span("lf_exec");
         let mut columns_reused = 0usize;
         let mut columns_recomputed = 0usize;
         let mut columns_extended = 0usize;
@@ -1035,12 +1122,12 @@ impl IncrementalSession {
         }
         let live: Vec<Fingerprint> = self.lfs.iter().map(|s| s.fingerprint).collect();
         self.cache.evict_to_capacity(&live);
-        let lf_time = t_lf.elapsed();
+        let lf_time = lf_span.finish();
 
         // ------------------------------------------------------------------
         // 2. Patch or assemble Λ.
         // ------------------------------------------------------------------
-        let t_asm = Instant::now();
+        let asm_span = stage_span("splice");
         let structural = live.len() != self.last_fingerprints.len();
         let changed_cols: Vec<usize> = if structural {
             Vec::new()
@@ -1148,12 +1235,12 @@ impl IncrementalSession {
             }
         }
         let lambda = self.lambda.as_ref().expect("Λ assembled above");
-        let assembly_time = t_asm.elapsed();
+        let assembly_time = asm_span.finish();
 
         // ------------------------------------------------------------------
         // 3. Strategy selection (Algorithm 1, with sweep reuse).
         // ------------------------------------------------------------------
-        let t_strat = Instant::now();
+        let strat_span = stage_span("strategy");
         let mut structure_reused = false;
         let (strategy, predicted) = if let Some(s) = &self.config.force_strategy {
             (s.clone(), f64::NAN)
@@ -1198,13 +1285,13 @@ impl IncrementalSession {
         {
             self.last_gm_strategy = Some((strategy.clone(), layout));
         }
-        let strategy_time = t_strat.elapsed();
+        let strategy_time = strat_span.finish();
 
         // ------------------------------------------------------------------
         // 4. Labels: build the selected backend and fit it — warm-started
         //    from the previous refresh's model when possible.
         // ------------------------------------------------------------------
-        let t_train = Instant::now();
+        let train_span = stage_span("fit");
         let scheme = LabelScheme::from_cardinality(lambda.cardinality());
         let mut model = self
             .config
@@ -1251,7 +1338,7 @@ impl IncrementalSession {
         let labels = model.marginals(lambda, plan);
         let backend = model.backend_name();
         self.model = Some(model);
-        let training_time = t_train.elapsed();
+        let training_time = train_span.finish();
 
         // ------------------------------------------------------------------
         // 5. Commit refresh bookkeeping and report.
@@ -1268,11 +1355,30 @@ impl IncrementalSession {
         } else {
             None
         };
+        // Publish this refresh's cache activity (deltas of the session's
+        // cumulative stats) and the session-shape gauges.
+        let label_density = lambda.label_density();
+        let stats_after = self.cache.stats();
+        let metrics = incr_metrics();
+        metrics.refreshes.inc();
+        metrics.cache_hits.add(stats_after.hits - stats_before.hits);
+        metrics
+            .cache_misses
+            .add(stats_after.misses - stats_before.misses);
+        metrics
+            .cache_extensions
+            .add(stats_after.extensions - stats_before.extensions);
+        metrics
+            .cache_evictions
+            .add(stats_after.evictions - stats_before.evictions);
+        let unique_patterns = self.plan.as_ref().map(ShardedMatrix::num_patterns);
+        self.publish_gauges();
+
         let report = RefreshReport {
             strategy,
             backend,
             predicted_advantage: predicted,
-            label_density: lambda.label_density(),
+            label_density,
             lambda_update,
             columns_reused,
             columns_recomputed,
@@ -1281,14 +1387,14 @@ impl IncrementalSession {
             structure_reused,
             warm_started,
             fit_epochs,
-            unique_patterns: self.plan.as_ref().map(ShardedMatrix::num_patterns),
-            cache: self.cache.stats(),
+            unique_patterns,
+            cache: stats_after,
             timings: RefreshTimings {
                 lf_application: lf_time,
                 matrix_assembly: assembly_time,
                 strategy_selection: strategy_time,
                 training: training_time,
-                total: t_total.elapsed(),
+                total: total_span.finish(),
             },
         };
         (labels, report)

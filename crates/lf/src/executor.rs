@@ -7,9 +7,79 @@
 //! The output is bit-for-bit identical regardless of thread count.
 
 use snorkel_context::{CandidateId, Corpus};
-use snorkel_matrix::{LabelMatrix, LabelMatrixBuilder, Vote};
+use snorkel_matrix::{is_legal_vote, LabelMatrix, LabelMatrixBuilder, Vote, ABSTAIN};
 
 use crate::traits::BoxedLf;
+
+/// Per-LF tallies for one `apply` call, accumulated locally (plain
+/// integers, no atomics) and flushed to the global registry once per LF
+/// when the call completes.
+#[derive(Clone, Copy, Default)]
+struct LfTally {
+    invocations: u64,
+    abstains: u64,
+    /// Votes outside the matrix's legal range for its cardinality. The
+    /// matrix builder rejects these downstream; the counter exists so a
+    /// misbehaving LF is visible in a `METRICS` scrape, not only as a
+    /// panic in a log.
+    errors: u64,
+}
+
+impl LfTally {
+    #[inline]
+    fn observe(&mut self, cardinality: u8, v: Vote) {
+        self.invocations += 1;
+        if v == ABSTAIN {
+            self.abstains += 1;
+        } else if !is_legal_vote(cardinality, v) {
+            self.errors += 1;
+        }
+    }
+
+    fn merge(&mut self, other: LfTally) {
+        self.invocations += other.invocations;
+        self.abstains += other.abstains;
+        self.errors += other.errors;
+    }
+}
+
+/// Accumulates per-LF tallies during an `apply` call and publishes them
+/// as `snorkel_lf_{invocations,abstains,errors}_total{lf="…"}` on drop
+/// — so illegal votes are already counted when the matrix layer's
+/// rejection panic unwinds through the executor.
+struct TallyGuard<'a> {
+    lfs: &'a [BoxedLf],
+    tallies: Vec<LfTally>,
+}
+
+impl<'a> TallyGuard<'a> {
+    fn new(lfs: &'a [BoxedLf]) -> Self {
+        TallyGuard {
+            lfs,
+            tallies: vec![LfTally::default(); lfs.len()],
+        }
+    }
+}
+
+impl Drop for TallyGuard<'_> {
+    fn drop(&mut self) {
+        let registry = snorkel_obs::global();
+        for (lf, tally) in self.lfs.iter().zip(&self.tallies) {
+            let labels = [("lf", lf.name())];
+            registry
+                .counter("snorkel_lf_invocations_total", &labels)
+                .add(tally.invocations);
+            registry
+                .counter("snorkel_lf_abstains_total", &labels)
+                .add(tally.abstains);
+            if tally.errors > 0 {
+                registry
+                    .counter("snorkel_lf_errors_total", &labels)
+                    .add(tally.errors);
+            }
+        }
+    }
+}
 
 /// Applies LF suites, optionally across threads.
 #[derive(Clone, Copy, Debug)]
@@ -75,36 +145,44 @@ impl LfExecutor {
         let n = lfs.len();
         let mut builder = LabelMatrixBuilder::with_cardinality(m, n, self.cardinality);
 
+        let mut guard = TallyGuard::new(lfs);
         let parallelism = self.effective_parallelism();
         if parallelism <= 1 || m < 2 {
             for (row, &cid) in candidates.iter().enumerate() {
                 let view = corpus.candidate(cid);
                 for (col, lf) in lfs.iter().enumerate() {
-                    builder.set(row, col, lf.label(&view));
+                    let v = lf.label(&view);
+                    guard.tallies[col].observe(self.cardinality, v);
+                    builder.set(row, col, v);
                 }
             }
             return builder.build();
         }
 
+        // One worker's output: its (row, col, vote) triplets plus the
+        // per-LF tallies it accumulated locally.
+        type ChunkOutput = (Vec<(usize, usize, Vote)>, Vec<LfTally>);
         let threads = parallelism.min(m);
         let chunk = m.div_ceil(threads);
-        let mut chunk_outputs: Vec<Vec<(usize, usize, Vote)>> = Vec::new();
+        let mut chunk_outputs: Vec<ChunkOutput> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (t, cand_chunk) in candidates.chunks(chunk).enumerate() {
                 let base = t * chunk;
                 handles.push(scope.spawn(move || {
                     let mut triplets = Vec::new();
+                    let mut local = vec![LfTally::default(); n];
                     for (off, &cid) in cand_chunk.iter().enumerate() {
                         let view = corpus.candidate(cid);
                         for (col, lf) in lfs.iter().enumerate() {
                             let v = lf.label(&view);
+                            local[col].observe(self.cardinality, v);
                             if v != 0 {
                                 triplets.push((base + off, col, v));
                             }
                         }
                     }
-                    triplets
+                    (triplets, local)
                 }));
             }
             for h in handles {
@@ -112,7 +190,10 @@ impl LfExecutor {
             }
         });
 
-        for triplets in chunk_outputs {
+        for (triplets, local) in chunk_outputs {
+            for (col, tally) in local.into_iter().enumerate() {
+                guard.tallies[col].merge(tally);
+            }
             for (i, j, v) in triplets {
                 builder.set(i, j, v);
             }
@@ -236,6 +317,46 @@ mod tests {
     #[should_panic(expected = "cardinality must be at least 2")]
     fn cardinality_one_rejected() {
         let _ = LfExecutor::new().with_cardinality(1);
+    }
+
+    #[test]
+    fn apply_publishes_per_lf_counters() {
+        let (c, ids) = corpus(9);
+        let registry = snorkel_obs::global();
+        // The global registry is shared across tests, so assert deltas.
+        let inv = registry.counter("snorkel_lf_invocations_total", &[("lf", "lf_abstainer")]);
+        let abs = registry.counter("snorkel_lf_abstains_total", &[("lf", "lf_abstainer")]);
+        let causes_abs = registry.counter("snorkel_lf_abstains_total", &[("lf", "lf_causes")]);
+        let (inv0, abs0, causes_abs0) = (inv.get(), abs.get(), causes_abs.get());
+        let _ = LfExecutor::new().apply(&suite(), &c, &ids);
+        assert_eq!(inv.get() - inv0, 9);
+        assert_eq!(abs.get() - abs0, 9, "lf_abstainer always abstains");
+        assert_eq!(
+            causes_abs.get() - causes_abs0,
+            6,
+            "lf_causes votes on every third"
+        );
+        // Parallel path flushes the same tallies.
+        let _ = LfExecutor::new()
+            .with_parallelism(4)
+            .apply(&suite(), &c, &ids);
+        assert_eq!(inv.get() - inv0, 18);
+        assert_eq!(abs.get() - abs0, 18);
+    }
+
+    #[test]
+    fn illegal_votes_are_counted_as_errors() {
+        let (c, ids) = corpus(3);
+        let bad = vec![lf("lf_bad", |_| 99)];
+        let errs = snorkel_obs::global().counter("snorkel_lf_errors_total", &[("lf", "lf_bad")]);
+        let before = errs.get();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            LfExecutor::new().apply(&bad, &c, &ids)
+        }));
+        // The matrix layer still rejects the votes (panicking on the
+        // first one); the guard flushes what it saw during unwinding.
+        assert!(result.is_err(), "illegal votes are rejected downstream");
+        assert_eq!(errs.get() - before, 1);
     }
 
     #[test]

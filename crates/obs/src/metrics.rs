@@ -1,0 +1,298 @@
+//! The three metric primitives: counters, gauges, and log-scale
+//! histograms. All operations are single atomic instructions with
+//! `Relaxed` ordering — metrics are monotone statistics, not
+//! synchronization edges — and none of them allocates.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down (sizes, generations, lags).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Set the value absolutely.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets (31 finite log-scale buckets plus one
+/// overflow bucket).
+pub const BUCKET_COUNT: usize = 32;
+
+/// Upper bound (inclusive) of the first bucket, in recorded units.
+/// Buckets double from there: bucket `i` covers values ≤ `128 << i`,
+/// and the last bucket is `+Inf`. With nanosecond recordings the finite
+/// range spans 128 ns .. ~137 s — wider than any request or refresh
+/// stage this workspace serves.
+const FIRST_BUCKET_BOUND: u64 = 128;
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the overflow
+/// bucket).
+fn bucket_bound(i: usize) -> u64 {
+    if i >= BUCKET_COUNT - 1 {
+        u64::MAX
+    } else {
+        FIRST_BUCKET_BOUND << i
+    }
+}
+
+/// Index of the bucket a value lands in.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v <= FIRST_BUCKET_BOUND {
+        return 0;
+    }
+    // Smallest i with 128 << i ≥ v, clamped into the overflow bucket.
+    let idx = (u64::BITS - (v - 1).leading_zeros()) as usize - 7;
+    idx.min(BUCKET_COUNT - 1)
+}
+
+/// A fixed-bucket log-scale histogram. By convention this workspace
+/// records **nanoseconds** and exposes seconds; the math is
+/// unit-agnostic.
+///
+/// The bucket layout is fixed at compile time so recording is a single
+/// `fetch_add` with no allocation, and exposition needs no
+/// configuration handshake.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one value (nanoseconds by convention).
+    #[inline]
+    pub fn record_ns(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        // In steady state most values don't beat the max; a relaxed load
+        // plus branch skips the CAS loop `fetch_max` compiles to. Racing
+        // writers both run `fetch_max`, so the final max is still exact.
+        if v > self.max.load(Ordering::Relaxed) {
+            self.max.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one duration.
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// A point-in-time copy of the bucket counts. The copy is taken
+    /// bucket by bucket, so a concurrent recording may or may not be
+    /// included — but cumulative bucket counts derived from one
+    /// snapshot are always internally consistent (monotone in `le`),
+    /// which is the property exposition needs.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned copy of a [`Histogram`]'s state, for quantile extraction
+/// and exposition.
+#[derive(Clone, Copy, Debug)]
+pub struct HistogramSnapshot {
+    /// Per-bucket (non-cumulative) counts.
+    pub buckets: [u64; BUCKET_COUNT],
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total recordings (the sum of the bucket counts).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Inclusive upper bound of bucket `i` (`u64::MAX` for the last).
+    pub fn bucket_bound(i: usize) -> u64 {
+        bucket_bound(i)
+    }
+
+    /// The smallest bucket upper bound covering quantile `q` of the
+    /// recordings (0 when empty). Resolution is one log₂ bucket — good
+    /// enough to tell 1 µs from 1 ms, which is what the tail-latency
+    /// dashboards need.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // The overflow bucket has no finite bound; report the
+                // observed max instead.
+                return if i == BUCKET_COUNT - 1 {
+                    self.max
+                } else {
+                    bucket_bound(i)
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`Self::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (see [`Self::quantile`]).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (see [`Self::quantile`]).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-10);
+        assert_eq!(g.get(), -3);
+    }
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(128), 0);
+        assert_eq!(bucket_index(129), 1);
+        assert_eq!(bucket_index(256), 1);
+        assert_eq!(bucket_index(257), 2);
+        assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT - 1);
+        // Every value lands in the bucket whose bound covers it.
+        for v in [5, 127, 128, 129, 1000, 1 << 20, (1 << 36) + 1] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_bound(i), "v={v} bucket {i}");
+            if i > 0 {
+                assert!(v > bucket_bound(i - 1), "v={v} bucket {i} too high");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().p50(), 0, "empty histogram");
+        // 90 fast recordings, 10 slow ones.
+        for _ in 0..90 {
+            h.record_ns(100); // bucket 0 (≤128)
+        }
+        for _ in 0..10 {
+            h.record_ns(1_000_000); // ~1ms
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.p50(), 128);
+        assert!(s.p95() >= 1_000_000 / 2, "p95 is in the slow bucket");
+        assert_eq!(s.max, 1_000_000);
+        assert_eq!(s.sum, 90 * 100 + 10 * 1_000_000);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket_reports_max() {
+        let h = Histogram::new();
+        h.record_ns(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.p99(), u64::MAX);
+    }
+
+    #[test]
+    fn record_duration() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(3));
+        assert_eq!(h.snapshot().sum, 3_000);
+    }
+}

@@ -1,0 +1,301 @@
+//! The metric registry: named, labeled handles and Prometheus
+//! text-format exposition.
+//!
+//! A registry is a map `metric name → family`, each family a map
+//! `label set → metric`. Handle resolution takes the registry lock;
+//! the returned `Arc` is then hit lock-free, so the hot path never
+//! contends here. Exposition walks `BTreeMap`s, so output order is
+//! deterministic (name-sorted families, label-sorted series).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot, BUCKET_COUNT};
+
+/// A metric's identity inside a family: its rendered label pairs.
+pub type Series = Vec<(String, String)>;
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// All series sharing one metric name (and therefore one type).
+struct Family {
+    series: BTreeMap<Series, Metric>,
+}
+
+/// A collection of named metrics with Prometheus-text exposition.
+///
+/// Most code records into [`crate::global`]; a fresh `Registry` is for
+/// tests (exact totals without cross-test interference) and embedders
+/// that want scoped scrapes.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+/// A metric name must be Prometheus-legal: `[a-zA-Z_:]` then
+/// `[a-zA-Z0-9_:]*`. Label names take the same shape minus the colon.
+fn valid_name(name: &str, colon_ok: bool) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    let head_ok = first.is_ascii_alphabetic() || first == '_' || (colon_ok && first == ':');
+    head_ok && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || (colon_ok && c == ':'))
+}
+
+fn canonical(labels: &[(&str, &str)]) -> Series {
+    let mut series: Series = labels
+        .iter()
+        .map(|(k, v)| {
+            assert!(valid_name(k, false), "illegal label name {k:?}");
+            (k.to_string(), v.to_string())
+        })
+        .collect();
+    series.sort();
+    series
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn resolve<T, F1, F2>(&self, name: &str, labels: &[(&str, &str)], make: F1, cast: F2) -> Arc<T>
+    where
+        F1: FnOnce() -> Metric,
+        F2: FnOnce(&Metric) -> Option<Arc<T>>,
+    {
+        assert!(valid_name(name, true), "illegal metric name {name:?}");
+        let series = canonical(labels);
+        let mut families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            series: BTreeMap::new(),
+        });
+        let metric = family.series.entry(series).or_insert_with(make);
+        cast(metric).unwrap_or_else(|| {
+            panic!(
+                "metric {name:?} is already registered as a {}",
+                metric.kind()
+            )
+        })
+    }
+
+    /// Get or register the counter `name{labels}`. Panics if the name
+    /// is already registered as a different metric type — that is a
+    /// misconfiguration, not a runtime condition.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.resolve(
+            name,
+            labels,
+            || Metric::Counter(Arc::new(Counter::new())),
+            |m| match m {
+                Metric::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Get or register the gauge `name{labels}` (panics on a type
+    /// conflict, like [`Self::counter`]).
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.resolve(
+            name,
+            labels,
+            || Metric::Gauge(Arc::new(Gauge::new())),
+            |m| match m {
+                Metric::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Get or register the histogram `name{labels}` (panics on a type
+    /// conflict, like [`Self::counter`]).
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.resolve(
+            name,
+            labels,
+            || Metric::Histogram(Arc::new(Histogram::new())),
+            |m| match m {
+                Metric::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Number of registered series (name + label-set combinations; a
+    /// histogram counts once, not per bucket).
+    pub fn num_series(&self) -> usize {
+        let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        families.values().map(|f| f.series.len()).sum()
+    }
+
+    /// Render the registry in Prometheus text exposition format.
+    ///
+    /// Counters and gauges emit one sample per series; histograms emit
+    /// cumulative `_bucket{le="…"}` samples (bounds in **seconds**,
+    /// nanosecond recordings assumed), `_sum` (seconds), and `_count`.
+    /// All values in one exposition come from per-series snapshots, so
+    /// bucket cumulatives are monotone and `_count` equals the `+Inf`
+    /// bucket — concurrent recording never produces a torn series.
+    pub fn expose(&self) -> String {
+        let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            let Some(kind) = family.series.values().next().map(Metric::kind) else {
+                continue;
+            };
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for (series, metric) in family.series.iter() {
+                match metric {
+                    Metric::Counter(c) => {
+                        let _ =
+                            writeln!(out, "{}{} {}", name, render_labels(series, None), c.get());
+                    }
+                    Metric::Gauge(g) => {
+                        let _ =
+                            writeln!(out, "{}{} {}", name, render_labels(series, None), g.get());
+                    }
+                    Metric::Histogram(h) => {
+                        expose_histogram(&mut out, name, series, h.snapshot());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn expose_histogram(out: &mut String, name: &str, series: &Series, snap: HistogramSnapshot) {
+    let mut cumulative = 0u64;
+    for (i, &count) in snap.buckets.iter().enumerate() {
+        cumulative += count;
+        let le = if i == BUCKET_COUNT - 1 {
+            "+Inf".to_string()
+        } else {
+            (HistogramSnapshot::bucket_bound(i) as f64 / 1e9).to_string()
+        };
+        let _ = writeln!(
+            out,
+            "{}_bucket{} {}",
+            name,
+            render_labels(series, Some(&le)),
+            cumulative
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{}_sum{} {}",
+        name,
+        render_labels(series, None),
+        snap.sum as f64 / 1e9
+    );
+    let _ = writeln!(
+        out,
+        "{}_count{} {}",
+        name,
+        render_labels(series, None),
+        cumulative
+    );
+}
+
+/// Render `{k="v",…}` (with Prometheus escaping), appending the `le`
+/// label when given; empty label sets render as nothing.
+fn render_labels(series: &Series, le: Option<&str>) -> String {
+    if series.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = series
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_returns_same_handle() {
+        let r = Registry::new();
+        let a = r.counter("x_total", &[("verb", "GET")]);
+        let b = r.counter("x_total", &[("verb", "GET")]);
+        a.inc();
+        assert_eq!(b.get(), 1, "one underlying counter");
+        // Label order does not matter.
+        let c = r.counter("y_total", &[("a", "1"), ("b", "2")]);
+        let d = r.counter("y_total", &[("b", "2"), ("a", "1")]);
+        c.inc();
+        assert_eq!(d.get(), 1);
+        assert_eq!(r.num_series(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_conflict_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x_total", &[]);
+        let _ = r.gauge("x_total", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal metric name")]
+    fn bad_name_panics() {
+        let _ = Registry::new().counter("0bad name", &[]);
+    }
+
+    #[test]
+    fn exposition_shape() {
+        let r = Registry::new();
+        r.counter("req_total", &[("verb", "A")]).add(3);
+        r.counter("req_total", &[("verb", "B")]).inc();
+        r.gauge("lag", &[]).set(-2);
+        r.histogram("lat_seconds", &[]).record_ns(1000);
+        let text = r.expose();
+        assert!(text.contains("# TYPE req_total counter"));
+        assert!(text.contains("req_total{verb=\"A\"} 3"));
+        assert!(text.contains("req_total{verb=\"B\"} 1"));
+        assert!(text.contains("# TYPE lag gauge"));
+        assert!(text.contains("lag -2"));
+        assert!(text.contains("# TYPE lat_seconds histogram"));
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("lat_seconds_count 1"));
+        assert!(text.contains("lat_seconds_sum 0.000001"));
+        // Deterministic: families name-sorted, series label-sorted.
+        assert_eq!(text, r.expose());
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter("c_total", &[("lf", "we\"ird\\lf\n")]).inc();
+        let text = r.expose();
+        assert!(text.contains(r#"c_total{lf="we\"ird\\lf\n"} 1"#));
+    }
+}

@@ -1,0 +1,341 @@
+//! A strict parser for the Prometheus text exposition format.
+//!
+//! [`validate_exposition`] checks every line of a scrape — comment
+//! grammar, sample grammar, label escaping, histogram bucket
+//! monotonicity, `_count` vs `+Inf` agreement — and reports what it
+//! saw. The serving tests and `scripts/serve_smoke.sh` lean on it so
+//! "the METRICS reply is parseable Prometheus text" is an asserted
+//! property, not an aspiration.
+
+use std::collections::BTreeMap;
+
+/// What a successfully validated exposition contained.
+#[derive(Clone, Debug, Default)]
+pub struct ExpositionSummary {
+    /// Distinct time series seen (name + label set; histogram
+    /// `_bucket`/`_sum`/`_count` samples collapse into one series).
+    pub series: usize,
+    /// Total sample lines.
+    pub samples: usize,
+    /// Metric family names in `# TYPE` declaration order.
+    pub families: Vec<String>,
+}
+
+impl ExpositionSummary {
+    /// Whether a family with this exact name was declared.
+    pub fn has_family(&self, name: &str) -> bool {
+        self.families.iter().any(|f| f == name)
+    }
+}
+
+/// Validate `text` as Prometheus text exposition format.
+///
+/// Returns a summary on success; on the first malformed line, returns
+/// `Err` naming the line number and the problem.
+pub fn validate_exposition(text: &str) -> Result<ExpositionSummary, String> {
+    let mut summary = ExpositionSummary::default();
+    // family name -> declared type
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    // series key (base name + labels minus `le`) -> cumulative bucket state
+    let mut buckets: BTreeMap<String, (f64, u64)> = BTreeMap::new();
+    // series key -> +Inf cumulative count, checked against _count
+    let mut inf_counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut series_seen: BTreeMap<String, ()> = BTreeMap::new();
+
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let err = |msg: String| format!("line {lineno}: {msg} ({line:?})");
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.trim_start().splitn(3, ' ');
+            match parts.next() {
+                Some("TYPE") => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| err("TYPE without metric name".into()))?;
+                    if !valid_metric_name(name) {
+                        return Err(err(format!("illegal metric name {name:?}")));
+                    }
+                    let kind = parts
+                        .next()
+                        .ok_or_else(|| err("TYPE without metric type".into()))?;
+                    if !matches!(
+                        kind,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) {
+                        return Err(err(format!("unknown metric type {kind:?}")));
+                    }
+                    if types.insert(name.to_string(), kind.to_string()).is_some() {
+                        return Err(err(format!("duplicate TYPE for {name:?}")));
+                    }
+                    summary.families.push(name.to_string());
+                }
+                Some("HELP") if parts.next().is_none() => {
+                    return Err(err("HELP without metric name".into()));
+                }
+                _ => {} // free-form comment: legal, ignored
+            }
+            continue;
+        }
+
+        // Sample line: name[{labels}] value [timestamp]
+        let (name, rest) = parse_name(line).map_err(&err)?;
+        let (labels, rest) = parse_labels(rest).map_err(&err)?;
+        let mut fields = rest.split_whitespace();
+        let value_str = fields
+            .next()
+            .ok_or_else(|| err("sample without value".into()))?;
+        let value = parse_value(value_str).map_err(&err)?;
+        if let Some(ts) = fields.next() {
+            if ts.parse::<i64>().is_err() {
+                return Err(err(format!("bad timestamp {ts:?}")));
+            }
+        }
+        if fields.next().is_some() {
+            return Err(err("trailing garbage after sample".into()));
+        }
+        summary.samples += 1;
+
+        // Resolve the sample back to its family: histogram samples use
+        // suffixed names.
+        let (family, suffix) = match name.strip_suffix("_bucket") {
+            Some(base) if types.get(base).map(String::as_str) == Some("histogram") => {
+                (base.to_string(), Some("bucket"))
+            }
+            _ => match name.strip_suffix("_sum") {
+                Some(base) if types.get(base).map(String::as_str) == Some("histogram") => {
+                    (base.to_string(), Some("sum"))
+                }
+                _ => match name.strip_suffix("_count") {
+                    Some(base) if types.get(base).map(String::as_str) == Some("histogram") => {
+                        (base.to_string(), Some("count"))
+                    }
+                    _ => (name.to_string(), None),
+                },
+            },
+        };
+        if !types.contains_key(&family) {
+            return Err(err(format!("sample for undeclared family {family:?}")));
+        }
+        if types.get(&family).map(String::as_str) == Some("histogram") && suffix.is_none() {
+            return Err(err(format!(
+                "bare sample {name:?} for histogram family {family:?}"
+            )));
+        }
+
+        // Series identity: family + labels minus `le`.
+        let mut le: Option<String> = None;
+        let mut ident: Vec<(String, String)> = Vec::new();
+        for (k, v) in labels {
+            if suffix == Some("bucket") && k == "le" {
+                le = Some(v);
+            } else {
+                ident.push((k, v));
+            }
+        }
+        ident.sort();
+        let key = format!("{family}{ident:?}");
+        series_seen.entry(key.clone()).or_insert(());
+
+        match suffix {
+            Some("bucket") => {
+                let le = le.ok_or_else(|| err("histogram bucket without le label".into()))?;
+                let bound = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse::<f64>()
+                        .map_err(|_| err(format!("bad le bound {le:?}")))?
+                };
+                let count = value as u64;
+                if let Some((prev_bound, prev_count)) = buckets.get(&key) {
+                    if bound <= *prev_bound {
+                        return Err(err(format!(
+                            "bucket bounds not increasing: {bound} after {prev_bound}"
+                        )));
+                    }
+                    if count < *prev_count {
+                        return Err(err(format!(
+                            "bucket counts not cumulative: {count} after {prev_count}"
+                        )));
+                    }
+                }
+                buckets.insert(key.clone(), (bound, count));
+                if bound.is_infinite() {
+                    inf_counts.insert(key, count);
+                }
+            }
+            Some("count") => {
+                if let Some(inf) = inf_counts.get(&key) {
+                    if *inf != value as u64 {
+                        return Err(err(format!(
+                            "_count {} disagrees with +Inf bucket {}",
+                            value as u64, inf
+                        )));
+                    }
+                } else {
+                    return Err(err("_count before +Inf bucket".into()));
+                }
+            }
+            _ => {}
+        }
+    }
+    summary.series = series_seen.len();
+    Ok(summary)
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Split a sample line into its metric name and the remainder
+/// (starting at `{` or whitespace).
+fn parse_name(line: &str) -> Result<(&str, &str), String> {
+    let end = line
+        .find(|c: char| c == '{' || c.is_whitespace())
+        .ok_or_else(|| "sample without value".to_string())?;
+    let name = &line[..end];
+    if !valid_metric_name(name) {
+        return Err(format!("illegal metric name {name:?}"));
+    }
+    Ok((name, &line[end..]))
+}
+
+/// Label pairs parsed off a sample line, in source order.
+type LabelPairs = Vec<(String, String)>;
+
+/// Parse an optional `{k="v",…}` block; returns the pairs and the
+/// remainder after `}`.
+fn parse_labels(rest: &str) -> Result<(LabelPairs, &str), String> {
+    let Some(body) = rest.strip_prefix('{') else {
+        return Ok((Vec::new(), rest));
+    };
+    let mut labels = Vec::new();
+    let mut chars = body.char_indices().peekable();
+    loop {
+        // label name
+        let start = match chars.peek() {
+            Some(&(i, '}')) => {
+                chars.next();
+                return Ok((labels, &body[i + 1..]));
+            }
+            Some(&(i, _)) => i,
+            None => return Err("unterminated label block".into()),
+        };
+        let mut name_end = start;
+        while let Some(&(i, c)) = chars.peek() {
+            if c == '=' {
+                name_end = i;
+                break;
+            }
+            chars.next();
+        }
+        let name = &body[start..name_end];
+        if !valid_label_name(name) {
+            return Err(format!("illegal label name {name:?}"));
+        }
+        // consume `="`
+        if chars.next().map(|(_, c)| c) != Some('=') {
+            return Err("label without '='".into());
+        }
+        if chars.next().map(|(_, c)| c) != Some('"') {
+            return Err("label value not quoted".into());
+        }
+        // value with escapes
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some((_, '\\')) => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some((_, '"')) => break,
+                Some((_, c)) => value.push(c),
+                None => return Err("unterminated label value".into()),
+            }
+        }
+        labels.push((name.to_string(), value));
+        match chars.next() {
+            Some((_, ',')) => continue,
+            Some((i, '}')) => return Ok((labels, &body[i + 1..])),
+            other => return Err(format!("expected ',' or '}}' after label, got {other:?}")),
+        }
+    }
+}
+
+fn parse_value(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        _ => s
+            .parse::<f64>()
+            .map_err(|_| format!("bad sample value {s:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_own_exposition() {
+        let r = crate::Registry::new();
+        r.counter("a_total", &[("verb", "X")]).add(2);
+        r.gauge("b", &[]).set(-1);
+        r.histogram("c_seconds", &[("stage", "fit")]).record_ns(500);
+        r.histogram("c_seconds", &[("stage", "lf")])
+            .record_ns(5_000_000);
+        r.counter("weird_total", &[("lf", "a\"b\\c\nd")]).inc();
+        let summary = validate_exposition(&r.expose()).expect("own exposition validates");
+        assert_eq!(summary.series, 5);
+        assert!(summary.has_family("a_total"));
+        assert!(summary.has_family("c_seconds"));
+        assert!(summary.samples > 5, "histograms expand to many samples");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for (text, why) in [
+            ("garbage line here", "undeclared family / bad name"),
+            ("# TYPE x bogus\n", "unknown type"),
+            ("# TYPE x counter\nx nope\n", "bad value"),
+            ("# TYPE x counter\ny 1\n", "sample for undeclared family"),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"0.1\"} 5\nh_bucket{le=\"0.2\"} 3\n",
+                "non-cumulative buckets",
+            ),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"0.2\"} 5\nh_bucket{le=\"0.1\"} 5\n",
+                "non-increasing bounds",
+            ),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_count 4\n",
+                "_count mismatch",
+            ),
+            ("# TYPE h histogram\nh 3\n", "bare histogram sample"),
+            ("# TYPE x counter\nx{l=\"unterminated} 1\n", "bad labels"),
+        ] {
+            assert!(validate_exposition(text).is_err(), "should reject: {why}");
+        }
+    }
+
+    #[test]
+    fn accepts_untyped_extras() {
+        let text = "# a free-form comment\n# TYPE up gauge\nup 1\n\n# TYPE v untyped\nv{a=\"b\"} 3.5 1700000000\n";
+        let s = validate_exposition(text).expect("valid");
+        assert_eq!(s.series, 2);
+        assert_eq!(s.samples, 2);
+    }
+}

@@ -1,0 +1,109 @@
+//! Concurrency stress: 8 threads hammer counters, gauges, and
+//! histograms through a shared registry while a scraper thread
+//! exposes continuously. Asserts exact totals (no lost increments)
+//! and that every mid-flight exposition parses as valid Prometheus
+//! text (no torn series).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use snorkel_obs::{validate_exposition, Registry};
+
+const THREADS: usize = 8;
+const ITERS: u64 = 50_000;
+
+#[test]
+fn eight_threads_lose_nothing_and_exposition_never_tears() {
+    let registry = Arc::new(Registry::new());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // A scraper racing the writers: every scrape must parse.
+    let scraper = {
+        let registry = Arc::clone(&registry);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut scrapes = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let text = registry.expose();
+                if !text.is_empty() {
+                    validate_exposition(&text).unwrap_or_else(|e| panic!("torn exposition: {e}"));
+                }
+                scrapes += 1;
+            }
+            scrapes
+        })
+    };
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let registry = Arc::clone(&registry);
+            thread::spawn(move || {
+                // Half the threads share one series; half get their own —
+                // exercising both contended and uncontended paths.
+                let shard = if t % 2 == 0 { "shared" } else { "own" };
+                let counter = registry.counter(
+                    "stress_ops_total",
+                    &[
+                        ("shard", shard),
+                        ("thread", if t % 2 == 0 { "all" } else { NAMES[t] }),
+                    ],
+                );
+                let gauge = registry.gauge("stress_level", &[("thread", NAMES[t])]);
+                let hist = registry.histogram("stress_seconds", &[("shard", shard)]);
+                for i in 0..ITERS {
+                    counter.inc();
+                    gauge.set(i as i64);
+                    hist.record_ns(i % 10_000);
+                }
+            })
+        })
+        .collect();
+
+    for w in workers {
+        w.join().expect("worker");
+    }
+    stop.store(true, Ordering::Relaxed);
+    let scrapes = scraper.join().expect("scraper");
+    assert!(scrapes > 0);
+
+    // Exact totals: no increment was lost.
+    let shared_total: u64 = registry
+        .counter(
+            "stress_ops_total",
+            &[("shard", "shared"), ("thread", "all")],
+        )
+        .get();
+    assert_eq!(shared_total, (THREADS as u64 / 2) * ITERS);
+    let mut own_total = 0u64;
+    for t in (1..THREADS).step_by(2) {
+        own_total += registry
+            .counter(
+                "stress_ops_total",
+                &[("shard", "own"), ("thread", NAMES[t])],
+            )
+            .get();
+    }
+    assert_eq!(own_total, (THREADS as u64 / 2) * ITERS);
+
+    // Histograms saw every recording.
+    let mut hist_count = 0u64;
+    for shard in ["shared", "own"] {
+        hist_count += registry
+            .histogram("stress_seconds", &[("shard", shard)])
+            .snapshot()
+            .count();
+    }
+    assert_eq!(hist_count, THREADS as u64 * ITERS);
+
+    // The final exposition reflects the exact totals too.
+    let text = registry.expose();
+    let summary = validate_exposition(&text).expect("final exposition");
+    assert!(summary.series >= THREADS + 2);
+    assert!(text.contains(&format!(
+        "stress_ops_total{{shard=\"shared\",thread=\"all\"}} {}",
+        (THREADS as u64 / 2) * ITERS
+    )));
+}
+
+static NAMES: [&str; 8] = ["t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7"];

@@ -21,8 +21,13 @@
 //! REFRESH REMOVE <name>                        drop an LF, then refresh
 //! SNAPSHOT [path]                              write a snapshot now
 //! STATS                                        counters and suite layout
+//! METRICS                                      Prometheus-text exposition (multi-line)
+//! SLOWLOG <n>                                  n slowest recent requests (multi-line)
 //! SHUTDOWN                                     graceful stop
 //! ```
+//!
+//! `METRICS` and `SLOWLOG` are the only verbs with multi-line replies:
+//! a header `OK … lines=<k>` followed by exactly `k` raw payload lines.
 //!
 //! The normative wire grammar — every verb, reply shape, and error —
 //! lives in `docs/PROTOCOL.md`; this module documents the subset it
@@ -236,8 +241,36 @@ pub enum Request {
     },
     /// Counters and suite layout.
     Stats,
+    /// Prometheus-text metrics exposition (multi-line reply).
+    Metrics,
+    /// The `n` slowest recent requests from the trace ring (multi-line
+    /// reply).
+    Slowlog {
+        /// Maximum entries to return.
+        n: usize,
+    },
     /// Graceful stop.
     Shutdown,
+}
+
+impl Request {
+    /// The wire verb this request arrived as — the `verb` label of the
+    /// serving layer's per-verb metrics.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Ping => "PING",
+            Request::Marginal { .. } => "MARGINAL",
+            Request::Apply { .. } => "APPLY",
+            Request::Predict { .. } => "PREDICT",
+            Request::PredictText { .. } => "PREDICT_TEXT",
+            Request::Refresh(_) => "REFRESH",
+            Request::Snapshot { .. } => "SNAPSHOT",
+            Request::Stats => "STATS",
+            Request::Metrics => "METRICS",
+            Request::Slowlog { .. } => "SLOWLOG",
+            Request::Shutdown => "SHUTDOWN",
+        }
+    }
 }
 
 /// Shared grammar of `APPLY` and `PREDICT_TEXT`: two token-range spans
@@ -340,6 +373,19 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             path: (!rest.is_empty()).then(|| rest.to_string()),
         }),
         "STATS" => Ok(Request::Stats),
+        "METRICS" => Ok(Request::Metrics),
+        "SLOWLOG" => {
+            if rest.is_empty() {
+                return Err("SLOWLOG takes an entry count".into());
+            }
+            let n: usize = rest
+                .parse()
+                .map_err(|_| format!("bad SLOWLOG count {rest:?}"))?;
+            if n == 0 {
+                return Err("SLOWLOG count must be positive".into());
+            }
+            Ok(Request::Slowlog { n })
+        }
         "SHUTDOWN" => Ok(Request::Shutdown),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -441,6 +487,33 @@ mod tests {
         );
         assert!(parse_request("REFRESH DROP lf_x").is_err());
         assert!(parse_request("REFRESH REMOVE a b").is_err());
+    }
+
+    #[test]
+    fn parses_metrics_and_slowlog() {
+        assert_eq!(parse_request("METRICS").unwrap(), Request::Metrics);
+        assert_eq!(
+            parse_request("SLOWLOG 10").unwrap(),
+            Request::Slowlog { n: 10 }
+        );
+        assert!(parse_request("SLOWLOG").is_err(), "count required");
+        assert!(parse_request("SLOWLOG 0").is_err(), "zero count");
+        assert!(parse_request("SLOWLOG ten").is_err());
+    }
+
+    #[test]
+    fn every_request_names_its_verb() {
+        for (line, verb) in [
+            ("PING", "PING"),
+            ("MARGINAL 0:1", "MARGINAL"),
+            ("STATS", "STATS"),
+            ("METRICS", "METRICS"),
+            ("SLOWLOG 5", "SLOWLOG"),
+            ("REFRESH", "REFRESH"),
+            ("SHUTDOWN", "SHUTDOWN"),
+        ] {
+            assert_eq!(parse_request(line).unwrap().verb(), verb);
+        }
     }
 
     #[test]

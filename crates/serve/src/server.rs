@@ -22,15 +22,79 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use snorkel_context::Corpus;
 use snorkel_core::model::LabelScheme;
 use snorkel_incr::IncrementalSession;
 use snorkel_lf::Vote;
+use snorkel_obs::{trace_level, Counter, Gauge, Histogram, TraceLevel, TraceRing};
 
 use crate::protocol::{format_probs, parse_request, Request, SuiteEdit};
 use crate::snap::{SnapError, Snapshot};
+
+/// Every wire verb, in the order `ServeObs` stores their metric
+/// handles.
+const VERBS: [&str; 11] = [
+    "PING",
+    "MARGINAL",
+    "APPLY",
+    "PREDICT",
+    "PREDICT_TEXT",
+    "REFRESH",
+    "SNAPSHOT",
+    "STATS",
+    "METRICS",
+    "SLOWLOG",
+    "SHUTDOWN",
+];
+
+/// One verb's request-path handles.
+struct VerbMetrics {
+    requests: Arc<Counter>,
+    errors: Arc<Counter>,
+    latency: Arc<Histogram>,
+}
+
+/// Pre-resolved global-registry handles for the serving layer. Resolved
+/// once at server start, so the per-request path is a few relaxed
+/// atomics and never touches the registry lock (and never allocates).
+struct ServeObs {
+    verbs: [VerbMetrics; VERBS.len()],
+    parse_errors: Arc<Counter>,
+    lock_wait_read: Arc<Histogram>,
+    lock_wait_write: Arc<Histogram>,
+    disc_gen_lag: Arc<Gauge>,
+    memo_size: Arc<Gauge>,
+    memo_generation: Arc<Gauge>,
+}
+
+impl ServeObs {
+    fn resolve() -> ServeObs {
+        let r = snorkel_obs::global();
+        ServeObs {
+            verbs: VERBS.map(|verb| VerbMetrics {
+                requests: r.counter("snorkel_serve_requests_total", &[("verb", verb)]),
+                errors: r.counter("snorkel_serve_errors_total", &[("verb", verb)]),
+                latency: r.histogram("snorkel_serve_request_seconds", &[("verb", verb)]),
+            }),
+            parse_errors: r.counter("snorkel_serve_parse_errors_total", &[]),
+            lock_wait_read: r.histogram("snorkel_serve_lock_wait_seconds", &[("lock", "read")]),
+            lock_wait_write: r.histogram("snorkel_serve_lock_wait_seconds", &[("lock", "write")]),
+            disc_gen_lag: r.gauge("snorkel_serve_disc_gen_lag", &[]),
+            memo_size: r.gauge("snorkel_serve_memo_size", &[]),
+            memo_generation: r.gauge("snorkel_serve_memo_generation", &[]),
+        }
+    }
+
+    fn verb(&self, verb: &'static str) -> &VerbMetrics {
+        let idx = VERBS
+            .iter()
+            .position(|&v| std::ptr::eq(v.as_ptr(), verb.as_ptr()) || v == verb)
+            .expect("every Request::verb() value is in VERBS");
+        &self.verbs[idx]
+    }
+}
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -84,6 +148,7 @@ struct Inner {
     memo_hits: AtomicU64,
     refreshes: AtomicU64,
     snapshots_written: AtomicU64,
+    obs: ServeObs,
     /// Signaled on shutdown so the auto-snapshotter exits promptly.
     tick: Mutex<()>,
     tick_cv: Condvar,
@@ -121,6 +186,7 @@ impl LabelServer {
             memo_hits: AtomicU64::new(0),
             refreshes: AtomicU64::new(0),
             snapshots_written: AtomicU64::new(0),
+            obs: ServeObs::resolve(),
             tick: Mutex::new(()),
             tick_cv: Condvar::new(),
         });
@@ -195,6 +261,16 @@ impl LabelServer {
         }
         if let Some(path) = self.inner.snapshot_path.clone() {
             write_snapshot(&self.inner, &path)?;
+            // Final metrics dump next to the final snapshot: counters die
+            // with the process, so this exposition is the only record of
+            // the run once the server is gone.
+            {
+                let state = read_state(&self.inner);
+                publish_serve_gauges(&self.inner, &state);
+            }
+            let mut metrics_path = path.into_os_string();
+            metrics_path.push(".metrics");
+            let _ = std::fs::write(PathBuf::from(metrics_path), snorkel_obs::global().expose());
         }
         Ok(())
     }
@@ -231,9 +307,60 @@ fn write_unpoisoned<'a, T>(l: &'a RwLock<T>) -> std::sync::RwLockWriteGuard<'a, 
     l.write().unwrap_or_else(|e| e.into_inner())
 }
 
+/// Take the state read lock, feeding `snorkel_serve_lock_wait_seconds`.
+/// The histogram records *waits*: an uncontended `try_read` acquisition
+/// records nothing and never touches the clock, keeping the `MARGINAL`
+/// hot path cheap; only a contended acquisition (which is already
+/// blocking) pays for `Instant` and lands a sample.
+fn read_state<'a>(inner: &'a Inner) -> std::sync::RwLockReadGuard<'a, ServeState> {
+    match inner.state.try_read() {
+        Ok(g) => g,
+        Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+        Err(std::sync::TryLockError::WouldBlock) => {
+            let start = Instant::now();
+            let g = read_unpoisoned(&inner.state);
+            inner.obs.lock_wait_read.record(start.elapsed());
+            g
+        }
+    }
+}
+
+/// Take the state write lock, feeding the `lock="write"` wait histogram
+/// (same try-first, contended-only shape as [`read_state`]).
+fn write_state<'a>(inner: &'a Inner) -> std::sync::RwLockWriteGuard<'a, ServeState> {
+    match inner.state.try_write() {
+        Ok(g) => g,
+        Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+        Err(std::sync::TryLockError::WouldBlock) => {
+            let start = Instant::now();
+            let g = write_unpoisoned(&inner.state);
+            inner.obs.lock_wait_write.record(start.elapsed());
+            g
+        }
+    }
+}
+
+/// Publish the point-in-time serve gauges (memo occupancy and how far
+/// the distilled model lags the label model). Called from the `STATS`
+/// and `METRICS` handlers rather than the `MARGINAL` hot path — gauges
+/// describe state, so refreshing them at observation time is enough.
+fn publish_serve_gauges(inner: &Inner, state: &ServeState) {
+    let lag = state
+        .session
+        .disc()
+        .map_or(0, |d| state.generation.saturating_sub(d.generation));
+    inner.obs.disc_gen_lag.set(lag.min(i64::MAX as u64) as i64);
+    let memo = lock_unpoisoned(&inner.memo);
+    inner.obs.memo_size.set(memo.map.len() as i64);
+    inner
+        .obs
+        .memo_generation
+        .set(memo.generation.min(i64::MAX as u64) as i64);
+}
+
 fn write_snapshot(inner: &Inner, path: &std::path::Path) -> Result<u64, SnapError> {
     let snapshot = {
-        let state = read_unpoisoned(&inner.state);
+        let state = read_state(inner);
         Snapshot {
             session: state.session.freeze(),
             train: state.session.config().train.clone(),
@@ -242,6 +369,17 @@ fn write_snapshot(inner: &Inner, path: &std::path::Path) -> Result<u64, SnapErro
     let bytes = snapshot.write_file(path)?;
     inner.snapshots_written.fetch_add(1, Ordering::Relaxed);
     Ok(bytes)
+}
+
+/// Close out one request's timing: latency histogram plus a trace-ring
+/// entry for `SLOWLOG` (unless tracing is off via `SNORKEL_OBS_TRACE`).
+#[inline]
+fn record_request(vm: &VerbMetrics, verb: &'static str, start: Instant) {
+    let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    vm.latency.record_ns(ns);
+    if trace_level() >= TraceLevel::Info {
+        TraceRing::global().record(verb, ns);
+    }
 }
 
 /// Per-connection loop: read request lines, write `OK`/`ERR` lines.
@@ -263,15 +401,39 @@ fn handle_connection(inner: &Inner, stream: TcpStream) {
         }
         let text = String::from_utf8_lossy(&line);
         let response = match parse_request(&text) {
-            Err(e) => format!("ERR {e}"),
-            Ok(Request::Shutdown) => {
-                let _ = writer.write_all(b"OK bye\n");
-                let _ = writer.flush();
-                trigger_shutdown(inner);
-                return;
+            Err(e) => {
+                inner.obs.parse_errors.inc();
+                format!("ERR {e}")
             }
-            Ok(req) => handle_request(inner, req),
+            Ok(req) => {
+                // Per-verb accounting: latency into the verb's histogram
+                // and the trace ring (SLOWLOG), counts per verb. Handles
+                // were resolved at server start, so nothing here
+                // allocates or locks the registry; timing is inlined
+                // (rather than a `Span`, which would clone an `Arc` per
+                // request) to keep the read path under its overhead
+                // budget.
+                let verb = req.verb();
+                let vm = inner.obs.verb(verb);
+                vm.requests.inc();
+                let start = Instant::now();
+                if matches!(req, Request::Shutdown) {
+                    let _ = writer.write_all(b"OK bye\n");
+                    let _ = writer.flush();
+                    record_request(vm, verb, start);
+                    trigger_shutdown(inner);
+                    return;
+                }
+                let response = handle_request(inner, req);
+                record_request(vm, verb, start);
+                if response.starts_with("ERR") {
+                    vm.errors.inc();
+                }
+                response
+            }
         };
+        // METRICS/SLOWLOG responses embed payload newlines; the header
+        // line's `lines=<k>` tells clients how much follows.
         if writer
             .write_all(format!("{response}\n").as_bytes())
             .and_then(|()| writer.flush())
@@ -357,8 +519,13 @@ fn handle_request(inner: &Inner, req: Request) -> String {
             }
         }
         Request::Stats => {
-            let state = read_unpoisoned(&inner.state);
+            let state = read_state(inner);
+            publish_serve_gauges(inner, &state);
             let cache = state.session.cache_stats();
+            let (memo_size, memo_gen) = {
+                let memo = lock_unpoisoned(&inner.memo);
+                (memo.map.len(), memo.generation)
+            };
             let disc = match state.session.disc() {
                 None => "-".to_string(),
                 Some(d) => format!(
@@ -374,6 +541,7 @@ fn handle_request(inner: &Inner, req: Request) -> String {
             format!(
                 "OK gen={} rows={} lfs={} backend={} disc_gen={disc} queries={} memo_hits={} \
                  refreshes={} snapshots={} cache_hits={} cache_misses={} cache_extensions={} \
+                 cache_cols={} cache_cap={} memo_size={memo_size} memo_gen={memo_gen} \
                  lf_names={}",
                 state.generation,
                 state.session.num_candidates(),
@@ -386,11 +554,49 @@ fn handle_request(inner: &Inner, req: Request) -> String {
                 cache.hits,
                 cache.misses,
                 cache.extensions,
+                state.session.cache_len(),
+                state.session.cache_capacity(),
                 state.session.lf_names().join(","),
             )
         }
+        Request::Metrics => handle_metrics(inner),
+        Request::Slowlog { n } => handle_slowlog(n),
         Request::Shutdown => unreachable!("handled in the connection loop"),
     }
+}
+
+/// `METRICS`: refresh the point-in-time serve gauges, then expose the
+/// whole process-global registry as Prometheus text. The reply is the
+/// only multi-line response besides `SLOWLOG`: a header announcing the
+/// series and line counts, then the exposition verbatim.
+fn handle_metrics(inner: &Inner) -> String {
+    {
+        let state = read_state(inner);
+        publish_serve_gauges(inner, &state);
+    }
+    let registry = snorkel_obs::global();
+    let text = registry.expose();
+    let series = registry.num_series();
+    let mut out = format!("OK series={series} lines={}", text.lines().count());
+    for l in text.lines() {
+        out.push('\n');
+        out.push_str(l);
+    }
+    out
+}
+
+/// `SLOWLOG <n>`: the `n` slowest spans still buffered in the global
+/// trace ring, slowest first. One payload line per entry.
+fn handle_slowlog(n: usize) -> String {
+    let entries = TraceRing::global().slowest(n);
+    let mut out = format!("OK count={} lines={}", entries.len(), entries.len());
+    for e in &entries {
+        out.push_str(&format!(
+            "\nspan={} dur_ns={} seq={}",
+            e.name, e.dur_ns, e.seq
+        ));
+    }
+    out
 }
 
 /// Validate a vote row against the scheme and compute its posterior
@@ -447,7 +653,7 @@ fn majority_probs(scheme: LabelScheme, votes: &[Vote]) -> Vec<f64> {
 
 fn handle_marginal(inner: &Inner, cols: Vec<u32>, votes: Vec<Vote>) -> String {
     inner.queries.fetch_add(1, Ordering::Relaxed);
-    let state = read_unpoisoned(&inner.state);
+    let state = read_state(inner);
     // Memo fast path: one posterior computation per distinct signature
     // per model generation. The memo lock nests inside the state read
     // lock; REFRESH holds the state write lock, so a generation observed
@@ -507,7 +713,7 @@ fn handle_apply(inner: &Inner, span1: (usize, usize), span2: (usize, usize), tex
         Err(e) => return format!("ERR {e}"),
     };
 
-    let state = read_unpoisoned(&inner.state);
+    let state = read_state(inner);
     let votes = state.session.apply_lfs(&scratch.candidate(cand));
     let non_abstain: (Vec<u32>, Vec<Vote>) = votes
         .iter()
@@ -548,7 +754,7 @@ fn handle_apply(inner: &Inner, span1: (usize, usize), span2: (usize, usize), tex
 /// runs — reads never wait for one).
 fn handle_predict(inner: &Inner, features: &[String]) -> String {
     inner.queries.fetch_add(1, Ordering::Relaxed);
-    let state = read_unpoisoned(&inner.state);
+    let state = read_state(inner);
     let Some(disc) = state.session.disc() else {
         return "ERR no distilled model (enable distillation and REFRESH)".into();
     };
@@ -575,7 +781,7 @@ fn handle_predict_text(
         Err(e) => return format!("ERR {e}"),
     };
 
-    let state = read_unpoisoned(&inner.state);
+    let state = read_state(inner);
     let Some(disc) = state.session.disc() else {
         return "ERR no distilled model (enable distillation and REFRESH)".into();
     };
@@ -593,7 +799,7 @@ fn handle_refresh(inner: &Inner, edit: Option<SuiteEdit>) -> String {
     // distillation training set is cloned out before the lock drops so
     // the expensive disc retrain below runs lock-free.
     let (response, training_set) = {
-        let mut state = write_unpoisoned(&inner.state);
+        let mut state = write_state(inner);
         let names: Vec<String> = state
             .session
             .lf_names()
@@ -667,7 +873,7 @@ fn handle_refresh(inner: &Inner, edit: Option<SuiteEdit>) -> String {
     // makes the staleness visible. Phase 3 (short write lock): install.
     if let Some(set) = training_set {
         let (disc_state, _) = set.train();
-        let mut state = write_unpoisoned(&inner.state);
+        let mut state = write_state(inner);
         state.session.install_disc(disc_state);
     }
     response
@@ -706,5 +912,30 @@ impl Client {
             ));
         }
         Ok(response.trim_end().to_string())
+    }
+
+    /// Send one request line and read a multi-line reply (`METRICS`,
+    /// `SLOWLOG`): the header's `lines=<k>` field says how many payload
+    /// lines follow. Returns `(header, payload_lines)`; a reply without
+    /// a `lines=` field (e.g. an `ERR`) comes back with no payload.
+    pub fn request_lines(&mut self, line: &str) -> std::io::Result<(String, Vec<String>)> {
+        let header = self.request(line)?;
+        let count = header
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix("lines="))
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(0);
+        let mut lines = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut payload = String::new();
+            if self.reader.read_line(&mut payload)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-reply",
+                ));
+            }
+            lines.push(payload.trim_end().to_string());
+        }
+        Ok((header, lines))
     }
 }

@@ -248,10 +248,15 @@ fn run_client(args: &Args) -> ! {
     }
     let mut client =
         Client::connect(addr_of(args)).unwrap_or_else(|e| die(&format!("connect: {e}")));
-    let response = client
-        .request(&line)
+    // request_lines handles both framings: METRICS/SLOWLOG replies carry
+    // a `lines=<k>` payload, every other verb comes back header-only.
+    let (response, payload) = client
+        .request_lines(&line)
         .unwrap_or_else(|e| die(&format!("request: {e}")));
     println!("{response}");
+    for l in &payload {
+        println!("{l}");
+    }
     std::process::exit(if response.starts_with("OK") { 0 } else { 2 });
 }
 
@@ -393,9 +398,22 @@ fn run_demo() {
         "REFRESH EDIT lf_treats KEYWORD -1 1 treats,cures",
         "MARGINAL 0:1,1:-1",
         "PREDICT btw=cause u=chem3",
-        "SNAPSHOT",
-        "SHUTDOWN",
     ] {
+        println!("> {req}");
+        println!("< {}", client.request(req).expect("request"));
+    }
+    // Multi-line verbs: a Prometheus scrape and the slowest requests.
+    let (header, lines) = client.request_lines("METRICS").expect("metrics");
+    println!("> METRICS\n< {header} (showing 6 of {} lines)", lines.len());
+    for l in lines.iter().take(6) {
+        println!("  {l}");
+    }
+    let (header, lines) = client.request_lines("SLOWLOG 3").expect("slowlog");
+    println!("> SLOWLOG 3\n< {header}");
+    for l in &lines {
+        println!("  {l}");
+    }
+    for req in ["SNAPSHOT", "SHUTDOWN"] {
         println!("> {req}");
         println!("< {}", client.request(req).expect("request"));
     }

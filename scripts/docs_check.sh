@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# docs-check: the serve layer's wire protocol and snapshot format have
-# normative specs (docs/PROTOCOL.md, docs/SNAPSHOT_FORMAT.md). This
-# gate fails CI when a protocol verb or snapshot section name exists in
-# `crates/serve` source but is missing from its spec — so the docs
-# cannot silently drift behind the implementation.
+# docs-check: the serve layer's wire protocol, snapshot format, and the
+# observability surface have normative specs (docs/PROTOCOL.md,
+# docs/SNAPSHOT_FORMAT.md, docs/OBSERVABILITY.md). This gate fails CI
+# when a protocol verb, snapshot section, or metric name exists in
+# source but is missing from its spec — and when docs/OBSERVABILITY.md
+# names a metric no crate registers — so the docs cannot silently drift
+# from the implementation in either direction.
 #
 # Run from the repo root:
 #   bash scripts/docs_check.sh
@@ -44,9 +46,38 @@ for section in $sections; do
     fi
 done
 
+# --- Metrics: two-way check against docs/OBSERVABILITY.md.
+# Registered names are string literals like "snorkel_serve_requests_total"
+# in the instrumented crates; documented names are the same tokens in the
+# inventory tables.
+metric_src_dirs="crates/serve/src crates/incr/src crates/lf/src crates/core/src"
+registered="$(grep -rhoE '"snorkel_(serve|incr|lf|core)_[a-z0-9_]*[a-z0-9]"' \
+    $metric_src_dirs | tr -d '"' | sort -u)"
+documented="$(grep -ohE 'snorkel_(serve|incr|lf|core)_[a-z0-9_]*[a-z0-9]' \
+    docs/OBSERVABILITY.md | sort -u)"
+if [[ -z "$registered" ]]; then
+    echo "docs-check: BUG: found no registered metric names in $metric_src_dirs" >&2
+    exit 1
+fi
+for name in $documented; do
+    if ! grep -q "^$name$" <<<"$registered"; then
+        echo "docs-check: metric $name is documented in docs/OBSERVABILITY.md" \
+             "but never registered in any crate" >&2
+        fail=1
+    fi
+done
+for name in $registered; do
+    if ! grep -q "^$name$" <<<"$documented"; then
+        echo "docs-check: metric $name is registered in source but not" \
+             "documented in docs/OBSERVABILITY.md" >&2
+        fail=1
+    fi
+done
+
 if [[ "$fail" -ne 0 ]]; then
     echo "docs-check: FAILED — update the spec(s) above" >&2
     exit 1
 fi
 echo "docs-check OK: $(echo "$verbs" | wc -w | tr -d ' ') verbs," \
-     "$(echo "$sections" | wc -w | tr -d ' ') snapshot sections all documented"
+     "$(echo "$sections" | wc -w | tr -d ' ') snapshot sections," \
+     "$(echo "$registered" | wc -w | tr -d ' ') metrics all documented"

@@ -72,6 +72,44 @@ wait_listening
 # ≥1k concurrent marginal queries with one LF edit landing mid-stream;
 # the hammer exits non-zero on any torn read and reverts the edit.
 "$BIN" hammer --port "$PORT" --clients 8 --queries 150 | expect "no torn reads"
+# STATS carries the LF-cache and posterior-memo occupancy fields. A
+# MARGINAL probe first, so the memo has caught up with the hammer's
+# edit+revert (its generation advances lazily, on the next query).
+"$BIN" client --port "$PORT" "MARGINAL 0:1,1:-1" >/dev/null
+STATS_LINE="$("$BIN" client --port "$PORT" STATS)"
+echo "$STATS_LINE"
+case "$STATS_LINE" in
+    *"cache_cols="*"cache_cap="*"memo_size="*"memo_gen=2"*) ;;
+    *)
+        echo "FAIL: STATS is missing cache/memo occupancy fields: $STATS_LINE" >&2
+        exit 1
+        ;;
+esac
+
+echo "== mid-run METRICS scrape =="
+# The exposition must show the traffic above: nonzero request counters
+# and a non-empty MARGINAL latency histogram, across all three layers.
+SCRAPE="$("$BIN" client --port "$PORT" METRICS)"
+echo "$SCRAPE" | head -n 1 | expect "OK series="
+if ! echo "$SCRAPE" | grep -E 'snorkel_serve_requests_total\{verb="MARGINAL"\} [1-9]' >/dev/null; then
+    echo "FAIL: MARGINAL request counter is zero or missing in mid-run METRICS" >&2
+    exit 1
+fi
+if ! echo "$SCRAPE" | grep -E 'snorkel_serve_request_seconds_count\{verb="MARGINAL"\} [1-9]' >/dev/null; then
+    echo "FAIL: MARGINAL latency histogram is empty in mid-run METRICS" >&2
+    exit 1
+fi
+if ! echo "$SCRAPE" | grep -E 'snorkel_incr_refreshes_total [1-9]' >/dev/null; then
+    echo "FAIL: incr refresh counter is zero in mid-run METRICS" >&2
+    exit 1
+fi
+if ! echo "$SCRAPE" | grep -E 'snorkel_lf_invocations_total\{lf="lf_causes"\} [1-9]' >/dev/null; then
+    echo "FAIL: per-LF invocation counter is zero in mid-run METRICS" >&2
+    exit 1
+fi
+echo "mid-run scrape OK"
+# SLOWLOG returns the slowest recent spans, header first.
+"$BIN" client --port "$PORT" "SLOWLOG 3" | head -n 1 | expect "OK count="
 # Capture a zero-coverage posterior AFTER the hammer's edit+revert (each
 # REFRESH warm-retrains the disc model) so the kill/resume comparison
 # below sees exactly the model the snapshot will carry.
@@ -91,6 +129,15 @@ wait "$SRV_PID"
 SRV_PID=""
 echo "server exited cleanly"
 
+# Drain wrote the final exposition next to the final snapshot.
+if [[ ! -s "$SNAP.metrics" ]]; then
+    echo "FAIL: no metrics dump at $SNAP.metrics after drain" >&2
+    exit 1
+fi
+grep -q 'snorkel_serve_requests_total' "$SNAP.metrics" \
+    || { echo "FAIL: metrics dump is missing serve counters" >&2; exit 1; }
+echo "drain metrics dump OK"
+
 echo "== snapshot must load =="
 "$BIN" verify-snap "$SNAP" | expect "snapshot OK"
 
@@ -98,6 +145,24 @@ echo "== second life: resume warm from the snapshot =="
 "$BIN" server --port "$PORT" --rows 3000 --resume "$SNAP" &
 SRV_PID=$!
 wait_listening
+
+# Counters reset with the process, gauges rebuild from the thawed
+# session: before this life's first MARGINAL, its request counter must
+# read 0 while the thawed generation/row gauges are already correct.
+SCRAPE="$("$BIN" client --port "$PORT" METRICS)"
+if ! echo "$SCRAPE" | grep -E 'snorkel_serve_requests_total\{verb="MARGINAL"\} 0$' >/dev/null; then
+    echo "FAIL: MARGINAL request counter did not reset across restart" >&2
+    exit 1
+fi
+if ! echo "$SCRAPE" | grep -E 'snorkel_incr_refresh_generation [1-9]' >/dev/null; then
+    echo "FAIL: refresh-generation gauge was not rebuilt from the thawed session" >&2
+    exit 1
+fi
+if ! echo "$SCRAPE" | grep -E 'snorkel_incr_rows 3000$' >/dev/null; then
+    echo "FAIL: rows gauge was not rebuilt from the thawed session" >&2
+    exit 1
+fi
+echo "restart counter-reset / gauge-rebuild OK"
 
 "$BIN" client --port "$PORT" "MARGINAL 0:1,1:-1" | expect "OK gen="
 # The resumed session thawed the snapshot's tagged model section: the

@@ -29,6 +29,9 @@
 //!   binary format) and the concurrent TCP labeling service
 //!   ([`serve::LabelServer`]).
 //! * [`disc`] — noise-aware discriminative models and evaluation metrics.
+//! * [`obs`] — zero-dependency observability: atomic metrics, spans, a
+//!   process-global registry, and Prometheus-text exposition (the
+//!   `METRICS`/`SLOWLOG` verbs of the serving layer).
 //! * [`datasets`] — synthetic analogues of the paper's six applications.
 //! * [`linalg`] — dense/sparse numerics shared by the model crates.
 //!
@@ -49,5 +52,6 @@ pub use snorkel_lf as lf;
 pub use snorkel_linalg as linalg;
 pub use snorkel_matrix as matrix;
 pub use snorkel_nlp as nlp;
+pub use snorkel_obs as obs;
 pub use snorkel_pattern as pattern;
 pub use snorkel_serve as serve;
