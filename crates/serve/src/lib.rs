@@ -21,10 +21,11 @@
 //!   unknown-backend files yield a typed [`SnapError`], never a panic
 //!   (v1 files, which predate backend tags, still load as the
 //!   generative backend).
-//! * [`server`] — a multithreaded `std::net` TCP server speaking a
-//!   line-delimited protocol (`MARGINAL`, `APPLY`, `PREDICT`,
-//!   `PREDICT_TEXT`, `REFRESH`, `SNAPSHOT`, `STATS`, `SHUTDOWN`) over a
-//!   shared [`IncrementalSession`](snorkel_incr::IncrementalSession)
+//! * [`server`] — a fixed worker pool of `std::net` threads
+//!   multiplexing many nonblocking sockets, speaking a line-delimited
+//!   text protocol (`MARGINAL`, `APPLY`, `PREDICT`, `PREDICT_TEXT`,
+//!   `REFRESH`, `SNAPSHOT`, `STATS`, `SHUTDOWN`) over a shared
+//!   [`IncrementalSession`](snorkel_incr::IncrementalSession)
 //!   behind an `RwLock`: marginal queries and suite probes run
 //!   concurrently under the read lock (with a per-generation posterior
 //!   memo — the serving counterpart of pattern dedup); LF edits take
@@ -33,7 +34,13 @@
 //!   discriminative model** for candidates with zero LF coverage; the
 //!   disc retrain after an edit runs *outside* the write lock, so
 //!   reads never block on it (the reply's `disc_gen=` shows the lag).
-//!   Plus graceful shutdown and periodic auto-snapshots.
+//!   Plus graceful shutdown, a connection cap that sheds overload with
+//!   `ERR busy`, and periodic auto-snapshots.
+//! * [`frame`] — binary framing v2 on the *same port*: the first byte
+//!   of a request disambiguates text from binary, and the binary verbs
+//!   (`OP_MARGINAL`, `OP_PREDICT`) are batched — N rows per round
+//!   trip, answered under one read-lock acquisition, with replies
+//!   bit-identical to N single text requests.
 //!
 //! ```no_run
 //! use snorkel_context::Corpus;
@@ -54,11 +61,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod frame;
 pub mod protocol;
 pub mod server;
 pub mod snap;
 mod wire;
 
+pub use frame::{BinReply, BinRequest, FrameClient, VoteRow};
 pub use protocol::{parse_request, LfSpec, Request, SuiteEdit};
 pub use server::{Client, LabelServer, ServeConfig};
 pub use snap::{SnapError, Snapshot, FORMAT_VERSION, MAGIC};

@@ -9,14 +9,37 @@
 //! lock, so every reply is attributable to exactly the pre- or post-edit
 //! state — never a torn mix.
 //!
+//! ## Connection model
+//!
+//! A fixed pool of worker threads multiplexes all client sockets: the
+//! accept thread sets each accepted socket nonblocking and deals it
+//! round-robin to a worker's inbox, and each worker repeatedly *pumps*
+//! its connections — flush pending output, read whatever bytes are
+//! available, service every complete request in the buffer, flush again.
+//! Nothing blocks on any one socket, so thousands of idle connections
+//! cost two threads' worth of polling, not thousands of stacks, and a
+//! cap ([`ServeConfig::max_connections`]) refuses excess connections
+//! with `ERR busy` instead of queueing without bound. The pump services
+//! every complete request it finds, so N requests pipelined in one TCP
+//! segment yield N in-order replies in as little as one segment back.
+//! One consequence to know about: a verb that runs long (`REFRESH`,
+//! `SNAPSHOT`) occupies its worker for the duration, stalling only the
+//! connections dealt to that worker — readers on other workers proceed.
+//!
+//! Both wire planes share one port: a first byte of
+//! [`crate::frame::FRAME_MAGIC`] starts a length-prefixed
+//! binary frame (see [`crate::frame`]), anything else is a text line.
+//!
 //! `MARGINAL` is served through a pattern-memo on top of the model
 //! posterior: deployment traffic collapses onto few distinct vote
 //! signatures (the same observation the `PatternIndex` exploits for
 //! training), so each signature's posterior is computed once per model
-//! generation and then served from the memo.
+//! generation and then served from the memo. Batched binary requests
+//! amortize further: one read-lock acquisition and one memo pass cover
+//! the whole batch.
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -30,6 +53,7 @@ use snorkel_incr::IncrementalSession;
 use snorkel_lf::Vote;
 use snorkel_obs::{trace_level, Counter, Gauge, Histogram, TraceLevel, TraceRing};
 
+use crate::frame::{self, BinRequest, VoteRow, FRAME_HEADER_BYTES, FRAME_MAGIC, MAX_FRAME_BYTES};
 use crate::protocol::{format_probs, parse_request, Request, SuiteEdit};
 use crate::snap::{SnapError, Snapshot};
 
@@ -49,10 +73,23 @@ const VERBS: [&str; 11] = [
     "SHUTDOWN",
 ];
 
+/// Binary-plane opcode labels, in the order `ServeObs` stores their
+/// handles. `UNKNOWN` accounts frames whose opcode the protocol does
+/// not define (they still cost a parse and a reply).
+const OPCODES: [&str; 4] = ["PING", "MARGINAL", "PREDICT", "UNKNOWN"];
+
 /// One verb's request-path handles.
 struct VerbMetrics {
     requests: Arc<Counter>,
     errors: Arc<Counter>,
+    latency: Arc<Histogram>,
+}
+
+/// One binary opcode's frame-path handles.
+struct FrameMetrics {
+    frames: Arc<Counter>,
+    errors: Arc<Counter>,
+    items: Arc<Counter>,
     latency: Arc<Histogram>,
 }
 
@@ -61,12 +98,20 @@ struct VerbMetrics {
 /// atomics and never touches the registry lock (and never allocates).
 struct ServeObs {
     verbs: [VerbMetrics; VERBS.len()],
+    opcodes: [FrameMetrics; OPCODES.len()],
     parse_errors: Arc<Counter>,
     lock_wait_read: Arc<Histogram>,
     lock_wait_write: Arc<Histogram>,
     disc_gen_lag: Arc<Gauge>,
     memo_size: Arc<Gauge>,
     memo_generation: Arc<Gauge>,
+    /// Batch sizes seen on the binary plane. The histogram's buckets
+    /// are the obs crate's log₂ nanosecond buckets, so a recorded batch
+    /// size N lands in the bucket labeled N×1e-9 "seconds" — the scale
+    /// is nominal, the shape is what matters.
+    batch_size: Arc<Histogram>,
+    connections_open: Arc<Gauge>,
+    connections_rejected: Arc<Counter>,
 }
 
 impl ServeObs {
@@ -78,12 +123,21 @@ impl ServeObs {
                 errors: r.counter("snorkel_serve_errors_total", &[("verb", verb)]),
                 latency: r.histogram("snorkel_serve_request_seconds", &[("verb", verb)]),
             }),
+            opcodes: OPCODES.map(|op| FrameMetrics {
+                frames: r.counter("snorkel_serve_frames_total", &[("opcode", op)]),
+                errors: r.counter("snorkel_serve_frame_errors_total", &[("opcode", op)]),
+                items: r.counter("snorkel_serve_batch_items_total", &[("opcode", op)]),
+                latency: r.histogram("snorkel_serve_frame_seconds", &[("opcode", op)]),
+            }),
             parse_errors: r.counter("snorkel_serve_parse_errors_total", &[]),
             lock_wait_read: r.histogram("snorkel_serve_lock_wait_seconds", &[("lock", "read")]),
             lock_wait_write: r.histogram("snorkel_serve_lock_wait_seconds", &[("lock", "write")]),
             disc_gen_lag: r.gauge("snorkel_serve_disc_gen_lag", &[]),
             memo_size: r.gauge("snorkel_serve_memo_size", &[]),
             memo_generation: r.gauge("snorkel_serve_memo_generation", &[]),
+            batch_size: r.histogram("snorkel_serve_batch_size", &[]),
+            connections_open: r.gauge("snorkel_serve_connections_open", &[]),
+            connections_rejected: r.counter("snorkel_serve_connections_rejected_total", &[]),
         }
     }
 
@@ -93,6 +147,14 @@ impl ServeObs {
             .position(|&v| std::ptr::eq(v.as_ptr(), verb.as_ptr()) || v == verb)
             .expect("every Request::verb() value is in VERBS");
         &self.verbs[idx]
+    }
+
+    fn opcode(&self, name: &'static str) -> &FrameMetrics {
+        let idx = OPCODES
+            .iter()
+            .position(|&v| std::ptr::eq(v.as_ptr(), name.as_ptr()) || v == name)
+            .expect("every opcode label is in OPCODES");
+        &self.opcodes[idx]
     }
 }
 
@@ -108,6 +170,15 @@ pub struct ServeConfig {
     pub snapshot_path: Option<PathBuf>,
     /// Write a snapshot this often (requires `snapshot_path`).
     pub auto_snapshot: Option<Duration>,
+    /// Worker threads multiplexing the client sockets. `0` (the
+    /// default) sizes to the machine: one per available core, clamped
+    /// to 2..=8.
+    pub workers: usize,
+    /// Most sockets served at once. A connection over the cap is
+    /// refused immediately with `ERR busy` — never queued — so an
+    /// overload sheds load visibly (`snorkel_serve_connections_rejected_total`)
+    /// instead of accumulating threads or latency.
+    pub max_connections: usize,
 }
 
 impl Default for ServeConfig {
@@ -116,6 +187,8 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:0".into(),
             snapshot_path: None,
             auto_snapshot: None,
+            workers: 0,
+            max_connections: 1024,
         }
     }
 }
@@ -142,7 +215,11 @@ struct Inner {
     memo: Mutex<PosteriorMemo>,
     shutdown: AtomicBool,
     addr: SocketAddr,
-    conns: Mutex<Vec<JoinHandle<()>>>,
+    /// One inbox per worker; the accept thread deals accepted sockets
+    /// round-robin and each worker adopts its inbox every pass.
+    inboxes: Vec<Mutex<Vec<TcpStream>>>,
+    open_conns: AtomicU64,
+    max_conns: usize,
     snapshot_path: Option<PathBuf>,
     queries: AtomicU64,
     memo_hits: AtomicU64,
@@ -160,6 +237,7 @@ struct Inner {
 pub struct LabelServer {
     inner: Arc<Inner>,
     accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
     snapshotter: Option<JoinHandle<()>>,
 }
 
@@ -168,7 +246,15 @@ impl LabelServer {
     /// accepting.
     pub fn start(session: IncrementalSession, config: ServeConfig) -> std::io::Result<LabelServer> {
         let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let worker_count = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map_or(4, std::num::NonZeroUsize::get)
+                .clamp(2, 8)
+        } else {
+            config.workers
+        };
         let inner = Arc::new(Inner {
             state: RwLock::new(ServeState {
                 session,
@@ -180,7 +266,9 @@ impl LabelServer {
             }),
             shutdown: AtomicBool::new(false),
             addr,
-            conns: Mutex::new(Vec::new()),
+            inboxes: (0..worker_count).map(|_| Mutex::new(Vec::new())).collect(),
+            open_conns: AtomicU64::new(0),
+            max_conns: config.max_connections.max(1),
             snapshot_path: config.snapshot_path.clone(),
             queries: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
@@ -192,19 +280,14 @@ impl LabelServer {
         });
 
         let accept_inner = Arc::clone(&inner);
-        let accept = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if accept_inner.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                let conn_inner = Arc::clone(&accept_inner);
-                let handle = std::thread::spawn(move || handle_connection(&conn_inner, stream));
-                let mut conns = lock_unpoisoned(&accept_inner.conns);
-                conns.retain(|h| !h.is_finished());
-                conns.push(handle);
-            }
-        });
+        let accept = std::thread::spawn(move || accept_loop(&accept_inner, &listener));
+
+        let workers = (0..worker_count)
+            .map(|idx| {
+                let worker_inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&worker_inner, idx))
+            })
+            .collect();
 
         let snapshotter = match (config.auto_snapshot, &inner.snapshot_path) {
             (Some(every), Some(path)) => {
@@ -228,6 +311,7 @@ impl LabelServer {
         Ok(LabelServer {
             inner,
             accept: Some(accept),
+            workers,
             snapshotter,
         })
     }
@@ -245,15 +329,8 @@ impl LabelServer {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        loop {
-            let handles: Vec<JoinHandle<()>> =
-                std::mem::take(&mut *lock_unpoisoned(&self.inner.conns));
-            if handles.is_empty() {
-                break;
-            }
-            for h in handles {
-                let _ = h.join();
-            }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
         }
         if let Some(h) = self.snapshotter.take() {
             self.inner.tick_cv.notify_all();
@@ -283,12 +360,435 @@ impl LabelServer {
     }
 }
 
-/// Set the shutdown flag and unblock the accept loop by connecting to
-/// ourselves (the accept thread re-checks the flag per connection).
+/// Set the shutdown flag; the nonblocking accept and worker loops poll
+/// it and exit within one backoff interval.
 fn trigger_shutdown(inner: &Inner) {
     inner.shutdown.store(true, Ordering::SeqCst);
     inner.tick_cv.notify_all();
-    let _ = TcpStream::connect(inner.addr);
+}
+
+/// Nonblocking accept loop: enforce the connection cap, configure the
+/// socket, deal it to a worker. Runs until the shutdown flag is set.
+fn accept_loop(inner: &Inner, listener: &TcpListener) {
+    let mut next_worker = 0usize;
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((mut stream, _peer)) => {
+                if inner.open_conns.load(Ordering::Relaxed) >= inner.max_conns as u64 {
+                    // Refuse, never queue: the client gets a reply it
+                    // can parse, the gauge stays honest, and no memory
+                    // accrues per rejected connection. The accepted
+                    // socket is still blocking here (accept does not
+                    // inherit the listener's nonblocking flag), so this
+                    // one-line write goes out before the drop closes it.
+                    inner.obs.connections_rejected.inc();
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.write_all(b"ERR busy\n");
+                    continue;
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                inner.open_conns.fetch_add(1, Ordering::Relaxed);
+                inner.obs.connections_open.add(1);
+                let idx = next_worker % inner.inboxes.len();
+                next_worker = next_worker.wrapping_add(1);
+                lock_unpoisoned(&inner.inboxes[idx]).push(stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+/// Consecutive empty passes a worker spins (yielding) before switching
+/// to sleeping between passes.
+const IDLE_SPINS: u32 = 16;
+
+/// How long an idle worker sleeps between passes once past
+/// [`IDLE_SPINS`] — the ceiling on added latency for a request arriving
+/// at an idle server.
+const IDLE_SLEEP: Duration = Duration::from_micros(200);
+
+/// One worker: adopt inbox sockets, pump every connection, back off
+/// when nothing moved. Exits when the shutdown flag is set, after a
+/// best-effort flush of pending replies (so the client that sent
+/// `SHUTDOWN` sees its `OK bye`).
+fn worker_loop(inner: &Inner, idx: usize) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut idle = 0u32;
+    loop {
+        {
+            let mut inbox = lock_unpoisoned(&inner.inboxes[idx]);
+            conns.extend(inbox.drain(..).map(Conn::new));
+        }
+        if inner.shutdown.load(Ordering::SeqCst) {
+            for conn in &mut conns {
+                conn.final_flush();
+            }
+            release_conns(inner, conns.len());
+            return;
+        }
+        let mut progressed = false;
+        conns.retain_mut(|conn| {
+            let pump = conn.pump(inner);
+            progressed |= pump.progressed;
+            if !pump.keep {
+                release_conns(inner, 1);
+            }
+            pump.keep
+        });
+        if progressed {
+            idle = 0;
+        } else {
+            idle = idle.saturating_add(1);
+            if idle < IDLE_SPINS {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(IDLE_SLEEP);
+            }
+        }
+    }
+}
+
+fn release_conns(inner: &Inner, n: usize) {
+    if n > 0 {
+        inner.open_conns.fetch_sub(n as u64, Ordering::Relaxed);
+        inner.obs.connections_open.add(-(n as i64));
+    }
+}
+
+/// Longest accepted request line. Far beyond any legal request, and it
+/// bounds per-connection memory against a client that streams bytes
+/// without ever sending a newline (the wire-protocol counterpart of the
+/// snapshot reader's length-vs-remaining validation).
+const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Most bytes one pump reads from one socket before servicing what it
+/// has — keeps a fire-hosing client from starving its worker's other
+/// connections.
+const READ_BUDGET: usize = 256 * 1024;
+
+struct PumpResult {
+    keep: bool,
+    progressed: bool,
+}
+
+/// One multiplexed connection: unread request bytes, unwritten reply
+/// bytes, and the two ways it winds down (we decided to close after the
+/// pending replies drain, or the peer half-closed and we finish what's
+/// buffered).
+struct Conn {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    outpos: usize,
+    close_after_flush: bool,
+    /// The connection is condemned (oversized line) but we keep
+    /// reading and discarding until the peer's EOF: closing with
+    /// unread bytes in the receive queue would turn the close into an
+    /// RST, which can destroy the very `ERR` reply the peer needs to
+    /// see.
+    discard_input: bool,
+    saw_eof: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            outpos: 0,
+            close_after_flush: false,
+            discard_input: false,
+            saw_eof: false,
+        }
+    }
+
+    fn fully_flushed(&self) -> bool {
+        self.outpos == self.outbuf.len()
+    }
+
+    /// Write as much pending output as the socket will take right now.
+    /// Returns bytes written; `Err` only on a hard socket error.
+    fn flush_pending(&mut self) -> std::io::Result<usize> {
+        let mut written = 0;
+        while self.outpos < self.outbuf.len() {
+            match self.stream.write(&self.outbuf[self.outpos..]) {
+                Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.outpos += n;
+                    written += n;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.fully_flushed() {
+            self.outbuf.clear();
+            self.outpos = 0;
+        }
+        Ok(written)
+    }
+
+    /// Bounded best-effort drain on shutdown: retry `WouldBlock` briefly
+    /// so the final replies (`OK bye`) reach the peer, but never wedge
+    /// the worker on a stalled client.
+    fn final_flush(&mut self) {
+        for _ in 0..50 {
+            match self.flush_pending() {
+                Ok(_) if self.fully_flushed() => return,
+                Ok(_) => std::thread::sleep(Duration::from_millis(1)),
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// One scheduling quantum for this connection: flush, read, service
+    /// complete requests, flush. Returns whether to keep the connection
+    /// and whether any bytes moved (the worker's idle detector).
+    fn pump(&mut self, inner: &Inner) -> PumpResult {
+        let closed = |progressed| PumpResult {
+            keep: false,
+            progressed,
+        };
+        let mut progressed = false;
+        match self.flush_pending() {
+            Ok(n) => progressed |= n > 0,
+            Err(_) => return closed(true),
+        }
+        if self.close_after_flush {
+            return PumpResult {
+                keep: !self.fully_flushed(),
+                progressed,
+            };
+        }
+        if !self.saw_eof {
+            let mut chunk = [0u8; 16 * 1024];
+            let mut budget = READ_BUDGET;
+            while budget > 0 {
+                match self.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        self.saw_eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        if !self.discard_input {
+                            self.inbuf.extend_from_slice(&chunk[..n]);
+                        }
+                        progressed = true;
+                        budget = budget.saturating_sub(n);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => return closed(true),
+                }
+            }
+        }
+        self.service(inner);
+        match self.flush_pending() {
+            Ok(n) => progressed |= n > 0,
+            Err(_) => return closed(true),
+        }
+        if self.fully_flushed() {
+            if self.close_after_flush {
+                return closed(progressed);
+            }
+            // Peer half-closed and nothing actionable remains (an
+            // unfinished binary frame can never complete without more
+            // bytes; `service` already handled a trailing text line).
+            if self.saw_eof && (self.inbuf.is_empty() || self.inbuf[0] == FRAME_MAGIC) {
+                return closed(progressed);
+            }
+        }
+        PumpResult {
+            keep: true,
+            progressed,
+        }
+    }
+
+    /// Service every complete request sitting in `inbuf`, in order,
+    /// appending replies to `outbuf`. The first unread byte routes each
+    /// request: [`FRAME_MAGIC`] starts a binary frame, anything else a
+    /// text line — one connection may interleave both planes.
+    fn service(&mut self, inner: &Inner) {
+        loop {
+            if self.discard_input {
+                self.inbuf.clear();
+                return;
+            }
+            if self.close_after_flush || self.inbuf.is_empty() {
+                return;
+            }
+            if self.inbuf[0] == FRAME_MAGIC {
+                if self.inbuf.len() < FRAME_HEADER_BYTES {
+                    return; // partial header
+                }
+                let opcode = self.inbuf[1];
+                let len = u32::from_le_bytes(self.inbuf[2..6].try_into().expect("4 header bytes"));
+                if len > MAX_FRAME_BYTES {
+                    inner.obs.parse_errors.inc();
+                    inner.obs.opcode("UNKNOWN").errors.inc();
+                    self.outbuf.extend_from_slice(&frame::encode_err(&format!(
+                        "frame payload {len} exceeds the {MAX_FRAME_BYTES}-byte cap"
+                    )));
+                    self.close_after_flush = true;
+                    return;
+                }
+                let total = FRAME_HEADER_BYTES + len as usize;
+                if self.inbuf.len() < total {
+                    return; // partial payload
+                }
+                let reply = handle_frame(inner, opcode, &self.inbuf[FRAME_HEADER_BYTES..total]);
+                self.outbuf.extend_from_slice(&reply);
+                self.inbuf.drain(..total);
+            } else {
+                match self.inbuf.iter().position(|&b| b == b'\n') {
+                    Some(pos) => {
+                        let keep_open =
+                            handle_text_line(inner, &self.inbuf[..pos], &mut self.outbuf);
+                        self.inbuf.drain(..=pos);
+                        if !keep_open {
+                            self.close_after_flush = true;
+                        }
+                    }
+                    None if self.inbuf.len() >= MAX_LINE_BYTES => {
+                        // Tell the client *why* before dropping it — a
+                        // silent close here is indistinguishable from a
+                        // crash on the other end. Then discard the rest
+                        // of the stream until the peer's EOF, so the
+                        // eventual close is a clean FIN.
+                        inner.obs.parse_errors.inc();
+                        self.outbuf
+                            .extend_from_slice(b"ERR request line too long\n");
+                        self.discard_input = true;
+                        self.inbuf.clear();
+                        return;
+                    }
+                    None if self.saw_eof => {
+                        // Half-close after an unterminated line: honor
+                        // it as the final request.
+                        let line = std::mem::take(&mut self.inbuf);
+                        handle_text_line(inner, &line, &mut self.outbuf);
+                        self.close_after_flush = true;
+                        return;
+                    }
+                    None => return, // partial line, more bytes coming
+                }
+            }
+        }
+    }
+}
+
+/// Parse and execute one text request line (without its newline),
+/// appending the reply line(s) to `out`. Returns `false` when the
+/// connection must close after the reply flushes (`SHUTDOWN`).
+fn handle_text_line(inner: &Inner, bytes: &[u8], out: &mut Vec<u8>) -> bool {
+    let Ok(text) = std::str::from_utf8(bytes) else {
+        // Reject rather than substitute U+FFFD: a mangled APPLY or
+        // REFRESH spec must not reach the session looking legitimate.
+        inner.obs.parse_errors.inc();
+        out.extend_from_slice(b"ERR invalid utf-8\n");
+        return true;
+    };
+    let response = match parse_request(text) {
+        Err(e) => {
+            inner.obs.parse_errors.inc();
+            format!("ERR {e}")
+        }
+        Ok(req) => {
+            // Per-verb accounting: latency into the verb's histogram
+            // and the trace ring (SLOWLOG), counts per verb. Handles
+            // were resolved at server start, so nothing here allocates
+            // or locks the registry; timing is inlined (rather than a
+            // `Span`, which would clone an `Arc` per request) to keep
+            // the read path under its overhead budget.
+            let verb = req.verb();
+            let vm = inner.obs.verb(verb);
+            vm.requests.inc();
+            let start = Instant::now();
+            if matches!(req, Request::Shutdown) {
+                out.extend_from_slice(b"OK bye\n");
+                record_request(vm, verb, start);
+                trigger_shutdown(inner);
+                return false;
+            }
+            let response = handle_request(inner, req);
+            record_request(vm, verb, start);
+            if response.starts_with("ERR") {
+                vm.errors.inc();
+            }
+            response
+        }
+    };
+    // METRICS/SLOWLOG responses embed payload newlines; the header
+    // line's `lines=<k>` tells clients how much follows.
+    out.extend_from_slice(response.as_bytes());
+    out.push(b'\n');
+    true
+}
+
+/// Decode and execute one binary frame, returning the encoded reply
+/// frame. A batch is atomic: any invalid row fails the whole frame with
+/// one error frame.
+fn handle_frame(inner: &Inner, opcode: u8, payload: &[u8]) -> Vec<u8> {
+    let Some(name) = frame::opcode_name(opcode) else {
+        inner.obs.parse_errors.inc();
+        let fm = inner.obs.opcode("UNKNOWN");
+        fm.frames.inc();
+        fm.errors.inc();
+        return frame::encode_err(&format!("unknown opcode 0x{opcode:02x}"));
+    };
+    let fm = inner.obs.opcode(name);
+    fm.frames.inc();
+    let start = Instant::now();
+    let reply = match frame::decode_request(opcode, payload) {
+        Err(e) => {
+            inner.obs.parse_errors.inc();
+            fm.errors.inc();
+            frame::encode_err(&e)
+        }
+        Ok(BinRequest::Ping) => {
+            let gen = read_state(inner).generation;
+            frame::encode_pong(gen)
+        }
+        Ok(BinRequest::Marginal(rows)) => {
+            fm.items.add(rows.len() as u64);
+            inner.obs.batch_size.record_ns(rows.len() as u64);
+            match marginal_batch(inner, &rows) {
+                Ok((gen, probs)) => frame::encode_marginal_reply(gen, &probs),
+                Err(e) => {
+                    fm.errors.inc();
+                    frame::encode_err(&e)
+                }
+            }
+        }
+        Ok(BinRequest::Predict(rows)) => {
+            fm.items.add(rows.len() as u64);
+            inner.obs.batch_size.record_ns(rows.len() as u64);
+            match predict_batch(inner, &rows) {
+                Ok((gen, disc_gen, probs)) => frame::encode_predict_reply(gen, disc_gen, &probs),
+                Err(e) => {
+                    fm.errors.inc();
+                    frame::encode_err(&e)
+                }
+            }
+        }
+    };
+    let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    fm.latency.record_ns(ns);
+    if trace_level() >= TraceLevel::Info {
+        TraceRing::global().record(name, ns);
+    }
+    reply
 }
 
 /// Recover a lock even if a previous holder panicked — the server keeps
@@ -382,120 +882,6 @@ fn record_request(vm: &VerbMetrics, verb: &'static str, start: Instant) {
     }
 }
 
-/// Per-connection loop: read request lines, write `OK`/`ERR` lines.
-/// Reads use a short timeout so idle connections notice a shutdown.
-fn handle_connection(inner: &Inner, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-    let _ = stream.set_nodelay(true);
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    });
-    let mut writer = stream;
-    let mut line = Vec::new();
-    loop {
-        line.clear();
-        match read_line_retrying(&mut reader, &mut line, inner) {
-            Ok(0) | Err(_) => return, // EOF, hard error, or shutdown
-            Ok(_) => {}
-        }
-        let text = String::from_utf8_lossy(&line);
-        let response = match parse_request(&text) {
-            Err(e) => {
-                inner.obs.parse_errors.inc();
-                format!("ERR {e}")
-            }
-            Ok(req) => {
-                // Per-verb accounting: latency into the verb's histogram
-                // and the trace ring (SLOWLOG), counts per verb. Handles
-                // were resolved at server start, so nothing here
-                // allocates or locks the registry; timing is inlined
-                // (rather than a `Span`, which would clone an `Arc` per
-                // request) to keep the read path under its overhead
-                // budget.
-                let verb = req.verb();
-                let vm = inner.obs.verb(verb);
-                vm.requests.inc();
-                let start = Instant::now();
-                if matches!(req, Request::Shutdown) {
-                    let _ = writer.write_all(b"OK bye\n");
-                    let _ = writer.flush();
-                    record_request(vm, verb, start);
-                    trigger_shutdown(inner);
-                    return;
-                }
-                let response = handle_request(inner, req);
-                record_request(vm, verb, start);
-                if response.starts_with("ERR") {
-                    vm.errors.inc();
-                }
-                response
-            }
-        };
-        // METRICS/SLOWLOG responses embed payload newlines; the header
-        // line's `lines=<k>` tells clients how much follows.
-        if writer
-            .write_all(format!("{response}\n").as_bytes())
-            .and_then(|()| writer.flush())
-            .is_err()
-        {
-            return;
-        }
-    }
-}
-
-/// Longest accepted request line. Far beyond any legal request, and it
-/// bounds per-connection memory against a client that streams bytes
-/// without ever sending a newline (the wire-protocol counterpart of the
-/// snapshot reader's length-vs-remaining validation).
-const MAX_LINE_BYTES: u64 = 1 << 20;
-
-/// `read_until` that keeps partial bytes across read-timeout wakeups,
-/// aborts on shutdown, and rejects lines over [`MAX_LINE_BYTES`]. Each
-/// read pass goes through a `Take` so even a client streaming flat out
-/// cannot grow the buffer past the cap before control returns here.
-fn read_line_retrying(
-    reader: &mut BufReader<TcpStream>,
-    buf: &mut Vec<u8>,
-    inner: &Inner,
-) -> std::io::Result<usize> {
-    use std::io::Read as _;
-    loop {
-        let already = buf.len() as u64;
-        if already >= MAX_LINE_BYTES {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "request line too long",
-            ));
-        }
-        let mut limited = reader.by_ref().take(MAX_LINE_BYTES - already);
-        match limited.read_until(b'\n', buf) {
-            Ok(n) if n > 0 && !buf.ends_with(b"\n") && buf.len() as u64 >= MAX_LINE_BYTES => {
-                // Hit the cap without a newline — oversized line, not EOF.
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    "request line too long",
-                ));
-            }
-            Ok(n) => return Ok(n),
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                if inner.shutdown.load(Ordering::SeqCst) {
-                    return Err(std::io::Error::new(
-                        std::io::ErrorKind::ConnectionAborted,
-                        "server shutting down",
-                    ));
-                }
-            }
-            Err(e) => return Err(e),
-        }
-    }
-}
-
 fn handle_request(inner: &Inner, req: Request) -> String {
     match req {
         Request::Ping => "OK pong".into(),
@@ -539,14 +925,15 @@ fn handle_request(inner: &Inner, req: Request) -> String {
                 ),
             };
             format!(
-                "OK gen={} rows={} lfs={} backend={} disc_gen={disc} queries={} memo_hits={} \
-                 refreshes={} snapshots={} cache_hits={} cache_misses={} cache_extensions={} \
-                 cache_cols={} cache_cap={} memo_size={memo_size} memo_gen={memo_gen} \
-                 lf_names={}",
+                "OK gen={} rows={} lfs={} backend={} disc_gen={disc} conns={} queries={} \
+                 memo_hits={} refreshes={} snapshots={} cache_hits={} cache_misses={} \
+                 cache_extensions={} cache_cols={} cache_cap={} memo_size={memo_size} \
+                 memo_gen={memo_gen} lf_names={}",
                 state.generation,
                 state.session.num_candidates(),
                 state.session.num_lfs(),
                 state.session.backend_name().unwrap_or("-"),
+                inner.open_conns.load(Ordering::Relaxed),
                 inner.queries.load(Ordering::Relaxed),
                 inner.memo_hits.load(Ordering::Relaxed),
                 inner.refreshes.load(Ordering::Relaxed),
@@ -651,33 +1038,95 @@ fn majority_probs(scheme: LabelScheme, votes: &[Vote]) -> Vec<f64> {
     p
 }
 
-fn handle_marginal(inner: &Inner, cols: Vec<u32>, votes: Vec<Vote>) -> String {
-    inner.queries.fetch_add(1, Ordering::Relaxed);
+/// Posteriors for a batch of vote rows under **one** state read-lock
+/// acquisition and at most two memo-lock passes, whatever the batch
+/// size. Both wire planes route here — a text `MARGINAL` is a batch of
+/// one — so a binary batch reply is bit-identical to the N text replies
+/// it replaces. The batch is atomic: the first invalid row fails the
+/// whole call.
+///
+/// The memo lock nests inside the state read lock; REFRESH holds the
+/// state write lock, so a generation observed here stays current until
+/// the guard drops.
+fn marginal_batch(inner: &Inner, rows: &[VoteRow]) -> Result<(u64, Vec<Vec<f64>>), String> {
+    inner
+        .queries
+        .fetch_add(rows.len() as u64, Ordering::Relaxed);
     let state = read_state(inner);
-    // Memo fast path: one posterior computation per distinct signature
-    // per model generation. The memo lock nests inside the state read
-    // lock; REFRESH holds the state write lock, so a generation observed
-    // here stays current until the guard drops.
+    let mut probs: Vec<Option<Vec<f64>>> = vec![None; rows.len()];
+    // Memo pass 1: harvest hits for the whole batch under one lock.
     {
         let mut memo = lock_unpoisoned(&inner.memo);
         if memo.generation != state.generation {
             memo.generation = state.generation;
             memo.map.clear();
-        } else if let Some(p) = memo.map.get(&(cols.clone(), votes.clone())) {
-            inner.memo_hits.fetch_add(1, Ordering::Relaxed);
-            return format!("OK gen={} p={}", state.generation, format_probs(p));
+        } else {
+            for (slot, row) in probs.iter_mut().zip(rows) {
+                if let Some(p) = memo.map.get(row) {
+                    inner.memo_hits.fetch_add(1, Ordering::Relaxed);
+                    *slot = Some(p.clone());
+                }
+            }
         }
     }
-    match posterior_for(&state.session, &cols, &votes) {
-        Ok(p) => {
-            let mut memo = lock_unpoisoned(&inner.memo);
-            if memo.generation == state.generation && memo.map.len() < MEMO_CAP {
-                memo.map.insert((cols, votes), p.clone());
-            }
-            format!("OK gen={} p={}", state.generation, format_probs(&p))
+    // Compute the misses lock-free (the state guard is still held, so
+    // the model cannot change under us).
+    let mut computed: Vec<(usize, Vec<f64>)> = Vec::new();
+    for (i, (cols, votes)) in rows.iter().enumerate() {
+        if probs[i].is_none() {
+            computed.push((i, posterior_for(&state.session, cols, votes)?));
         }
+    }
+    // Memo pass 2: publish the new signatures under one lock.
+    if !computed.is_empty() {
+        let mut memo = lock_unpoisoned(&inner.memo);
+        if memo.generation == state.generation {
+            for (i, p) in &computed {
+                if memo.map.len() >= MEMO_CAP {
+                    break;
+                }
+                memo.map.insert(rows[*i].clone(), p.clone());
+            }
+        }
+    }
+    for (i, p) in computed {
+        probs[i] = Some(p);
+    }
+    let probs = probs
+        .into_iter()
+        .map(|p| p.expect("every row is a hit or was computed"))
+        .collect();
+    Ok((state.generation, probs))
+}
+
+fn handle_marginal(inner: &Inner, cols: Vec<u32>, votes: Vec<Vote>) -> String {
+    let row = (cols, votes);
+    match marginal_batch(inner, std::slice::from_ref(&row)) {
+        Ok((gen, probs)) => format!("OK gen={gen} p={}", format_probs(&probs[0])),
         Err(e) => format!("ERR {e}"),
     }
+}
+
+/// Distilled-model posteriors for a batch of raw feature vectors under
+/// one state read-lock acquisition (the batched core of the text
+/// `PREDICT` and binary `OP_PREDICT` paths).
+fn predict_batch(inner: &Inner, rows: &[Vec<String>]) -> Result<(u64, u64, Vec<Vec<f64>>), String> {
+    inner
+        .queries
+        .fetch_add(rows.len() as u64, Ordering::Relaxed);
+    let state = read_state(inner);
+    let Some(disc) = state.session.disc() else {
+        return Err("no distilled model (enable distillation and REFRESH)".into());
+    };
+    let probs = rows
+        .iter()
+        .map(|features| {
+            let x =
+                snorkel_disc::hash_features(features.iter().map(String::as_str), disc.model.dim());
+            disc.model.predict_proba(&x)
+        })
+        .collect();
+    Ok((state.generation, disc.generation, probs))
 }
 
 /// Build a transient two-span candidate in a scratch corpus (serving a
@@ -753,18 +1202,16 @@ fn handle_apply(inner: &Inner, span1: (usize, usize), span2: (usize, usize), tex
 /// the serving model was trained on (it can lag `gen=` while a retrain
 /// runs — reads never wait for one).
 fn handle_predict(inner: &Inner, features: &[String]) -> String {
-    inner.queries.fetch_add(1, Ordering::Relaxed);
-    let state = read_state(inner);
-    let Some(disc) = state.session.disc() else {
-        return "ERR no distilled model (enable distillation and REFRESH)".into();
-    };
-    let x = snorkel_disc::hash_features(features.iter().map(String::as_str), disc.model.dim());
-    format!(
-        "OK gen={} disc_gen={} p={}",
-        state.generation,
-        disc.generation,
-        format_probs(&disc.model.predict_proba(&x))
-    )
+    let row = features.to_vec();
+    match predict_batch(inner, std::slice::from_ref(&row)) {
+        Ok((gen, disc_gen, probs)) => {
+            format!(
+                "OK gen={gen} disc_gen={disc_gen} p={}",
+                format_probs(&probs[0])
+            )
+        }
+        Err(e) => format!("ERR {e}"),
+    }
 }
 
 /// Featurize a transient two-span candidate (same grammar as `APPLY`)

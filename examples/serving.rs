@@ -9,6 +9,8 @@
 //! cargo run --release --example serving -- client --port 7341 MARGINAL 0:1
 //! cargo run --release --example serving -- hammer \
 //!     --port 7341 --clients 8 --queries 150               torn-read check
+//! cargo run --release --example serving -- bincheck \
+//!     --port 7341 --batch 8              binary-vs-text equivalence check
 //! cargo run --release --example serving -- verify-snap path/to.snap
 //! ```
 //!
@@ -29,7 +31,9 @@ use snorkel::context::Corpus;
 use snorkel::incr::{Fingerprint, IncrementalSession, SessionConfig};
 use snorkel::lf::BoxedLf;
 use snorkel::nlp::tokenize;
-use snorkel::serve::{Client, LabelServer, LfSpec, ServeConfig, Snapshot};
+use snorkel::serve::{
+    BinReply, Client, FrameClient, LabelServer, LfSpec, ServeConfig, Snapshot, VoteRow,
+};
 
 const DEFAULT_SPECS: [&str; 3] = [
     "lf_causes KEYWORD 1 -1 causes,caused",
@@ -220,6 +224,7 @@ fn run_server(args: &Args) -> ! {
             .flags
             .get("auto-snapshot-ms")
             .map(|_| Duration::from_millis(args.get_usize("auto-snapshot-ms", 5000) as u64)),
+        ..ServeConfig::default()
     };
     let has_snapshot_path = config.snapshot_path.is_some();
     let server =
@@ -343,6 +348,89 @@ fn run_hammer(args: &Args) -> ! {
     std::process::exit(0);
 }
 
+/// Cross-plane equivalence, cross-process: send one binary `OP_MARGINAL`
+/// frame carrying `--batch` rows, then the same rows as individual text
+/// `MARGINAL` lines, and require bit-identical posteriors. Text replies
+/// use shortest-round-trip float formatting, so parsing them back yields
+/// the exact f64 the server computed — any drift between the planes
+/// (or a batch that doesn't hold one consistent generation) fails here.
+fn run_bincheck(args: &Args) -> ! {
+    let addr = addr_of(args);
+    let batch = args.get_usize("batch", 8).max(1);
+    const SIGS: [(&[u32], &[i8]); 6] = [
+        (&[0], &[1]),
+        (&[1], &[-1]),
+        (&[2], &[1]),
+        (&[0, 1], &[1, -1]),
+        (&[1, 2], &[-1, 1]),
+        (&[0, 1, 2], &[1, -1, 1]),
+    ];
+    let rows: Vec<VoteRow> = (0..batch)
+        .map(|i| {
+            let (cols, votes) = SIGS[i % SIGS.len()];
+            (cols.to_vec(), votes.to_vec())
+        })
+        .collect();
+
+    let mut frames =
+        FrameClient::connect(addr).unwrap_or_else(|e| die(&format!("frame connect: {e}")));
+    let (bin_gen, bin_probs) = match frames.marginal(&rows) {
+        Ok(BinReply::Marginal { gen, probs }) => (gen, probs),
+        Ok(BinReply::Err { message }) => die(&format!("binary batch refused: {message}")),
+        Ok(other) => die(&format!("unexpected binary reply: {other:?}")),
+        Err(e) => die(&format!("binary round trip: {e}")),
+    };
+    if bin_probs.len() != rows.len() {
+        die(&format!(
+            "binary batch returned {} rows for {} requests",
+            bin_probs.len(),
+            rows.len()
+        ));
+    }
+
+    let mut text = Client::connect(addr).unwrap_or_else(|e| die(&format!("text connect: {e}")));
+    for (i, ((cols, votes), bin_row)) in rows.iter().zip(&bin_probs).enumerate() {
+        let entries: Vec<String> = cols
+            .iter()
+            .zip(votes)
+            .map(|(c, v)| format!("{c}:{v}"))
+            .collect();
+        let reply = text
+            .request(&format!("MARGINAL {}", entries.join(",")))
+            .unwrap_or_else(|e| die(&format!("text round trip: {e}")));
+        if !reply.starts_with("OK ") {
+            die(&format!("text plane refused row {i}: {reply}"));
+        }
+        let text_gen: u64 = field(&reply, "gen")
+            .parse()
+            .unwrap_or_else(|_| die(&format!("bad gen in {reply:?}")));
+        if text_gen != bin_gen {
+            die(&format!(
+                "generation skew: binary batch gen={bin_gen}, text row {i} gen={text_gen}"
+            ));
+        }
+        let text_row: Vec<f64> = field(&reply, "p")
+            .split(',')
+            .map(|p| {
+                p.parse()
+                    .unwrap_or_else(|_| die(&format!("bad p in {reply:?}")))
+            })
+            .collect();
+        let same_bits = text_row.len() == bin_row.len()
+            && text_row
+                .iter()
+                .zip(bin_row)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        if !same_bits {
+            die(&format!(
+                "posterior mismatch on row {i}: binary {bin_row:?} vs text {text_row:?}"
+            ));
+        }
+    }
+    println!("binary batch OK: {batch} rows bit-identical across planes, gen={bin_gen}");
+    std::process::exit(0);
+}
+
 fn run_verify_snap(args: &Args) -> ! {
     let Some(path) = args.positional.first() else {
         die("verify-snap needs a path");
@@ -453,9 +541,11 @@ fn main() {
         Some("server") => run_server(&parse_args(&argv[1..])),
         Some("client") => run_client(&parse_args(&argv[1..])),
         Some("hammer") => run_hammer(&parse_args(&argv[1..])),
+        Some("bincheck") => run_bincheck(&parse_args(&argv[1..])),
         Some("verify-snap") => run_verify_snap(&parse_args(&argv[1..])),
         Some(other) => die(&format!(
-            "unknown mode {other:?} (server | client | hammer | verify-snap, or no args for the demo)"
+            "unknown mode {other:?} (server | client | hammer | bincheck | verify-snap, \
+             or no args for the demo)"
         )),
     }
 }

@@ -30,6 +30,22 @@ for verb in $verbs; do
     fi
 done
 
+# --- Binary opcodes: every OP_* constant frame.rs defines.
+# Constants look like:   pub const OP_MARGINAL: u8 = 0x02;
+opcodes="$(grep -oE 'const OP_[A-Z_]+: u8' crates/serve/src/frame.rs \
+    | grep -oE 'OP_[A-Z_]+' | sort -u)"
+if [[ -z "$opcodes" ]]; then
+    echo "docs-check: BUG: found no opcodes in crates/serve/src/frame.rs" >&2
+    exit 1
+fi
+for opcode in $opcodes; do
+    if ! grep -qw "$opcode" docs/PROTOCOL.md; then
+        echo "docs-check: binary opcode $opcode is implemented in" \
+             "crates/serve/src/frame.rs but not documented in docs/PROTOCOL.md" >&2
+        fail=1
+    fi
+done
+
 # --- Snapshot sections: every TAG_* constant in snap.rs.
 # Constants look like:   const TAG_SESS: u32 = u32::from_le_bytes(*b"SESS");
 sections="$(grep -oE 'from_le_bytes\(\*b"[A-Z]{4}"\)' crates/serve/src/snap.rs \
@@ -79,5 +95,6 @@ if [[ "$fail" -ne 0 ]]; then
     exit 1
 fi
 echo "docs-check OK: $(echo "$verbs" | wc -w | tr -d ' ') verbs," \
+     "$(echo "$opcodes" | wc -w | tr -d ' ') opcodes," \
      "$(echo "$sections" | wc -w | tr -d ' ') snapshot sections," \
      "$(echo "$registered" | wc -w | tr -d ' ') metrics all documented"

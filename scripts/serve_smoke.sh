@@ -69,6 +69,9 @@ wait_listening
 "$BIN" client --port "$PORT" "PREDICT_TEXT 0 1 2 3 chemX causes diseaseY" | expect "OK gen="
 # Reads do not advance the session generation.
 "$BIN" client --port "$PORT" "STATS" | expect "gen=0"
+# Binary plane, cross-process: one OP_MARGINAL frame carrying 8 rows
+# must equal 8 individual text MARGINAL requests bit-for-bit.
+"$BIN" bincheck --port "$PORT" --batch 8 | expect "binary batch OK"
 # ≥1k concurrent marginal queries with one LF edit landing mid-stream;
 # the hammer exits non-zero on any torn read and reverts the edit.
 "$BIN" hammer --port "$PORT" --clients 8 --queries 150 | expect "no torn reads"
@@ -165,6 +168,9 @@ fi
 echo "restart counter-reset / gauge-rebuild OK"
 
 "$BIN" client --port "$PORT" "MARGINAL 0:1,1:-1" | expect "OK gen="
+# The binary plane serves the thawed state too, still bit-identical to
+# the text plane.
+"$BIN" bincheck --port "$PORT" --batch 4 | expect "binary batch OK"
 # The resumed session thawed the snapshot's tagged model section: the
 # backend is live before any refresh.
 "$BIN" client --port "$PORT" "STATS" | expect "backend=generative"
