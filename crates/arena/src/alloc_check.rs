@@ -1,0 +1,97 @@
+//! The allocation-counting test harness: a global allocator shim that
+//! counts every `alloc`/`realloc`, and helpers for asserting a budget.
+//!
+//! Install the shim in a test or bench **binary** (one per process —
+//! `#[global_allocator]` is a process-global singleton):
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: snorkel_arena::CountingAlloc = snorkel_arena::CountingAlloc::new();
+//! ```
+//!
+//! then measure with [`allocation_count`] deltas or
+//! [`min_allocations_over`]. Two caveats, learned from
+//! `crates/obs/tests/no_alloc.rs` (the first user of this pattern):
+//!
+//! * The counter is process-global, so ambient threads (the libtest
+//!   harness, a background worker) pollute any single measurement.
+//!   Take the **minimum over several attempts**: if the measured path
+//!   itself allocated, every attempt would count it.
+//! * Run release mode for enforcement. Debug builds of generic std
+//!   code can allocate where release builds provably do not, so a
+//!   zero-budget assert is only meaningful under `--release`
+//!   (`cfg!(debug_assertions)` tells you which world you are in).
+
+#![allow(unsafe_code)] // GlobalAlloc is an unsafe trait; this module is the one place we implement it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A counting global allocator: forwards to [`System`], incrementing a
+/// process-global counter on every `alloc` and `realloc` (frees are
+/// not counted — the budgets here are about *acquiring* memory on a
+/// hot path, and a free implies a former alloc anyway).
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// Const constructor for the `#[global_allocator]` static.
+    pub const fn new() -> Self {
+        CountingAlloc
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        CountingAlloc::new()
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Heap acquisitions (allocs + reallocs) since process start. Only
+/// meaningful when [`CountingAlloc`] is installed as the global
+/// allocator; returns a frozen 0 otherwise.
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+/// Run `f` once and return `(allocations, result)` for the call.
+/// Subject to ambient-thread noise — prefer [`min_allocations_over`]
+/// for assertions.
+pub fn allocations_in<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = allocation_count();
+    let out = f();
+    (allocation_count() - before, out)
+}
+
+/// Run `f` up to `attempts` times and return the **minimum** number of
+/// allocations observed in one run — the noise-robust statistic for
+/// "this path allocates N times": ambient threads can only inflate a
+/// sample, never deflate it. Returns early on a zero sample.
+pub fn min_allocations_over(attempts: usize, mut f: impl FnMut()) -> u64 {
+    let mut min = u64::MAX;
+    for _ in 0..attempts.max(1) {
+        let (n, ()) = allocations_in(&mut f);
+        min = min.min(n);
+        if min == 0 {
+            break;
+        }
+    }
+    min
+}

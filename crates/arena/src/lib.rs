@@ -1,0 +1,238 @@
+//! # snorkel-arena
+//!
+//! Reset-and-reuse scratch buffers for the serving and refresh hot
+//! paths, plus the allocation-counting test harness that proves they
+//! work.
+//!
+//! The deployment regime this workspace targets (Snorkel DryBell-style
+//! serving) answers the same small family of requests millions of
+//! times. At that scale per-request heap churn — a `Vec` per decoded
+//! row, a `String` per feature, a fresh posterior buffer per reply —
+//! dominates the arithmetic it wraps. The classic fix is an arena: a
+//! region owned by the worker, grown to the high-water mark of the
+//! traffic it has seen, and *reset* (not freed) between units of work.
+//! Stable Rust has no placement-new, so the arenas here are
+//! reset-and-reuse buffers: clearing a `Vec` keeps its capacity, and a
+//! buffer that has served one request at size N serves every subsequent
+//! request of size ≤ N without touching the allocator.
+//!
+//! Two building blocks:
+//!
+//! * [`ScratchVec<T>`] — a `Vec<T>` wrapper whose API makes the
+//!   reset-and-reuse contract explicit: [`ScratchVec::reset`] clears
+//!   without shrinking, and [`ScratchVec::bytes`] reports the
+//!   high-water footprint (capacity is monotone under reset, so the
+//!   current capacity *is* the high-water mark).
+//! * [`FlatRows<T>`] — a structure-of-arrays jagged 2-D buffer: one
+//!   flat value arena plus `(offset, len)` bounds per row. This is the
+//!   layout the pattern index already uses for vote signatures; it
+//!   stores N rows in exactly 2 allocations (amortized zero), keeps
+//!   row values contiguous for vectorization, and resets in O(1).
+//!
+//! The proof side lives in [`alloc_check`]: a counting global
+//! allocator (install with `#[global_allocator]` in a test or bench
+//! binary) and helpers for asserting an allocation budget over a
+//! workload. `crates/obs/tests/no_alloc.rs` and the serve read-path
+//! test both build on it.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc_check;
+
+pub use alloc_check::CountingAlloc;
+
+/// A reset-and-reuse buffer: a `Vec<T>` that is cleared between units
+/// of work and never shrunk, so steady-state reuse is allocation-free.
+///
+/// Dereferences to `Vec<T>`, so every `Vec` method is available; the
+/// wrapper exists to carry the contract (callers `reset()` at the
+/// start of each unit of work) and the footprint accounting
+/// ([`Self::bytes`]).
+///
+/// ```
+/// use snorkel_arena::ScratchVec;
+/// let mut buf: ScratchVec<u32> = ScratchVec::new();
+/// buf.extend_from_slice(&[1, 2, 3]);
+/// let cap = buf.capacity();
+/// buf.reset();
+/// assert!(buf.is_empty());
+/// assert_eq!(buf.capacity(), cap, "reset keeps capacity");
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct ScratchVec<T> {
+    buf: Vec<T>,
+}
+
+impl<T> ScratchVec<T> {
+    /// An empty scratch buffer (no allocation until first use).
+    pub fn new() -> Self {
+        ScratchVec { buf: Vec::new() }
+    }
+
+    /// Clear contents, keeping the allocation. The next fill up to the
+    /// high-water mark reuses the existing block.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.buf.clear();
+    }
+
+    /// High-water footprint in bytes: `capacity × size_of::<T>()`.
+    /// `Vec` capacity never shrinks under `clear`, so this is the
+    /// largest size this buffer has ever needed.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.buf.capacity() * std::mem::size_of::<T>()
+    }
+}
+
+impl<T> std::ops::Deref for ScratchVec<T> {
+    type Target = Vec<T>;
+    #[inline]
+    fn deref(&self) -> &Vec<T> {
+        &self.buf
+    }
+}
+
+impl<T> std::ops::DerefMut for ScratchVec<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut Vec<T> {
+        &mut self.buf
+    }
+}
+
+/// A structure-of-arrays jagged 2-D scratch buffer: row values live
+/// contiguously in one flat arena, with `(offset, len)` bounds per row.
+///
+/// Compared to `Vec<Vec<T>>` this stores any number of rows in two
+/// allocations (amortized zero once warm), keeps each row's values
+/// adjacent for the vectorizer, and resets in O(1) without freeing.
+///
+/// ```
+/// use snorkel_arena::FlatRows;
+/// let mut rows: FlatRows<u8> = FlatRows::new();
+/// rows.push_row(b"alpha");
+/// rows.push_row(b"be");
+/// assert_eq!(rows.len(), 2);
+/// assert_eq!(rows.row(1), b"be");
+/// rows.reset();
+/// assert_eq!(rows.len(), 0);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct FlatRows<T> {
+    vals: ScratchVec<T>,
+    bounds: ScratchVec<(u32, u32)>,
+}
+
+impl<T> FlatRows<T> {
+    /// An empty row buffer (no allocation until first use).
+    pub fn new() -> Self {
+        FlatRows {
+            vals: ScratchVec::new(),
+            bounds: ScratchVec::new(),
+        }
+    }
+
+    /// Clear all rows, keeping both allocations.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.vals.reset();
+        self.bounds.reset();
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// True when no rows are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bounds.is_empty()
+    }
+
+    /// Start a new empty row at the end; [`Self::push`] appends to it.
+    #[inline]
+    pub fn begin_row(&mut self) {
+        self.bounds.push((self.vals.len() as u32, 0));
+    }
+
+    /// Append one value to the row opened by [`Self::begin_row`].
+    ///
+    /// Panics if no row is open.
+    #[inline]
+    pub fn push(&mut self, v: T) {
+        self.vals.push(v);
+        self.bounds.last_mut().expect("begin_row before push").1 += 1;
+    }
+
+    /// One row's values.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[T] {
+        let (off, len) = self.bounds[i];
+        &self.vals[off as usize..off as usize + len as usize]
+    }
+
+    /// The flat value arena (all rows, concatenated).
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.vals
+    }
+
+    /// High-water footprint in bytes across both internal buffers.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.vals.bytes() + self.bounds.bytes()
+    }
+}
+
+impl<T: Copy> FlatRows<T> {
+    /// Append one complete row (copied from a slice).
+    #[inline]
+    pub fn push_row(&mut self, row: &[T]) {
+        self.bounds.push((self.vals.len() as u32, row.len() as u32));
+        self.vals.extend_from_slice(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_vec_reset_keeps_capacity_and_pointer() {
+        let mut buf: ScratchVec<u64> = ScratchVec::new();
+        buf.extend(0..1000);
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        buf.reset();
+        assert!(buf.is_empty());
+        assert_eq!(buf.capacity(), cap);
+        buf.extend(0..1000);
+        assert_eq!(
+            buf.as_ptr(),
+            ptr,
+            "refill below high water reuses the block"
+        );
+        assert_eq!(buf.bytes(), cap * 8);
+    }
+
+    #[test]
+    fn flat_rows_round_trip_and_reset() {
+        let mut rows: FlatRows<u32> = FlatRows::new();
+        rows.push_row(&[1, 2, 3]);
+        rows.begin_row();
+        rows.push(9);
+        rows.push_row(&[]);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.row(0), &[1, 2, 3]);
+        assert_eq!(rows.row(1), &[9]);
+        assert_eq!(rows.row(2), &[] as &[u32]);
+        assert_eq!(rows.values(), &[1, 2, 3, 9]);
+        let bytes = rows.bytes();
+        rows.reset();
+        assert!(rows.is_empty());
+        assert_eq!(rows.bytes(), bytes, "reset keeps both allocations");
+    }
+}

@@ -1,0 +1,231 @@
+//! Before/after proof for the arena rewrite of the batched read path:
+//! the pre-arena owned `OP_MARGINAL` pipeline (per-row `Vec`s, a
+//! `HashMap` memo that clones keys and values, a fresh reply buffer)
+//! against the allocation-free arena pipeline
+//! (`snorkel_serve::hotpath` + the flat reply encoder), measured two
+//! ways under one counting global allocator:
+//!
+//! * **allocations per request** — the headline number. The arena
+//!   path's steady state must be zero (release builds); CI pins that
+//!   with `SNORKEL_ALLOC_MAX_PER_REQ=0`.
+//! * **time per request** — the delta the allocations actually cost.
+//!
+//! Both pipelines answer the same batch and the replies are asserted
+//! byte-identical before anything is measured — the speedup is never
+//! allowed to come from computing something else.
+//!
+//! Artifacts: `BENCH_alloc_hotpath.json` via `snorkel_bench::report`
+//! (set `SNORKEL_BENCH_JSON_DIR`).
+
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::sync::Mutex;
+
+use snorkel_arena::alloc_check::{allocations_in, min_allocations_over};
+use snorkel_context::{CandidateId, Corpus};
+use snorkel_core::optimizer::ModelingStrategy;
+use snorkel_incr::{IncrementalSession, SessionConfig};
+use snorkel_nlp::tokenize;
+use snorkel_serve::frame::{self, FRAME_HEADER_BYTES, OP_MARGINAL};
+use snorkel_serve::hotpath::{self, ReadScratch, SigMemo};
+use snorkel_serve::{BinRequest, LfSpec, VoteRow};
+
+#[global_allocator]
+static ALLOC: snorkel_arena::CountingAlloc = snorkel_arena::CountingAlloc::new();
+
+const GEN: u64 = 1;
+const ITERS: u64 = 50_000;
+const ROUNDS: usize = 5;
+
+fn primed_session(rows: usize) -> IncrementalSession {
+    let mut corpus = Corpus::new();
+    let doc = corpus.add_document("d");
+    for i in 0..rows {
+        let verb = match i % 5 {
+            0 | 1 => "causes",
+            2 => "treats",
+            3 => "worsens",
+            _ => "mentions",
+        };
+        let text = format!("alpha{} {verb} beta{}", i % 7, i % 5);
+        let s = corpus.add_sentence(doc, &text, tokenize(&text));
+        let a = corpus.add_span(s, 0, 1, Some("A"));
+        let b = corpus.add_span(s, 2, 3, Some("B"));
+        corpus.add_candidate(vec![a, b]);
+    }
+    let ids: Vec<CandidateId> = corpus.candidate_ids().collect();
+    let config = SessionConfig {
+        force_strategy: Some(ModelingStrategy::GenerativeModel {
+            epsilon: 0.0,
+            correlations: Vec::new(),
+            strengths: Vec::new(),
+        }),
+        ..SessionConfig::default()
+    };
+    let mut session = IncrementalSession::new(corpus, config);
+    session.ingest_candidates(&ids);
+    for spec in [
+        "lf_causes KEYWORD 1 -1 causes",
+        "lf_treats KEYWORD -1 1 treats",
+    ] {
+        let spec = LfSpec::parse(spec).expect("valid spec");
+        session.add_lf_tagged(spec.build().expect("buildable"), spec.content_tag());
+    }
+    session.refresh();
+    session
+}
+
+fn median_ns_per_op(rounds: usize, iters: u64, mut f: impl FnMut(u64)) -> f64 {
+    let mut samples: Vec<f64> = (0..rounds)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            f(iters);
+            t.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// The pre-arena request pipeline, reconstructed verbatim: owned
+/// decode, owned per-row posteriors through a key/value-cloning memo,
+/// fresh reply buffer per request.
+fn owned_request(
+    session: &IncrementalSession,
+    payload: &[u8],
+    memo: &Mutex<HashMap<VoteRow, Vec<f64>>>,
+) -> Vec<u8> {
+    let BinRequest::Marginal(rows) =
+        frame::decode_request(OP_MARGINAL, payload).expect("valid payload")
+    else {
+        unreachable!("OP_MARGINAL decodes to Marginal");
+    };
+    let model = session.model().expect("refreshed session has a model");
+    let mut probs: Vec<Vec<f64>> = Vec::with_capacity(rows.len());
+    {
+        let mut memo = memo.lock().unwrap();
+        for (cols, votes) in &rows {
+            let key = (cols.clone(), votes.clone());
+            let p = match memo.get(&key) {
+                Some(p) => p.clone(),
+                None => {
+                    let p = model.posterior(cols, votes);
+                    memo.insert(key, p.clone());
+                    p
+                }
+            };
+            probs.push(p);
+        }
+    }
+    frame::encode_marginal_reply(GEN, &probs)
+}
+
+/// The arena pipeline as the worker threads run it.
+fn arena_request(
+    session: &IncrementalSession,
+    payload: &[u8],
+    memo: &Mutex<SigMemo>,
+    scratch: &mut ReadScratch,
+    out: &mut Vec<u8>,
+) {
+    out.clear();
+    hotpath::decode_marginal(payload, scratch).expect("valid payload");
+    let outcome = hotpath::compute_marginal(session, GEN, memo, scratch).expect("valid batch");
+    frame::encode_marginal_reply_flat_into(GEN, scratch.probs(), outcome.width, out);
+}
+
+fn main() {
+    let session = primed_session(200);
+    // A deployment-shaped batch: 16 rows drawn from 6 distinct
+    // signatures (traffic collapses onto few patterns — the memo's
+    // whole premise).
+    let signatures: [VoteRow; 6] = [
+        (vec![0], vec![1]),
+        (vec![1], vec![-1]),
+        (vec![0, 1], vec![1, -1]),
+        (vec![0, 1], vec![1, 1]),
+        (vec![0], vec![-1]),
+        (vec![1], vec![1]),
+    ];
+    let rows: Vec<VoteRow> = (0..16).map(|i| signatures[i % 6].clone()).collect();
+    let request = frame::encode_marginal(&rows);
+    let payload = &request[FRAME_HEADER_BYTES..];
+
+    let owned_memo: Mutex<HashMap<VoteRow, Vec<f64>>> = Mutex::new(HashMap::new());
+    let arena_memo = Mutex::new(SigMemo::new());
+    let mut scratch = ReadScratch::new();
+    let mut out = Vec::new();
+
+    // Warm both paths, and pin the equivalence: byte-identical replies.
+    let owned_reply = owned_request(&session, payload, &owned_memo);
+    arena_request(&session, payload, &arena_memo, &mut scratch, &mut out);
+    assert_eq!(out, owned_reply, "arena reply != pre-arena reply");
+
+    // Allocations per request, steady state. The owned path's count is
+    // stable (same allocations every request), so one window over many
+    // requests is exact; the arena path takes the noise-robust minimum.
+    let (owned_allocs, ()) = allocations_in(|| {
+        for _ in 0..ITERS {
+            black_box(owned_request(&session, payload, &owned_memo));
+        }
+    });
+    let baseline_allocs_per_req = owned_allocs as f64 / ITERS as f64;
+    let arena_allocs_per_req = min_allocations_over(ROUNDS, || {
+        arena_request(&session, payload, &arena_memo, &mut scratch, &mut out);
+        black_box(out.len());
+    }) as f64;
+
+    // Time per request.
+    let baseline_ns = median_ns_per_op(ROUNDS, ITERS, |iters| {
+        for _ in 0..iters {
+            black_box(owned_request(&session, payload, &owned_memo));
+        }
+    });
+    let arena_ns = median_ns_per_op(ROUNDS, ITERS, |iters| {
+        for _ in 0..iters {
+            arena_request(&session, payload, &arena_memo, &mut scratch, &mut out);
+            black_box(out.len());
+        }
+    });
+    let speedup = baseline_ns / arena_ns;
+
+    println!(
+        "alloc hotpath: pre-arena {baseline_allocs_per_req:.1} allocs/req @ {baseline_ns:.0} \
+         ns/req, arena {arena_allocs_per_req:.1} allocs/req @ {arena_ns:.0} ns/req \
+         ({speedup:.2}x)"
+    );
+
+    snorkel_bench::report::emit(
+        "alloc_hotpath",
+        &[
+            ("baseline_allocs_per_req", baseline_allocs_per_req),
+            ("arena_allocs_per_req", arena_allocs_per_req),
+            ("baseline_ns_per_req", baseline_ns),
+            ("arena_ns_per_req", arena_ns),
+            ("speedup", speedup),
+        ],
+    );
+
+    // Ceiling on the arena path's steady-state allocations; CI sets 0.
+    // Meaningful only in release builds (debug std can allocate where
+    // release provably does not), so a debug run reports and skips.
+    if let Ok(raw) = std::env::var("SNORKEL_ALLOC_MAX_PER_REQ") {
+        let ceiling: f64 = raw
+            .parse()
+            .unwrap_or_else(|_| panic!("SNORKEL_ALLOC_MAX_PER_REQ={raw:?} is not a number"));
+        if cfg!(debug_assertions) {
+            println!(
+                "debug build: skipping the SNORKEL_ALLOC_MAX_PER_REQ={ceiling} gate \
+                 (enforced under --release)"
+            );
+        } else if arena_allocs_per_req > ceiling {
+            eprintln!(
+                "FAIL: arena read path costs {arena_allocs_per_req:.1} allocations/request, \
+                 over the {ceiling:.1} ceiling (SNORKEL_ALLOC_MAX_PER_REQ)"
+            );
+            std::process::exit(1);
+        } else {
+            println!("arena allocations {arena_allocs_per_req:.1}/req ≤ {ceiling:.1} — ok");
+        }
+    }
+}

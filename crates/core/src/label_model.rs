@@ -155,6 +155,29 @@ pub trait LabelModel: std::fmt::Debug + Send + Sync {
     /// Posterior class distribution for one row of votes.
     fn posterior(&self, cols: &[u32], votes: &[Vote]) -> Vec<f64>;
 
+    /// Write the posterior for one row of votes into a caller-owned
+    /// slice of exactly `scheme().num_classes()` elements — the
+    /// allocation-free form of [`posterior`](Self::posterior) used by
+    /// the serving read path, which owns one flat probability arena per
+    /// worker instead of a `Vec` per request.
+    ///
+    /// The contract is bitwise: for any input, the values written here
+    /// are bit-identical to what `posterior` returns. Backends on this
+    /// crate override it with a zero-allocation body performing the
+    /// same float-op sequence; the default goes through `posterior`
+    /// (correct, but allocating — fine for backends off the hot path).
+    ///
+    /// Panics if `out.len() != scheme().num_classes()`.
+    fn posterior_into(&self, cols: &[u32], votes: &[Vote], out: &mut [f64]) {
+        let p = self.posterior(cols, votes);
+        assert_eq!(
+            out.len(),
+            p.len(),
+            "posterior_into needs a slice of num_classes elements"
+        );
+        out.copy_from_slice(&p);
+    }
+
     /// Posterior class distributions for every row of `lambda`
     /// (`labels[row][class]`), through the plan when one is supplied.
     fn marginals(&self, lambda: &LabelMatrix, plan: Option<&ShardedMatrix>) -> Vec<Vec<f64>>;
@@ -351,6 +374,29 @@ impl LabelModel for MajorityVoteModel {
         p
     }
 
+    fn posterior_into(&self, _cols: &[u32], votes: &[Vote], out: &mut [f64]) {
+        let k = self.scheme.num_classes();
+        assert_eq!(out.len(), k, "posterior_into needs {k} elements");
+        // Tally into the output slice itself (counts are exact in f64),
+        // so no scratch vector is needed. The written probabilities are
+        // the same literals `posterior` produces: 0.0 / 1.0 / 1.0 ÷ k.
+        out.fill(0.0);
+        for &v in votes {
+            if let Some(c) = self.scheme.class_of_vote(v) {
+                out[c] += 1.0;
+            }
+        }
+        let best = out.iter().copied().fold(0.0f64, f64::max);
+        let winner_count = out.iter().filter(|&&t| t == best).count();
+        if best == 0.0 || winner_count > 1 {
+            out.fill(1.0 / k as f64);
+        } else {
+            let winner = out.iter().position(|&t| t == best).expect("best exists");
+            out.fill(0.0);
+            out[winner] = 1.0;
+        }
+    }
+
     fn marginals(&self, lambda: &LabelMatrix, plan: Option<&ShardedMatrix>) -> Vec<Vec<f64>> {
         marginals_via(lambda, plan, |cols, votes| self.posterior(cols, votes))
     }
@@ -432,6 +478,10 @@ impl LabelModel for GenerativeModel {
 
     fn posterior(&self, cols: &[u32], votes: &[Vote]) -> Vec<f64> {
         GenerativeModel::posterior(self, cols, votes)
+    }
+
+    fn posterior_into(&self, cols: &[u32], votes: &[Vote], out: &mut [f64]) {
+        GenerativeModel::posterior_into(self, cols, votes, out)
     }
 
     fn marginals(&self, lambda: &LabelMatrix, plan: Option<&ShardedMatrix>) -> Vec<Vec<f64>> {
@@ -832,6 +882,10 @@ impl LabelModel for MomentModel {
         self.inner.posterior(cols, votes)
     }
 
+    fn posterior_into(&self, cols: &[u32], votes: &[Vote], out: &mut [f64]) {
+        self.inner.posterior_into(cols, votes, out)
+    }
+
     fn marginals(&self, lambda: &LabelMatrix, plan: Option<&ShardedMatrix>) -> Vec<Vec<f64>> {
         LabelModel::marginals(&self.inner, lambda, plan)
     }
@@ -1103,6 +1157,35 @@ mod tests {
         // Plan-deduplicated path is bit-identical.
         let plan = ShardedMatrix::build(&lambda, 3);
         assert_eq!(LabelModel::marginals(&mv, &lambda, Some(&plan)), marg);
+    }
+
+    #[test]
+    fn posterior_into_is_bit_identical_across_backends() {
+        let (lambda, _) = planted(600, &[0.85, 0.7, 0.6], 0.5, 19);
+        let cfg = TrainConfig::default();
+        let mut backends: Vec<Box<dyn LabelModel>> = vec![
+            Box::new(MajorityVoteModel::new(3, LabelScheme::Binary)),
+            Box::new(GenerativeModel::new(3, LabelScheme::Binary)),
+            Box::new(MomentModel::new(3, LabelScheme::Binary)),
+        ];
+        for model in &mut backends {
+            model.fit(&lambda, None, &cfg);
+            let k = model.scheme().num_classes();
+            let mut out = vec![f64::NAN; k];
+            for i in 0..lambda.num_points() {
+                let (cols, votes) = lambda.row(i);
+                model.posterior_into(cols, votes, &mut out);
+                let reference = model.posterior(cols, votes);
+                let out_bits: Vec<u64> = out.iter().map(|x| x.to_bits()).collect();
+                let ref_bits: Vec<u64> = reference.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(
+                    out_bits,
+                    ref_bits,
+                    "row {i} on backend {}",
+                    model.backend_name()
+                );
+            }
+        }
     }
 
     #[test]

@@ -638,6 +638,30 @@ impl GenerativeModel {
         scores
     }
 
+    /// [`Self::posterior`] into a caller-owned slice of
+    /// `scheme().num_classes()` elements, allocating nothing.
+    ///
+    /// Performs the identical float-op sequence — copy the class-balance
+    /// weights, accumulate accuracy weights, softmax in place — so the
+    /// written values are bit-identical to `posterior`'s. This is the
+    /// kernel under the serving layer's flat posterior arena.
+    ///
+    /// Panics if `out.len() != scheme().num_classes()`.
+    pub fn posterior_into(&self, cols: &[u32], votes: &[Vote], out: &mut [f64]) {
+        assert_eq!(
+            out.len(),
+            self.b_class.len(),
+            "posterior_into needs a slice of num_classes elements"
+        );
+        out.copy_from_slice(&self.b_class);
+        for (&c, &v) in cols.iter().zip(votes) {
+            if let Some(class) = self.scheme.class_of_vote(v) {
+                out[class] += self.w_acc[c as usize];
+            }
+        }
+        softmax_in_place(out);
+    }
+
     /// Posterior class distributions for every row.
     ///
     /// Large matrices (≥ [`SCALEOUT_MIN_ROWS`] rows) are automatically
@@ -1093,8 +1117,11 @@ impl GenerativeModel {
 
         // ---------------- Phase 1: plain EM sweeps ----------------
         let mut stats = ExactPassStats::new(n);
+        // Per-shard accumulator pool, allocated on the first sharded
+        // pass and reused by every later iteration of both phases.
+        let mut pool: Vec<ShardPass> = Vec::new();
         loop {
-            self.exact_pass(lambda, plan, &mut stats, false);
+            self.exact_pass(lambda, plan, &mut stats, false, &mut pool);
             iters += 1;
             let mut f_inf = 0.0f64;
             for j in 0..n {
@@ -1128,7 +1155,7 @@ impl GenerativeModel {
         let mut grad = vec![0.0f64; dim];
         let mut hess = vec![vec![0.0f64; dim]; dim];
         while iters < cfg.epochs {
-            self.exact_pass(lambda, plan, &mut stats, true);
+            self.exact_pass(lambda, plan, &mut stats, true, &mut pool);
             iters += 1;
             let obj_cur = self.penalized_objective(&stats, m, (a_agree, a_dis, a_abs));
 
@@ -1232,7 +1259,7 @@ impl GenerativeModel {
                     }
                     self.w_acc[j] = acc.clamp(-W_CLAMP, W_CLAMP);
                 }
-                self.exact_pass(lambda, plan, &mut stats, false);
+                self.exact_pass(lambda, plan, &mut stats, false, &mut pool);
                 iters += 1;
                 let obj_new = self.penalized_objective(&stats, m, (a_agree, a_dis, a_abs));
                 // Acceptance slack at the objective's arithmetic noise
@@ -1253,7 +1280,7 @@ impl GenerativeModel {
                 // Heavily damped Newton keeps failing (numerically odd
                 // region): fall back to one plain EM sweep, which always
                 // makes progress, and reset the damping.
-                self.exact_pass(lambda, plan, &mut stats, false);
+                self.exact_pass(lambda, plan, &mut stats, false, &mut pool);
                 iters += 1;
                 for j in 0..n {
                     let a_j = stats.agree[j];
@@ -1273,7 +1300,7 @@ impl GenerativeModel {
         }
 
         // Final bookkeeping pass for the reported NLL.
-        self.exact_pass(lambda, plan, &mut stats, false);
+        self.exact_pass(lambda, plan, &mut stats, false, &mut pool);
         let nll = stats.nll(m, &self.b_class, &self.w_lab, &self.w_acc, k1);
         (iters, nll)
     }
@@ -1290,9 +1317,10 @@ impl GenerativeModel {
         plan: Option<&ShardedMatrix>,
         stats: &mut ExactPassStats,
         with_moments: bool,
+        pool: &mut Vec<ShardPass>,
     ) {
         match plan {
-            Some(plan) => self.exact_pass_sharded(plan, stats, with_moments),
+            Some(plan) => self.exact_pass_sharded(plan, stats, with_moments, pool),
             None => self.exact_pass_rowwise(lambda, stats, with_moments),
         }
     }
@@ -1361,13 +1389,19 @@ impl GenerativeModel {
         plan: &ShardedMatrix,
         stats: &mut ExactPassStats,
         with_moments: bool,
+        pool: &mut Vec<ShardPass>,
     ) {
         let k = self.scheme.num_classes();
         let n = self.n;
-        let partials = plan.map_shards(|idx| {
-            let mut s = ExactPassStats::new(n);
-            let mut scores = vec![0.0f64; k];
-            let mut row_classes: Vec<(usize, usize, f64)> = Vec::new();
+        if pool.len() != plan.shards().len() {
+            pool.clear();
+            pool.resize_with(plan.shards().len(), || ShardPass::new(n, k));
+        }
+        plan.for_each_shard_with(pool, |idx, slot| {
+            let s = &mut slot.stats;
+            s.reset(with_moments);
+            let scores = &mut slot.scores;
+            let row_classes = &mut slot.row_classes;
             for (_, cols, votes, cnt) in idx.live_patterns() {
                 let c = cnt as f64;
                 scores.copy_from_slice(&self.b_class);
@@ -1379,7 +1413,7 @@ impl GenerativeModel {
                         scores[class] += self.w_acc[j];
                     }
                 }
-                let lse = logsumexp(&scores);
+                let lse = logsumexp(scores);
                 s.loglik += c * (lab_term + lse);
                 row_classes.clear();
                 for (&col, &v) in cols.iter().zip(votes) {
@@ -1405,11 +1439,10 @@ impl GenerativeModel {
                     }
                 }
             }
-            s
         });
         stats.reset(with_moments);
-        for partial in &partials {
-            stats.merge(partial, with_moments);
+        for slot in pool.iter() {
+            stats.merge(&slot.stats, with_moments);
         }
     }
 
@@ -1824,6 +1857,28 @@ struct ExactPassStats {
     loglik: f64,
     /// Posterior second moments `Σ_i cov_i(φ_j, φ_k)` (Newton only).
     acc_moment: Vec<Vec<f64>>,
+}
+
+/// One shard's slot in the exact-pass scratch pool: the partial
+/// accumulators plus the per-pattern posterior buffers. The fit loop
+/// owns one pool for its whole run, so every EM/Newton iteration after
+/// the first reuses these buffers instead of reallocating them per
+/// pass (`ShardedMatrix::for_each_shard_with` pairs slot `i` with
+/// shard `i` deterministically).
+struct ShardPass {
+    stats: ExactPassStats,
+    scores: Vec<f64>,
+    row_classes: Vec<(usize, usize, f64)>,
+}
+
+impl ShardPass {
+    fn new(n: usize, k: usize) -> Self {
+        ShardPass {
+            stats: ExactPassStats::new(n),
+            scores: vec![0.0; k],
+            row_classes: Vec::new(),
+        }
+    }
 }
 
 impl ExactPassStats {

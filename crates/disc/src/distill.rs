@@ -63,6 +63,28 @@ pub fn hash_features<'a>(names: impl IntoIterator<Item = &'a str>, buckets: u32)
     v
 }
 
+/// [`hash_features`] into caller-owned scratch: `pairs` is the hash
+/// staging buffer, `out` receives the L2-normalized vector. Both keep
+/// their capacity across calls, so a warm serving worker hashes every
+/// request without touching the allocator. Produces exactly what
+/// `hash_features` returns (same hash, same merge order, same
+/// normalization).
+pub fn hash_features_into<'a>(
+    names: impl IntoIterator<Item = &'a str>,
+    buckets: u32,
+    pairs: &mut Vec<(u32, f64)>,
+    out: &mut SparseVec,
+) {
+    pairs.clear();
+    pairs.extend(
+        names
+            .into_iter()
+            .map(|name| (hash_feature(name, buckets), 1.0)),
+    );
+    out.assign_from_pairs(pairs);
+    out.l2_normalize();
+}
+
 /// Per-row confidence of a marginal distribution: 0 on the uniform
 /// (all-abstain) posterior, 1 on a one-hot posterior.
 pub fn marginal_confidence(row: &[f64]) -> f64 {
@@ -237,6 +259,25 @@ impl DistilledModel {
                 vec![p, 1.0 - p]
             }
             DistilledModel::Multi(m) => m.predict_proba(x),
+        }
+    }
+
+    /// [`Self::predict_proba`] into a caller-owned slice of
+    /// `num_classes()` elements, allocating nothing; the values written
+    /// are bit-identical to `predict_proba`'s (same score, same
+    /// sigmoid/softmax sequence). This is the kernel under the serving
+    /// layer's `PREDICT` arena path.
+    ///
+    /// Panics if `out.len() != num_classes()`.
+    pub fn predict_proba_into(&self, x: &SparseVec, out: &mut [f64]) {
+        match self {
+            DistilledModel::Binary(m) => {
+                assert_eq!(out.len(), 2, "predict_proba_into needs two slots");
+                let p = m.predict_proba(x);
+                out[0] = p;
+                out[1] = 1.0 - p;
+            }
+            DistilledModel::Multi(m) => m.predict_proba_into(x, out),
         }
     }
 
@@ -712,6 +753,48 @@ mod tests {
         let p = m.predict_proba(&xs[0]);
         assert_eq!(p.len(), 3);
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn into_variants_match_owned_paths_bitwise() {
+        // hash_features_into reuses scratch and matches hash_features.
+        let names = ["u=magnesium", "btw=causes", "w=the", "u=magnesium"];
+        let mut pairs = Vec::new();
+        let mut x = SparseVec::new();
+        hash_features_into(names.iter().copied(), 1 << 10, &mut pairs, &mut x);
+        assert_eq!(x, crate::hash_features(names.iter().copied(), 1 << 10));
+
+        // predict_proba_into matches predict_proba on both backends.
+        let (xs, ms, _) = planted(300, 0.9, 8);
+        let mut bin = DistilledModel::new(64, 2);
+        bin.fit(&xs, &ms, &[], &cfg());
+        let mut tri = DistilledModel::new(64, 3);
+        let ms3: Vec<Vec<f64>> = (0..xs.len())
+            .map(|i| {
+                let p = ms[i][0];
+                vec![p, (1.0 - p) * 0.75, (1.0 - p) * 0.25]
+            })
+            .collect();
+        tri.fit(
+            &xs,
+            &ms3,
+            &[],
+            &DistillConfig {
+                dim: 64,
+                epochs: 3,
+                ..DistillConfig::default()
+            },
+        );
+        for model in [&bin, &tri] {
+            let mut out = vec![f64::NAN; model.num_classes()];
+            for x in &xs[..40] {
+                model.predict_proba_into(x, &mut out);
+                let reference = model.predict_proba(x);
+                let out_bits: Vec<u64> = out.iter().map(|v| v.to_bits()).collect();
+                let ref_bits: Vec<u64> = reference.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(out_bits, ref_bits);
+            }
+        }
     }
 
     #[test]

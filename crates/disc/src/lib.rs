@@ -90,8 +90,8 @@ mod softmax;
 pub use adam::Adam;
 pub use analysis::{Bucket, ErrorBuckets};
 pub use distill::{
-    hash_features, marginal_confidence, DiscModelParts, DistillConfig, DistillReport,
-    DistilledModel,
+    hash_features, hash_features_into, marginal_confidence, DiscModelParts, DistillConfig,
+    DistillReport, DistilledModel,
 };
 pub use features::{hash_feature, TextFeaturizer};
 pub use logreg::{LogRegConfig, LogisticRegression};

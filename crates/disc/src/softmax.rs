@@ -116,6 +116,24 @@ impl SoftmaxRegression {
         scores
     }
 
+    /// [`Self::predict_proba`] into a caller-owned slice of
+    /// `num_classes()` elements, allocating nothing. Same float-op
+    /// sequence (per-class dot + bias, then softmax in place), so the
+    /// written values are bit-identical to `predict_proba`'s.
+    ///
+    /// Panics if `out.len() != num_classes()`.
+    pub fn predict_proba_into(&self, x: &SparseVec, out: &mut [f64]) {
+        assert_eq!(
+            out.len(),
+            self.weights.len(),
+            "predict_proba_into needs one slot per class"
+        );
+        for (slot, (w, b)) in out.iter_mut().zip(self.weights.iter().zip(&self.bias)) {
+            *slot = x.dot_dense(w) + b;
+        }
+        softmax_in_place(out);
+    }
+
     /// MAP class (0-based) per example.
     pub fn predict_class(&self, x: &SparseVec) -> usize {
         let p = self.predict_proba(x);

@@ -32,6 +32,12 @@
 //!   ε-sweep (the expensive half of strategy selection) is skipped and
 //!   the previous correlation structure is reused; the cheap `A~*`
 //!   advantage bound is always re-checked.
+//! * **Reused refresh scratch** — the session owns a
+//!   [`snorkel_matrix::ResignScratch`] threaded into the sharded plan's
+//!   delta column re-signs, so repeated edits stop allocating once the
+//!   buffers reach the workload's high-water mark (reported on the
+//!   `snorkel_incr_scratch_bytes` gauge; budgets in
+//!   `docs/PERFORMANCE.md`).
 //!
 //! [`IncrementalSession`] ties these together behind an
 //! add/edit/remove/ingest/[`refresh`](IncrementalSession::refresh) API.

@@ -15,7 +15,9 @@ use snorkel_core::pipeline::{DiscTrainer, DiscTrainerConfig};
 use snorkel_disc::{DiscModelParts, DistillReport, DistilledModel, TextFeaturizer};
 use snorkel_lf::{BoxedLf, LfExecutor};
 use snorkel_linalg::SparseVec;
-use snorkel_matrix::{LabelMatrix, MatrixDelta, ShardedMatrix, ShardedMatrixParts, Vote};
+use snorkel_matrix::{
+    LabelMatrix, MatrixDelta, ResignScratch, ShardedMatrix, ShardedMatrixParts, Vote,
+};
 
 use crate::cache::{CacheStats, FrozenCache, LfResultCache};
 use crate::fingerprint::Fingerprint;
@@ -35,6 +37,7 @@ struct IncrMetrics {
     cache_capacity: std::sync::Arc<snorkel_obs::Gauge>,
     rows: std::sync::Arc<snorkel_obs::Gauge>,
     lfs: std::sync::Arc<snorkel_obs::Gauge>,
+    scratch_bytes: std::sync::Arc<snorkel_obs::Gauge>,
 }
 
 fn incr_metrics() -> &'static IncrMetrics {
@@ -53,6 +56,7 @@ fn incr_metrics() -> &'static IncrMetrics {
             cache_capacity: r.gauge("snorkel_incr_cache_capacity", &[]),
             rows: r.gauge("snorkel_incr_rows", &[]),
             lfs: r.gauge("snorkel_incr_lfs", &[]),
+            scratch_bytes: r.gauge("snorkel_incr_scratch_bytes", &[]),
         }
     })
 }
@@ -433,6 +437,11 @@ pub struct IncrementalSession {
     last_marginals: Option<std::sync::Arc<Vec<Vec<f64>>>>,
     /// The distilled serving model, if any.
     disc: Option<DiscState>,
+    /// Reusable re-sign scratch for the sharded plan's delta column
+    /// splices: grown to the workload's high-water mark on the first
+    /// edit, reset (not freed) on every subsequent refresh. Its
+    /// footprint is the `snorkel_incr_scratch_bytes` gauge.
+    resign_scratch: ResignScratch,
 }
 
 impl IncrementalSession {
@@ -457,6 +466,7 @@ impl IncrementalSession {
             features_featurizer: None,
             last_marginals: None,
             disc: None,
+            resign_scratch: ResignScratch::new(),
         }
     }
 
@@ -689,6 +699,9 @@ impl IncrementalSession {
         metrics.cache_capacity.set(self.cache.capacity() as i64);
         metrics.rows.set(self.candidates.len() as i64);
         metrics.lfs.set(self.lfs.len() as i64);
+        metrics
+            .scratch_bytes
+            .set(self.resign_scratch.bytes().min(i64::MAX as usize) as i64);
     }
 
     /// Drop all cached LF results (required after mutating registered
@@ -1058,6 +1071,7 @@ impl IncrementalSession {
             features_featurizer: None,
             last_marginals: None,
             disc,
+            resign_scratch: ResignScratch::new(),
         };
         // A thawed process starts with fresh (zero) counters, but the
         // gauges describe reconstructed state — publish them now so the
@@ -1222,7 +1236,7 @@ impl IncrementalSession {
                             plan.append_rows(lambda);
                         }
                         for &j in &changed_cols {
-                            plan.refresh_column(lambda, j);
+                            plan.refresh_column_with(lambda, j, &mut self.resign_scratch);
                         }
                         false
                     }

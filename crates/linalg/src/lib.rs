@@ -19,6 +19,10 @@
 //!   kernels the models need (`matvec`, `matvec_t`, row views, axpy).
 //! * [`sparse`] — [`sparse::SparseVec`], the hashed-feature representation
 //!   used by the discriminative text models.
+//! * [`soa`] — structure-of-arrays batch kernels for the serving read
+//!   path: chunked log-sum-exp and row-wise softmax over one flat
+//!   `rows × width` buffer, bit-identical to the scalar kernels in
+//!   [`math`].
 //! * [`stats`] — streaming mean/variance (Welford), quantiles, Pearson
 //!   correlation, and a [`stats::Summary`] convenience for bench output.
 
@@ -27,10 +31,12 @@
 
 pub mod dense;
 pub mod math;
+pub mod soa;
 pub mod sparse;
 pub mod stats;
 
 pub use dense::Mat;
 pub use math::{log1pexp, logsumexp, sigmoid, softmax_in_place};
+pub use soa::{logsumexp_chunked, softmax_rows_in_place};
 pub use sparse::SparseVec;
 pub use stats::{OnlineStats, Summary};

@@ -1,0 +1,162 @@
+//! Structure-of-arrays posterior kernels.
+//!
+//! The serving read path stores a batch of posterior rows as **one**
+//! flat `f64` buffer of `rows × width` (every posterior over the same
+//! label scheme has the same width — the class count), not as
+//! `Vec<Vec<f64>>`. That layout needs zero per-row allocations, keeps
+//! each row's values contiguous, and lets the exp / normalize loops
+//! below run over long flat slices the auto-vectorizer can chunk.
+//!
+//! Bit-compatibility is a hard contract here: the serving layer
+//! promises marginals bit-identical across the text plane, the binary
+//! plane, and the pre-arena row-at-a-time path. Every routine in this
+//! module therefore performs **exactly the float-op sequence** of its
+//! scalar counterpart in [`crate::math`] (same reduction order, same
+//! shift, same division) — only the memory layout and loop structure
+//! differ. The max reduction is additionally chunked into independent
+//! lanes, which is safe because `max` is associative and commutative
+//! over the non-NaN scores these paths produce.
+
+/// Number of independent accumulator lanes in the chunked max
+/// reduction — wide enough to keep a SIMD unit busy, small enough that
+/// the scalar tail never dominates.
+const LANES: usize = 4;
+
+/// Chunked maximum of a slice, `NEG_INFINITY` when empty.
+///
+/// Runs `LANES` (4) independent accumulators over the body and folds the
+/// remainder sequentially. Bit-identical to the sequential scan in
+/// [`logsumexp`](crate::math::logsumexp) for inputs without NaNs
+/// (`max` is order-independent), while exposing independent dependency
+/// chains to the vectorizer.
+pub fn max_chunked(xs: &[f64]) -> f64 {
+    let mut lanes = [f64::NEG_INFINITY; LANES];
+    let mut chunks = xs.chunks_exact(LANES);
+    for chunk in &mut chunks {
+        for (lane, &x) in lanes.iter_mut().zip(chunk) {
+            if x > *lane {
+                *lane = x;
+            }
+        }
+    }
+    let mut max = f64::NEG_INFINITY;
+    for &lane in &lanes {
+        if lane > max {
+            max = lane;
+        }
+    }
+    for &x in chunks.remainder() {
+        if x > max {
+            max = x;
+        }
+    }
+    max
+}
+
+/// Chunked log-sum-exp: `ln Σ_i e^{x_i}`, `NEG_INFINITY` when empty.
+///
+/// The max shift uses [`max_chunked`]; the sum runs in index order —
+/// the same order as [`logsumexp`](crate::math::logsumexp) — so the
+/// result is bit-identical to the scalar routine while the `exp` loop
+/// stays free of cross-iteration dependencies.
+pub fn logsumexp_chunked(xs: &[f64]) -> f64 {
+    let max = max_chunked(xs);
+    if max == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    let mut sum = 0.0;
+    for &x in xs {
+        sum += (x - max).exp();
+    }
+    max + sum.ln()
+}
+
+/// In-place softmax over every `width`-wide row of a flat
+/// structure-of-arrays buffer.
+///
+/// Each row is normalized by exactly the float-op sequence of
+/// [`softmax_in_place`](crate::math::softmax_in_place), so a flat
+/// batch posterior is bit-identical to `rows` independent scalar
+/// softmax calls. `width == 0` requires an empty buffer (no rows to
+/// normalize); otherwise `flat.len()` must be a multiple of `width`.
+pub fn softmax_rows_in_place(flat: &mut [f64], width: usize) {
+    if width == 0 {
+        assert!(flat.is_empty(), "zero-width rows over a non-empty buffer");
+        return;
+    }
+    assert_eq!(
+        flat.len() % width,
+        0,
+        "flat buffer of {} is not a whole number of {width}-wide rows",
+        flat.len()
+    );
+    for row in flat.chunks_exact_mut(width) {
+        // Same shape as math::softmax_in_place, with the chunked-max
+        // LSE; identical op order per element.
+        let lse = logsumexp_chunked(row);
+        if lse == f64::NEG_INFINITY {
+            let u = 1.0 / width as f64;
+            for x in row.iter_mut() {
+                *x = u;
+            }
+            continue;
+        }
+        for x in row.iter_mut() {
+            *x = (*x - lse).exp();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::{logsumexp, softmax_in_place};
+
+    fn bits(xs: &[f64]) -> Vec<u64> {
+        xs.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn chunked_lse_is_bit_identical_to_scalar() {
+        let cases: Vec<Vec<f64>> = vec![
+            vec![],
+            vec![0.3],
+            vec![1.0, 2.0, 3.0],
+            vec![-1000.0, 1000.0, 3.5, -2.25, 0.0, 7.125, -0.5],
+            (0..33).map(|i| (i as f64) * 0.37 - 6.0).collect(),
+            vec![f64::NEG_INFINITY; 5],
+        ];
+        for xs in cases {
+            assert_eq!(
+                logsumexp_chunked(&xs).to_bits(),
+                logsumexp(&xs).to_bits(),
+                "case {xs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn soa_softmax_matches_per_row_scalar_softmax_bitwise() {
+        let width = 3;
+        let mut flat: Vec<f64> = (0..12).map(|i| ((i * 7) % 5) as f64 - 2.0).collect();
+        let mut reference = flat.clone();
+        softmax_rows_in_place(&mut flat, width);
+        for row in reference.chunks_exact_mut(width) {
+            softmax_in_place(row);
+        }
+        assert_eq!(bits(&flat), bits(&reference));
+    }
+
+    #[test]
+    fn all_neg_inf_row_goes_uniform() {
+        let mut flat = vec![f64::NEG_INFINITY; 4];
+        softmax_rows_in_place(&mut flat, 2);
+        assert_eq!(flat, vec![0.5; 4]);
+    }
+
+    #[test]
+    fn empty_buffer_is_fine_at_any_width() {
+        softmax_rows_in_place(&mut [], 0);
+        softmax_rows_in_place(&mut [], 3);
+    }
+}

@@ -50,10 +50,56 @@ impl SparseVec {
         }
     }
 
+    /// [`Self::from_pairs`] into `self`, reusing both internal buffers:
+    /// the reset-and-reuse form for hot paths that hash features per
+    /// request. `pairs` is the caller's scratch (sorted in place); after
+    /// the warm-up request neither side touches the allocator.
+    ///
+    /// The result is identical to `from_pairs` on the same pairs — same
+    /// sort, same duplicate-merge order (so the same bits when values
+    /// are summed), same exact-zero drop.
+    pub fn assign_from_pairs(&mut self, pairs: &mut [(u32, f64)]) {
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        self.idx.clear();
+        self.val.clear();
+        for &(i, v) in pairs.iter() {
+            if let Some(&last) = self.idx.last() {
+                if last == i {
+                    *self.val.last_mut().expect("val tracks idx") += v;
+                    continue;
+                }
+            }
+            self.idx.push(i);
+            self.val.push(v);
+        }
+        // Compact away entries that merged to exactly zero.
+        let mut w = 0usize;
+        for r in 0..self.idx.len() {
+            if self.val[r] != 0.0 {
+                self.idx[w] = self.idx[r];
+                self.val[w] = self.val[r];
+                w += 1;
+            }
+        }
+        self.idx.truncate(w);
+        self.val.truncate(w);
+    }
+
     /// Number of stored (non-zero) entries.
     #[inline]
     pub fn nnz(&self) -> usize {
         self.idx.len()
+    }
+
+    /// Heap footprint of the index/value buffers (capacity, not
+    /// length). Capacity is monotone under the reuse methods
+    /// ([`Self::assign_from_pairs`]), so for a scratch vector this is
+    /// its high-water mark — what the serving layer's scratch-bytes
+    /// gauges report.
+    #[inline]
+    pub fn capacity_bytes(&self) -> usize {
+        self.idx.capacity() * std::mem::size_of::<u32>()
+            + self.val.capacity() * std::mem::size_of::<f64>()
     }
 
     /// True if no entries are stored.
@@ -163,6 +209,20 @@ mod tests {
         let v = SparseVec::from_pairs(vec![(1, 1.0), (1, -1.0), (2, 3.0)]);
         assert_eq!(v.indices(), &[2]);
         assert_eq!(v.nnz(), 1);
+    }
+
+    #[test]
+    fn assign_from_pairs_matches_from_pairs_and_reuses_buffers() {
+        let pairs = vec![(5, 1.0), (2, 2.0), (5, 3.0), (9, 0.5), (7, 1.0), (7, -1.0)];
+        let reference = SparseVec::from_pairs(pairs.clone());
+        let mut v = SparseVec::new();
+        let mut scratch = pairs;
+        v.assign_from_pairs(&mut scratch);
+        assert_eq!(v, reference);
+        // Refill with a smaller vector: same result as a fresh build.
+        let mut scratch2 = vec![(3, 1.5), (1, 0.25)];
+        v.assign_from_pairs(&mut scratch2);
+        assert_eq!(v, SparseVec::from_pairs(vec![(3, 1.5), (1, 0.25)]));
     }
 
     #[test]

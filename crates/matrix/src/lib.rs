@@ -51,6 +51,6 @@ pub use csr::{
     is_legal_vote, CsrParts, LabelMatrix, LabelMatrixBuilder, SelectError, Vote, ABSTAIN,
 };
 pub use delta::MatrixDelta;
-pub use pattern::{PatternIndex, PatternIndexParts};
+pub use pattern::{PatternIndex, PatternIndexParts, ResignScratch};
 pub use shard::{ShardedMatrix, ShardedMatrixParts};
 pub use stats::{LfSummary, MatrixStats};

@@ -31,7 +31,33 @@
 
 use std::collections::HashMap;
 
+use snorkel_arena::ScratchVec;
+
 use crate::csr::{LabelMatrix, Vote};
+
+/// Reusable scratch for [`PatternIndex::refresh_column_with`]: the
+/// pattern-touches-column bitmap and the affected-row list that a
+/// column re-sign needs. Owned by long-lived callers (the incremental
+/// session holds one per refresh loop) so that re-signing after every
+/// delta edit stops allocating once the buffers reach the high-water
+/// mark of the workload.
+#[derive(Debug, Default)]
+pub struct ResignScratch {
+    pat_has: ScratchVec<bool>,
+    affected: ScratchVec<usize>,
+}
+
+impl ResignScratch {
+    /// Empty scratch (no allocation until first use).
+    pub fn new() -> Self {
+        ResignScratch::default()
+    }
+
+    /// High-water footprint in bytes across both buffers.
+    pub fn bytes(&self) -> usize {
+        self.pat_has.bytes() + self.affected.bytes()
+    }
+}
 
 /// Hash of one row signature (the hash-consing key; collisions are
 /// resolved by full slice comparison, so the hash only needs to spread
@@ -270,18 +296,33 @@ impl PatternIndex {
     /// every higher column index, changing signatures the edited column
     /// never appeared in; use [`Self::rebuild`] there.
     pub fn refresh_column(&mut self, lambda: &LabelMatrix, col: usize) {
+        self.refresh_column_with(lambda, col, &mut ResignScratch::new());
+    }
+
+    /// [`Self::refresh_column`] with caller-owned scratch: the bitmap
+    /// and affected-row list live in `scratch` and are reset (not
+    /// freed) here, so a warm caller re-signs without allocating for
+    /// the selection pass. Interning a *new* pattern still grows the
+    /// signature arenas — that is index state, not scratch.
+    pub fn refresh_column_with(
+        &mut self,
+        lambda: &LabelMatrix,
+        col: usize,
+        scratch: &mut ResignScratch,
+    ) {
         let jc = col as u32;
-        let pat_has: Vec<bool> = (0..self.pat_bounds.len())
-            .map(|p| self.pattern(p).0.binary_search(&jc).is_ok())
-            .collect();
-        let mut affected = Vec::new();
+        scratch.pat_has.reset();
+        scratch.pat_has.extend(
+            (0..self.pat_bounds.len()).map(|p| self.pattern(p).0.binary_search(&jc).is_ok()),
+        );
+        scratch.affected.reset();
         for (local, &p) in self.row_pattern.iter().enumerate() {
             let r = self.start + local;
-            if pat_has[p as usize] || lambda.row(r).0.binary_search(&jc).is_ok() {
-                affected.push(r);
+            if scratch.pat_has[p as usize] || lambda.row(r).0.binary_search(&jc).is_ok() {
+                scratch.affected.push(r);
             }
         }
-        self.resign_rows(lambda, &affected);
+        self.resign_rows(lambda, &scratch.affected);
     }
 
     /// Rebuild from scratch over the same row range, extended/truncated

@@ -12,7 +12,7 @@
 //! and column splices re-sign only the touched patterns of each shard.
 
 use crate::csr::LabelMatrix;
-use crate::pattern::{PatternIndex, PatternIndexParts};
+use crate::pattern::{PatternIndex, PatternIndexParts, ResignScratch};
 
 /// Owned copy of a [`ShardedMatrix`]'s persistent state — the stable
 /// encoding surface for on-disk snapshots. The worker count is *not*
@@ -147,6 +147,46 @@ impl ShardedMatrix {
         out
     }
 
+    /// Run `f` over every shard in parallel, handing each shard its own
+    /// caller-owned scratch slot — the reuse-friendly counterpart of
+    /// [`Self::map_shards`] for passes that run many times over the
+    /// same plan (the EM/Newton sufficient-statistics loop): the caller
+    /// keeps the scratch pool alive across passes, so per-shard
+    /// accumulators are allocated once per fit instead of once per
+    /// iteration. Slot `i` always pairs with shard `i`, whatever the
+    /// thread count.
+    ///
+    /// Panics unless `scratch.len() == self.shards().len()`.
+    pub fn for_each_shard_with<S, F>(&self, scratch: &mut [S], f: F)
+    where
+        S: Send,
+        F: Fn(&PatternIndex, &mut S) + Sync,
+    {
+        assert_eq!(
+            scratch.len(),
+            self.shards.len(),
+            "one scratch slot per shard"
+        );
+        let workers = self.workers.min(self.shards.len());
+        if workers <= 1 {
+            for (shard, slot) in self.shards.iter().zip(scratch.iter_mut()) {
+                f(shard, slot);
+            }
+            return;
+        }
+        let per = self.shards.len().div_ceil(workers);
+        let f = &f;
+        std::thread::scope(|scope| {
+            for (shards, slots) in self.shards.chunks(per).zip(scratch.chunks_mut(per)) {
+                scope.spawn(move || {
+                    for (shard, slot) in shards.iter().zip(slots.iter_mut()) {
+                        f(shard, slot);
+                    }
+                });
+            }
+        });
+    }
+
     /// Absorb rows appended to the backing matrix: the tail shard
     /// extends to the new row count, interning only the new rows. When
     /// repeated appends leave the tail holding more than twice its fair
@@ -172,9 +212,21 @@ impl ShardedMatrix {
     /// touched rows (see [`PatternIndex::refresh_column`]). Not valid
     /// after a column removal — rebuild instead.
     pub fn refresh_column(&mut self, lambda: &LabelMatrix, col: usize) {
+        self.refresh_column_with(lambda, col, &mut ResignScratch::new());
+    }
+
+    /// [`Self::refresh_column`] with caller-owned scratch, shared
+    /// across the shard loop (each shard resets it before use); see
+    /// [`PatternIndex::refresh_column_with`].
+    pub fn refresh_column_with(
+        &mut self,
+        lambda: &LabelMatrix,
+        col: usize,
+        scratch: &mut ResignScratch,
+    ) {
         self.n = lambda.num_lfs();
         for shard in self.shards.iter_mut() {
-            shard.refresh_column(lambda, col);
+            shard.refresh_column_with(lambda, col, scratch);
         }
     }
 

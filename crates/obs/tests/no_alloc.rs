@@ -2,41 +2,18 @@
 //! allocator observes zero heap activity across counter, gauge,
 //! histogram, span, and trace-ring recording once handles are
 //! resolved. Lives in its own test binary so the allocator shim
-//! cannot interfere with other tests.
+//! cannot interfere with other tests. The shim itself is the shared
+//! [`snorkel_arena::CountingAlloc`] harness — the same one the serve
+//! crate's read-path budget test uses.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use snorkel_arena::alloc_check::min_allocations_over;
 use snorkel_obs::{Registry, Span, TraceLevel, TraceRing};
 
-struct CountingAlloc;
-
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
-        System.alloc(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
-        System.realloc(ptr, layout, new_size)
-    }
-}
-
 #[global_allocator]
-static ALLOC: CountingAlloc = CountingAlloc;
-
-fn allocations() -> u64 {
-    ALLOCATIONS.load(Ordering::SeqCst)
-}
+static ALLOC: snorkel_arena::CountingAlloc = snorkel_arena::CountingAlloc::new();
 
 #[test]
 fn record_path_does_not_allocate() {
@@ -57,12 +34,10 @@ fn record_path_does_not_allocate() {
 
     // The counting allocator is process-global, so an unrelated thread
     // (the libtest harness) allocating during the window would count
-    // too. Take the minimum over a few attempts: if the record path
-    // itself allocated, every attempt would be nonzero.
-    let mut min_allocs = u64::MAX;
-    const ATTEMPTS: u64 = 5;
-    for attempt in 0..ATTEMPTS {
-        let before = allocations();
+    // too — min_allocations_over takes the minimum over attempts: if
+    // the record path itself allocated, every attempt would be nonzero.
+    const ATTEMPTS: usize = 5;
+    let min_allocs = min_allocations_over(ATTEMPTS, || {
         for i in 0..10_000u64 {
             counter.inc();
             gauge.set(i as i64);
@@ -72,16 +47,7 @@ fn record_path_does_not_allocate() {
             let span = Span::start("hot", Arc::clone(&hist), TraceLevel::Off);
             let _ = span.finish();
         }
-        let after = allocations();
-        min_allocs = min_allocs.min(after - before);
-        if min_allocs == 0 {
-            break;
-        }
-        eprintln!(
-            "attempt {attempt}: {} allocations (ambient noise?)",
-            after - before
-        );
-    }
+    });
     assert_eq!(
         min_allocs, 0,
         "record path allocated in every one of {ATTEMPTS} attempts"

@@ -236,6 +236,72 @@ pub fn encode_predict_reply(gen: u64, disc_gen: u64, probs: &[Vec<f64>]) -> Vec<
     reply_frame(STATUS_OK, w)
 }
 
+/// Open an OK reply frame directly in `out`, returning the offset of
+/// the 4-byte length field for [`end_reply_into`] to backpatch. With
+/// [`put_prob_rows_flat`] this is the allocation-free encode path: the
+/// reply is appended to the connection's (capacity-retaining) output
+/// buffer instead of assembled in a fresh `Writer`.
+fn begin_reply_into(status: u8, out: &mut Vec<u8>) -> usize {
+    out.push(FRAME_MAGIC);
+    out.push(status);
+    let len_at = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    len_at
+}
+
+/// Backpatch the payload length opened by [`begin_reply_into`].
+fn end_reply_into(len_at: usize, out: &mut [u8]) {
+    let len = (out.len() - len_at - 4) as u32;
+    debug_assert!(len <= MAX_FRAME_BYTES);
+    out[len_at..len_at + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Append the posterior-rows section for a batch whose rows all share
+/// one width (`flat[i*width..(i+1)*width]` is row `i`) — byte-identical
+/// to [`put_prob_rows`] over the equivalent `Vec<Vec<f64>>`.
+fn put_prob_rows_flat(flat: &[f64], width: usize, out: &mut Vec<u8>) {
+    assert!(width > 0, "posterior rows have at least one class");
+    assert_eq!(flat.len() % width, 0, "flat buffer is whole rows");
+    let rows = flat.len() / width;
+    out.extend_from_slice(&(rows as u32).to_le_bytes());
+    for row in flat.chunks_exact(width) {
+        out.extend_from_slice(&(width as u32).to_le_bytes());
+        for &p in row {
+            out.extend_from_slice(&p.to_bits().to_le_bytes());
+        }
+    }
+}
+
+/// Append the OK reply to [`OP_MARGINAL`] for uniform-width posterior
+/// rows stored flat. Byte-identical to [`encode_marginal_reply`] over
+/// the same values; appending to `out` (instead of returning a fresh
+/// `Vec`) is what keeps the steady-state batch path allocation-free.
+pub fn encode_marginal_reply_flat_into(gen: u64, flat: &[f64], width: usize, out: &mut Vec<u8>) {
+    let len_at = begin_reply_into(STATUS_OK, out);
+    out.push(OP_MARGINAL);
+    out.extend_from_slice(&gen.to_le_bytes());
+    put_prob_rows_flat(flat, width, out);
+    end_reply_into(len_at, out);
+}
+
+/// Append the OK reply to [`OP_PREDICT`] for uniform-width posterior
+/// rows stored flat — the allocation-free counterpart of
+/// [`encode_predict_reply`].
+pub fn encode_predict_reply_flat_into(
+    gen: u64,
+    disc_gen: u64,
+    flat: &[f64],
+    width: usize,
+    out: &mut Vec<u8>,
+) {
+    let len_at = begin_reply_into(STATUS_OK, out);
+    out.push(OP_PREDICT);
+    out.extend_from_slice(&gen.to_le_bytes());
+    out.extend_from_slice(&disc_gen.to_le_bytes());
+    put_prob_rows_flat(flat, width, out);
+    end_reply_into(len_at, out);
+}
+
 /// `Reader` errors become wire error messages (the reader's
 /// length-vs-remaining validation is what rejects corrupt counts
 /// before any allocation).
@@ -245,10 +311,22 @@ macro_rules! rd {
     };
 }
 
+/// A `Reader` error in wire-message form — the function behind the
+/// `rd!` macro, shared with the zero-copy decoders in
+/// [`crate::hotpath`] so both decode paths reject a malformed frame
+/// with the identical message.
+pub(crate) fn wire_err(e: crate::snap::SnapError) -> String {
+    format!("bad frame: {e}")
+}
+
 /// Read a batch count, rejecting empty batches (a zero-row batch is a
 /// protocol error, mirroring the text plane's "needs a vote list" /
 /// "needs at least one feature").
-fn batch_len(r: &mut Reader, min_elem_bytes: usize, what: &str) -> Result<usize, String> {
+pub(crate) fn batch_len(
+    r: &mut Reader,
+    min_elem_bytes: usize,
+    what: &str,
+) -> Result<usize, String> {
     let n = u32_len(r, min_elem_bytes, "batch count")?;
     if n == 0 {
         return Err(format!("empty batch of {what}"));
@@ -258,7 +336,11 @@ fn batch_len(r: &mut Reader, min_elem_bytes: usize, what: &str) -> Result<usize,
 
 /// Read a `u32` count and validate it against the bytes remaining,
 /// like `Reader::len` does for `u64` prefixes.
-fn u32_len(r: &mut Reader, min_elem_bytes: usize, context: &'static str) -> Result<usize, String> {
+pub(crate) fn u32_len(
+    r: &mut Reader,
+    min_elem_bytes: usize,
+    context: &'static str,
+) -> Result<usize, String> {
     let n = rd!(r.u32(context)) as usize;
     if n.checked_mul(min_elem_bytes.max(1))
         .is_none_or(|bytes| bytes > r.remaining())
@@ -509,6 +591,27 @@ mod tests {
                 message: "nope".into()
             }
         );
+    }
+
+    #[test]
+    fn flat_reply_encoders_match_the_writer_encoders_byte_for_byte() {
+        let probs = vec![
+            vec![0.25, 0.75],
+            vec![f64::from_bits(0x7FF8_0000_0000_1234), -0.0],
+            vec![1.0, 0.0],
+        ];
+        let flat: Vec<f64> = probs.iter().flatten().copied().collect();
+
+        let reference = encode_marginal_reply(42, &probs);
+        let mut appended = vec![0xAB, 0xCD]; // pre-existing bytes survive
+        encode_marginal_reply_flat_into(42, &flat, 2, &mut appended);
+        assert_eq!(&appended[..2], &[0xAB, 0xCD]);
+        assert_eq!(&appended[2..], &reference[..]);
+
+        let reference = encode_predict_reply(7, 5, &probs);
+        let mut appended = Vec::new();
+        encode_predict_reply_flat_into(7, 5, &flat, 2, &mut appended);
+        assert_eq!(appended, reference);
     }
 
     #[test]

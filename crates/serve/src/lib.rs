@@ -41,6 +41,12 @@
 //!   (`OP_MARGINAL`, `OP_PREDICT`) are batched — N rows per round
 //!   trip, answered under one read-lock acquisition, with replies
 //!   bit-identical to N single text requests.
+//! * [`hotpath`] — the allocation-free read path behind those verbs:
+//!   per-worker scratch arenas ([`hotpath::ReadScratch`]), the
+//!   structure-of-arrays signature memo ([`hotpath::SigMemo`]), and
+//!   zero-copy decode/compute cores whose steady-state cost is **zero
+//!   heap allocations per request** (enforced by a counting-allocator
+//!   test in release mode; budgets in `docs/PERFORMANCE.md`).
 //!
 //! ```no_run
 //! use snorkel_context::Corpus;
@@ -62,6 +68,7 @@
 #![warn(missing_docs)]
 
 pub mod frame;
+pub mod hotpath;
 pub mod protocol;
 pub mod server;
 pub mod snap;

@@ -37,8 +37,14 @@
 //! generation and then served from the memo. Batched binary requests
 //! amortize further: one read-lock acquisition and one memo pass cover
 //! the whole batch.
+//!
+//! The batched read path is **allocation-free in the steady state**:
+//! each worker owns a [`ReadScratch`] arena (reset, never freed, per
+//! request), the memo is the structure-of-arrays [`SigMemo`] whose
+//! lookups borrow rather than clone, and replies are encoded straight
+//! into the connection's capacity-retaining output buffer. See
+//! [`crate::hotpath`] and `docs/PERFORMANCE.md` for the budgets.
 
-use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -53,7 +59,8 @@ use snorkel_incr::IncrementalSession;
 use snorkel_lf::Vote;
 use snorkel_obs::{trace_level, Counter, Gauge, Histogram, TraceLevel, TraceRing};
 
-use crate::frame::{self, BinRequest, VoteRow, FRAME_HEADER_BYTES, FRAME_MAGIC, MAX_FRAME_BYTES};
+use crate::frame::{self, FRAME_HEADER_BYTES, FRAME_MAGIC, MAX_FRAME_BYTES};
+use crate::hotpath::{self, ReadScratch, SigMemo};
 use crate::protocol::{format_probs, parse_request, Request, SuiteEdit};
 use crate::snap::{SnapError, Snapshot};
 
@@ -199,20 +206,11 @@ struct ServeState {
     generation: u64,
 }
 
-/// Memoized posteriors per vote signature, valid for one generation.
-struct PosteriorMemo {
-    generation: u64,
-    map: HashMap<(Vec<u32>, Vec<Vote>), Vec<f64>>,
-}
-
-/// Cap on memoized signatures — deployment traffic has few distinct
-/// patterns; a cap this size only matters under adversarial query
-/// diversity, where we fall back to recomputing.
-const MEMO_CAP: usize = 65_536;
-
 struct Inner {
     state: RwLock<ServeState>,
-    memo: Mutex<PosteriorMemo>,
+    /// Per-generation posterior memo ([`SigMemo`] — flat arenas + probe
+    /// table; capped at [`hotpath::MEMO_CAP`] signatures).
+    memo: Mutex<SigMemo>,
     shutdown: AtomicBool,
     addr: SocketAddr,
     /// One inbox per worker; the accept thread deals accepted sockets
@@ -225,6 +223,10 @@ struct Inner {
     memo_hits: AtomicU64,
     refreshes: AtomicU64,
     snapshots_written: AtomicU64,
+    /// High-water scratch-arena footprint across all workers, in bytes
+    /// (the `STATS` reply's `scratch_bytes=` field; per-worker values
+    /// are on the `snorkel_serve_scratch_bytes` gauge).
+    scratch_high: AtomicU64,
     obs: ServeObs,
     /// Signaled on shutdown so the auto-snapshotter exits promptly.
     tick: Mutex<()>,
@@ -260,10 +262,7 @@ impl LabelServer {
                 session,
                 generation: 0,
             }),
-            memo: Mutex::new(PosteriorMemo {
-                generation: 0,
-                map: HashMap::new(),
-            }),
+            memo: Mutex::new(SigMemo::new()),
             shutdown: AtomicBool::new(false),
             addr,
             inboxes: (0..worker_count).map(|_| Mutex::new(Vec::new())).collect(),
@@ -274,6 +273,7 @@ impl LabelServer {
             memo_hits: AtomicU64::new(0),
             refreshes: AtomicU64::new(0),
             snapshots_written: AtomicU64::new(0),
+            scratch_high: AtomicU64::new(0),
             obs: ServeObs::resolve(),
             tick: Mutex::new(()),
             tick_cv: Condvar::new(),
@@ -416,12 +416,32 @@ const IDLE_SPINS: u32 = 16;
 /// at an idle server.
 const IDLE_SLEEP: Duration = Duration::from_micros(200);
 
+/// Worker-label values for the `snorkel_serve_scratch_bytes` gauge
+/// (static strings — gauge resolution wants `'static` label values).
+/// Workers beyond the table share the last label; the default pool is
+/// clamped to 8 anyway.
+const WORKER_LABELS: [&str; 16] = [
+    "0", "1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15",
+];
+
 /// One worker: adopt inbox sockets, pump every connection, back off
 /// when nothing moved. Exits when the shutdown flag is set, after a
 /// best-effort flush of pending replies (so the client that sent
 /// `SHUTDOWN` sees its `OK bye`).
+///
+/// The worker owns its [`ReadScratch`] arena: every request it
+/// services decodes into and computes out of these buffers, which grow
+/// to the worker's traffic high-water mark and are then reused
+/// allocation-free. The high water is published on the per-worker
+/// `snorkel_serve_scratch_bytes` gauge whenever it moves.
 fn worker_loop(inner: &Inner, idx: usize) {
     let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = ReadScratch::new();
+    let scratch_gauge = snorkel_obs::global().gauge(
+        "snorkel_serve_scratch_bytes",
+        &[("worker", WORKER_LABELS[idx.min(WORKER_LABELS.len() - 1)])],
+    );
+    let mut scratch_bytes = 0u64;
     let mut idle = 0u32;
     loop {
         {
@@ -437,7 +457,7 @@ fn worker_loop(inner: &Inner, idx: usize) {
         }
         let mut progressed = false;
         conns.retain_mut(|conn| {
-            let pump = conn.pump(inner);
+            let pump = conn.pump(inner, &mut scratch);
             progressed |= pump.progressed;
             if !pump.keep {
                 release_conns(inner, 1);
@@ -446,6 +466,12 @@ fn worker_loop(inner: &Inner, idx: usize) {
         });
         if progressed {
             idle = 0;
+            let bytes = scratch.bytes() as u64;
+            if bytes != scratch_bytes {
+                scratch_bytes = bytes;
+                scratch_gauge.set(bytes.min(i64::MAX as u64) as i64);
+                inner.scratch_high.fetch_max(bytes, Ordering::Relaxed);
+            }
         } else {
             idle = idle.saturating_add(1);
             if idle < IDLE_SPINS {
@@ -555,7 +581,7 @@ impl Conn {
     /// One scheduling quantum for this connection: flush, read, service
     /// complete requests, flush. Returns whether to keep the connection
     /// and whether any bytes moved (the worker's idle detector).
-    fn pump(&mut self, inner: &Inner) -> PumpResult {
+    fn pump(&mut self, inner: &Inner, scratch: &mut ReadScratch) -> PumpResult {
         let closed = |progressed| PumpResult {
             keep: false,
             progressed,
@@ -593,7 +619,7 @@ impl Conn {
                 }
             }
         }
-        self.service(inner);
+        self.service(inner, scratch);
         match self.flush_pending() {
             Ok(n) => progressed |= n > 0,
             Err(_) => return closed(true),
@@ -619,7 +645,7 @@ impl Conn {
     /// appending replies to `outbuf`. The first unread byte routes each
     /// request: [`FRAME_MAGIC`] starts a binary frame, anything else a
     /// text line — one connection may interleave both planes.
-    fn service(&mut self, inner: &Inner) {
+    fn service(&mut self, inner: &Inner, scratch: &mut ReadScratch) {
         loop {
             if self.discard_input {
                 self.inbuf.clear();
@@ -647,14 +673,19 @@ impl Conn {
                 if self.inbuf.len() < total {
                     return; // partial payload
                 }
-                let reply = handle_frame(inner, opcode, &self.inbuf[FRAME_HEADER_BYTES..total]);
-                self.outbuf.extend_from_slice(&reply);
+                handle_frame(
+                    inner,
+                    opcode,
+                    &self.inbuf[FRAME_HEADER_BYTES..total],
+                    scratch,
+                    &mut self.outbuf,
+                );
                 self.inbuf.drain(..total);
             } else {
                 match self.inbuf.iter().position(|&b| b == b'\n') {
                     Some(pos) => {
                         let keep_open =
-                            handle_text_line(inner, &self.inbuf[..pos], &mut self.outbuf);
+                            handle_text_line(inner, &self.inbuf[..pos], &mut self.outbuf, scratch);
                         self.inbuf.drain(..=pos);
                         if !keep_open {
                             self.close_after_flush = true;
@@ -677,7 +708,7 @@ impl Conn {
                         // Half-close after an unterminated line: honor
                         // it as the final request.
                         let line = std::mem::take(&mut self.inbuf);
-                        handle_text_line(inner, &line, &mut self.outbuf);
+                        handle_text_line(inner, &line, &mut self.outbuf, scratch);
                         self.close_after_flush = true;
                         return;
                     }
@@ -691,7 +722,12 @@ impl Conn {
 /// Parse and execute one text request line (without its newline),
 /// appending the reply line(s) to `out`. Returns `false` when the
 /// connection must close after the reply flushes (`SHUTDOWN`).
-fn handle_text_line(inner: &Inner, bytes: &[u8], out: &mut Vec<u8>) -> bool {
+fn handle_text_line(
+    inner: &Inner,
+    bytes: &[u8],
+    out: &mut Vec<u8>,
+    scratch: &mut ReadScratch,
+) -> bool {
     let Ok(text) = std::str::from_utf8(bytes) else {
         // Reject rather than substitute U+FFFD: a mangled APPLY or
         // REFRESH spec must not reach the session looking legitimate.
@@ -721,7 +757,7 @@ fn handle_text_line(inner: &Inner, bytes: &[u8], out: &mut Vec<u8>) -> bool {
                 trigger_shutdown(inner);
                 return false;
             }
-            let response = handle_request(inner, req);
+            let response = handle_request(inner, req, scratch);
             record_request(vm, verb, start);
             if response.starts_with("ERR") {
                 vm.errors.inc();
@@ -736,59 +772,115 @@ fn handle_text_line(inner: &Inner, bytes: &[u8], out: &mut Vec<u8>) -> bool {
     true
 }
 
-/// Decode and execute one binary frame, returning the encoded reply
-/// frame. A batch is atomic: any invalid row fails the whole frame with
-/// one error frame.
-fn handle_frame(inner: &Inner, opcode: u8, payload: &[u8]) -> Vec<u8> {
+/// Decode and execute one binary frame, appending the encoded reply to
+/// `out`. A batch is atomic: any invalid row fails the whole frame
+/// with one error frame.
+///
+/// This is the allocation-free path: requests decode into the worker's
+/// scratch arenas, posteriors are computed through the `*_into`
+/// kernels, and OK replies for the batched verbs are encoded straight
+/// into `out` (the connection's capacity-retaining output buffer). The
+/// error branches still allocate — they are off the steady-state path
+/// by definition.
+fn handle_frame(
+    inner: &Inner,
+    opcode: u8,
+    payload: &[u8],
+    scratch: &mut ReadScratch,
+    out: &mut Vec<u8>,
+) {
     let Some(name) = frame::opcode_name(opcode) else {
         inner.obs.parse_errors.inc();
         let fm = inner.obs.opcode("UNKNOWN");
         fm.frames.inc();
         fm.errors.inc();
-        return frame::encode_err(&format!("unknown opcode 0x{opcode:02x}"));
+        out.extend_from_slice(&frame::encode_err(&format!(
+            "unknown opcode 0x{opcode:02x}"
+        )));
+        return;
     };
     let fm = inner.obs.opcode(name);
     fm.frames.inc();
     let start = Instant::now();
-    let reply = match frame::decode_request(opcode, payload) {
-        Err(e) => {
-            inner.obs.parse_errors.inc();
-            fm.errors.inc();
-            frame::encode_err(&e)
-        }
-        Ok(BinRequest::Ping) => {
-            let gen = read_state(inner).generation;
-            frame::encode_pong(gen)
-        }
-        Ok(BinRequest::Marginal(rows)) => {
-            fm.items.add(rows.len() as u64);
-            inner.obs.batch_size.record_ns(rows.len() as u64);
-            match marginal_batch(inner, &rows) {
-                Ok((gen, probs)) => frame::encode_marginal_reply(gen, &probs),
-                Err(e) => {
-                    fm.errors.inc();
-                    frame::encode_err(&e)
-                }
+    // `Err((message, is_parse_error))`: a malformed frame counts
+    // against `snorkel_serve_parse_errors_total`, a well-formed one
+    // rejected by the session does not — the same split the owned
+    // decode path kept.
+    let result: Result<(), (String, bool)> = match opcode {
+        frame::OP_PING => {
+            if payload.is_empty() {
+                let gen = read_state(inner).generation;
+                out.extend_from_slice(&frame::encode_pong(gen));
+                Ok(())
+            } else {
+                Err((format!("{} trailing bytes in frame", payload.len()), true))
             }
         }
-        Ok(BinRequest::Predict(rows)) => {
-            fm.items.add(rows.len() as u64);
-            inner.obs.batch_size.record_ns(rows.len() as u64);
-            match predict_batch(inner, &rows) {
-                Ok((gen, disc_gen, probs)) => frame::encode_predict_reply(gen, disc_gen, &probs),
-                Err(e) => {
-                    fm.errors.inc();
-                    frame::encode_err(&e)
+        frame::OP_MARGINAL => match hotpath::decode_marginal(payload, scratch) {
+            Err(e) => Err((e, true)),
+            Ok(rows) => {
+                fm.items.add(rows as u64);
+                inner.obs.batch_size.record_ns(rows as u64);
+                inner.queries.fetch_add(rows as u64, Ordering::Relaxed);
+                let state = read_state(inner);
+                match hotpath::compute_marginal(
+                    &state.session,
+                    state.generation,
+                    &inner.memo,
+                    scratch,
+                ) {
+                    Err(e) => Err((e, false)),
+                    Ok(outcome) => {
+                        inner
+                            .memo_hits
+                            .fetch_add(outcome.memo_hits, Ordering::Relaxed);
+                        frame::encode_marginal_reply_flat_into(
+                            state.generation,
+                            scratch.probs(),
+                            outcome.width,
+                            out,
+                        );
+                        Ok(())
+                    }
                 }
             }
-        }
+        },
+        frame::OP_PREDICT => match hotpath::decode_predict(payload, scratch) {
+            Err(e) => Err((e, true)),
+            Ok(rows) => {
+                fm.items.add(rows as u64);
+                inner.obs.batch_size.record_ns(rows as u64);
+                inner.queries.fetch_add(rows as u64, Ordering::Relaxed);
+                let state = read_state(inner);
+                match hotpath::compute_predict(&state.session, payload, scratch) {
+                    Err(e) => Err((e, false)),
+                    Ok(outcome) => {
+                        frame::encode_predict_reply_flat_into(
+                            state.generation,
+                            outcome.disc_gen,
+                            scratch.probs(),
+                            outcome.width,
+                            out,
+                        );
+                        Ok(())
+                    }
+                }
+            }
+        },
+        _ => unreachable!("opcode_name covered every defined opcode"),
     };
+    if let Err((e, is_parse_error)) = result {
+        if is_parse_error {
+            inner.obs.parse_errors.inc();
+        }
+        fm.errors.inc();
+        out.extend_from_slice(&frame::encode_err(&e));
+    }
     let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
     fm.latency.record_ns(ns);
     if trace_level() >= TraceLevel::Info {
         TraceRing::global().record(name, ns);
     }
-    reply
 }
 
 /// Recover a lock even if a previous holder panicked — the server keeps
@@ -851,11 +943,11 @@ fn publish_serve_gauges(inner: &Inner, state: &ServeState) {
         .map_or(0, |d| state.generation.saturating_sub(d.generation));
     inner.obs.disc_gen_lag.set(lag.min(i64::MAX as u64) as i64);
     let memo = lock_unpoisoned(&inner.memo);
-    inner.obs.memo_size.set(memo.map.len() as i64);
+    inner.obs.memo_size.set(memo.len() as i64);
     inner
         .obs
         .memo_generation
-        .set(memo.generation.min(i64::MAX as u64) as i64);
+        .set(memo.generation().min(i64::MAX as u64) as i64);
 }
 
 fn write_snapshot(inner: &Inner, path: &std::path::Path) -> Result<u64, SnapError> {
@@ -882,10 +974,10 @@ fn record_request(vm: &VerbMetrics, verb: &'static str, start: Instant) {
     }
 }
 
-fn handle_request(inner: &Inner, req: Request) -> String {
+fn handle_request(inner: &Inner, req: Request, scratch: &mut ReadScratch) -> String {
     match req {
         Request::Ping => "OK pong".into(),
-        Request::Marginal { cols, votes } => handle_marginal(inner, cols, votes),
+        Request::Marginal { cols, votes } => handle_marginal(inner, cols, votes, scratch),
         Request::Apply { span1, span2, text } => handle_apply(inner, span1, span2, &text),
         Request::Predict { features } => handle_predict(inner, &features),
         Request::PredictText { span1, span2, text } => {
@@ -910,7 +1002,7 @@ fn handle_request(inner: &Inner, req: Request) -> String {
             let cache = state.session.cache_stats();
             let (memo_size, memo_gen) = {
                 let memo = lock_unpoisoned(&inner.memo);
-                (memo.map.len(), memo.generation)
+                (memo.len(), memo.generation())
             };
             let disc = match state.session.disc() {
                 None => "-".to_string(),
@@ -928,7 +1020,7 @@ fn handle_request(inner: &Inner, req: Request) -> String {
                 "OK gen={} rows={} lfs={} backend={} disc_gen={disc} conns={} queries={} \
                  memo_hits={} refreshes={} snapshots={} cache_hits={} cache_misses={} \
                  cache_extensions={} cache_cols={} cache_cap={} memo_size={memo_size} \
-                 memo_gen={memo_gen} lf_names={}",
+                 memo_gen={memo_gen} scratch_bytes={} lf_names={}",
                 state.generation,
                 state.session.num_candidates(),
                 state.session.num_lfs(),
@@ -943,6 +1035,7 @@ fn handle_request(inner: &Inner, req: Request) -> String {
                 cache.extensions,
                 state.session.cache_len(),
                 state.session.cache_capacity(),
+                inner.scratch_high.load(Ordering::Relaxed),
                 state.session.lf_names().join(","),
             )
         }
@@ -1038,71 +1131,30 @@ fn majority_probs(scheme: LabelScheme, votes: &[Vote]) -> Vec<f64> {
     p
 }
 
-/// Posteriors for a batch of vote rows under **one** state read-lock
-/// acquisition and at most two memo-lock passes, whatever the batch
-/// size. Both wire planes route here — a text `MARGINAL` is a batch of
-/// one — so a binary batch reply is bit-identical to the N text replies
-/// it replaces. The batch is atomic: the first invalid row fails the
-/// whole call.
-///
-/// The memo lock nests inside the state read lock; REFRESH holds the
-/// state write lock, so a generation observed here stays current until
-/// the guard drops.
-fn marginal_batch(inner: &Inner, rows: &[VoteRow]) -> Result<(u64, Vec<Vec<f64>>), String> {
-    inner
-        .queries
-        .fetch_add(rows.len() as u64, Ordering::Relaxed);
+/// Text `MARGINAL`: a batch of one through the same
+/// [`hotpath::compute_marginal`] core (and the same signature memo) as
+/// the binary plane, so the two planes answer bit-identically and warm
+/// each other's memo.
+fn handle_marginal(
+    inner: &Inner,
+    cols: Vec<u32>,
+    votes: Vec<Vote>,
+    scratch: &mut ReadScratch,
+) -> String {
+    inner.queries.fetch_add(1, Ordering::Relaxed);
+    scratch.set_vote_row(&cols, &votes);
     let state = read_state(inner);
-    let mut probs: Vec<Option<Vec<f64>>> = vec![None; rows.len()];
-    // Memo pass 1: harvest hits for the whole batch under one lock.
-    {
-        let mut memo = lock_unpoisoned(&inner.memo);
-        if memo.generation != state.generation {
-            memo.generation = state.generation;
-            memo.map.clear();
-        } else {
-            for (slot, row) in probs.iter_mut().zip(rows) {
-                if let Some(p) = memo.map.get(row) {
-                    inner.memo_hits.fetch_add(1, Ordering::Relaxed);
-                    *slot = Some(p.clone());
-                }
-            }
+    match hotpath::compute_marginal(&state.session, state.generation, &inner.memo, scratch) {
+        Ok(outcome) => {
+            inner
+                .memo_hits
+                .fetch_add(outcome.memo_hits, Ordering::Relaxed);
+            format!(
+                "OK gen={} p={}",
+                state.generation,
+                format_probs(&scratch.probs()[..outcome.width])
+            )
         }
-    }
-    // Compute the misses lock-free (the state guard is still held, so
-    // the model cannot change under us).
-    let mut computed: Vec<(usize, Vec<f64>)> = Vec::new();
-    for (i, (cols, votes)) in rows.iter().enumerate() {
-        if probs[i].is_none() {
-            computed.push((i, posterior_for(&state.session, cols, votes)?));
-        }
-    }
-    // Memo pass 2: publish the new signatures under one lock.
-    if !computed.is_empty() {
-        let mut memo = lock_unpoisoned(&inner.memo);
-        if memo.generation == state.generation {
-            for (i, p) in &computed {
-                if memo.map.len() >= MEMO_CAP {
-                    break;
-                }
-                memo.map.insert(rows[*i].clone(), p.clone());
-            }
-        }
-    }
-    for (i, p) in computed {
-        probs[i] = Some(p);
-    }
-    let probs = probs
-        .into_iter()
-        .map(|p| p.expect("every row is a hit or was computed"))
-        .collect();
-    Ok((state.generation, probs))
-}
-
-fn handle_marginal(inner: &Inner, cols: Vec<u32>, votes: Vec<Vote>) -> String {
-    let row = (cols, votes);
-    match marginal_batch(inner, std::slice::from_ref(&row)) {
-        Ok((gen, probs)) => format!("OK gen={gen} p={}", format_probs(&probs[0])),
         Err(e) => format!("ERR {e}"),
     }
 }

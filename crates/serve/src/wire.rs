@@ -145,6 +145,25 @@ impl<'a> Reader<'a> {
             context: format!("{context}: invalid UTF-8"),
         })
     }
+
+    /// Like [`Self::str`], but borrowing: validates UTF-8 in place and
+    /// returns a slice of the underlying buffer, with the same error
+    /// semantics. The serving hot path decodes feature names through
+    /// this so a request costs zero per-name heap allocations.
+    pub(crate) fn str_bytes(&mut self, context: &'static str) -> Result<&'a str, SnapError> {
+        let n = self.len(1, context)?;
+        let bytes = self.take(n, context)?;
+        std::str::from_utf8(bytes).map_err(|_| SnapError::Corrupt {
+            context: format!("{context}: invalid UTF-8"),
+        })
+    }
+
+    /// Cursor offset from the start of the buffer. Zero-copy decoders
+    /// use this to record byte ranges into the payload instead of
+    /// copying the bytes out.
+    pub(crate) fn position(&self) -> usize {
+        self.pos
+    }
 }
 
 /// FNV-1a, 64-bit — the snapshot checksum. Not cryptographic (snapshots

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
-# docs-check: the serve layer's wire protocol, snapshot format, and the
-# observability surface have normative specs (docs/PROTOCOL.md,
-# docs/SNAPSHOT_FORMAT.md, docs/OBSERVABILITY.md). This gate fails CI
-# when a protocol verb, snapshot section, or metric name exists in
-# source but is missing from its spec — and when docs/OBSERVABILITY.md
-# names a metric no crate registers — so the docs cannot silently drift
-# from the implementation in either direction.
+# docs-check: the serve layer's wire protocol, snapshot format, the
+# observability surface, and the bench inventory have normative specs
+# (docs/PROTOCOL.md, docs/SNAPSHOT_FORMAT.md, docs/OBSERVABILITY.md,
+# docs/PERFORMANCE.md). This gate fails CI when a protocol verb,
+# snapshot section, metric name, or bench binary exists in source but
+# is missing from its spec — and when a spec names a metric or bench
+# that does not exist — so the docs cannot silently drift from the
+# implementation in either direction.
 #
 # Run from the repo root:
 #   bash scripts/docs_check.sh
@@ -90,6 +91,32 @@ for name in $registered; do
     fi
 done
 
+# --- Benches: two-way check against docs/PERFORMANCE.md.
+# Every bench binary in crates/bench/benches/ must appear in the
+# inventory as `benches/<name>.rs`, and every such token in the doc
+# must correspond to a real bench file.
+bench_files="$(ls crates/bench/benches/*.rs | xargs -n1 basename | sort -u)"
+bench_documented="$(grep -ohE 'benches/[a-z0-9_]+\.rs' docs/PERFORMANCE.md \
+    | sed 's|benches/||' | sort -u)"
+if [[ -z "$bench_files" ]]; then
+    echo "docs-check: BUG: found no bench files in crates/bench/benches" >&2
+    exit 1
+fi
+for bench in $bench_files; do
+    if ! grep -q "^$bench$" <<<"$bench_documented"; then
+        echo "docs-check: bench crates/bench/benches/$bench exists but is" \
+             "not in the docs/PERFORMANCE.md inventory" >&2
+        fail=1
+    fi
+done
+for bench in $bench_documented; do
+    if ! grep -q "^$bench$" <<<"$bench_files"; then
+        echo "docs-check: docs/PERFORMANCE.md documents benches/$bench but" \
+             "crates/bench/benches/$bench does not exist" >&2
+        fail=1
+    fi
+done
+
 if [[ "$fail" -ne 0 ]]; then
     echo "docs-check: FAILED — update the spec(s) above" >&2
     exit 1
@@ -97,4 +124,5 @@ fi
 echo "docs-check OK: $(echo "$verbs" | wc -w | tr -d ' ') verbs," \
      "$(echo "$opcodes" | wc -w | tr -d ' ') opcodes," \
      "$(echo "$sections" | wc -w | tr -d ' ') snapshot sections," \
-     "$(echo "$registered" | wc -w | tr -d ' ') metrics all documented"
+     "$(echo "$registered" | wc -w | tr -d ' ') metrics," \
+     "$(echo "$bench_files" | wc -w | tr -d ' ') benches all documented"

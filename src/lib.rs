@@ -43,6 +43,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use snorkel_arena as arena;
 pub use snorkel_context as context;
 pub use snorkel_core as core;
 pub use snorkel_datasets as datasets;
