@@ -141,6 +141,18 @@ pub trait LabelModel: std::fmt::Debug + Send + Sync {
         changed_cols: &[usize],
     ) -> FitReport;
 
+    /// Refit from externally maintained running sufficient statistics,
+    /// with **no pass over Λ** — the streaming-ingest hook. A caller
+    /// folding each ingested batch into a [`MomentStats`] refits in
+    /// `O(num_lfs³)` regardless of how many rows have streamed in.
+    /// Backends whose fit cannot be expressed over these statistics
+    /// (the exact generative model needs Λ for its EM pass; majority
+    /// vote has nothing to fit) return `None`, and the caller falls
+    /// back to a full [`fit`](Self::fit).
+    fn fit_online(&mut self, _stats: &MomentStats, _cfg: &TrainConfig) -> Option<FitReport> {
+        None
+    }
+
     /// Whether this backend profits from a pattern-deduplicated plan at
     /// all. One-shot callers (the batch pipeline) skip the plan build
     /// entirely when it returns `false` — the majority-vote backend's
@@ -575,36 +587,64 @@ impl MomentModel {
     ) {
         let scheme = GenerativeModel::scheme(&self.inner);
         let n = GenerativeModel::num_lfs(&self.inner);
-        let k = scheme.num_classes();
-        let kf = k as f64;
-        let k1 = kf - 1.0;
         let m = lambda.num_points();
 
         // ---- The single pass: per-LF and pairwise sufficient stats.
         let stats = match plan {
             Some(plan) => {
                 let partials = plan.map_shards(|idx| {
-                    let mut s = MomentStats::new(n, k);
+                    let mut s = MomentStats::new(n, scheme);
                     for (_, cols, votes, cnt) in idx.live_patterns() {
-                        s.accumulate(scheme, cols, votes, cnt as f64);
+                        s.accumulate(cols, votes, cnt as f64);
                     }
                     s
                 });
-                let mut total = MomentStats::new(n, k);
+                let mut total = MomentStats::new(n, scheme);
                 for p in &partials {
                     total.merge(p);
                 }
                 total
             }
             None => {
-                let mut s = MomentStats::new(n, k);
+                let mut s = MomentStats::new(n, scheme);
                 for i in 0..m {
                     let (cols, votes) = lambda.row(i);
-                    s.accumulate(scheme, cols, votes, 1.0);
+                    s.accumulate(cols, votes, 1.0);
                 }
                 s
             }
         };
+
+        self.solve_from_stats(&stats, cfg);
+    }
+
+    /// The closed-form solve over already-accumulated sufficient
+    /// statistics: `O(n³)` triplet medians, no pass over Λ. This is the
+    /// online fast path — a caller maintaining a running [`MomentStats`]
+    /// across ingested batches refits in time independent of the row
+    /// count. Identical arithmetic to the batch path:
+    /// [`fit`](LabelModel::fit) is exactly "accumulate, then this".
+    fn solve_from_stats(&mut self, stats: &MomentStats, cfg: &TrainConfig) {
+        let scheme = stats.scheme();
+        let n = stats.num_lfs();
+        assert_eq!(
+            n,
+            GenerativeModel::num_lfs(&self.inner),
+            "stats cover {n} LFs but model has {}",
+            GenerativeModel::num_lfs(&self.inner)
+        );
+        assert_eq!(
+            scheme,
+            GenerativeModel::scheme(&self.inner),
+            "stats scheme disagrees with the model's"
+        );
+        let k = scheme.num_classes();
+        let kf = k as f64;
+        let k1 = kf - 1.0;
+        // Weighted row count: exact (integer-valued) for both the batch
+        // pass and the running online totals, so `m` here equals
+        // `lambda.num_points()` on the batch path bit-for-bit.
+        let m = stats.rows();
 
         // ---- Pairwise agreement signal e_jl = (K·p_jl − 1)/(K−1).
         let e = |j: usize, l: usize| -> Option<f64> {
@@ -678,7 +718,7 @@ impl MomentModel {
             w_acc[j] = w;
             // Propensity from observed coverage (same closed form the
             // exact path initializes with).
-            let c = ((stats.votes[j] + 0.5) / (m as f64 + 1.0)).clamp(1e-4, 1.0 - 1e-4);
+            let c = ((stats.votes[j] + 0.5) / (m + 1.0)).clamp(1e-4, 1.0 - 1e-4);
             let s = c / (1.0 - c);
             w_lab[j] = (s.ln() - (w_acc[j].exp() + k1).ln()).clamp(-W_CLAMP, W_CLAMP);
         }
@@ -710,11 +750,54 @@ impl MomentModel {
         })
         .expect("moment weights are clamped finite by construction");
     }
+
+    /// Refit from running sufficient statistics without touching Λ —
+    /// the streaming fast path. Produces bit-identical weights to a
+    /// cold [`fit`](LabelModel::fit) over the matrix whose rows were
+    /// accumulated into `stats` (same arithmetic, same order for
+    /// integer-weighted counts), in time independent of the row count.
+    ///
+    /// Panics if the statistics' shape or scheme disagree with the
+    /// model's. Statistics over zero rows leave the model unfitted
+    /// (mirroring the empty-matrix `fit` no-op).
+    pub fn fit_from_stats(&mut self, stats: &MomentStats, cfg: &TrainConfig) -> FitReport {
+        if stats.rows() == 0.0 {
+            return FitReport {
+                epochs: 0,
+                final_nll: 0.0,
+                used_gibbs: false,
+                warm_started: false,
+            };
+        }
+        self.solve_from_stats(stats, cfg);
+        FitReport {
+            epochs: 1,
+            final_nll: f64::NAN,
+            used_gibbs: false,
+            warm_started: true,
+        }
+    }
 }
 
-/// Accumulators for the moment backend's single statistics pass.
-struct MomentStats {
+/// Sufficient statistics of the moment backend: per-LF vote counts,
+/// plurality-agreement counts, and the pairwise co-vote/agreement upper
+/// triangle. One `accumulate` call folds one row in; `merge` adds two
+/// accumulator sets; the counts are plain weighted sums, so the order
+/// of integer-weighted accumulation never changes the totals
+/// (bit-exactly — f64 addition of integers below 2⁵³ is exact).
+///
+/// This is the streaming primitive behind the online moment model: a
+/// caller keeps one `MomentStats` alive, folds each ingested batch's
+/// rows in as they arrive, and refits via
+/// [`MomentModel::fit_from_stats`] without ever re-reading Λ. The
+/// invariant that running totals equal a single batch recompute over
+/// the same rows is property-tested in `crates/stream`.
+#[derive(Clone, Debug)]
+pub struct MomentStats {
     n: usize,
+    scheme: LabelScheme,
+    /// Weighted row count (the `m` of the closed-form solve).
+    rows: f64,
     /// Per-LF weighted vote counts.
     votes: Vec<f64>,
     /// Per-class plurality-vote counts (class-balance estimate).
@@ -735,10 +818,39 @@ struct MomentStats {
     classes: Vec<(usize, usize)>,
 }
 
+/// The plain-data image of a [`MomentStats`] — what `snorkel-serve`
+/// persists in the snapshot's `STRM` section. Scratch buffers are not
+/// carried; [`MomentStats::from_parts`] rebuilds them.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MomentStatsParts {
+    /// Number of LF columns the statistics cover.
+    pub num_lfs: usize,
+    /// Task cardinality.
+    pub cardinality: u8,
+    /// Weighted row count.
+    pub rows: f64,
+    /// Per-LF weighted vote counts (`num_lfs` entries).
+    pub votes: Vec<f64>,
+    /// Per-class plurality-vote counts (`cardinality` entries).
+    pub mv_class: Vec<f64>,
+    /// Per-LF plurality-agreement counts (`num_lfs` entries).
+    pub agree_mv: Vec<f64>,
+    /// Per-LF plurality-covered vote counts (`num_lfs` entries).
+    pub total_mv: Vec<f64>,
+    /// Upper-triangle co-vote counts (`num_lfs²` entries).
+    pub both: Vec<f64>,
+    /// Upper-triangle same-class co-vote counts (`num_lfs²` entries).
+    pub agree: Vec<f64>,
+}
+
 impl MomentStats {
-    fn new(n: usize, k: usize) -> Self {
+    /// Empty accumulators over `n` LFs under `scheme`.
+    pub fn new(n: usize, scheme: LabelScheme) -> Self {
+        let k = scheme.num_classes();
         MomentStats {
             n,
+            scheme,
+            rows: 0.0,
             votes: vec![0.0; n],
             mv_class: vec![0.0; k],
             agree_mv: vec![0.0; n],
@@ -750,8 +862,39 @@ impl MomentStats {
         }
     }
 
+    /// Number of LF columns the statistics cover.
+    pub fn num_lfs(&self) -> usize {
+        self.n
+    }
+
+    /// The label scheme the statistics were accumulated under.
+    pub fn scheme(&self) -> LabelScheme {
+        self.scheme
+    }
+
+    /// Weighted row count folded in so far.
+    pub fn rows(&self) -> f64 {
+        self.rows
+    }
+
+    /// Per-LF weighted vote counts (coverage numerators).
+    pub fn vote_counts(&self) -> &[f64] {
+        &self.votes
+    }
+
+    /// Accumulate every row of `lambda` (the batch recompute the online
+    /// path is property-tested against).
+    pub fn accumulate_matrix(&mut self, lambda: &LabelMatrix) {
+        for i in 0..lambda.num_points() {
+            let (cols, votes) = lambda.row(i);
+            self.accumulate(cols, votes, 1.0);
+        }
+    }
+
     /// Fold one row (or one pattern with multiplicity `w`) in.
-    fn accumulate(&mut self, scheme: LabelScheme, cols: &[u32], votes: &[Vote], w: f64) {
+    pub fn accumulate(&mut self, cols: &[u32], votes: &[Vote], w: f64) {
+        let scheme = self.scheme;
+        self.rows += w;
         let mut tally = std::mem::take(&mut self.tally);
         let mut classes = std::mem::take(&mut self.classes);
         tally.iter_mut().for_each(|t| *t = 0);
@@ -806,7 +949,13 @@ impl MomentStats {
     }
 
     /// Add another pass's accumulators (shard merge, in shard order).
-    fn merge(&mut self, other: &MomentStats) {
+    pub fn merge(&mut self, other: &MomentStats) {
+        assert_eq!(self.n, other.n, "merging stats over different LF counts");
+        assert_eq!(
+            self.scheme, other.scheme,
+            "merging stats under different schemes"
+        );
+        self.rows += other.rows;
         for (dst, src) in [
             (&mut self.votes, &other.votes),
             (&mut self.mv_class, &other.mv_class),
@@ -819,6 +968,82 @@ impl MomentStats {
                 *a += b;
             }
         }
+    }
+
+    /// Export the accumulated counts as plain data (the snapshot
+    /// encoding surface).
+    pub fn to_parts(&self) -> MomentStatsParts {
+        MomentStatsParts {
+            num_lfs: self.n,
+            cardinality: self.scheme.cardinality(),
+            rows: self.rows,
+            votes: self.votes.clone(),
+            mv_class: self.mv_class.clone(),
+            agree_mv: self.agree_mv.clone(),
+            total_mv: self.total_mv.clone(),
+            both: self.both.clone(),
+            agree: self.agree.clone(),
+        }
+    }
+
+    /// Rebuild from exported parts, validating every length and value
+    /// (snapshot decoders hand this untrusted data). The error string
+    /// names the violated invariant.
+    pub fn from_parts(parts: MomentStatsParts) -> Result<MomentStats, String> {
+        if parts.cardinality < 2 {
+            return Err(format!("bad cardinality {}", parts.cardinality));
+        }
+        let scheme = LabelScheme::from_cardinality(parts.cardinality);
+        let n = parts.num_lfs;
+        let k = scheme.num_classes();
+        for (name, vec, want) in [
+            ("votes", &parts.votes, n),
+            ("mv_class", &parts.mv_class, k),
+            ("agree_mv", &parts.agree_mv, n),
+            ("total_mv", &parts.total_mv, n),
+            ("both", &parts.both, n * n),
+            ("agree", &parts.agree, n * n),
+        ] {
+            if vec.len() != want {
+                return Err(format!("{name} has {} entries, want {want}", vec.len()));
+            }
+            if let Some(bad) = vec.iter().find(|v| !(v.is_finite() && **v >= 0.0)) {
+                return Err(format!("{name} holds a non-count value {bad}"));
+            }
+        }
+        if !(parts.rows.is_finite() && parts.rows >= 0.0) {
+            return Err(format!("bad row count {}", parts.rows));
+        }
+        Ok(MomentStats {
+            n,
+            scheme,
+            rows: parts.rows,
+            votes: parts.votes,
+            mv_class: parts.mv_class,
+            agree_mv: parts.agree_mv,
+            total_mv: parts.total_mv,
+            both: parts.both,
+            agree: parts.agree,
+            tally: vec![0; k],
+            classes: Vec::new(),
+        })
+    }
+}
+
+impl PartialEq for MomentStats {
+    /// Bit-exact equality of the accumulated counts (scratch buffers
+    /// excluded) — what the online-equals-batch property asserts.
+    fn eq(&self, other: &Self) -> bool {
+        let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        self.n == other.n
+            && self.scheme == other.scheme
+            && self.rows.to_bits() == other.rows.to_bits()
+            && bits(&self.votes) == bits(&other.votes)
+            && bits(&self.mv_class) == bits(&other.mv_class)
+            && bits(&self.agree_mv) == bits(&other.agree_mv)
+            && bits(&self.total_mv) == bits(&other.total_mv)
+            && bits(&self.both) == bits(&other.both)
+            && bits(&self.agree) == bits(&other.agree)
     }
 }
 
@@ -876,6 +1101,10 @@ impl LabelModel for MomentModel {
         // The closed form has no iteration to warm-start; a refit is
         // already a single pass.
         LabelModel::fit(self, lambda, plan, cfg)
+    }
+
+    fn fit_online(&mut self, stats: &MomentStats, cfg: &TrainConfig) -> Option<FitReport> {
+        Some(self.fit_from_stats(stats, cfg))
     }
 
     fn posterior(&self, cols: &[u32], votes: &[Vote]) -> Vec<f64> {
@@ -1291,6 +1520,70 @@ mod tests {
                 implied[j]
             );
         }
+    }
+
+    #[test]
+    fn online_stats_solve_matches_cold_fit_bitwise() {
+        let (lambda, _) = planted(4000, &[0.85, 0.75, 0.65, 0.6], 0.5, 23);
+        let cfg = TrainConfig::default();
+        let mut cold = MomentModel::new(4, LabelScheme::Binary);
+        cold.fit(&lambda, None, &cfg);
+        // The same rows folded into a running accumulator, then the
+        // stats-only solve: weights must match the cold fit bit for bit.
+        let mut stats = MomentStats::new(4, LabelScheme::Binary);
+        stats.accumulate_matrix(&lambda);
+        assert_eq!(stats.rows(), lambda.num_points() as f64);
+        let mut online = MomentModel::new(4, LabelScheme::Binary);
+        let report = online.fit_from_stats(&stats, &cfg);
+        assert_eq!(report.epochs, 1);
+        assert!(report.warm_started);
+        for (a, b) in cold
+            .accuracy_weights()
+            .iter()
+            .zip(online.accuracy_weights())
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "weights diverged: {a} vs {b}");
+        }
+        // Through the trait hook, and through merged partial stats.
+        let mid = lambda.num_points() / 2;
+        let mut first = MomentStats::new(4, LabelScheme::Binary);
+        let mut second = MomentStats::new(4, LabelScheme::Binary);
+        for i in 0..lambda.num_points() {
+            let (cols, votes) = lambda.row(i);
+            if i < mid { &mut first } else { &mut second }.accumulate(cols, votes, 1.0);
+        }
+        first.merge(&second);
+        assert_eq!(first, stats);
+        let mut hooked: Box<dyn LabelModel> = Box::new(MomentModel::new(4, LabelScheme::Binary));
+        assert!(hooked.fit_online(&first, &cfg).is_some());
+        // Backends without an online form decline through the hook.
+        let mut mv: Box<dyn LabelModel> = Box::new(MajorityVoteModel::new(4, LabelScheme::Binary));
+        assert!(mv.fit_online(&first, &cfg).is_none());
+        let mut gm: Box<dyn LabelModel> = Box::new(GenerativeModel::new(4, LabelScheme::Binary));
+        assert!(gm.fit_online(&first, &cfg).is_none());
+    }
+
+    #[test]
+    fn moment_stats_parts_round_trip_and_reject_corruption() {
+        let (lambda, _) = planted(500, &[0.8, 0.7, 0.6], 0.5, 29);
+        let mut stats = MomentStats::new(3, LabelScheme::Binary);
+        stats.accumulate_matrix(&lambda);
+        let parts = stats.to_parts();
+        let restored = MomentStats::from_parts(parts.clone()).unwrap();
+        assert_eq!(restored, stats);
+
+        let mut bad = parts.clone();
+        bad.votes.pop();
+        assert!(MomentStats::from_parts(bad).is_err());
+        let mut bad = parts.clone();
+        bad.agree[0] = f64::NAN;
+        assert!(MomentStats::from_parts(bad).is_err());
+        let mut bad = parts.clone();
+        bad.both[0] = -1.0;
+        assert!(MomentStats::from_parts(bad).is_err());
+        let mut bad = parts;
+        bad.cardinality = 1;
+        assert!(MomentStats::from_parts(bad).is_err());
     }
 
     #[test]

@@ -105,6 +105,6 @@ mod session;
 pub use cache::{CacheStats, FrozenCache, FrozenColumn, LfResultCache};
 pub use fingerprint::Fingerprint;
 pub use session::{
-    DiscState, DiscTrainingSet, FrozenDisc, FrozenSession, IncrementalSession, LambdaUpdate,
-    RefreshReport, RefreshTimings, SessionConfig, ThawError,
+    DiscState, DiscTrainingSet, FrozenDisc, FrozenSession, IncrementalSession, IngestReport,
+    LambdaUpdate, RefreshReport, RefreshTimings, SessionConfig, ThawError,
 };

@@ -18,6 +18,7 @@ use snorkel_linalg::SparseVec;
 use snorkel_matrix::{
     LabelMatrix, MatrixDelta, ResignScratch, ShardedMatrix, ShardedMatrixParts, Vote,
 };
+use snorkel_stream::{DriftConfig, FrozenStream, StreamState};
 
 use crate::cache::{CacheStats, FrozenCache, LfResultCache};
 use crate::fingerprint::Fingerprint;
@@ -72,6 +73,33 @@ fn stage_span(stage: &'static str) -> snorkel_obs::Span {
     snorkel_obs::Span::start(stage, hist, snorkel_obs::TraceLevel::Debug)
 }
 
+/// Start a span for one [`IncrementalSession::ingest_batch`] call,
+/// recording into `snorkel_stream_ingest_seconds` — the steady-state
+/// ingest latency the streaming bench gates on.
+fn ingest_span() -> snorkel_obs::Span {
+    static HIST: OnceLock<std::sync::Arc<snorkel_obs::Histogram>> = OnceLock::new();
+    let hist =
+        HIST.get_or_init(|| snorkel_obs::global().histogram("snorkel_stream_ingest_seconds", &[]));
+    snorkel_obs::Span::start(
+        "ingest",
+        std::sync::Arc::clone(hist),
+        snorkel_obs::TraceLevel::Debug,
+    )
+}
+
+/// Publish the per-LF drift gauges
+/// (`snorkel_stream_drift_score_lf_ppm{lf="…"}`, scores × 10⁶ — the
+/// registry's gauges are integers). Registered here rather than in
+/// `snorkel-stream` because only the session knows the LF names.
+fn publish_drift_gauges<'a>(names: impl Iterator<Item = &'a str>, scores: &[f64]) {
+    let registry = snorkel_obs::global();
+    for (name, score) in names.zip(scores) {
+        registry
+            .gauge("snorkel_stream_drift_score_lf_ppm", &[("lf", name)])
+            .set((score * 1_000_000.0).round() as i64);
+    }
+}
+
 /// Session configuration. The defaults mirror
 /// [`snorkel_core::pipeline::PipelineConfig`], plus the incremental
 /// knobs.
@@ -115,6 +143,9 @@ pub struct SessionConfig {
     /// advance [`IncrementalSession::refresh_generation`] past the
     /// disc model's.
     pub distill: Option<DiscTrainerConfig>,
+    /// Drift-detector settings used when [`IncrementalSession::ingest_batch`]
+    /// auto-enables streaming (window size, ring depth, refit threshold).
+    pub drift: DriftConfig,
 }
 
 impl Default for SessionConfig {
@@ -130,6 +161,7 @@ impl Default for SessionConfig {
             cache_capacity: 256,
             scaleout: Scaleout::Auto,
             distill: None,
+            drift: DriftConfig::default(),
         }
     }
 }
@@ -203,6 +235,33 @@ pub struct RefreshReport {
     pub cache: CacheStats,
     /// Stage timings.
     pub timings: RefreshTimings,
+}
+
+/// What one [`IncrementalSession::ingest_batch`] call did: how the
+/// batch was absorbed, whether the model was refreshed online (no pass
+/// over Λ) and where the drift detector stands.
+#[derive(Clone, Debug)]
+pub struct IngestReport {
+    /// Rows appended by this batch.
+    pub rows: usize,
+    /// Individual LF invocations (always `rows × live columns` on the
+    /// steady path — only the new rows are executed).
+    pub lf_invocations: usize,
+    /// `true` when the batch rode the steady streaming path: columns
+    /// extended, Λ spliced, model re-solved from running statistics via
+    /// `fit_online` — **no cold `fit`, no pass over Λ**. `false` when
+    /// the backend has no online path or the session needed a full
+    /// refresh first (un-refreshed suite edits pending).
+    pub online_fit: bool,
+    /// Overall drift score after this batch.
+    pub drift_score: f64,
+    /// Whether the drift threshold was crossed by this batch.
+    pub drifted: bool,
+    /// Whether a drift-triggered automatic warm refit ran (bumping
+    /// [`IncrementalSession::refresh_generation`] a second time).
+    pub auto_refit: bool,
+    /// The session's refresh generation after the ingest.
+    pub generation: u64,
 }
 
 struct SessionLf {
@@ -326,6 +385,9 @@ pub struct FrozenSession {
     /// feature cache is deliberately absent — features are derived state,
     /// re-extracted from the reloaded corpus on the next distill.
     pub disc: Option<FrozenDisc>,
+    /// The streaming plane's state (running moment statistics, drift
+    /// reference window, lifetime counters), if streaming was active.
+    pub stream: Option<FrozenStream>,
 }
 
 /// Plain-data image of a [`DiscState`] (see [`FrozenSession::disc`]).
@@ -437,6 +499,10 @@ pub struct IncrementalSession {
     last_marginals: Option<std::sync::Arc<Vec<Vec<f64>>>>,
     /// The distilled serving model, if any.
     disc: Option<DiscState>,
+    /// The streaming plane: running moment statistics + drift detector,
+    /// fed by [`Self::ingest_batch`]. `None` until streaming is enabled
+    /// (explicitly, from a thawed snapshot, or by the first ingest).
+    stream: Option<StreamState>,
     /// Reusable re-sign scratch for the sharded plan's delta column
     /// splices: grown to the workload's high-water mark on the first
     /// edit, reset (not freed) on every subsequent refresh. Its
@@ -466,6 +532,7 @@ impl IncrementalSession {
             features_featurizer: None,
             last_marginals: None,
             disc: None,
+            stream: None,
             resign_scratch: ResignScratch::new(),
         }
     }
@@ -577,6 +644,29 @@ impl IncrementalSession {
         self.disc
             .as_ref()
             .is_some_and(|d| d.generation < self.refresh_generation)
+    }
+
+    /// The streaming plane's state (running moment statistics, drift
+    /// detector, lifetime counters), if streaming is active.
+    pub fn stream(&self) -> Option<&StreamState> {
+        self.stream.as_ref()
+    }
+
+    /// Activate the streaming plane with the session config's
+    /// [`DriftConfig`]. Idempotent. The running statistics are seeded
+    /// from the current Λ (one batch pass, once) so subsequent
+    /// [`Self::ingest_batch`] refits solve over *all* rows, not just
+    /// the streamed tail. Called implicitly by the first ingest.
+    pub fn enable_streaming(&mut self) {
+        if self.stream.is_some() {
+            return;
+        }
+        let scheme = LabelScheme::from_cardinality(self.config.executor.cardinality);
+        let mut state = StreamState::new(self.lfs.len(), scheme, self.config.drift.clone());
+        if let Some(lambda) = &self.lambda {
+            state.rebuild_from_matrix(lambda);
+        }
+        self.stream = Some(state);
     }
 
     /// The active distillation configuration: the session config's, or
@@ -835,6 +925,7 @@ impl IncrementalSession {
                 model: d.model.to_parts(),
                 generation: d.generation,
             }),
+            stream: self.stream.as_ref().map(StreamState::freeze),
         }
     }
 
@@ -872,6 +963,7 @@ impl IncrementalSession {
             last_gm_strategy,
             refresh_generation,
             disc,
+            stream,
         } = frozen;
 
         // --- Re-attach the supplied LFs to the frozen layout by name.
@@ -1053,6 +1145,27 @@ impl IncrementalSession {
             }
         };
 
+        let stream = match stream {
+            None => None,
+            Some(frozen_stream) => {
+                let state = StreamState::thaw(frozen_stream)
+                    .map_err(|e| ThawError::Inconsistent(e.to_string()))?;
+                if state.num_lfs() != last_fingerprints.len() {
+                    return Err(ThawError::Inconsistent(format!(
+                        "stream statistics cover {} LFs but the last refresh had {}",
+                        state.num_lfs(),
+                        last_fingerprints.len()
+                    )));
+                }
+                if state.scheme() != LabelScheme::from_cardinality(cardinality) {
+                    return Err(ThawError::Inconsistent(
+                        "stream scheme != executor cardinality".into(),
+                    ));
+                }
+                Some(state)
+            }
+        };
+
         let session = IncrementalSession {
             corpus,
             config,
@@ -1071,6 +1184,7 @@ impl IncrementalSession {
             features_featurizer: None,
             last_marginals: None,
             disc,
+            stream,
             resign_scratch: ResignScratch::new(),
         };
         // A thawed process starts with fresh (zero) counters, but the
@@ -1359,6 +1473,17 @@ impl IncrementalSession {
         // ------------------------------------------------------------------
         self.last_fingerprints = live;
         self.last_rows = m;
+        // Keep the streaming plane consistent with the refreshed Λ:
+        // suite edits and batch-path row appends change per-LF counts,
+        // so the running moment statistics are rebuilt from Λ (edits
+        // are rare; ingest — the hot path — never comes through here)
+        // and the drift baseline restarts. A no-op refresh (e.g. the
+        // automatic post-drift warm refit) leaves the stream untouched.
+        if lambda_update != LambdaUpdate::Unchanged {
+            if let Some(stream) = &mut self.stream {
+                stream.rebuild_from_matrix(lambda);
+            }
+        }
         // The disc model (if any) now lags these marginals; readers keep
         // serving it while a retrain runs, comparing its generation
         // against this counter. Cache the marginals so the upcoming
@@ -1412,5 +1537,164 @@ impl IncrementalSession {
             },
         };
         (labels, report)
+    }
+
+    /// Absorb one streamed candidate batch — the continuous-arrival
+    /// counterpart of `ingest_candidates` + [`Self::refresh`], built to
+    /// run forever without the per-batch cost growing with the corpus:
+    ///
+    /// 1. the live LF columns are *extended* onto just the new rows
+    ///    (content-addressed cache, same as a refresh extension);
+    /// 2. the new rows are spliced into Λ ([`MatrixDelta::AppendRows`])
+    ///    and interned into the live sharded plan's tail;
+    /// 3. each row is folded into the running moment statistics and the
+    ///    drift detector's current window;
+    /// 4. the label model is re-solved from the running statistics via
+    ///    [`LabelModel::fit_online`] — **no pass over Λ** (backends
+    ///    without an online path keep their weights until the next
+    ///    refresh);
+    /// 5. if the batch pushed the drift score past the configured
+    ///    threshold, an automatic warm [`Self::refresh`] runs and the
+    ///    detector re-anchors on the post-refit regime.
+    ///
+    /// An online-refit (and the automatic drift refit) advances
+    /// [`Self::refresh_generation`]: the model changed, so posterior
+    /// memoizations keyed by generation must not serve stale answers.
+    ///
+    /// When the steady-state preconditions do not hold (no refresh yet,
+    /// or suite edits pending), the batch falls back to registering the
+    /// candidates and running a full [`Self::refresh`].
+    pub fn ingest_batch(&mut self, ids: &[CandidateId]) -> IngestReport {
+        let span = ingest_span();
+        if self.lambda.is_none() || !self.suite_matches_last_refresh() {
+            self.ingest_candidates(ids);
+            let (_, refresh) = self.refresh();
+            self.enable_streaming();
+            let stream = self.stream.as_ref().expect("enabled above");
+            let report = IngestReport {
+                rows: ids.len(),
+                lf_invocations: refresh.lf_invocations,
+                online_fit: false,
+                drift_score: stream.drift_score(),
+                drifted: stream.drifted(),
+                auto_refit: false,
+                generation: self.refresh_generation,
+            };
+            drop(span);
+            return report;
+        }
+        self.enable_streaming();
+        self.ingest_candidates(ids);
+        let m = self.candidates.len();
+        let old_m = self.last_rows;
+        let new_rows = m - old_m;
+        let n = self.lfs.len();
+
+        // 1. Extend every live column onto the new rows.
+        let mut lf_invocations = 0usize;
+        for j in 0..n {
+            let fp = self.lfs[j].fingerprint;
+            let covered = self.cache.rows(fp);
+            if covered >= m {
+                self.cache.note_hit();
+                continue;
+            }
+            let slice = &self.candidates[covered..];
+            let mini = self.config.executor.apply(
+                std::slice::from_ref(&self.lfs[j].lf),
+                &self.corpus,
+                slice,
+            );
+            let mut entries = mini.column(0);
+            for e in &mut entries {
+                e.0 += covered as u32;
+            }
+            lf_invocations += slice.len();
+            if covered == 0 {
+                self.cache.insert(fp, m, entries);
+            } else {
+                self.cache.extend(fp, m, entries);
+            }
+        }
+        let live: Vec<Fingerprint> = self.lfs.iter().map(|s| s.fingerprint).collect();
+        self.cache.evict_to_capacity(&live);
+
+        // 2. Splice the new rows into Λ and the live plan's tail shard.
+        let lambda = self.lambda.as_mut().expect("checked above");
+        if new_rows > 0 {
+            let mut rows: Vec<Vec<(u32, Vote)>> = vec![Vec::new(); new_rows];
+            for (j, fp) in live.iter().enumerate() {
+                let entries = self.cache.entries(*fp).expect("live column cached");
+                let start = entries.partition_point(|e| (e.0 as usize) < old_m);
+                for &(row, v) in &entries[start..] {
+                    rows[row as usize - old_m].push((j as u32, v));
+                }
+            }
+            lambda.apply_delta(&MatrixDelta::AppendRows { rows });
+            if let Some(plan) = &mut self.plan {
+                plan.append_rows(lambda);
+            }
+        }
+
+        // 3. Fold the new rows into the streaming statistics.
+        let stream = self.stream.as_mut().expect("enabled above");
+        for i in old_m..m {
+            let (cols, votes) = lambda.row(i);
+            stream.observe_row(cols, votes);
+        }
+        stream.note_batch(new_rows);
+        publish_drift_gauges(self.lfs.iter().map(|s| s.lf.name()), stream.per_lf_scores());
+
+        // 4. Online refit from the running statistics — the steady-state
+        //    fast path the streaming bench gates: O(n³) in the LF count,
+        //    independent of the corpus size.
+        let train_cfg = if self.plan.is_some() {
+            self.config.train.clone()
+        } else {
+            TrainConfig {
+                scaleout: Scaleout::RowWise,
+                ..self.config.train.clone()
+            }
+        };
+        let online_fit = match self.model.as_deref_mut() {
+            Some(model) => model.fit_online(stream.stats(), &train_cfg).is_some(),
+            None => false,
+        };
+
+        // 5. Bookkeeping: the splice is committed; an online-refitted
+        //    model invalidates generation-keyed posterior memos.
+        self.last_rows = m;
+        if online_fit {
+            self.refresh_generation += 1;
+            self.last_marginals = None;
+        }
+
+        // 6. Drift response: automatic warm refit, then re-anchor.
+        let (drift_score, drifted) = {
+            let stream = self.stream.as_ref().expect("enabled above");
+            (stream.drift_score(), stream.drifted())
+        };
+        let mut auto_refit = false;
+        if drifted {
+            // Λ is already up to date, so this is the warm no-splice
+            // path: strategy re-selection + warm training + fresh
+            // marginals, bumping the generation.
+            let _ = self.refresh();
+            if let Some(stream) = &mut self.stream {
+                stream.record_auto_refit();
+            }
+            auto_refit = true;
+        }
+        self.publish_gauges();
+        drop(span);
+        IngestReport {
+            rows: new_rows,
+            lf_invocations,
+            online_fit,
+            drift_score,
+            drifted,
+            auto_refit,
+            generation: self.refresh_generation,
+        }
     }
 }

@@ -75,6 +75,12 @@ pub const OP_MARGINAL: u8 = 0x02;
 /// verb).
 pub const OP_PREDICT: u8 = 0x03;
 
+/// Batched streaming ingest: N two-span candidates in, one ingest
+/// summary out (the binary, batched form of the text `INGEST` verb).
+/// Refused with [`STATUS_ERR`] `backpressure` when the server's ingest
+/// gate is full.
+pub const OP_INGEST: u8 = 0x04;
+
 /// Response status byte: the request succeeded.
 pub const STATUS_OK: u8 = 0x00;
 
@@ -85,6 +91,10 @@ pub const STATUS_ERR: u8 = 0x01;
 /// non-abstain votes, parallel arrays.
 pub type VoteRow = (Vec<u32>, Vec<Vote>);
 
+/// One ingest row: two token-range spans plus the sentence text — the
+/// binary counterpart of the text `INGEST` grammar.
+pub type IngestRow = ((usize, usize), (usize, usize), String);
+
 /// A decoded binary request.
 #[derive(Clone, Debug, PartialEq)]
 pub enum BinRequest {
@@ -94,6 +104,8 @@ pub enum BinRequest {
     Marginal(Vec<VoteRow>),
     /// [`OP_PREDICT`]: one batch of feature vectors.
     Predict(Vec<Vec<String>>),
+    /// [`OP_INGEST`]: one batch of candidates to stream in.
+    Ingest(Vec<IngestRow>),
 }
 
 /// A decoded binary reply.
@@ -122,6 +134,24 @@ pub enum BinReply {
         /// Posterior rows, parallel to the request's feature vectors.
         probs: Vec<Vec<f64>>,
     },
+    /// OK reply to [`OP_INGEST`]: one summary for the whole batch.
+    Ingest {
+        /// Server generation after the ingest (bumped when the online
+        /// moment solve or an auto-refit ran).
+        gen: u64,
+        /// Rows ingested by this frame.
+        rows: u64,
+        /// Total corpus rows after the ingest.
+        total: u64,
+        /// Whether the online moment fast path re-solved the model
+        /// (no pass over Λ).
+        online: bool,
+        /// Overall drift score after the batch (max over LFs).
+        drift_score: f64,
+        /// Whether drift crossed the threshold and triggered an
+        /// automatic warm refit.
+        auto_refit: bool,
+    },
     /// Error frame: the whole request frame was rejected.
     Err {
         /// Human-readable reason, as on the text plane's `ERR` lines.
@@ -136,6 +166,7 @@ pub fn opcode_name(opcode: u8) -> Option<&'static str> {
         OP_PING => Some("PING"),
         OP_MARGINAL => Some("MARGINAL"),
         OP_PREDICT => Some("PREDICT"),
+        OP_INGEST => Some("INGEST"),
         _ => None,
     }
 }
@@ -192,6 +223,21 @@ pub fn encode_predict(rows: &[Vec<String>]) -> Vec<u8> {
     request_frame(OP_PREDICT, w)
 }
 
+/// Encode an [`OP_INGEST`] request frame over a batch of candidate
+/// rows.
+pub fn encode_ingest(rows: &[IngestRow]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u32(rows.len() as u32);
+    for (span1, span2, text) in rows {
+        w.put_usize(span1.0);
+        w.put_usize(span1.1);
+        w.put_usize(span2.0);
+        w.put_usize(span2.1);
+        w.put_str(text);
+    }
+    request_frame(OP_INGEST, w)
+}
+
 /// Encode an error reply frame.
 pub fn encode_err(message: &str) -> Vec<u8> {
     let mut w = Writer::new();
@@ -233,6 +279,26 @@ pub fn encode_predict_reply(gen: u64, disc_gen: u64, probs: &[Vec<f64>]) -> Vec<
     w.put_u64(gen);
     w.put_u64(disc_gen);
     put_prob_rows(&mut w, probs);
+    reply_frame(STATUS_OK, w)
+}
+
+/// Encode the OK reply to [`OP_INGEST`].
+pub fn encode_ingest_reply(
+    gen: u64,
+    rows: u64,
+    total: u64,
+    online: bool,
+    drift_score: f64,
+    auto_refit: bool,
+) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(OP_INGEST);
+    w.put_u64(gen);
+    w.put_u64(rows);
+    w.put_u64(total);
+    w.put_u8(u8::from(online));
+    w.put_f64(drift_score);
+    w.put_u8(u8::from(auto_refit));
     reply_frame(STATUS_OK, w)
 }
 
@@ -403,6 +469,22 @@ pub fn decode_request(opcode: u8, payload: &[u8]) -> Result<BinRequest, String> 
             }
             BinRequest::Predict(rows)
         }
+        OP_INGEST => {
+            // A row is at least four 8-byte span bounds plus an 8-byte
+            // string length prefix.
+            let n = batch_len(&mut r, 40, "ingest rows")?;
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                let span1 = (rd!(r.usize("span1 start")), rd!(r.usize("span1 end")));
+                let span2 = (rd!(r.usize("span2 start")), rd!(r.usize("span2 end")));
+                let text = rd!(r.str("sentence text"));
+                if text.trim().is_empty() {
+                    return Err("INGEST missing sentence text".into());
+                }
+                rows.push((span1, span2, text));
+            }
+            BinRequest::Ingest(rows)
+        }
         other => return Err(format!("unknown opcode 0x{other:02x}")),
     };
     if !r.is_exhausted() {
@@ -446,6 +528,14 @@ pub fn decode_reply(status: u8, payload: &[u8]) -> Result<BinReply, String> {
                     gen: rd!(r.u64("generation")),
                     disc_gen: rd!(r.u64("disc generation")),
                     probs: prob_rows(&mut r)?,
+                },
+                OP_INGEST => BinReply::Ingest {
+                    gen: rd!(r.u64("generation")),
+                    rows: rd!(r.u64("ingested rows")),
+                    total: rd!(r.u64("total rows")),
+                    online: rd!(r.u8("online flag")) != 0,
+                    drift_score: rd!(r.f64("drift score")),
+                    auto_refit: rd!(r.u8("auto-refit flag")) != 0,
                 },
                 other => return Err(format!("unknown opcode echo 0x{other:02x}")),
             }
@@ -523,6 +613,11 @@ impl FrameClient {
     pub fn predict(&mut self, rows: &[Vec<String>]) -> std::io::Result<BinReply> {
         self.round_trip(&encode_predict(rows))
     }
+
+    /// Batched `OP_INGEST` round trip.
+    pub fn ingest(&mut self, rows: &[IngestRow]) -> std::io::Result<BinReply> {
+        self.round_trip(&encode_ingest(rows))
+    }
 }
 
 #[cfg(test)]
@@ -561,6 +656,14 @@ mod tests {
         let frame = encode_ping();
         let (op, body) = payload(&frame);
         assert_eq!(decode_request(op, body).unwrap(), BinRequest::Ping);
+
+        let rows: Vec<IngestRow> = vec![
+            ((0, 1), (2, 3), "a causes b".into()),
+            ((1, 2), (3, 4), "x treats y".into()),
+        ];
+        let frame = encode_ingest(&rows);
+        let (op, body) = payload(&frame);
+        assert_eq!(decode_request(op, body).unwrap(), BinRequest::Ingest(rows));
     }
 
     #[test]
@@ -591,6 +694,26 @@ mod tests {
                 message: "nope".into()
             }
         );
+
+        // Ingest reply, drift score bit-exact.
+        let score = f64::from_bits(0x3FD5_5555_5555_5555);
+        let frame = encode_ingest_reply(9, 32, 1024, true, score, false);
+        let (status, body) = payload(&frame);
+        match decode_reply(status, body).unwrap() {
+            BinReply::Ingest {
+                gen,
+                rows,
+                total,
+                online,
+                drift_score,
+                auto_refit,
+            } => {
+                assert_eq!((gen, rows, total), (9, 32, 1024));
+                assert!(online && !auto_refit);
+                assert_eq!(drift_score.to_bits(), score.to_bits());
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
     }
 
     #[test]
@@ -650,5 +773,16 @@ mod tests {
         assert!(decode_request(op, &[0xAA])
             .unwrap_err()
             .contains("trailing bytes"));
+        // Empty ingest batch / blank sentence text.
+        let frame = encode_ingest(&[]);
+        let (op, body) = payload(&frame);
+        assert!(decode_request(op, body)
+            .unwrap_err()
+            .contains("empty batch"));
+        let frame = encode_ingest(&[((0, 1), (2, 3), "  ".into())]);
+        let (op, body) = payload(&frame);
+        assert!(decode_request(op, body)
+            .unwrap_err()
+            .contains("missing sentence text"));
     }
 }

@@ -15,6 +15,8 @@
 //!                                              feature strings (no LF coverage needed)
 //! PREDICT_TEXT <s1> <e1> <s2> <e2> <text…>     featurize a transient candidate and
 //!                                              answer from the distilled model
+//! INGEST <s1> <e1> <s2> <e2> <text…>           append a candidate to the corpus and
+//!                                              absorb it through the streaming plane
 //! REFRESH                                      re-label with the current suite
 //! REFRESH ADD <lf-spec>                        add an LF, then refresh
 //! REFRESH EDIT <lf-spec>                       replace the same-named LF, then refresh
@@ -231,6 +233,15 @@ pub enum Request {
         /// Sentence text (tokenized server-side).
         text: String,
     },
+    /// Append candidates to the corpus and absorb them through the
+    /// streaming plane (online moment update, no cold fit). The text
+    /// verb carries a batch of one; the binary `OP_INGEST` frame
+    /// carries many rows in the same shape.
+    Ingest {
+        /// Candidate rows: two token-range spans plus the sentence
+        /// text, the same grammar as [`Request::Apply`].
+        rows: Vec<crate::frame::IngestRow>,
+    },
     /// Re-label, optionally after a suite edit.
     Refresh(Option<SuiteEdit>),
     /// Write a snapshot, to the given path or the server's configured
@@ -263,6 +274,7 @@ impl Request {
             Request::Apply { .. } => "APPLY",
             Request::Predict { .. } => "PREDICT",
             Request::PredictText { .. } => "PREDICT_TEXT",
+            Request::Ingest { .. } => "INGEST",
             Request::Refresh(_) => "REFRESH",
             Request::Snapshot { .. } => "SNAPSHOT",
             Request::Stats => "STATS",
@@ -347,6 +359,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "PREDICT_TEXT" => {
             let (span1, span2, text) = parse_spans_and_text("PREDICT_TEXT", rest)?;
             Ok(Request::PredictText { span1, span2, text })
+        }
+        "INGEST" => {
+            let (span1, span2, text) = parse_spans_and_text("INGEST", rest)?;
+            Ok(Request::Ingest {
+                rows: vec![(span1, span2, text)],
+            })
         }
         "REFRESH" => {
             if rest.is_empty() {
@@ -460,6 +478,19 @@ mod tests {
     }
 
     #[test]
+    fn parses_ingest() {
+        let req = parse_request("INGEST 0 1 2 3 magnesium causes weakness").unwrap();
+        assert_eq!(
+            req,
+            Request::Ingest {
+                rows: vec![((0, 1), (2, 3), "magnesium causes weakness".into())],
+            }
+        );
+        assert!(parse_request("INGEST 0 1 2 3").is_err(), "no text");
+        assert!(parse_request("INGEST 0 1 x 3 text").is_err());
+    }
+
+    #[test]
     fn parses_refresh_grammar() {
         assert_eq!(parse_request("REFRESH").unwrap(), Request::Refresh(None));
         let req = parse_request("REFRESH ADD lf_causes KEYWORD 1 -1 causes,caused").unwrap();
@@ -509,6 +540,7 @@ mod tests {
             ("STATS", "STATS"),
             ("METRICS", "METRICS"),
             ("SLOWLOG 5", "SLOWLOG"),
+            ("INGEST 0 1 2 3 t", "INGEST"),
             ("REFRESH", "REFRESH"),
             ("SHUTDOWN", "SHUTDOWN"),
         ] {

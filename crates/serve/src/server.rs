@@ -7,7 +7,12 @@
 //! warm-starts training. A response is always computed against one
 //! consistent model: the generation counter bumps only under the write
 //! lock, so every reply is attributable to exactly the pre- or post-edit
-//! state — never a torn mix.
+//! state — never a torn mix. `INGEST` (streaming candidate arrival)
+//! also takes the write lock, but holds it only for the Λ row splice
+//! and the closed-form online moment solve — never a full re-label —
+//! and its admission is bounded by an ingest gate that refuses with
+//! `ERR backpressure` instead of queueing (see
+//! [`ServeConfig::ingest_queue`]).
 //!
 //! ## Connection model
 //!
@@ -53,11 +58,12 @@ use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use snorkel_context::Corpus;
+use snorkel_context::{CandidateId, Corpus};
 use snorkel_core::model::LabelScheme;
 use snorkel_incr::IncrementalSession;
 use snorkel_lf::Vote;
 use snorkel_obs::{trace_level, Counter, Gauge, Histogram, TraceLevel, TraceRing};
+use snorkel_stream::IngestGate;
 
 use crate::frame::{self, FRAME_HEADER_BYTES, FRAME_MAGIC, MAX_FRAME_BYTES};
 use crate::hotpath::{self, ReadScratch, SigMemo};
@@ -66,12 +72,13 @@ use crate::snap::{SnapError, Snapshot};
 
 /// Every wire verb, in the order `ServeObs` stores their metric
 /// handles.
-const VERBS: [&str; 11] = [
+const VERBS: [&str; 12] = [
     "PING",
     "MARGINAL",
     "APPLY",
     "PREDICT",
     "PREDICT_TEXT",
+    "INGEST",
     "REFRESH",
     "SNAPSHOT",
     "STATS",
@@ -83,7 +90,7 @@ const VERBS: [&str; 11] = [
 /// Binary-plane opcode labels, in the order `ServeObs` stores their
 /// handles. `UNKNOWN` accounts frames whose opcode the protocol does
 /// not define (they still cost a parse and a reply).
-const OPCODES: [&str; 4] = ["PING", "MARGINAL", "PREDICT", "UNKNOWN"];
+const OPCODES: [&str; 5] = ["PING", "MARGINAL", "PREDICT", "INGEST", "UNKNOWN"];
 
 /// One verb's request-path handles.
 struct VerbMetrics {
@@ -119,6 +126,11 @@ struct ServeObs {
     batch_size: Arc<Histogram>,
     connections_open: Arc<Gauge>,
     connections_rejected: Arc<Counter>,
+    /// Current depth of the bounded ingest gate (streaming plane).
+    ingest_queue_depth: Arc<Gauge>,
+    /// Ingest requests refused with `ERR backpressure` because the
+    /// gate was full.
+    backpressure: Arc<Counter>,
 }
 
 impl ServeObs {
@@ -145,6 +157,8 @@ impl ServeObs {
             batch_size: r.histogram("snorkel_serve_batch_size", &[]),
             connections_open: r.gauge("snorkel_serve_connections_open", &[]),
             connections_rejected: r.counter("snorkel_serve_connections_rejected_total", &[]),
+            ingest_queue_depth: r.gauge("snorkel_stream_queue_depth", &[]),
+            backpressure: r.counter("snorkel_stream_backpressure_total", &[]),
         }
     }
 
@@ -186,6 +200,13 @@ pub struct ServeConfig {
     /// overload sheds load visibly (`snorkel_serve_connections_rejected_total`)
     /// instead of accumulating threads or latency.
     pub max_connections: usize,
+    /// Most `INGEST` requests admitted at once (the streaming plane's
+    /// bounded queue). A request over the cap is refused immediately
+    /// with `ERR backpressure` (text) or a `STATUS_ERR` frame (binary)
+    /// — never queued — and counted on
+    /// `snorkel_stream_backpressure_total`. `0` refuses all ingest
+    /// (drain mode).
+    pub ingest_queue: usize,
 }
 
 impl Default for ServeConfig {
@@ -196,13 +217,17 @@ impl Default for ServeConfig {
             auto_snapshot: None,
             workers: 0,
             max_connections: 1024,
+            ingest_queue: 16,
         }
     }
 }
 
 struct ServeState {
     session: IncrementalSession,
-    /// Bumped under the write lock on every successful `REFRESH`.
+    /// Bumped under the write lock on every successful `REFRESH`, and
+    /// on every `INGEST` whose online solve or auto-refit changed the
+    /// model (the posterior memo is keyed by this counter, so any
+    /// weight change must advance it).
     generation: u64,
 }
 
@@ -219,6 +244,10 @@ struct Inner {
     open_conns: AtomicU64,
     max_conns: usize,
     snapshot_path: Option<PathBuf>,
+    /// Bounded admission for the streaming plane: an `INGEST` request
+    /// holds a permit for its whole execution; a full gate refuses with
+    /// `ERR backpressure` instead of queueing.
+    ingest_gate: IngestGate,
     queries: AtomicU64,
     memo_hits: AtomicU64,
     refreshes: AtomicU64,
@@ -269,6 +298,7 @@ impl LabelServer {
             open_conns: AtomicU64::new(0),
             max_conns: config.max_connections.max(1),
             snapshot_path: config.snapshot_path.clone(),
+            ingest_gate: IngestGate::new(config.ingest_queue),
             queries: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
             refreshes: AtomicU64::new(0),
@@ -867,6 +897,28 @@ fn handle_frame(
                 }
             }
         },
+        frame::OP_INGEST => match frame::decode_request(opcode, payload) {
+            Err(e) => Err((e, true)),
+            Ok(frame::BinRequest::Ingest(rows)) => {
+                fm.items.add(rows.len() as u64);
+                inner.obs.batch_size.record_ns(rows.len() as u64);
+                match handle_ingest_core(inner, &rows) {
+                    Err(e) => Err((e, false)),
+                    Ok(s) => {
+                        out.extend_from_slice(&frame::encode_ingest_reply(
+                            s.gen,
+                            s.rows,
+                            s.total,
+                            s.online,
+                            s.drift_score,
+                            s.auto_refit,
+                        ));
+                        Ok(())
+                    }
+                }
+            }
+            Ok(_) => unreachable!("OP_INGEST decodes to BinRequest::Ingest"),
+        },
         _ => unreachable!("opcode_name covered every defined opcode"),
     };
     if let Err((e, is_parse_error)) = result {
@@ -948,6 +1000,10 @@ fn publish_serve_gauges(inner: &Inner, state: &ServeState) {
         .obs
         .memo_generation
         .set(memo.generation().min(i64::MAX as u64) as i64);
+    inner
+        .obs
+        .ingest_queue_depth
+        .set(inner.ingest_gate.depth().min(i64::MAX as usize) as i64);
 }
 
 fn write_snapshot(inner: &Inner, path: &std::path::Path) -> Result<u64, SnapError> {
@@ -983,6 +1039,18 @@ fn handle_request(inner: &Inner, req: Request, scratch: &mut ReadScratch) -> Str
         Request::PredictText { span1, span2, text } => {
             handle_predict_text(inner, span1, span2, &text)
         }
+        Request::Ingest { rows } => match handle_ingest_core(inner, &rows) {
+            Ok(s) => format!(
+                "OK gen={} rows={} total={} online={} drift={} refit={}",
+                s.gen,
+                s.rows,
+                s.total,
+                u8::from(s.online),
+                s.drift_score,
+                u8::from(s.auto_refit)
+            ),
+            Err(e) => format!("ERR {e}"),
+        },
         Request::Refresh(edit) => handle_refresh(inner, edit),
         Request::Snapshot { path } => {
             let target = path
@@ -1016,11 +1084,16 @@ fn handle_request(inner: &Inner, req: Request, scratch: &mut ReadScratch) -> Str
                     }
                 ),
             };
+            let drift_score = state
+                .session
+                .stream()
+                .map_or_else(|| "-".to_string(), |s| s.drift_score().to_string());
             format!(
                 "OK gen={} rows={} lfs={} backend={} disc_gen={disc} conns={} queries={} \
                  memo_hits={} refreshes={} snapshots={} cache_hits={} cache_misses={} \
                  cache_extensions={} cache_cols={} cache_cap={} memo_size={memo_size} \
-                 memo_gen={memo_gen} scratch_bytes={} lf_names={}",
+                 memo_gen={memo_gen} scratch_bytes={} ingest_queue={}/{} \
+                 drift_score={drift_score} lf_names={}",
                 state.generation,
                 state.session.num_candidates(),
                 state.session.num_lfs(),
@@ -1036,6 +1109,8 @@ fn handle_request(inner: &Inner, req: Request, scratch: &mut ReadScratch) -> Str
                 state.session.cache_len(),
                 state.session.cache_capacity(),
                 inner.scratch_high.load(Ordering::Relaxed),
+                inner.ingest_gate.depth(),
+                inner.ingest_gate.capacity(),
                 state.session.lf_names().join(","),
             )
         }
@@ -1291,6 +1366,84 @@ fn handle_predict_text(
         disc.generation,
         format_probs(&disc.model.predict_proba(&x))
     )
+}
+
+/// The summary both planes' `INGEST` replies are built from.
+struct IngestSummary {
+    gen: u64,
+    rows: u64,
+    total: u64,
+    online: bool,
+    drift_score: f64,
+    auto_refit: bool,
+}
+
+/// Execute one ingest batch — the shared core of the text `INGEST`
+/// verb and the binary `OP_INGEST` frame.
+///
+/// Admission first: the bounded [`IngestGate`] is tried before any
+/// work; a full gate refuses with `backpressure` (never queues) and
+/// the permit is held for the whole execution so the gate depth counts
+/// in-flight ingests honestly. Tokenization and span validation run
+/// outside the lock; the write lock covers only the corpus append and
+/// the session's [`ingest_batch`](IncrementalSession::ingest_batch)
+/// (cache-extend, Λ row splice, online moment solve). A batch is
+/// atomic: nothing is ingested unless every row validates.
+fn handle_ingest_core(inner: &Inner, rows: &[frame::IngestRow]) -> Result<IngestSummary, String> {
+    let Some(_permit) = inner.ingest_gate.try_enter() else {
+        inner.obs.backpressure.inc();
+        return Err(format!(
+            "backpressure: ingest queue full ({} in flight, capacity {})",
+            inner.ingest_gate.depth(),
+            inner.ingest_gate.capacity()
+        ));
+    };
+    inner
+        .obs
+        .ingest_queue_depth
+        .set(inner.ingest_gate.depth().min(i64::MAX as usize) as i64);
+    // Tokenize and validate every row before taking the lock: the write
+    // lock pays only for the splice, and an invalid row rejects the
+    // batch before anything grows.
+    let mut prepared = Vec::with_capacity(rows.len());
+    for (span1, span2, text) in rows {
+        let tokens = snorkel_nlp::tokenize(text);
+        for (lo, hi) in [*span1, *span2] {
+            if lo >= hi || hi > tokens.len() {
+                return Err(format!(
+                    "span {lo}..{hi} invalid for {} tokens",
+                    tokens.len()
+                ));
+            }
+        }
+        prepared.push((*span1, *span2, text.as_str(), tokens));
+    }
+    let mut state = write_state(inner);
+    let ids: Vec<CandidateId> = prepared
+        .into_iter()
+        .map(|(s1, s2, text, tokens)| {
+            let corpus = state.session.corpus_mut();
+            let doc = corpus.add_document("ingest");
+            let sent = corpus.add_sentence(doc, text, tokens);
+            let a = corpus.add_span(sent, s1.0, s1.1, None);
+            let b = corpus.add_span(sent, s2.0, s2.1, None);
+            corpus.add_candidate(vec![a, b])
+        })
+        .collect();
+    let report = state.session.ingest_batch(&ids);
+    if report.online_fit || report.auto_refit {
+        // Any weight change must advance the generation the posterior
+        // memo is keyed by, or MARGINAL could serve pre-ingest answers.
+        state.generation += 1;
+    }
+    Ok(IngestSummary {
+        gen: state.generation,
+        rows: ids.len() as u64,
+        total: state.session.num_candidates() as u64,
+        online: report.online_fit,
+        drift_score: report.drift_score,
+        auto_refit: report.auto_refit,
+    })
 }
 
 fn handle_refresh(inner: &Inner, edit: Option<SuiteEdit>) -> String {

@@ -39,6 +39,7 @@
 //! | `PLAN` | the sharded pattern index                        | if built |
 //! | `MODL` | the label model, backend-tagged (v2) — weights + structure for the generative/moment backends, shape only for majority vote | if trained |
 //! | `DISC` | the distilled serving model (v3): refresh/disc generation counters, featurizer + distill config, sparse per-class weights | if distilled |
+//! | `STRM` | the streaming plane (v4): running moment sufficient statistics, drift config, frozen reference window, drift scores, lifetime ingest counters | if streaming |
 //!
 //! ## Versioning
 //!
@@ -51,15 +52,23 @@
 //!   a typed [`SnapError::UnknownBackend`]; structurally invalid model
 //!   parameters are a typed [`SnapError::Model`]. v2 also adds the
 //!   moment-matching strategy tag to `SESS`.
-//! * **v3** (current) — adds the optional `DISC` section carrying the
+//! * **v3** — adds the optional `DISC` section carrying the
 //!   distilled serving model and its staleness generation. v1/v2 files
 //!   still thaw (no disc model, generation counters at zero); a `DISC`
 //!   section in a file claiming v1/v2 is a typed corruption error.
+//! * **v4** (current) — adds the optional `STRM` section carrying the
+//!   streaming plane's state: the online moment backend's running
+//!   sufficient statistics, the drift detector's configuration and
+//!   frozen reference window, the latest drift scores, and the
+//!   lifetime ingest counters. v1–v3 files still thaw (streaming
+//!   restarts disabled until the first `INGEST`); a `STRM` section in
+//!   a file claiming an older version is a typed corruption error.
 //!
-//! [`Snapshot::to_bytes_with_version`] can still *write* v1 or v2 (for
+//! [`Snapshot::to_bytes_with_version`] can still *write* v1–v3 (for
 //! handing a snapshot to an older build) as long as the snapshot fits
-//! the older format: v1 needs an absent-or-generative model, and
-//! neither can carry a distilled model.
+//! the older format: v1 needs an absent-or-generative model, v1/v2
+//! cannot carry a distilled model, and v1–v3 cannot carry streaming
+//! state — each mismatch is a typed refusal, never a silent drop.
 //!
 //! The normative format specification — section payload layouts,
 //! checksum rules, and the compatibility policy — is
@@ -71,13 +80,14 @@
 use std::io::Write as _;
 use std::path::Path;
 
-use snorkel_core::label_model::ModelSnapshot;
+use snorkel_core::label_model::{ModelSnapshot, MomentStatsParts};
 use snorkel_core::model::{ClassBalance, ModelParams, ParamsError, Scaleout, TrainConfig};
 use snorkel_core::optimizer::ModelingStrategy;
 use snorkel_core::pipeline::DiscTrainerConfig;
 use snorkel_disc::{DiscModelParts, DistillConfig, TextFeaturizer};
 use snorkel_incr::{Fingerprint, FrozenCache, FrozenColumn, FrozenDisc, FrozenSession};
 use snorkel_matrix::{LabelMatrix, PatternIndexParts, ShardedMatrixParts};
+use snorkel_stream::{DriftConfig, FrozenStream, StreamState, WindowStats};
 
 use snorkel_context::CandidateId;
 
@@ -87,7 +97,7 @@ use crate::wire::{fnv1a, Reader, Writer};
 pub const MAGIC: [u8; 8] = *b"SNKLSNAP";
 
 /// The format version this build writes by default.
-pub const FORMAT_VERSION: u32 = 3;
+pub const FORMAT_VERSION: u32 = 4;
 
 /// The oldest format version this build still reads.
 pub const MIN_READ_VERSION: u32 = 1;
@@ -104,6 +114,7 @@ const TAG_LMTX: u32 = u32::from_le_bytes(*b"LMTX");
 const TAG_PLAN: u32 = u32::from_le_bytes(*b"PLAN");
 const TAG_MODL: u32 = u32::from_le_bytes(*b"MODL");
 const TAG_DISC: u32 = u32::from_le_bytes(*b"DISC");
+const TAG_STRM: u32 = u32::from_le_bytes(*b"STRM");
 
 fn tag_name(tag: u32) -> String {
     let b = tag.to_le_bytes();
@@ -273,6 +284,11 @@ impl Snapshot {
                 "format v{version} cannot encode a distilled model"
             )));
         }
+        if version < 4 && self.session.stream.is_some() {
+            return Err(corrupt(format!(
+                "format v{version} cannot encode streaming state"
+            )));
+        }
         let mut sections: Vec<(u32, Vec<u8>)> = Vec::new();
         sections.push((TAG_SESS, enc_session_meta(&self.session, version)));
         sections.push((TAG_CACH, enc_cache(&self.session.cache)));
@@ -288,6 +304,9 @@ impl Snapshot {
         }
         if let Some(disc) = &self.session.disc {
             sections.push((TAG_DISC, enc_disc(disc)));
+        }
+        if let Some(stream) = &self.session.stream {
+            sections.push((TAG_STRM, enc_stream(stream)));
         }
 
         let header_end = 16 + 28 * sections.len() + 8;
@@ -403,7 +422,7 @@ impl Snapshot {
         };
         for (tag, _) in &parsed {
             if ![
-                TAG_SESS, TAG_CACH, TAG_TCFG, TAG_LMTX, TAG_PLAN, TAG_MODL, TAG_DISC,
+                TAG_SESS, TAG_CACH, TAG_TCFG, TAG_LMTX, TAG_PLAN, TAG_MODL, TAG_DISC, TAG_STRM,
             ]
             .contains(tag)
             {
@@ -412,6 +431,11 @@ impl Snapshot {
             if *tag == TAG_DISC && version < 3 {
                 return Err(corrupt(format!(
                     "DISC section in a v{version} file (introduced in v3)"
+                )));
+            }
+            if *tag == TAG_STRM && version < 4 {
+                return Err(corrupt(format!(
+                    "STRM section in a v{version} file (introduced in v4)"
                 )));
             }
         }
@@ -443,6 +467,9 @@ impl Snapshot {
                 )));
             }
             session.disc = Some(disc);
+        }
+        if let Some(p) = find(TAG_STRM) {
+            session.stream = Some(dec_stream(&mut Reader::new(p))?);
         }
         Ok(Snapshot { session, train })
     }
@@ -627,6 +654,7 @@ fn dec_session_meta(r: &mut Reader<'_>, version: u32) -> Result<FrozenSession, S
         last_gm_strategy,
         refresh_generation,
         disc: None,
+        stream: None,
     })
 }
 
@@ -1063,6 +1091,122 @@ fn enc_disc(disc: &FrozenDisc) -> Vec<u8> {
         w.put_f64(b);
     }
     w.into_bytes()
+}
+
+/// The v4 `STRM` section: the streaming plane's persistent state. The
+/// running moment totals travel as raw f64 bits (they are exact sums
+/// of integer counts, so bit-exactness preserves the online-equals-
+/// batch invariant across a restart); the diagnostic window ring is
+/// deliberately not persisted.
+fn enc_stream(s: &FrozenStream) -> Vec<u8> {
+    let mut w = Writer::new();
+    let put_f64s = |w: &mut Writer, xs: &[f64]| {
+        w.put_usize(xs.len());
+        for &x in xs {
+            w.put_f64(x);
+        }
+    };
+    let put_u64s = |w: &mut Writer, xs: &[u64]| {
+        w.put_usize(xs.len());
+        for &x in xs {
+            w.put_u64(x);
+        }
+    };
+    w.put_usize(s.stats.num_lfs);
+    w.put_u8(s.stats.cardinality);
+    w.put_f64(s.stats.rows);
+    put_f64s(&mut w, &s.stats.votes);
+    put_f64s(&mut w, &s.stats.mv_class);
+    put_f64s(&mut w, &s.stats.agree_mv);
+    put_f64s(&mut w, &s.stats.total_mv);
+    put_f64s(&mut w, &s.stats.both);
+    put_f64s(&mut w, &s.stats.agree);
+    w.put_usize(s.config.window_rows);
+    w.put_usize(s.config.ring_windows);
+    w.put_f64(s.config.threshold);
+    match &s.reference {
+        None => w.put_u8(0),
+        Some(win) => {
+            w.put_u8(1);
+            w.put_u64(win.rows);
+            put_u64s(&mut w, &win.votes);
+            put_u64s(&mut w, &win.agree_mv);
+            put_u64s(&mut w, &win.total_mv);
+        }
+    }
+    w.put_u64(s.batches);
+    w.put_u64(s.rows);
+    w.put_u64(s.auto_refits);
+    w.put_f64(s.drift_score);
+    put_f64s(&mut w, &s.per_lf_scores);
+    w.into_bytes()
+}
+
+fn dec_stream(r: &mut Reader<'_>) -> Result<FrozenStream, SnapError> {
+    let f64s = |r: &mut Reader<'_>, context| -> Result<Vec<f64>, SnapError> {
+        let n = r.len(8, context)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(r.f64(context)?);
+        }
+        Ok(out)
+    };
+    let u64s = |r: &mut Reader<'_>, context| -> Result<Vec<u64>, SnapError> {
+        let n = r.len(8, context)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(r.u64(context)?);
+        }
+        Ok(out)
+    };
+    let num_lfs = r.usize("stream LF count")?;
+    let cardinality = r.u8("stream cardinality")?;
+    let rows = r.f64("stream weighted rows")?;
+    let stats = MomentStatsParts {
+        num_lfs,
+        cardinality,
+        rows,
+        votes: f64s(r, "stream votes")?,
+        mv_class: f64s(r, "stream mv_class")?,
+        agree_mv: f64s(r, "stream agree_mv")?,
+        total_mv: f64s(r, "stream total_mv")?,
+        both: f64s(r, "stream both")?,
+        agree: f64s(r, "stream agree")?,
+    };
+    let config = DriftConfig {
+        window_rows: r.usize("drift window_rows")?,
+        ring_windows: r.usize("drift ring_windows")?,
+        threshold: r.f64("drift threshold")?,
+    };
+    let reference = match r.u8("reference window tag")? {
+        0 => None,
+        1 => Some(WindowStats {
+            rows: r.u64("window rows")?,
+            votes: u64s(r, "window votes")?,
+            agree_mv: u64s(r, "window agree_mv")?,
+            total_mv: u64s(r, "window total_mv")?,
+        }),
+        v => return Err(corrupt(format!("bad reference window tag {v}"))),
+    };
+    let frozen = FrozenStream {
+        stats,
+        config,
+        reference,
+        batches: r.u64("ingested batches")?,
+        rows: r.u64("ingested rows")?,
+        auto_refits: r.u64("auto refits")?,
+        drift_score: r.f64("drift score")?,
+        per_lf_scores: f64s(r, "per-LF drift scores")?,
+    };
+    if !r.is_exhausted() {
+        return Err(corrupt("trailing bytes in STRM"));
+    }
+    // Every structural invariant (count consistency, score ranges,
+    // window sanity) is enforced by the stream crate's own thaw path —
+    // run it here so a corrupt STRM is a typed snapshot error, not a
+    // later session-thaw surprise.
+    StreamState::thaw(frozen.clone()).map_err(|e| corrupt(format!("STRM: {e}")))?;
+    Ok(frozen)
 }
 
 fn dec_disc(r: &mut Reader<'_>) -> Result<FrozenDisc, SnapError> {

@@ -521,6 +521,157 @@ fn v2_files_still_thaw_without_a_disc_model() {
     assert!(thawed.disc().is_none());
 }
 
+/// A moment-backend session that has ingested two streamed batches —
+/// the streaming state a v4 `STRM` section must carry. The corpus text
+/// formula continues seamlessly, so `build_corpus(base + extra)`
+/// rebuilds the exact corpus a thaw needs.
+fn streaming_session(base: usize, extra: usize, salts: &[u64]) -> IncrementalSession {
+    let mut session = session_with_strategy(
+        base,
+        salts,
+        2,
+        Scaleout::RowWise,
+        ModelingStrategy::MomentMatching,
+    );
+    assert_eq!(session.backend_name(), Some("moment"));
+    let half = extra / 2;
+    for (start, count) in [(base, half), (base + half, extra - half)] {
+        let ids: Vec<CandidateId> = {
+            let corpus = session.corpus_mut();
+            let doc = corpus.add_document(format!("ingest-{start}"));
+            (start..start + count)
+                .map(|i| {
+                    let verb = if mix(i as u64, 11).is_multiple_of(2) {
+                        "causes"
+                    } else {
+                        "treats"
+                    };
+                    let text = format!("alpha{} {} beta{}", i % 7, verb, i % 5);
+                    let s = corpus.add_sentence(doc, &text, tokenize(&text));
+                    let a = corpus.add_span(s, 0, 1, Some("A"));
+                    let b = corpus.add_span(s, 2, 3, Some("B"));
+                    corpus.add_candidate(vec![a, b])
+                })
+                .collect()
+        };
+        let report = session.ingest_batch(&ids);
+        assert!(report.online_fit, "moment session must ingest online");
+    }
+    session
+}
+
+#[test]
+fn v4_round_trips_streaming_state_and_resumes_steady_state() {
+    let salts = [81u64, 82, 83];
+    let mut session = streaming_session(80, 32, &salts);
+    let stream_before = session.stream().expect("streaming active").clone();
+    assert_eq!(stream_before.rows(), 32);
+    assert_eq!(stream_before.batches(), 2);
+
+    let snapshot = snapshot_of(&session);
+    let frozen = snapshot.session.stream.clone().expect("STRM present");
+    let bytes = snapshot.to_bytes();
+    let back = Snapshot::from_bytes(&bytes).expect("own bytes parse");
+    assert_eq!(
+        back.session.stream.as_ref(),
+        Some(&frozen),
+        "STRM payload round-trips bit-for-bit"
+    );
+
+    let (corpus, _) = build_corpus(112);
+    let lfs: Vec<BoxedLf> = salts
+        .iter()
+        .enumerate()
+        .map(|(j, &salt)| salted_lf(&format!("lf_{j}"), salt, 2))
+        .collect();
+    let mut thawed = IncrementalSession::thaw(corpus, session.config().clone(), back.session, lfs)
+        .expect("v4 snapshot thaws");
+    {
+        let stream = thawed.stream().expect("stream survives the thaw");
+        assert_eq!(stream.stats(), stream_before.stats());
+        assert_eq!(stream.rows(), stream_before.rows());
+        assert_eq!(stream.batches(), stream_before.batches());
+        assert_eq!(stream.auto_refits(), stream_before.auto_refits());
+        assert_eq!(stream.drift_score(), stream_before.drift_score());
+    }
+    // Re-freezing the thawed session reproduces the same image.
+    assert_eq!(thawed.freeze().stream, Some(frozen));
+
+    // Steady state survives the resume: the next ingested batch is
+    // online (per-batch LF execution, no cold fit) on both sessions,
+    // and their running statistics stay identical.
+    for s in [&mut session, &mut thawed] {
+        let ids: Vec<CandidateId> = {
+            let corpus = s.corpus_mut();
+            let doc = corpus.add_document("post-thaw");
+            (112..112 + 8)
+                .map(|i| {
+                    let text = format!("alpha{} causes beta{}", i % 7, i % 5);
+                    let sent = corpus.add_sentence(doc, &text, tokenize(&text));
+                    let a = corpus.add_span(sent, 0, 1, Some("A"));
+                    let b = corpus.add_span(sent, 2, 3, Some("B"));
+                    corpus.add_candidate(vec![a, b])
+                })
+                .collect()
+        };
+        let report = s.ingest_batch(&ids);
+        assert!(
+            report.online_fit,
+            "resumed session must stay in steady state"
+        );
+        assert_eq!(report.lf_invocations, 8 * 3);
+    }
+    assert_eq!(
+        thawed.stream().expect("stream").stats(),
+        session.stream().expect("stream").stats()
+    );
+}
+
+#[test]
+fn older_versions_cannot_encode_streaming_state() {
+    let salts = [91u64, 92, 93];
+    let session = streaming_session(60, 16, &salts);
+    let snapshot = snapshot_of(&session);
+    for version in [1, 2, 3] {
+        assert!(
+            matches!(
+                snapshot.to_bytes_with_version(version),
+                Err(SnapError::Corrupt { .. })
+            ),
+            "v{version} must refuse streaming state with a typed error"
+        );
+    }
+    assert!(Snapshot::from_bytes(&snapshot.to_bytes()).is_ok());
+
+    // Control: the same session shape minus the stream state still
+    // writes v3 — the refusal is about the STRM payload, not the model.
+    let no_stream = session_with_strategy(
+        60,
+        &salts,
+        2,
+        Scaleout::RowWise,
+        ModelingStrategy::MomentMatching,
+    );
+    assert!(no_stream.stream().is_none());
+    assert!(snapshot_of(&no_stream).to_bytes_with_version(3).is_ok());
+}
+
+#[test]
+fn corrupt_strm_section_is_a_typed_error() {
+    let session = streaming_session(60, 16, &[95, 96, 97]);
+    let mut bytes = snapshot_of(&session).to_bytes();
+    // Byte 8 of STRM is the statistics' cardinality (after the u64 LF
+    // count); zeroing it is semantic corruption the stream crate's own
+    // thaw validation must catch, surfaced as a typed snapshot error.
+    patch_section(&mut bytes, b"STRM", 8, 0);
+    match Snapshot::from_bytes(&bytes) {
+        Err(SnapError::Corrupt { context }) => {
+            assert!(context.contains("STRM"), "unexpected context {context:?}")
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
 #[test]
 fn corrupt_disc_section_is_a_typed_error() {
     let session = distilled_session(40, &[71, 72]);

@@ -1,0 +1,140 @@
+//! Bounded admission for the ingest path.
+//!
+//! The serving layer admits an `INGEST` request only if it can obtain
+//! an [`IngestPermit`] from the session's [`IngestGate`]; when the
+//! configured bound is reached it refuses with `ERR backpressure`
+//! (text) or `STATUS_ERR` (binary) instead of queueing unboundedly.
+//! The gate is a lock-free depth counter — admission never touches the
+//! session lock, so a saturated ingest pipeline sheds load without
+//! delaying readers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A bounded admission counter for in-flight ingest batches.
+///
+/// `try_enter` either hands back an RAII [`IngestPermit`] (releasing
+/// the slot on drop, including on panic and early-error paths) or
+/// `None` when the gate is full. Cloning shares the counter.
+#[derive(Clone, Debug)]
+pub struct IngestGate {
+    inner: Arc<GateInner>,
+}
+
+#[derive(Debug)]
+struct GateInner {
+    depth: AtomicUsize,
+    capacity: usize,
+    rejected: AtomicUsize,
+}
+
+impl IngestGate {
+    /// A gate admitting at most `capacity` concurrent ingests.
+    /// Capacity 0 refuses everything (a drain/maintenance mode).
+    pub fn new(capacity: usize) -> Self {
+        IngestGate {
+            inner: Arc::new(GateInner {
+                depth: AtomicUsize::new(0),
+                capacity,
+                rejected: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Ingest batches currently holding a permit.
+    pub fn depth(&self) -> usize {
+        self.inner.depth.load(Ordering::Acquire)
+    }
+
+    /// Lifetime count of refused admissions.
+    pub fn rejected(&self) -> usize {
+        self.inner.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Try to admit one ingest batch. `None` means backpressure: the
+    /// caller must refuse the request, not block.
+    pub fn try_enter(&self) -> Option<IngestPermit> {
+        let mut depth = self.inner.depth.load(Ordering::Acquire);
+        loop {
+            if depth >= self.inner.capacity {
+                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            match self.inner.depth.compare_exchange_weak(
+                depth,
+                depth + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    return Some(IngestPermit {
+                        gate: Arc::clone(&self.inner),
+                    })
+                }
+                Err(observed) => depth = observed,
+            }
+        }
+    }
+}
+
+/// An admitted ingest slot; dropping it releases the slot.
+#[derive(Debug)]
+pub struct IngestPermit {
+    gate: Arc<GateInner>,
+}
+
+impl Drop for IngestPermit {
+    fn drop(&mut self) {
+        self.gate.depth.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_up_to_capacity_and_releases_on_drop() {
+        let gate = IngestGate::new(2);
+        let a = gate.try_enter().expect("slot 1");
+        let _b = gate.try_enter().expect("slot 2");
+        assert_eq!(gate.depth(), 2);
+        assert!(gate.try_enter().is_none(), "full gate must refuse");
+        assert_eq!(gate.rejected(), 1);
+        drop(a);
+        assert_eq!(gate.depth(), 1);
+        assert!(gate.try_enter().is_some());
+    }
+
+    #[test]
+    fn zero_capacity_refuses_everything() {
+        let gate = IngestGate::new(0);
+        assert!(gate.try_enter().is_none());
+    }
+
+    #[test]
+    fn clones_share_the_counter() {
+        let gate = IngestGate::new(1);
+        let other = gate.clone();
+        let _p = gate.try_enter().expect("slot");
+        assert_eq!(other.depth(), 1);
+        assert!(other.try_enter().is_none());
+    }
+
+    #[test]
+    fn permit_released_even_on_panic() {
+        let gate = IngestGate::new(1);
+        let clone = gate.clone();
+        let result = std::panic::catch_unwind(move || {
+            let _p = clone.try_enter().expect("slot");
+            panic!("ingest failed mid-flight");
+        });
+        assert!(result.is_err());
+        assert_eq!(gate.depth(), 0, "panic must not leak the slot");
+    }
+}

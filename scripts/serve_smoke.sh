@@ -2,9 +2,11 @@
 # Serve smoke: start the labeling server on a loopback port, drive
 # MARGINAL/APPLY/PREDICT/REFRESH/SNAPSHOT from the script client, hammer
 # it with concurrent clients while an LF edit lands mid-stream
-# (torn-read check), assert a clean shutdown and a loadable snapshot,
-# then restart from the snapshot and assert the warm start re-executed
-# zero LFs and still serves the distilled model.
+# (torn-read check), ingest rows through the streaming plane, assert a
+# clean shutdown and a loadable snapshot, then restart from the
+# snapshot and assert the warm start re-executed zero LFs, still serves
+# the distilled model, and carried the streaming state (drift score and
+# lifetime row totals) across the process boundary.
 #
 # The wire grammar, reply shapes, and lock discipline exercised here are
 # specified normatively in docs/PROTOCOL.md; the snapshot file handed
@@ -113,13 +115,41 @@ fi
 echo "mid-run scrape OK"
 # SLOWLOG returns the slowest recent spans, header first.
 "$BIN" client --port "$PORT" "SLOWLOG 3" | head -n 1 | expect "OK count="
+echo "== streaming plane: ingest three rows =="
+# The ingested texts are exactly what demo_corpus would generate at
+# indices 3000–3002, so the second life's re-supplied corpus
+# (--rows 3003) stays consistent with the snapshot's candidate
+# registry and cached LF columns.
+"$BIN" client --port "$PORT" "INGEST 0 1 2 3 chem8 causes disease4" | expect "total=3001"
+"$BIN" client --port "$PORT" "INGEST 0 1 2 3 chem9 causes disease5" | expect "total=3002"
+"$BIN" client --port "$PORT" "INGEST 0 1 2 3 chem10 treats disease6" | expect "total=3003"
+# The admission gate is idle between requests, and the streaming plane
+# is active: STATS reports the queue and a numeric drift score.
+"$BIN" client --port "$PORT" "STATS" | expect "ingest_queue=0/16"
+STATS_LINE="$("$BIN" client --port "$PORT" STATS)"
+DRIFT_BEFORE="$(sed -E 's/.*drift_score=([^ ]+).*/\1/' <<<"$STATS_LINE")"
+if [[ "$DRIFT_BEFORE" == "-" ]]; then
+    echo "FAIL: streaming plane inactive after INGEST: $STATS_LINE" >&2
+    exit 1
+fi
+SCRAPE="$("$BIN" client --port "$PORT" METRICS)"
+if ! echo "$SCRAPE" | grep -E 'snorkel_stream_ingest_rows_total 3$' >/dev/null; then
+    echo "FAIL: stream ingest-rows counter did not count the 3 ingests" >&2
+    exit 1
+fi
+if ! echo "$SCRAPE" | grep -E 'snorkel_serve_requests_total\{verb="INGEST"\} 3$' >/dev/null; then
+    echo "FAIL: INGEST verb counter did not count the 3 requests" >&2
+    exit 1
+fi
+echo "ingest OK (drift_score=$DRIFT_BEFORE)"
+
 # Capture a zero-coverage posterior AFTER the hammer's edit+revert (each
 # REFRESH warm-retrains the disc model) so the kill/resume comparison
 # below sees exactly the model the snapshot will carry.
 PRED_BEFORE="$("$BIN" client --port "$PORT" "PREDICT_TEXT 0 1 2 3 chemX causes diseaseY")"
 echo "$PRED_BEFORE" | expect "disc_gen="
 "$BIN" client --port "$PORT" "SNAPSHOT" | expect "OK bytes="
-"$BIN" client --port "$PORT" "STATS" | expect "rows=3000"
+"$BIN" client --port "$PORT" "STATS" | expect "rows=3003"
 # STATS reports the active label-model backend (the example forces the
 # generative backend) and the session generation — the hammer's edit
 # and revert performed exactly two refreshes.
@@ -145,7 +175,9 @@ echo "== snapshot must load =="
 "$BIN" verify-snap "$SNAP" | expect "snapshot OK"
 
 echo "== second life: resume warm from the snapshot =="
-"$BIN" server --port "$PORT" --rows 3000 --resume "$SNAP" &
+# --rows 3003: the first life's three INGESTs grew the registry, and
+# the operator-resupplied corpus must cover every frozen candidate.
+"$BIN" server --port "$PORT" --rows 3003 --resume "$SNAP" &
 SRV_PID=$!
 wait_listening
 
@@ -161,11 +193,24 @@ if ! echo "$SCRAPE" | grep -E 'snorkel_incr_refresh_generation [1-9]' >/dev/null
     echo "FAIL: refresh-generation gauge was not rebuilt from the thawed session" >&2
     exit 1
 fi
-if ! echo "$SCRAPE" | grep -E 'snorkel_incr_rows 3000$' >/dev/null; then
+if ! echo "$SCRAPE" | grep -E 'snorkel_incr_rows 3003$' >/dev/null; then
     echo "FAIL: rows gauge was not rebuilt from the thawed session" >&2
     exit 1
 fi
 echo "restart counter-reset / gauge-rebuild OK"
+
+# The v4 STRM section thawed: before any ingest in this life, the
+# drift score equals the frozen one (not "-", which would mean the
+# streaming plane restarted from scratch).
+STATS_LINE="$("$BIN" client --port "$PORT" STATS)"
+DRIFT_AFTER="$(sed -E 's/.*drift_score=([^ ]+).*/\1/' <<<"$STATS_LINE")"
+if [[ "$DRIFT_AFTER" != "$DRIFT_BEFORE" ]]; then
+    echo "FAIL: drift score changed across kill/resume" >&2
+    echo "  before: $DRIFT_BEFORE" >&2
+    echo "  after:  $DRIFT_AFTER" >&2
+    exit 1
+fi
+echo "thawed streaming state OK (drift_score=$DRIFT_AFTER)"
 
 "$BIN" client --port "$PORT" "MARGINAL 0:1,1:-1" | expect "OK gen="
 # The binary plane serves the thawed state too, still bit-identical to
@@ -185,6 +230,16 @@ if [[ "${PRED_BEFORE##*p=}" != "${PRED_AFTER##*p=}" ]]; then
     echo "  after:  $PRED_AFTER" >&2
     exit 1
 fi
+# Ingest continues across the process boundary: the lifetime row total
+# picks up where the snapshot left off (3003 + 1), while this life's
+# process counter shows only its own traffic.
+"$BIN" client --port "$PORT" "INGEST 0 1 2 3 chem0 worsens disease0" | expect "total=3004"
+SCRAPE="$("$BIN" client --port "$PORT" METRICS)"
+if ! echo "$SCRAPE" | grep -E 'snorkel_stream_ingest_rows_total 1$' >/dev/null; then
+    echo "FAIL: stream ingest-rows counter did not restart with the process" >&2
+    exit 1
+fi
+echo "cross-life ingest OK"
 # The resumed server relabels everything from cache: zero LF runs.
 "$BIN" client --port "$PORT" "REFRESH" | expect "lf_invocations=0"
 # The refresh bumped the session generation and kept the backend.

@@ -25,6 +25,10 @@
 //! * [`incr`] — the incremental labeling engine for the interactive dev
 //!   loop: content-addressed LF-result caching, delta Λ updates, and
 //!   warm-started training behind [`incr::IncrementalSession`].
+//! * [`stream`] — the streaming ingestion plane: running moment
+//!   sufficient statistics for online refits, windowed drift detection,
+//!   and bounded ingest admission ([`stream::StreamState`],
+//!   [`stream::DriftDetector`], [`stream::IngestGate`]).
 //! * [`serve`] — durable session snapshots (versioned, checksummed
 //!   binary format) and the concurrent TCP labeling service
 //!   ([`serve::LabelServer`]).
@@ -56,3 +60,4 @@ pub use snorkel_nlp as nlp;
 pub use snorkel_obs as obs;
 pub use snorkel_pattern as pattern;
 pub use snorkel_serve as serve;
+pub use snorkel_stream as stream;
