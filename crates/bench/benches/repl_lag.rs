@@ -1,0 +1,252 @@
+//! Replication costs: op-log replay throughput and live follower lag —
+//! the numbers behind the `BENCH_repl_lag.json` artifact.
+//!
+//! Two measurements:
+//!
+//! * **replay** — decode + apply `SNORKEL_REPL_OPS` logged ops (the mix
+//!   a follower tails: single-row `INGEST`s with a `REFRESH` every 64)
+//!   into a session built to the log's base state, through the same
+//!   [`snorkel_serve::repl::apply_op`] entry point the follower and WAL
+//!   recovery use. Reported as ops/s; the CI floor
+//!   `SNORKEL_REPL_MIN_REPLAY` gates it, so a regression that makes
+//!   catch-up crawl fails the build.
+//! * **live lag** — a real leader/follower pair over loopback TCP: the
+//!   leader absorbs a burst of `SNORKEL_REPL_BURST` ingests while the
+//!   follower tails `OP_LOG_SUBSCRIBE`; the lag number is how long the
+//!   follower needs to reach the leader's tip LSN after the last write
+//!   is acknowledged (steady-state drain, not cold bootstrap).
+//!
+//! Replay correctness (bit-identical marginals at every LSN) is proven
+//! by `crates/serve/tests/repl_property.rs` and `repl_chaos.rs`; this
+//! bench only prices it.
+
+use std::time::Instant;
+
+use snorkel_context::Corpus;
+use snorkel_incr::{IncrementalSession, SessionConfig};
+use snorkel_lf::BoxedLf;
+use snorkel_nlp::tokenize;
+use snorkel_serve::repl::apply_op;
+use snorkel_serve::repl::wal::{encode_body, Op, Record};
+use snorkel_serve::{Client, LabelServer, LfSpec, ServeConfig, Snapshot};
+
+const SPECS: [&str; 4] = [
+    "lf_causes KEYWORD 1 -1 causes,caused",
+    "lf_treats KEYWORD -1 1 treats,treated",
+    "lf_worsens KEYWORD 1 -1 worsens,aggravates",
+    "lf_mentions KEYWORD 1 -1 mentions",
+];
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn corpus(rows: usize) -> Corpus {
+    let mut corpus = Corpus::new();
+    let doc = corpus.add_document("repl-bench");
+    for i in 0..rows {
+        let verb = match i % 5 {
+            0 | 1 => "causes",
+            2 => "treats",
+            3 => "worsens",
+            _ => "mentions",
+        };
+        let text = format!("chem{} {} disease{}", i % 11, verb, i % 7);
+        let s = corpus.add_sentence(doc, &text, tokenize(&text));
+        let a = corpus.add_span(s, 0, 1, Some("Chemical"));
+        let b = corpus.add_span(s, 2, 3, Some("Disease"));
+        corpus.add_candidate(vec![a, b]);
+    }
+    corpus
+}
+
+fn specs() -> Vec<LfSpec> {
+    SPECS
+        .iter()
+        .map(|s| LfSpec::parse(s).expect("spec"))
+        .collect()
+}
+
+/// A deterministic base session with a spec-built (thaw-compatible)
+/// suite, refreshed once — the state both a log's origin and a
+/// follower's bootstrap share.
+fn base_session(rows: usize) -> IncrementalSession {
+    let corpus = corpus(rows);
+    let ids: Vec<_> = corpus.candidate_ids().collect();
+    let mut session = IncrementalSession::new(corpus, SessionConfig::default());
+    session.ingest_candidates(&ids);
+    for spec in specs() {
+        let lf = spec.build().expect("build LF");
+        session.add_lf_tagged(lf, spec.content_tag());
+    }
+    session.refresh();
+    session
+}
+
+/// The op mix a long-lived follower tails: single-row ingests with a
+/// periodic refresh. Each op is applied to a live leader session first,
+/// so every encoded body carries the leader's true `gen_after` — replay
+/// then checks generation agreement at every LSN, exactly as a real
+/// follower does.
+fn logged_bodies(rows: usize, ops: usize) -> Vec<Vec<u8>> {
+    let mut leader = base_session(rows);
+    let mut generation = 1u64; // the base refresh
+    let mut bodies = Vec::with_capacity(ops);
+    for k in 0..ops {
+        let op = if k % 64 == 63 {
+            Op::Refresh(None)
+        } else {
+            let i = rows + bodies.len();
+            let text = format!("chem{} causes disease{}", i % 11, i % 7);
+            Op::Ingest(vec![((0, 1), (2, 3), text)])
+        };
+        apply_op(&mut leader, &mut generation, &op).expect("leader apply");
+        bodies.push(encode_body(1 + k as u64, generation, &op));
+    }
+    bodies
+}
+
+fn stats_lsn(client: &mut Client) -> u64 {
+    let stats = client.request("STATS").expect("stats");
+    stats
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix("lsn="))
+        .expect("lsn= in STATS")
+        .parse()
+        .expect("numeric lsn")
+}
+
+/// Decode + apply every body in LSN order; returns elapsed seconds.
+fn replay(session: &mut IncrementalSession, bodies: &[Vec<u8>]) -> f64 {
+    let mut generation = 1u64;
+    let t = Instant::now();
+    for body in bodies {
+        let record = Record::decode_body(body).expect("well-formed body");
+        apply_op(session, &mut generation, &record.op).expect("replay");
+        assert_eq!(generation, record.gen_after, "replay diverged");
+    }
+    t.elapsed().as_secs_f64()
+}
+
+/// Leader + tailing follower over loopback; returns (burst, lag_secs).
+fn live_lag(rows: usize, burst: usize) -> (usize, f64) {
+    let dir = std::env::temp_dir().join(format!("snorkel-repl-lag-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let leader = LabelServer::start(
+        base_session(rows),
+        ServeConfig {
+            wal_path: Some(dir.join("leader.wal")),
+            snapshot_path: Some(dir.join("leader.snap")),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind leader");
+    let mut lc = Client::connect(leader.addr()).expect("connect leader");
+
+    // Bootstrap point: one logged refresh, then a snapshot carrying the
+    // replication mark — exactly what a follower deploy would thaw.
+    assert!(lc.request("REFRESH").expect("refresh").starts_with("OK "));
+    assert!(lc.request("SNAPSHOT").expect("snapshot").starts_with("OK "));
+    let snapshot = Snapshot::read_file(&dir.join("leader.snap")).expect("read bootstrap snapshot");
+    let mark = snapshot
+        .repl
+        .expect("replicated leader marks its snapshots");
+    let lfs: Vec<BoxedLf> = snapshot
+        .session
+        .suite
+        .iter()
+        .map(|(name, _)| {
+            let spec = specs()
+                .into_iter()
+                .find(|s| s.name() == name)
+                .expect("spec");
+            spec.build().expect("build LF")
+        })
+        .collect();
+    let thawed = IncrementalSession::thaw(
+        corpus(rows),
+        SessionConfig::default(),
+        snapshot.session,
+        lfs,
+    )
+    .expect("thaw");
+    let follower = LabelServer::start(
+        thawed,
+        ServeConfig {
+            follow: Some(leader.addr().to_string()),
+            wal_path: Some(dir.join("follower.wal")),
+            repl_mark: Some(mark),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind follower");
+    let mut fc = Client::connect(follower.addr()).expect("connect follower");
+
+    // Burst of single-row ingests on the leader (texts continue the
+    // demo corpus so replayed spans always validate).
+    for k in 0..burst {
+        let i = rows + k;
+        let reply = lc
+            .request(&format!(
+                "INGEST 0 1 2 3 chem{} causes disease{}",
+                i % 11,
+                i % 7
+            ))
+            .expect("ingest");
+        assert!(reply.starts_with("OK "), "{reply}");
+    }
+    let tip = stats_lsn(&mut lc);
+    let t = Instant::now();
+    let deadline = Instant::now() + std::time::Duration::from_secs(120);
+    while stats_lsn(&mut fc) < tip {
+        assert!(Instant::now() < deadline, "follower never reached the tip");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let lag = t.elapsed().as_secs_f64();
+
+    leader.shutdown().expect("leader shutdown");
+    follower.shutdown().expect("follower shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+    (burst, lag)
+}
+
+fn main() {
+    let rows = env_usize("SNORKEL_REPL_ROWS", 2_000);
+    let ops = env_usize("SNORKEL_REPL_OPS", 256);
+    let burst = env_usize("SNORKEL_REPL_BURST", 64);
+
+    let bodies = logged_bodies(rows, ops);
+    let mut session = base_session(rows);
+    let replay_secs = replay(&mut session, &bodies);
+    let replay_rate = ops as f64 / replay_secs.max(1e-12);
+    println!(
+        "replay: {ops} ops over {rows} base rows in {:.3} s → {replay_rate:.0} ops/s",
+        replay_secs
+    );
+
+    let (burst, lag_secs) = live_lag(rows, burst);
+    println!(
+        "live lag: follower drained a {burst}-ingest burst {lag_secs:.3} s \
+         after the leader's last ack"
+    );
+
+    snorkel_bench::report::emit(
+        "repl_lag",
+        &[
+            ("rows", rows as f64),
+            ("replay_ops", ops as f64),
+            ("replay_secs", replay_secs),
+            ("replay_ops_per_sec", replay_rate),
+            ("live_burst_ops", burst as f64),
+            ("live_lag_secs", lag_secs),
+        ],
+    );
+    snorkel_bench::report::enforce_floor(
+        "SNORKEL_REPL_MIN_REPLAY",
+        "op-log replay throughput (ops/s)",
+        replay_rate,
+    );
+}

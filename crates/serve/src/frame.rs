@@ -81,6 +81,23 @@ pub const OP_PREDICT: u8 = 0x03;
 /// gate is full.
 pub const OP_INGEST: u8 = 0x04;
 
+/// Subscribe to the replication op log from a resume LSN. The OK reply
+/// acknowledges the subscription; the server then *pushes*
+/// [`OP_LOG_RECORD`] and [`OP_LOG_HEARTBEAT`] frames on the same
+/// connection until it closes. Refused when the server has no
+/// replication log or the resume LSN is outside the log's range.
+pub const OP_LOG_SUBSCRIBE: u8 = 0x05;
+
+/// Server-push frame carrying one encoded WAL record body (see
+/// `docs/REPLICATION.md` for the body grammar). Never valid as a
+/// request.
+pub const OP_LOG_RECORD: u8 = 0x06;
+
+/// Server-push liveness frame on an idle subscription: carries the
+/// log tip and server generation so a follower can measure lag. Never
+/// valid as a request.
+pub const OP_LOG_HEARTBEAT: u8 = 0x07;
+
 /// Response status byte: the request succeeded.
 pub const STATUS_OK: u8 = 0x00;
 
@@ -106,6 +123,12 @@ pub enum BinRequest {
     Predict(Vec<Vec<String>>),
     /// [`OP_INGEST`]: one batch of candidates to stream in.
     Ingest(Vec<IngestRow>),
+    /// [`OP_LOG_SUBSCRIBE`]: tail the replication log starting at this
+    /// LSN.
+    LogSubscribe {
+        /// First LSN the subscriber wants (its applied LSN + 1).
+        from: u64,
+    },
 }
 
 /// A decoded binary reply.
@@ -152,6 +175,29 @@ pub enum BinReply {
         /// automatic warm refit.
         auto_refit: bool,
     },
+    /// OK reply to [`OP_LOG_SUBSCRIBE`]: the subscription is live.
+    SubAck {
+        /// First LSN the server will push (the requested resume point).
+        next: u64,
+        /// Log tip at subscription time.
+        tip: u64,
+        /// Server generation at subscription time.
+        gen: u64,
+    },
+    /// Server-push [`OP_LOG_RECORD`]: one encoded WAL record body.
+    LogRecord {
+        /// The record body (`lsn | gen_after | op`), exactly the bytes
+        /// whose checksum the leader's WAL holds.
+        body: Vec<u8>,
+    },
+    /// Server-push [`OP_LOG_HEARTBEAT`] on an idle subscription.
+    Heartbeat {
+        /// Log tip at send time — `tip - applied_lsn` is the
+        /// follower's lag in records.
+        tip: u64,
+        /// Server generation at send time.
+        gen: u64,
+    },
     /// Error frame: the whole request frame was rejected.
     Err {
         /// Human-readable reason, as on the text plane's `ERR` lines.
@@ -167,6 +213,9 @@ pub fn opcode_name(opcode: u8) -> Option<&'static str> {
         OP_MARGINAL => Some("MARGINAL"),
         OP_PREDICT => Some("PREDICT"),
         OP_INGEST => Some("INGEST"),
+        OP_LOG_SUBSCRIBE => Some("LOG_SUBSCRIBE"),
+        OP_LOG_RECORD => Some("LOG_RECORD"),
+        OP_LOG_HEARTBEAT => Some("LOG_HEARTBEAT"),
         _ => None,
     }
 }
@@ -236,6 +285,41 @@ pub fn encode_ingest(rows: &[IngestRow]) -> Vec<u8> {
         w.put_str(text);
     }
     request_frame(OP_INGEST, w)
+}
+
+/// Encode an [`OP_LOG_SUBSCRIBE`] request frame.
+pub fn encode_log_subscribe(from: u64) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(from);
+    request_frame(OP_LOG_SUBSCRIBE, w)
+}
+
+/// Encode the OK reply to [`OP_LOG_SUBSCRIBE`].
+pub fn encode_sub_ack(next: u64, tip: u64, gen: u64) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(OP_LOG_SUBSCRIBE);
+    w.put_u64(next);
+    w.put_u64(tip);
+    w.put_u64(gen);
+    reply_frame(STATUS_OK, w)
+}
+
+/// Append an [`OP_LOG_RECORD`] push frame carrying one record body.
+pub fn encode_log_record_into(body: &[u8], out: &mut Vec<u8>) {
+    let len_at = begin_reply_into(STATUS_OK, out);
+    out.push(OP_LOG_RECORD);
+    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    out.extend_from_slice(body);
+    end_reply_into(len_at, out);
+}
+
+/// Append an [`OP_LOG_HEARTBEAT`] push frame.
+pub fn encode_heartbeat_into(tip: u64, gen: u64, out: &mut Vec<u8>) {
+    let len_at = begin_reply_into(STATUS_OK, out);
+    out.push(OP_LOG_HEARTBEAT);
+    out.extend_from_slice(&tip.to_le_bytes());
+    out.extend_from_slice(&gen.to_le_bytes());
+    end_reply_into(len_at, out);
 }
 
 /// Encode an error reply frame.
@@ -485,6 +569,14 @@ pub fn decode_request(opcode: u8, payload: &[u8]) -> Result<BinRequest, String> 
             }
             BinRequest::Ingest(rows)
         }
+        OP_LOG_SUBSCRIBE => BinRequest::LogSubscribe {
+            from: rd!(r.u64("resume LSN")),
+        },
+        OP_LOG_RECORD | OP_LOG_HEARTBEAT => {
+            return Err(format!(
+                "opcode 0x{opcode:02x} is server-push only, not a request"
+            ))
+        }
         other => return Err(format!("unknown opcode 0x{other:02x}")),
     };
     if !r.is_exhausted() {
@@ -536,6 +628,18 @@ pub fn decode_reply(status: u8, payload: &[u8]) -> Result<BinReply, String> {
                     online: rd!(r.u8("online flag")) != 0,
                     drift_score: rd!(r.f64("drift score")),
                     auto_refit: rd!(r.u8("auto-refit flag")) != 0,
+                },
+                OP_LOG_SUBSCRIBE => BinReply::SubAck {
+                    next: rd!(r.u64("next LSN")),
+                    tip: rd!(r.u64("log tip")),
+                    gen: rd!(r.u64("generation")),
+                },
+                OP_LOG_RECORD => BinReply::LogRecord {
+                    body: rd!(r.bytes("record body")).to_vec(),
+                },
+                OP_LOG_HEARTBEAT => BinReply::Heartbeat {
+                    tip: rd!(r.u64("log tip")),
+                    gen: rd!(r.u64("generation")),
                 },
                 other => return Err(format!("unknown opcode echo 0x{other:02x}")),
             }
@@ -617,6 +721,28 @@ impl FrameClient {
     /// Batched `OP_INGEST` round trip.
     pub fn ingest(&mut self, rows: &[IngestRow]) -> std::io::Result<BinReply> {
         self.round_trip(&encode_ingest(rows))
+    }
+
+    /// `OP_LOG_SUBSCRIBE` round trip: request a tail from `from` and
+    /// read the acknowledgement (or error). On success the server
+    /// starts pushing frames — drain them with [`Self::read_reply`].
+    pub fn subscribe(&mut self, from: u64) -> std::io::Result<BinReply> {
+        self.round_trip(&encode_log_subscribe(from))
+    }
+
+    /// Bound every subsequent read (`None` removes the bound) — a
+    /// tailing follower uses this to notice a silent leader inside one
+    /// heartbeat interval or two instead of blocking forever.
+    pub fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+}
+
+impl From<TcpStream> for FrameClient {
+    /// Wrap an already-connected stream (e.g. one opened with
+    /// `TcpStream::connect_timeout`).
+    fn from(stream: TcpStream) -> FrameClient {
+        FrameClient { stream }
     }
 }
 
@@ -735,6 +861,52 @@ mod tests {
         let mut appended = Vec::new();
         encode_predict_reply_flat_into(7, 5, &flat, 2, &mut appended);
         assert_eq!(appended, reference);
+    }
+
+    #[test]
+    fn replication_frames_round_trip() {
+        let frame = encode_log_subscribe(42);
+        let (op, body) = payload(&frame);
+        assert_eq!(
+            decode_request(op, body).unwrap(),
+            BinRequest::LogSubscribe { from: 42 }
+        );
+
+        let frame = encode_sub_ack(42, 99, 7);
+        let (status, body) = payload(&frame);
+        assert_eq!(
+            decode_reply(status, body).unwrap(),
+            BinReply::SubAck {
+                next: 42,
+                tip: 99,
+                gen: 7
+            }
+        );
+
+        let mut frame = Vec::new();
+        encode_log_record_into(&[1, 2, 3, 0xFF], &mut frame);
+        let (status, body) = payload(&frame);
+        assert_eq!(
+            decode_reply(status, body).unwrap(),
+            BinReply::LogRecord {
+                body: vec![1, 2, 3, 0xFF]
+            }
+        );
+
+        let mut frame = Vec::new();
+        encode_heartbeat_into(12, 3, &mut frame);
+        let (status, body) = payload(&frame);
+        assert_eq!(
+            decode_reply(status, body).unwrap(),
+            BinReply::Heartbeat { tip: 12, gen: 3 }
+        );
+
+        // Push opcodes are not valid requests.
+        for op in [OP_LOG_RECORD, OP_LOG_HEARTBEAT] {
+            assert!(decode_request(op, &[])
+                .unwrap_err()
+                .contains("server-push only"));
+        }
     }
 
     #[test]

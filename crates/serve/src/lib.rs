@@ -47,6 +47,11 @@
 //!   zero-copy decode/compute cores whose steady-state cost is **zero
 //!   heap allocations per request** (enforced by a counting-allocator
 //!   test in release mode; budgets in `docs/PERFORMANCE.md`).
+//! * [`repl`] — leader/follower replication: a checksummed write-ahead
+//!   log of mutating ops, an `OP_LOG_SUBSCRIBE` push stream for live
+//!   tailing, and shared replay entry points that make follower
+//!   marginals bit-identical to the leader's at every LSN (spec in
+//!   `docs/REPLICATION.md`).
 //!
 //! ```no_run
 //! use snorkel_context::Corpus;
@@ -70,11 +75,13 @@
 pub mod frame;
 pub mod hotpath;
 pub mod protocol;
+pub mod repl;
 pub mod server;
 pub mod snap;
 mod wire;
 
 pub use frame::{BinReply, BinRequest, FrameClient, VoteRow};
 pub use protocol::{parse_request, LfSpec, Request, SuiteEdit};
+pub use repl::ReplMark;
 pub use server::{Client, LabelServer, ServeConfig};
 pub use snap::{SnapError, Snapshot, FORMAT_VERSION, MAGIC};

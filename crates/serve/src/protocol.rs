@@ -25,6 +25,7 @@
 //! STATS                                        counters and suite layout
 //! METRICS                                      Prometheus-text exposition (multi-line)
 //! SLOWLOG <n>                                  n slowest recent requests (multi-line)
+//! PROMOTE                                      seal the log, flip follower → leader
 //! SHUTDOWN                                     graceful stop
 //! ```
 //!
@@ -260,6 +261,9 @@ pub enum Request {
         /// Maximum entries to return.
         n: usize,
     },
+    /// Seal the replication log and flip this follower to leader
+    /// (replicated servers only; see `docs/REPLICATION.md`).
+    Promote,
     /// Graceful stop.
     Shutdown,
 }
@@ -280,6 +284,7 @@ impl Request {
             Request::Stats => "STATS",
             Request::Metrics => "METRICS",
             Request::Slowlog { .. } => "SLOWLOG",
+            Request::Promote => "PROMOTE",
             Request::Shutdown => "SHUTDOWN",
         }
     }
@@ -404,6 +409,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             }
             Ok(Request::Slowlog { n })
         }
+        "PROMOTE" => Ok(Request::Promote),
         "SHUTDOWN" => Ok(Request::Shutdown),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -542,6 +548,7 @@ mod tests {
             ("SLOWLOG 5", "SLOWLOG"),
             ("INGEST 0 1 2 3 t", "INGEST"),
             ("REFRESH", "REFRESH"),
+            ("PROMOTE", "PROMOTE"),
             ("SHUTDOWN", "SHUTDOWN"),
         ] {
             assert_eq!(parse_request(line).unwrap().verb(), verb);

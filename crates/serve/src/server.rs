@@ -53,12 +53,12 @@
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use snorkel_context::{CandidateId, Corpus};
+use snorkel_context::Corpus;
 use snorkel_core::model::LabelScheme;
 use snorkel_incr::IncrementalSession;
 use snorkel_lf::Vote;
@@ -68,11 +68,15 @@ use snorkel_stream::IngestGate;
 use crate::frame::{self, FRAME_HEADER_BYTES, FRAME_MAGIC, MAX_FRAME_BYTES};
 use crate::hotpath::{self, ReadScratch, SigMemo};
 use crate::protocol::{format_probs, parse_request, Request, SuiteEdit};
+use crate::repl::follower::{Backoff, ConnectError, TailConn, TailEvent};
+use crate::repl::leader::OpLog;
+use crate::repl::wal::{self, WalFile};
+use crate::repl::{self, ReplMark};
 use crate::snap::{SnapError, Snapshot};
 
 /// Every wire verb, in the order `ServeObs` stores their metric
 /// handles.
-const VERBS: [&str; 12] = [
+const VERBS: [&str; 13] = [
     "PING",
     "MARGINAL",
     "APPLY",
@@ -84,13 +88,23 @@ const VERBS: [&str; 12] = [
     "STATS",
     "METRICS",
     "SLOWLOG",
+    "PROMOTE",
     "SHUTDOWN",
 ];
 
 /// Binary-plane opcode labels, in the order `ServeObs` stores their
 /// handles. `UNKNOWN` accounts frames whose opcode the protocol does
 /// not define (they still cost a parse and a reply).
-const OPCODES: [&str; 5] = ["PING", "MARGINAL", "PREDICT", "INGEST", "UNKNOWN"];
+const OPCODES: [&str; 8] = [
+    "PING",
+    "MARGINAL",
+    "PREDICT",
+    "INGEST",
+    "LOG_SUBSCRIBE",
+    "LOG_RECORD",
+    "LOG_HEARTBEAT",
+    "UNKNOWN",
+];
 
 /// One verb's request-path handles.
 struct VerbMetrics {
@@ -179,6 +193,76 @@ impl ServeObs {
     }
 }
 
+/// Pre-resolved handles for the replication plane (documented in
+/// `docs/OBSERVABILITY.md`, spec in `docs/REPLICATION.md`).
+struct ReplObs {
+    /// Records appended to the on-disk WAL.
+    wal_records: Arc<Counter>,
+    /// Framed bytes appended to the on-disk WAL.
+    wal_bytes: Arc<Counter>,
+    /// WAL appends that failed (serving continues on the in-memory log;
+    /// durability is degraded until the next snapshot).
+    wal_append_errors: Arc<Counter>,
+    /// Ops a follower replayed from its leader's live tail.
+    ops_replayed: Arc<Counter>,
+    /// Replay failures (bad record, LSN gap, divergence) — each one
+    /// halts the tail permanently; the follower keeps serving its last
+    /// consistent state.
+    replay_errors: Arc<Counter>,
+    /// Successful (re)subscriptions to the leader.
+    reconnects: Arc<Counter>,
+    /// Heartbeats received from the leader while the log was idle.
+    heartbeats: Arc<Counter>,
+    /// Last LSN applied to this server's state.
+    applied_lsn: Arc<Gauge>,
+    /// Leader tip minus follower applied LSN, sampled at each heartbeat.
+    lag_records: Arc<Gauge>,
+    /// Live `OP_LOG_SUBSCRIBE` streams on this server.
+    subscribers: Arc<Gauge>,
+}
+
+impl ReplObs {
+    fn resolve() -> ReplObs {
+        let r = snorkel_obs::global();
+        ReplObs {
+            wal_records: r.counter("snorkel_repl_wal_records_total", &[]),
+            wal_bytes: r.counter("snorkel_repl_wal_bytes_total", &[]),
+            wal_append_errors: r.counter("snorkel_repl_wal_append_errors_total", &[]),
+            ops_replayed: r.counter("snorkel_repl_ops_replayed_total", &[]),
+            replay_errors: r.counter("snorkel_repl_replay_errors_total", &[]),
+            reconnects: r.counter("snorkel_repl_reconnects_total", &[]),
+            heartbeats: r.counter("snorkel_repl_heartbeats_total", &[]),
+            applied_lsn: r.gauge("snorkel_repl_applied_lsn", &[]),
+            lag_records: r.gauge("snorkel_repl_lag_records", &[]),
+            subscribers: r.gauge("snorkel_repl_subscribers", &[]),
+        }
+    }
+}
+
+/// `Repl::role` values.
+const ROLE_LEADER: u8 = 0;
+const ROLE_FOLLOWER: u8 = 1;
+
+/// The replication plane: present iff the server was started with a WAL
+/// path or a leader address ([`ServeConfig::wal_path`] /
+/// [`ServeConfig::follow`]).
+struct Repl {
+    /// In-memory op log since the boot snapshot — what subscribers tail.
+    oplog: OpLog,
+    /// On-disk WAL, when configured. Appends happen under the state
+    /// write lock, which also serializes LSN assignment.
+    wal: Option<Mutex<WalFile>>,
+    /// Leader address this server tails, when started as a follower.
+    follow: Option<String>,
+    /// [`ROLE_LEADER`] or [`ROLE_FOLLOWER`]; flipped (once) by
+    /// `PROMOTE`.
+    role: AtomicU8,
+    /// Set by `PROMOTE` to stop the tail thread; checked under the
+    /// write lock so no replayed record can land after the seal.
+    tail_stop: AtomicBool,
+    obs: ReplObs,
+}
+
 /// Server configuration.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
@@ -207,6 +291,19 @@ pub struct ServeConfig {
     /// `snorkel_stream_backpressure_total`. `0` refuses all ingest
     /// (drain mode).
     pub ingest_queue: usize,
+    /// Tail this leader address as a read-only follower: bootstrap from
+    /// the resumed snapshot (see [`Self::repl_mark`]), subscribe over
+    /// `OP_LOG_SUBSCRIBE`, and replay every op. Mutating verbs are
+    /// refused with `ERR readonly` until a `PROMOTE`.
+    pub follow: Option<String>,
+    /// Append every mutating op to this write-ahead log. On start an
+    /// existing file is recovered: its torn tail (if any) is truncated
+    /// and every record past [`Self::repl_mark`] is replayed.
+    pub wal_path: Option<PathBuf>,
+    /// Replication position of the resumed snapshot (its `REPL`
+    /// section). `None` means the state predates the log origin — LSN
+    /// and generation both start at the mark's defaults (zero).
+    pub repl_mark: Option<ReplMark>,
 }
 
 impl Default for ServeConfig {
@@ -218,6 +315,9 @@ impl Default for ServeConfig {
             workers: 0,
             max_connections: 1024,
             ingest_queue: 16,
+            follow: None,
+            wal_path: None,
+            repl_mark: None,
         }
     }
 }
@@ -229,6 +329,12 @@ struct ServeState {
     /// model (the posterior memo is keyed by this counter, so any
     /// weight change must advance it).
     generation: u64,
+    /// LSN of the last op-log record applied to this state (0 until the
+    /// first mutation; always 0 on a non-replicated server). Advances
+    /// only under the write lock, in the same critical section as the
+    /// mutation itself, so `(generation, applied_lsn)` is always a
+    /// consistent pair.
+    applied_lsn: u64,
 }
 
 struct Inner {
@@ -257,6 +363,8 @@ struct Inner {
     /// are on the `snorkel_serve_scratch_bytes` gauge).
     scratch_high: AtomicU64,
     obs: ServeObs,
+    /// The replication plane; `None` on a plain standalone server.
+    repl: Option<Repl>,
     /// Signaled on shutdown so the auto-snapshotter exits promptly.
     tick: Mutex<()>,
     tick_cv: Condvar,
@@ -270,12 +378,25 @@ pub struct LabelServer {
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     snapshotter: Option<JoinHandle<()>>,
+    tail: Option<JoinHandle<()>>,
 }
 
 impl LabelServer {
     /// Bind and start serving `session`. Returns once the listener is
     /// accepting.
-    pub fn start(session: IncrementalSession, config: ServeConfig) -> std::io::Result<LabelServer> {
+    ///
+    /// When replication is configured ([`ServeConfig::wal_path`] /
+    /// [`ServeConfig::follow`]), the generation and LSN counters resume
+    /// from [`ServeConfig::repl_mark`], an existing WAL is recovered
+    /// (torn tail truncated, records past the mark replayed through the
+    /// same entry points live traffic uses), and — in follower mode —
+    /// the tail thread subscribes to the leader before the listener
+    /// starts answering. A WAL that contradicts the snapshot mark is a
+    /// startup error, never a silent partial replay.
+    pub fn start(
+        mut session: IncrementalSession,
+        config: ServeConfig,
+    ) -> std::io::Result<LabelServer> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -286,10 +407,41 @@ impl LabelServer {
         } else {
             config.workers
         };
+        let replicated = config.wal_path.is_some() || config.follow.is_some();
+        let mark = config.repl_mark.unwrap_or_default();
+        let mut generation = if replicated { mark.generation } else { 0 };
+        let mut applied_lsn = if replicated { mark.applied_lsn } else { 0 };
+        let repl = if replicated {
+            let (wal_file, oplog) = match &config.wal_path {
+                Some(path) => {
+                    let (wal_file, oplog) =
+                        recover_wal(&mut session, &mut generation, &mut applied_lsn, path, mark)?;
+                    (Some(wal_file), oplog)
+                }
+                None => (None, OpLog::new(mark.applied_lsn)),
+            };
+            let obs = ReplObs::resolve();
+            obs.applied_lsn.set(applied_lsn.min(i64::MAX as u64) as i64);
+            Some(Repl {
+                oplog,
+                wal: wal_file.map(Mutex::new),
+                follow: config.follow.clone(),
+                role: AtomicU8::new(if config.follow.is_some() {
+                    ROLE_FOLLOWER
+                } else {
+                    ROLE_LEADER
+                }),
+                tail_stop: AtomicBool::new(false),
+                obs,
+            })
+        } else {
+            None
+        };
         let inner = Arc::new(Inner {
             state: RwLock::new(ServeState {
                 session,
-                generation: 0,
+                generation,
+                applied_lsn,
             }),
             memo: Mutex::new(SigMemo::new()),
             shutdown: AtomicBool::new(false),
@@ -305,6 +457,7 @@ impl LabelServer {
             snapshots_written: AtomicU64::new(0),
             scratch_high: AtomicU64::new(0),
             obs: ServeObs::resolve(),
+            repl,
             tick: Mutex::new(()),
             tick_cv: Condvar::new(),
         });
@@ -338,11 +491,23 @@ impl LabelServer {
             _ => None,
         };
 
+        let tail = if inner
+            .repl
+            .as_ref()
+            .is_some_and(|repl| repl.follow.is_some())
+        {
+            let tail_inner = Arc::clone(&inner);
+            Some(std::thread::spawn(move || follower_loop(&tail_inner)))
+        } else {
+            None
+        };
+
         Ok(LabelServer {
             inner,
             accept: Some(accept),
             workers,
             snapshotter,
+            tail,
         })
     }
 
@@ -360,6 +525,9 @@ impl LabelServer {
             let _ = h.join();
         }
         for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.tail.take() {
             let _ = h.join();
         }
         if let Some(h) = self.snapshotter.take() {
@@ -481,6 +649,7 @@ fn worker_loop(inner: &Inner, idx: usize) {
         if inner.shutdown.load(Ordering::SeqCst) {
             for conn in &mut conns {
                 conn.final_flush();
+                release_tail(inner, conn);
             }
             release_conns(inner, conns.len());
             return;
@@ -491,6 +660,7 @@ fn worker_loop(inner: &Inner, idx: usize) {
             progressed |= pump.progressed;
             if !pump.keep {
                 release_conns(inner, 1);
+                release_tail(inner, conn);
             }
             pump.keep
         });
@@ -520,6 +690,15 @@ fn release_conns(inner: &Inner, n: usize) {
     }
 }
 
+/// Drop a closing connection's subscriber registration, if it held one.
+fn release_tail(inner: &Inner, conn: &Conn) {
+    if conn.tail.is_some() {
+        if let Some(repl) = &inner.repl {
+            repl.obs.subscribers.add(-1);
+        }
+    }
+}
+
 /// Longest accepted request line. Far beyond any legal request, and it
 /// bounds per-connection memory against a client that streams bytes
 /// without ever sending a newline (the wire-protocol counterpart of the
@@ -534,6 +713,22 @@ const READ_BUDGET: usize = 256 * 1024;
 struct PumpResult {
     keep: bool,
     progressed: bool,
+}
+
+/// Push a heartbeat on an idle tail this often — the follower's
+/// liveness signal (its read timeout is several multiples of this).
+const HEARTBEAT_EVERY: Duration = Duration::from_millis(200);
+
+/// Stop stuffing tail records into a connection's output buffer once
+/// this many bytes are pending — a slow subscriber gets flow control,
+/// not an unbounded buffer.
+const TAIL_PENDING_CAP: usize = 256 * 1024;
+
+/// A granted `OP_LOG_SUBSCRIBE` on this connection: the next LSN to
+/// push and when something was last sent (for heartbeat pacing).
+struct Tail {
+    next_lsn: u64,
+    last_send: Instant,
 }
 
 /// One multiplexed connection: unread request bytes, unwritten reply
@@ -553,6 +748,10 @@ struct Conn {
     /// see.
     discard_input: bool,
     saw_eof: bool,
+    /// A live `OP_LOG_SUBSCRIBE` stream, once granted: every pump pass
+    /// pushes any new op-log records (and idle heartbeats) to this
+    /// subscriber.
+    tail: Option<Tail>,
 }
 
 impl Conn {
@@ -565,6 +764,7 @@ impl Conn {
             close_after_flush: false,
             discard_input: false,
             saw_eof: false,
+            tail: None,
         }
     }
 
@@ -650,6 +850,7 @@ impl Conn {
             }
         }
         self.service(inner, scratch);
+        progressed |= self.pump_tail(inner);
         match self.flush_pending() {
             Ok(n) => progressed |= n > 0,
             Err(_) => return closed(true),
@@ -669,6 +870,42 @@ impl Conn {
             keep: true,
             progressed,
         }
+    }
+
+    /// Push new op-log records (or an idle heartbeat) to a subscribed
+    /// tail, up to [`TAIL_PENDING_CAP`] pending output bytes — beyond
+    /// that the subscriber is slow and backpressure wins. Returns
+    /// whether anything was appended.
+    fn pump_tail(&mut self, inner: &Inner) -> bool {
+        let Some(repl) = &inner.repl else {
+            return false;
+        };
+        let Some(tail) = self.tail.as_mut() else {
+            return false;
+        };
+        let mut pushed = false;
+        while self.outbuf.len() - self.outpos < TAIL_PENDING_CAP {
+            let Some(body) = repl.oplog.get(tail.next_lsn) else {
+                break;
+            };
+            frame::encode_log_record_into(&body, &mut self.outbuf);
+            tail.next_lsn += 1;
+            tail.last_send = Instant::now();
+            pushed = true;
+        }
+        if !pushed && tail.last_send.elapsed() >= HEARTBEAT_EVERY {
+            // Consistent (tip, generation) pair: both under one read
+            // lock, so a heartbeat never advertises a tip from a
+            // different generation than it reports.
+            let (tip, gen) = {
+                let state = read_state(inner);
+                (state.applied_lsn, state.generation)
+            };
+            frame::encode_heartbeat_into(tip, gen, &mut self.outbuf);
+            tail.last_send = Instant::now();
+            pushed = true;
+        }
+        pushed
     }
 
     /// Service every complete request sitting in `inbuf`, in order,
@@ -703,13 +940,18 @@ impl Conn {
                 if self.inbuf.len() < total {
                     return; // partial payload
                 }
-                handle_frame(
+                if let Some(next) = handle_frame(
                     inner,
                     opcode,
                     &self.inbuf[FRAME_HEADER_BYTES..total],
                     scratch,
                     &mut self.outbuf,
-                );
+                ) {
+                    self.tail = Some(Tail {
+                        next_lsn: next,
+                        last_send: Instant::now(),
+                    });
+                }
                 self.inbuf.drain(..total);
             } else {
                 match self.inbuf.iter().position(|&b| b == b'\n') {
@@ -804,7 +1046,9 @@ fn handle_text_line(
 
 /// Decode and execute one binary frame, appending the encoded reply to
 /// `out`. A batch is atomic: any invalid row fails the whole frame
-/// with one error frame.
+/// with one error frame. Returns `Some(next_lsn)` when the frame was a
+/// granted `OP_LOG_SUBSCRIBE` — the caller installs the tail on the
+/// connection.
 ///
 /// This is the allocation-free path: requests decode into the worker's
 /// scratch arenas, posteriors are computed through the `*_into`
@@ -818,7 +1062,7 @@ fn handle_frame(
     payload: &[u8],
     scratch: &mut ReadScratch,
     out: &mut Vec<u8>,
-) {
+) -> Option<u64> {
     let Some(name) = frame::opcode_name(opcode) else {
         inner.obs.parse_errors.inc();
         let fm = inner.obs.opcode("UNKNOWN");
@@ -827,11 +1071,12 @@ fn handle_frame(
         out.extend_from_slice(&frame::encode_err(&format!(
             "unknown opcode 0x{opcode:02x}"
         )));
-        return;
+        return None;
     };
     let fm = inner.obs.opcode(name);
     fm.frames.inc();
     let start = Instant::now();
+    let mut granted = None;
     // `Err((message, is_parse_error))`: a malformed frame counts
     // against `snorkel_serve_parse_errors_total`, a well-formed one
     // rejected by the session does not — the same split the owned
@@ -919,6 +1164,22 @@ fn handle_frame(
             }
             Ok(_) => unreachable!("OP_INGEST decodes to BinRequest::Ingest"),
         },
+        frame::OP_LOG_SUBSCRIBE => match frame::decode_request(opcode, payload) {
+            Err(e) => Err((e, true)),
+            Ok(frame::BinRequest::LogSubscribe { from }) => match subscribe_grant(inner, from) {
+                Ok((next, tip, gen)) => {
+                    out.extend_from_slice(&frame::encode_sub_ack(next, tip, gen));
+                    granted = Some(next);
+                    Ok(())
+                }
+                Err(e) => Err((e, false)),
+            },
+            Ok(_) => unreachable!("OP_LOG_SUBSCRIBE decodes to BinRequest::LogSubscribe"),
+        },
+        frame::OP_LOG_RECORD | frame::OP_LOG_HEARTBEAT => Err((
+            format!("opcode 0x{opcode:02x} is server-push only, not a request"),
+            true,
+        )),
         _ => unreachable!("opcode_name covered every defined opcode"),
     };
     if let Err((e, is_parse_error)) = result {
@@ -933,6 +1194,7 @@ fn handle_frame(
     if trace_level() >= TraceLevel::Info {
         TraceRing::global().record(name, ns);
     }
+    granted
 }
 
 /// Recover a lock even if a previous holder panicked — the server keeps
@@ -1012,11 +1274,333 @@ fn write_snapshot(inner: &Inner, path: &std::path::Path) -> Result<u64, SnapErro
         Snapshot {
             session: state.session.freeze(),
             train: state.session.config().train.clone(),
+            repl: inner.repl.as_ref().map(|_| ReplMark {
+                applied_lsn: state.applied_lsn,
+                generation: state.generation,
+            }),
         }
     };
     let bytes = snapshot.write_file(path)?;
     inner.snapshots_written.fetch_add(1, Ordering::Relaxed);
     Ok(bytes)
+}
+
+// ----------------------------------------------------------------------
+// Replication: WAL recovery, op logging, the follower tail
+// ----------------------------------------------------------------------
+
+/// Recover the on-disk WAL at boot: truncate any torn tail, verify the
+/// log agrees with the snapshot mark, replay every record past the mark
+/// through the same entry points live traffic uses, and seed the
+/// in-memory op log so subscribers can resume from anywhere the file
+/// covers. Any contradiction between the log and the snapshot is a
+/// startup error — never a silent partial replay.
+fn recover_wal(
+    session: &mut IncrementalSession,
+    generation: &mut u64,
+    applied_lsn: &mut u64,
+    path: &std::path::Path,
+    mark: ReplMark,
+) -> std::io::Result<(WalFile, OpLog)> {
+    let (wal_file, scan) = WalFile::open_or_create(path, mark.applied_lsn)
+        .map_err(|e| std::io::Error::other(format!("WAL {}: {e}", path.display())))?;
+    if scan.base_lsn > mark.applied_lsn {
+        return Err(std::io::Error::other(format!(
+            "WAL {} begins after lsn {} but the snapshot mark is {} — \
+             the log and the snapshot are from different histories",
+            path.display(),
+            scan.base_lsn,
+            mark.applied_lsn
+        )));
+    }
+    if let Some(last) = scan.records.last() {
+        if last.lsn < mark.applied_lsn {
+            return Err(std::io::Error::other(format!(
+                "WAL {} ends at lsn {} before the snapshot mark {} — \
+                 the log and the snapshot are from different histories",
+                path.display(),
+                last.lsn,
+                mark.applied_lsn
+            )));
+        }
+    } else if scan.base_lsn != mark.applied_lsn {
+        return Err(std::io::Error::other(format!(
+            "empty WAL {} based at lsn {} does not match the snapshot mark {}",
+            path.display(),
+            scan.base_lsn,
+            mark.applied_lsn
+        )));
+    }
+    let oplog = OpLog::new(scan.base_lsn);
+    for rec in &scan.records {
+        // Re-encode rather than re-frame the file bytes: the scan
+        // already checksum-validated every record, and `encode_body` is
+        // canonical, so the in-memory log ships subscribers exactly
+        // what a live append would have.
+        let body = wal::encode_body(rec.lsn, rec.gen_after, &rec.op);
+        if rec.lsn > mark.applied_lsn {
+            let outcome = repl::apply_op(session, generation, &rec.op).map_err(|e| {
+                std::io::Error::other(format!(
+                    "WAL {} replay failed at lsn {}: {e}",
+                    path.display(),
+                    rec.lsn
+                ))
+            })?;
+            if *generation != rec.gen_after {
+                return Err(std::io::Error::other(format!(
+                    "WAL {} replay diverged at lsn {}: reached generation {} \
+                     but the record says {}",
+                    path.display(),
+                    rec.lsn,
+                    generation,
+                    rec.gen_after
+                )));
+            }
+            // Recovery is synchronous — no readers yet — so a due disc
+            // retrain runs inline instead of through the phased path.
+            if let repl::Applied::Refresh {
+                training: Some(set),
+                ..
+            } = outcome
+            {
+                let (disc_state, _) = set.train();
+                session.install_disc(disc_state);
+            }
+            *applied_lsn = rec.lsn;
+        }
+        oplog.append(body.into());
+    }
+    Ok((wal_file, oplog))
+}
+
+/// True when this server currently refuses mutations (`ERR readonly`).
+fn is_follower(inner: &Inner) -> bool {
+    inner
+        .repl
+        .as_ref()
+        .is_some_and(|r| r.role.load(Ordering::SeqCst) == ROLE_FOLLOWER)
+}
+
+/// Append one already-applied op to the log(s), under the same write
+/// lock that applied it. No-op on a non-replicated server.
+fn log_op(inner: &Inner, state: &mut ServeState, op: &wal::Op) {
+    let Some(repl) = &inner.repl else { return };
+    let lsn = state.applied_lsn + 1;
+    let body = wal::encode_body(lsn, state.generation, op);
+    commit_record(repl, state, lsn, body);
+}
+
+/// Durably record one encoded record body at `lsn`: WAL append (when
+/// configured), in-memory op-log append, and the applied-LSN advance —
+/// all inside the caller's write-lock critical section, so a reply is
+/// never sent for a mutation the log does not carry.
+fn commit_record(repl: &Repl, state: &mut ServeState, lsn: u64, body: Vec<u8>) {
+    if let Some(wal) = &repl.wal {
+        let mut wal = lock_unpoisoned(wal);
+        match wal.append_body(lsn, &body) {
+            Ok(bytes) => {
+                let _ = wal.sync();
+                repl.obs.wal_records.inc();
+                repl.obs.wal_bytes.add(bytes);
+            }
+            Err(e) => {
+                // Serving continues on the in-memory log; durability is
+                // degraded until the next successful snapshot. The
+                // counter makes the gap visible.
+                repl.obs.wal_append_errors.inc();
+                eprintln!("snorkel-serve: WAL append failed at lsn {lsn}: {e}");
+            }
+        }
+    }
+    repl.oplog.append(body.into());
+    state.applied_lsn = lsn;
+    repl.obs.applied_lsn.set(lsn.min(i64::MAX as u64) as i64);
+}
+
+/// Validate an `OP_LOG_SUBSCRIBE` resume point and return
+/// `(next, tip, gen)` for the acknowledgment. Subscriptions are served
+/// by any replicated server regardless of role, so replicas can chain
+/// and an ex-follower keeps its subscribers after a `PROMOTE`.
+fn subscribe_grant(inner: &Inner, from: u64) -> Result<(u64, u64, u64), String> {
+    let Some(repl) = &inner.repl else {
+        return Err("not replicated (no WAL or follow address configured)".into());
+    };
+    // Read lock: the tip cannot advance mid-grant, so `(tip, gen)` is a
+    // consistent pair and no record between `from` and `tip` can be
+    // missed before the connection's tail cursor is installed.
+    let state = read_state(inner);
+    let tip = repl.oplog.tip();
+    let first = repl.oplog.first_lsn();
+    if from < first {
+        return Err(format!(
+            "lsn {from} predates the log (first available {first}); \
+             bootstrap from a newer snapshot"
+        ));
+    }
+    if from > tip + 1 {
+        return Err(format!("lsn {from} is beyond the log tip {tip}"));
+    }
+    repl.obs.subscribers.add(1);
+    Ok((from, tip, state.generation))
+}
+
+/// Leader address poll cadences for the follower tail.
+const TAIL_CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
+/// Read timeout on the live tail — well above the leader's
+/// [`HEARTBEAT_EVERY`], so a timeout means the leader is gone, not idle.
+const TAIL_READ_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// Sleep in small slices, returning early on shutdown or promote.
+fn sleep_interruptible(inner: &Inner, repl: &Repl, total: Duration) {
+    let slice = Duration::from_millis(20);
+    let mut remaining = total;
+    while !remaining.is_zero() {
+        if inner.shutdown.load(Ordering::SeqCst) || repl.tail_stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let nap = remaining.min(slice);
+        std::thread::sleep(nap);
+        remaining -= nap;
+    }
+}
+
+/// The follower's tail thread: subscribe to the leader at the next
+/// unapplied LSN, replay every pushed record, reconnect with backoff on
+/// transient failures. A *rejected* subscription or a replay failure
+/// halts the tail permanently — the follower keeps serving its last
+/// consistent state (staleness is visible on `snorkel_repl_lag_records`
+/// and in `STATS`), because serving stale beats replaying garbage.
+fn follower_loop(inner: &Arc<Inner>) {
+    let Some(repl) = &inner.repl else { return };
+    let Some(addr) = repl.follow.clone() else {
+        return;
+    };
+    let mut backoff = Backoff::new();
+    'resubscribe: loop {
+        if inner.shutdown.load(Ordering::SeqCst) || repl.tail_stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let resume = read_state(inner).applied_lsn + 1;
+        let mut conn =
+            match TailConn::connect(&addr, resume, TAIL_CONNECT_TIMEOUT, TAIL_READ_TIMEOUT) {
+                Ok(conn) => conn,
+                Err(ConnectError::Rejected(msg)) => {
+                    repl.obs.replay_errors.inc();
+                    eprintln!("snorkel-serve: follower tail halted: {msg}");
+                    return;
+                }
+                Err(ConnectError::Io(_)) => {
+                    sleep_interruptible(inner, repl, backoff.step());
+                    continue 'resubscribe;
+                }
+            };
+        repl.obs.reconnects.inc();
+        backoff.reset();
+        loop {
+            if inner.shutdown.load(Ordering::SeqCst) || repl.tail_stop.load(Ordering::SeqCst) {
+                return;
+            }
+            match conn.next_event() {
+                Ok(TailEvent::Record(body)) => match apply_replicated(inner, repl, &body) {
+                    Ok(true) => {}
+                    Ok(false) => return,
+                    Err(e) => {
+                        repl.obs.replay_errors.inc();
+                        eprintln!("snorkel-serve: follower tail halted: {e}");
+                        return;
+                    }
+                },
+                Ok(TailEvent::Heartbeat { tip, .. }) => {
+                    repl.obs.heartbeats.inc();
+                    let applied = read_state(inner).applied_lsn;
+                    repl.obs
+                        .lag_records
+                        .set(tip.saturating_sub(applied).min(i64::MAX as u64) as i64);
+                }
+                // Timeout or disconnect: resubscribe from the last
+                // applied LSN.
+                Err(_) => continue 'resubscribe,
+            }
+        }
+    }
+}
+
+/// Replay one record pushed over the live tail. `Ok(false)` means the
+/// tail must stop (shutdown or promote won the race); `Err` is a
+/// permanent halt (corrupt record, LSN gap, divergence).
+fn apply_replicated(inner: &Inner, repl: &Repl, body: &[u8]) -> Result<bool, String> {
+    let rec = wal::Record::decode_body(body).map_err(|e| format!("bad pushed record: {e}"))?;
+    // Tokenize outside the lock, exactly like the leader's ingest path.
+    let prepared = match &rec.op {
+        wal::Op::Ingest(rows) => Some(repl::prepare_ingest(rows)?),
+        _ => None,
+    };
+    let mut state = write_state(inner);
+    if inner.shutdown.load(Ordering::SeqCst) || repl.tail_stop.load(Ordering::SeqCst) {
+        return Ok(false);
+    }
+    if rec.lsn <= state.applied_lsn {
+        // Duplicate after a reconnect race — already applied.
+        return Ok(true);
+    }
+    if rec.lsn != state.applied_lsn + 1 {
+        return Err(format!(
+            "lsn gap: leader pushed {} but {} is next",
+            rec.lsn,
+            state.applied_lsn + 1
+        ));
+    }
+    let st = &mut *state;
+    let training = match &rec.op {
+        wal::Op::Refresh(edit) => {
+            let (_, training) =
+                repl::apply_refresh(&mut st.session, &mut st.generation, edit.as_ref())?;
+            inner.refreshes.fetch_add(1, Ordering::Relaxed);
+            training
+        }
+        wal::Op::Ingest(_) => {
+            let batch = prepared.expect("prepared above for Op::Ingest");
+            repl::apply_ingest(&mut st.session, &mut st.generation, batch);
+            None
+        }
+        wal::Op::Seal => None,
+    };
+    if st.generation != rec.gen_after {
+        return Err(format!(
+            "divergence at lsn {}: reached generation {} but the leader logged {}",
+            rec.lsn, st.generation, rec.gen_after
+        ));
+    }
+    commit_record(repl, st, rec.lsn, body.to_vec());
+    repl.obs.ops_replayed.inc();
+    drop(state);
+    // Disc retrain outside the lock, then a short write lock to
+    // install — the same phasing as the leader's REFRESH.
+    if let Some(set) = training {
+        let (disc_state, _) = set.train();
+        let mut state = write_state(inner);
+        state.session.install_disc(disc_state);
+    }
+    Ok(true)
+}
+
+/// `PROMOTE`: stop tailing, seal the log, and start accepting writes.
+fn handle_promote(inner: &Inner) -> String {
+    let Some(repl) = &inner.repl else {
+        return "ERR not replicated (no WAL or follow address configured)".into();
+    };
+    if repl.role.load(Ordering::SeqCst) == ROLE_LEADER {
+        return "ERR already leader".into();
+    }
+    // Order matters: set the stop flag, then take the write lock. Any
+    // in-flight replay either committed before we got the lock (its LSN
+    // precedes the seal) or sees the flag under the lock and aborts.
+    repl.tail_stop.store(true, Ordering::SeqCst);
+    let mut state = write_state(inner);
+    repl.role.store(ROLE_LEADER, Ordering::SeqCst);
+    let st = &mut *state;
+    log_op(inner, st, &wal::Op::Seal);
+    format!("OK role=leader lsn={}", st.applied_lsn)
 }
 
 /// Close out one request's timing: latency histogram plus a trace-ring
@@ -1088,12 +1672,17 @@ fn handle_request(inner: &Inner, req: Request, scratch: &mut ReadScratch) -> Str
                 .session
                 .stream()
                 .map_or_else(|| "-".to_string(), |s| s.drift_score().to_string());
+            let role = if is_follower(inner) {
+                "follower"
+            } else {
+                "leader"
+            };
             format!(
                 "OK gen={} rows={} lfs={} backend={} disc_gen={disc} conns={} queries={} \
                  memo_hits={} refreshes={} snapshots={} cache_hits={} cache_misses={} \
                  cache_extensions={} cache_cols={} cache_cap={} memo_size={memo_size} \
                  memo_gen={memo_gen} scratch_bytes={} ingest_queue={}/{} \
-                 drift_score={drift_score} lf_names={}",
+                 drift_score={drift_score} role={role} lsn={} lf_names={}",
                 state.generation,
                 state.session.num_candidates(),
                 state.session.num_lfs(),
@@ -1111,11 +1700,13 @@ fn handle_request(inner: &Inner, req: Request, scratch: &mut ReadScratch) -> Str
                 inner.scratch_high.load(Ordering::Relaxed),
                 inner.ingest_gate.depth(),
                 inner.ingest_gate.capacity(),
+                state.applied_lsn,
                 state.session.lf_names().join(","),
             )
         }
         Request::Metrics => handle_metrics(inner),
         Request::Slowlog { n } => handle_slowlog(n),
+        Request::Promote => handle_promote(inner),
         Request::Shutdown => unreachable!("handled in the connection loop"),
     }
 }
@@ -1390,6 +1981,9 @@ struct IngestSummary {
 /// (cache-extend, Λ row splice, online moment solve). A batch is
 /// atomic: nothing is ingested unless every row validates.
 fn handle_ingest_core(inner: &Inner, rows: &[frame::IngestRow]) -> Result<IngestSummary, String> {
+    if is_follower(inner) {
+        return Err("readonly (follower serves reads; PROMOTE to accept writes)".into());
+    }
     let Some(_permit) = inner.ingest_gate.try_enter() else {
         inner.obs.backpressure.inc();
         return Err(format!(
@@ -1402,44 +1996,22 @@ fn handle_ingest_core(inner: &Inner, rows: &[frame::IngestRow]) -> Result<Ingest
         .obs
         .ingest_queue_depth
         .set(inner.ingest_gate.depth().min(i64::MAX as usize) as i64);
-    // Tokenize and validate every row before taking the lock: the write
+    // Tokenize and validate every row before taking the lock (the write
     // lock pays only for the splice, and an invalid row rejects the
-    // batch before anything grows.
-    let mut prepared = Vec::with_capacity(rows.len());
-    for (span1, span2, text) in rows {
-        let tokens = snorkel_nlp::tokenize(text);
-        for (lo, hi) in [*span1, *span2] {
-            if lo >= hi || hi > tokens.len() {
-                return Err(format!(
-                    "span {lo}..{hi} invalid for {} tokens",
-                    tokens.len()
-                ));
-            }
-        }
-        prepared.push((*span1, *span2, text.as_str(), tokens));
-    }
+    // batch before anything grows), through the shared replication
+    // entry points — the same code path a follower replays through.
+    let prepared = repl::prepare_ingest(rows)?;
+    let row_count = prepared.len() as u64;
     let mut state = write_state(inner);
-    let ids: Vec<CandidateId> = prepared
-        .into_iter()
-        .map(|(s1, s2, text, tokens)| {
-            let corpus = state.session.corpus_mut();
-            let doc = corpus.add_document("ingest");
-            let sent = corpus.add_sentence(doc, text, tokens);
-            let a = corpus.add_span(sent, s1.0, s1.1, None);
-            let b = corpus.add_span(sent, s2.0, s2.1, None);
-            corpus.add_candidate(vec![a, b])
-        })
-        .collect();
-    let report = state.session.ingest_batch(&ids);
-    if report.online_fit || report.auto_refit {
-        // Any weight change must advance the generation the posterior
-        // memo is keyed by, or MARGINAL could serve pre-ingest answers.
-        state.generation += 1;
+    let st = &mut *state;
+    let report = repl::apply_ingest(&mut st.session, &mut st.generation, prepared);
+    if inner.repl.is_some() {
+        log_op(inner, st, &wal::Op::Ingest(rows.to_vec()));
     }
     Ok(IngestSummary {
-        gen: state.generation,
-        rows: ids.len() as u64,
-        total: state.session.num_candidates() as u64,
+        gen: st.generation,
+        rows: row_count,
+        total: st.session.num_candidates() as u64,
         online: report.online_fit,
         drift_score: report.drift_score,
         auto_refit: report.auto_refit,
@@ -1447,50 +2019,25 @@ fn handle_ingest_core(inner: &Inner, rows: &[frame::IngestRow]) -> Result<Ingest
 }
 
 fn handle_refresh(inner: &Inner, edit: Option<SuiteEdit>) -> String {
-    // Phase 1 (write lock): suite edit + label-model refresh. The
-    // distillation training set is cloned out before the lock drops so
-    // the expensive disc retrain below runs lock-free.
+    if is_follower(inner) {
+        return "ERR readonly (follower serves reads; PROMOTE to accept writes)".into();
+    }
+    // Phase 1 (write lock): suite edit + label-model refresh through
+    // the shared replication entry point (the same code path a follower
+    // replays through), then the op-log append — the record carries the
+    // post-refresh generation. The distillation training set is cloned
+    // out before the lock drops so the expensive disc retrain below
+    // runs lock-free.
     let (response, training_set) = {
         let mut state = write_state(inner);
-        let names: Vec<String> = state
-            .session
-            .lf_names()
-            .into_iter()
-            .map(str::to_string)
-            .collect();
-        match &edit {
-            Some(SuiteEdit::Add(spec)) => {
-                if names.iter().any(|n| n == spec.name()) {
-                    return format!("ERR LF {:?} already exists (use EDIT)", spec.name());
-                }
-                match spec.build() {
-                    Ok(lf) => {
-                        state.session.add_lf_tagged(lf, spec.content_tag());
-                    }
-                    Err(e) => return format!("ERR {e}"),
-                }
-            }
-            Some(SuiteEdit::Edit(spec)) => {
-                if !names.iter().any(|n| n == spec.name()) {
-                    return format!("ERR LF {:?} not in the suite (use ADD)", spec.name());
-                }
-                match spec.build() {
-                    Ok(lf) => {
-                        state.session.edit_lf_tagged(lf, spec.content_tag());
-                    }
-                    Err(e) => return format!("ERR {e}"),
-                }
-            }
-            Some(SuiteEdit::Remove(name)) => match state.session.remove_lf(name) {
-                Some(_) => {}
-                None => return format!("ERR LF {name:?} not in the suite"),
-            },
-            None => {}
-        }
-        let (_, report) = state.session.refresh();
-        state.generation += 1;
+        let st = &mut *state;
+        let (report, training_set) =
+            match repl::apply_refresh(&mut st.session, &mut st.generation, edit.as_ref()) {
+                Ok(done) => done,
+                Err(e) => return format!("ERR {e}"),
+            };
         inner.refreshes.fetch_add(1, Ordering::Relaxed);
-        let training_set = state.session.disc_training_set();
+        log_op(inner, st, &wal::Op::Refresh(edit));
         let strategy = match &report.strategy {
             snorkel_core::optimizer::ModelingStrategy::MajorityVote => "mv",
             snorkel_core::optimizer::ModelingStrategy::MomentMatching => "moment",
@@ -1500,10 +2047,10 @@ fn handle_refresh(inner: &Inner, edit: Option<SuiteEdit>) -> String {
             "OK gen={} strategy={strategy} backend={} rows={} lfs={} lf_invocations={} \
              columns_recomputed={} columns_reused={} columns_extended={} \
              warm_started={} unique_patterns={} disc={}",
-            state.generation,
+            st.generation,
             report.backend,
-            state.session.num_candidates(),
-            state.session.num_lfs(),
+            st.session.num_candidates(),
+            st.session.num_lfs(),
             report.lf_invocations,
             report.columns_recomputed,
             report.columns_reused,

@@ -40,6 +40,7 @@
 //! | `MODL` | the label model, backend-tagged (v2) — weights + structure for the generative/moment backends, shape only for majority vote | if trained |
 //! | `DISC` | the distilled serving model (v3): refresh/disc generation counters, featurizer + distill config, sparse per-class weights | if distilled |
 //! | `STRM` | the streaming plane (v4): running moment sufficient statistics, drift config, frozen reference window, drift scores, lifetime ingest counters | if streaming |
+//! | `REPL` | the replication mark (v5): the op-log LSN and server generation the snapshot was taken at, so a follower bootstrapped from it resumes tailing exactly where the image ends | if replicated |
 //!
 //! ## Versioning
 //!
@@ -56,19 +57,26 @@
 //!   distilled serving model and its staleness generation. v1/v2 files
 //!   still thaw (no disc model, generation counters at zero); a `DISC`
 //!   section in a file claiming v1/v2 is a typed corruption error.
-//! * **v4** (current) — adds the optional `STRM` section carrying the
+//! * **v4** — adds the optional `STRM` section carrying the
 //!   streaming plane's state: the online moment backend's running
 //!   sufficient statistics, the drift detector's configuration and
 //!   frozen reference window, the latest drift scores, and the
 //!   lifetime ingest counters. v1–v3 files still thaw (streaming
 //!   restarts disabled until the first `INGEST`); a `STRM` section in
 //!   a file claiming an older version is a typed corruption error.
+//! * **v5** (current) — adds the optional `REPL` section carrying the
+//!   replication mark: the op-log LSN applied as of the snapshot and
+//!   the server generation at that LSN. v1–v4 files still thaw (no
+//!   mark — a restarted replica treats the image as the log origin); a
+//!   `REPL` section in a file claiming an older version is a typed
+//!   corruption error.
 //!
-//! [`Snapshot::to_bytes_with_version`] can still *write* v1–v3 (for
+//! [`Snapshot::to_bytes_with_version`] can still *write* v1–v4 (for
 //! handing a snapshot to an older build) as long as the snapshot fits
 //! the older format: v1 needs an absent-or-generative model, v1/v2
-//! cannot carry a distilled model, and v1–v3 cannot carry streaming
-//! state — each mismatch is a typed refusal, never a silent drop.
+//! cannot carry a distilled model, v1–v3 cannot carry streaming
+//! state, and v1–v4 cannot carry a replication mark — each mismatch is
+//! a typed refusal, never a silent drop.
 //!
 //! The normative format specification — section payload layouts,
 //! checksum rules, and the compatibility policy — is
@@ -91,13 +99,14 @@ use snorkel_stream::{DriftConfig, FrozenStream, StreamState, WindowStats};
 
 use snorkel_context::CandidateId;
 
+use crate::repl::ReplMark;
 use crate::wire::{fnv1a, Reader, Writer};
 
 /// Magic bytes opening every snapshot file.
 pub const MAGIC: [u8; 8] = *b"SNKLSNAP";
 
 /// The format version this build writes by default.
-pub const FORMAT_VERSION: u32 = 4;
+pub const FORMAT_VERSION: u32 = 5;
 
 /// The oldest format version this build still reads.
 pub const MIN_READ_VERSION: u32 = 1;
@@ -115,6 +124,7 @@ const TAG_PLAN: u32 = u32::from_le_bytes(*b"PLAN");
 const TAG_MODL: u32 = u32::from_le_bytes(*b"MODL");
 const TAG_DISC: u32 = u32::from_le_bytes(*b"DISC");
 const TAG_STRM: u32 = u32::from_le_bytes(*b"STRM");
+const TAG_REPL: u32 = u32::from_le_bytes(*b"REPL");
 
 fn tag_name(tag: u32) -> String {
     let b = tag.to_le_bytes();
@@ -238,6 +248,10 @@ pub struct Snapshot {
     /// Training configuration, persisted so a restarted service refits
     /// with identical hyperparameters.
     pub train: TrainConfig,
+    /// The replication mark (v5): the op-log LSN and server generation
+    /// this image was taken at. `None` on non-replicated servers and in
+    /// pre-v5 files.
+    pub repl: Option<ReplMark>,
 }
 
 impl Snapshot {
@@ -289,6 +303,11 @@ impl Snapshot {
                 "format v{version} cannot encode streaming state"
             )));
         }
+        if version < 5 && self.repl.is_some() {
+            return Err(corrupt(format!(
+                "format v{version} cannot encode a replication mark"
+            )));
+        }
         let mut sections: Vec<(u32, Vec<u8>)> = Vec::new();
         sections.push((TAG_SESS, enc_session_meta(&self.session, version)));
         sections.push((TAG_CACH, enc_cache(&self.session.cache)));
@@ -307,6 +326,9 @@ impl Snapshot {
         }
         if let Some(stream) = &self.session.stream {
             sections.push((TAG_STRM, enc_stream(stream)));
+        }
+        if let Some(repl) = &self.repl {
+            sections.push((TAG_REPL, enc_repl(repl)));
         }
 
         let header_end = 16 + 28 * sections.len() + 8;
@@ -423,6 +445,7 @@ impl Snapshot {
         for (tag, _) in &parsed {
             if ![
                 TAG_SESS, TAG_CACH, TAG_TCFG, TAG_LMTX, TAG_PLAN, TAG_MODL, TAG_DISC, TAG_STRM,
+                TAG_REPL,
             ]
             .contains(tag)
             {
@@ -436,6 +459,11 @@ impl Snapshot {
             if *tag == TAG_STRM && version < 4 {
                 return Err(corrupt(format!(
                     "STRM section in a v{version} file (introduced in v4)"
+                )));
+            }
+            if *tag == TAG_REPL && version < 5 {
+                return Err(corrupt(format!(
+                    "REPL section in a v{version} file (introduced in v5)"
                 )));
             }
         }
@@ -471,7 +499,15 @@ impl Snapshot {
         if let Some(p) = find(TAG_STRM) {
             session.stream = Some(dec_stream(&mut Reader::new(p))?);
         }
-        Ok(Snapshot { session, train })
+        let repl = match find(TAG_REPL) {
+            Some(p) => Some(dec_repl(&mut Reader::new(p))?),
+            None => None,
+        };
+        Ok(Snapshot {
+            session,
+            train,
+            repl,
+        })
     }
 
     /// Write atomically to `path`: serialize, write to a sibling
@@ -1294,4 +1330,27 @@ fn dec_disc(r: &mut Reader<'_>) -> Result<FrozenDisc, SnapError> {
         generation,
     };
     Ok(disc)
+}
+
+/// The v5 `REPL` section: a fixed 16-byte replication mark — the op-log
+/// LSN this image reflects and the server generation at that LSN. A
+/// replica restarting from the snapshot resumes its WAL (or its leader
+/// subscription) at `applied_lsn + 1` instead of replaying history.
+fn enc_repl(mark: &ReplMark) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(mark.applied_lsn);
+    w.put_u64(mark.generation);
+    w.into_bytes()
+}
+
+fn dec_repl(r: &mut Reader<'_>) -> Result<ReplMark, SnapError> {
+    let applied_lsn = r.u64("repl applied lsn")?;
+    let generation = r.u64("repl generation")?;
+    if !r.is_exhausted() {
+        return Err(corrupt("trailing bytes in REPL"));
+    }
+    Ok(ReplMark {
+        applied_lsn,
+        generation,
+    })
 }

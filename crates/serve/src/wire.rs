@@ -138,6 +138,14 @@ impl<'a> Reader<'a> {
         Ok(n)
     }
 
+    /// Length-prefixed raw bytes (same prefix validation as
+    /// [`Self::str`], no UTF-8 requirement) — opaque payloads such as
+    /// replication log record bodies travel through this.
+    pub(crate) fn bytes(&mut self, context: &'static str) -> Result<&'a [u8], SnapError> {
+        let n = self.len(1, context)?;
+        self.take(n, context)
+    }
+
     pub(crate) fn str(&mut self, context: &'static str) -> Result<String, SnapError> {
         let n = self.len(1, context)?;
         let bytes = self.take(n, context)?;

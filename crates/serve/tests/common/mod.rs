@@ -1,0 +1,53 @@
+//! Shared readiness helpers for the serve integration tests.
+//!
+//! Anything that waits on another thread (a snapshot landing on disk, a
+//! background disc retrain, a follower catching up to the leader's LSN)
+//! polls against a deadline instead of sleeping a fixed interval: the
+//! test proceeds the moment the condition holds on a fast machine and
+//! only fails after a real, generous deadline on a slow one.
+
+// Each integration-test crate compiles its own copy of this module and
+// typically uses a subset of it.
+#![allow(dead_code)]
+
+use std::time::{Duration, Instant};
+
+/// Poll `poll` every couple of milliseconds until it yields `Some`,
+/// returning the value. Panics with `what` when `timeout` elapses
+/// first — the panic message names the condition so a CI timeout reads
+/// as "waited for X", not a bare assert.
+pub fn wait_until<T>(timeout: Duration, what: &str, mut poll: impl FnMut() -> Option<T>) -> T {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Some(v) = poll() {
+            return v;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out after {timeout:?} waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// A watchdog for loops that make progress themselves (hammer threads,
+/// retry loops): `check()` panics once the deadline passes, turning a
+/// silent hang into a named failure.
+#[derive(Clone, Copy)]
+pub struct Deadline {
+    at: Instant,
+    what: &'static str,
+}
+
+impl Deadline {
+    pub fn new(timeout: Duration, what: &'static str) -> Deadline {
+        Deadline {
+            at: Instant::now() + timeout,
+            what,
+        }
+    }
+
+    pub fn check(&self) {
+        assert!(Instant::now() < self.at, "deadline passed: {}", self.what);
+    }
+}

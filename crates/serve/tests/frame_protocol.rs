@@ -14,11 +14,14 @@
 //!   malformed frames (unknown opcode, lying length fields, oversized
 //!   payloads) get error frames.
 
+mod common;
+
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::OnceLock;
 use std::time::Duration;
 
+use common::wait_until;
 use proptest::prelude::*;
 use snorkel_context::{CandidateId, Corpus};
 use snorkel_core::optimizer::ModelingStrategy;
@@ -322,22 +325,20 @@ fn connection_cap_refuses_with_err_busy() {
     // Freeing a slot readmits: drop one client, then retry until the
     // worker notices the close and releases the count.
     drop(c1);
-    let deadline = std::time::Instant::now() + Duration::from_secs(30);
-    loop {
-        let mut probe = Client::connect(addr).expect("tcp connect");
-        match probe.request("PING") {
-            Ok(reply) if reply == "OK pong" => break,
-            Ok(reply) if reply == "ERR busy" => {}
-            Ok(other) => panic!("unexpected reply {other:?}"),
-            // The refused socket closes under us mid-request.
-            Err(_) => {}
-        }
-        assert!(
-            std::time::Instant::now() < deadline,
-            "slot never freed after client close"
-        );
-        std::thread::sleep(Duration::from_millis(10));
-    }
+    wait_until(
+        Duration::from_secs(30),
+        "a connection slot to free after client close",
+        || {
+            let mut probe = Client::connect(addr).expect("tcp connect");
+            match probe.request("PING") {
+                Ok(reply) if reply == "OK pong" => Some(()),
+                Ok(reply) if reply == "ERR busy" => None,
+                Ok(other) => panic!("unexpected reply {other:?}"),
+                // The refused socket closes under us mid-request.
+                Err(_) => None,
+            }
+        },
+    );
 
     drop(c2);
     server.shutdown().expect("clean shutdown");

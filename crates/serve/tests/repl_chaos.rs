@@ -1,0 +1,362 @@
+//! Chaos test for replicated serving: a live leader and a tailing
+//! follower in one process, with the follower killed mid-tail at an
+//! arbitrary point and restarted from its snapshot + durable WAL. The
+//! restarted follower must resume from the last durable LSN — proven
+//! by counting LF invocations: every ingested row is labeled exactly
+//! once per LF across both follower lives, so neither the kill nor the
+//! resume re-executed anything — and must converge to marginals
+//! bit-identical to the leader's.
+//!
+//! Also covered on the way: `ERR readonly` on both write verbs while a
+//! follower, `STATS role=`/`lsn=` surfacing, and `PROMOTE` sealing the
+//! log and flipping the follower to a writable leader.
+
+mod common;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, SystemTime};
+
+use common::wait_until;
+use snorkel_context::Corpus;
+use snorkel_core::optimizer::OptimizerConfig;
+use snorkel_incr::{IncrementalSession, SessionConfig};
+use snorkel_lf::{lf, BoxedLf};
+use snorkel_nlp::tokenize;
+use snorkel_serve::repl::wal;
+use snorkel_serve::{Client, LabelServer, LfSpec, ServeConfig, Snapshot};
+
+const ROWS: usize = 150;
+const NUM_BASE_LFS: u64 = 4;
+const EXTRA_SPEC: &str = "lf_extra KEYWORD 1 -1 causes,gamma3";
+
+fn build_corpus(n: usize) -> Corpus {
+    let mut corpus = Corpus::new();
+    let doc = corpus.add_document("d");
+    for i in 0..n {
+        let verb = if i % 3 == 0 { "causes" } else { "treats" };
+        let text = format!("alpha{} {} beta{}", i % 7, verb, i % 5);
+        let s = corpus.add_sentence(doc, &text, tokenize(&text));
+        let a = corpus.add_span(s, 0, 1, Some("A"));
+        let b = corpus.add_span(s, 2, 3, Some("B"));
+        corpus.add_candidate(vec![a, b]);
+    }
+    corpus
+}
+
+fn moment_config() -> SessionConfig {
+    SessionConfig {
+        optimizer: OptimizerConfig {
+            skip_structure_search: true,
+            moment_min_rows: 100,
+            gamma: 0.0,
+            ..OptimizerConfig::default()
+        },
+        ..SessionConfig::default()
+    }
+}
+
+/// The leader's LF: deterministic on sentence text.
+fn mod_lf(name: &str, vote_mod: u64) -> BoxedLf {
+    lf(name.to_string(), move |x| {
+        let len = x.sentence().text().len() as u64;
+        if len.is_multiple_of(vote_mod) {
+            1
+        } else {
+            -1
+        }
+    })
+}
+
+/// The follower's LF: votes identically, but counts every invocation —
+/// the instrument that proves bootstrap and resume never re-run the
+/// suite over rows the cache already covers.
+fn counting_lf(name: &str, vote_mod: u64, counter: Arc<AtomicUsize>) -> BoxedLf {
+    lf(name.to_string(), move |x| {
+        counter.fetch_add(1, Ordering::Relaxed);
+        let len = x.sentence().text().len() as u64;
+        if len.is_multiple_of(vote_mod) {
+            1
+        } else {
+            -1
+        }
+    })
+}
+
+fn leader_session() -> IncrementalSession {
+    let mut session = IncrementalSession::over_all_candidates(build_corpus(ROWS), moment_config());
+    for j in 0..NUM_BASE_LFS {
+        session.add_lf(mod_lf(&format!("lf_{j}"), 2 + j));
+    }
+    let (_, report) = session.refresh();
+    assert_eq!(report.backend, "moment");
+    session
+}
+
+/// Thaw a follower from `snapshot`, attaching counting variants of the
+/// leader's LFs (plus the spec-built extra once the suite carries it).
+fn follower_session(snapshot: &Snapshot, counter: &Arc<AtomicUsize>) -> IncrementalSession {
+    let lfs: Vec<BoxedLf> = snapshot
+        .session
+        .suite
+        .iter()
+        .map(|(name, _)| {
+            if name == "lf_extra" {
+                LfSpec::parse(EXTRA_SPEC)
+                    .expect("spec")
+                    .build()
+                    .expect("lf")
+            } else {
+                let j: u64 = name
+                    .strip_prefix("lf_")
+                    .expect("name")
+                    .parse()
+                    .expect("idx");
+                counting_lf(name, 2 + j, Arc::clone(counter))
+            }
+        })
+        .collect();
+    IncrementalSession::thaw(
+        build_corpus(ROWS),
+        moment_config(),
+        snapshot.session.clone(),
+        lfs,
+    )
+    .expect("thaw follower")
+}
+
+fn field<'a>(response: &'a str, key: &str) -> &'a str {
+    response
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("no {key}= in {response:?}"))
+}
+
+fn lsn_of(client: &mut Client) -> u64 {
+    let stats = client.request("STATS").expect("stats");
+    field(&stats, "lsn").parse().expect("lsn number")
+}
+
+/// Bit-compare leader and follower: same MARGINAL reply strings (which
+/// carry `gen=` and shortest-round-trip `p=`, so string equality is
+/// float bit equality) and same STATS generation.
+fn assert_bit_identical(leader: &mut Client, follower: &mut Client, sigs: &[&str], when: &str) {
+    for sig in sigs {
+        let l = leader.request(sig).expect("leader marginal");
+        let f = follower.request(sig).expect("follower marginal");
+        assert!(l.starts_with("OK "), "{when}: leader refused {sig}: {l}");
+        assert_eq!(l, f, "{when}: {sig} diverged");
+    }
+    let lg = leader.request("STATS").expect("stats");
+    let fg = follower.request("STATS").expect("stats");
+    assert_eq!(
+        field(&lg, "gen"),
+        field(&fg, "gen"),
+        "{when}: STATS generation diverged"
+    );
+    assert_eq!(
+        field(&lg, "lsn"),
+        field(&fg, "lsn"),
+        "{when}: STATS lsn diverged"
+    );
+}
+
+#[test]
+fn follower_kill_resume_converges_bit_exact() {
+    let dir = std::env::temp_dir().join(format!("snorkel-repl-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for f in ["leader.wal", "leader.snap", "follower.wal"] {
+        let _ = std::fs::remove_file(dir.join(f));
+    }
+    let leader_wal = dir.join("leader.wal");
+    let leader_snap = dir.join("leader.snap");
+    let follower_wal = dir.join("follower.wal");
+
+    // --- Leader: replicated (WAL configured), snapshot path for the
+    // follower bootstrap image.
+    let leader = LabelServer::start(
+        leader_session(),
+        ServeConfig {
+            wal_path: Some(leader_wal.clone()),
+            snapshot_path: Some(leader_snap.clone()),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind leader");
+    let leader_addr = leader.addr();
+    let mut lc = Client::connect(leader_addr).expect("connect leader");
+
+    let stats = lc.request("STATS").expect("stats");
+    assert_eq!(field(&stats, "role"), "leader");
+
+    // One logged refresh before the snapshot, so the mark is nonzero
+    // and bootstrap provably starts mid-log, not at genesis.
+    assert!(lc.request("REFRESH").expect("refresh").starts_with("OK "));
+    assert_eq!(lsn_of(&mut lc), 1);
+    assert!(lc.request("SNAPSHOT").expect("snap").starts_with("OK "));
+
+    let snapshot = Snapshot::read_file(&leader_snap).expect("read snapshot");
+    let mark = snapshot.repl.expect("replicated snapshot carries a mark");
+    assert_eq!(mark.applied_lsn, 1);
+
+    // --- Follower: thaw the shipped snapshot with counting LFs.
+    let count1 = Arc::new(AtomicUsize::new(0));
+    let session = follower_session(&snapshot, &count1);
+    assert_eq!(
+        count1.load(Ordering::Relaxed),
+        0,
+        "bootstrap from snapshot must execute zero LFs"
+    );
+    let follower = LabelServer::start(
+        session,
+        ServeConfig {
+            follow: Some(leader_addr.to_string()),
+            wal_path: Some(follower_wal.clone()),
+            repl_mark: Some(mark),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind follower");
+    let mut fc = Client::connect(follower.addr()).expect("connect follower");
+    let stats = fc.request("STATS").expect("stats");
+    assert_eq!(field(&stats, "role"), "follower");
+
+    // --- Leader writes while the follower tails: ingests, an edit that
+    // grows the suite, a plain refresh.
+    let mut ingested = 0u64;
+    for i in 0..10 {
+        let reply = lc
+            .request(&format!("INGEST 0 1 2 3 gamma{i} causes delta{i}"))
+            .expect("ingest");
+        assert!(reply.starts_with("OK "), "{reply}");
+        ingested += 1;
+    }
+    assert!(lc
+        .request(&format!("REFRESH ADD {EXTRA_SPEC}"))
+        .expect("add")
+        .starts_with("OK "));
+    assert!(lc.request("REFRESH").expect("refresh").starts_with("OK "));
+
+    let tip = lsn_of(&mut lc);
+    wait_until(
+        Duration::from_secs(15),
+        "follower to reach the leader tip",
+        || (lsn_of(&mut fc) == tip).then_some(()),
+    );
+
+    let sigs = [
+        "MARGINAL 0:1,1:-1",
+        "MARGINAL 1:1,3:-1",
+        "MARGINAL 0:-1,2:1,4:1",
+    ];
+    assert_bit_identical(&mut lc, &mut fc, &sigs, "after live tail");
+    assert_eq!(
+        count1.load(Ordering::Relaxed) as u64,
+        NUM_BASE_LFS * ingested,
+        "tailing must label each ingested row exactly once per LF"
+    );
+
+    // --- Writes are refused on the follower, reads are not.
+    let refused = fc.request("INGEST 0 1 2 3 x causes y").expect("alive");
+    assert!(refused.starts_with("ERR readonly"), "{refused}");
+    let refused = fc.request("REFRESH").expect("alive");
+    assert!(refused.starts_with("ERR readonly"), "{refused}");
+
+    // --- Kill the follower mid-tail at an arbitrary LSN: a writer
+    // hammers the leader while the main thread shuts the follower down
+    // after a pseudo-random delay.
+    let jitter = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .expect("clock")
+        .subsec_nanos() as u64
+        % 25;
+    let kill_ingests = 12u64;
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            let mut wc = Client::connect(leader_addr).expect("connect writer");
+            for i in 10..10 + kill_ingests {
+                let reply = wc
+                    .request(&format!("INGEST 0 1 2 3 gamma{i} causes delta{i}"))
+                    .expect("ingest");
+                assert!(reply.starts_with("OK "), "{reply}");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        });
+        std::thread::sleep(Duration::from_millis(jitter));
+        follower.shutdown().expect("follower shutdown");
+        writer.join().expect("writer thread");
+    });
+    ingested += kill_ingests;
+
+    // --- The follower's WAL survived the kill: it must extend the
+    // snapshot mark (resume evidence), and scan cleanly.
+    let wal_bytes = std::fs::read(&follower_wal).expect("follower wal");
+    let scan = wal::scan(&wal_bytes).expect("follower wal scans clean");
+    let durable = scan.records.last().map(|r| r.lsn).unwrap_or(scan.base_lsn);
+    assert!(
+        durable >= mark.applied_lsn,
+        "durable lsn {durable} regressed below the mark {}",
+        mark.applied_lsn
+    );
+
+    // --- Restart: same snapshot, same WAL. Recovery replays the
+    // durable suffix, the tail fetches the rest, and the invocation
+    // counter proves no row was labeled twice and no cached row was
+    // re-labeled.
+    let count2 = Arc::new(AtomicUsize::new(0));
+    let session = follower_session(&snapshot, &count2);
+    assert_eq!(count2.load(Ordering::Relaxed), 0);
+    let follower = LabelServer::start(
+        session,
+        ServeConfig {
+            follow: Some(leader_addr.to_string()),
+            wal_path: Some(follower_wal.clone()),
+            repl_mark: Some(mark),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("rebind follower");
+    let mut fc = Client::connect(follower.addr()).expect("reconnect follower");
+
+    let tip = lsn_of(&mut lc);
+    wait_until(
+        Duration::from_secs(15),
+        "restarted follower to converge",
+        || (lsn_of(&mut fc) == tip).then_some(()),
+    );
+    assert_bit_identical(&mut lc, &mut fc, &sigs, "after kill/resume");
+    assert_eq!(
+        count2.load(Ordering::Relaxed) as u64,
+        NUM_BASE_LFS * ingested,
+        "resume must label each ingested row exactly once per LF — \
+         re-executing the suite over cached rows or double-replaying \
+         the durable suffix both break this count"
+    );
+
+    // --- PROMOTE: seal, flip to leader, accept writes.
+    let promoted = fc.request("PROMOTE").expect("promote");
+    assert!(promoted.starts_with("OK role=leader lsn="), "{promoted}");
+    let stats = fc.request("STATS").expect("stats");
+    assert_eq!(field(&stats, "role"), "leader");
+    assert!(fc
+        .request("PROMOTE")
+        .expect("alive")
+        .starts_with("ERR already leader"));
+    assert!(lc
+        .request("PROMOTE")
+        .expect("alive")
+        .starts_with("ERR already leader"));
+    let accepted = fc
+        .request("INGEST 0 1 2 3 omega causes psi")
+        .expect("post-promote ingest");
+    assert!(accepted.starts_with("OK "), "{accepted}");
+
+    // The promoted node's WAL gained the seal and the new write.
+    let wal_bytes = std::fs::read(&follower_wal).expect("follower wal");
+    let scan = wal::scan(&wal_bytes).expect("promoted wal scans clean");
+    assert!(scan.records.iter().any(|r| r.op == wal::Op::Seal));
+
+    follower.shutdown().expect("promoted shutdown");
+    leader.shutdown().expect("leader shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}

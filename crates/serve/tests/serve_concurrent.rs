@@ -8,9 +8,13 @@
 //!   an LF edit lands mid-stream; every response must equal the pre- or
 //!   the post-edit posterior exactly, with the generation tag matching.
 
+mod common;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
+use common::{wait_until, Deadline};
 use snorkel_context::{CandidateId, Corpus};
 use snorkel_core::optimizer::ModelingStrategy;
 use snorkel_incr::{IncrementalSession, SessionConfig};
@@ -195,25 +199,38 @@ fn concurrent_marginals_with_midstream_edit_see_no_torn_reads() {
     // committed (`edit_done`), then one final query — so the stream is
     // guaranteed to span the edit on both sides.
     let edit_done = Arc::new(AtomicUsize::new(0));
+    let warmed_up = Arc::new(AtomicUsize::new(0));
     let responses: Vec<Vec<String>> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for _ in 0..CLIENTS {
             let edit_done = Arc::clone(&edit_done);
+            let warmed_up = Arc::clone(&warmed_up);
             handles.push(scope.spawn(move || {
                 let mut client = Client::connect(addr).expect("connect");
                 let mut responses = Vec::with_capacity(QUERIES_PER_CLIENT + 1);
+                let watchdog = Deadline::new(Duration::from_secs(60), "hammer client quota");
                 while responses.len() < QUERIES_PER_CLIENT || edit_done.load(Ordering::SeqCst) == 0
                 {
+                    watchdog.check();
                     responses.push(client.request(sig).expect("query"));
+                    if responses.len() == 1 {
+                        warmed_up.fetch_add(1, Ordering::SeqCst);
+                    }
                 }
                 responses.push(client.request(sig).expect("post-edit query"));
                 responses
             }));
         }
-        // Let the hammer threads get going, then edit: replacing
-        // lf_causes with a much broader keyword set moves the fitted
-        // weights, so pre- and post-edit posteriors differ.
-        std::thread::sleep(std::time::Duration::from_millis(30));
+        // Once every hammer thread has a query in flight, land the
+        // edit: replacing lf_causes with a much broader keyword set
+        // moves the fitted weights, so pre- and post-edit posteriors
+        // differ. (Readiness-based, not a fixed sleep: the edit lands
+        // as soon as every client is provably mid-stream.)
+        wait_until(
+            Duration::from_secs(30),
+            "every hammer client to issue its first query",
+            || (warmed_up.load(Ordering::SeqCst) == CLIENTS).then_some(()),
+        );
         let edited = control
             .request("REFRESH EDIT lf_causes KEYWORD 1 -1 causes,mentions,worsens")
             .expect("edit");

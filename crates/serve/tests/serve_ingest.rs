@@ -14,9 +14,13 @@
 //!   planes with a typed `backpressure` error and the connection
 //!   survives.
 
+mod common;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
+use common::Deadline;
 use snorkel_context::Corpus;
 use snorkel_core::optimizer::OptimizerConfig;
 use snorkel_incr::{IncrementalSession, SessionConfig};
@@ -108,8 +112,13 @@ fn concurrent_ingest_and_refresh_serialize_without_torn_generations() {
             readers.push(scope.spawn(move || {
                 let mut client = Client::connect(addr).expect("connect");
                 let mut replies = Vec::with_capacity(QUERIES_PER_READER + 1);
+                // Deadline-bounded, not a fixed sleep: the loop runs
+                // exactly until both writers finish, and a wedged
+                // writer fails loudly instead of hanging the test.
+                let watchdog = Deadline::new(Duration::from_secs(120), "writers to finish");
                 while replies.len() < QUERIES_PER_READER || writers_done.load(Ordering::SeqCst) < 2
                 {
+                    watchdog.check();
                     replies.push(client.request(sig).expect("marginal"));
                 }
                 replies.push(client.request(sig).expect("post-write marginal"));

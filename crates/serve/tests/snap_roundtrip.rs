@@ -117,6 +117,7 @@ fn snapshot_of(session: &IncrementalSession) -> Snapshot {
     Snapshot {
         session: session.freeze(),
         train: session.config().train.clone(),
+        repl: None,
     }
 }
 

@@ -1,0 +1,379 @@
+//! Fault injection for the replication WAL: every byte of every record
+//! field gets flipped, every truncation point gets cut, and crafted
+//! records violate each structural invariant — recovery must always be
+//! a typed [`WalError`] or a clean torn-tail truncation, never a panic
+//! and never replayed garbage.
+//!
+//! The sweep style mirrors the snapshot format's fuzz tests: walk the
+//! byte image with a prime stride (dense but bounded), assert the
+//! invariant at every position, and keep a handful of targeted cases
+//! for failures a blind sweep can't construct (checksum-valid records
+//! with bad LSNs, for instance, need the checksum re-sealed).
+
+use proptest::prelude::*;
+use snorkel_serve::repl::wal::{
+    self, Op, Record, WalError, WalFile, RECORD_PREFIX_BYTES, WAL_HEADER_BYTES, WAL_MAGIC,
+    WAL_VERSION,
+};
+use snorkel_serve::LfSpec;
+use snorkel_serve::SuiteEdit;
+
+/// FNV-1a 64 — reimplemented here so targeted tests can re-seal a
+/// corrupted body with a *valid* checksum and prove the structural
+/// checks behind the checksum also hold.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A representative multi-op log: every op tag, every edit tag, and a
+/// multi-row ingest, with the generation advancing the way a live
+/// leader's would (refreshes bump it, this ingest batch doesn't).
+fn sample_records(base: u64) -> Vec<(u64, u64, Op)> {
+    let gen0 = base / 2;
+    vec![
+        (base + 1, gen0 + 1, Op::Refresh(None)),
+        (
+            base + 2,
+            gen0 + 2,
+            Op::Refresh(Some(SuiteEdit::Add(
+                LfSpec::parse("lf_causes KEYWORD 1 -1 causes,caused").unwrap(),
+            ))),
+        ),
+        (
+            base + 3,
+            gen0 + 2,
+            Op::Ingest(vec![
+                ((0, 1), (2, 3), "magnesium causes weakness".into()),
+                ((0, 2), (3, 4), "low iron level treats nothing".into()),
+            ]),
+        ),
+        (
+            base + 4,
+            gen0 + 3,
+            Op::Refresh(Some(SuiteEdit::Edit(
+                LfSpec::parse("lf_causes KEYWORD 1 -1 causes").unwrap(),
+            ))),
+        ),
+        (
+            base + 5,
+            gen0 + 4,
+            Op::Refresh(Some(SuiteEdit::Remove("lf_causes".into()))),
+        ),
+        (base + 6, gen0 + 4, Op::Seal),
+    ]
+}
+
+fn header(base: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(WAL_HEADER_BYTES);
+    out.extend_from_slice(&WAL_MAGIC);
+    out.extend_from_slice(&WAL_VERSION.to_le_bytes());
+    out.extend_from_slice(&base.to_le_bytes());
+    out
+}
+
+/// Build a clean WAL byte image of [`sample_records`].
+fn build_log(base: u64) -> (Vec<u8>, Vec<Record>) {
+    let mut bytes = header(base);
+    let mut records = Vec::new();
+    for (lsn, gen_after, op) in sample_records(base) {
+        let body = wal::encode_body(lsn, gen_after, &op);
+        bytes.extend_from_slice(&wal::frame_body(&body));
+        records.push(Record { lsn, gen_after, op });
+    }
+    (bytes, records)
+}
+
+/// The recovery invariant every corruption must land in: either a
+/// typed error, or a scan whose records are a *strict prefix* of the
+/// originals (a torn tail dropped). Anything else — a panic, or a
+/// decoded record differing from what the leader wrote — is replayed
+/// garbage.
+fn assert_recovers(bytes: &[u8], originals: &[Record], what: &str) {
+    match wal::scan(bytes) {
+        Err(_) => {} // typed refusal: fine
+        Ok(s) => {
+            assert!(
+                s.records.len() <= originals.len(),
+                "{what}: scan invented {} records (log only had {})",
+                s.records.len(),
+                originals.len()
+            );
+            for (got, want) in s.records.iter().zip(originals) {
+                assert_eq!(
+                    got, want,
+                    "{what}: replayed record diverges from what was written"
+                );
+            }
+            assert_eq!(
+                s.clean_len + s.dropped_bytes,
+                bytes.len() as u64,
+                "{what}: clean prefix + dropped tail must cover the file"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_bit_flips_never_panic_or_replay_garbage() {
+    let (bytes, originals) = build_log(40);
+    // Prime stride keeps the sweep dense (hits every field of a
+    // ~1 KiB image) without quadratic test time.
+    let stride = (bytes.len() / 97).max(1);
+    for pos in (0..bytes.len()).step_by(stride) {
+        for bit in 0..8 {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 1 << bit;
+            assert_recovers(&corrupt, &originals, &format!("bit {bit} of byte {pos}"));
+        }
+    }
+}
+
+#[test]
+fn every_truncation_point_recovers_cleanly() {
+    let (bytes, originals) = build_log(7);
+    let stride = (bytes.len() / 163).max(1);
+    for cut in (0..bytes.len()).step_by(stride) {
+        let cut_bytes = &bytes[..cut];
+        if cut < WAL_HEADER_BYTES {
+            assert!(
+                matches!(wal::scan(cut_bytes), Err(WalError::TruncatedHeader)),
+                "cut at {cut} inside the header must be TruncatedHeader"
+            );
+            continue;
+        }
+        let s = wal::scan(cut_bytes)
+            .unwrap_or_else(|e| panic!("cut at {cut} past the header must recover, got {e}"));
+        // Truncation only ever loses whole records off the end.
+        assert!(s.records.len() <= originals.len());
+        for (got, want) in s.records.iter().zip(&originals) {
+            assert_eq!(got, want, "cut at {cut}: surviving record diverged");
+        }
+        assert_eq!(s.clean_len + s.dropped_bytes, cut as u64);
+    }
+    // The full image is clean: nothing dropped, every record back.
+    let s = wal::scan(&bytes).expect("clean log scans");
+    assert_eq!(s.records, originals);
+    assert_eq!(s.dropped_bytes, 0);
+}
+
+#[test]
+fn torn_final_record_is_dropped_and_reopen_resumes() {
+    let dir = std::env::temp_dir().join(format!("snorkel-walfault-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("torn.wal");
+    let _ = std::fs::remove_file(&path);
+
+    let base = 10;
+    let (mut file, scan) = WalFile::open_or_create(&path, base).expect("create");
+    assert_eq!(scan.base_lsn, base);
+    let records = sample_records(base);
+    for (lsn, gen_after, op) in &records {
+        let body = wal::encode_body(*lsn, *gen_after, op);
+        file.append_body(*lsn, &body).expect("append");
+    }
+    file.sync().expect("sync");
+    drop(file);
+
+    // Tear the final record: chop 3 bytes off the end, simulating a
+    // crash mid-append.
+    let full = std::fs::read(&path).expect("read wal");
+    std::fs::write(&path, &full[..full.len() - 3]).expect("tear");
+
+    let (mut file, scan) = WalFile::open_or_create(&path, base).expect("reopen torn");
+    assert_eq!(scan.records.len(), records.len() - 1, "torn tail dropped");
+    assert!(scan.dropped_bytes > 0);
+    assert_eq!(file.next_lsn(), records[records.len() - 2].0 + 1);
+    // The file was physically truncated to the clean prefix, so a
+    // re-append lands where the torn record was.
+    assert_eq!(
+        std::fs::metadata(&path).expect("meta").len(),
+        scan.clean_len
+    );
+    let (lsn, gen_after, op) = &records[records.len() - 1];
+    let body = wal::encode_body(*lsn, *gen_after, op);
+    file.append_body(*lsn, &body).expect("resume append");
+    drop(file);
+
+    // Third open: everything (including the re-appended record) back.
+    let (_, scan) = WalFile::open_or_create(&path, base).expect("reopen clean");
+    assert_eq!(scan.records.len(), records.len());
+    assert_eq!(scan.dropped_bytes, 0);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn header_faults_are_typed() {
+    let (bytes, _) = build_log(0);
+
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] ^= 0xFF;
+    assert!(matches!(wal::scan(&bad_magic), Err(WalError::BadMagic)));
+
+    let mut bad_version = bytes.clone();
+    bad_version[8..12].copy_from_slice(&(WAL_VERSION + 9).to_le_bytes());
+    assert!(matches!(
+        wal::scan(&bad_version),
+        Err(WalError::UnsupportedVersion { found, supported })
+            if found == WAL_VERSION + 9 && supported == WAL_VERSION
+    ));
+
+    assert!(matches!(
+        wal::scan(&bytes[..WAL_HEADER_BYTES - 1]),
+        Err(WalError::TruncatedHeader)
+    ));
+}
+
+#[test]
+fn checksum_flip_reports_the_offset() {
+    let (mut bytes, _) = build_log(3);
+    // Flip one bit inside the first record's crc field.
+    let crc_pos = WAL_HEADER_BYTES + 4;
+    bytes[crc_pos] ^= 0x01;
+    assert!(matches!(
+        wal::scan(&bytes),
+        Err(WalError::ChecksumMismatch { offset }) if offset == WAL_HEADER_BYTES as u64
+    ));
+}
+
+/// Append a body to a byte image with a *valid* checksum — the vehicle
+/// for corruption the checksum can't catch.
+fn push_sealed(bytes: &mut Vec<u8>, body: &[u8]) {
+    bytes.extend_from_slice(&u32::try_from(body.len()).unwrap().to_le_bytes());
+    bytes.extend_from_slice(&fnv1a(body).to_le_bytes());
+    bytes.extend_from_slice(body);
+}
+
+#[test]
+fn checksum_valid_structural_faults_are_corrupt() {
+    // LSN gap: base 5, first record claims lsn 7.
+    let mut gap = header(5);
+    push_sealed(&mut gap, &wal::encode_body(7, 1, &Op::Refresh(None)));
+    assert!(matches!(wal::scan(&gap), Err(WalError::Corrupt { .. })));
+
+    // Generation regression: gen 4 then gen 2.
+    let mut regress = header(0);
+    push_sealed(&mut regress, &wal::encode_body(1, 4, &Op::Refresh(None)));
+    push_sealed(&mut regress, &wal::encode_body(2, 2, &Op::Refresh(None)));
+    assert!(matches!(wal::scan(&regress), Err(WalError::Corrupt { .. })));
+
+    // Unknown op tag (body is lsn | gen | tag 99).
+    let mut bad_tag = header(0);
+    let mut body = Vec::new();
+    body.extend_from_slice(&1u64.to_le_bytes());
+    body.extend_from_slice(&1u64.to_le_bytes());
+    body.push(99);
+    push_sealed(&mut bad_tag, &body);
+    assert!(matches!(wal::scan(&bad_tag), Err(WalError::Corrupt { .. })));
+
+    // Trailing bytes after a well-formed op.
+    let mut trailing = header(0);
+    let mut body = wal::encode_body(1, 1, &Op::Seal);
+    body.push(0xAB);
+    push_sealed(&mut trailing, &body);
+    assert!(matches!(
+        wal::scan(&trailing),
+        Err(WalError::Corrupt { .. })
+    ));
+
+    // Ingest row count far beyond the bytes present.
+    let mut lying_count = header(0);
+    let mut body = Vec::new();
+    body.extend_from_slice(&1u64.to_le_bytes());
+    body.extend_from_slice(&1u64.to_le_bytes());
+    body.push(2); // OP_TAG_INGEST
+    body.extend_from_slice(&u32::MAX.to_le_bytes());
+    push_sealed(&mut lying_count, &body);
+    assert!(matches!(
+        wal::scan(&lying_count),
+        Err(WalError::Corrupt { .. })
+    ));
+
+    // A record body over the size cap is refused before decode.
+    let mut oversized = header(0);
+    oversized.extend_from_slice(&(wal::MAX_RECORD_BYTES + 1).to_le_bytes());
+    oversized.extend_from_slice(&[0u8; 8]);
+    assert!(matches!(
+        wal::scan(&oversized),
+        Err(WalError::Corrupt { .. })
+    ));
+}
+
+#[test]
+fn decode_body_rejects_garbage_fields() {
+    // Bad edit tag inside a REFRESH.
+    let mut body = Vec::new();
+    body.extend_from_slice(&1u64.to_le_bytes());
+    body.extend_from_slice(&1u64.to_le_bytes());
+    body.push(1); // OP_TAG_REFRESH
+    body.push(7); // unknown edit tag
+    assert!(matches!(
+        Record::decode_body(&body),
+        Err(WalError::Corrupt { .. })
+    ));
+
+    // Unparseable LF spec carried by an ADD.
+    let mut body = Vec::new();
+    body.extend_from_slice(&1u64.to_le_bytes());
+    body.extend_from_slice(&1u64.to_le_bytes());
+    body.push(1); // OP_TAG_REFRESH
+    body.push(1); // EDIT_TAG_ADD
+    let spec = b"not a spec";
+    body.extend_from_slice(&(spec.len() as u64).to_le_bytes());
+    body.extend_from_slice(spec);
+    assert!(matches!(
+        Record::decode_body(&body),
+        Err(WalError::Corrupt { .. })
+    ));
+
+    // Truncated mid-field.
+    let good = wal::encode_body(1, 1, &Op::Refresh(None));
+    for cut in 0..good.len() {
+        assert!(
+            Record::decode_body(&good[..cut]).is_err(),
+            "cut at {cut} must not decode"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary bytes after a valid header: scan never panics, and
+    /// whatever it accepts must checksum-decode (the prefix property is
+    /// vacuous here — there are no "original" records — so the test is
+    /// purely the no-panic / typed-error contract).
+    #[test]
+    fn random_tail_never_panics(tail in prop::collection::vec(0u8..=255, 0..512)) {
+        let mut bytes = header(0);
+        bytes.extend_from_slice(&tail);
+        let _ = wal::scan(&bytes);
+    }
+
+    /// Fully arbitrary bytes (header included) never panic either.
+    #[test]
+    fn random_image_never_panics(bytes in prop::collection::vec(0u8..=255, 0..256)) {
+        let _ = wal::scan(&bytes);
+    }
+
+    /// Flip any one bit anywhere in a valid log (positions chosen by
+    /// proptest rather than the fixed stride of the sweep test).
+    #[test]
+    fn random_bit_flip_recovers(pos in 0usize..2048, bit in 0u8..8) {
+        let (mut bytes, originals) = build_log(11);
+        let pos = pos % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        assert_recovers(&bytes, &originals, &format!("bit {bit} of byte {pos}"));
+    }
+}
+
+// RECORD_PREFIX_BYTES is part of the public grammar the docs describe;
+// pin it so a layout change is a conscious, doc-updating decision.
+#[test]
+fn record_prefix_is_len_plus_crc() {
+    assert_eq!(RECORD_PREFIX_BYTES, 4 + 8);
+}

@@ -5,7 +5,8 @@
 //! cargo run --release --example serving                  in-process demo
 //! cargo run --release --example serving -- server \
 //!     --port 7341 [--snapshot P] [--resume P] \
-//!     [--auto-snapshot-ms N] [--rows N] [--lf "<spec>"]…  long-running server
+//!     [--auto-snapshot-ms N] [--rows N] [--lf "<spec>"]… \
+//!     [--wal P] [--follow HOST:PORT]                      long-running server
 //! cargo run --release --example serving -- client --port 7341 MARGINAL 0:1
 //! cargo run --release --example serving -- hammer \
 //!     --port 7341 --clients 8 --queries 150               torn-read check
@@ -32,7 +33,7 @@ use snorkel::incr::{Fingerprint, IncrementalSession, SessionConfig};
 use snorkel::lf::BoxedLf;
 use snorkel::nlp::tokenize;
 use snorkel::serve::{
-    BinReply, Client, FrameClient, LabelServer, LfSpec, ServeConfig, Snapshot, VoteRow,
+    BinReply, Client, FrameClient, LabelServer, LfSpec, ReplMark, ServeConfig, Snapshot, VoteRow,
 };
 
 const DEFAULT_SPECS: [&str; 3] = [
@@ -121,8 +122,13 @@ fn fresh_session(rows: usize, specs: &[LfSpec]) -> IncrementalSession {
 
 /// Resume from a snapshot: reconstruct each LF from its spec and verify
 /// the spec's content tag against the frozen fingerprint before trusting
-/// the cached columns.
-fn resumed_session(path: &std::path::Path, rows: usize, specs: &[LfSpec]) -> IncrementalSession {
+/// the cached columns. Also returns the snapshot's replication mark (if
+/// any) so a `--wal`/`--follow` server resumes from the right LSN.
+fn resumed_session(
+    path: &std::path::Path,
+    rows: usize,
+    specs: &[LfSpec],
+) -> (IncrementalSession, Option<ReplMark>) {
     let snapshot = Snapshot::read_file(path)
         .unwrap_or_else(|e| die(&format!("cannot load snapshot {}: {e}", path.display())));
     for (name, frozen_fp) in &snapshot.session.suite {
@@ -149,15 +155,20 @@ fn resumed_session(path: &std::path::Path, rows: usize, specs: &[LfSpec]) -> Inc
             spec.build().unwrap_or_else(|e| die(&e))
         })
         .collect();
+    let mark = snapshot.repl;
     let session = IncrementalSession::thaw(demo_corpus(rows), gm_config(), snapshot.session, lfs)
         .unwrap_or_else(|e| die(&format!("thaw failed: {e}")));
     eprintln!(
-        "warm start from {}: {} rows × {} LFs, 0 LF invocations",
+        "warm start from {}: {} rows × {} LFs, 0 LF invocations{}",
         path.display(),
         session.num_candidates(),
-        session.num_lfs()
+        session.num_lfs(),
+        mark.as_ref().map_or(String::new(), |m| format!(
+            ", repl mark lsn={} gen={}",
+            m.applied_lsn, m.generation
+        )),
     );
-    session
+    (session, mark)
 }
 
 fn die(msg: &str) -> ! {
@@ -213,9 +224,9 @@ fn addr_of(args: &Args) -> SocketAddr {
 fn run_server(args: &Args) -> ! {
     let rows = args.get_usize("rows", 5000);
     let specs = parse_specs(args.flags.get("lf").map(Vec::as_slice).unwrap_or(&[]));
-    let session = match args.get("resume") {
+    let (session, repl_mark) = match args.get("resume") {
         Some(path) => resumed_session(&PathBuf::from(path), rows, &specs),
-        None => fresh_session(rows, &specs),
+        None => (fresh_session(rows, &specs), None),
     };
     let config = ServeConfig {
         addr: format!("127.0.0.1:{}", args.get_usize("port", 7341)),
@@ -224,6 +235,9 @@ fn run_server(args: &Args) -> ! {
             .flags
             .get("auto-snapshot-ms")
             .map(|_| Duration::from_millis(args.get_usize("auto-snapshot-ms", 5000) as u64)),
+        wal_path: args.get("wal").map(PathBuf::from),
+        follow: args.get("follow").map(str::to_string),
+        repl_mark,
         ..ServeConfig::default()
     };
     let has_snapshot_path = config.snapshot_path.is_some();
@@ -516,7 +530,7 @@ fn run_demo() {
         "lf_treats KEYWORD -1 1 treats,cures".into(),
         DEFAULT_SPECS[2].into(),
     ];
-    let session = resumed_session(&snap_path, 2000, &parse_specs(&resumed_specs));
+    let (session, _) = resumed_session(&snap_path, 2000, &parse_specs(&resumed_specs));
     let server = LabelServer::start(session, ServeConfig::default()).expect("bind");
     let mut client = Client::connect(server.addr()).expect("connect");
     for req in [

@@ -68,9 +68,9 @@ done
 # in the instrumented crates; documented names are the same tokens in the
 # inventory tables.
 metric_src_dirs="crates/serve/src crates/incr/src crates/lf/src crates/core/src crates/stream/src"
-registered="$(grep -rhoE '"snorkel_(serve|incr|lf|core|stream)_[a-z0-9_]*[a-z0-9]"' \
+registered="$(grep -rhoE '"snorkel_(serve|incr|lf|core|stream|repl)_[a-z0-9_]*[a-z0-9]"' \
     $metric_src_dirs | tr -d '"' | sort -u)"
-documented="$(grep -ohE 'snorkel_(serve|incr|lf|core|stream)_[a-z0-9_]*[a-z0-9]' \
+documented="$(grep -ohE 'snorkel_(serve|incr|lf|core|stream|repl)_[a-z0-9_]*[a-z0-9]' \
     docs/OBSERVABILITY.md | sort -u)"
 if [[ -z "$registered" ]]; then
     echo "docs-check: BUG: found no registered metric names in $metric_src_dirs" >&2

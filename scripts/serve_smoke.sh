@@ -8,9 +8,18 @@
 # the distilled model, and carried the streaming state (drift score and
 # lifetime row totals) across the process boundary.
 #
+# The third life runs a replicated pair: a WAL-backed leader plus an
+# op-log-tailing follower. Writes land on the leader only (the follower
+# answers `ERR readonly`), the follower converges to the leader's LSN
+# with bit-identical marginals, survives a `kill -9` mid-tail (resuming
+# from its own durable WAL), and finally PROMOTEs to a leader that
+# accepts writes.
+#
 # The wire grammar, reply shapes, and lock discipline exercised here are
 # specified normatively in docs/PROTOCOL.md; the snapshot file handed
-# between the two server lives is specified in docs/SNAPSHOT_FORMAT.md.
+# between the two server lives is specified in docs/SNAPSHOT_FORMAT.md;
+# the op log and follower semantics are specified in
+# docs/REPLICATION.md.
 #
 # Run from the repo root (CI runs it under a job timeout):
 #   bash scripts/serve_smoke.sh
@@ -18,6 +27,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PORT="${SNORKEL_SERVE_PORT:-7341}"
+FPORT="${SNORKEL_SERVE_FOLLOWER_PORT:-$((PORT + 1))}"
 SNAP_DIR=target/serve-smoke
 SNAP="$SNAP_DIR/server.snap"
 mkdir -p "$SNAP_DIR"
@@ -27,21 +37,43 @@ cargo build --release --example serving
 BIN=target/release/examples/serving
 
 SRV_PID=""
+FLW_PID=""
 cleanup() {
-    if [[ -n "$SRV_PID" ]] && kill -0 "$SRV_PID" 2>/dev/null; then
-        kill "$SRV_PID" 2>/dev/null || true
-    fi
+    for pid in "$SRV_PID" "$FLW_PID"; do
+        if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+            kill "$pid" 2>/dev/null || true
+        fi
+    done
 }
 trap cleanup EXIT
 
-wait_listening() {
+wait_listening() { # wait_listening <port>
+    local port="$1"
     for _ in $(seq 1 100); do
-        if "$BIN" client --port "$PORT" PING >/dev/null 2>&1; then
+        if "$BIN" client --port "$port" PING >/dev/null 2>&1; then
             return 0
         fi
         sleep 0.2
     done
-    echo "FAIL: server never started listening" >&2
+    echo "FAIL: server on port $port never started listening" >&2
+    exit 1
+}
+
+stats_field() { # stats_field <port> <key>
+    "$BIN" client --port "$1" STATS | sed -E "s/.*$2=([^ ]+).*/\1/"
+}
+
+# Poll until the follower's applied LSN equals the leader's tip.
+wait_converged() { # wait_converged <leader_port> <follower_port>
+    local tip
+    tip="$(stats_field "$1" lsn)"
+    for _ in $(seq 1 150); do
+        if [[ "$(stats_field "$2" lsn)" == "$tip" ]]; then
+            return 0
+        fi
+        sleep 0.2
+    done
+    echo "FAIL: follower never converged to leader lsn=$tip" >&2
     exit 1
 }
 
@@ -61,7 +93,7 @@ expect() { # expect <substring> <<< "$output"
 echo "== first life: cold start, serve, snapshot, shut down =="
 "$BIN" server --port "$PORT" --rows 3000 --snapshot "$SNAP" --auto-snapshot-ms 2000 &
 SRV_PID=$!
-wait_listening
+wait_listening "$PORT"
 
 "$BIN" client --port "$PORT" "MARGINAL 0:1,1:-1" | expect "OK gen="
 "$BIN" client --port "$PORT" "APPLY 0 1 2 3 chem1 causes disease2" | expect "votes="
@@ -95,7 +127,9 @@ echo "== mid-run METRICS scrape =="
 # The exposition must show the traffic above: nonzero request counters
 # and a non-empty MARGINAL latency histogram, across all three layers.
 SCRAPE="$("$BIN" client --port "$PORT" METRICS)"
-echo "$SCRAPE" | head -n 1 | expect "OK series="
+# head closes its stdin after one line; feed it from a herestring, not a
+# pipeline, so the writer can't die of SIGPIPE under `pipefail`.
+head -n 1 <<<"$SCRAPE" | expect "OK series="
 if ! echo "$SCRAPE" | grep -E 'snorkel_serve_requests_total\{verb="MARGINAL"\} [1-9]' >/dev/null; then
     echo "FAIL: MARGINAL request counter is zero or missing in mid-run METRICS" >&2
     exit 1
@@ -114,7 +148,8 @@ if ! echo "$SCRAPE" | grep -E 'snorkel_lf_invocations_total\{lf="lf_causes"\} [1
 fi
 echo "mid-run scrape OK"
 # SLOWLOG returns the slowest recent spans, header first.
-"$BIN" client --port "$PORT" "SLOWLOG 3" | head -n 1 | expect "OK count="
+SLOW="$("$BIN" client --port "$PORT" "SLOWLOG 3")"
+head -n 1 <<<"$SLOW" | expect "OK count="
 echo "== streaming plane: ingest three rows =="
 # The ingested texts are exactly what demo_corpus would generate at
 # indices 3000–3002, so the second life's re-supplied corpus
@@ -179,7 +214,7 @@ echo "== second life: resume warm from the snapshot =="
 # the operator-resupplied corpus must cover every frozen candidate.
 "$BIN" server --port "$PORT" --rows 3003 --resume "$SNAP" &
 SRV_PID=$!
-wait_listening
+wait_listening "$PORT"
 
 # Counters reset with the process, gauges rebuild from the thawed
 # session: before this life's first MARGINAL, its request counter must
@@ -247,5 +282,101 @@ echo "cross-life ingest OK"
 "$BIN" client --port "$PORT" "SHUTDOWN" | expect "OK bye"
 wait "$SRV_PID"
 SRV_PID=""
+
+echo "== third life: replicated pair (leader + tailing follower) =="
+LSNAP="$SNAP_DIR/leader.snap"
+LWAL="$SNAP_DIR/leader.wal"
+FWAL="$SNAP_DIR/follower.wal"
+rm -f "$LSNAP" "$LWAL" "$FWAL"
+
+# Leader: resume the first life's snapshot with a fresh WAL. One REFRESH
+# lands before the bootstrap snapshot so the follower starts from a
+# nonzero replication mark and tails the rest of the log live.
+"$BIN" server --port "$PORT" --rows 3003 --resume "$SNAP" \
+    --snapshot "$LSNAP" --wal "$LWAL" &
+SRV_PID=$!
+wait_listening "$PORT"
+"$BIN" client --port "$PORT" "STATS" | expect "role=leader"
+"$BIN" client --port "$PORT" "REFRESH" | expect "OK "
+"$BIN" client --port "$PORT" "STATS" | expect "lsn=1"
+"$BIN" client --port "$PORT" "SNAPSHOT" | expect "OK bytes="
+
+# Follower: bootstrap from the leader's snapshot (REPL mark lsn=1), tail
+# the op log over the binary plane, journal to its own WAL.
+"$BIN" server --port "$FPORT" --rows 3003 --resume "$LSNAP" \
+    --follow "127.0.0.1:$PORT" --wal "$FWAL" &
+FLW_PID=$!
+wait_listening "$FPORT"
+"$BIN" client --port "$FPORT" "STATS" | expect "role=follower"
+
+# Writes land on the leader while the follower tails. The ingested
+# texts continue demo_corpus at indices 3003+ so the re-supplied
+# corpora on both nodes stay consistent with the registry.
+"$BIN" client --port "$PORT" "INGEST 0 1 2 3 chem0 worsens disease0" | expect "total=3004"
+"$BIN" client --port "$PORT" "INGEST 0 1 2 3 chem1 caused disease1" | expect "total=3005"
+"$BIN" client --port "$PORT" "REFRESH EDIT lf_worsens KEYWORD 1 -1 worsens,mentions" | expect "OK "
+wait_converged "$PORT" "$FPORT"
+
+# Bit-identical replies at the same LSN: text replies use
+# shortest-round-trip float formatting, so string equality is float
+# bit equality.
+for sig in "MARGINAL 0:1,1:-1" "MARGINAL 1:1,2:-1" "MARGINAL 0:-1,1:1,2:1"; do
+    L_REPLY="$("$BIN" client --port "$PORT" "$sig")"
+    F_REPLY="$("$BIN" client --port "$FPORT" "$sig")"
+    if [[ "$L_REPLY" != "$F_REPLY" ]]; then
+        echo "FAIL: divergent replies for $sig" >&2
+        echo "  leader:   $L_REPLY" >&2
+        echo "  follower: $F_REPLY" >&2
+        exit 1
+    fi
+done
+echo "leader/follower replies bit-identical at lsn=$(stats_field "$PORT" lsn)"
+
+# The follower serves reads but refuses writes with a typed error.
+("$BIN" client --port "$FPORT" "INGEST 0 1 2 3 chem2 mentions disease2" || true) \
+    | expect "ERR readonly"
+("$BIN" client --port "$FPORT" "REFRESH" || true) | expect "ERR readonly"
+
+# Chaos: kill -9 the follower mid-tail, write more on the leader, then
+# restart the follower from the same snapshot + its own WAL. It resumes
+# from its last durable LSN and converges without operator help.
+kill -9 "$FLW_PID"
+wait "$FLW_PID" 2>/dev/null || true
+FLW_PID=""
+"$BIN" client --port "$PORT" "INGEST 0 1 2 3 chem2 mentions disease2" | expect "total=3006"
+"$BIN" client --port "$PORT" "INGEST 0 1 2 3 chem3 causes disease3" | expect "total=3007"
+"$BIN" client --port "$PORT" "REFRESH" | expect "OK "
+"$BIN" server --port "$FPORT" --rows 3003 --resume "$LSNAP" \
+    --follow "127.0.0.1:$PORT" --wal "$FWAL" &
+FLW_PID=$!
+wait_listening "$FPORT"
+wait_converged "$PORT" "$FPORT"
+for sig in "MARGINAL 0:1,1:-1" "MARGINAL 0:-1,1:1,2:1"; do
+    L_REPLY="$("$BIN" client --port "$PORT" "$sig")"
+    F_REPLY="$("$BIN" client --port "$FPORT" "$sig")"
+    if [[ "$L_REPLY" != "$F_REPLY" ]]; then
+        echo "FAIL: divergent replies after kill/resume for $sig" >&2
+        echo "  leader:   $L_REPLY" >&2
+        echo "  follower: $F_REPLY" >&2
+        exit 1
+    fi
+done
+echo "follower kill/resume OK (lsn=$(stats_field "$FPORT" lsn))"
+
+# PROMOTE seals the follower's log and flips it to a write-accepting
+# leader; promoting a leader is a typed error.
+"$BIN" client --port "$FPORT" "PROMOTE" | expect "OK role=leader"
+"$BIN" client --port "$FPORT" "STATS" | expect "role=leader"
+("$BIN" client --port "$FPORT" "PROMOTE" || true) | expect "ERR already leader"
+("$BIN" client --port "$PORT" "PROMOTE" || true) | expect "ERR already leader"
+"$BIN" client --port "$FPORT" "INGEST 0 1 2 3 chem4 causes disease4" | expect "total=3008"
+
+"$BIN" client --port "$PORT" "SHUTDOWN" | expect "OK bye"
+wait "$SRV_PID"
+SRV_PID=""
+"$BIN" client --port "$FPORT" "SHUTDOWN" | expect "OK bye"
+wait "$FLW_PID"
+FLW_PID=""
+echo "replicated pair OK"
 
 echo "serve smoke OK"
